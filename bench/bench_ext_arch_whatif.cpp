@@ -1,0 +1,108 @@
+// E1: extension benchmarks — architectural roll-up (the paper's Sec. V
+// future work) and what-if analysis (delay impact, deadline crash) over
+// growing hierarchies and plans.
+
+#include <iostream>
+
+#include "arch/rollup.hpp"
+#include "bench_main.hpp"
+#include "core/whatif.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+/// Manager with `blocks` leaf tasks (chains of `depth` activities each) and
+/// a 2-level hierarchy over them, all planned.
+struct ArchScenario {
+  std::unique_ptr<hercules::WorkflowManager> manager;
+  arch::DesignHierarchy hierarchy{"soc"};
+};
+
+ArchScenario make_scenario(std::size_t blocks, std::size_t depth) {
+  ArchScenario s;
+  s.manager = hercules::WorkflowManager::create(bench::chain_schema(depth)).take();
+  s.manager->register_tool({.instance_name = "t1", .tool_type = "t",
+                            .nominal = cal::WorkDuration::hours(2)})
+      .expect("tool");
+  s.manager->estimator().set_fallback(cal::WorkDuration::hours(4));
+  auto digital = s.hierarchy.add_component(s.hierarchy.root(), "digital").value();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::string task = "block" + std::to_string(b);
+    s.manager->extract_task(task, "d" + std::to_string(depth)).expect("extract");
+    s.manager->bind(task, "d0", task + ".in").expect("bind");
+    s.manager->bind(task, "t", "t1").expect("bind");
+    auto comp = s.hierarchy.add_component(digital, task + "_c").value();
+    s.hierarchy.assign_task(comp, task).expect("assign");
+    s.manager->plan_task(task, {.anchor = s.manager->clock().now()}).value();
+  }
+  return s;
+}
+
+void print_artifact() {
+  auto s = make_scenario(3, 4);
+  // Progress one block so the roll-up shows mixed state.
+  s.manager->execute_task("block0", "pat").value();
+  for (const auto& rule : s.manager->schema().rules())
+    s.manager->link_completion("block0", rule.activity).expect("link");
+
+  std::cout << "E1 — architectural roll-up + what-if (extension of Sec. V)\n\n";
+  auto rollup = arch::ArchSchedule::compute(s.hierarchy, *s.manager).take();
+  std::cout << rollup.render(s.manager->calendar()) << "\n";
+
+  auto plan = s.manager->plan_of("block1").value();
+  auto impact = sched::simulate_delay(s.manager->schedule_space(), plan, "A2",
+                                      cal::WorkDuration::hours(8))
+                    .take();
+  std::cout << "what-if: block1/A2 slips 1d -> block finish moves "
+            << s.manager->calendar().format_date(impact.old_finish) << " -> "
+            << s.manager->calendar().format_date(impact.new_finish) << "\n";
+  auto crash = sched::crash_to_deadline(s.manager->schedule_space(), plan,
+                                        cal::WorkInstant(10 * 60))
+                   .take();
+  std::cout << "crash to a 10h deadline: " << (crash.feasible ? "feasible, " : "infeasible, ")
+            << crash.steps.size() << " activities shortened\n\n";
+}
+
+void BM_ArchRollup(benchmark::State& state) {
+  auto s = make_scenario(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto rollup = arch::ArchSchedule::compute(s.hierarchy, *s.manager);
+    benchmark::DoNotOptimize(rollup.value().rows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(1));
+}
+BENCHMARK(BM_ArchRollup)->Args({4, 8})->Args({16, 8})->Args({64, 8})->Args({16, 64});
+
+void BM_SimulateDelay(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  for (auto _ : state) {
+    auto impact = sched::simulate_delay(m->schedule_space(), plan, "A1",
+                                        cal::WorkDuration::hours(4));
+    benchmark::DoNotOptimize(impact.value().project_slip);
+  }
+}
+BENCHMARK(BM_SimulateDelay)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_CrashToDeadline(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  // Deadline at half the projection: plenty of crashing to do.
+  const auto& space = m->schedule_space();
+  auto last = space.node(space.plan(plan).nodes.back()).planned_finish;
+  cal::WorkInstant deadline(last.minutes_since_epoch() / 2);
+  for (auto _ : state) {
+    auto crash = sched::crash_to_deadline(space, plan, deadline);
+    benchmark::DoNotOptimize(crash.value().steps.size());
+  }
+}
+BENCHMARK(BM_CrashToDeadline)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

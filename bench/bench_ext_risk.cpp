@@ -1,0 +1,102 @@
+// E2: Monte Carlo schedule-risk ablation — how many samples does a stable
+// P90 need, and what does each sample cost?  Also shows the criticality
+// index on a competing-branch flow (the result a single critical path
+// cannot express).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "core/risk.hpp"
+#include "util/strings.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+std::unique_ptr<hercules::WorkflowManager> competing_manager() {
+  // Two near-equal branches into a join: criticality is genuinely split.
+  auto m = hercules::WorkflowManager::create(R"(
+    schema compete {
+      data seed, l, r, out;
+      tool t;
+      rule Left:  l   <- t(seed) [est 20h];
+      rule Right: r   <- t(seed) [est 19h];
+      rule Join:  out <- t(l, r) [est 8h];
+    }
+  )").take();
+  m->extract_task("job", "out").expect("extract");
+  return m;
+}
+
+void print_artifact() {
+  auto m = competing_manager();
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+
+  std::cout << "E2 — schedule-risk sampling ablation\n\n";
+  std::cout << "P90 completion (work minutes) vs. sample count, 3 seeds each:\n";
+  std::cout << util::pad_right("samples", 10);
+  for (int seed = 1; seed <= 3; ++seed)
+    std::cout << util::pad_right("seed" + std::to_string(seed), 9);
+  std::cout << "spread\n" << util::repeat('-', 46) << "\n";
+  for (int samples : {10, 100, 1000, 10000}) {
+    std::cout << util::pad_right(std::to_string(samples), 10);
+    std::int64_t lo = 0, hi = 0;
+    for (int seed = 1; seed <= 3; ++seed) {
+      sched::RiskOptions opt;
+      opt.samples = samples;
+      opt.seed = static_cast<std::uint64_t>(seed);
+      auto r = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+      std::int64_t p90 = r.p90_finish.minutes_since_epoch();
+      std::cout << util::pad_right(std::to_string(p90), 9);
+      lo = seed == 1 ? p90 : std::min(lo, p90);
+      hi = seed == 1 ? p90 : std::max(hi, p90);
+    }
+    std::cout << hi - lo << "\n";
+  }
+
+  auto report = sched::analyze_risk(m->schedule_space(), m->db(), plan).take();
+  std::cout << "\nCriticality split on near-equal branches (20h vs 19h):\n"
+            << report.render(m->calendar())
+            << "\nExpected shape: P90 seed-spread shrinks roughly as 1/sqrt(N);\n"
+               "~1000 samples stabilises it to a few minutes.  The 19h branch\n"
+               "keeps substantial criticality — information a deterministic\n"
+               "critical path (which names only the 20h branch) hides.\n\n";
+}
+
+void BM_RiskAnalysis(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  sched::RiskOptions opt;
+  opt.samples = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto r = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt);
+    benchmark::DoNotOptimize(r.value().p90_finish);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_RiskAnalysis)
+    ->Args({4, 100})
+    ->Args({4, 1000})
+    ->Args({16, 100})
+    ->Args({16, 1000});
+
+void BM_RiskWithHistory(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(16), "d16",
+                               cal::WorkDuration::minutes(30));
+  for (int i = 0; i < 10; ++i) m->execute_task("job", "pat").value();
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  sched::RiskOptions opt;
+  opt.samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt);
+    benchmark::DoNotOptimize(r.value().p50_finish);
+  }
+}
+BENCHMARK(BM_RiskWithHistory)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,87 @@
+// Reproduces paper Fig. 1: "Schedule Model within System Representation" —
+// the Level-2 process flow giving rise to two kinds of Level-3 data
+// (proposed milestones from *simulated* execution, actual design metadata
+// from *real* execution) connected by completion links.
+//
+// Benchmarks: the cost of the two Level-3 production paths (planning vs.
+// executing the same flow) and of creating the link.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+void print_artifact() {
+  auto m = bench::make_manager(bench::chain_schema(3), "d3");
+  std::cout << "Fig. 1 — schedule model within the system representation\n\n";
+  std::cout << "Level 2 (pre-execution): process flow\n"
+            << m->task("job").value()->render() << "\n";
+
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  std::cout << "Level 3, proposed milestones (created by SIMULATING the flow):\n";
+  const auto& space = m->schedule_space();
+  for (auto nid : space.plan(plan).nodes) {
+    const auto& n = space.node(nid);
+    std::cout << "  " << n.str() << "  planned " << m->calendar().format(n.planned_start)
+              << " .. " << m->calendar().format(n.planned_finish) << "\n";
+  }
+
+  m->execute_task("job", "pat").value();
+  std::cout << "\nLevel 3, actual design metadata (created by EXECUTING the flow):\n";
+  for (const auto& run : m->db().runs())
+    std::cout << "  " << run.str() << "  actual "
+              << m->calendar().format(run.started_at) << " .. "
+              << m->calendar().format(run.finished_at) << "\n";
+
+  for (const auto& rule : m->schema().rules())
+    m->link_completion("job", rule.activity).expect("link");
+  std::cout << "\nLinks between schedule flow data and actual flow data:\n";
+  for (const auto& link : space.links()) {
+    std::cout << "  " << space.node(link.schedule_node).str() << "  ==  "
+              << m->db().instance(link.entity_instance).str() << "\n";
+  }
+  std::cout << "\n";
+}
+
+void BM_PlanFlow(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  for (auto _ : state) {
+    auto plan = m->plan_task("job", {.anchor = m->clock().now()});
+    benchmark::DoNotOptimize(plan.value());
+  }
+}
+BENCHMARK(BM_PlanFlow)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExecuteFlow(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)),
+                               cal::WorkDuration::minutes(5));
+  for (auto _ : state) {
+    auto result = m->execute_task("job", "pat");
+    benchmark::DoNotOptimize(result.value().final_output);
+  }
+}
+BENCHMARK(BM_ExecuteFlow)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LinkCompletion(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = bench::make_manager(bench::chain_schema(8), "d8",
+                                 cal::WorkDuration::minutes(5));
+    m->plan_task("job", {.anchor = m->clock().now()}).value();
+    m->execute_task("job", "pat").value();
+    state.ResumeTiming();
+    for (const auto& rule : m->schema().rules())
+      m->link_completion("job", rule.activity).expect("link");
+  }
+}
+BENCHMARK(BM_LinkCompletion);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

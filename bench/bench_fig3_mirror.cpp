@@ -1,0 +1,117 @@
+// Reproduces paper Fig. 3: "Execution and Schedule Model in Hercules" — the
+// schedule-space objects mirror the execution-space objects:
+//
+//     Run            <->  ScheduleRun (plan)
+//     EntityInstance <->  ScheduleNode (schedule instance)
+//     Inst. Dep.     <->  ScheduleDep
+//
+// The artifact prints each mirrored pair side by side for the circuit flow.
+// Benchmarks: lookup cost across the mirror (activity -> schedule node,
+// instance -> link).
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "util/strings.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kCircuitSchema = R"(
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+void print_artifact() {
+  auto m = hercules::WorkflowManager::create(kCircuitSchema).take();
+  m->register_tool({.instance_name = "ed", .tool_type = "netlist_editor",
+                    .nominal = cal::WorkDuration::hours(14)})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim", .tool_type = "simulator",
+                    .nominal = cal::WorkDuration::hours(6)})
+      .expect("tool");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "adder.stim").expect("bind");
+  m->bind("adder", "netlist_editor", "ed").expect("bind");
+  m->bind("adder", "simulator", "sim").expect("bind");
+  m->estimator().set_intuition("Create", cal::WorkDuration::hours(16));
+  m->estimator().set_intuition("Simulate", cal::WorkDuration::hours(8));
+
+  auto plan = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "pat").value();
+  m->link_completion("adder", "Create").expect("link");
+  m->link_completion("adder", "Simulate").expect("link");
+
+  const auto& space = m->schedule_space();
+  std::cout << "Fig. 3 — execution space and schedule space, mirrored\n\n";
+  std::cout << util::pad_right("EXECUTION SPACE", 44) << "SCHEDULE SPACE\n";
+  std::cout << util::repeat('-', 80) << "\n";
+  std::cout << util::pad_right("(whole execution of the task)", 44)
+            << space.plan(plan).str() << "\n";
+  for (const auto& run : m->db().runs()) {
+    auto nid = space.node_in_plan(plan, run.activity);
+    std::cout << util::pad_right(run.str(), 44)
+              << (nid ? space.node(*nid).str() : "(none)") << "\n";
+    if (run.output.valid()) {
+      std::string left = "  out: " + m->db().instance(run.output).str();
+      std::string right;
+      if (nid) {
+        if (auto link = space.link_of(*nid)) right = "  linked by link " + link->str();
+      }
+      std::cout << util::pad_right(left, 44) << right << "\n";
+    }
+  }
+  std::cout << "\nDependencies (mirrored):\n";
+  for (const auto& dep : space.plan(plan).deps) {
+    std::cout << "  schedule: " << space.node(dep.from).activity << " -> "
+              << space.node(dep.to).activity << "\n";
+  }
+  for (const auto& run : m->db().runs()) {
+    for (auto in : run.inputs) {
+      const auto& inst = m->db().instance(in);
+      if (inst.produced_by.valid())
+        std::cout << "  execution: " << m->db().run(inst.produced_by).activity
+                  << " -> " << run.activity << " (via " << inst.str() << ")\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+void BM_MirrorLookup(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  const auto& space = m->schedule_space();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::string activity = "A" + std::to_string(1 + (i++ % state.range(0)));
+    benchmark::DoNotOptimize(space.node_in_plan(plan, activity));
+  }
+}
+BENCHMARK(BM_MirrorLookup)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_LinkLookup(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(32), "d32",
+                               cal::WorkDuration::minutes(5));
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  m->execute_task("job", "pat").value();
+  for (const auto& rule : m->schema().rules())
+    m->link_completion("job", rule.activity).expect("link");
+  const auto& space = m->schedule_space();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto nid = sched::ScheduleNodeId{1 + (i++ % space.node_count())};
+    benchmark::DoNotOptimize(space.link_of(nid));
+  }
+}
+BENCHMARK(BM_LinkLookup);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 4: the example task schema —
+//
+//     netlist     <- netlist_editor()           (activity Create)
+//     performance <- simulator(netlist, stimuli) (activity Simulate)
+//
+// The artifact prints the parsed schema graph.  Benchmarks: schema DSL
+// parsing and validation throughput vs. schema size.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "schema/schema.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kFig4Schema = R"(
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+void print_artifact() {
+  auto schema = schema::parse_schema(kFig4Schema).take();
+  std::cout << "Fig. 4 — example task schema\n\n";
+  std::cout << "construction rules (d_i <- f(d_1..d_n)):\n";
+  std::cout << "  netlist     <- netlist_editor()\n";
+  std::cout << "  performance <- simulator(netlist, stimuli)\n\n";
+  std::cout << schema.describe() << "\n";
+  std::cout << "round-tripped DSL:\n" << schema.to_dsl() << "\n";
+}
+
+void BM_ParseSchema(benchmark::State& state) {
+  std::string dsl = bench::chain_schema(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto schema = schema::parse_schema(dsl);
+    benchmark::DoNotOptimize(schema.value().rules().size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dsl.size()));
+}
+BENCHMARK(BM_ParseSchema)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ValidateSchema(benchmark::State& state) {
+  auto schema =
+      schema::parse_schema(bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4))
+          .take();
+  for (auto _ : state) {
+    auto ok = schema.validate();
+    benchmark::DoNotOptimize(ok.ok());
+  }
+}
+BENCHMARK(BM_ValidateSchema)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExtractTaskTree(benchmark::State& state) {
+  auto schema =
+      schema::parse_schema(bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4))
+          .take();
+  for (auto _ : state) {
+    auto tree = flow::TaskTree::extract(schema, "root");
+    benchmark::DoNotOptimize(tree.value().nodes().size());
+  }
+}
+BENCHMARK(BM_ExtractTaskTree)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 5: the Hercules database during the PLANNING phase —
+// schedule-instance containers populated (with multiple versions SC1, SC2
+// from successive plans) while the entity containers are still empty.
+//
+// Benchmarks: planner throughput (simulated execution + CPM) vs. flow shape,
+// including resource-leveled planning.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kCircuitSchema = R"(
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+void print_artifact() {
+  auto m = hercules::WorkflowManager::create(kCircuitSchema).take();
+  m->extract_task("adder", "performance").expect("extract");
+  m->estimator().set_intuition("Create", cal::WorkDuration::hours(16));
+  m->estimator().set_intuition("Simulate", cal::WorkDuration::hours(8));
+
+  // Two planning passes: the plan is refined once, so each activity's
+  // schedule container holds versions SC1 and SC2, exactly as Fig. 5 shows.
+  m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->replan_task("adder", {.anchor = m->clock().now()}).value();
+
+  std::cout << "Fig. 5 — Hercules database during the planning phase\n"
+            << "(schedule space populated with two plan generations; execution\n"
+            << " space still empty)\n\n"
+            << m->dump_database() << "\n";
+}
+
+void BM_PlanChain(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->plan_task("job", {.anchor = m->clock().now()}).value());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlanChain)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+void BM_PlanLayered(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->plan_task("job", {.anchor = m->clock().now()}).value());
+}
+BENCHMARK(BM_PlanLayered)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PlanWithLeveling(benchmark::State& state) {
+  auto m = bench::make_manager(bench::fanin_schema(static_cast<std::size_t>(state.range(0))),
+                               "out");
+  auto person = m->add_resource("pat");
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.level_resources = true;
+  for (const auto& rule : m->schema().rules()) req.assignments[rule.activity] = {person};
+  for (auto _ : state) benchmark::DoNotOptimize(m->plan_task("job", req).value());
+}
+BENCHMARK(BM_PlanWithLeveling)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,83 @@
+// Reproduces paper Fig. 6: the Hercules database during the EXECUTION phase
+// — entity containers filling with instances (the performance container
+// holding two versions after an iteration of Simulate), runs recorded, the
+// schedule space still carrying the proposed dates.
+//
+// Benchmarks: executor throughput (full traversals and single-activity
+// iterations) vs. flow size.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kCircuitSchema = R"(
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+void print_artifact() {
+  auto m = hercules::WorkflowManager::create(kCircuitSchema).take();
+  m->register_tool({.instance_name = "ed", .tool_type = "netlist_editor",
+                    .nominal = cal::WorkDuration::hours(14)})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim", .tool_type = "simulator",
+                    .nominal = cal::WorkDuration::hours(6)})
+      .expect("tool");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "adder.stim").expect("bind");
+  m->bind("adder", "netlist_editor", "ed").expect("bind");
+  m->bind("adder", "simulator", "sim").expect("bind");
+  m->estimator().set_intuition("Create", cal::WorkDuration::hours(16));
+  m->estimator().set_intuition("Simulate", cal::WorkDuration::hours(8));
+
+  m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  // The iteration of Fig. 6: Simulate runs again -> performance v2.
+  m->run_activity("adder", "Simulate", "bob").value();
+
+  std::cout << "Fig. 6 — Hercules database during the execution phase\n"
+            << "(entity instances E1, P1, P2 with runs; schedule instances\n"
+            << " still unlinked)\n\n"
+            << m->dump_database() << "\n";
+}
+
+void BM_FullExecution(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)),
+                               cal::WorkDuration::minutes(5));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->execute_task("job", "pat").value().final_output);
+  state.SetItemsProcessed(state.iterations() * state.range(0));  // runs created
+}
+BENCHMARK(BM_FullExecution)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SingleIteration(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(32), "d32",
+                               cal::WorkDuration::minutes(5));
+  m->execute_task("job", "pat").value();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->run_activity("job", "A16", "pat").value().output);
+}
+BENCHMARK(BM_SingleIteration);
+
+void BM_ExecutionLayered(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root",
+      cal::WorkDuration::minutes(5));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->execute_task("job", "pat").value().final_output);
+}
+BENCHMARK(BM_ExecutionLayered)->Arg(4)->Arg(16);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

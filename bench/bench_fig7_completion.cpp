@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 7: the Hercules database at COMPLETION — every
+// schedule instance linked to the final version of its activity's design
+// data (the Simulate link pointing at performance v2, not v1).
+//
+// Benchmarks: completion linking including the automatic re-projection it
+// triggers, vs. plan size.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kCircuitSchema = R"(
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+void print_artifact() {
+  auto m = hercules::WorkflowManager::create(kCircuitSchema).take();
+  m->register_tool({.instance_name = "ed", .tool_type = "netlist_editor",
+                    .nominal = cal::WorkDuration::hours(14)})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim", .tool_type = "simulator",
+                    .nominal = cal::WorkDuration::hours(6)})
+      .expect("tool");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "adder.stim").expect("bind");
+  m->bind("adder", "netlist_editor", "ed").expect("bind");
+  m->bind("adder", "simulator", "sim").expect("bind");
+  m->estimator().set_intuition("Create", cal::WorkDuration::hours(16));
+  m->estimator().set_intuition("Simulate", cal::WorkDuration::hours(8));
+
+  m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  m->run_activity("adder", "Simulate", "bob").value();
+  m->link_completion("adder", "Create").expect("link");
+  m->link_completion("adder", "Simulate").expect("link");
+
+  std::cout << "Fig. 7 — Hercules database at completion of execution\n"
+            << "(every schedule instance linked to the FINAL design data\n"
+            << " version: Simulate links to performance v2)\n\n"
+            << m->dump_database() << "\n"
+            << m->status_report("adder").value() << "\n";
+}
+
+void BM_LinkAndReproject(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = bench::make_manager(bench::chain_schema(n), "d" + std::to_string(n),
+                                 cal::WorkDuration::minutes(5));
+    m->plan_task("job", {.anchor = m->clock().now()}).value();
+    m->execute_task("job", "pat").value();
+    state.ResumeTiming();
+    for (const auto& rule : m->schema().rules())
+      m->link_completion("job", rule.activity).expect("link");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinkAndReproject)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_StatusReport(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(64), "d64",
+                               cal::WorkDuration::minutes(5));
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  m->execute_task("job", "pat").value();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->status_report("job").value().size());
+}
+BENCHMARK(BM_StatusReport);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

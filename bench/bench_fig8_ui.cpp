@@ -1,0 +1,78 @@
+// Reproduces paper Fig. 8: the Hercules user interface — the task graph as
+// the central view with schedule operations applied at each node, the Gantt
+// chart of planned vs. accomplished schedule, the schedule-instance browser,
+// and an individual schedule-plan card (text stand-ins; see DESIGN.md).
+//
+// Benchmarks: render costs of every view.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "gantt/gantt.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+std::unique_ptr<hercules::WorkflowManager> scenario() {
+  auto m = bench::make_manager(bench::chain_schema(5), "d5",
+                               cal::WorkDuration::hours(6));
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  // Complete the first three activities; slip a day before the third.
+  m->run_activity("job", "A1", "pat").value();
+  m->link_completion("job", "A1").expect("link");
+  m->run_activity("job", "A2", "pat").value();
+  m->link_completion("job", "A2").expect("link");
+  m->clock().advance(cal::WorkDuration::hours(8));
+  m->run_activity("job", "A3", "pat").value();
+  m->link_completion("job", "A3").expect("link");
+  return m;
+}
+
+void print_artifact() {
+  auto m = scenario();
+  std::cout << "Fig. 8 — Hercules user interface (text rendering)\n\n";
+  std::cout << "[task graph pane]\n" << m->task("job").value()->render() << "\n";
+  std::cout << "[Gantt pane: planned vs. accomplished, slip visible]\n"
+            << m->gantt("job").value() << "\n";
+  std::cout << "[schedule instance browser]\n" << m->browser().list() << "\n";
+  auto plan = m->plan_of("job").value();
+  auto node = m->schedule_space().node_in_plan(plan, "A4").value();
+  std::cout << "[individual schedule plan]\n"
+            << gantt::render_schedule_card(m->schedule_space(), m->db(),
+                                           m->calendar(), node)
+            << "\n";
+  std::cout << "[status query pane]\n" << m->status_report("job").value() << "\n";
+}
+
+void BM_RenderGantt(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  for (auto _ : state) benchmark::DoNotOptimize(m->gantt("job").value().size());
+}
+BENCHMARK(BM_RenderGantt)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_RenderTaskTree(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root");
+  const auto& tree = *m->task("job").value();
+  for (auto _ : state) benchmark::DoNotOptimize(tree.render().size());
+}
+BENCHMARK(BM_RenderTaskTree)->Arg(4)->Arg(16);
+
+void BM_BrowserList(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(64), "d64");
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  m->replan_task("job", {.anchor = m->clock().now()}).value();
+  for (auto _ : state) {
+    auto browser = m->browser();
+    benchmark::DoNotOptimize(browser.list().size());
+  }
+}
+BENCHMARK(BM_BrowserList);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,16 @@
+#pragma once
+// Shared main() for the benchmark binaries: each bench first prints the
+// paper artifact it reproduces (table or figure), then runs its
+// google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#define HERC_BENCH_MAIN(print_artifact)                            \
+  int main(int argc, char** argv) {                                \
+    print_artifact();                                              \
+    benchmark::Initialize(&argc, argv);                            \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                           \
+    benchmark::Shutdown();                                         \
+    return 0;                                                      \
+  }

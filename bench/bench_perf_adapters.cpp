@@ -1,0 +1,92 @@
+// P6: adapter overhead — the cost of driving a flow through each surveyed
+// representation (Hilda/Petri firing, VOV/trace retrace, roadmap
+// instantiation) relative to the native Hercules executor, over the same
+// generated flows.  This quantifies the price of the paper's generality
+// claim: hosting the schedule model on another flow representation.
+
+#include <iostream>
+
+#include "adapters/petri.hpp"
+#include "adapters/roadmap.hpp"
+#include "adapters/trace.hpp"
+#include "bench_main.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+void print_artifact() {
+  auto m = bench::make_manager(bench::layered_schema(4, 4), "root",
+                               cal::WorkDuration::minutes(10));
+  const auto& tree = *m->task("job").value();
+  m->execute_task("job", "pat").value();
+
+  auto conv = adapters::petri_from_task_tree(tree).take();
+  auto firing = conv.net.run_to_quiescence();
+  auto trace = adapters::TraceGraph::capture(m->db());
+  auto roadmap = adapters::RoadmapModel::from_schema(m->schema());
+  roadmap.instantiate(tree).expect("instantiate");
+
+  std::cout << "P6 — adapter overhead on a layered 4x4 flow ("
+            << tree.activities_post_order().size() << " activities)\n\n";
+  std::cout << "  native execution:  " << m->db().run_count() << " runs recorded\n";
+  std::cout << "  Petri (Hilda):     " << firing.size() << " transitions fired, "
+            << conv.net.place_count() << " places\n";
+  std::cout << "  trace (VOV):       " << trace.transaction_count()
+            << " transactions captured, retrace from a primary input touches "
+            << trace
+                   .affected_by(m->db().latest_in_container("d0_0").value())
+                   .size()
+            << " of them\n";
+  std::cout << "  roadmap (ELSIS):   " << roadmap.instances().size()
+            << " flow instances, " << roadmap.channels().size() << " channels — "
+            << roadmap.verify_against(tree).value() << "\n\n";
+}
+
+void BM_NativeExecution(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root",
+      cal::WorkDuration::minutes(5));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->execute_task("job", "pat").value().final_output);
+}
+BENCHMARK(BM_NativeExecution)->Arg(4)->Arg(16);
+
+void BM_PetriConvertAndFire(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root");
+  const auto& tree = *m->task("job").value();
+  for (auto _ : state) {
+    auto conv = adapters::petri_from_task_tree(tree).take();
+    benchmark::DoNotOptimize(conv.net.run_to_quiescence().size());
+  }
+}
+BENCHMARK(BM_PetriConvertAndFire)->Arg(4)->Arg(16);
+
+void BM_TraceRetrace(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(32), "d32",
+                               cal::WorkDuration::minutes(5));
+  for (int i = 0; i < state.range(0); ++i) m->execute_task("job", "pat").value();
+  auto trace = adapters::TraceGraph::capture(m->db());
+  auto root_input = m->db().latest_in_container("d0").value();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(trace.affected_by(root_input).size());
+}
+BENCHMARK(BM_TraceRetrace)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_RoadmapRoundTrip(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 4), "root");
+  const auto& tree = *m->task("job").value();
+  for (auto _ : state) {
+    auto model = adapters::RoadmapModel::from_schema(m->schema());
+    model.instantiate(tree).expect("instantiate");
+    benchmark::DoNotOptimize(model.channels().size());
+  }
+}
+BENCHMARK(BM_RoadmapRoundTrip)->Arg(4)->Arg(16);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

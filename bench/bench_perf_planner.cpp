@@ -1,0 +1,74 @@
+// P2: planning (simulated execution) throughput vs. task-tree depth and
+// branching — the end-to-end cost of "develop a schedule by simulating the
+// flow", which the paper proposes as the routine planning operation.
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "util/strings.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+void print_artifact() {
+  std::cout << "P2 — planner throughput (simulated execution + CPM + date\n"
+               "assignment) for different flow shapes.  Timings below from\n"
+               "google-benchmark.\n\n";
+  // One worked sample so the output shows what a plan contains.
+  auto m = bench::make_manager(bench::layered_schema(3, 3), "root");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  const auto& space = m->schedule_space();
+  std::cout << "sample: layered 3x3 -> " << space.plan(plan).nodes.size()
+            << " schedule instances, " << space.plan(plan).deps.size()
+            << " schedule deps, makespan "
+            << (space.node(space.plan(plan).nodes.back()).planned_finish -
+                cal::WorkInstant(0))
+                   .str(480)
+            << "\n\n";
+}
+
+void BM_PlanDepth(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(static_cast<std::size_t>(state.range(0))),
+                               "d" + std::to_string(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->plan_task("job", {.anchor = m->clock().now()}).value());
+  state.SetComplexityN(state.range(0));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanDepth)->Range(8, 1024)->Complexity();
+
+void BM_PlanBranching(benchmark::State& state) {
+  auto m = bench::make_manager(bench::fanin_schema(static_cast<std::size_t>(state.range(0))),
+                               "out");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->plan_task("job", {.anchor = m->clock().now()}).value());
+  state.SetItemsProcessed(state.iterations() * (state.range(0) + 1));
+}
+BENCHMARK(BM_PlanBranching)->Range(8, 1024);
+
+void BM_PlanLayeredShape(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1))),
+      "root");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->plan_task("job", {.anchor = m->clock().now()}).value());
+}
+BENCHMARK(BM_PlanLayeredShape)->Args({4, 4})->Args({16, 4})->Args({4, 16})->Args({16, 16});
+
+void BM_PlanWithHistoryEstimates(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(32), "d32",
+                               cal::WorkDuration::minutes(5));
+  for (int i = 0; i < 20; ++i) m->execute_task("job", "pat").value();  // history
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.strategy = sched::EstimateStrategy::kPert;  // scans full history
+  for (auto _ : state) benchmark::DoNotOptimize(m->plan_task("job", req).value());
+}
+BENCHMARK(BM_PlanWithHistoryEstimates);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,0 +1,82 @@
+// P3: query engine throughput vs. database size — filtering, ordering and
+// the paper's two query classes (schedule data, schedule metadata).
+
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "query/query.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+std::unique_ptr<hercules::WorkflowManager> populated(std::size_t executions) {
+  auto m = bench::make_manager(bench::chain_schema(8), "d8",
+                               cal::WorkDuration::minutes(7));
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  for (std::size_t i = 0; i < executions; ++i)
+    m->execute_task("job", i % 2 ? "alice" : "bob").value();
+  return m;
+}
+
+void print_artifact() {
+  auto m = populated(10);
+  std::cout << "P3 — query engine over a database of " << m->db().run_count()
+            << " runs / " << m->db().instance_count() << " instances\n\n";
+  std::cout << "schedule-data query (paper: duration of the last run):\n"
+            << m->query("select runs where activity = \"A5\" order by finished desc "
+                        "limit 1")
+                   .value()
+            << "\n";
+  m->replan_task("job", {.anchor = m->clock().now()}).value();
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  std::cout << "schedule-metadata query (paper: plan evolution):\n"
+            << engine.plan_lineage(m->plan_of("job").value()).render(&m->calendar())
+            << "\n";
+}
+
+void BM_QueryFilterScan(benchmark::State& state) {
+  auto m = populated(static_cast<std::size_t>(state.range(0)));
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  auto q = query::parse_query("select runs where designer = \"alice\"").take();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.execute(q).value().rows.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m->db().run_count()));
+}
+BENCHMARK(BM_QueryFilterScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryOrderLimit(benchmark::State& state) {
+  auto m = populated(static_cast<std::size_t>(state.range(0)));
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  auto q = query::parse_query(
+               "select runs where activity = \"A5\" order by finished desc limit 1")
+               .take();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.execute(q).value().rows.size());
+}
+BENCHMARK(BM_QueryOrderLimit)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryParse(benchmark::State& state) {
+  const std::string text =
+      "select schedule where critical = true and est_duration >= 240 "
+      "order by planned_start desc limit 10";
+  for (auto _ : state)
+    benchmark::DoNotOptimize(query::parse_query(text).value().str().size());
+}
+BENCHMARK(BM_QueryParse);
+
+void BM_PlanLineage(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(4), "d4");
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  for (int i = 0; i < state.range(0); ++i)
+    m->replan_task("job", {.anchor = m->clock().now()}).value();
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  auto plan = m->plan_of("job").value();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.plan_lineage(plan).rows.size());
+}
+BENCHMARK(BM_PlanLineage)->Arg(4)->Arg(32)->Arg(128);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

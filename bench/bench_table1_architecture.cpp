@@ -1,0 +1,87 @@
+// Reproduces paper Table I: "System representation using the four-level
+// architecture" — the survey rows plus a live demonstration that our native
+// model and each adapter (Hilda/Petri, VOV/trace, Philips-ELSIS/roadmap)
+// decompose into the same four levels.  Benchmarks measure the adapter
+// construction costs (the overhead of hosting the schedule model on another
+// representation).
+
+#include <iostream>
+
+#include "adapters/four_level.hpp"
+#include "adapters/petri.hpp"
+#include "adapters/roadmap.hpp"
+#include "adapters/trace.hpp"
+#include "bench_main.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+std::unique_ptr<hercules::WorkflowManager> scenario() {
+  auto m = bench::make_manager(bench::layered_schema(3, 3), "root");
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  m->execute_task("job", "pat").value();
+  return m;
+}
+
+void print_artifact() {
+  std::cout << adapters::render_table1() << "\n";
+
+  auto m = scenario();
+  std::cout << "Live demonstration (layered 3x3 flow, planned and executed):\n\n";
+  std::cout << adapters::render_four_level_report(m->schema(), m->db(),
+                                                  m->schedule_space(), m->store())
+            << "\n";
+  const auto& tree = *m->task("job").value();
+  auto petri = adapters::petri_from_task_tree(tree).take();
+  std::cout << "Hilda view:   " << petri.net.place_count() << " places, "
+            << petri.net.transition_count() << " transitions\n";
+  auto trace = adapters::TraceGraph::capture(m->db());
+  std::cout << "VOV view:     " << trace.transaction_count() << " transactions over "
+            << trace.object_count() << " design objects\n";
+  auto roadmap = adapters::RoadmapModel::from_schema(m->schema());
+  roadmap.instantiate(tree).expect("instantiate");
+  std::cout << "Roadmap view: " << roadmap.flow_types().size() << " flow types, "
+            << roadmap.instances().size() << " instances, "
+            << roadmap.channels().size() << " channels\n\n";
+}
+
+void BM_PetriConversion(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 3), "root");
+  const auto& tree = *m->task("job").value();
+  for (auto _ : state) {
+    auto conv = adapters::petri_from_task_tree(tree).take();
+    benchmark::DoNotOptimize(conv.net.place_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PetriConversion)->Arg(2)->Arg(8)->Arg(32)->Complexity();
+
+void BM_TraceCapture(benchmark::State& state) {
+  auto m = bench::make_manager(bench::chain_schema(8), "d8",
+                               cal::WorkDuration::minutes(5));
+  for (int i = 0; i < state.range(0); ++i) m->execute_task("job", "pat").value();
+  for (auto _ : state) {
+    auto trace = adapters::TraceGraph::capture(m->db());
+    benchmark::DoNotOptimize(trace.transaction_count());
+  }
+}
+BENCHMARK(BM_TraceCapture)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_RoadmapInstantiateVerify(benchmark::State& state) {
+  auto m = bench::make_manager(
+      bench::layered_schema(static_cast<std::size_t>(state.range(0)), 3), "root");
+  const auto& tree = *m->task("job").value();
+  auto model = adapters::RoadmapModel::from_schema(m->schema());
+  for (auto _ : state) {
+    model.instantiate(tree).expect("instantiate");
+    benchmark::DoNotOptimize(model.verify_against(tree).value().size());
+  }
+}
+BENCHMARK(BM_RoadmapInstantiateVerify)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

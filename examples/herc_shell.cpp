@@ -1,0 +1,29 @@
+// Interactive shell over the workflow manager — the scriptable stand-in for
+// the paper's Fig. 8 GUI.  Reads commands from stdin (one per line; try
+// `help`), so it works both interactively and piped:
+//
+//   echo 'help' | ./build/examples/herc_shell
+//   ./build/examples/herc_shell < session_script.txt
+
+#include <iostream>
+#include <string>
+
+#include "cli/cli.hpp"
+
+int main() {
+  herc::cli::CliSession session;
+  std::cout << "hercsched shell — 'help' lists commands, 'quit' exits\n";
+  std::string line;
+  while (!session.quit_requested()) {
+    std::cout << "herc> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    auto result = session.execute_line(line);
+    if (result.ok()) {
+      std::cout << result.value();
+    } else {
+      std::cout << "error: " << result.error().str() << "\n";
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

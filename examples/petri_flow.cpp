@@ -1,0 +1,99 @@
+// Generality demo: the same design flow driven through the three adapter
+// representations the paper surveys — Hilda's Petri nets, VOV's traces, and
+// the Philips/ELSIS data-flow roadmap — all mapping onto the identical
+// four-level core that hosts the schedule model.
+
+#include <iostream>
+
+#include "adapters/four_level.hpp"
+#include "adapters/petri.hpp"
+#include "adapters/roadmap.hpp"
+#include "adapters/trace.hpp"
+#include "hercules/workflow_manager.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kSchema = R"(
+schema filterchip {
+  data coeffs, stimuli, netlist, layout, waveforms;
+  tool filter_compiler, layout_tool, simulator;
+  rule Compile:  netlist   <- filter_compiler(coeffs);
+  rule Layout:   layout    <- layout_tool(netlist);
+  rule Simulate: waveforms <- simulator(layout, stimuli);
+}
+)";
+
+}  // namespace
+
+int main() {
+  auto m = hercules::WorkflowManager::create(kSchema, {}, /*tool_seed=*/3).take();
+  m->register_tool({.instance_name = "fircomp", .tool_type = "filter_compiler",
+                    .nominal = cal::WorkDuration::hours(3)})
+      .expect("tool");
+  m->register_tool({.instance_name = "lager", .tool_type = "layout_tool",
+                    .nominal = cal::WorkDuration::hours(7)})
+      .expect("tool");
+  m->register_tool({.instance_name = "spice3", .tool_type = "simulator",
+                    .nominal = cal::WorkDuration::hours(5)})
+      .expect("tool");
+
+  m->extract_task("filter", "waveforms").expect("extract");
+  m->bind("filter", "coeffs", "fir.coeffs").expect("bind");
+  m->bind("filter", "stimuli", "fir.stim").expect("bind");
+  m->bind("filter", "filter_compiler", "fircomp").expect("bind");
+  m->bind("filter", "layout_tool", "lager").expect("bind");
+  m->bind("filter", "simulator", "spice3").expect("bind");
+  const auto& tree = *m->task("filter").value();
+
+  // ---- 1. Hilda: Petri-net view --------------------------------------------
+  std::cout << "=== Hilda adapter: task tree as a Petri net ===\n";
+  auto conv = adapters::petri_from_task_tree(tree).take();
+  std::cout << conv.net.describe() << "\n";
+  auto firing = conv.net.run_to_quiescence();
+  std::cout << "firing sequence:";
+  for (auto t : firing) std::cout << " " << conv.activity_of_transition[t];
+  std::cout << "\ntarget place marked: "
+            << (conv.net.marking(conv.target_place) == 1 ? "yes" : "no") << "\n\n";
+
+  // ---- native execution (builds the metadata VOV will trace) ---------------
+  m->plan_task("filter", {.anchor = m->clock().now()}).value();
+  m->execute_task("filter", "pat").value();
+  m->run_activity("filter", "Simulate", "pat").value();  // one respin
+  for (const char* a : {"Compile", "Layout", "Simulate"})
+    m->link_completion("filter", a).expect("link");
+
+  // ---- 2. VOV: trace view ---------------------------------------------------
+  std::cout << "=== VOV adapter: execution captured as a trace ===\n";
+  auto trace = adapters::TraceGraph::capture(m->db());
+  std::cout << trace.describe() << "\n";
+  auto coeffs = m->db().latest_in_container("coeffs").value();
+  std::cout << "if fir.coeffs changes, re-run:";
+  for (auto rid : trace.affected_by(coeffs))
+    std::cout << " " << m->db().run(rid).activity;
+  std::cout << "\n\nflow derived from the trace (a-posteriori planning):\n";
+  for (const auto& a : trace.derive_flow()) {
+    std::cout << "  " << a.activity << " (" << a.observed_runs << " runs) after:";
+    if (a.predecessors.empty()) std::cout << " (nothing)";
+    for (const auto& p : a.predecessors) std::cout << " " << p;
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+
+  // ---- 3. Roadmap/ELSIS: data-flow view --------------------------------------
+  std::cout << "=== Roadmap adapter: schema as typed flow network ===\n";
+  auto roadmap = adapters::RoadmapModel::from_schema(m->schema());
+  roadmap.instantiate(tree).expect("instantiate");
+  std::cout << roadmap.describe();
+  std::cout << roadmap.verify_against(tree).value() << "\n\n";
+
+  // ---- all of them share the four levels --------------------------------------
+  std::cout << adapters::render_four_level_report(m->schema(), m->db(),
+                                                  m->schedule_space(), m->store());
+  std::cout << "\n"
+            << "Because every representation above fits these four levels, the\n"
+            << "Level-3 schedule objects (plans, schedule instances, links) apply\n"
+            << "to each of them unchanged -- the paper's generality claim.\n";
+  return 0;
+}

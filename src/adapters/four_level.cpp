@@ -1,0 +1,82 @@
+#include "adapters/four_level.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::adapters {
+
+std::vector<Table1Row> table1_rows() {
+  return {
+      {"RoadMap Model",
+       {"FlowType (Tool), Pin (PinType), Port (DataType)",
+        "Flow, InSlot, OutSlot, FlowHierarchy, PortInst, Channel",
+        "Run, Representation, RepUsage", "Representation, File Group"}},
+      {"ELSIS",
+       {"Tool, Task, Entity", "Task, Node, Arc", "ActivityRun, Transaction",
+        "Design Object"}},
+      {"Hercules",
+       {"FlowGraph, Tool Dep., Data Dep. (task schema)",
+        "Design Tasks (task trees)", "Entity Inst., Inst Dep. (runs)",
+        "Cyclops Data Object"}},
+      {"History Model",
+       {"Activity, Task Templates", "Design Activity", "Design Process",
+        "Data Object"}},
+      {"Hilda",
+       {"Transitions, Places, Arcs", "Patterns (Reusable)", "Tokens, Transitions, Places",
+        "Tokens, Places"}},
+      {"VOV",
+       {"(none: no a-priori flow)", "Trace", "Trace, Transaction", "Data Object"}},
+      {"+ Schedule ext. (this work)",
+       {"(unchanged)", "(unchanged)",
+        "ScheduleRun (plan), ScheduleNode, ScheduleDep, Link",
+        "(unchanged)"}},
+  };
+}
+
+std::string render_table1() {
+  auto rows = table1_rows();
+  std::string out =
+      "TABLE I. SYSTEM REPRESENTATION USING THE FOUR-LEVEL ARCHITECTURE\n";
+  const std::size_t name_w = 28;
+  out += util::pad_right("System", name_w);
+  for (int l = 1; l <= 4; ++l) out += util::pad_right("Level " + std::to_string(l), 48);
+  out += "\n" + util::repeat('-', name_w + 4 * 48) + "\n";
+  for (const auto& r : rows) {
+    out += util::pad_right(r.system, name_w);
+    for (const auto& cell : r.levels) out += util::pad_right(cell, 48);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_four_level_report(const schema::TaskSchema& schema,
+                                     const meta::Database& db,
+                                     const sched::ScheduleSpace& space,
+                                     const data::DataStore& store) {
+  std::size_t data_types = 0, tool_types = 0;
+  for (const auto& t : schema.types())
+    (t.kind == schema::EntityKind::kData ? data_types : tool_types)++;
+
+  std::size_t links = space.links().size();
+  std::size_t deps = 0;
+  for (const auto& p : space.plans()) deps += p.deps.size();
+
+  std::string out = "Four-level inventory of '" + schema.name() + "'\n";
+  out += "  Level 1 (flow elements):   " + std::to_string(data_types) +
+         " data types, " + std::to_string(tool_types) + " tool types, " +
+         std::to_string(schema.rules().size()) + " construction rules\n";
+  out += "  Level 2 (flow models):     task trees extracted on demand from the "
+         "schema (deterministic)\n";
+  out += "  Level 3 (execution space): " + std::to_string(db.instance_count()) +
+         " entity instances, " + std::to_string(db.run_count()) + " runs\n";
+  out += "  Level 3 (schedule space):  " + std::to_string(space.plans().size()) +
+         " plans, " + std::to_string(space.node_count()) + " schedule instances, " +
+         std::to_string(deps) + " schedule deps, " + std::to_string(links) +
+         " completion links\n";
+  out += "  Level 4 (design data):     " + std::to_string(store.size()) +
+         " data objects\n";
+  return out;
+}
+
+}  // namespace herc::adapters

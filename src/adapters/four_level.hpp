@@ -1,0 +1,44 @@
+#pragma once
+// The four-level architecture (van den Hamer & Treffers) as a reporting
+// surface: reproduces the paper's Table I and produces live four-level
+// inventories of a running system.
+//
+// Table I's content is the paper's survey of six systems; reproducing the
+// table means regenerating those rows.  The live report demonstrates the
+// claim behind the table: our native model and each adapter (Petri/Hilda,
+// trace/VOV, roadmap/ELSIS) all decompose into the same four levels, which
+// is why the Level-3 schedule model transfers across them.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/schedule_space.hpp"
+#include "data/data_store.hpp"
+#include "metadata/database.hpp"
+#include "schema/schema.hpp"
+
+namespace herc::adapters {
+
+/// One row of Table I.
+struct Table1Row {
+  std::string system;
+  std::array<std::string, 4> levels;  ///< objects at Levels 1..4
+};
+
+/// The paper's Table I ("System representation using the four-level
+/// architecture"), including the schedule extension row this work adds.
+[[nodiscard]] std::vector<Table1Row> table1_rows();
+
+/// Formatted Table I.
+[[nodiscard]] std::string render_table1();
+
+/// Live inventory: what the running system holds at each level, with object
+/// counts — the computational analogue of the Hercules column of Table I
+/// plus the paper's Fig. 2.
+[[nodiscard]] std::string render_four_level_report(const schema::TaskSchema& schema,
+                                                   const meta::Database& db,
+                                                   const sched::ScheduleSpace& space,
+                                                   const data::DataStore& store);
+
+}  // namespace herc::adapters

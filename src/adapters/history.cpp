@@ -1,0 +1,81 @@
+#include "adapters/history.hpp"
+
+#include <algorithm>
+
+namespace herc::adapters {
+
+HistoryModel HistoryModel::capture(const meta::Database& db) {
+  HistoryModel model(db);
+  for (const auto& inst : db.instances()) {
+    HistoryEvent e;
+    e.at = inst.created_at;
+    e.instance = inst.id;
+    if (inst.produced_by.valid()) {
+      e.kind = HistoryEvent::Kind::kDerive;
+      e.summary = "derive " + inst.str() + " by run " + inst.produced_by.str();
+    } else {
+      e.kind = HistoryEvent::Kind::kImport;
+      e.summary = "import " + inst.str();
+    }
+    model.events_.push_back(std::move(e));
+  }
+  for (const auto& run : db.runs()) {
+    HistoryEvent e;
+    e.kind = HistoryEvent::Kind::kRun;
+    e.at = run.finished_at;
+    e.run = run.id;
+    e.summary = run.str();
+    model.events_.push_back(std::move(e));
+  }
+  std::stable_sort(model.events_.begin(), model.events_.end(),
+                   [](const HistoryEvent& a, const HistoryEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     // Derivations land with their runs; order events at the
+                     // same instant by kind then id for determinism.
+                     auto rank = [](const HistoryEvent& e) {
+                       return e.kind == HistoryEvent::Kind::kRun ? 1 : 0;
+                     };
+                     if (rank(a) != rank(b)) return rank(a) < rank(b);
+                     if (a.instance != b.instance) return a.instance < b.instance;
+                     return a.run < b.run;
+                   });
+  return model;
+}
+
+HistorySnapshot HistoryModel::state_at(cal::WorkInstant t) const {
+  HistorySnapshot snap;
+  snap.as_of = t;
+  for (const auto& inst : db_->instances())
+    if (inst.created_at <= t) ++snap.instances;
+  for (const auto& run : db_->runs())
+    if (run.finished_at <= t) ++snap.runs;
+  for (const auto& type : db_->schema().types()) {
+    if (type.kind != schema::EntityKind::kData) continue;
+    std::vector<meta::EntityInstanceId> present;
+    for (meta::EntityInstanceId id : db_->container(type.name))
+      if (db_->instance(id).created_at <= t) present.push_back(id);
+    snap.containers.emplace_back(type.name, std::move(present));
+  }
+  return snap;
+}
+
+std::vector<HistoryModel::VersionStep> HistoryModel::version_chain(
+    const std::string& type_name, const std::string& name) const {
+  std::vector<VersionStep> out;
+  for (meta::EntityInstanceId id : db_->container(type_name)) {
+    const auto& inst = db_->instance(id);
+    if (inst.name != name) continue;
+    out.push_back(VersionStep{id, inst.produced_by, inst.created_at});
+  }
+  return out;
+}
+
+std::string HistoryModel::describe(const cal::WorkCalendar& calendar) const {
+  std::string out =
+      "Design history (" + std::to_string(events_.size()) + " events)\n";
+  for (const auto& e : events_)
+    out += "  " + calendar.format(e.at) + "  " + e.summary + "\n";
+  return out;
+}
+
+}  // namespace herc::adapters

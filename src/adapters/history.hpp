@@ -1,0 +1,74 @@
+#pragma once
+// History model (the UC-Berkeley representation of Chiueh & Katz).
+//
+// "The History Model is a CAD system developed at U.C. Berkeley to provide
+//  support for the dynamic aspects of VLSI design.  The model is based on a
+//  task specification language and provides an integrated framework for
+//  managing both design operations and design data." — paper, Sec. II
+//
+// Its essence is the design process as an ordered history of operations over
+// design data.  This adapter derives that history from the execution-space
+// metadata and provides the model's characteristic capability: *temporal*
+// views — the state of every entity container as of any past instant, which
+// design data existed, and which operations had run.  Views are read-only
+// reconstructions (the metadata database itself is append-only, so history
+// is always fully recoverable).
+
+#include <string>
+#include <vector>
+
+#include "metadata/database.hpp"
+
+namespace herc::adapters {
+
+/// One step of the recovered design process.
+struct HistoryEvent {
+  enum class Kind { kImport, kRun, kDerive };
+  Kind kind = Kind::kRun;
+  cal::WorkInstant at;
+  meta::RunId run;                     ///< valid for kRun
+  meta::EntityInstanceId instance;     ///< valid for kImport / kDerive
+  std::string summary;                 ///< one-line description
+};
+
+/// Snapshot of the database as of an instant.
+struct HistorySnapshot {
+  cal::WorkInstant as_of;
+  std::size_t instances = 0;
+  std::size_t runs = 0;
+  /// Entity container contents as of `as_of`, per data type in schema order.
+  std::vector<std::pair<std::string, std::vector<meta::EntityInstanceId>>> containers;
+};
+
+class HistoryModel {
+ public:
+  /// Derives the full operation history from the database.  Events are
+  /// ordered by time (instances by creation, runs by finish), ties by id.
+  [[nodiscard]] static HistoryModel capture(const meta::Database& db);
+
+  [[nodiscard]] const std::vector<HistoryEvent>& events() const { return events_; }
+
+  /// State of the database as of `t` (inclusive).
+  [[nodiscard]] HistorySnapshot state_at(cal::WorkInstant t) const;
+
+  /// The version chain of a design-data name within a type: every instance
+  /// of (type, name) in creation order, with the run that produced each.
+  struct VersionStep {
+    meta::EntityInstanceId instance;
+    meta::RunId produced_by;  ///< invalid for imports
+    cal::WorkInstant at;
+  };
+  [[nodiscard]] std::vector<VersionStep> version_chain(const std::string& type_name,
+                                                       const std::string& name) const;
+
+  /// Timeline rendering (the History Model's process view).
+  [[nodiscard]] std::string describe(const cal::WorkCalendar& calendar) const;
+
+ private:
+  explicit HistoryModel(const meta::Database& db) : db_(&db) {}
+
+  const meta::Database* db_;
+  std::vector<HistoryEvent> events_;
+};
+
+}  // namespace herc::adapters

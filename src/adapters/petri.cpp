@@ -1,0 +1,155 @@
+#include "adapters/petri.hpp"
+
+#include <stdexcept>
+
+namespace herc::adapters {
+
+PetriNet::PlaceId PetriNet::add_place(const std::string& name, int tokens) {
+  places_.push_back(Place{name, tokens});
+  return places_.size() - 1;
+}
+
+PetriNet::TransitionId PetriNet::add_transition(const std::string& name) {
+  transitions_.push_back(Transition{name, {}, {}});
+  return transitions_.size() - 1;
+}
+
+void PetriNet::add_input_arc(PlaceId from, TransitionId to) {
+  transitions_.at(to).inputs.push_back(from);
+  (void)places_.at(from);
+}
+
+void PetriNet::add_output_arc(TransitionId from, PlaceId to) {
+  transitions_.at(from).outputs.push_back(to);
+  (void)places_.at(to);
+}
+
+const std::string& PetriNet::place_name(PlaceId p) const { return places_.at(p).name; }
+
+const std::string& PetriNet::transition_name(TransitionId t) const {
+  return transitions_.at(t).name;
+}
+
+int PetriNet::marking(PlaceId p) const { return places_.at(p).tokens; }
+
+bool PetriNet::enabled(TransitionId t) const {
+  // Multiple arcs from the same place need that many tokens.
+  std::unordered_map<PlaceId, int> need;
+  for (PlaceId p : transitions_.at(t).inputs) ++need[p];
+  for (const auto& [p, n] : need)
+    if (places_[p].tokens < n) return false;
+  return !transitions_[t].inputs.empty() || !transitions_[t].outputs.empty();
+}
+
+std::vector<PetriNet::TransitionId> PetriNet::enabled_transitions() const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t)
+    if (enabled(t)) out.push_back(t);
+  return out;
+}
+
+util::Status PetriNet::fire(TransitionId t) {
+  if (t >= transitions_.size())
+    return util::not_found("petri: unknown transition " + std::to_string(t));
+  if (!enabled(t))
+    return util::conflict("petri: transition '" + transitions_[t].name +
+                          "' is not enabled");
+  for (PlaceId p : transitions_[t].inputs) --places_[p].tokens;
+  for (PlaceId p : transitions_[t].outputs) ++places_[p].tokens;
+  return util::Status::ok_status();
+}
+
+std::vector<PetriNet::TransitionId> PetriNet::run_to_quiescence(
+    std::size_t max_firings) {
+  std::vector<TransitionId> sequence;
+  while (sequence.size() < max_firings) {
+    auto ready = enabled_transitions();
+    if (ready.empty()) break;
+    fire(ready.front()).expect("petri: firing an enabled transition");
+    sequence.push_back(ready.front());
+  }
+  return sequence;
+}
+
+std::string PetriNet::describe() const {
+  std::string out = "Petri net: " + std::to_string(places_.size()) + " places, " +
+                    std::to_string(transitions_.size()) + " transitions\n";
+  for (PlaceId p = 0; p < places_.size(); ++p) {
+    out += "  place " + places_[p].name + " [";
+    for (int i = 0; i < places_[p].tokens; ++i) out += "*";
+    out += "]\n";
+  }
+  for (const auto& t : transitions_) {
+    out += "  transition " + t.name + ": (";
+    for (std::size_t i = 0; i < t.inputs.size(); ++i)
+      out += (i ? ", " : "") + places_[t.inputs[i]].name;
+    out += ") -> (";
+    for (std::size_t i = 0; i < t.outputs.size(); ++i)
+      out += (i ? ", " : "") + places_[t.outputs[i]].name;
+    out += ")\n";
+  }
+  return out;
+}
+
+util::Result<PetriConversion> petri_from_task_tree(const flow::TaskTree& tree) {
+  PetriConversion conv;
+  const auto& schema = tree.schema();
+
+  // One place per tree node (distinct branches of the same type stay
+  // distinct); tools get one shared place per tool type (reusable resource).
+  std::unordered_map<std::uint64_t, PetriNet::PlaceId> place_of_node;
+  std::unordered_map<std::uint64_t, PetriNet::PlaceId> place_of_tool_type;
+
+  for (const auto& node : tree.nodes()) {
+    const std::string& type_name = schema.type(node.type).name;
+    switch (node.kind) {
+      case flow::NodeKind::kDataLeaf:
+        // Bound inputs are available: one token.
+        place_of_node[node.id.value()] = conv.net.add_place(
+            type_name + "@" + node.id.str(), node.binding.empty() ? 0 : 1);
+        break;
+      case flow::NodeKind::kActivity:
+        place_of_node[node.id.value()] =
+            conv.net.add_place(type_name + "@" + node.id.str(), 0);
+        break;
+      case flow::NodeKind::kToolLeaf: {
+        auto key = node.type.value();
+        if (!place_of_tool_type.count(key)) {
+          place_of_tool_type[key] = conv.net.add_place("tool:" + type_name, 1);
+        }
+        break;
+      }
+    }
+  }
+
+  for (flow::TaskNodeId act : tree.activities_post_order()) {
+    const auto& node = tree.node(act);
+    auto t = conv.net.add_transition(tree.activity_name(act));
+    conv.activity_of_transition.push_back(tree.activity_name(act));
+    // One-shot control token: each activity instance of the task fires once
+    // (without it a transition consuming only its returned tool place would
+    // re-fire forever).
+    auto ready = conv.net.add_place("ready:" + tree.activity_name(act), 1);
+    conv.net.add_input_arc(ready, t);
+    for (flow::TaskNodeId child_id : node.children) {
+      const auto& child = tree.node(child_id);
+      if (child.kind == flow::NodeKind::kToolLeaf) {
+        PetriNet::PlaceId tool = place_of_tool_type.at(child.type.value());
+        conv.net.add_input_arc(tool, t);
+        conv.net.add_output_arc(t, tool);  // the tool is returned after use
+      } else {
+        // Data is *read*, not consumed: the token returns so an output
+        // shared by several consumers enables all of them.
+        PetriNet::PlaceId data = place_of_node.at(child_id.value());
+        conv.net.add_input_arc(data, t);
+        conv.net.add_output_arc(t, data);
+      }
+    }
+    conv.net.add_output_arc(t, place_of_node.at(node.id.value()));
+  }
+
+  conv.target_place = place_of_node.at(tree.root().value());
+  return conv;
+}
+
+}  // namespace herc::adapters

@@ -1,0 +1,99 @@
+#pragma once
+// Petri-net flow model (the Hilda representation).
+//
+// "Hilda is a CAD Framework ... that uses a Petri net representation to
+//  describe design flows.  Since Hilda uses a Petri Net representation for
+//  the process flow, the functional building blocks are those associated
+//  with a Petri Net model." — paper, Sec. II
+//
+// The paper argues any flow manager fitting the four-level architecture can
+// host the schedule model.  This adapter demonstrates that for Hilda's
+// representation: a task tree converts to a Petri net (activity ->
+// transition, data type -> place), the net executes by token firing, and the
+// firing sequence respects exactly the partial order the native executor
+// respects — so the same schedule instances describe both.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/task_tree.hpp"
+#include "util/result.hpp"
+
+namespace herc::adapters {
+
+/// A plain place/transition Petri net with non-negative integer markings.
+class PetriNet {
+ public:
+  using PlaceId = std::size_t;
+  using TransitionId = std::size_t;
+
+  /// Adds a place with an initial marking.
+  PlaceId add_place(const std::string& name, int tokens = 0);
+  /// Adds a transition; arcs are added separately.
+  TransitionId add_transition(const std::string& name);
+
+  void add_input_arc(PlaceId from, TransitionId to);   ///< place -> transition
+  void add_output_arc(TransitionId from, PlaceId to);  ///< transition -> place
+
+  [[nodiscard]] std::size_t place_count() const { return places_.size(); }
+  [[nodiscard]] std::size_t transition_count() const { return transitions_.size(); }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const;
+  [[nodiscard]] const std::string& transition_name(TransitionId t) const;
+  [[nodiscard]] int marking(PlaceId p) const;
+
+  /// A transition is enabled iff every input place holds a token.
+  [[nodiscard]] bool enabled(TransitionId t) const;
+  [[nodiscard]] std::vector<TransitionId> enabled_transitions() const;
+
+  /// Fires the transition: consumes one token per input arc, produces one
+  /// per output arc.  kConflict if not enabled.
+  util::Status fire(TransitionId t);
+
+  /// Fires enabled transitions (lowest id first) until none is enabled or
+  /// `max_firings` is reached; returns the firing sequence.
+  [[nodiscard]] std::vector<TransitionId> run_to_quiescence(
+      std::size_t max_firings = 100000);
+
+  /// True if no transition is enabled.
+  [[nodiscard]] bool quiescent() const { return enabled_transitions().empty(); }
+
+  /// Human dump: places with markings, transitions with arcs.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Place {
+    std::string name;
+    int tokens = 0;
+  };
+  struct Transition {
+    std::string name;
+    std::vector<PlaceId> inputs;
+    std::vector<PlaceId> outputs;
+  };
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+};
+
+/// Conversion of a task tree to a Petri net:
+///   - every tree node's data type gets a place (one per shared node);
+///   - every activity gets a transition reading its input data places
+///     (token consumed and returned: data is read, not destroyed, so shared
+///     outputs enable every consumer), consuming its tool place (returned
+///     after use: tools are reusable resources) and a one-shot "ready"
+///     control place (not returned: each activity instance fires once),
+///     and producing its output place;
+///   - bound data leaves, tools and control places start with one token.
+struct PetriConversion {
+  PetriNet net;
+  /// transition id -> activity name, for comparing firing order with the
+  /// native execution order.
+  std::vector<std::string> activity_of_transition;
+  PetriNet::PlaceId target_place = 0;  ///< place of the root output
+};
+
+[[nodiscard]] util::Result<PetriConversion> petri_from_task_tree(
+    const flow::TaskTree& tree);
+
+}  // namespace herc::adapters

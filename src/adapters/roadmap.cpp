@@ -1,0 +1,117 @@
+#include "adapters/roadmap.hpp"
+
+#include <unordered_set>
+
+namespace herc::adapters {
+
+RoadmapModel RoadmapModel::from_schema(const schema::TaskSchema& schema) {
+  RoadmapModel m;
+  m.schema_ = &schema;
+  for (const auto& rule : schema.rules()) {
+    FlowType ft;
+    ft.name = rule.activity;
+    ft.tool_type = schema.type(rule.tool).name;
+    int pin_no = 0;
+    for (schema::EntityTypeId in : rule.inputs) {
+      ft.pins.push_back(
+          Pin{"in" + std::to_string(pin_no++), schema.type(in).name, true});
+    }
+    ft.pins.push_back(Pin{"out", schema.type(rule.output).name, false});
+    m.types_.push_back(std::move(ft));
+  }
+  return m;
+}
+
+std::optional<std::size_t> RoadmapModel::find_flow_type(const std::string& name) const {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].name == name) return i;
+  return std::nullopt;
+}
+
+util::Status RoadmapModel::instantiate(const flow::TaskTree& tree) {
+  if (&tree.schema() != schema_)
+    return util::invalid("roadmap: task tree uses a different schema");
+  instances_.clear();
+  channels_.clear();
+
+  std::unordered_map<std::uint64_t, std::size_t> instance_of_node;
+  for (flow::TaskNodeId act : tree.activities_post_order()) {
+    FlowInstance fi;
+    fi.id = instances_.size();
+    fi.flow_type = tree.activity_name(act);
+    instance_of_node[act.value()] = fi.id;
+    instances_.push_back(std::move(fi));
+  }
+  for (flow::TaskNodeId act : tree.activities_post_order()) {
+    const auto& node = tree.node(act);
+    int pin_no = 0;
+    for (flow::TaskNodeId child_id : node.children) {
+      const auto& child = tree.node(child_id);
+      if (child.kind == flow::NodeKind::kToolLeaf) continue;
+      if (child.kind == flow::NodeKind::kActivity) {
+        channels_.push_back(Channel{instance_of_node.at(child_id.value()),
+                                    instance_of_node.at(act.value()),
+                                    "in" + std::to_string(pin_no)});
+      }
+      ++pin_no;  // data leaves occupy a pin slot but get no channel
+    }
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<std::string> RoadmapModel::verify_against(
+    const flow::TaskTree& tree) const {
+  auto activities = tree.activities_post_order();
+  if (instances_.size() != activities.size())
+    return util::invalid("roadmap: instance count " +
+                         std::to_string(instances_.size()) + " != activity count " +
+                         std::to_string(activities.size()));
+
+  // Count the tree's activity-to-activity edges.
+  std::size_t tree_edges = 0;
+  for (flow::TaskNodeId act : activities) {
+    for (flow::TaskNodeId child : tree.node(act).children)
+      if (tree.node(child).kind == flow::NodeKind::kActivity) ++tree_edges;
+  }
+  if (channels_.size() != tree_edges)
+    return util::invalid("roadmap: channel count " + std::to_string(channels_.size()) +
+                         " != tree edge count " + std::to_string(tree_edges));
+
+  // Pin-type agreement on every channel.
+  for (const auto& ch : channels_) {
+    const FlowType& from = types_[*find_flow_type(instances_[ch.from_instance].flow_type)];
+    const FlowType& to = types_[*find_flow_type(instances_[ch.to_instance].flow_type)];
+    const Pin* to_pin = nullptr;
+    for (const auto& p : to.pins)
+      if (p.name == ch.to_pin) to_pin = &p;
+    if (!to_pin)
+      return util::invalid("roadmap: channel references unknown pin '" + ch.to_pin + "'");
+    if (from.output().data_type != to_pin->data_type)
+      return util::invalid("roadmap: channel type mismatch " + from.output().data_type +
+                           " -> " + to_pin->data_type);
+  }
+
+  return std::string("roadmap network isomorphic to task tree: ") +
+         std::to_string(instances_.size()) + " instances, " +
+         std::to_string(channels_.size()) + " channels, all pin types agree";
+}
+
+std::string RoadmapModel::describe() const {
+  std::string out = "Roadmap model: " + std::to_string(types_.size()) + " flow types\n";
+  for (const auto& t : types_) {
+    out += "  flowtype " + t.name + " (tool " + t.tool_type + "): ";
+    for (std::size_t i = 0; i + 1 < t.pins.size(); ++i)
+      out += (i ? ", " : "") + t.pins[i].name + ":" + t.pins[i].data_type;
+    out += " -> " + t.output().data_type + "\n";
+  }
+  if (!instances_.empty()) {
+    out += "  network: " + std::to_string(instances_.size()) + " instances, " +
+           std::to_string(channels_.size()) + " channels\n";
+    for (const auto& ch : channels_)
+      out += "    " + instances_[ch.from_instance].flow_type + " ==> " +
+             instances_[ch.to_instance].flow_type + "." + ch.to_pin + "\n";
+  }
+  return out;
+}
+
+}  // namespace herc::adapters

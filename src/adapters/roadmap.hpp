@@ -1,0 +1,87 @@
+#pragma once
+// Data-flow roadmap model (the Philips Roadmap / ELSIS representation).
+//
+// "The Data Flow Based Architecture or Roadmap Model ... is based on the
+//  Object Type Oriented Data Model.  The structure of the RoadMap Model
+//  introduced the idea of a multi-level architecture for a flow model."
+//                                                       — paper, Sec. II
+//
+// Roadmap's Level-1 objects are FlowTypes with typed Pins; Level-2 objects
+// are Flow instances whose InSlots/OutSlots are wired by Channels.  This
+// adapter expresses a task schema in those terms, wires a flow network
+// equivalent to a task tree, and verifies the two are isomorphic — the
+// structural half of the paper's claim that the schedule model transfers to
+// roadmap-style systems.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/task_tree.hpp"
+#include "schema/schema.hpp"
+#include "util/result.hpp"
+
+namespace herc::adapters {
+
+/// Level-1: a typed pin of a FlowType.
+struct Pin {
+  std::string name;       ///< pin label, unique within the flow type
+  std::string data_type;  ///< entity-type name the pin carries
+  bool is_input = true;
+};
+
+/// Level-1: a flow type (Roadmap's reusable building block; corresponds to
+/// one construction rule + its tool).
+struct FlowType {
+  std::string name;  ///< activity name
+  std::string tool_type;
+  std::vector<Pin> pins;  ///< inputs in rule order, then the single output
+
+  [[nodiscard]] const Pin& output() const { return pins.back(); }
+};
+
+/// Level-2: an instance of a FlowType placed in a flow network.
+struct FlowInstance {
+  std::size_t id = 0;
+  std::string flow_type;  ///< FlowType::name
+};
+
+/// Level-2: a channel from an OutSlot to an InSlot.
+struct Channel {
+  std::size_t from_instance;  ///< producer FlowInstance id
+  std::size_t to_instance;    ///< consumer FlowInstance id
+  std::string to_pin;         ///< consumer's input pin name
+};
+
+/// The roadmap view of one schema + one task tree.
+class RoadmapModel {
+ public:
+  /// Level-1 conversion: one FlowType per construction rule.
+  [[nodiscard]] static RoadmapModel from_schema(const schema::TaskSchema& schema);
+
+  [[nodiscard]] const std::vector<FlowType>& flow_types() const { return types_; }
+  [[nodiscard]] std::optional<std::size_t> find_flow_type(const std::string& name) const;
+
+  /// Level-2 conversion: instantiates the flow network equivalent to `tree`.
+  /// Fails if the tree's schema differs from this model's.
+  util::Status instantiate(const flow::TaskTree& tree);
+
+  [[nodiscard]] const std::vector<FlowInstance>& instances() const { return instances_; }
+  [[nodiscard]] const std::vector<Channel>& channels() const { return channels_; }
+
+  /// Structural check: the flow network has exactly one instance per tree
+  /// activity and one channel per activity-to-activity edge, with matching
+  /// pin types.  Returns a human-readable isomorphism report.
+  [[nodiscard]] util::Result<std::string> verify_against(const flow::TaskTree& tree) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  const schema::TaskSchema* schema_ = nullptr;
+  std::vector<FlowType> types_;
+  std::vector<FlowInstance> instances_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace herc::adapters

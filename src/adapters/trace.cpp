@@ -1,0 +1,117 @@
+#include "adapters/trace.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace herc::adapters {
+
+TraceGraph TraceGraph::capture(const meta::Database& db) {
+  TraceGraph g(db);
+  for (const auto& run : db.runs()) {
+    if (run.status != meta::RunStatus::kCompleted) continue;
+    g.transactions_.push_back(run.id);
+    for (meta::EntityInstanceId in : run.inputs)
+      g.consumers_[in.value()].push_back(run.id);
+  }
+  for (const auto& inst : db.instances()) g.objects_.push_back(inst.id);
+  return g;
+}
+
+std::vector<meta::RunId> TraceGraph::affected_by(meta::EntityInstanceId instance) const {
+  // BFS downstream: instance -> consuming transactions -> their outputs -> ...
+  std::vector<meta::RunId> out;
+  std::unordered_set<std::uint64_t> seen_runs;
+  std::queue<meta::EntityInstanceId> frontier;
+  frontier.push(instance);
+  std::unordered_set<std::uint64_t> seen_objects{instance.value()};
+
+  while (!frontier.empty()) {
+    meta::EntityInstanceId obj = frontier.front();
+    frontier.pop();
+    auto it = consumers_.find(obj.value());
+    if (it == consumers_.end()) continue;
+    for (meta::RunId rid : it->second) {
+      if (!seen_runs.insert(rid.value()).second) continue;
+      out.push_back(rid);
+      const meta::Run& run = db_->run(rid);
+      if (run.output.valid() && seen_objects.insert(run.output.value()).second)
+        frontier.push(run.output);
+    }
+  }
+  std::sort(out.begin(), out.end());  // execution order = id order
+  return out;
+}
+
+std::vector<meta::EntityInstanceId> TraceGraph::invalidated_by(
+    meta::EntityInstanceId instance) const {
+  std::vector<meta::EntityInstanceId> out;
+  for (meta::RunId rid : affected_by(instance)) {
+    const meta::Run& run = db_->run(rid);
+    if (run.output.valid()) out.push_back(run.output);
+  }
+  return out;
+}
+
+std::vector<meta::EntityInstanceId> TraceGraph::stale_instances() const {
+  std::vector<meta::EntityInstanceId> out;
+  for (const auto& inst : db_->instances()) {
+    if (!inst.produced_by.valid()) continue;  // imports are never stale
+    // Only the latest version of a (type, name) can be stale.
+    auto latest = db_->latest_named(inst.type_name, inst.name);
+    if (!latest || *latest != inst.id) continue;
+    for (meta::EntityInstanceId in : db_->run(inst.produced_by).inputs) {
+      const auto& input = db_->instance(in);
+      auto newest_input = db_->latest_named(input.type_name, input.name);
+      if (newest_input && *newest_input != in) {
+        out.push_back(inst.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TraceGraph::DerivedActivity> TraceGraph::derive_flow() const {
+  // Distinct activities in first-observed order.
+  std::vector<DerivedActivity> out;
+  std::unordered_map<std::string, std::size_t> index;
+  for (meta::RunId rid : transactions_) {
+    const meta::Run& run = db_->run(rid);
+    auto it = index.find(run.activity);
+    if (it == index.end()) {
+      index[run.activity] = out.size();
+      out.push_back(DerivedActivity{run.activity, {}, 0});
+      it = index.find(run.activity);
+    }
+    DerivedActivity& act = out[it->second];
+    ++act.observed_runs;
+    // Predecessor activities: the producers of this run's inputs.
+    for (meta::EntityInstanceId in : run.inputs) {
+      const auto& inst = db_->instance(in);
+      if (!inst.produced_by.valid()) continue;  // imported primary input
+      const std::string& pred = db_->run(inst.produced_by).activity;
+      if (std::find(act.predecessors.begin(), act.predecessors.end(), pred) ==
+          act.predecessors.end())
+        act.predecessors.push_back(pred);
+    }
+  }
+  return out;
+}
+
+std::string TraceGraph::describe() const {
+  std::string out = "Trace: " + std::to_string(transactions_.size()) +
+                    " transactions over " + std::to_string(objects_.size()) +
+                    " design objects\n";
+  for (meta::RunId rid : transactions_) {
+    const meta::Run& run = db_->run(rid);
+    out += "  txn " + rid.str() + " [" + run.activity + "] (";
+    for (std::size_t i = 0; i < run.inputs.size(); ++i)
+      out += (i ? ", " : "") + db_->instance(run.inputs[i]).str();
+    out += ") -> ";
+    out += run.output.valid() ? db_->instance(run.output).str() : "(failed)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace herc::adapters

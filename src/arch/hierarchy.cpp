@@ -1,0 +1,154 @@
+#include "arch/hierarchy.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace herc::arch {
+
+DesignHierarchy::DesignHierarchy(std::string root_name) {
+  components_.push_back(Component{std::move(root_name), std::nullopt, {}, {}});
+}
+
+util::Result<ComponentId> DesignHierarchy::add_component(ComponentId parent,
+                                                         const std::string& name) {
+  if (parent >= components_.size())
+    return util::not_found("hierarchy: no component " + std::to_string(parent));
+  if (name.empty()) return util::invalid("hierarchy: empty component name");
+  if (find(name))
+    return util::conflict("hierarchy: duplicate component name '" + name + "'");
+  if (!components_[parent].task.empty())
+    return util::conflict("hierarchy: component '" + components_[parent].name +
+                          "' is bound to task '" + components_[parent].task +
+                          "' and cannot have children");
+  ComponentId id = components_.size();
+  components_.push_back(Component{name, parent, {}, {}});
+  components_[parent].children.push_back(id);
+  return id;
+}
+
+util::Status DesignHierarchy::assign_task(ComponentId component,
+                                          const std::string& task_name) {
+  if (component >= components_.size())
+    return util::not_found("hierarchy: no component " + std::to_string(component));
+  Component& c = components_[component];
+  if (!c.children.empty())
+    return util::conflict("hierarchy: '" + c.name +
+                          "' has subcomponents; only leaves carry tasks");
+  if (!c.task.empty())
+    return util::conflict("hierarchy: '" + c.name + "' already bound to task '" +
+                          c.task + "'");
+  if (task_name.empty()) return util::invalid("hierarchy: empty task name");
+  c.task = task_name;
+  return util::Status::ok_status();
+}
+
+const std::string& DesignHierarchy::name(ComponentId id) const {
+  return components_.at(id).name;
+}
+
+const std::vector<ComponentId>& DesignHierarchy::children(ComponentId id) const {
+  return components_.at(id).children;
+}
+
+std::optional<ComponentId> DesignHierarchy::parent(ComponentId id) const {
+  return components_.at(id).parent;
+}
+
+const std::string& DesignHierarchy::task(ComponentId id) const {
+  return components_.at(id).task;
+}
+
+std::optional<ComponentId> DesignHierarchy::find(const std::string& name) const {
+  for (ComponentId i = 0; i < components_.size(); ++i)
+    if (components_[i].name == name) return i;
+  return std::nullopt;
+}
+
+std::vector<ComponentId> DesignHierarchy::preorder() const {
+  std::vector<ComponentId> out;
+  std::vector<ComponentId> stack{root()};
+  while (!stack.empty()) {
+    ComponentId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    const auto& kids = components_[id].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<ComponentId> DesignHierarchy::bound_leaves() const {
+  std::vector<ComponentId> out;
+  for (ComponentId id : preorder())
+    if (!components_[id].task.empty()) out.push_back(id);
+  return out;
+}
+
+namespace {
+
+util::Json component_to_json(const DesignHierarchy& h, ComponentId id) {
+  util::JsonObject o;
+  o.set("name", h.name(id));
+  if (!h.task(id).empty()) o.set("task", h.task(id));
+  if (!h.children(id).empty()) {
+    util::JsonArray kids;
+    for (ComponentId child : h.children(id))
+      kids.push_back(component_to_json(h, child));
+    o.set("children", std::move(kids));
+  }
+  return util::Json(std::move(o));
+}
+
+util::Status load_component(DesignHierarchy& h, ComponentId parent,
+                            const util::Json& node) {
+  if (!node.is_object()) return util::parse_error("hierarchy: component not an object");
+  const auto& o = node.as_object();
+  if (!o.contains("name")) return util::parse_error("hierarchy: component lacks name");
+  auto id = h.add_component(parent, o.at("name").as_string());
+  if (!id.ok()) return id.error();
+  if (o.contains("task")) {
+    auto st = h.assign_task(id.value(), o.at("task").as_string());
+    if (!st.ok()) return st;
+  }
+  if (o.contains("children")) {
+    for (const auto& child : o.at("children").as_array()) {
+      auto st = load_component(h, id.value(), child);
+      if (!st.ok()) return st;
+    }
+  }
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
+std::string DesignHierarchy::to_json() const {
+  return component_to_json(*this, root()).dump(2) + "\n";
+}
+
+util::Result<DesignHierarchy> DesignHierarchy::from_json(std::string_view text) {
+  auto parsed = util::Json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const util::Json& root_json = parsed.value();
+  if (!root_json.is_object() || !root_json.as_object().contains("name"))
+    return util::parse_error("hierarchy: root must be an object with a name");
+  try {
+    const auto& o = root_json.as_object();
+    DesignHierarchy h(o.at("name").as_string());
+    if (o.contains("task")) {
+      auto st = h.assign_task(h.root(), o.at("task").as_string());
+      if (!st.ok()) return st.error();
+    }
+    if (o.contains("children")) {
+      for (const auto& child : o.at("children").as_array()) {
+        auto st = load_component(h, h.root(), child);
+        if (!st.ok()) return st.error();
+      }
+    }
+    return h;
+  } catch (const std::bad_variant_access&) {
+    return util::parse_error("hierarchy: field has wrong JSON type");
+  }
+}
+
+}  // namespace herc::arch

@@ -1,0 +1,76 @@
+#pragma once
+// Architectural decomposition for schedules.
+//
+// "Future work will focus on developing a schedule model that considers the
+//  architectural decomposition as well as the task flow, along the lines of
+//  the model described in [Jacome & Director, ICCAD'94].  This will allow
+//  greater precision in tracking, predicting, and optimizing design
+//  schedules." — paper, Sec. V
+//
+// This module implements that extension: a design hierarchy (chip ->
+// subsystems -> blocks) whose leaf components are bound to workflow tasks.
+// Each leaf's schedule comes from its task's plan in the ordinary schedule
+// space; internal components roll their children up, giving the project
+// manager block-level and system-level dates, completion percentages and
+// slips without leaving the flow manager.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace herc::arch {
+
+using ComponentId = std::size_t;
+
+/// The product decomposition tree.  Components are created top-down; leaf
+/// components may be bound to a workflow task name.
+class DesignHierarchy {
+ public:
+  explicit DesignHierarchy(std::string root_name);
+
+  [[nodiscard]] ComponentId root() const { return 0; }
+
+  /// Adds a child component.  kNotFound on a bad parent, kConflict on a
+  /// duplicate name anywhere in the hierarchy (names are global handles) or
+  /// if the parent is already bound to a task (task-bound components are
+  /// leaves).
+  util::Result<ComponentId> add_component(ComponentId parent, const std::string& name);
+
+  /// Binds a LEAF component to a workflow task.  kConflict if the component
+  /// has children or is already bound.
+  util::Status assign_task(ComponentId component, const std::string& task_name);
+
+  [[nodiscard]] std::size_t size() const { return components_.size(); }
+  [[nodiscard]] const std::string& name(ComponentId id) const;
+  [[nodiscard]] const std::vector<ComponentId>& children(ComponentId id) const;
+  [[nodiscard]] std::optional<ComponentId> parent(ComponentId id) const;
+  /// Bound task name; empty if unbound.
+  [[nodiscard]] const std::string& task(ComponentId id) const;
+  [[nodiscard]] std::optional<ComponentId> find(const std::string& name) const;
+
+  /// Depth-first pre-order over the whole hierarchy (root first).
+  [[nodiscard]] std::vector<ComponentId> preorder() const;
+
+  /// Leaves bound to tasks, in pre-order.
+  [[nodiscard]] std::vector<ComponentId> bound_leaves() const;
+
+  /// JSON persistence (hierarchies live beside the workflow database; the
+  /// format is a nested component tree).  to_json -> from_json -> to_json is
+  /// a fixed point.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static util::Result<DesignHierarchy> from_json(std::string_view text);
+
+ private:
+  struct Component {
+    std::string name;
+    std::optional<ComponentId> parent;
+    std::vector<ComponentId> children;
+    std::string task;
+  };
+  std::vector<Component> components_;
+};
+
+}  // namespace herc::arch

@@ -1,0 +1,183 @@
+#include "arch/rollup.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::arch {
+
+util::Result<ArchSchedule> ArchSchedule::compute(
+    const DesignHierarchy& hierarchy, const hercules::WorkflowManager& manager) {
+  if (hierarchy.bound_leaves().empty())
+    return util::invalid("arch: hierarchy has no component bound to a task");
+
+  ArchSchedule result;
+  result.hierarchy_ = &hierarchy;
+  auto order = hierarchy.preorder();
+  result.row_index_.assign(hierarchy.size(), 0);
+
+  // Depth via parent lookups (pre-order guarantees parents precede children).
+  std::vector<int> depth(hierarchy.size(), 0);
+  for (ComponentId id : order)
+    if (auto p = hierarchy.parent(id)) depth[id] = depth[*p] + 1;
+
+  // Build rows pre-order; fill leaves, then aggregate bottom-up (post-order
+  // = reverse pre-order works for aggregation since children follow parents).
+  for (ComponentId id : order) {
+    ComponentStatus row;
+    row.component = id;
+    row.name = hierarchy.name(id);
+    row.depth = depth[id];
+    row.task = hierarchy.task(id);
+    result.row_index_[id] = result.rows_.size();
+    result.rows_.push_back(std::move(row));
+  }
+
+  const auto& space = manager.schedule_space();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    ComponentId id = *it;
+    ComponentStatus& row = result.rows_[result.row_index_[id]];
+
+    if (!row.task.empty()) {
+      auto plan_id = manager.plan_of(row.task);
+      if (!plan_id)
+        return util::conflict("arch: task '" + row.task + "' of component '" +
+                              row.name + "' has no plan");
+      const auto& plan = space.plan(*plan_id);
+      bool first = true;
+      for (sched::ScheduleNodeId nid : plan.nodes) {
+        const auto& n = space.node(nid);
+        cal::WorkInstant start = n.actual_start.value_or(n.planned_start);
+        cal::WorkInstant finish =
+            n.actual_finish ? *n.actual_finish : n.planned_finish;
+        if (first) {
+          row.baseline_start = n.baseline_start;
+          row.baseline_finish = n.baseline_finish;
+          row.projected_start = start;
+          row.projected_finish = finish;
+          first = false;
+        } else {
+          row.baseline_start = std::min(row.baseline_start, n.baseline_start);
+          row.baseline_finish = std::max(row.baseline_finish, n.baseline_finish);
+          row.projected_start = std::min(row.projected_start, start);
+          row.projected_finish = std::max(row.projected_finish, finish);
+        }
+        ++row.total_activities;
+        double budget = static_cast<double>(n.est_duration.count_minutes());
+        row.planned_minutes += budget;
+        if (n.completed) {
+          ++row.completed_activities;
+          row.earned_minutes += budget;
+        }
+      }
+      if (first)
+        return util::conflict("arch: plan of task '" + row.task + "' is empty");
+      row.bound = true;
+    } else if (!hierarchy.children(id).empty()) {
+      bool first = true;
+      for (ComponentId child : hierarchy.children(id)) {
+        const ComponentStatus& c = result.rows_[result.row_index_[child]];
+        if (!c.bound) continue;  // unbound subtree contributes nothing
+        if (first) {
+          row.baseline_start = c.baseline_start;
+          row.baseline_finish = c.baseline_finish;
+          row.projected_start = c.projected_start;
+          row.projected_finish = c.projected_finish;
+          first = false;
+        } else {
+          row.baseline_start = std::min(row.baseline_start, c.baseline_start);
+          row.baseline_finish = std::max(row.baseline_finish, c.baseline_finish);
+          row.projected_start = std::min(row.projected_start, c.projected_start);
+          row.projected_finish = std::max(row.projected_finish, c.projected_finish);
+        }
+        row.total_activities += c.total_activities;
+        row.completed_activities += c.completed_activities;
+        row.planned_minutes += c.planned_minutes;
+        row.earned_minutes += c.earned_minutes;
+      }
+      row.bound = !first;
+    }
+    row.slip = row.projected_finish - row.baseline_finish;
+  }
+
+  // Mark, for each internal component, the child that drives its finish.
+  for (ComponentId id : order) {
+    const ComponentStatus& row = result.rows_[result.row_index_[id]];
+    if (!row.bound || hierarchy.children(id).empty()) continue;
+    ComponentId driver = id;
+    bool found = false;
+    for (ComponentId child : hierarchy.children(id)) {
+      const ComponentStatus& c = result.rows_[result.row_index_[child]];
+      if (!c.bound) continue;
+      if (!found || c.projected_finish >
+                        result.rows_[result.row_index_[driver]].projected_finish) {
+        driver = child;
+        found = true;
+      }
+    }
+    if (found) result.rows_[result.row_index_[driver]].drives_parent = true;
+  }
+
+  return result;
+}
+
+const ComponentStatus& ArchSchedule::row_of(ComponentId id) const {
+  return rows_.at(row_index_.at(id));
+}
+
+std::vector<ComponentId> ArchSchedule::critical_chain() const {
+  std::vector<ComponentId> chain;
+  ComponentId cur = hierarchy_->root();
+  chain.push_back(cur);
+  while (!hierarchy_->children(cur).empty()) {
+    ComponentId next = cur;
+    bool found = false;
+    for (ComponentId child : hierarchy_->children(cur)) {
+      const ComponentStatus& c = row_of(child);
+      if (c.bound && c.drives_parent) {
+        next = child;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    chain.push_back(next);
+    cur = next;
+  }
+  return chain;
+}
+
+std::string ArchSchedule::render(const cal::WorkCalendar& calendar) const {
+  using util::pad_right;
+  std::string out = "Architectural schedule roll-up\n";
+  out += pad_right("component", 28) + pad_right("baseline finish", 17) +
+         pad_right("projected finish", 18) + pad_right("slip", 10) +
+         pad_right("done", 8) + "drives\n";
+  out += util::repeat('-', 84) + "\n";
+  const std::int64_t mpd = calendar.minutes_per_day();
+  for (const auto& row : rows_) {
+    std::string label(static_cast<std::size_t>(row.depth) * 2, ' ');
+    label += row.name;
+    if (!row.task.empty()) label += " [" + row.task + "]";
+    out += pad_right(label, 28);
+    if (!row.bound) {
+      out += "(no plan below)\n";
+      continue;
+    }
+    out += pad_right(calendar.format_date(row.baseline_finish), 17);
+    out += pad_right(calendar.format_date(row.projected_finish), 18);
+    out += pad_right(row.slip.count_minutes() == 0 ? "-" : row.slip.str(mpd), 10);
+    out += pad_right(std::to_string(row.completed_activities) + "/" +
+                         std::to_string(row.total_activities),
+                     8);
+    out += row.drives_parent ? "*" : "";
+    out += "\n";
+  }
+  out += util::repeat('-', 84) + "\n";
+  out += "critical chain:";
+  for (ComponentId id : critical_chain()) out += " " + hierarchy_->name(id);
+  out += "\n";
+  return out;
+}
+
+}  // namespace herc::arch

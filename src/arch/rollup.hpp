@@ -1,0 +1,72 @@
+#pragma once
+// Hierarchical schedule roll-up over a design decomposition.
+//
+// Each bound leaf reads dates and completion from its task's plan in the
+// schedule space; internal components aggregate their children.  The result
+// is a WBS-style view: per-component start/finish (baseline and projection),
+// completion fraction (earned planned-minutes), slip, and the chain of
+// components that determines the project finish (the architectural critical
+// path).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/hierarchy.hpp"
+#include "hercules/workflow_manager.hpp"
+
+namespace herc::arch {
+
+/// Roll-up row for one component, in hierarchy pre-order.
+struct ComponentStatus {
+  ComponentId component = 0;
+  std::string name;
+  int depth = 0;            ///< root = 0; used for indentation
+  bool bound = false;       ///< leaf with a planned task below it
+  std::string task;         ///< leaf task name (empty for internal nodes)
+
+  cal::WorkInstant baseline_start;
+  cal::WorkInstant baseline_finish;
+  cal::WorkInstant projected_start;   ///< actuals override projections
+  cal::WorkInstant projected_finish;
+  cal::WorkDuration slip;             ///< projected - baseline finish
+
+  int total_activities = 0;
+  int completed_activities = 0;
+  double planned_minutes = 0;   ///< sum of activity estimates below
+  double earned_minutes = 0;    ///< estimates of completed activities
+  /// earned / planned (1.0 when everything below is complete).
+  [[nodiscard]] double fraction_complete() const {
+    return planned_minutes > 0 ? earned_minutes / planned_minutes : 0.0;
+  }
+  /// True if this component's finish determines its parent's finish.
+  bool drives_parent = false;
+};
+
+/// The computed roll-up.
+class ArchSchedule {
+ public:
+  /// Computes the roll-up.  Every bound leaf's task must exist in the
+  /// manager and have a plan (kConflict otherwise); a hierarchy with no
+  /// bound leaf is kInvalid.
+  [[nodiscard]] static util::Result<ArchSchedule> compute(
+      const DesignHierarchy& hierarchy, const hercules::WorkflowManager& manager);
+
+  /// Rows in hierarchy pre-order (root first).
+  [[nodiscard]] const std::vector<ComponentStatus>& rows() const { return rows_; }
+
+  [[nodiscard]] const ComponentStatus& row_of(ComponentId id) const;
+
+  /// Root-to-leaf chain of components driving the project finish.
+  [[nodiscard]] std::vector<ComponentId> critical_chain() const;
+
+  /// WBS-style text table.
+  [[nodiscard]] std::string render(const cal::WorkCalendar& calendar) const;
+
+ private:
+  std::vector<ComponentStatus> rows_;                  // pre-order
+  std::vector<std::size_t> row_index_;                 // component -> row
+  const DesignHierarchy* hierarchy_ = nullptr;
+};
+
+}  // namespace herc::arch

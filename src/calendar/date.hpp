@@ -1,0 +1,78 @@
+#pragma once
+// Civil dates with proleptic-Gregorian day-number arithmetic.
+//
+// Schedules are computed in *work minutes* (see work_calendar.hpp); civil
+// dates only appear at the edges: project start dates, holidays, and
+// rendering.  Day-number conversion uses the classic Howard Hinnant
+// days-from-civil algorithm.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace herc::cal {
+
+/// Day of week; numbering matches ISO (Monday = 0 .. Sunday = 6).
+enum class Weekday : int {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+[[nodiscard]] const char* weekday_name(Weekday d);
+
+/// A civil calendar date.  Invariant: represents a real date (validated on
+/// construction from components; construction from a serial day is total).
+class Date {
+ public:
+  /// 1970-01-01; used as the day-number origin.
+  Date() : days_(0) {}
+
+  /// From components; throws std::invalid_argument on an impossible date
+  /// (components are almost always literals or parsed + validated).
+  Date(int year, int month, int day);
+
+  /// From a serial day number (days since 1970-01-01, may be negative).
+  [[nodiscard]] static Date from_days(std::int64_t days);
+
+  /// Parses "YYYY-MM-DD".
+  [[nodiscard]] static util::Result<Date> parse(std::string_view text);
+
+  [[nodiscard]] std::int64_t days() const { return days_; }
+
+  [[nodiscard]] int year() const;
+  [[nodiscard]] int month() const;
+  [[nodiscard]] int day() const;
+  [[nodiscard]] Weekday weekday() const;
+
+  [[nodiscard]] Date plus_days(std::int64_t n) const { return from_days(days_ + n); }
+
+  /// Renders "YYYY-MM-DD".
+  [[nodiscard]] std::string str() const;
+
+  friend auto operator<=>(Date a, Date b) { return a.days_ <=> b.days_; }
+  friend bool operator==(Date a, Date b) { return a.days_ == b.days_; }
+
+  /// Signed whole days b - a.
+  friend std::int64_t operator-(Date b, Date a) { return b.days_ - a.days_; }
+
+ private:
+  explicit Date(std::int64_t days) : days_(days) {}
+  std::int64_t days_;  // days since 1970-01-01
+};
+
+}  // namespace herc::cal
+
+template <>
+struct std::hash<herc::cal::Date> {
+  std::size_t operator()(herc::cal::Date d) const noexcept {
+    return std::hash<std::int64_t>{}(d.days());
+  }
+};

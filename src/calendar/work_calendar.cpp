@@ -1,0 +1,129 @@
+#include "calendar/work_calendar.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace herc::cal {
+
+std::string WorkDuration::str(std::int64_t minutes_per_day) const {
+  std::int64_t m = minutes_;
+  std::string sign;
+  if (m < 0) {
+    sign = "-";
+    m = -m;
+  }
+  std::int64_t days = m / minutes_per_day;
+  m %= minutes_per_day;
+  std::int64_t hours = m / 60;
+  std::int64_t mins = m % 60;
+  std::string out = sign;
+  if (days) out += std::to_string(days) + "d ";
+  if (hours) out += std::to_string(hours) + "h ";
+  if (mins || out.empty() || out == "-") out += std::to_string(mins) + "m ";
+  out.pop_back();  // trailing space
+  return out;
+}
+
+std::string CivilTime::str(int day_start_minute) const {
+  int total = day_start_minute + minute_of_day;
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d:%02d", total / 60, total % 60);
+  return date.str() + " " + buf;
+}
+
+WorkCalendar::WorkCalendar(Config cfg) : cfg_(cfg) {
+  if (cfg_.minutes_per_day <= 0)
+    throw std::invalid_argument("WorkCalendar: minutes_per_day must be positive");
+  working_days_per_week_ = 0;
+  for (bool w : cfg_.workweek)
+    if (w) ++working_days_per_week_;
+  if (working_days_per_week_ == 0)
+    throw std::invalid_argument("WorkCalendar: workweek has no working days");
+}
+
+bool WorkCalendar::is_workday(Date d) const {
+  return cfg_.workweek[static_cast<int>(d.weekday())] && !is_holiday(d);
+}
+
+Date WorkCalendar::next_workday(Date d) const {
+  while (!is_workday(d)) d = d.plus_days(1);
+  return d;
+}
+
+Date WorkCalendar::nth_workday(std::int64_t n) const {
+  if (n < 0) throw std::logic_error("nth_workday: negative index");
+  // Skip whole weeks first, then walk the remainder day by day.  Holidays
+  // break the week-skipping shortcut, so only use it while no holidays can
+  // fall in the skipped range.
+  Date d = cfg_.epoch;
+  if (holidays_.empty() || (!holidays_.empty() && *holidays_.begin() > d)) {
+    Date limit = holidays_.empty() ? Date::from_days(d.days() + (n / working_days_per_week_ + 2) * 7)
+                                   : *holidays_.begin();
+    while (n >= working_days_per_week_ && d.plus_days(7) <= limit) {
+      d = d.plus_days(7);
+      n -= working_days_per_week_;
+    }
+  }
+  while (true) {
+    if (is_workday(d)) {
+      if (n == 0) return d;
+      --n;
+    }
+    d = d.plus_days(1);
+  }
+}
+
+std::int64_t WorkCalendar::workdays_until(Date d) const {
+  if (d <= cfg_.epoch) return 0;
+  std::int64_t n = 0;
+  for (Date x = cfg_.epoch; x < d; x = x.plus_days(1))
+    if (is_workday(x)) ++n;
+  return n;
+}
+
+CivilTime WorkCalendar::to_civil(WorkInstant t) const {
+  std::int64_t m = t.minutes_since_epoch();
+  if (m < 0) m = 0;
+  std::int64_t day_idx = m / cfg_.minutes_per_day;
+  auto minute = static_cast<int>(m % cfg_.minutes_per_day);
+  return CivilTime{nth_workday(day_idx), minute};
+}
+
+WorkInstant WorkCalendar::at_start_of(Date d) const {
+  Date w = next_workday(d < cfg_.epoch ? cfg_.epoch : d);
+  return WorkInstant(workdays_until(w) * cfg_.minutes_per_day);
+}
+
+std::string WorkCalendar::format(WorkInstant t) const {
+  return to_civil(t).str(cfg_.day_start_minute);
+}
+
+std::string WorkCalendar::format_date(WorkInstant t) const {
+  return to_civil(t).date.str();
+}
+
+util::Result<WorkDuration> WorkCalendar::parse_duration(std::string_view text) const {
+  auto tokens = util::split_ws(text);
+  if (tokens.empty()) return util::parse_error("empty duration");
+  std::int64_t total = 0;
+  for (const auto& tok : tokens) {
+    if (tok.size() < 2) return util::parse_error("bad duration token '" + tok + "'");
+    char unit = tok.back();
+    std::string digits = tok.substr(0, tok.size() - 1);
+    for (char c : digits)
+      if (c < '0' || c > '9')
+        return util::parse_error("bad duration token '" + tok + "'");
+    std::int64_t n = std::stoll(digits);
+    switch (unit) {
+      case 'd': total += n * cfg_.minutes_per_day; break;
+      case 'h': total += n * 60; break;
+      case 'm': total += n; break;
+      default: return util::parse_error("unknown duration unit '" + tok + "'");
+    }
+  }
+  return WorkDuration::minutes(total);
+}
+
+}  // namespace herc::cal

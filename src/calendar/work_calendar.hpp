@@ -1,0 +1,152 @@
+#pragma once
+// Work calendars: the mapping between *work time* (the space schedules are
+// computed in) and civil time (the space people read).
+//
+// A WorkInstant counts work minutes elapsed since the calendar's epoch; a
+// WorkDuration is a span of work minutes.  Schedule arithmetic (CPM passes,
+// slack, slip propagation) is plain integer arithmetic on these.  The
+// calendar converts instants to civil timestamps for display, skipping
+// non-workdays and holidays, exactly like the calendars in MacProject /
+// Microsoft Project that the paper cites.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calendar/date.hpp"
+#include "util/result.hpp"
+
+namespace herc::cal {
+
+/// Span of work minutes.  Value type; supports natural arithmetic.
+class WorkDuration {
+ public:
+  constexpr WorkDuration() = default;
+  constexpr explicit WorkDuration(std::int64_t minutes) : minutes_(minutes) {}
+
+  [[nodiscard]] static constexpr WorkDuration minutes(std::int64_t m) {
+    return WorkDuration(m);
+  }
+  [[nodiscard]] static constexpr WorkDuration hours(std::int64_t h) {
+    return WorkDuration(h * 60);
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_minutes() const { return minutes_; }
+  [[nodiscard]] constexpr double count_hours() const { return minutes_ / 60.0; }
+
+  friend constexpr WorkDuration operator+(WorkDuration a, WorkDuration b) {
+    return WorkDuration(a.minutes_ + b.minutes_);
+  }
+  friend constexpr WorkDuration operator-(WorkDuration a, WorkDuration b) {
+    return WorkDuration(a.minutes_ - b.minutes_);
+  }
+  friend constexpr WorkDuration operator*(WorkDuration a, std::int64_t k) {
+    return WorkDuration(a.minutes_ * k);
+  }
+  WorkDuration& operator+=(WorkDuration b) {
+    minutes_ += b.minutes_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(WorkDuration a, WorkDuration b) = default;
+
+  /// Renders e.g. "3d 4h", "2h 30m", "0m" given minutes-per-workday context.
+  [[nodiscard]] std::string str(std::int64_t minutes_per_day = 480) const;
+
+ private:
+  std::int64_t minutes_ = 0;
+};
+
+/// Point in work time: work minutes since the calendar epoch.  Instants from
+/// different calendars are not comparable (not enforced by the type; keep one
+/// calendar per project as the WorkflowManager does).
+class WorkInstant {
+ public:
+  constexpr WorkInstant() = default;
+  constexpr explicit WorkInstant(std::int64_t m) : minutes_(m) {}
+
+  [[nodiscard]] constexpr std::int64_t minutes_since_epoch() const { return minutes_; }
+
+  friend constexpr WorkInstant operator+(WorkInstant t, WorkDuration d) {
+    return WorkInstant(t.minutes_ + d.count_minutes());
+  }
+  friend constexpr WorkInstant operator-(WorkInstant t, WorkDuration d) {
+    return WorkInstant(t.minutes_ - d.count_minutes());
+  }
+  friend constexpr WorkDuration operator-(WorkInstant b, WorkInstant a) {
+    return WorkDuration(b.minutes_ - a.minutes_);
+  }
+  friend constexpr auto operator<=>(WorkInstant a, WorkInstant b) = default;
+
+ private:
+  std::int64_t minutes_ = 0;
+};
+
+/// A work instant resolved to civil time.
+struct CivilTime {
+  Date date;          ///< the workday the instant falls on
+  int minute_of_day;  ///< minutes after the workday start (0 .. minutes/day)
+
+  /// "YYYY-MM-DD hh:mm" using the calendar's day-start hour.
+  [[nodiscard]] std::string str(int day_start_minute) const;
+};
+
+/// Calendar configuration + conversion.  Immutable after construction except
+/// for holiday registration.
+class WorkCalendar {
+ public:
+  struct Config {
+    Date epoch;                          ///< project reference date
+    std::int64_t minutes_per_day = 480;  ///< 8-hour workday
+    int day_start_minute = 9 * 60;       ///< workday starts 09:00 civil
+    /// Workweek: true = working.  Index by ISO weekday (Mon=0).
+    bool workweek[7] = {true, true, true, true, true, false, false};
+  };
+
+  WorkCalendar() : WorkCalendar(Config{}) {}
+  explicit WorkCalendar(Config cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::int64_t minutes_per_day() const { return cfg_.minutes_per_day; }
+
+  /// Marks a date as a non-working holiday.  Adding a holiday invalidates no
+  /// WorkInstant values (they are counts of *work* minutes), only their civil
+  /// rendering; the WorkflowManager re-renders rather than re-plans.
+  void add_holiday(Date d) { holidays_.insert(d); }
+  [[nodiscard]] bool is_holiday(Date d) const { return holidays_.count(d) > 0; }
+  [[nodiscard]] const std::set<Date>& holidays() const { return holidays_; }
+
+  [[nodiscard]] bool is_workday(Date d) const;
+
+  /// First workday on or after `d`.
+  [[nodiscard]] Date next_workday(Date d) const;
+
+  /// The n-th workday at or after the epoch (n = 0 is the first).
+  [[nodiscard]] Date nth_workday(std::int64_t n) const;
+
+  /// Number of whole workdays in [epoch, d) — the inverse of nth_workday.
+  [[nodiscard]] std::int64_t workdays_until(Date d) const;
+
+  /// Converts a work instant to civil time.  Instants before the epoch clamp
+  /// to the epoch's workday start.
+  [[nodiscard]] CivilTime to_civil(WorkInstant t) const;
+
+  /// Work instant for the *start* of the first workday on or after `d`.
+  [[nodiscard]] WorkInstant at_start_of(Date d) const;
+
+  /// Formats an instant as "YYYY-MM-DD hh:mm".
+  [[nodiscard]] std::string format(WorkInstant t) const;
+
+  /// Formats an instant's date only.
+  [[nodiscard]] std::string format_date(WorkInstant t) const;
+
+  /// Parses durations like "3d", "4h", "90m", "1d 4h" (d = one workday).
+  [[nodiscard]] util::Result<WorkDuration> parse_duration(std::string_view text) const;
+
+ private:
+  Config cfg_;
+  std::set<Date> holidays_;
+  int working_days_per_week_;
+};
+
+}  // namespace herc::cal

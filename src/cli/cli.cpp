@@ -1,0 +1,587 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "adapters/trace.hpp"
+#include "core/compare.hpp"
+#include "core/risk.hpp"
+#include "core/whatif.hpp"
+#include "gantt/gantt.hpp"
+#include "gantt/svg.hpp"
+#include "hercules/persist.hpp"
+#include "query/query.hpp"
+#include "track/report.hpp"
+#include "track/utilization.hpp"
+#include "util/strings.hpp"
+
+namespace herc::cli {
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  new <schema-file> [epoch YYYY-MM-DD]     create a project from a schema file
+  schema <inline-dsl>                      create a project from inline DSL
+  show schema|db|task <name>
+  tool <instance> <type> <nominal> [noise <frac>] [fail <rate>]
+  resource <name> [kind] [capacity]
+  vacation <resource> <start-date> <days>   (leveled plans schedule around it)
+  task <name> <target-type> [stop <type> ...]
+  bind <task> <type> <instance>
+  estimate <activity> <duration> | estimate fallback <duration>
+  plan <task> [strategy intuition|last|mean|ewma|pert] [level] [deadline <dur>]
+  replan <task> [strategy ...] [level] [deadline <dur>]
+  execute <task> <designer>
+  dispatch <task> <designer>  (concurrent execution; plan assignments apply)
+  run <task> <activity> <designer>
+  refresh <task> <designer>   (re-run only stale/missing activities)
+  stale                       (design data whose inputs moved on)
+  drag <task>                 (where optimisation buys schedule)
+  link <task> <activity>
+  gantt <task> | portfolio <task>... | svg <task> | status <task>
+  lineage <task> | diff <task>   (plan evolution; what the re-plan changed)
+  report <task> (HTML) | risk <task> | utilization <task>
+  query <statement>
+  browse | select <id> | display | delete
+  whatif delay <task> <activity> <duration>
+  whatif crash <task> <deadline, duration from epoch>
+  advance <duration> | now
+  save <file> | open <file>
+  quit
+)";
+
+util::Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::not_found("cannot open file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+util::Status write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::invalid("cannot write file '" + path + "'");
+  out << content;
+  return util::Status::ok_status();
+}
+
+util::Result<sched::EstimateStrategy> parse_strategy(const std::string& name) {
+  if (name == "intuition") return sched::EstimateStrategy::kIntuition;
+  if (name == "last") return sched::EstimateStrategy::kLast;
+  if (name == "mean") return sched::EstimateStrategy::kMean;
+  if (name == "ewma") return sched::EstimateStrategy::kEwma;
+  if (name == "pert") return sched::EstimateStrategy::kPert;
+  return util::invalid("unknown strategy '" + name +
+                       "' (intuition|last|mean|ewma|pert)");
+}
+
+std::string join_from(const std::vector<std::string>& args, std::size_t from) {
+  std::vector<std::string> rest(args.begin() + static_cast<std::ptrdiff_t>(from),
+                                args.end());
+  return util::join(rest, " ");
+}
+
+}  // namespace
+
+void CliSession::adopt(std::unique_ptr<hercules::WorkflowManager> manager) {
+  manager_ = std::move(manager);
+  browser_.reset();
+}
+
+util::Result<hercules::WorkflowManager*> CliSession::need_manager() {
+  if (!manager_)
+    return util::conflict("no project; use 'new <schema-file>' or 'schema <dsl>'");
+  return manager_.get();
+}
+
+util::Result<std::string> CliSession::execute_line(const std::string& line) {
+  std::string_view trimmed = util::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') return std::string{};
+  // `schema` and `query` take the rest of the line verbatim.
+  auto args = util::split_ws(trimmed);
+  if (args[0] == "schema" && args.size() > 1)
+    return cmd_schema(std::string(util::trim(trimmed.substr(6))));
+  if (args[0] == "query") {
+    auto m = need_manager();
+    if (!m.ok()) return m.error();
+    if (args.size() < 2) return util::invalid("query: missing statement");
+    return m.value()->query(util::trim(trimmed.substr(5)));
+  }
+  return dispatch(args);
+}
+
+util::Result<std::string> CliSession::dispatch(const Args& args) {
+  const std::string& cmd = args[0];
+  if (cmd == "help") return std::string(kHelp);
+  if (cmd == "quit" || cmd == "exit") {
+    quit_ = true;
+    return std::string("bye\n");
+  }
+  if (cmd == "new") return cmd_new(args);
+  if (cmd == "show") return cmd_show(args);
+  if (cmd == "tool") return cmd_tool(args);
+  if (cmd == "resource") return cmd_resource(args);
+  if (cmd == "vacation") return cmd_vacation(args);
+  if (cmd == "task") return cmd_task(args);
+  if (cmd == "bind") return cmd_bind(args);
+  if (cmd == "estimate") return cmd_estimate(args);
+  if (cmd == "plan") return cmd_plan(args, /*replan=*/false);
+  if (cmd == "replan") return cmd_plan(args, /*replan=*/true);
+  if (cmd == "execute") return cmd_execute(args);
+  if (cmd == "run") return cmd_run(args);
+  if (cmd == "link") return cmd_link(args);
+  if (cmd == "whatif") return cmd_whatif(args);
+  if (cmd == "browse" || cmd == "select" || cmd == "display" || cmd == "delete")
+    return cmd_browse_ops(args);
+  if (cmd == "save") return cmd_save(args);
+  if (cmd == "open") return cmd_open(args);
+
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  auto* manager = m.value();
+
+  if (cmd == "gantt") {
+    if (args.size() != 2) return util::invalid("gantt <task>");
+    return manager->gantt(args[1]);
+  }
+  if (cmd == "svg") {
+    if (args.size() != 2) return util::invalid("svg <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    return gantt::render_gantt_svg(manager->schedule_space(), manager->calendar(),
+                                   *plan, manager->clock().now());
+  }
+  if (cmd == "status") {
+    if (args.size() != 2) return util::invalid("status <task>");
+    return manager->status_report(args[1]);
+  }
+  if (cmd == "report") {
+    if (args.size() != 2) return util::invalid("report <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    return track::render_html_report(manager->schedule_space(), manager->db(),
+                                     manager->calendar(), *plan,
+                                     manager->clock().now());
+  }
+  if (cmd == "risk") {
+    if (args.size() != 2) return util::invalid("risk <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    auto risk = sched::analyze_risk(manager->schedule_space(), manager->db(), *plan);
+    if (!risk.ok()) return risk.error();
+    return risk.value().render(manager->calendar());
+  }
+  if (cmd == "utilization") {
+    if (args.size() != 2) return util::invalid("utilization <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    auto report = track::utilization(manager->schedule_space(), manager->db(), *plan);
+    if (!report.ok()) return report.error();
+    return report.value().render(manager->calendar());
+  }
+  if (cmd == "portfolio") {
+    if (args.size() < 2) return util::invalid("portfolio <task> [<task> ...]");
+    std::vector<sched::ScheduleRunId> plans;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      auto plan = manager->plan_of(args[i]);
+      if (!plan) return util::conflict("task '" + args[i] + "' has no plan");
+      plans.push_back(*plan);
+    }
+    return gantt::render_portfolio_gantt(manager->schedule_space(),
+                                         manager->calendar(), plans,
+                                         manager->clock().now());
+  }
+  if (cmd == "dispatch") {
+    if (args.size() != 3) return util::invalid("dispatch <task> <designer>");
+    // Resource assignments come from the task's plan when one exists.
+    exec::Executor::DispatchOptions opt;
+    if (auto plan = manager->plan_of(args[1])) {
+      for (sched::ScheduleNodeId nid : manager->schedule_space().plan(*plan).nodes) {
+        const auto& n = manager->schedule_space().node(nid);
+        if (!n.resources.empty()) opt.assignments[n.activity] = n.resources;
+      }
+    }
+    auto result = manager->execute_task_concurrent(args[1], args[2], opt);
+    if (!result.ok()) return result.error();
+    std::string out;
+    for (const auto& r : result.value().runs)
+      out += manager->db().run(r.run).str() + "  [" +
+             manager->calendar().format(manager->db().run(r.run).started_at) + " .. " +
+             manager->calendar().format(manager->db().run(r.run).finished_at) + "]\n";
+    out += result.value().success ? "dispatch complete at " +
+                                        manager->calendar().format(manager->clock().now()) +
+                                        "\n"
+                                  : "dispatch STOPPED on failure\n";
+    return out;
+  }
+  if (cmd == "refresh") {
+    if (args.size() != 3) return util::invalid("refresh <task> <designer>");
+    auto runs = manager->refresh_task(args[1], args[2]);
+    if (!runs.ok()) return runs.error();
+    if (runs.value().empty()) return std::string("everything up to date\n");
+    std::string out;
+    for (const auto& r : runs.value()) out += manager->db().run(r.run).str() + "\n";
+    return out;
+  }
+  if (cmd == "stale") {
+    auto trace = adapters::TraceGraph::capture(manager->db());
+    auto stale = trace.stale_instances();
+    if (stale.empty()) return std::string("no stale design data\n");
+    std::string out = "stale (inputs have newer versions):\n";
+    for (auto id : stale) out += "  " + manager->db().instance(id).str() + "\n";
+    return out;
+  }
+  if (cmd == "drag") {
+    if (args.size() != 2) return util::invalid("drag <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    std::string out = "critical-path drag (completion gained if the activity "
+                      "took zero time):\n";
+    for (const auto& d : sched::plan_drag(manager->schedule_space(), *plan))
+      out += "  " + util::pad_right(d.activity, 16) +
+             d.drag.str(manager->calendar().minutes_per_day()) + "\n";
+    return out;
+  }
+  if (cmd == "diff") {
+    if (args.size() != 2) return util::invalid("diff <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    auto prev = manager->schedule_space().plan(*plan).derived_from;
+    if (!prev.valid())
+      return util::conflict("task '" + args[1] +
+                            "' has only one plan generation; nothing to diff");
+    auto cmp = sched::compare_plans(manager->schedule_space(), prev, *plan);
+    if (!cmp.ok()) return cmp.error();
+    return cmp.value().render(manager->calendar());
+  }
+  if (cmd == "lineage") {
+    if (args.size() != 2) return util::invalid("lineage <task>");
+    auto plan = manager->plan_of(args[1]);
+    if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
+    query::QueryEngine engine(manager->db(), manager->schedule_space());
+    return engine.plan_lineage(*plan).render(&manager->calendar());
+  }
+  if (cmd == "advance") {
+    if (args.size() < 2) return util::invalid("advance <duration>");
+    auto d = manager->calendar().parse_duration(join_from(args, 1));
+    if (!d.ok()) return d.error();
+    manager->clock().advance(d.value());
+    return "now: " + manager->calendar().format(manager->clock().now()) + "\n";
+  }
+  if (cmd == "now")
+    return "now: " + manager->calendar().format(manager->clock().now()) + "\n";
+
+  return util::not_found("unknown command '" + cmd + "' (try 'help')");
+}
+
+util::Result<std::string> CliSession::cmd_new(const Args& args) {
+  if (args.size() != 2 && args.size() != 4)
+    return util::invalid("new <schema-file> [epoch YYYY-MM-DD]");
+  auto dsl = read_file(args[1]);
+  if (!dsl.ok()) return dsl.error();
+  cal::WorkCalendar::Config cfg;
+  if (args.size() == 4) {
+    if (args[2] != "epoch") return util::invalid("new <schema-file> [epoch <date>]");
+    auto epoch = cal::Date::parse(args[3]);
+    if (!epoch.ok()) return epoch.error();
+    cfg.epoch = epoch.value();
+  }
+  auto created = hercules::WorkflowManager::create(dsl.value(), cfg);
+  if (!created.ok()) return created.error();
+  adopt(std::move(created).take());
+  return "project created from '" + args[1] + "' (schema '" +
+         manager_->schema().name() + "')\n";
+}
+
+util::Result<std::string> CliSession::cmd_schema(const std::string& rest) {
+  auto created = hercules::WorkflowManager::create(rest);
+  if (!created.ok()) return created.error();
+  adopt(std::move(created).take());
+  return "project created (schema '" + manager_->schema().name() + "')\n";
+}
+
+util::Result<std::string> CliSession::cmd_show(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() >= 2 && args[1] == "schema") {
+    std::string out = m.value()->schema().describe();
+    auto warnings = m.value()->schema().lint();
+    for (const auto& w : warnings) out += "  warning: " + w + "\n";
+    return out;
+  }
+  if (args.size() >= 2 && args[1] == "db") return m.value()->dump_database();
+  if (args.size() == 3 && args[1] == "task") {
+    auto tree = m.value()->task(args[2]);
+    if (!tree.ok()) return tree.error();
+    return tree.value()->render();
+  }
+  return util::invalid("show schema|db|task <name>");
+}
+
+util::Result<std::string> CliSession::cmd_tool(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() < 4)
+    return util::invalid("tool <instance> <type> <nominal> [noise <f>] [fail <r>]");
+  exec::ToolSpec spec;
+  spec.instance_name = args[1];
+  spec.tool_type = args[2];
+  auto nominal = m.value()->calendar().parse_duration(args[3]);
+  if (!nominal.ok()) return nominal.error();
+  spec.nominal = nominal.value();
+  for (std::size_t i = 4; i + 1 < args.size(); i += 2) {
+    try {
+      if (args[i] == "noise") spec.noise_frac = std::stod(args[i + 1]);
+      else if (args[i] == "fail") spec.fail_rate = std::stod(args[i + 1]);
+      else return util::invalid("tool: unknown option '" + args[i] + "'");
+    } catch (const std::exception&) {
+      return util::invalid("tool: bad number '" + args[i + 1] + "'");
+    }
+  }
+  auto st = m.value()->register_tool(std::move(spec));
+  if (!st.ok()) return st.error();
+  return "tool '" + args[1] + "' registered\n";
+}
+
+util::Result<std::string> CliSession::cmd_resource(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() < 2 || args.size() > 4)
+    return util::invalid("resource <name> [kind] [capacity]");
+  std::string kind = args.size() > 2 ? args[2] : "person";
+  int capacity = 1;
+  if (args.size() > 3) {
+    try {
+      capacity = std::stoi(args[3]);
+    } catch (const std::exception&) {
+      return util::invalid("resource: bad capacity '" + args[3] + "'");
+    }
+  }
+  auto id = m.value()->add_resource(args[1], kind, capacity);
+  return "resource '" + args[1] + "' " + id.str() + " added\n";
+}
+
+util::Result<std::string> CliSession::cmd_vacation(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 4) return util::invalid("vacation <resource> <start-date> <days>");
+  auto rid = m.value()->db().find_resource(args[1]);
+  if (!rid) return util::not_found("no resource '" + args[1] + "'");
+  auto date = cal::Date::parse(args[2]);
+  if (!date.ok()) return date.error();
+  int days = 0;
+  try {
+    days = std::stoi(args[3]);
+  } catch (const std::exception&) {
+    return util::invalid("vacation: bad day count '" + args[3] + "'");
+  }
+  if (days < 1) return util::invalid("vacation: need at least one day");
+  const auto& calendar = m.value()->calendar();
+  cal::WorkInstant from = calendar.at_start_of(date.value());
+  cal::WorkInstant to =
+      from + cal::WorkDuration::minutes(days * calendar.minutes_per_day());
+  auto st = m.value()->db().add_time_off(*rid, from, to);
+  if (!st.ok()) return st.error();
+  return args[1] + " off " + calendar.format_date(from) + " for " +
+         std::to_string(days) + " workday(s)\n";
+}
+
+util::Result<std::string> CliSession::cmd_task(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() < 3) return util::invalid("task <name> <target-type> [stop <t>...]");
+  std::unordered_set<std::string> stops;
+  if (args.size() > 3) {
+    if (args[3] != "stop") return util::invalid("task <name> <target> [stop <t>...]");
+    for (std::size_t i = 4; i < args.size(); ++i) stops.insert(args[i]);
+  }
+  auto st = m.value()->extract_task(args[1], args[2], stops);
+  if (!st.ok()) return st.error();
+  return "task '" + args[1] + "' extracted:\n" + m.value()->task(args[1]).value()->render();
+}
+
+util::Result<std::string> CliSession::cmd_bind(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 4) return util::invalid("bind <task> <type> <instance>");
+  auto st = m.value()->bind(args[1], args[2], args[3]);
+  if (!st.ok()) return st.error();
+  return "bound " + args[2] + " = " + args[3] + "\n";
+}
+
+util::Result<std::string> CliSession::cmd_estimate(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() < 3) return util::invalid("estimate <activity|fallback> <duration>");
+  auto d = m.value()->calendar().parse_duration(join_from(args, 2));
+  if (!d.ok()) return d.error();
+  if (args[1] == "fallback") {
+    m.value()->estimator().set_fallback(d.value());
+    return std::string("fallback estimate set\n");
+  }
+  if (!m.value()->schema().find_rule_by_activity(args[1]))
+    return util::not_found("no activity '" + args[1] + "' in the schema");
+  m.value()->estimator().set_intuition(args[1], d.value());
+  return "estimate for " + args[1] + " set to " +
+         d.value().str(m.value()->calendar().minutes_per_day()) + "\n";
+}
+
+util::Result<std::string> CliSession::cmd_plan(const Args& args, bool replan) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() < 2) return util::invalid("plan <task> [strategy <s>] [level]");
+  sched::PlanRequest req;
+  req.anchor = m.value()->clock().now();
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "strategy" && i + 1 < args.size()) {
+      auto s = parse_strategy(args[++i]);
+      if (!s.ok()) return s.error();
+      req.strategy = s.value();
+    } else if (args[i] == "level") {
+      req.level_resources = true;
+    } else if (args[i] == "deadline" && i + 1 < args.size()) {
+      auto d = m.value()->calendar().parse_duration(args[++i]);
+      if (!d.ok()) return d.error();
+      req.deadline = cal::WorkInstant(d.value().count_minutes());
+    } else {
+      return util::invalid("plan: unknown option '" + args[i] + "'");
+    }
+  }
+  auto plan = replan ? m.value()->replan_task(args[1], req)
+                     : m.value()->plan_task(args[1], req);
+  if (!plan.ok()) return plan.error();
+  return m.value()->schedule_space().plan(plan.value()).str() + " created\n" +
+         m.value()->gantt(args[1]).value();
+}
+
+util::Result<std::string> CliSession::cmd_execute(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 3) return util::invalid("execute <task> <designer>");
+  auto result = m.value()->execute_task(args[1], args[2]);
+  if (!result.ok()) return result.error();
+  std::string out;
+  for (const auto& r : result.value().runs) {
+    const auto& run = m.value()->db().run(r.run);
+    out += run.str() + "\n";
+  }
+  out += result.value().success ? "execution complete\n" : "execution STOPPED on failure\n";
+  return out;
+}
+
+util::Result<std::string> CliSession::cmd_run(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 4) return util::invalid("run <task> <activity> <designer>");
+  auto result = m.value()->run_activity(args[1], args[2], args[3]);
+  if (!result.ok()) return result.error();
+  return m.value()->db().run(result.value().run).str() + "\n";
+}
+
+util::Result<std::string> CliSession::cmd_link(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 3) return util::invalid("link <task> <activity>");
+  auto st = m.value()->link_completion(args[1], args[2]);
+  if (!st.ok()) return st.error();
+  return "linked final " + args[2] + " data to its schedule instance\n";
+}
+
+util::Result<std::string> CliSession::cmd_whatif(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  auto* manager = m.value();
+  const std::int64_t mpd = manager->calendar().minutes_per_day();
+  if (args.size() >= 5 && args[1] == "delay") {
+    auto plan = manager->plan_of(args[2]);
+    if (!plan) return util::conflict("task '" + args[2] + "' has no plan");
+    auto d = manager->calendar().parse_duration(join_from(args, 4));
+    if (!d.ok()) return d.error();
+    auto impact =
+        sched::simulate_delay(manager->schedule_space(), *plan, args[3], d.value());
+    if (!impact.ok()) return impact.error();
+    const auto& i = impact.value();
+    std::string out = "if " + i.activity + " slips " + i.delay.str(mpd) + ": ";
+    if (i.absorbed) {
+      out += "absorbed by slack; completion stays " +
+             manager->calendar().format_date(i.old_finish) + "\n";
+    } else {
+      out += "completion moves " + manager->calendar().format_date(i.old_finish) +
+             " -> " + manager->calendar().format_date(i.new_finish) + " (slip " +
+             i.project_slip.str(mpd) + ")\n";
+    }
+    if (!i.shifted_activities.empty())
+      out += "shifted: " + util::join(i.shifted_activities, ", ") + "\n";
+    return out;
+  }
+  if (args.size() >= 4 && args[1] == "crash") {
+    auto plan = manager->plan_of(args[2]);
+    if (!plan) return util::conflict("task '" + args[2] + "' has no plan");
+    auto d = manager->calendar().parse_duration(join_from(args, 3));
+    if (!d.ok()) return d.error();
+    auto crash = sched::crash_to_deadline(manager->schedule_space(), *plan,
+                                          cal::WorkInstant(d.value().count_minutes()));
+    if (!crash.ok()) return crash.error();
+    const auto& c = crash.value();
+    std::string out = "deadline " + manager->calendar().format_date(c.deadline) +
+                      ", projected " +
+                      manager->calendar().format_date(c.projected_finish) + "\n";
+    if (c.shortfall.count_minutes() <= 0) return out + "deadline already met\n";
+    out += c.feasible ? "feasible with cuts:\n" : "INFEASIBLE even with cuts:\n";
+    for (const auto& step : c.steps)
+      out += "  shorten " + step.activity + " by " + step.reduction.str(mpd) +
+             " (currently " + step.current.str(mpd) + ")\n";
+    return out;
+  }
+  return util::invalid("whatif delay <task> <activity> <duration> | "
+                       "whatif crash <task> <deadline>");
+}
+
+util::Result<std::string> CliSession::cmd_browse_ops(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (!browser_) {
+    browser_ = std::make_unique<gantt::ScheduleBrowser>(
+        m.value()->schedule_space(), m.value()->db(), m.value()->calendar());
+  }
+  if (args[0] == "browse") return browser_->list();
+  if (args[0] == "select") {
+    if (args.size() != 2) return util::invalid("select <id>");
+    std::uint64_t id = 0;
+    try {
+      id = std::stoull(args[1]);
+    } catch (const std::exception&) {
+      return util::invalid("select: bad id '" + args[1] + "'");
+    }
+    auto st = browser_->select(sched::ScheduleNodeId{id});
+    if (!st.ok()) return st.error();
+    return "selected " + sched::ScheduleNodeId{id}.str() + "\n";
+  }
+  if (args[0] == "display") return browser_->display();
+  // delete
+  auto st = browser_->delete_selected();
+  if (!st.ok()) return st.error();
+  return std::string("deleted\n");
+}
+
+util::Result<std::string> CliSession::cmd_save(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 2) return util::invalid("save <file>");
+  auto st = write_file(args[1], hercules::save_to_json(*m.value()));
+  if (!st.ok()) return st.error();
+  return "saved to '" + args[1] + "'\n";
+}
+
+util::Result<std::string> CliSession::cmd_open(const Args& args) {
+  if (args.size() != 2) return util::invalid("open <file>");
+  auto text = read_file(args[1]);
+  if (!text.ok()) return text.error();
+  auto loaded = hercules::load_from_json(text.value());
+  if (!loaded.ok()) return loaded.error();
+  adopt(std::move(loaded).take());
+  return "project loaded from '" + args[1] +
+         "' (re-register tools before executing)\n";
+}
+
+}  // namespace herc::cli

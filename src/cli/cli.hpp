@@ -1,0 +1,92 @@
+#pragma once
+// Command-line session over the workflow manager.
+//
+// The paper's Hercules exposed its operations through a Motif GUI (Fig. 8);
+// this is the scriptable equivalent: one command per line covering the full
+// procedure (schema -> tools -> task -> bind -> estimate -> plan -> execute
+// -> link -> status) plus queries, what-if analysis, the browser, the clock
+// and persistence.  `examples/herc_shell` wraps it in a REPL; tests drive it
+// line by line.
+//
+// Commands (run `help` for the same list):
+//
+//   new <schema-file> [epoch YYYY-MM-DD]     create a project from a schema
+//   schema <inline-dsl>                      create a project from inline DSL
+//   show schema|db|task <name>
+//   tool <instance> <type> <nominal> [noise <frac>] [fail <rate>]
+//   resource <name> [kind] [capacity]
+//   task <name> <target-type> [stop <type> ...]
+//   bind <task> <type> <instance>
+//   estimate <activity> <duration>           e.g. estimate Route 2d 4h
+//   estimate fallback <duration>
+//   plan <task> [strategy intuition|last|mean|ewma|pert] [level]
+//   replan <task> [strategy ...] [level]
+//   execute <task> <designer>
+//   run <task> <activity> <designer>
+//   link <task> <activity>
+//   gantt <task>            svg <task>
+//   status <task>           lineage <task>
+//   query <statement>
+//   browse | select <id> | display | delete
+//   whatif delay <task> <activity> <duration>
+//   whatif crash <task> <deadline-duration-from-epoch>
+//   advance <duration>      now
+//   save <file> | open <file>
+//   quit
+
+#include <memory>
+#include <string>
+
+#include "gantt/browser.hpp"
+#include "hercules/workflow_manager.hpp"
+
+namespace herc::cli {
+
+class CliSession {
+ public:
+  CliSession() = default;
+
+  /// Executes one command line; returns the text to display.  Unknown
+  /// commands, bad arguments and subsystem failures come back as errors.
+  /// Blank lines and '#' comments return empty output.
+  [[nodiscard]] util::Result<std::string> execute_line(const std::string& line);
+
+  [[nodiscard]] bool quit_requested() const { return quit_; }
+
+  /// The managed project; null until `new`/`schema`/`open` succeeds.
+  [[nodiscard]] hercules::WorkflowManager* manager() { return manager_.get(); }
+
+  /// Installs a manager built elsewhere (tests, embedding).
+  void adopt(std::unique_ptr<hercules::WorkflowManager> manager);
+
+ private:
+  using Args = std::vector<std::string>;
+
+  util::Result<std::string> dispatch(const Args& args);
+  util::Result<std::string> cmd_new(const Args& args);
+  util::Result<std::string> cmd_schema(const std::string& rest);
+  util::Result<std::string> cmd_show(const Args& args);
+  util::Result<std::string> cmd_tool(const Args& args);
+  util::Result<std::string> cmd_resource(const Args& args);
+  util::Result<std::string> cmd_vacation(const Args& args);
+  util::Result<std::string> cmd_task(const Args& args);
+  util::Result<std::string> cmd_bind(const Args& args);
+  util::Result<std::string> cmd_estimate(const Args& args);
+  util::Result<std::string> cmd_plan(const Args& args, bool replan);
+  util::Result<std::string> cmd_execute(const Args& args);
+  util::Result<std::string> cmd_run(const Args& args);
+  util::Result<std::string> cmd_link(const Args& args);
+  util::Result<std::string> cmd_whatif(const Args& args);
+  util::Result<std::string> cmd_browse_ops(const Args& args);
+  util::Result<std::string> cmd_save(const Args& args);
+  util::Result<std::string> cmd_open(const Args& args);
+
+  /// Fails unless a project exists.
+  util::Result<hercules::WorkflowManager*> need_manager();
+
+  std::unique_ptr<hercules::WorkflowManager> manager_;
+  std::unique_ptr<gantt::ScheduleBrowser> browser_;
+  bool quit_ = false;
+};
+
+}  // namespace herc::cli

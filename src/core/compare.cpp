@@ -1,0 +1,90 @@
+#include "core/compare.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::sched {
+
+util::Result<PlanComparison> compare_plans(const ScheduleSpace& space,
+                                           ScheduleRunId old_plan,
+                                           ScheduleRunId new_plan) {
+  if (old_plan == new_plan)
+    return util::invalid("compare: the two plans are the same plan");
+  const ScheduleRun& a = space.plan(old_plan);
+  const ScheduleRun& b = space.plan(new_plan);
+  if (a.nodes.empty() || b.nodes.empty())
+    return util::invalid("compare: a plan has no activities");
+
+  PlanComparison cmp;
+  cmp.old_plan = old_plan;
+  cmp.new_plan = new_plan;
+
+  auto finish_of = [&](const ScheduleRun& p) {
+    cal::WorkInstant f;
+    for (ScheduleNodeId nid : p.nodes) {
+      const ScheduleNode& n = space.node(nid);
+      f = std::max(f, n.actual_finish ? *n.actual_finish : n.planned_finish);
+    }
+    return f;
+  };
+  cmp.completion_delta = finish_of(b) - finish_of(a);
+
+  // Old-plan order, annotated with the new plan's values when present.
+  for (ScheduleNodeId nid : a.nodes) {
+    const ScheduleNode& na = space.node(nid);
+    ActivityDelta d;
+    d.activity = na.activity;
+    d.in_a = true;
+    if (auto nb_id = space.node_in_plan(new_plan, na.activity)) {
+      const ScheduleNode& nb = space.node(*nb_id);
+      d.in_b = true;
+      d.est_delta = nb.est_duration - na.est_duration;
+      d.start_delta = nb.planned_start - na.planned_start;
+      d.finish_delta = nb.planned_finish - na.planned_finish;
+    }
+    cmp.activities.push_back(std::move(d));
+  }
+  // Additions: in b only.
+  for (ScheduleNodeId nid : b.nodes) {
+    const ScheduleNode& nb = space.node(nid);
+    if (space.node_in_plan(old_plan, nb.activity)) continue;
+    ActivityDelta d;
+    d.activity = nb.activity;
+    d.in_b = true;
+    cmp.activities.push_back(std::move(d));
+  }
+  return cmp;
+}
+
+std::string PlanComparison::render(const cal::WorkCalendar& calendar) const {
+  using util::pad_right;
+  const std::int64_t mpd = calendar.minutes_per_day();
+  auto delta = [&](const std::optional<cal::WorkDuration>& d) -> std::string {
+    if (!d) return "-";
+    if (d->count_minutes() == 0) return "=";
+    return (d->count_minutes() > 0 ? "+" : "") + d->str(mpd);
+  };
+
+  std::string out = "Plan comparison: " + old_plan.str() + " -> " + new_plan.str() + "\n";
+  out += pad_right("activity", 16) + pad_right("scope", 10) +
+         pad_right("est", 12) + pad_right("start", 12) + "finish\n";
+  out += util::repeat('-', 60) + "\n";
+  for (const auto& d : activities) {
+    out += pad_right(d.activity, 16);
+    out += pad_right(d.in_a && d.in_b ? "both" : (d.in_b ? "ADDED" : "DROPPED"), 10);
+    out += pad_right(delta(d.est_delta), 12);
+    out += pad_right(delta(d.start_delta), 12);
+    out += delta(d.finish_delta) + "\n";
+  }
+  out += util::repeat('-', 60) + "\n";
+  out += "projected completion: ";
+  out += completion_delta.count_minutes() == 0
+             ? "unchanged"
+             : (completion_delta.count_minutes() > 0 ? "+" : "") +
+                   completion_delta.str(mpd);
+  out += "\n";
+  return out;
+}
+
+}  // namespace herc::sched

@@ -1,0 +1,45 @@
+#pragma once
+// Plan-generation comparison.
+//
+// The paper's schedule-metadata queries show *which* plans a plan evolved
+// from; this answers the follow-up question — *what changed*: per-activity
+// estimate and date deltas between two plan generations, activities added or
+// dropped (scope change), and the bottom-line completion shift.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule_space.hpp"
+
+namespace herc::sched {
+
+/// One activity's change between plan `a` (old) and plan `b` (new).
+struct ActivityDelta {
+  std::string activity;
+  bool in_a = false;
+  bool in_b = false;
+  /// Deltas (b - a), present only when the activity is in both plans.
+  std::optional<cal::WorkDuration> est_delta;
+  std::optional<cal::WorkDuration> start_delta;   ///< planned start shift
+  std::optional<cal::WorkDuration> finish_delta;  ///< planned finish shift
+};
+
+struct PlanComparison {
+  ScheduleRunId old_plan;
+  ScheduleRunId new_plan;
+  /// Union of activities, old-plan order first, then additions in new-plan
+  /// order.
+  std::vector<ActivityDelta> activities;
+  cal::WorkDuration completion_delta;  ///< new projected finish - old; + = later
+
+  [[nodiscard]] std::string render(const cal::WorkCalendar& calendar) const;
+};
+
+/// Compares two plans (typically adjacent generations from lineage()).
+/// kInvalid when given the same plan twice or an empty plan.
+[[nodiscard]] util::Result<PlanComparison> compare_plans(const ScheduleSpace& space,
+                                                         ScheduleRunId old_plan,
+                                                         ScheduleRunId new_plan);
+
+}  // namespace herc::sched

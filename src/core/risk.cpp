@@ -1,0 +1,138 @@
+#include "core/risk.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/cpm.hpp"
+#include "core/estimate.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace herc::sched {
+
+util::Result<RiskReport> analyze_risk(const ScheduleSpace& space,
+                                      const meta::Database& db, ScheduleRunId plan_id,
+                                      const RiskOptions& options) {
+  if (options.samples < 1) return util::invalid("risk: samples must be >= 1");
+  const ScheduleRun& plan = space.plan(plan_id);
+  if (plan.nodes.empty()) return util::invalid("risk: plan has no activities");
+
+  const std::int64_t anchor = plan.anchor.minutes_since_epoch();
+  auto rel = [&](cal::WorkInstant t) {
+    return std::max<std::int64_t>(0, t.minutes_since_epoch() - anchor);
+  };
+
+  // Static structure shared by all samples.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::vector<CpmActivity> base(plan.nodes.size());
+  std::vector<std::vector<cal::WorkDuration>> histories(plan.nodes.size());
+  std::vector<bool> fixed(plan.nodes.size(), false);
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const ScheduleNode& n = space.node(plan.nodes[i]);
+    index[plan.nodes[i].value()] = i;
+    if (n.completed && n.actual_finish) {
+      std::int64_t start = n.actual_start ? rel(*n.actual_start) : rel(*n.actual_finish);
+      base[i].release = start;
+      base[i].duration = rel(*n.actual_finish) - start;
+      fixed[i] = true;
+    } else {
+      base[i].release = n.actual_start ? rel(*n.actual_start) : 0;
+      base[i].duration = (n.planned_finish - n.planned_start).count_minutes();
+      histories[i] = DurationEstimator::history(db, n.activity);
+    }
+  }
+  for (const auto& dep : plan.deps)
+    base[index.at(dep.to.value())].preds.push_back(index.at(dep.from.value()));
+
+  auto deterministic = compute_cpm(base);
+  if (!deterministic.ok()) return deterministic.error();
+
+  RiskReport report;
+  report.samples = options.samples;
+  report.deterministic_finish =
+      cal::WorkInstant(anchor + deterministic.value().makespan);
+
+  util::Rng rng(options.seed);
+  std::vector<std::int64_t> finishes;
+  finishes.reserve(static_cast<std::size_t>(options.samples));
+  std::vector<int> critical_count(base.size(), 0);
+  std::vector<double> duration_sum(base.size(), 0);
+  double finish_sum = 0;
+  int on_time = 0;
+
+  std::vector<CpmActivity> sample = base;
+  for (int s = 0; s < options.samples; ++s) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      if (fixed[i]) {
+        sample[i].duration = base[i].duration;
+      } else if (histories[i].size() >= 2) {
+        // Bootstrap from measured runs.
+        const auto& h = histories[i];
+        sample[i].duration =
+            h[static_cast<std::size_t>(
+                  rng.uniform_int(0, static_cast<std::int64_t>(h.size()) - 1))]
+                .count_minutes();
+      } else {
+        double f = rng.uniform(1.0 - options.default_spread,
+                               1.0 + options.default_spread);
+        sample[i].duration = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(static_cast<double>(base[i].duration) * f));
+      }
+      duration_sum[i] += static_cast<double>(sample[i].duration);
+    }
+    auto solved = compute_cpm(sample).take();
+    finishes.push_back(solved.makespan);
+    finish_sum += static_cast<double>(solved.makespan);
+    if (solved.makespan <= deterministic.value().makespan) ++on_time;
+    for (std::size_t i = 0; i < base.size(); ++i)
+      if (!fixed[i] && solved.critical[i]) ++critical_count[i];
+  }
+
+  std::sort(finishes.begin(), finishes.end());
+  auto pct = [&](double p) {
+    auto idx = static_cast<std::size_t>(p * static_cast<double>(finishes.size() - 1));
+    return finishes[idx];
+  };
+  report.mean_finish = cal::WorkInstant(
+      anchor + static_cast<std::int64_t>(finish_sum / options.samples));
+  report.p50_finish = cal::WorkInstant(anchor + pct(0.5));
+  report.p90_finish = cal::WorkInstant(anchor + pct(0.9));
+  report.on_time_probability =
+      static_cast<double>(on_time) / static_cast<double>(options.samples);
+
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const ScheduleNode& n = space.node(plan.nodes[i]);
+    ActivityRisk ar;
+    ar.activity = n.activity;
+    ar.criticality = fixed[i] ? 0.0
+                              : static_cast<double>(critical_count[i]) /
+                                    static_cast<double>(options.samples);
+    ar.mean_duration = cal::WorkDuration::minutes(
+        static_cast<std::int64_t>(duration_sum[i] / options.samples));
+    report.activities.push_back(std::move(ar));
+  }
+  return report;
+}
+
+std::string RiskReport::render(const cal::WorkCalendar& calendar) const {
+  using util::pad_right;
+  std::string out = "Schedule risk (" + std::to_string(samples) + " samples)\n";
+  out += "  deterministic finish: " + calendar.format_date(deterministic_finish) +
+         "  (met in " + util::format_double(100 * on_time_probability, 1) +
+         "% of scenarios)\n";
+  out += "  mean: " + calendar.format_date(mean_finish) +
+         "   P50: " + calendar.format_date(p50_finish) +
+         "   P90: " + calendar.format_date(p90_finish) + "\n";
+  out += "  " + pad_right("activity", 16) + pad_right("criticality", 13) +
+         "mean duration\n";
+  out += "  " + util::repeat('-', 44) + "\n";
+  const std::int64_t mpd = calendar.minutes_per_day();
+  for (const auto& a : activities) {
+    out += "  " + pad_right(a.activity, 16) +
+           pad_right(util::format_double(100 * a.criticality, 1) + "%", 13) +
+           a.mean_duration.str(mpd) + "\n";
+  }
+  return out;
+}
+
+}  // namespace herc::sched

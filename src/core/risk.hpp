@@ -1,0 +1,63 @@
+#pragma once
+// Monte Carlo schedule-risk analysis.
+//
+// The paper motivates keeping schedule data in the flow manager with
+// "previous schedule data can be used to predict the duration of future
+// projects".  A point estimate hides risk; this module samples activity
+// durations (from measured run history when available, otherwise from the
+// estimate with a configurable spread), solves CPM per sample, and reports
+// the completion-date distribution plus each activity's *criticality index*
+// (the fraction of scenarios in which it is critical) — the standard PERT
+// generalisation of the critical path.
+//
+// Deterministic: all sampling comes from one seeded Rng.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::sched {
+
+struct RiskOptions {
+  int samples = 1000;
+  std::uint64_t seed = 1;
+  /// Spread applied when an activity has fewer than 2 measured durations:
+  /// duration ~ uniform[est*(1-spread), est*(1+spread)].
+  double default_spread = 0.3;
+};
+
+struct ActivityRisk {
+  std::string activity;
+  double criticality = 0;          ///< fraction of samples on the critical path
+  cal::WorkDuration mean_duration; ///< mean sampled duration
+};
+
+struct RiskReport {
+  int samples = 0;
+  cal::WorkInstant deterministic_finish;  ///< current CPM projection
+  cal::WorkInstant mean_finish;
+  cal::WorkInstant p50_finish;
+  cal::WorkInstant p90_finish;
+  ///< probability the plan meets its own deterministic projection
+  double on_time_probability = 0;
+  std::vector<ActivityRisk> activities;   ///< plan order
+
+  /// Text summary table.
+  [[nodiscard]] std::string render(const cal::WorkCalendar& calendar) const;
+};
+
+/// Runs the simulation over the incomplete activities of `plan`.  Completed
+/// activities are fixed at their actuals.  Sampling per activity:
+///   - >= 2 completed runs of the activity in `db`: bootstrap (sample the
+///     observed durations uniformly with replacement);
+///   - otherwise: uniform around the current estimate with default_spread.
+/// kInvalid if the plan has no activities or samples < 1.
+[[nodiscard]] util::Result<RiskReport> analyze_risk(const ScheduleSpace& space,
+                                                    const meta::Database& db,
+                                                    ScheduleRunId plan,
+                                                    const RiskOptions& options = {});
+
+}  // namespace herc::sched

@@ -1,0 +1,114 @@
+#include "core/tracker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/cpm.hpp"
+
+namespace herc::sched {
+
+ScheduleTracker::ScheduleTracker(ScheduleSpace& space, meta::Database& db)
+    : space_(&space), db_(&db) {
+  db_->add_observer(this);
+}
+
+ScheduleTracker::~ScheduleTracker() { db_->remove_observer(this); }
+
+void ScheduleTracker::watch_plan(ScheduleRunId plan) { plan_ = plan; }
+
+void ScheduleTracker::on_run_recorded(const meta::Run& run) {
+  if (!plan_) return;
+  auto nid = space_->node_in_plan(*plan_, run.activity);
+  if (!nid) return;
+  ScheduleNode& node = space_->node_mut(*nid);
+  // "Once a data instance for the particular task is created, the actual
+  // start date for the task is set."
+  if (!node.actual_start) node.actual_start = run.started_at;
+  project(run.finished_at);
+}
+
+util::Status ScheduleTracker::link_completion(const std::string& activity,
+                                              meta::EntityInstanceId instance,
+                                              cal::WorkInstant linked_at) {
+  if (!plan_) return util::invalid("link_completion: no plan is being watched");
+  auto nid = space_->node_in_plan(*plan_, activity);
+  if (!nid)
+    return util::not_found("link_completion: activity '" + activity +
+                           "' is not in the watched plan");
+  const meta::EntityInstance& e = db_->instance(instance);
+
+  auto linked = space_->add_link(*nid, instance, linked_at);
+  if (!linked.ok()) return linked.error();
+
+  ScheduleNode& node = space_->node_mut(*nid);
+  node.completed = true;
+  // Actuals come from the producing run's metadata; an imported instance
+  // (no run) falls back to its creation time.
+  if (e.produced_by.valid()) {
+    const meta::Run& run = db_->run(e.produced_by);
+    if (!node.actual_start) node.actual_start = run.started_at;
+    node.actual_finish = run.finished_at;
+  } else {
+    if (!node.actual_start) node.actual_start = e.created_at;
+    node.actual_finish = e.created_at;
+  }
+  project(linked_at);
+  return util::Status::ok_status();
+}
+
+void ScheduleTracker::project(cal::WorkInstant now) {
+  if (!plan_) return;
+  const ScheduleRun& plan = space_->plan(*plan_);
+  const auto& node_ids = plan.nodes;
+  if (node_ids.empty()) return;
+
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (std::size_t i = 0; i < node_ids.size(); ++i) index[node_ids[i].value()] = i;
+
+  const std::int64_t anchor = plan.anchor.minutes_since_epoch();
+  const std::int64_t now_rel = std::max<std::int64_t>(0, now.minutes_since_epoch() - anchor);
+
+  std::vector<CpmActivity> acts(node_ids.size());
+  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+    const ScheduleNode& n = space_->node(node_ids[i]);
+    auto rel = [&](cal::WorkInstant t) {
+      return std::max<std::int64_t>(0, t.minutes_since_epoch() - anchor);
+    };
+    if (n.completed && n.actual_finish) {
+      // Fixed history: pin exactly at the actuals.
+      std::int64_t start = n.actual_start ? rel(*n.actual_start) : rel(*n.actual_finish);
+      acts[i].release = start;
+      acts[i].duration = rel(*n.actual_finish) - start;
+    } else if (n.actual_start) {
+      // In progress: started when it started; cannot finish before `now`,
+      // and still needs its estimated duration if that projects later.
+      std::int64_t start = rel(*n.actual_start);
+      std::int64_t projected_finish =
+          std::max(start + n.est_duration.count_minutes(), now_rel);
+      acts[i].release = start;
+      acts[i].duration = projected_finish - start;
+    } else {
+      // Not started: full estimate, not before now.
+      acts[i].release = now_rel;
+      acts[i].duration = n.est_duration.count_minutes();
+    }
+  }
+  for (const auto& dep : plan.deps)
+    acts[index.at(dep.to.value())].preds.push_back(index.at(dep.from.value()));
+
+  auto cpm = compute_cpm(acts);
+  if (!cpm.ok()) return;  // plan deps came from a tree: cycles are impossible
+  const CpmResult& solved = cpm.value();
+
+  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+    ScheduleNode& n = space_->node_mut(node_ids[i]);
+    if (n.completed) continue;  // planned dates of history stay as planned
+    n.planned_start = plan.anchor + cal::WorkDuration::minutes(solved.early_start[i]);
+    n.planned_finish = plan.anchor + cal::WorkDuration::minutes(solved.early_finish[i]);
+    n.total_slack = cal::WorkDuration::minutes(solved.total_slack[i]);
+    n.free_slack = cal::WorkDuration::minutes(solved.free_slack[i]);
+    n.critical = solved.critical[i];
+  }
+}
+
+}  // namespace herc::sched

@@ -1,0 +1,205 @@
+#include "core/whatif.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/cpm.hpp"
+
+namespace herc::sched {
+
+namespace {
+
+/// Dense CPM view of one plan.
+struct PlanNetwork {
+  std::vector<CpmActivity> acts;
+  std::vector<ScheduleNodeId> nodes;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::int64_t anchor = 0;
+};
+
+enum class NetworkMode {
+  kPinned,  ///< releases pin every activity at its current projection —
+            ///< right for delay analysis (nothing may move earlier)
+  kFree,    ///< releases only encode hard constraints (actuals, "now") —
+            ///< right for crash analysis (shortening may pull work earlier)
+};
+
+PlanNetwork build_network(const ScheduleSpace& space, ScheduleRunId plan_id,
+                          NetworkMode mode) {
+  PlanNetwork net;
+  const ScheduleRun& plan = space.plan(plan_id);
+  net.anchor = plan.anchor.minutes_since_epoch();
+  auto rel = [&](cal::WorkInstant t) {
+    return std::max<std::int64_t>(0, t.minutes_since_epoch() - net.anchor);
+  };
+
+  // "Now" proxy for kFree: the earliest instant any incomplete activity is
+  // currently projected to start (the tracker maintains planned_start >= now).
+  std::int64_t now_rel = 0;
+  bool any_incomplete = false;
+  for (ScheduleNodeId nid : plan.nodes) {
+    const ScheduleNode& n = space.node(nid);
+    if (n.completed) continue;
+    now_rel = any_incomplete ? std::min(now_rel, rel(n.planned_start))
+                             : rel(n.planned_start);
+    any_incomplete = true;
+  }
+
+  for (ScheduleNodeId nid : plan.nodes) {
+    const ScheduleNode& n = space.node(nid);
+    net.index[nid.value()] = net.nodes.size();
+    net.nodes.push_back(nid);
+    CpmActivity act;
+    if (n.completed && n.actual_finish) {
+      std::int64_t start = n.actual_start ? rel(*n.actual_start) : rel(*n.actual_finish);
+      act.release = start;
+      act.duration = rel(*n.actual_finish) - start;
+    } else {
+      act.duration = (n.planned_finish - n.planned_start).count_minutes();
+      if (n.actual_start) {
+        act.release = rel(*n.actual_start);
+      } else {
+        act.release = mode == NetworkMode::kPinned ? rel(n.planned_start) : now_rel;
+      }
+    }
+    net.acts.push_back(std::move(act));
+  }
+  for (const auto& dep : plan.deps)
+    net.acts[net.index.at(dep.to.value())].preds.push_back(
+        net.index.at(dep.from.value()));
+  return net;
+}
+
+std::int64_t makespan_of(const PlanNetwork& net) {
+  return compute_cpm(net.acts).value().makespan;
+}
+
+}  // namespace
+
+util::Result<SlipImpact> simulate_delay(const ScheduleSpace& space, ScheduleRunId plan,
+                                        const std::string& activity,
+                                        cal::WorkDuration delay) {
+  if (delay.count_minutes() < 0) return util::invalid("simulate_delay: negative delay");
+  auto nid = space.node_in_plan(plan, activity);
+  if (!nid)
+    return util::not_found("simulate_delay: plan has no activity '" + activity + "'");
+  if (space.node(*nid).completed)
+    return util::conflict("simulate_delay: '" + activity +
+                          "' is complete; its dates are history");
+
+  PlanNetwork net = build_network(space, plan, NetworkMode::kPinned);
+  auto base = compute_cpm(net.acts);
+  if (!base.ok()) return base.error();
+
+  std::size_t target = net.index.at(nid->value());
+  net.acts[target].duration += delay.count_minutes();
+  auto delayed = compute_cpm(net.acts);
+  if (!delayed.ok()) return delayed.error();
+
+  SlipImpact impact;
+  impact.activity = activity;
+  impact.delay = delay;
+  impact.old_finish = cal::WorkInstant(net.anchor + base.value().makespan);
+  impact.new_finish = cal::WorkInstant(net.anchor + delayed.value().makespan);
+  impact.project_slip = impact.new_finish - impact.old_finish;
+  impact.absorbed = impact.project_slip.count_minutes() == 0;
+  for (std::size_t i = 0; i < net.nodes.size(); ++i) {
+    if (i == target) continue;
+    if (delayed.value().early_start[i] != base.value().early_start[i])
+      impact.shifted_activities.push_back(space.node(net.nodes[i]).activity);
+  }
+  return impact;
+}
+
+util::Result<CrashPlan> crash_to_deadline(const ScheduleSpace& space,
+                                          ScheduleRunId plan, cal::WorkInstant deadline,
+                                          cal::WorkDuration floor) {
+  if (floor.count_minutes() < 1)
+    return util::invalid("crash_to_deadline: floor must be at least a minute");
+
+  PlanNetwork net = build_network(space, plan, NetworkMode::kFree);
+  const std::int64_t deadline_rel =
+      deadline.minutes_since_epoch() - net.anchor;
+
+  CrashPlan result;
+  result.deadline = deadline;
+  result.projected_finish = cal::WorkInstant(net.anchor + makespan_of(net));
+  result.shortfall = result.projected_finish - deadline;
+  if (result.shortfall.count_minutes() <= 0) return result;  // already met
+
+  // Accumulate reductions per activity index.
+  std::unordered_map<std::size_t, std::int64_t> cut;
+  std::vector<std::int64_t> original(net.acts.size());
+  for (std::size_t i = 0; i < net.acts.size(); ++i) original[i] = net.acts[i].duration;
+
+  // Greedy: each round, shorten the longest critical incomplete activity.
+  for (int rounds = 0; rounds < 10000; ++rounds) {
+    auto solved = compute_cpm(net.acts).take();
+    std::int64_t over = solved.makespan - deadline_rel;
+    if (over <= 0) break;
+
+    std::size_t best = net.acts.size();
+    std::int64_t best_len = floor.count_minutes();
+    for (std::size_t i = 0; i < net.acts.size(); ++i) {
+      if (space.node(net.nodes[i]).completed) continue;
+      if (!solved.critical[i]) continue;
+      if (net.acts[i].duration > best_len) {
+        best_len = net.acts[i].duration;
+        best = i;
+      }
+    }
+    if (best == net.acts.size()) {
+      result.feasible = false;  // everything critical is already at the floor
+      break;
+    }
+    std::int64_t reducible = net.acts[best].duration - floor.count_minutes();
+    std::int64_t take = std::min(reducible, over);
+    net.acts[best].duration -= take;
+    cut[best] += take;
+  }
+
+  for (const auto& [i, minutes] : cut) {
+    result.steps.push_back(CrashStep{space.node(net.nodes[i]).activity,
+                                     cal::WorkDuration::minutes(original[i]),
+                                     cal::WorkDuration::minutes(minutes)});
+  }
+  std::sort(result.steps.begin(), result.steps.end(),
+            [](const CrashStep& a, const CrashStep& b) {
+              return a.reduction.count_minutes() > b.reduction.count_minutes();
+            });
+  return result;
+}
+
+std::vector<ActivityDrag> plan_drag(const ScheduleSpace& space, ScheduleRunId plan) {
+  PlanNetwork net = build_network(space, plan, NetworkMode::kFree);
+  auto drags = compute_drag(net.acts).value();  // plan deps are acyclic
+  std::vector<ActivityDrag> out;
+  for (std::size_t i = 0; i < net.nodes.size(); ++i) {
+    const ScheduleNode& n = space.node(net.nodes[i]);
+    if (n.completed) continue;  // history has no drag
+    out.push_back(ActivityDrag{n.activity, cal::WorkDuration::minutes(drags[i])});
+  }
+  std::sort(out.begin(), out.end(), [](const ActivityDrag& a, const ActivityDrag& b) {
+    return a.drag.count_minutes() > b.drag.count_minutes();
+  });
+  return out;
+}
+
+std::vector<DeadlineSlack> deadline_slack(const ScheduleSpace& space,
+                                          ScheduleRunId plan,
+                                          cal::WorkInstant deadline) {
+  PlanNetwork net = build_network(space, plan, NetworkMode::kPinned);
+  auto solved = compute_cpm(net.acts).value();
+  std::int64_t margin =
+      deadline.minutes_since_epoch() - (net.anchor + solved.makespan);
+  std::vector<DeadlineSlack> out;
+  for (std::size_t i = 0; i < net.nodes.size(); ++i) {
+    const ScheduleNode& n = space.node(net.nodes[i]);
+    if (n.completed) continue;
+    out.push_back(DeadlineSlack{
+        n.activity, cal::WorkDuration::minutes(solved.total_slack[i] + margin)});
+  }
+  return out;
+}
+
+}  // namespace herc::sched

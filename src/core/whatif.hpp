@@ -1,0 +1,94 @@
+#pragma once
+// What-if analysis over a schedule plan.
+//
+// The paper positions integrated schedule data as the basis for "tracking,
+// predicting, and optimizing design schedules"; this module adds the two
+// standard predictive questions a project manager asks of a network plan:
+//
+//   1. What happens to the completion date if activity X slips by D?
+//      (impact analysis — slack absorbs the slip or the project moves)
+//   2. We have a deadline; which activities must be shortened, and by how
+//      much, for the projection to meet it?  (crash analysis — classic CPM
+//      crashing restricted to critical activities)
+//
+// Both are pure functions over the schedule space: they never mutate the
+// plan (the tracker owns mutations).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule_space.hpp"
+
+namespace herc::sched {
+
+/// Result of "what if `activity` takes `delay` longer than projected?".
+struct SlipImpact {
+  std::string activity;
+  cal::WorkDuration delay;
+  cal::WorkInstant old_finish;     ///< projected completion before
+  cal::WorkInstant new_finish;     ///< projected completion after
+  cal::WorkDuration project_slip;  ///< new - old (0 if slack absorbs it)
+  bool absorbed = false;           ///< true if slack fully absorbed the delay
+  /// Activities whose projected start moves, in plan order.
+  std::vector<std::string> shifted_activities;
+};
+
+/// Impact of delaying one incomplete activity.  kNotFound for an unknown
+/// activity, kConflict if the activity is already complete (its dates are
+/// history), kInvalid for a negative delay.
+[[nodiscard]] util::Result<SlipImpact> simulate_delay(const ScheduleSpace& space,
+                                                      ScheduleRunId plan,
+                                                      const std::string& activity,
+                                                      cal::WorkDuration delay);
+
+/// One crash recommendation: shorten this activity by `reduction`.
+struct CrashStep {
+  std::string activity;
+  cal::WorkDuration current;    ///< projected duration now
+  cal::WorkDuration reduction;  ///< how much to cut
+};
+
+/// Result of "can we meet `deadline`?".
+struct CrashPlan {
+  cal::WorkInstant deadline;
+  cal::WorkInstant projected_finish;  ///< before crashing
+  cal::WorkDuration shortfall;        ///< projected - deadline (<= 0: already met)
+  bool feasible = true;  ///< false if even crashing everything to `floor` misses
+  std::vector<CrashStep> steps;       ///< empty when already met
+};
+
+/// Greedy CPM crash: repeatedly shorten the longest-duration critical
+/// incomplete activity (never below `floor`) until the projection meets the
+/// deadline or nothing can be shortened.  Completed activities are fixed.
+[[nodiscard]] util::Result<CrashPlan> crash_to_deadline(
+    const ScheduleSpace& space, ScheduleRunId plan, cal::WorkInstant deadline,
+    cal::WorkDuration floor = cal::WorkDuration::hours(1));
+
+/// Deadline slack of every incomplete activity against a project deadline:
+/// how much each may slip before the projection misses `deadline`.
+/// (Activities off the critical path get their CPM slack plus the project's
+/// margin.)
+struct DeadlineSlack {
+  std::string activity;
+  cal::WorkDuration slack;  ///< negative = already jeopardising the deadline
+};
+
+[[nodiscard]] std::vector<DeadlineSlack> deadline_slack(const ScheduleSpace& space,
+                                                        ScheduleRunId plan,
+                                                        cal::WorkInstant deadline);
+
+/// Critical-path drag of each incomplete activity: how much the projected
+/// completion improves if that activity took no time at all.  The ranking
+/// tells the manager where optimisation effort actually buys schedule
+/// (non-critical activities always have zero drag).  Sorted by drag,
+/// largest first; zero-drag activities included.
+struct ActivityDrag {
+  std::string activity;
+  cal::WorkDuration drag;
+};
+
+[[nodiscard]] std::vector<ActivityDrag> plan_drag(const ScheduleSpace& space,
+                                                  ScheduleRunId plan);
+
+}  // namespace herc::sched

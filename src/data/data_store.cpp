@@ -1,0 +1,75 @@
+#include "data/data_store.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace herc::data {
+
+std::uint64_t content_hash(std::string_view content) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string DataObject::str() const {
+  char hash_buf[8];
+  std::snprintf(hash_buf, sizeof hash_buf, "%04x",
+                static_cast<unsigned>(content_hash >> 48));
+  return name + " v" + std::to_string(version) + " (" + id.str() + ", " + hash_buf +
+         "..)";
+}
+
+DataObjectId DataStore::create(const std::string& name, const std::string& type_name,
+                               std::string content, cal::WorkInstant at) {
+  DataObject obj;
+  obj.id = ids_.next();
+  obj.name = name;
+  obj.type_name = type_name;
+  obj.content_hash = content_hash(content);
+  obj.content = std::move(content);
+  obj.created_at = at;
+  auto& versions = by_name_[name];
+  obj.version = static_cast<int>(versions.size()) + 1;
+  versions.push_back(obj.id);
+  objects_.push_back(std::move(obj));
+  return objects_.back().id;
+}
+
+bool DataStore::contains(DataObjectId id) const {
+  return id.valid() && id.value() <= objects_.size();
+}
+
+const DataObject& DataStore::get(DataObjectId id) const {
+  if (!contains(id)) throw std::out_of_range("DataStore::get: unknown id " + id.str());
+  return objects_[id.value() - 1];
+}
+
+std::optional<DataObjectId> DataStore::latest(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<DataObjectId> DataStore::of_type(const std::string& type_name) const {
+  std::vector<DataObjectId> out;
+  for (const auto& obj : objects_)
+    if (obj.type_name == type_name) out.push_back(obj.id);
+  return out;
+}
+
+util::Status DataStore::restore(DataObject obj) {
+  if (!obj.id.valid()) return util::invalid("restore: invalid data object id");
+  if (obj.id.value() != objects_.size() + 1) {
+    return util::conflict("restore: data objects must be restored in id order, got " +
+                          obj.id.str());
+  }
+  by_name_[obj.name].push_back(obj.id);
+  ids_.reserve_at_least(obj.id);
+  objects_.push_back(std::move(obj));
+  return util::Status::ok_status();
+}
+
+}  // namespace herc::data

@@ -1,0 +1,75 @@
+#pragma once
+// Level 4 of the four-level architecture: the actual design data produced by
+// flow execution.
+//
+// In the paper this level holds the real CAD files (netlists, stimuli,
+// simulation results) managed by the Odyssey framework.  Here it is a
+// versioned, content-hashed in-memory object store; the simulated tools in
+// herc::exec write synthetic design data into it and Level-3 entity
+// instances point at the objects by id.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "calendar/work_calendar.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace herc::data {
+
+using util::DataObjectId;
+
+/// One immutable version of a piece of design data.
+struct DataObject {
+  DataObjectId id;
+  std::string name;        ///< e.g. "adder.netlist"
+  std::string type_name;   ///< Level-1 entity type that classifies it
+  int version = 1;         ///< per-(name) version counter
+  std::string content;     ///< the synthetic design data itself
+  std::uint64_t content_hash = 0;
+  cal::WorkInstant created_at;
+
+  /// "adder.netlist v2 (#7, 1f3a..)" — used in database dumps.
+  [[nodiscard]] std::string str() const;
+};
+
+/// FNV-1a 64-bit; stable across platforms so persisted hashes round-trip.
+[[nodiscard]] std::uint64_t content_hash(std::string_view content);
+
+/// Append-only store of DataObjects.  Objects are immutable once created;
+/// "modifying" design data means creating the next version.
+class DataStore {
+ public:
+  /// Creates the next version of `name` with the given content.
+  DataObjectId create(const std::string& name, const std::string& type_name,
+                      std::string content, cal::WorkInstant at);
+
+  [[nodiscard]] bool contains(DataObjectId id) const;
+  /// Throws std::out_of_range on an unknown id (ids come from our own DB).
+  [[nodiscard]] const DataObject& get(DataObjectId id) const;
+
+  /// Latest version of `name`, if any.
+  [[nodiscard]] std::optional<DataObjectId> latest(const std::string& name) const;
+
+  /// All objects of a given entity type, in creation order.
+  [[nodiscard]] std::vector<DataObjectId> of_type(const std::string& type_name) const;
+
+  /// All objects in creation order.
+  [[nodiscard]] const std::vector<DataObject>& all() const { return objects_; }
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  /// Re-inserts a persisted object verbatim (load path).  Rejects duplicate
+  /// ids.
+  util::Status restore(DataObject obj);
+
+ private:
+  std::vector<DataObject> objects_;  // index = id - 1
+  std::unordered_map<std::string, std::vector<DataObjectId>> by_name_;
+  util::IdAllocator<util::DataObjectTag> ids_;
+};
+
+}  // namespace herc::data

@@ -1,0 +1,297 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace herc::exec {
+
+util::Result<ExecutionResult> Executor::execute(const flow::TaskTree& tree,
+                                                const std::string& designer) {
+  auto bound = tree.fully_bound();
+  if (!bound.ok()) return bound.error();
+
+  produced_.assign(tree.nodes().size() + 1, meta::EntityInstanceId::invalid());
+
+  ExecutionResult result;
+  for (flow::TaskNodeId act : tree.activities_post_order()) {
+    auto one = run_one(tree, act, designer, /*resolve_from_db=*/false);
+    if (!one.ok()) return one.error();
+    result.runs.push_back(one.value());
+    if (!one.value().success) {
+      result.success = false;
+      return result;  // designer must fix and re-run (iteration)
+    }
+    produced_[act.value()] = one.value().output;
+  }
+  result.final_output = produced_[tree.root().value()];
+  return result;
+}
+
+util::Result<ActivityRunResult> Executor::execute_activity(const flow::TaskTree& tree,
+                                                           flow::TaskNodeId activity,
+                                                           const std::string& designer) {
+  const flow::TaskNode& n = tree.node(activity);
+  if (n.kind != flow::NodeKind::kActivity)
+    return util::invalid("execute_activity: node " + activity.str() + " is a leaf");
+  produced_.assign(tree.nodes().size() + 1, meta::EntityInstanceId::invalid());
+  return run_one(tree, activity, designer, /*resolve_from_db=*/true);
+}
+
+util::Result<ExecutionResult> Executor::execute_concurrent(
+    const flow::TaskTree& tree, const std::string& designer,
+    const DispatchOptions& options) {
+  auto bound = tree.fully_bound();
+  if (!bound.ok()) return bound.error();
+  const auto& schema = tree.schema();
+  for (const auto& [activity, resources] : options.assignments) {
+    if (!schema.find_rule_by_activity(activity))
+      return util::not_found("dispatch: assignment for unknown activity '" + activity +
+                             "'");
+    for (meta::ResourceId r : resources)
+      if (!r.valid() || r.value() > db_->resources().size())
+        return util::not_found("dispatch: unknown resource " + r.str());
+  }
+
+  produced_.assign(tree.nodes().size() + 1, meta::EntityInstanceId::invalid());
+
+  // Per-resource booked intervals (same serial-dispatch rule as leveling).
+  struct Interval {
+    std::int64_t start, finish;
+  };
+  std::vector<std::vector<Interval>> booked(db_->resources().size());
+  auto usage_at = [&](std::size_t r, std::int64_t t) {
+    int n = 0;
+    for (const auto& iv : booked[r])
+      if (iv.start <= t && t < iv.finish) ++n;
+    return n;
+  };
+
+  std::vector<std::int64_t> node_finish(tree.nodes().size() + 1, 0);
+  const std::int64_t base = clock_->now().minutes_since_epoch();
+  std::int64_t makespan_abs = base;
+
+  ExecutionResult result;
+  for (flow::TaskNodeId act : tree.activities_post_order()) {
+    const flow::TaskNode& node = tree.node(act);
+    const auto& rule = schema.rule(node.rule);
+    const std::string& output_type = schema.type(node.type).name;
+
+    // Inputs: imports materialize at `base`; activity children at their
+    // dispatch finish.
+    std::vector<meta::EntityInstanceId> inputs;
+    std::string tool_binding;
+    std::int64_t ready = base;
+    for (flow::TaskNodeId child_id : node.children) {
+      const flow::TaskNode& child = tree.node(child_id);
+      if (child.kind == flow::NodeKind::kToolLeaf) {
+        tool_binding = child.binding;
+      } else if (child.kind == flow::NodeKind::kDataLeaf) {
+        inputs.push_back(import_input(schema.type(child.type).name, child.binding));
+      } else {
+        inputs.push_back(produced_[child_id.value()]);
+        ready = std::max(ready, node_finish[child_id.value()]);
+      }
+    }
+
+    ToolInvocation inv;
+    inv.activity = rule.activity;
+    inv.output_type = output_type;
+    inv.attempt = static_cast<int>(db_->runs_of_activity(rule.activity).size()) + 1;
+    for (meta::EntityInstanceId in : inputs) {
+      const auto& e = db_->instance(in);
+      inv.input_names.push_back(e.name + " v" + std::to_string(e.version));
+      inv.input_contents.push_back(e.data.valid() ? store_->get(e.data).content : "");
+    }
+    auto outcome = tools_->invoke(tool_binding, schema.type(rule.tool).name, inv);
+    if (!outcome.ok()) return outcome.error();
+    const ToolOutcome& oc = outcome.value();
+    const std::int64_t duration = oc.duration.count_minutes();
+
+    // Earliest feasible start: `ready`, or a booked-interval end after it on
+    // a required resource (capacity only frees up there).
+    std::vector<std::size_t> required;
+    if (auto it = options.assignments.find(rule.activity);
+        it != options.assignments.end())
+      for (meta::ResourceId r : it->second) required.push_back(r.value() - 1);
+
+    std::int64_t start = ready;
+    {
+      std::vector<std::int64_t> candidates{ready};
+      for (std::size_t r : required)
+        for (const auto& iv : booked[r])
+          if (iv.finish > ready) candidates.push_back(iv.finish);
+      std::sort(candidates.begin(), candidates.end());
+      for (std::int64_t t : candidates) {
+        bool feasible = true;
+        for (std::size_t r : required) {
+          int cap = db_->resources()[r].capacity;
+          if (usage_at(r, t) >= cap) feasible = false;
+          for (const auto& iv : booked[r])
+            if (iv.start > t && iv.start < t + duration && usage_at(r, iv.start) >= cap)
+              feasible = false;
+          if (!feasible) break;
+        }
+        if (feasible) {
+          start = t;
+          break;
+        }
+      }
+    }
+    const std::int64_t finish = start + duration;
+    for (std::size_t r : required) booked[r].push_back({start, finish});
+
+    meta::Run run;
+    run.activity = rule.activity;
+    run.rule = rule.id;
+    run.tool_binding = tool_binding;
+    run.designer = designer;
+    run.inputs = inputs;
+    run.started_at = cal::WorkInstant(start);
+    run.finished_at = cal::WorkInstant(finish);
+
+    ActivityRunResult one;
+    if (oc.success) {
+      auto data_id = store_->create(output_type, output_type, oc.content,
+                                    cal::WorkInstant(finish));
+      auto inst = db_->create_instance(output_type, output_type, meta::RunId::invalid(),
+                                       data_id, cal::WorkInstant(finish));
+      if (!inst.ok()) return inst.error();
+      run.output = inst.value();
+      run.status = meta::RunStatus::kCompleted;
+      one.output = inst.value();
+      one.success = true;
+    } else {
+      run.status = meta::RunStatus::kFailed;
+      one.success = false;
+    }
+    auto run_id = db_->record_run(std::move(run));
+    if (!run_id.ok()) return run_id.error();
+    one.run = run_id.value();
+    result.runs.push_back(one);
+
+    if (!one.success) {
+      result.success = false;
+      clock_->advance_to(cal::WorkInstant(std::max(makespan_abs, finish)));
+      return result;
+    }
+    produced_[act.value()] = one.output;
+    node_finish[act.value()] = finish;
+    makespan_abs = std::max(makespan_abs, finish);
+  }
+
+  result.final_output = produced_[tree.root().value()];
+  clock_->advance_to(cal::WorkInstant(makespan_abs));
+  return result;
+}
+
+meta::EntityInstanceId Executor::import_input(const std::string& type_name,
+                                              const std::string& data_name) {
+  if (auto existing = db_->latest_named(type_name, data_name)) return *existing;
+  // First use of an external input: synthesize its Level-4 data and register
+  // a Level-3 instance with no producing run (an import).
+  std::string content = "# imported " + type_name + " '" + data_name + "'\n";
+  auto data_id = store_->create(data_name, type_name, std::move(content), clock_->now());
+  auto inst = db_->create_instance(type_name, data_name, meta::RunId::invalid(), data_id,
+                                   clock_->now());
+  // create_instance only fails on unknown/tool types; the tree guarantees a
+  // valid data type here.
+  return inst.value();
+}
+
+util::Result<ActivityRunResult> Executor::run_one(const flow::TaskTree& tree,
+                                                  flow::TaskNodeId activity,
+                                                  const std::string& designer,
+                                                  bool resolve_from_db) {
+  const flow::TaskNode& node = tree.node(activity);
+  const auto& schema = tree.schema();
+  const auto& rule = schema.rule(node.rule);
+  const std::string& output_type = schema.type(node.type).name;
+
+  // Gather input instances from the node's children (tool leaf is last).
+  std::vector<meta::EntityInstanceId> inputs;
+  std::string tool_binding;
+  for (flow::TaskNodeId child_id : node.children) {
+    const flow::TaskNode& child = tree.node(child_id);
+    switch (child.kind) {
+      case flow::NodeKind::kToolLeaf:
+        tool_binding = child.binding;
+        break;
+      case flow::NodeKind::kDataLeaf: {
+        if (child.binding.empty())
+          return util::unbound("data leaf '" + schema.type(child.type).name +
+                               "' is unbound");
+        inputs.push_back(import_input(schema.type(child.type).name, child.binding));
+        break;
+      }
+      case flow::NodeKind::kActivity: {
+        meta::EntityInstanceId inst = produced_[child_id.value()];
+        if (!inst.valid() && resolve_from_db) {
+          const std::string& child_type = schema.type(child.type).name;
+          auto latest = db_->latest_in_container(child_type);
+          if (!latest)
+            return util::conflict("iteration of '" + rule.activity + "': input type '" +
+                                  child_type + "' has no instance yet; run '" +
+                                  tree.activity_name(child_id) + "' first");
+          inst = *latest;
+        }
+        if (!inst.valid())
+          return util::conflict("internal: child activity '" +
+                                tree.activity_name(child_id) + "' produced no output");
+        inputs.push_back(inst);
+        break;
+      }
+    }
+  }
+  if (tool_binding.empty())
+    return util::unbound("activity '" + rule.activity + "' has no bound tool");
+
+  // Build the invocation from the inputs' Level-4 content.
+  ToolInvocation inv;
+  inv.activity = rule.activity;
+  inv.output_type = output_type;
+  inv.attempt = static_cast<int>(db_->runs_of_activity(rule.activity).size()) + 1;
+  for (meta::EntityInstanceId in : inputs) {
+    const auto& e = db_->instance(in);
+    inv.input_names.push_back(e.name + " v" + std::to_string(e.version));
+    inv.input_contents.push_back(e.data.valid() ? store_->get(e.data).content : "");
+  }
+
+  auto outcome = tools_->invoke(tool_binding, schema.type(rule.tool).name, inv);
+  if (!outcome.ok()) return outcome.error();
+  const ToolOutcome& oc = outcome.value();
+
+  cal::WorkInstant started = clock_->now();
+  clock_->advance(oc.duration);
+  cal::WorkInstant finished = clock_->now();
+
+  meta::Run run;
+  run.activity = rule.activity;
+  run.rule = rule.id;
+  run.tool_binding = tool_binding;
+  run.designer = designer;
+  run.inputs = inputs;
+  run.started_at = started;
+  run.finished_at = finished;
+
+  ActivityRunResult result;
+  if (oc.success) {
+    auto data_id = store_->create(output_type, output_type, oc.content, finished);
+    auto inst = db_->create_instance(output_type, output_type, meta::RunId::invalid(),
+                                     data_id, finished);
+    if (!inst.ok()) return inst.error();
+    run.output = inst.value();
+    run.status = meta::RunStatus::kCompleted;
+    result.output = inst.value();
+    result.success = true;
+  } else {
+    run.status = meta::RunStatus::kFailed;
+    result.success = false;
+  }
+
+  auto run_id = db_->record_run(std::move(run));
+  if (!run_id.ok()) return run_id.error();
+  result.run = run_id.value();
+  return result;
+}
+
+}  // namespace herc::exec

@@ -1,0 +1,118 @@
+#pragma once
+// Flow execution: the post-order traversal of a bound task tree that creates
+// Level-3 entity instances and runs plus Level-4 data objects.
+//
+// "At each step in the execution, entity instances are created in the
+//  Hercules database for each non-leaf node" — paper, Sec. IV.A.
+//
+// Execution happens on a virtual clock (SimClock) in work time; the executor
+// advances the clock by each tool's simulated duration.  Designers can
+// advance the clock manually between runs to model think time, which is how
+// the examples inject schedule slips.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "calendar/work_calendar.hpp"
+#include "data/data_store.hpp"
+#include "exec/tools.hpp"
+#include "flow/task_tree.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::exec {
+
+/// Virtual project clock in work time.
+class SimClock {
+ public:
+  [[nodiscard]] cal::WorkInstant now() const { return now_; }
+
+  void advance(cal::WorkDuration d) {
+    if (d.count_minutes() < 0) throw std::logic_error("SimClock: negative advance");
+    now_ = now_ + d;
+  }
+
+  /// Moves the clock forward to `t`; never backwards.
+  void advance_to(cal::WorkInstant t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  cal::WorkInstant now_;
+};
+
+/// Result of executing one activity.
+struct ActivityRunResult {
+  meta::RunId run;
+  meta::EntityInstanceId output;  ///< invalid if the run failed
+  bool success = true;
+};
+
+/// Result of executing a whole task tree.
+struct ExecutionResult {
+  std::vector<ActivityRunResult> runs;     ///< in execution (post) order
+  meta::EntityInstanceId final_output;     ///< instance of the root's type
+  bool success = true;                     ///< false if any run failed
+};
+
+class Executor {
+ public:
+  /// All dependencies are borrowed; the WorkflowManager owns them.
+  Executor(meta::Database& db, data::DataStore& store, ToolRegistry& tools,
+           SimClock& clock)
+      : db_(&db), store_(&store), tools_(&tools), clock_(&clock) {}
+
+  /// Executes the whole bound tree in post-order.  Stops at the first failed
+  /// run (the paper's designers fix and re-run).  kUnbound if leaves are
+  /// missing bindings.
+  [[nodiscard]] util::Result<ExecutionResult> execute(const flow::TaskTree& tree,
+                                                      const std::string& designer);
+
+  /// Executes a single activity node of the tree (an *iteration*: "a given
+  /// activity may need to be run several times before the design goals are
+  /// achieved").  Inputs resolve to the latest instances in the database;
+  /// kConflict if an input has no instance yet (upstream never ran).
+  [[nodiscard]] util::Result<ActivityRunResult> execute_activity(
+      const flow::TaskTree& tree, flow::TaskNodeId activity,
+      const std::string& designer);
+
+  /// Concurrent-dispatch options: which resources each activity occupies
+  /// while it runs (capacities come from the database's resource registry).
+  struct DispatchOptions {
+    std::unordered_map<std::string, std::vector<meta::ResourceId>> assignments;
+  };
+
+  /// Executes the whole tree the way a team would: independent activities
+  /// run in OVERLAPPING work time, each starting as soon as its inputs exist
+  /// and its assigned resources are free (same serial-dispatch rule as
+  /// resource leveling; activities are non-preemptible).  Recorded run
+  /// timestamps overlap accordingly and the clock advances to the dispatch
+  /// makespan.  Activities with no assignment entry are only input-limited.
+  /// Tool failures abort the remaining dispatch (partial result returned
+  /// with success = false).
+  [[nodiscard]] util::Result<ExecutionResult> execute_concurrent(
+      const flow::TaskTree& tree, const std::string& designer,
+      const DispatchOptions& options = {});
+
+ private:
+  /// Ensures a primary-input binding has an entity instance, importing one
+  /// (plus a synthetic Level-4 object) on first use.
+  meta::EntityInstanceId import_input(const std::string& type_name,
+                                      const std::string& data_name);
+
+  util::Result<ActivityRunResult> run_one(const flow::TaskTree& tree,
+                                          flow::TaskNodeId activity,
+                                          const std::string& designer,
+                                          bool resolve_from_db);
+
+  meta::Database* db_;
+  data::DataStore* store_;
+  ToolRegistry* tools_;
+  SimClock* clock_;
+  // Within one execute() call, maps activity nodes to the instances they
+  // produced, so parents consume exactly their children's outputs.
+  std::vector<meta::EntityInstanceId> produced_;
+};
+
+}  // namespace herc::exec

@@ -1,0 +1,85 @@
+#pragma once
+// Simulated CAD tools.
+//
+// The paper ran real Mentor/Odyssey tools; we substitute deterministic
+// simulated tools (see DESIGN.md).  A ToolSpec registers one *tool instance*
+// (e.g. "spice3f5@server1") of a Level-1 tool type, with a duration model
+// (nominal run time, optional multiplicative noise) and an optional custom
+// behaviour that synthesizes the output design data from the inputs.  All
+// randomness comes from one seeded RNG in the registry, so whole experiments
+// replay bit-identically.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "calendar/work_calendar.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace herc::exec {
+
+/// What a tool sees when invoked.
+struct ToolInvocation {
+  std::string activity;                ///< construction-rule activity name
+  std::string output_type;             ///< data type to produce
+  std::vector<std::string> input_names;
+  std::vector<std::string> input_contents;
+  int attempt = 1;                     ///< 1-based iteration count of this activity
+};
+
+/// What a tool produces.
+struct ToolOutcome {
+  bool success = true;
+  std::string content;       ///< synthetic design data (empty on failure)
+  cal::WorkDuration duration;///< how long the run took, in work time
+  std::string log;           ///< one-line tool log for the run record
+};
+
+using ToolBehavior = std::function<std::string(const ToolInvocation&)>;
+
+/// Registration record for one tool instance.
+struct ToolSpec {
+  std::string instance_name;  ///< unique binding name, e.g. "spice3f5@server1"
+  std::string tool_type;      ///< Level-1 tool type it instantiates
+  cal::WorkDuration nominal = cal::WorkDuration::hours(4);
+  double noise_frac = 0.0;    ///< uniform +-fraction applied to nominal
+  double fail_rate = 0.0;     ///< probability a run fails
+  ToolBehavior behavior;      ///< optional; default synthesizes generic content
+};
+
+/// Registry of tool instances, keyed by instance name.
+class ToolRegistry {
+ public:
+  explicit ToolRegistry(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Fails on duplicate instance names or empty fields.
+  util::Status add(ToolSpec spec);
+
+  [[nodiscard]] bool contains(const std::string& instance_name) const;
+  [[nodiscard]] const ToolSpec& spec(const std::string& instance_name) const;
+
+  /// All registered instances of a tool type.
+  [[nodiscard]] std::vector<std::string> instances_of(const std::string& tool_type) const;
+
+  /// Runs the simulated tool.  kNotFound if the binding is unknown;
+  /// kInvalid if its type differs from `expected_tool_type`.
+  [[nodiscard]] util::Result<ToolOutcome> invoke(const std::string& instance_name,
+                                                 const std::string& expected_tool_type,
+                                                 const ToolInvocation& inv);
+
+ private:
+  std::unordered_map<std::string, ToolSpec> tools_;
+  std::vector<std::string> order_;  // registration order for instances_of
+  util::Rng rng_;
+};
+
+/// Default content synthesizer: a small readable artifact that mixes the
+/// activity, output type and a hash of the inputs, so downstream content
+/// changes whenever any upstream content changes (needed for the versioning
+/// tests).
+[[nodiscard]] std::string default_tool_content(const ToolInvocation& inv);
+
+}  // namespace herc::exec

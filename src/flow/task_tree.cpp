@@ -1,0 +1,200 @@
+#include "flow/task_tree.hpp"
+
+#include <stdexcept>
+
+namespace herc::flow {
+
+const char* node_kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::kActivity: return "activity";
+    case NodeKind::kDataLeaf: return "data-leaf";
+    case NodeKind::kToolLeaf: return "tool-leaf";
+  }
+  return "?";
+}
+
+util::Result<TaskTree> TaskTree::extract(const schema::TaskSchema& schema,
+                                         const std::string& target_type,
+                                         const std::unordered_set<std::string>& stop_at) {
+  auto valid = schema.validate();
+  if (!valid.ok()) return valid.error();
+
+  auto target = schema.find_type(target_type);
+  if (!target)
+    return util::not_found("target type '" + target_type + "' not in schema '" +
+                           schema.name() + "'");
+  if (schema.type(*target).kind != schema::EntityKind::kData)
+    return util::invalid("target '" + target_type + "' is a tool type");
+  if (!schema.producer_of(*target))
+    return util::invalid("target '" + target_type +
+                         "' is a primary input; nothing to execute");
+  if (stop_at.count(target_type))
+    return util::invalid("target '" + target_type + "' is in the stop set");
+  for (const auto& s : stop_at)
+    if (!schema.find_type(s))
+      return util::not_found("stop type '" + s + "' not in schema");
+
+  TaskTree tree(schema);
+  std::unordered_map<std::uint64_t, TaskNodeId> shared;
+  tree.root_ = tree.build(*target, stop_at, TaskNodeId::invalid(), shared);
+  return tree;
+}
+
+TaskNodeId TaskTree::new_node(NodeKind kind, schema::EntityTypeId type,
+                              TaskNodeId parent) {
+  TaskNode n;
+  n.id = TaskNodeId{nodes_.size() + 1};
+  n.kind = kind;
+  n.type = type;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+TaskNodeId TaskTree::build(schema::EntityTypeId data_type,
+                           const std::unordered_set<std::string>& stop_at,
+                           TaskNodeId parent,
+                           std::unordered_map<std::uint64_t, TaskNodeId>& shared) {
+  // A data type already in scope is shared, not duplicated: its producer
+  // runs once and every consumer reads the same output.
+  if (auto it = shared.find(data_type.value()); it != shared.end()) return it->second;
+
+  auto producer = schema_->producer_of(data_type);
+  if (!producer || stop_at.count(schema_->type(data_type).name)) {
+    TaskNodeId leaf = new_node(NodeKind::kDataLeaf, data_type, parent);
+    shared.emplace(data_type.value(), leaf);
+    return leaf;
+  }
+  const auto& rule = schema_->rule(*producer);
+  TaskNodeId id = new_node(NodeKind::kActivity, data_type, parent);
+  nodes_[id.value() - 1].rule = rule.id;
+  shared.emplace(data_type.value(), id);
+  std::vector<TaskNodeId> children;
+  children.reserve(rule.inputs.size() + 1);
+  for (schema::EntityTypeId in : rule.inputs)
+    children.push_back(build(in, stop_at, id, shared));
+  children.push_back(new_node(NodeKind::kToolLeaf, rule.tool, id));
+  nodes_[id.value() - 1].children = std::move(children);
+  return id;
+}
+
+const TaskNode& TaskTree::node(TaskNodeId id) const {
+  if (!id.valid() || id.value() > nodes_.size())
+    throw std::out_of_range("TaskTree::node: unknown id " + id.str());
+  return nodes_[id.value() - 1];
+}
+
+namespace {
+void post_order_walk(const TaskTree& t, TaskNodeId id, std::vector<TaskNodeId>& out,
+                     bool leaves, std::unordered_set<std::uint64_t>& visited) {
+  if (!visited.insert(id.value()).second) return;  // shared node: visit once
+  const TaskNode& n = t.node(id);
+  for (TaskNodeId c : n.children) post_order_walk(t, c, out, leaves, visited);
+  if (leaves ? n.kind != NodeKind::kActivity : n.kind == NodeKind::kActivity)
+    out.push_back(id);
+}
+}  // namespace
+
+std::vector<TaskNodeId> TaskTree::activities_post_order() const {
+  std::vector<TaskNodeId> out;
+  std::unordered_set<std::uint64_t> visited;
+  post_order_walk(*this, root_, out, /*leaves=*/false, visited);
+  return out;
+}
+
+std::vector<TaskNodeId> TaskTree::leaves() const {
+  std::vector<TaskNodeId> out;
+  std::unordered_set<std::uint64_t> visited;
+  post_order_walk(*this, root_, out, /*leaves=*/true, visited);
+  return out;
+}
+
+util::Status TaskTree::bind(TaskNodeId leaf, const std::string& instance_name) {
+  if (!leaf.valid() || leaf.value() > nodes_.size())
+    return util::not_found("bind: unknown node " + leaf.str());
+  TaskNode& n = nodes_[leaf.value() - 1];
+  if (n.kind == NodeKind::kActivity)
+    return util::invalid("bind: node " + leaf.str() +
+                         " is an activity, only leaves are bindable");
+  if (instance_name.empty()) return util::invalid("bind: empty instance name");
+  n.binding = instance_name;
+  return util::Status::ok_status();
+}
+
+util::Status TaskTree::bind_type(const std::string& type_name,
+                                 const std::string& instance_name) {
+  auto type = schema_->find_type(type_name);
+  if (!type) return util::not_found("bind_type: unknown type '" + type_name + "'");
+  bool any = false;
+  for (auto& n : nodes_) {
+    if (n.kind != NodeKind::kActivity && n.type == *type) {
+      n.binding = instance_name;
+      any = true;
+    }
+  }
+  if (!any)
+    return util::not_found("bind_type: no leaf of type '" + type_name +
+                           "' in this task tree");
+  return util::Status::ok_status();
+}
+
+util::Status TaskTree::fully_bound() const {
+  std::string missing;
+  for (const auto& n : nodes_) {
+    if (n.kind != NodeKind::kActivity && n.binding.empty()) {
+      if (!missing.empty()) missing += ", ";
+      missing += schema_->type(n.type).name + " (" + node_kind_name(n.kind) + " " +
+                 n.id.str() + ")";
+    }
+  }
+  if (!missing.empty()) return util::unbound("unbound leaves: " + missing);
+  return util::Status::ok_status();
+}
+
+const std::string& TaskTree::activity_name(TaskNodeId id) const {
+  const TaskNode& n = node(id);
+  if (n.kind != NodeKind::kActivity)
+    throw std::logic_error("activity_name: node " + id.str() + " is a leaf");
+  return schema_->rule(n.rule).activity;
+}
+
+void TaskTree::render_node(TaskNodeId id, std::string& out, std::string prefix,
+                           bool last,
+                           std::unordered_set<std::uint64_t>& rendered) const {
+  const TaskNode& n = node(id);
+  const bool repeat = !rendered.insert(id.value()).second;
+  out += prefix;
+  if (n.parent.valid()) out += last ? "`-- " : "|-- ";
+  switch (n.kind) {
+    case NodeKind::kActivity:
+      out += "[" + schema_->rule(n.rule).activity + "] -> " +
+             schema_->type(n.type).name;
+      if (repeat) {
+        out += " (shared, see above)\n";
+        return;
+      }
+      break;
+    case NodeKind::kDataLeaf:
+      out += schema_->type(n.type).name + " (data";
+      out += n.binding.empty() ? ", UNBOUND)" : " = " + n.binding + ")";
+      break;
+    case NodeKind::kToolLeaf:
+      out += schema_->type(n.type).name + " (tool";
+      out += n.binding.empty() ? ", UNBOUND)" : " = " + n.binding + ")";
+      break;
+  }
+  out += "\n";
+  std::string child_prefix = prefix;
+  if (n.parent.valid()) child_prefix += last ? "    " : "|   ";
+  for (std::size_t i = 0; i < n.children.size(); ++i)
+    render_node(n.children[i], out, child_prefix, i + 1 == n.children.size(), rendered);
+}
+
+std::string TaskTree::render() const {
+  std::string out;
+  std::unordered_set<std::uint64_t> rendered;
+  render_node(root_, out, "", true, rendered);
+  return out;
+}
+
+}  // namespace herc::flow

@@ -1,0 +1,110 @@
+#pragma once
+// Level 2 of the four-level architecture: design flow models.
+//
+// In Hercules the Level-2 object is the *task tree*: the user extracts a
+// tree that covers the scope of an intended task, then binds unique tool and
+// data instances to its leaf nodes, after which the tree can be executed
+// (creating Level-3 metadata) or *simulated* (creating Level-3 schedule
+// instances — the paper's core idea).
+//
+// Tree shape: each construction rule whose output is in scope becomes an
+// activity node; its children are, in rule order, one node per input data
+// type (either the producing activity node or a data leaf) followed by a
+// tool leaf for the rule's tool type.  Extraction is deterministic because a
+// data type has at most one producing rule (see schema.hpp).
+//
+// Shared structure: a data type consumed by several activities is
+// represented by ONE node (activity or data leaf) referenced from each
+// consumer — the "tree" is really a rooted DAG, so each activity is planned
+// and executed once however many consumers its output has.  `parent` holds
+// the first consumer found; traversals visit each node exactly once.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "schema/schema.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace herc::flow {
+
+using util::TaskNodeId;
+
+enum class NodeKind {
+  kActivity,  ///< a construction rule to run
+  kDataLeaf,  ///< a primary-input data slot to bind
+  kToolLeaf,  ///< a tool slot to bind
+};
+
+[[nodiscard]] const char* node_kind_name(NodeKind k);
+
+/// One node of a task tree.
+struct TaskNode {
+  TaskNodeId id;
+  NodeKind kind = NodeKind::kActivity;
+  schema::RuleId rule;           ///< set for activity nodes
+  schema::EntityTypeId type;     ///< output data type / leaf data type / tool type
+  std::vector<TaskNodeId> children;  ///< inputs in rule order, tool leaf last
+  TaskNodeId parent;             ///< invalid for the root
+  std::string binding;           ///< bound instance name; empty if unbound (leaves)
+};
+
+/// A task tree over a schema.  Holds a non-owning pointer to the schema; the
+/// schema must outlive the tree (the WorkflowManager owns both).
+class TaskTree {
+ public:
+  /// Extracts the tree producing `target_type` (a data type name).  Types in
+  /// `stop_at` are treated as given inputs even if a producing rule exists,
+  /// which limits the scope of the task exactly as Hercules' "task tree that
+  /// covers the scope of the intended task".
+  [[nodiscard]] static util::Result<TaskTree> extract(
+      const schema::TaskSchema& schema, const std::string& target_type,
+      const std::unordered_set<std::string>& stop_at = {});
+
+  [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
+  [[nodiscard]] TaskNodeId root() const { return root_; }
+  [[nodiscard]] const TaskNode& node(TaskNodeId id) const;
+  [[nodiscard]] const std::vector<TaskNode>& nodes() const { return nodes_; }
+
+  /// Activity nodes in post-order: "running from primary inputs to outputs".
+  /// This is both the execution order and the planning order.
+  [[nodiscard]] std::vector<TaskNodeId> activities_post_order() const;
+
+  /// All leaves (data + tool) in post-order.
+  [[nodiscard]] std::vector<TaskNodeId> leaves() const;
+
+  /// Binds a specific leaf to an instance name (a tool instance like
+  /// "spice3f5@server1" or a design-data name like "adder.netlist").
+  util::Status bind(TaskNodeId leaf, const std::string& instance_name);
+
+  /// Binds every leaf whose entity type is named `type_name`.
+  util::Status bind_type(const std::string& type_name, const std::string& instance_name);
+
+  /// OK iff every leaf is bound; otherwise lists the unbound slots.
+  [[nodiscard]] util::Status fully_bound() const;
+
+  /// Activity name of a node (activity nodes only).
+  [[nodiscard]] const std::string& activity_name(TaskNodeId id) const;
+
+  /// ASCII rendering of the tree with bindings (the Fig. 8 task-graph pane).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  explicit TaskTree(const schema::TaskSchema& schema) : schema_(&schema) {}
+
+  TaskNodeId build(schema::EntityTypeId data_type,
+                   const std::unordered_set<std::string>& stop_at, TaskNodeId parent,
+                   std::unordered_map<std::uint64_t, TaskNodeId>& shared);
+  TaskNodeId new_node(NodeKind kind, schema::EntityTypeId type, TaskNodeId parent);
+  void render_node(TaskNodeId id, std::string& out, std::string prefix, bool last,
+                   std::unordered_set<std::uint64_t>& rendered) const;
+
+  const schema::TaskSchema* schema_;
+  std::vector<TaskNode> nodes_;  // index = id - 1
+  TaskNodeId root_;
+};
+
+}  // namespace herc::flow

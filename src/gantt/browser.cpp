@@ -1,0 +1,54 @@
+#include "gantt/browser.hpp"
+
+#include "gantt/gantt.hpp"
+#include "util/strings.hpp"
+
+namespace herc::gantt {
+
+std::string ScheduleBrowser::list() const {
+  std::string out = "Schedule instance browser\n";
+  const std::int64_t mpd = calendar_->minutes_per_day();
+  for (const auto& rule : db_->schema().rules()) {
+    auto ids = space_->container(rule.activity);
+    out += "  [" + rule.activity + "]";
+    bool empty = true;
+    std::string body;
+    for (sched::ScheduleNodeId id : ids) {
+      const auto& n = space_->node(id);
+      if (n.deleted) continue;
+      empty = false;
+      body += (selected_ && *selected_ == id) ? "    > " : "      ";
+      body += n.str() + "  est " + n.est_duration.str(mpd) + "  " +
+              calendar_->format_date(n.planned_start) + " .. " +
+              calendar_->format_date(n.planned_finish) + "\n";
+    }
+    out += empty ? " (empty)\n" : "\n" + body;
+  }
+  return out;
+}
+
+util::Status ScheduleBrowser::select(sched::ScheduleNodeId id) {
+  if (!id.valid() || id.value() > space_->node_count())
+    return util::not_found("browser: no schedule instance " + id.str());
+  if (space_->node(id).deleted)
+    return util::conflict("browser: schedule instance " + id.str() + " was deleted");
+  selected_ = id;
+  return util::Status::ok_status();
+}
+
+util::Result<std::string> ScheduleBrowser::display() const {
+  if (!selected_) return util::invalid("browser: nothing selected");
+  return render_schedule_card(*space_, *db_, *calendar_, *selected_);
+}
+
+util::Status ScheduleBrowser::delete_selected() {
+  if (!selected_) return util::invalid("browser: nothing selected");
+  if (space_->link_of(*selected_))
+    return util::conflict("browser: instance " + selected_->str() +
+                          " is linked to design data and cannot be deleted");
+  space_->node_mut(*selected_).deleted = true;
+  selected_.reset();
+  return util::Status::ok_status();
+}
+
+}  // namespace herc::gantt

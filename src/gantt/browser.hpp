@@ -1,0 +1,55 @@
+#pragma once
+// Schedule-instance browser.
+//
+// "A schedule instance browser was developed to browse the schedule
+//  instances located in the Hercules database ... the user can select,
+//  delete, or display schedule instances." — paper, Sec. IV.C
+//
+// This is the text stand-in for that UI pane: a small stateful cursor over
+// the schedule-space containers supporting exactly the paper's three
+// operations (select / delete / display) plus listing.
+
+#include <optional>
+#include <string>
+
+#include "calendar/work_calendar.hpp"
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::gantt {
+
+class ScheduleBrowser {
+ public:
+  ScheduleBrowser(sched::ScheduleSpace& space, const meta::Database& db,
+                  const cal::WorkCalendar& calendar)
+      : space_(&space), db_(&db), calendar_(&calendar) {}
+
+  /// Lists all (non-deleted) schedule instances grouped by activity
+  /// container; the selected one is marked with '>'.
+  [[nodiscard]] std::string list() const;
+
+  /// Selects an instance for display/delete.  kNotFound on a bad id,
+  /// kConflict if it was deleted.
+  util::Status select(sched::ScheduleNodeId id);
+
+  [[nodiscard]] std::optional<sched::ScheduleNodeId> selected() const {
+    return selected_;
+  }
+
+  /// Detail card of the selected instance; kInvalid if nothing is selected.
+  [[nodiscard]] util::Result<std::string> display() const;
+
+  /// Marks the selected instance deleted (it disappears from listings; ids
+  /// stay stable) and clears the selection.  kInvalid if nothing selected,
+  /// kConflict if the instance is linked to design data (completed work
+  /// cannot be deleted out of the schedule history).
+  util::Status delete_selected();
+
+ private:
+  sched::ScheduleSpace* space_;
+  const meta::Database* db_;
+  const cal::WorkCalendar* calendar_;
+  std::optional<sched::ScheduleNodeId> selected_;
+};
+
+}  // namespace herc::gantt

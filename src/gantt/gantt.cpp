@@ -1,0 +1,235 @@
+#include "gantt/gantt.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::gantt {
+
+namespace {
+
+/// Maps a work instant into a chart column.
+struct Scale {
+  std::int64_t t0;       // chart origin, work minutes
+  std::int64_t t1;       // chart end
+  int width;
+
+  [[nodiscard]] int col(std::int64_t t) const {
+    if (t1 <= t0) return 0;
+    auto c = static_cast<int>((t - t0) * width / (t1 - t0));
+    return std::clamp(c, 0, width - 1);
+  }
+};
+
+/// Paints glyph `g` over [from, to) columns; `g` wins over ' ' and weaker
+/// glyphs only (priority: '#' > '=' > '.').
+void paint(std::string& row, int from, int to, char g) {
+  auto rank = [](char c) {
+    switch (c) {
+      case '#': return 3;
+      case '=': return 2;
+      case '.': return 1;
+      default: return 0;
+    }
+  };
+  if (to <= from) to = from + 1;  // zero-length spans still show one cell
+  for (int i = from; i < to && i < static_cast<int>(row.size()); ++i)
+    if (rank(g) > rank(row[i])) row[i] = g;
+}
+
+/// Date-axis row: tick dates at the quarter points of the chart.
+std::string axis_row(const Scale& scale, const cal::WorkCalendar& calendar,
+                     std::size_t label_width) {
+  std::string axis(static_cast<std::size_t>(scale.width), ' ');
+  for (int quarter = 0; quarter < 4; ++quarter) {
+    int col = scale.width * quarter / 4;
+    std::int64_t t =
+        scale.t0 + (scale.t1 - scale.t0) * col / std::max(1, scale.width);
+    std::string mark = calendar.format_date(cal::WorkInstant(t)).substr(5);  // MM-DD
+    if (col + static_cast<int>(mark.size()) <= scale.width)
+      axis.replace(static_cast<std::size_t>(col), mark.size(), mark);
+  }
+  return util::pad_right("", label_width) + "|" + axis + "|\n";
+}
+
+/// Bar row of one schedule node on an existing scale.
+std::string paint_row(const sched::ScheduleNode& n, const Scale& scale,
+                      std::int64_t now, const GanttOptions& options,
+                      std::size_t label_width) {
+  std::string bars(static_cast<std::size_t>(options.chart_width), ' ');
+  if (options.show_baseline) {
+    paint(bars, scale.col(n.baseline_start.minutes_since_epoch()),
+          scale.col(n.baseline_finish.minutes_since_epoch()) + 1, '.');
+  }
+  if (!n.completed) {
+    std::int64_t ps = n.planned_start.minutes_since_epoch();
+    std::int64_t pf = n.planned_finish.minutes_since_epoch();
+    if (n.actual_start) ps = std::max(ps, now);
+    if (pf > ps) paint(bars, scale.col(ps), scale.col(pf) + 1, '=');
+  }
+  if (n.actual_start) {
+    std::int64_t as = n.actual_start->minutes_since_epoch();
+    std::int64_t af = n.actual_finish ? n.actual_finish->minutes_since_epoch() : now;
+    paint(bars, scale.col(as), scale.col(af) + 1, '#');
+  }
+  int today = scale.col(now);
+  if (bars[static_cast<std::size_t>(today)] == ' ')
+    bars[static_cast<std::size_t>(today)] = '|';
+
+  std::string label = n.activity;
+  if (n.critical) label += " *";
+  if (n.completed) label += " (done)";
+  return util::pad_right(label, label_width) + "|" + bars + "|\n";
+}
+
+/// Widens [t0, t1] to cover one plan's visible nodes; returns whether any
+/// node is visible.
+bool span_of_plan(const sched::ScheduleSpace& space, const sched::ScheduleRun& p,
+                  std::int64_t& t0, std::int64_t& t1, bool& initialized) {
+  bool any = false;
+  for (sched::ScheduleNodeId nid : p.nodes) {
+    const auto& n = space.node(nid);
+    if (n.deleted) continue;
+    any = true;
+    std::int64_t lo = std::min(n.baseline_start.minutes_since_epoch(),
+                               n.planned_start.minutes_since_epoch());
+    std::int64_t hi = std::max(n.baseline_finish.minutes_since_epoch(),
+                               n.planned_finish.minutes_since_epoch());
+    if (n.actual_start) lo = std::min(lo, n.actual_start->minutes_since_epoch());
+    if (n.actual_finish) hi = std::max(hi, n.actual_finish->minutes_since_epoch());
+    if (!initialized) {
+      t0 = lo;
+      t1 = hi;
+      initialized = true;
+    } else {
+      t0 = std::min(t0, lo);
+      t1 = std::max(t1, hi);
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+util::Result<std::string> render_portfolio_gantt(
+    const sched::ScheduleSpace& space, const cal::WorkCalendar& calendar,
+    const std::vector<sched::ScheduleRunId>& plans, cal::WorkInstant as_of,
+    const GanttOptions& options) {
+  if (plans.empty()) return util::invalid("portfolio gantt: no plans given");
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    for (std::size_t j = i + 1; j < plans.size(); ++j)
+      if (plans[i] == plans[j])
+        return util::invalid("portfolio gantt: plan " + plans[i].str() +
+                             " listed twice");
+
+  const std::int64_t now = as_of.minutes_since_epoch();
+  std::int64_t t0 = now, t1 = now;
+  bool initialized = false;
+  for (sched::ScheduleRunId pid : plans)
+    span_of_plan(space, space.plan(pid), t0, t1, initialized);
+  if (!initialized) {
+    t0 = t1 = now;
+  }
+  t0 = std::min(t0, now);
+  t1 = std::max(t1, now);
+  if (t1 <= t0) t1 = t0 + 1;
+
+  Scale scale{t0, t1, options.chart_width};
+  const std::size_t label_width = 18;
+
+  std::string out = "Portfolio Gantt   [" + calendar.format_date(cal::WorkInstant(t0)) +
+                    " .. " + calendar.format_date(cal::WorkInstant(t1)) +
+                    "]   as of " + calendar.format_date(as_of) + "\n";
+  out += axis_row(scale, calendar, label_width);
+  for (sched::ScheduleRunId pid : plans) {
+    const auto& p = space.plan(pid);
+    out += "-- " + p.str() + "\n";
+    bool any = false;
+    for (sched::ScheduleNodeId nid : p.nodes) {
+      const auto& n = space.node(nid);
+      if (n.deleted) continue;
+      any = true;
+      out += paint_row(n, scale, now, options, label_width);
+    }
+    if (!any) out += util::pad_right("(no activities)", label_width) + "\n";
+  }
+  if (options.show_legend) {
+    out += util::pad_right("", label_width) +
+           " . baseline  = projected  # actual  * critical  | today\n";
+  }
+  return out;
+}
+
+std::string render_gantt(const sched::ScheduleSpace& space,
+                         const cal::WorkCalendar& calendar, sched::ScheduleRunId plan,
+                         cal::WorkInstant as_of, const GanttOptions& options) {
+  const auto& p = space.plan(plan);
+  const std::int64_t now = as_of.minutes_since_epoch();
+
+  // Chart span: earliest baseline/actual start to latest finish or `now`.
+  std::int64_t t0 = 0, t1 = 0;
+  bool initialized = false;
+  bool any = span_of_plan(space, p, t0, t1, initialized);
+  if (!any) return "Gantt: plan '" + p.name + "' has no activities\n";
+  t0 = std::min(t0, now);
+  t1 = std::max(t1, now);
+  if (t1 <= t0) t1 = t0 + 1;
+
+  Scale scale{t0, t1, options.chart_width};
+  const std::size_t label_width = 18;
+
+  std::string out;
+  out += "Gantt: " + p.str() + "   [" + calendar.format_date(cal::WorkInstant(t0)) +
+         " .. " + calendar.format_date(cal::WorkInstant(t1)) + "]   as of " +
+         calendar.format_date(as_of) + "\n";
+  out += axis_row(scale, calendar, label_width);
+
+  for (sched::ScheduleNodeId nid : p.nodes) {
+    const auto& n = space.node(nid);
+    if (n.deleted) continue;
+    out += paint_row(n, scale, now, options, label_width);
+  }
+
+  if (options.show_legend) {
+    out += util::pad_right("", label_width) +
+           " . baseline  = projected  # actual  * critical  | today\n";
+  }
+  return out;
+}
+
+std::string render_schedule_card(const sched::ScheduleSpace& space,
+                                 const meta::Database& db,
+                                 const cal::WorkCalendar& calendar,
+                                 sched::ScheduleNodeId node) {
+  const auto& n = space.node(node);
+  const std::int64_t mpd = calendar.minutes_per_day();
+  std::string out;
+  out += "Schedule instance " + n.str() + "\n";
+  out += "  plan:            " + space.plan(n.plan).str() + "\n";
+  out += "  estimate:        " + n.est_duration.str(mpd) + "\n";
+  out += "  baseline:        " + calendar.format(n.baseline_start) + " .. " +
+         calendar.format(n.baseline_finish) + "\n";
+  out += "  projected:       " + calendar.format(n.planned_start) + " .. " +
+         calendar.format(n.planned_finish) + "\n";
+  out += "  slack:           " + n.total_slack.str(mpd) +
+         (n.critical ? "  (CRITICAL)" : "") + "\n";
+  if (!n.resources.empty()) {
+    out += "  resources:      ";
+    for (util::ResourceId r : n.resources) out += " " + db.resource(r).name;
+    out += "\n";
+  }
+  if (n.actual_start)
+    out += "  actual start:    " + calendar.format(*n.actual_start) + "\n";
+  if (n.actual_finish)
+    out += "  actual finish:   " + calendar.format(*n.actual_finish) + "\n";
+  if (auto lid = space.link_of(node)) {
+    const auto& link = space.links()[lid->value() - 1];
+    out += "  linked to:       " + db.instance(link.entity_instance).str() + "\n";
+  }
+  out += "  status:          ";
+  out += n.completed ? "complete" : (n.actual_start ? "in progress" : "not started");
+  out += "\n";
+  return out;
+}
+
+}  // namespace herc::gantt

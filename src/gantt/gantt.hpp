@@ -1,0 +1,57 @@
+#pragma once
+// Gantt chart rendering.
+//
+// "A Gantt Chart displays the schedule information as a series of tasks and
+//  displays graphically both the planned schedule and the accomplished
+//  schedule." — paper, Sec. IV.B
+//
+// The paper's Motif UI becomes a text chart (see DESIGN.md substitutions):
+// one row per activity, a shared time axis in workdays, with the baseline
+// plan, the current projection and the accomplished (actual) schedule drawn
+// as distinct bar glyphs:
+//
+//   .  baseline plan          =  current projection (incomplete work)
+//   #  accomplished (actual)  |  the as-of ("today") line
+//
+// Both pieces of the paper's schedule information are drawn: the proposed
+// schedule comes from the schedule instance's parameters, the actual from
+// the entity instance linked to it.
+
+#include <string>
+
+#include "calendar/work_calendar.hpp"
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::gantt {
+
+struct GanttOptions {
+  int chart_width = 60;       ///< columns available for the bar area
+  bool show_baseline = true;  ///< draw the baseline row under each activity
+  bool show_legend = true;
+};
+
+/// Renders the Gantt chart of one plan as of `as_of`.
+[[nodiscard]] std::string render_gantt(const sched::ScheduleSpace& space,
+                                       const cal::WorkCalendar& calendar,
+                                       sched::ScheduleRunId plan,
+                                       cal::WorkInstant as_of,
+                                       const GanttOptions& options = {});
+
+/// Portfolio view: several plans stacked on ONE shared time axis, so the
+/// project manager sees "a portion of the overall schedule" across tasks or
+/// chips at once.  Plans render in the given order with a section header
+/// each; duplicate ids are rejected (kInvalid), as is an empty list.
+[[nodiscard]] util::Result<std::string> render_portfolio_gantt(
+    const sched::ScheduleSpace& space, const cal::WorkCalendar& calendar,
+    const std::vector<sched::ScheduleRunId>& plans, cal::WorkInstant as_of,
+    const GanttOptions& options = {});
+
+/// Detail card for a single schedule instance ("viewing individual schedule
+/// plans" in the paper's UI feature list).
+[[nodiscard]] std::string render_schedule_card(const sched::ScheduleSpace& space,
+                                               const meta::Database& db,
+                                               const cal::WorkCalendar& calendar,
+                                               sched::ScheduleNodeId node);
+
+}  // namespace herc::gantt

@@ -1,0 +1,191 @@
+#include "gantt/svg.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::gantt {
+
+namespace {
+
+// Palette (colour-blind-safe).
+constexpr const char* kBaselineFill = "#c8c8c8";
+constexpr const char* kProjectedFill = "#5b8ff9";
+constexpr const char* kActualFill = "#2f9e44";
+constexpr const char* kCriticalStroke = "#d6336c";
+constexpr const char* kTodayStroke = "#e8590c";
+constexpr const char* kGridStroke = "#e9ecef";
+constexpr const char* kTextFill = "#212529";
+
+std::string attr_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct SvgScale {
+  std::int64_t t0, t1;
+  int x0, width;
+
+  [[nodiscard]] double x(std::int64_t t) const {
+    if (t1 <= t0) return x0;
+    double frac = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+    return x0 + frac * width;
+  }
+};
+
+void rect(std::string& out, double x, double y, double w, double h,
+          const std::string& fill, const std::string& extra = {}) {
+  if (w < 1) w = 1;
+  out += "  <rect x=\"" + util::format_double(x, 1) + "\" y=\"" +
+         util::format_double(y, 1) + "\" width=\"" + util::format_double(w, 1) +
+         "\" height=\"" + util::format_double(h, 1) + "\" fill=\"" + fill + "\"" +
+         (extra.empty() ? "" : " " + extra) + "/>\n";
+}
+
+void text(std::string& out, double x, double y, const std::string& content,
+          int size = 12, const std::string& extra = {}) {
+  out += "  <text x=\"" + util::format_double(x, 1) + "\" y=\"" +
+         util::format_double(y, 1) + "\" font-family=\"sans-serif\" font-size=\"" +
+         std::to_string(size) + "\" fill=\"" + kTextFill + "\"" +
+         (extra.empty() ? "" : " " + extra) + ">" + attr_escape(content) + "</text>\n";
+}
+
+void line(std::string& out, double x1, double y1, double x2, double y2,
+          const std::string& stroke, const std::string& extra = {}) {
+  out += "  <line x1=\"" + util::format_double(x1, 1) + "\" y1=\"" +
+         util::format_double(y1, 1) + "\" x2=\"" + util::format_double(x2, 1) +
+         "\" y2=\"" + util::format_double(y2, 1) + "\" stroke=\"" + stroke + "\"" +
+         (extra.empty() ? "" : " " + extra) + "/>\n";
+}
+
+}  // namespace
+
+std::string render_gantt_svg(const sched::ScheduleSpace& space,
+                             const cal::WorkCalendar& calendar,
+                             sched::ScheduleRunId plan, cal::WorkInstant as_of,
+                             const SvgOptions& options) {
+  const auto& p = space.plan(plan);
+  const std::int64_t now = as_of.minutes_since_epoch();
+
+  std::vector<sched::ScheduleNodeId> visible;
+  std::int64_t t0 = now, t1 = now;
+  for (sched::ScheduleNodeId nid : p.nodes) {
+    const auto& n = space.node(nid);
+    if (n.deleted) continue;
+    visible.push_back(nid);
+    t0 = std::min({t0, n.baseline_start.minutes_since_epoch(),
+                   n.planned_start.minutes_since_epoch()});
+    t1 = std::max({t1, n.baseline_finish.minutes_since_epoch(),
+                   n.planned_finish.minutes_since_epoch()});
+    if (n.actual_start) t0 = std::min(t0, n.actual_start->minutes_since_epoch());
+    if (n.actual_finish) t1 = std::max(t1, n.actual_finish->minutes_since_epoch());
+  }
+  if (t1 <= t0) t1 = t0 + 1;
+
+  const int header = 34;
+  const int legend = options.show_legend ? 26 : 0;
+  const int chart_height = static_cast<int>(visible.size()) * options.row_height;
+  const int total_width = options.label_width + options.chart_width + 20;
+  const int total_height = header + chart_height + legend + 14;
+  SvgScale scale{t0, t1, options.label_width, options.chart_width};
+
+  std::string out;
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(total_width) + "\" height=\"" + std::to_string(total_height) +
+         "\" viewBox=\"0 0 " + std::to_string(total_width) + " " +
+         std::to_string(total_height) + "\">\n";
+  rect(out, 0, 0, total_width, total_height, "#ffffff");
+  text(out, 8, 20,
+       "Gantt: " + p.name + "  [" + calendar.format_date(cal::WorkInstant(t0)) +
+           " .. " + calendar.format_date(cal::WorkInstant(t1)) + "]  as of " +
+           calendar.format_date(as_of),
+       13, "font-weight=\"bold\"");
+
+  // Workday grid.
+  if (options.show_grid) {
+    const std::int64_t mpd = calendar.minutes_per_day();
+    for (std::int64_t t = (t0 / mpd) * mpd; t <= t1; t += mpd) {
+      if (t < t0) continue;
+      line(out, scale.x(t), header, scale.x(t), header + chart_height, kGridStroke);
+    }
+  }
+
+  int row = 0;
+  for (sched::ScheduleNodeId nid : visible) {
+    const auto& n = space.node(nid);
+    double y = header + row * options.row_height;
+    double bar_h = options.row_height - 8.0;
+
+    std::string label = n.activity + (n.completed ? " (done)" : "");
+    text(out, 8, y + options.row_height - 8.0, label, 12);
+
+    // Baseline (thin, underneath).
+    rect(out, scale.x(n.baseline_start.minutes_since_epoch()),
+         y + options.row_height - 7.0,
+         scale.x(n.baseline_finish.minutes_since_epoch()) -
+             scale.x(n.baseline_start.minutes_since_epoch()),
+         3, kBaselineFill);
+
+    // Projection of remaining work.
+    if (!n.completed) {
+      std::int64_t ps = n.planned_start.minutes_since_epoch();
+      std::int64_t pf = n.planned_finish.minutes_since_epoch();
+      if (n.actual_start) ps = std::max(ps, now);
+      if (pf > ps) {
+        std::string extra;
+        if (n.critical)
+          extra = "stroke=\"" + std::string(kCriticalStroke) + "\" stroke-width=\"1.5\"";
+        rect(out, scale.x(ps), y + 3, scale.x(pf) - scale.x(ps), bar_h, kProjectedFill,
+             extra);
+      }
+    }
+
+    // Accomplished.
+    if (n.actual_start) {
+      std::int64_t as = n.actual_start->minutes_since_epoch();
+      std::int64_t af = n.actual_finish ? n.actual_finish->minutes_since_epoch() : now;
+      std::string extra;
+      if (n.critical)
+        extra = "stroke=\"" + std::string(kCriticalStroke) + "\" stroke-width=\"1.5\"";
+      rect(out, scale.x(as), y + 3, scale.x(af) - scale.x(as), bar_h, kActualFill,
+           extra);
+    }
+    ++row;
+  }
+
+  // Today line on top.
+  line(out, scale.x(now), header, scale.x(now), header + chart_height, kTodayStroke,
+       "stroke-width=\"1.5\" stroke-dasharray=\"4 3\"");
+
+  if (options.show_legend) {
+    double y = header + chart_height + 16.0;
+    double x = 8;
+    auto swatch = [&](const char* fill, const std::string& name) {
+      rect(out, x, y - 9, 14, 9, fill);
+      text(out, x + 18, y, name, 11);
+      x += 22 + 7.0 * name.size() + 12;
+    };
+    swatch(kBaselineFill, "baseline");
+    swatch(kProjectedFill, "projected");
+    swatch(kActualFill, "actual");
+    line(out, x, y - 9, x, y, kCriticalStroke, "stroke-width=\"1.5\"");
+    text(out, x + 6, y, "critical outline", 11);
+    x += 6 + 7.0 * 16 + 12;
+    line(out, x, y - 9, x, y, kTodayStroke, "stroke-dasharray=\"4 3\"");
+    text(out, x + 6, y, "today", 11);
+  }
+
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace herc::gantt

@@ -1,0 +1,32 @@
+#pragma once
+// SVG rendering of Gantt charts.
+//
+// The ASCII chart (gantt.hpp) is the terminal view; this produces a
+// standalone SVG document with the same information — baseline, projection
+// and accomplished bars per activity, a today line, workday grid, and a
+// legend — suitable for reports or a browser.  The output is deterministic
+// for a given database state (tested as a fixed point).
+
+#include <string>
+
+#include "calendar/work_calendar.hpp"
+#include "core/schedule_space.hpp"
+
+namespace herc::gantt {
+
+struct SvgOptions {
+  int chart_width = 720;   ///< pixels for the bar area
+  int row_height = 22;     ///< pixels per activity row
+  int label_width = 150;   ///< pixels for activity names
+  bool show_grid = true;   ///< vertical lines at workday boundaries
+  bool show_legend = true;
+};
+
+/// Renders one plan to a complete <svg> document.
+[[nodiscard]] std::string render_gantt_svg(const sched::ScheduleSpace& space,
+                                           const cal::WorkCalendar& calendar,
+                                           sched::ScheduleRunId plan,
+                                           cal::WorkInstant as_of,
+                                           const SvgOptions& options = {});
+
+}  // namespace herc::gantt

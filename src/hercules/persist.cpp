@@ -1,0 +1,460 @@
+#include "hercules/persist.hpp"
+
+#include "util/json.hpp"
+
+namespace herc::hercules {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+namespace {
+
+Json instant_json(cal::WorkInstant t) { return Json(t.minutes_since_epoch()); }
+
+Json optional_instant_json(const std::optional<cal::WorkInstant>& t) {
+  if (!t) return Json(nullptr);
+  return instant_json(*t);
+}
+
+cal::WorkInstant instant_of(const Json& j) { return cal::WorkInstant(j.as_int()); }
+
+std::optional<cal::WorkInstant> optional_instant_of(const Json& j) {
+  if (j.is_null()) return std::nullopt;
+  return instant_of(j);
+}
+
+}  // namespace
+
+/// Friend of WorkflowManager; does the actual field-level work.
+class Persistence {
+ public:
+  static std::string save(const WorkflowManager& m) {
+    JsonObject root;
+    root.set("format", "hercsched-db-v1");
+    root.set("schema_dsl", m.schema_->to_dsl());
+
+    // Calendar.
+    {
+      const auto& cfg = m.calendar_.config();
+      JsonObject cal;
+      cal.set("epoch", cfg.epoch.str());
+      cal.set("minutes_per_day", cfg.minutes_per_day);
+      cal.set("day_start_minute", cfg.day_start_minute);
+      JsonArray week;
+      for (bool w : cfg.workweek) week.emplace_back(w);
+      cal.set("workweek", std::move(week));
+      JsonArray holidays;
+      for (cal::Date d : m.calendar_.holidays()) holidays.emplace_back(d.str());
+      cal.set("holidays", std::move(holidays));
+      root.set("calendar", std::move(cal));
+    }
+
+    root.set("clock", m.clock_.now().minutes_since_epoch());
+
+    // Resources.
+    {
+      JsonArray arr;
+      for (const auto& r : m.db_->resources()) {
+        JsonObject o;
+        o.set("name", r.name);
+        o.set("kind", r.kind);
+        o.set("capacity", r.capacity);
+        JsonArray off;
+        for (auto [from, to] : r.time_off) {
+          JsonArray window;
+          window.push_back(instant_json(from));
+          window.push_back(instant_json(to));
+          off.emplace_back(std::move(window));
+        }
+        o.set("time_off", std::move(off));
+        arr.emplace_back(std::move(o));
+      }
+      root.set("resources", std::move(arr));
+    }
+
+    // Level 4.
+    {
+      JsonArray arr;
+      for (const auto& d : m.store_->all()) {
+        JsonObject o;
+        o.set("id", d.id.value());
+        o.set("name", d.name);
+        o.set("type", d.type_name);
+        o.set("version", d.version);
+        o.set("content", d.content);
+        o.set("created", instant_json(d.created_at));
+        arr.emplace_back(std::move(o));
+      }
+      root.set("data_objects", std::move(arr));
+    }
+
+    // Level 3, execution space.
+    {
+      JsonArray arr;
+      for (const auto& e : m.db_->instances()) {
+        JsonObject o;
+        o.set("id", e.id.value());
+        o.set("type", e.type_name);
+        o.set("name", e.name);
+        o.set("version", e.version);
+        o.set("produced_by", e.produced_by.valid()
+                                 ? Json(e.produced_by.value())
+                                 : Json(nullptr));
+        o.set("data", e.data.valid() ? Json(e.data.value()) : Json(nullptr));
+        o.set("created", instant_json(e.created_at));
+        arr.emplace_back(std::move(o));
+      }
+      root.set("instances", std::move(arr));
+    }
+    {
+      JsonArray arr;
+      for (const auto& r : m.db_->runs()) {
+        JsonObject o;
+        o.set("id", r.id.value());
+        o.set("activity", r.activity);
+        o.set("tool", r.tool_binding);
+        o.set("designer", r.designer);
+        JsonArray inputs;
+        for (auto in : r.inputs) inputs.emplace_back(in.value());
+        o.set("inputs", std::move(inputs));
+        o.set("output", r.output.valid() ? Json(r.output.value()) : Json(nullptr));
+        o.set("started", instant_json(r.started_at));
+        o.set("finished", instant_json(r.finished_at));
+        o.set("status", std::string(meta::run_status_name(r.status)));
+        arr.emplace_back(std::move(o));
+      }
+      root.set("runs", std::move(arr));
+    }
+
+    // Level 3, schedule space.
+    {
+      JsonArray arr;
+      for (const auto& p : m.space_->plans()) {
+        JsonObject o;
+        o.set("id", p.id.value());
+        o.set("name", p.name);
+        o.set("created", instant_json(p.created_at));
+        o.set("anchor", instant_json(p.anchor));
+        o.set("deadline", optional_instant_json(p.deadline));
+        o.set("derived_from",
+              p.derived_from.valid() ? Json(p.derived_from.value()) : Json(nullptr));
+        o.set("status", std::string(p.status == sched::PlanStatus::kActive
+                                        ? "active"
+                                        : "superseded"));
+        JsonArray deps;
+        for (const auto& d : p.deps) {
+          JsonArray pair;
+          pair.emplace_back(d.from.value());
+          pair.emplace_back(d.to.value());
+          deps.emplace_back(std::move(pair));
+        }
+        o.set("deps", std::move(deps));
+        arr.emplace_back(std::move(o));
+      }
+      root.set("plans", std::move(arr));
+    }
+    {
+      JsonArray arr;
+      for (std::size_t i = 1; i <= m.space_->node_count(); ++i) {
+        const auto& n = m.space_->node(sched::ScheduleNodeId{i});
+        JsonObject o;
+        o.set("id", n.id.value());
+        o.set("plan", n.plan.value());
+        o.set("activity", n.activity);
+        o.set("version", n.version);
+        o.set("est_duration", n.est_duration.count_minutes());
+        o.set("planned_start", instant_json(n.planned_start));
+        o.set("planned_finish", instant_json(n.planned_finish));
+        o.set("baseline_start", instant_json(n.baseline_start));
+        o.set("baseline_finish", instant_json(n.baseline_finish));
+        JsonArray res;
+        for (auto r : n.resources) res.emplace_back(r.value());
+        o.set("resources", std::move(res));
+        o.set("total_slack", n.total_slack.count_minutes());
+        o.set("free_slack", n.free_slack.count_minutes());
+        o.set("critical", n.critical);
+        o.set("actual_start", optional_instant_json(n.actual_start));
+        o.set("actual_finish", optional_instant_json(n.actual_finish));
+        o.set("completed", n.completed);
+        o.set("deleted", n.deleted);
+        arr.emplace_back(std::move(o));
+      }
+      root.set("schedule_nodes", std::move(arr));
+    }
+    {
+      JsonArray arr;
+      for (const auto& l : m.space_->links()) {
+        JsonObject o;
+        o.set("id", l.id.value());
+        o.set("node", l.schedule_node.value());
+        o.set("instance", l.entity_instance.value());
+        o.set("linked_at", instant_json(l.linked_at));
+        arr.emplace_back(std::move(o));
+      }
+      root.set("links", std::move(arr));
+    }
+
+    // Task trees: re-extraction is deterministic, so target + stop set +
+    // per-node bindings fully reconstruct them.
+    {
+      JsonArray arr;
+      for (const auto& [name, tree] : m.tasks_) {
+        JsonObject o;
+        o.set("name", name);
+        o.set("target", tree.schema().type(tree.node(tree.root()).type).name);
+        JsonArray stops;
+        for (const auto& node : tree.nodes()) {
+          if (node.kind == flow::NodeKind::kDataLeaf &&
+              tree.schema().producer_of(node.type))
+            stops.emplace_back(tree.schema().type(node.type).name);
+        }
+        o.set("stop_at", std::move(stops));
+        JsonArray bindings;
+        for (const auto& node : tree.nodes()) {
+          if (node.kind != flow::NodeKind::kActivity && !node.binding.empty()) {
+            JsonObject b;
+            b.set("node", node.id.value());
+            b.set("instance", node.binding);
+            bindings.emplace_back(std::move(b));
+          }
+        }
+        o.set("bindings", std::move(bindings));
+        if (auto it = m.plan_by_task_.find(name); it != m.plan_by_task_.end())
+          o.set("plan", it->second.value());
+        else
+          o.set("plan", nullptr);
+        arr.emplace_back(std::move(o));
+      }
+      root.set("tasks", std::move(arr));
+    }
+
+    // The plan the tracker watches.
+    root.set("watched_plan", m.tracker_->watched_plan()
+                                 ? Json(m.tracker_->watched_plan()->value())
+                                 : Json(nullptr));
+
+    return Json(std::move(root)).dump(2) + "\n";
+  }
+
+  static util::Result<std::unique_ptr<WorkflowManager>> load(std::string_view text) {
+    auto parsed = Json::parse(text);
+    if (!parsed.ok()) return parsed.error();
+    const Json& root_json = parsed.value();
+    if (!root_json.is_object()) return util::parse_error("database file: not an object");
+    const JsonObject& root = root_json.as_object();
+
+    try {
+      if (root.at("format").as_string() != "hercsched-db-v1")
+        return util::invalid("unknown database format '" +
+                             root.at("format").as_string() + "'");
+
+      // Calendar config first; the manager is built with it.
+      const JsonObject& cal_o = root.at("calendar").as_object();
+      cal::WorkCalendar::Config cfg;
+      auto epoch = cal::Date::parse(cal_o.at("epoch").as_string());
+      if (!epoch.ok()) return epoch.error();
+      cfg.epoch = epoch.value();
+      cfg.minutes_per_day = cal_o.at("minutes_per_day").as_int();
+      cfg.day_start_minute = static_cast<int>(cal_o.at("day_start_minute").as_int());
+      const auto& week = cal_o.at("workweek").as_array();
+      if (week.size() != 7) return util::invalid("workweek must have 7 entries");
+      for (int i = 0; i < 7; ++i) cfg.workweek[i] = week[static_cast<std::size_t>(i)].as_bool();
+
+      auto created = WorkflowManager::create(root.at("schema_dsl").as_string(), cfg);
+      if (!created.ok()) return created.error();
+      std::unique_ptr<WorkflowManager> m = std::move(created).take();
+
+      for (const auto& h : cal_o.at("holidays").as_array()) {
+        auto d = cal::Date::parse(h.as_string());
+        if (!d.ok()) return d.error();
+        m->calendar_.add_holiday(d.value());
+      }
+
+      m->clock_.advance_to(cal::WorkInstant(root.at("clock").as_int()));
+
+      for (const auto& r : root.at("resources").as_array()) {
+        const auto& o = r.as_object();
+        auto rid = m->db_->add_resource(o.at("name").as_string(),
+                                        o.at("kind").as_string(),
+                                        static_cast<int>(o.at("capacity").as_int()));
+        for (const auto& w : o.at("time_off").as_array()) {
+          const auto& window = w.as_array();
+          auto st = m->db_->add_time_off(rid, instant_of(window[0]),
+                                         instant_of(window[1]));
+          if (!st.ok()) return st.error();
+        }
+      }
+
+      for (const auto& d : root.at("data_objects").as_array()) {
+        const auto& o = d.as_object();
+        data::DataObject obj;
+        obj.id = util::DataObjectId{static_cast<std::uint64_t>(o.at("id").as_int())};
+        obj.name = o.at("name").as_string();
+        obj.type_name = o.at("type").as_string();
+        obj.version = static_cast<int>(o.at("version").as_int());
+        obj.content = o.at("content").as_string();
+        obj.content_hash = data::content_hash(obj.content);
+        obj.created_at = instant_of(o.at("created"));
+        auto st = m->store_->restore(std::move(obj));
+        if (!st.ok()) return st.error();
+      }
+
+      for (const auto& e : root.at("instances").as_array()) {
+        const auto& o = e.as_object();
+        meta::RunId produced_by;
+        if (!o.at("produced_by").is_null())
+          produced_by =
+              meta::RunId{static_cast<std::uint64_t>(o.at("produced_by").as_int())};
+        util::DataObjectId data;
+        if (!o.at("data").is_null())
+          data = util::DataObjectId{static_cast<std::uint64_t>(o.at("data").as_int())};
+        auto inst = m->db_->create_instance(o.at("type").as_string(),
+                                            o.at("name").as_string(), produced_by, data,
+                                            instant_of(o.at("created")));
+        if (!inst.ok()) return inst.error();
+        const auto& stored = m->db_->instance(inst.value());
+        if (stored.id.value() != static_cast<std::uint64_t>(o.at("id").as_int()) ||
+            stored.version != static_cast<int>(o.at("version").as_int()))
+          return util::conflict("instance " + std::to_string(o.at("id").as_int()) +
+                                " did not restore to the same id/version");
+      }
+
+      for (const auto& r : root.at("runs").as_array()) {
+        const auto& o = r.as_object();
+        meta::Run run;
+        run.activity = o.at("activity").as_string();
+        if (auto rule = m->schema_->find_rule_by_activity(run.activity))
+          run.rule = *rule;
+        run.tool_binding = o.at("tool").as_string();
+        run.designer = o.at("designer").as_string();
+        for (const auto& in : o.at("inputs").as_array())
+          run.inputs.push_back(
+              meta::EntityInstanceId{static_cast<std::uint64_t>(in.as_int())});
+        if (!o.at("output").is_null())
+          run.output =
+              meta::EntityInstanceId{static_cast<std::uint64_t>(o.at("output").as_int())};
+        run.started_at = instant_of(o.at("started"));
+        run.finished_at = instant_of(o.at("finished"));
+        run.status = o.at("status").as_string() == "completed"
+                         ? meta::RunStatus::kCompleted
+                         : meta::RunStatus::kFailed;
+        auto rid = m->db_->record_run(std::move(run));
+        if (!rid.ok()) return rid.error();
+        if (rid.value().value() != static_cast<std::uint64_t>(o.at("id").as_int()))
+          return util::conflict("run did not restore to the same id");
+      }
+
+      for (const auto& p : root.at("plans").as_array()) {
+        const auto& o = p.as_object();
+        sched::ScheduleRunId derived;
+        if (!o.at("derived_from").is_null())
+          derived = sched::ScheduleRunId{
+              static_cast<std::uint64_t>(o.at("derived_from").as_int())};
+        auto pid = m->space_->create_plan(o.at("name").as_string(),
+                                          instant_of(o.at("created")), derived);
+        if (pid.value() != static_cast<std::uint64_t>(o.at("id").as_int()))
+          return util::conflict("plan did not restore to the same id");
+        auto& plan = m->space_->plan_mut(pid);
+        plan.anchor = instant_of(o.at("anchor"));
+        plan.deadline = optional_instant_of(o.at("deadline"));
+        plan.status = o.at("status").as_string() == "active"
+                          ? sched::PlanStatus::kActive
+                          : sched::PlanStatus::kSuperseded;
+      }
+
+      for (const auto& nj : root.at("schedule_nodes").as_array()) {
+        const auto& o = nj.as_object();
+        auto plan_id =
+            sched::ScheduleRunId{static_cast<std::uint64_t>(o.at("plan").as_int())};
+        const std::string activity = o.at("activity").as_string();
+        auto rule = m->schema_->find_rule_by_activity(activity);
+        if (!rule) return util::not_found("schedule node references unknown activity '" +
+                                          activity + "'");
+        auto nid = m->space_->create_node(plan_id, activity, *rule);
+        auto& n = m->space_->node_mut(nid);
+        if (n.id.value() != static_cast<std::uint64_t>(o.at("id").as_int()) ||
+            n.version != static_cast<int>(o.at("version").as_int()))
+          return util::conflict("schedule node did not restore to the same id/version");
+        n.est_duration = cal::WorkDuration::minutes(o.at("est_duration").as_int());
+        n.planned_start = instant_of(o.at("planned_start"));
+        n.planned_finish = instant_of(o.at("planned_finish"));
+        n.baseline_start = instant_of(o.at("baseline_start"));
+        n.baseline_finish = instant_of(o.at("baseline_finish"));
+        for (const auto& r : o.at("resources").as_array())
+          n.resources.push_back(
+              util::ResourceId{static_cast<std::uint64_t>(r.as_int())});
+        n.total_slack = cal::WorkDuration::minutes(o.at("total_slack").as_int());
+        n.free_slack = cal::WorkDuration::minutes(o.at("free_slack").as_int());
+        n.critical = o.at("critical").as_bool();
+        n.actual_start = optional_instant_of(o.at("actual_start"));
+        n.actual_finish = optional_instant_of(o.at("actual_finish"));
+        n.completed = o.at("completed").as_bool();
+        n.deleted = o.at("deleted").as_bool();
+      }
+
+      // Plan deps reference node ids, so wire them after nodes exist.
+      for (const auto& p : root.at("plans").as_array()) {
+        const auto& o = p.as_object();
+        auto pid = sched::ScheduleRunId{static_cast<std::uint64_t>(o.at("id").as_int())};
+        for (const auto& d : o.at("deps").as_array()) {
+          const auto& pair = d.as_array();
+          m->space_->add_dep(
+              pid, sched::ScheduleNodeId{static_cast<std::uint64_t>(pair[0].as_int())},
+              sched::ScheduleNodeId{static_cast<std::uint64_t>(pair[1].as_int())});
+        }
+      }
+
+      for (const auto& lj : root.at("links").as_array()) {
+        const auto& o = lj.as_object();
+        auto lid = m->space_->add_link(
+            sched::ScheduleNodeId{static_cast<std::uint64_t>(o.at("node").as_int())},
+            meta::EntityInstanceId{static_cast<std::uint64_t>(o.at("instance").as_int())},
+            instant_of(o.at("linked_at")));
+        if (!lid.ok()) return lid.error();
+        if (lid.value().value() != static_cast<std::uint64_t>(o.at("id").as_int()))
+          return util::conflict("link did not restore to the same id");
+      }
+
+      for (const auto& tj : root.at("tasks").as_array()) {
+        const auto& o = tj.as_object();
+        const std::string name = o.at("name").as_string();
+        std::unordered_set<std::string> stops;
+        for (const auto& s : o.at("stop_at").as_array()) stops.insert(s.as_string());
+        auto st = m->extract_task(name, o.at("target").as_string(), stops);
+        if (!st.ok()) return st.error();
+        auto tree = m->task(name);
+        for (const auto& bj : o.at("bindings").as_array()) {
+          const auto& b = bj.as_object();
+          auto bound = tree.value()->bind(
+              flow::TaskNodeId{static_cast<std::uint64_t>(b.at("node").as_int())},
+              b.at("instance").as_string());
+          if (!bound.ok()) return bound.error();
+        }
+        if (!o.at("plan").is_null())
+          m->plan_by_task_[name] = sched::ScheduleRunId{
+              static_cast<std::uint64_t>(o.at("plan").as_int())};
+      }
+
+      if (!root.at("watched_plan").is_null())
+        m->tracker_->watch_plan(sched::ScheduleRunId{
+            static_cast<std::uint64_t>(root.at("watched_plan").as_int())});
+
+      return m;
+    } catch (const std::out_of_range& e) {
+      return util::parse_error(std::string("database file: missing field: ") + e.what());
+    } catch (const std::bad_variant_access&) {
+      return util::parse_error("database file: field has wrong JSON type");
+    }
+  }
+};
+
+std::string save_to_json(const WorkflowManager& manager) {
+  return Persistence::save(manager);
+}
+
+util::Result<std::unique_ptr<WorkflowManager>> load_from_json(std::string_view text) {
+  return Persistence::load(text);
+}
+
+}  // namespace herc::hercules

@@ -1,0 +1,30 @@
+#pragma once
+// Persistence of the Hercules database to JSON.
+//
+// Everything a project needs to resume is saved: schema (as DSL), calendar,
+// virtual clock, resources, Level-4 data objects, both Level-3 spaces
+// (instances/runs and plans/schedule-nodes/links), extracted task trees with
+// their bindings, and which plan each task tracks.
+//
+// NOT saved: the tool registry (tool specs contain behaviour closures;
+// re-register tools after loading) and therefore the simulated-tool RNG
+// position.  save -> load -> save is a byte-identical fixed point (tested).
+
+#include <memory>
+#include <string>
+
+#include "hercules/workflow_manager.hpp"
+#include "util/result.hpp"
+
+namespace herc::hercules {
+
+/// Serializes the full manager state.
+[[nodiscard]] std::string save_to_json(const WorkflowManager& manager);
+
+/// Reconstructs a manager from save_to_json output.  Fails with kParse on
+/// malformed JSON, kInvalid/kConflict on semantic mismatches (e.g. version
+/// counters that do not reproduce).
+[[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> load_from_json(
+    std::string_view text);
+
+}  // namespace herc::hercules

@@ -1,0 +1,154 @@
+#pragma once
+// The Hercules-style workflow manager: one object exposing the paper's full
+// procedure —
+//
+//   define task schema  ->  initialize task database  ->  extract task tree
+//   ->  bind tools/data  ->  plan schedule (simulated execution)  ->
+//   execute (iterate)  ->  link completions  ->  examine status
+//
+// This facade owns every subsystem (calendar, Level-4 store, Level-3
+// database in both spaces, tool registry, clock, estimator, tracker) and is
+// what the examples and most integration tests drive.  Each subsystem stays
+// independently usable; the facade only wires them.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "calendar/work_calendar.hpp"
+#include "core/planner.hpp"
+#include "core/schedule_space.hpp"
+#include "core/tracker.hpp"
+#include "data/data_store.hpp"
+#include "exec/executor.hpp"
+#include "exec/tools.hpp"
+#include "flow/task_tree.hpp"
+#include "gantt/browser.hpp"
+#include "metadata/database.hpp"
+#include "query/query.hpp"
+#include "track/status.hpp"
+
+namespace herc::hercules {
+
+class WorkflowManager {
+ public:
+  /// Builds a manager from schema DSL text.  The schema is parsed and
+  /// validated; the task database is initialized from it.
+  [[nodiscard]] static util::Result<std::unique_ptr<WorkflowManager>> create(
+      std::string_view schema_dsl, cal::WorkCalendar::Config calendar_config = {},
+      std::uint64_t tool_seed = 1);
+
+  WorkflowManager(const WorkflowManager&) = delete;
+  WorkflowManager& operator=(const WorkflowManager&) = delete;
+
+  // --- subsystem access ----------------------------------------------------
+  [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
+  [[nodiscard]] const cal::WorkCalendar& calendar() const { return calendar_; }
+  [[nodiscard]] cal::WorkCalendar& calendar() { return calendar_; }
+  [[nodiscard]] meta::Database& db() { return *db_; }
+  [[nodiscard]] const meta::Database& db() const { return *db_; }
+  [[nodiscard]] data::DataStore& store() { return *store_; }
+  [[nodiscard]] const data::DataStore& store() const { return *store_; }
+  [[nodiscard]] exec::ToolRegistry& tools() { return *tools_; }
+  [[nodiscard]] exec::SimClock& clock() { return clock_; }
+  [[nodiscard]] sched::ScheduleSpace& schedule_space() { return *space_; }
+  [[nodiscard]] const sched::ScheduleSpace& schedule_space() const { return *space_; }
+  [[nodiscard]] sched::DurationEstimator& estimator() { return estimator_; }
+  [[nodiscard]] sched::ScheduleTracker& tracker() { return *tracker_; }
+
+  // --- setup ----------------------------------------------------------------
+  util::Status register_tool(exec::ToolSpec spec) { return tools_->add(std::move(spec)); }
+  util::ResourceId add_resource(const std::string& name,
+                                const std::string& kind = "person", int capacity = 1) {
+    return db_->add_resource(name, kind, capacity);
+  }
+
+  // --- task trees ------------------------------------------------------------
+  /// Extracts a task tree named `task_name` producing `target_type`.
+  util::Status extract_task(const std::string& task_name, const std::string& target_type,
+                            const std::unordered_set<std::string>& stop_at = {});
+  [[nodiscard]] bool has_task(const std::string& task_name) const;
+  [[nodiscard]] util::Result<flow::TaskTree*> task(const std::string& task_name);
+  [[nodiscard]] std::vector<std::string> task_names() const;
+
+  /// Binds every leaf of `type_name` in the task to an instance name.
+  util::Status bind(const std::string& task_name, const std::string& type_name,
+                    const std::string& instance_name);
+
+  // --- scheduling -------------------------------------------------------------
+  /// Plans the task (simulated execution) and starts tracking the new plan.
+  [[nodiscard]] util::Result<sched::ScheduleRunId> plan_task(
+      const std::string& task_name, sched::PlanRequest request);
+
+  /// Re-plans, deriving from the task's current plan, and tracks the result.
+  [[nodiscard]] util::Result<sched::ScheduleRunId> replan_task(
+      const std::string& task_name, sched::PlanRequest request);
+
+  /// The plan currently tracked for a task, if any.
+  [[nodiscard]] std::optional<sched::ScheduleRunId> plan_of(
+      const std::string& task_name) const;
+
+  // --- execution ---------------------------------------------------------------
+  [[nodiscard]] util::Result<exec::ExecutionResult> execute_task(
+      const std::string& task_name, const std::string& designer);
+
+  /// Concurrent-dispatch execution (see Executor::execute_concurrent):
+  /// independent activities overlap in work time, constrained by the given
+  /// resource assignments.
+  [[nodiscard]] util::Result<exec::ExecutionResult> execute_task_concurrent(
+      const std::string& task_name, const std::string& designer,
+      const exec::Executor::DispatchOptions& options = {});
+
+  /// One iteration of a single activity of the task.
+  [[nodiscard]] util::Result<exec::ActivityRunResult> run_activity(
+      const std::string& task_name, const std::string& activity,
+      const std::string& designer);
+
+  /// VOV-style selective re-execution: walks the task in post-order and
+  /// re-runs every activity whose output is missing or *stale* (some input
+  /// has a newer version than the one its producing run consumed), so
+  /// downstream work picks up fresh upstream data with the minimum number
+  /// of runs.  Returns the runs performed (possibly none).  Staleness is
+  /// version-based; re-binding a leaf to a different data name does not by
+  /// itself mark consumers stale.
+  [[nodiscard]] util::Result<std::vector<exec::ActivityRunResult>> refresh_task(
+      const std::string& task_name, const std::string& designer);
+
+  /// Declares the latest instance produced by `activity` to be its final
+  /// design data and links it into the tracked schedule.
+  util::Status link_completion(const std::string& task_name,
+                               const std::string& activity);
+
+  // --- status ---------------------------------------------------------------
+  [[nodiscard]] util::Result<std::string> gantt(const std::string& task_name) const;
+  [[nodiscard]] util::Result<std::string> status_report(
+      const std::string& task_name) const;
+  [[nodiscard]] util::Result<std::string> query(std::string_view statement) const;
+  [[nodiscard]] gantt::ScheduleBrowser browser() {
+    return gantt::ScheduleBrowser(*space_, *db_, calendar_);
+  }
+
+  /// Both Level-3 spaces plus links — the paper's Figs. 5-7 database dumps.
+  [[nodiscard]] std::string dump_database() const;
+
+ private:
+  WorkflowManager(schema::TaskSchema parsed, cal::WorkCalendar::Config calendar_config,
+                  std::uint64_t tool_seed);
+
+  std::unique_ptr<schema::TaskSchema> schema_;
+  cal::WorkCalendar calendar_;
+  std::unique_ptr<data::DataStore> store_;
+  std::unique_ptr<meta::Database> db_;
+  std::unique_ptr<exec::ToolRegistry> tools_;
+  exec::SimClock clock_;
+  std::unique_ptr<sched::ScheduleSpace> space_;
+  sched::DurationEstimator estimator_;
+  std::unique_ptr<sched::ScheduleTracker> tracker_;
+  std::map<std::string, flow::TaskTree> tasks_;
+  std::map<std::string, sched::ScheduleRunId> plan_by_task_;
+
+  friend class Persistence;
+};
+
+}  // namespace herc::hercules

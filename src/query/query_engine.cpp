@@ -1,0 +1,422 @@
+// Evaluation of parsed queries against the database + schedule space.
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "query/query.hpp"
+#include "util/strings.hpp"
+
+namespace herc::query {
+
+std::string value_str(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "-";
+  if (std::holds_alternative<std::int64_t>(v))
+    return std::to_string(std::get<std::int64_t>(v));
+  if (std::holds_alternative<bool>(v)) return std::get<bool>(v) ? "true" : "false";
+  return std::get<std::string>(v);
+}
+
+int compare_values(const Value& a, const Value& b) {
+  if (a.index() != b.index())
+    return a.index() < b.index() ? -1 : 1;  // null < int < bool < string
+  if (std::holds_alternative<std::monostate>(a)) return 0;
+  if (std::holds_alternative<std::int64_t>(a)) {
+    auto x = std::get<std::int64_t>(a), y = std::get<std::int64_t>(b);
+    return x < y ? -1 : x > y ? 1 : 0;
+  }
+  if (std::holds_alternative<bool>(a)) {
+    int x = std::get<bool>(a), y = std::get<bool>(b);
+    return x - y;
+  }
+  const auto& x = std::get<std::string>(a);
+  const auto& y = std::get<std::string>(b);
+  return x < y ? -1 : x > y ? 1 : 0;
+}
+
+namespace {
+
+Value instant_value(cal::WorkInstant t) { return t.minutes_since_epoch(); }
+
+Value optional_instant(const std::optional<cal::WorkInstant>& t) {
+  if (!t) return std::monostate{};
+  return t->minutes_since_epoch();
+}
+
+Value id_value(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+
+bool matches(const Condition& c, const Value& v) {
+  if (c.op == Op::kContains) {
+    if (!std::holds_alternative<std::string>(v) ||
+        !std::holds_alternative<std::string>(c.literal))
+      return false;
+    return std::get<std::string>(v).find(std::get<std::string>(c.literal)) !=
+           std::string::npos;
+  }
+  int cmp = compare_values(v, c.literal);
+  switch (c.op) {
+    case Op::kEq: return cmp == 0;
+    case Op::kNe: return cmp != 0;
+    case Op::kLt: return cmp < 0;
+    case Op::kLe: return cmp <= 0;
+    case Op::kGt: return cmp > 0;
+    case Op::kGe: return cmp >= 0;
+    case Op::kContains: return false;  // handled above
+  }
+  return false;
+}
+
+bool eval_expr(const Expr& e, const std::vector<Value>& row,
+               const std::vector<std::size_t>& field_col,
+               std::size_t& next_condition) {
+  switch (e.kind) {
+    case Expr::Kind::kCondition:
+      return matches(e.condition, row[field_col[next_condition++]]);
+    case Expr::Kind::kNot:
+      return !eval_expr(*e.children[0], row, field_col, next_condition);
+    case Expr::Kind::kAnd: {
+      bool all = true;
+      // No short-circuit: every condition must consume its column slot.
+      for (const auto& c : e.children)
+        all = eval_expr(*c, row, field_col, next_condition) && all;
+      return all;
+    }
+    case Expr::Kind::kOr: {
+      bool any = false;
+      for (const auto& c : e.children)
+        any = eval_expr(*c, row, field_col, next_condition) || any;
+      return any;
+    }
+  }
+  return false;
+}
+
+/// True if the column holds a work instant (formatted as a date on render).
+bool is_time_column(const std::string& name) {
+  return name == "started" || name == "finished" || name == "created" ||
+         name == "linked_at" || util::ends_with(name, "_start") ||
+         util::ends_with(name, "_finish");
+}
+
+}  // namespace
+
+std::vector<std::string> QueryEngine::columns_for(Target t) {
+  switch (t) {
+    case Target::kRuns:
+      return {"id",      "activity", "tool",     "designer", "status",
+              "started", "finished", "duration", "output"};
+    case Target::kInstances:
+      return {"id", "type", "name", "version", "created", "produced_by"};
+    case Target::kSchedule:
+      return {"id",           "activity",       "plan",          "version",
+              "est_duration", "planned_start",  "planned_finish", "baseline_start",
+              "baseline_finish", "slack",       "critical",      "completed",
+              "actual_start", "actual_finish",  "linked"};
+    case Target::kPlans:
+      return {"id", "name", "created", "derived_from", "status", "activities"};
+    case Target::kLinks:
+      return {"id", "node", "activity", "instance", "linked_at"};
+  }
+  return {};
+}
+
+std::vector<std::vector<Value>> QueryEngine::rows_for(
+    Target t, const std::vector<std::string>& columns) const {
+  std::vector<std::vector<Value>> rows;
+  auto row_of = [&](auto&& get_field) {
+    std::vector<Value> row;
+    row.reserve(columns.size());
+    for (const auto& c : columns) row.push_back(get_field(c));
+    rows.push_back(std::move(row));
+  };
+
+  switch (t) {
+    case Target::kRuns:
+      for (const auto& r : db_->runs()) {
+        row_of([&](const std::string& c) -> Value {
+          if (c == "id") return id_value(r.id.value());
+          if (c == "activity") return r.activity;
+          if (c == "tool") return r.tool_binding;
+          if (c == "designer") return r.designer;
+          if (c == "status") return std::string(meta::run_status_name(r.status));
+          if (c == "started") return instant_value(r.started_at);
+          if (c == "finished") return instant_value(r.finished_at);
+          if (c == "duration") return (r.finished_at - r.started_at).count_minutes();
+          if (c == "output")
+            return r.output.valid() ? id_value(r.output.value()) : Value{std::monostate{}};
+          return std::monostate{};
+        });
+      }
+      break;
+    case Target::kInstances:
+      for (const auto& e : db_->instances()) {
+        row_of([&](const std::string& c) -> Value {
+          if (c == "id") return id_value(e.id.value());
+          if (c == "type") return e.type_name;
+          if (c == "name") return e.name;
+          if (c == "version") return static_cast<std::int64_t>(e.version);
+          if (c == "created") return instant_value(e.created_at);
+          if (c == "produced_by")
+            return e.produced_by.valid() ? id_value(e.produced_by.value())
+                                         : Value{std::monostate{}};
+          return std::monostate{};
+        });
+      }
+      break;
+    case Target::kSchedule:
+      for (std::size_t i = 1; i <= space_->node_count(); ++i) {
+        const auto& n = space_->node(sched::ScheduleNodeId{i});
+        row_of([&](const std::string& c) -> Value {
+          if (c == "id") return id_value(n.id.value());
+          if (c == "activity") return n.activity;
+          if (c == "plan") return id_value(n.plan.value());
+          if (c == "version") return static_cast<std::int64_t>(n.version);
+          if (c == "est_duration") return n.est_duration.count_minutes();
+          if (c == "planned_start") return instant_value(n.planned_start);
+          if (c == "planned_finish") return instant_value(n.planned_finish);
+          if (c == "baseline_start") return instant_value(n.baseline_start);
+          if (c == "baseline_finish") return instant_value(n.baseline_finish);
+          if (c == "slack") return n.total_slack.count_minutes();
+          if (c == "critical") return n.critical;
+          if (c == "completed") return n.completed;
+          if (c == "actual_start") return optional_instant(n.actual_start);
+          if (c == "actual_finish") return optional_instant(n.actual_finish);
+          if (c == "linked") return space_->link_of(n.id).has_value();
+          return std::monostate{};
+        });
+      }
+      break;
+    case Target::kPlans:
+      for (const auto& p : space_->plans()) {
+        row_of([&](const std::string& c) -> Value {
+          if (c == "id") return id_value(p.id.value());
+          if (c == "name") return p.name;
+          if (c == "created") return instant_value(p.created_at);
+          if (c == "derived_from")
+            return p.derived_from.valid() ? id_value(p.derived_from.value())
+                                          : Value{std::monostate{}};
+          if (c == "status")
+            return std::string(p.status == sched::PlanStatus::kActive ? "active"
+                                                                      : "superseded");
+          if (c == "activities") return static_cast<std::int64_t>(p.nodes.size());
+          return std::monostate{};
+        });
+      }
+      break;
+    case Target::kLinks:
+      for (const auto& l : space_->links()) {
+        row_of([&](const std::string& c) -> Value {
+          if (c == "id") return id_value(l.id.value());
+          if (c == "node") return id_value(l.schedule_node.value());
+          if (c == "activity") return space_->node(l.schedule_node).activity;
+          if (c == "instance") return id_value(l.entity_instance.value());
+          if (c == "linked_at") return instant_value(l.linked_at);
+          return std::monostate{};
+        });
+      }
+      break;
+  }
+  return rows;
+}
+
+util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
+  QueryResult result;
+  result.columns = columns_for(q.target);
+
+  auto col_index = [&](const std::string& name) -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < result.columns.size(); ++i)
+      if (result.columns[i] == name) return i;
+    return std::nullopt;
+  };
+
+  // Validate referenced fields before materializing; remember each leaf
+  // condition's column (conditions are visited in a fixed depth-first order
+  // by both this loop and eval_expr).
+  std::vector<const Condition*> leaves;
+  if (q.where) q.where->collect_conditions(leaves);
+  std::vector<std::size_t> field_col;
+  for (const Condition* c : leaves) {
+    auto idx = col_index(c->field);
+    if (!idx)
+      return util::not_found("query: target '" + std::string(target_name(q.target)) +
+                             "' has no field '" + c->field + "'");
+    field_col.push_back(*idx);
+  }
+  std::optional<std::size_t> order_col;
+  if (q.order_by) {
+    order_col = col_index(*q.order_by);
+    if (!order_col)
+      return util::not_found("query: target '" + std::string(target_name(q.target)) +
+                             "' has no field '" + *q.order_by + "'");
+  }
+  std::optional<std::size_t> agg_col;
+  if (q.aggregate && q.aggregate->fn != AggregateFn::kCount) {
+    agg_col = col_index(q.aggregate->field);
+    if (!agg_col)
+      return util::not_found("query: target '" + std::string(target_name(q.target)) +
+                             "' has no field '" + q.aggregate->field + "'");
+  }
+  std::optional<std::size_t> group_col;
+  if (q.group_by) {
+    group_col = col_index(*q.group_by);
+    if (!group_col)
+      return util::not_found("query: target '" + std::string(target_name(q.target)) +
+                             "' has no field '" + *q.group_by + "'");
+  }
+
+  auto rows = rows_for(q.target, result.columns);
+
+  // Filter.
+  std::vector<std::vector<Value>> kept;
+  for (auto& row : rows) {
+    bool ok = true;
+    if (q.where) {
+      std::size_t next_condition = 0;
+      ok = eval_expr(*q.where, row, field_col, next_condition);
+    }
+    if (ok) kept.push_back(std::move(row));
+  }
+
+  // Aggregate: reduce to one row (or one per group).
+  if (q.aggregate) {
+    struct Acc {
+      std::int64_t count = 0;
+      std::int64_t sum = 0;
+      std::optional<std::int64_t> min, max;
+      std::int64_t numeric = 0;  // cells that participated
+    };
+    // std::map keeps groups sorted by value for deterministic output.
+    std::map<std::string, Acc> groups;
+    std::map<std::string, Value> group_values;
+    for (const auto& row : kept) {
+      Value key_value = group_col ? row[*group_col] : Value{std::monostate{}};
+      std::string key = group_col ? value_str(key_value) : "";
+      Acc& acc = groups[key];
+      group_values.emplace(key, key_value);
+      ++acc.count;
+      if (agg_col && std::holds_alternative<std::int64_t>(row[*agg_col])) {
+        std::int64_t v = std::get<std::int64_t>(row[*agg_col]);
+        acc.sum += v;
+        acc.min = acc.min ? std::min(*acc.min, v) : v;
+        acc.max = acc.max ? std::max(*acc.max, v) : v;
+        ++acc.numeric;
+      }
+    }
+    if (groups.empty() && !group_col) groups[""];  // empty input: one row
+
+    QueryResult agg_result;
+    std::string agg_name = aggregate_fn_name(q.aggregate->fn);
+    if (q.aggregate->fn != AggregateFn::kCount)
+      agg_name += "(" + q.aggregate->field + ")";
+    if (group_col) agg_result.columns.push_back(*q.group_by);
+    agg_result.columns.push_back(agg_name);
+
+    for (const auto& [key, acc] : groups) {
+      std::vector<Value> row;
+      if (group_col) row.push_back(group_values.at(key));
+      switch (q.aggregate->fn) {
+        case AggregateFn::kCount: row.emplace_back(acc.count); break;
+        case AggregateFn::kSum: row.emplace_back(acc.sum); break;
+        case AggregateFn::kAvg:
+          row.push_back(acc.numeric ? Value{acc.sum / acc.numeric}
+                                    : Value{std::monostate{}});
+          break;
+        case AggregateFn::kMin:
+          row.push_back(acc.min ? Value{*acc.min} : Value{std::monostate{}});
+          break;
+        case AggregateFn::kMax:
+          row.push_back(acc.max ? Value{*acc.max} : Value{std::monostate{}});
+          break;
+      }
+      agg_result.rows.push_back(std::move(row));
+    }
+    if (q.limit && agg_result.rows.size() > static_cast<std::size_t>(*q.limit))
+      agg_result.rows.resize(static_cast<std::size_t>(*q.limit));
+    return agg_result;
+  }
+
+  // Order (stable so ties keep id order).
+  if (order_col) {
+    std::stable_sort(kept.begin(), kept.end(),
+                     [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+                       int cmp = compare_values(a[*order_col], b[*order_col]);
+                       return q.descending ? cmp > 0 : cmp < 0;
+                     });
+  }
+
+  if (q.limit && kept.size() > static_cast<std::size_t>(*q.limit))
+    kept.resize(static_cast<std::size_t>(*q.limit));
+
+  result.rows = std::move(kept);
+  return result;
+}
+
+util::Result<QueryResult> QueryEngine::execute(std::string_view text) const {
+  auto q = parse_query(text);
+  if (!q.ok()) return q.error();
+  return execute(q.value());
+}
+
+QueryResult QueryEngine::plan_lineage(sched::ScheduleRunId plan) const {
+  QueryResult result;
+  result.columns = {"generation", "id", "name", "created", "status"};
+  auto ids = space_->lineage(plan);
+  std::int64_t gen = 0;
+  for (sched::ScheduleRunId id : ids) {
+    const auto& p = space_->plan(id);
+    result.rows.push_back(
+        {gen++, static_cast<std::int64_t>(p.id.value()), p.name,
+         p.created_at.minutes_since_epoch(),
+         std::string(p.status == sched::PlanStatus::kActive ? "active" : "superseded")});
+  }
+  return result;
+}
+
+std::string QueryResult::render(const cal::WorkCalendar* calendar) const {
+  // Format every cell first, then size columns.
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (calendar && is_time_column(columns[i]) &&
+          std::holds_alternative<std::int64_t>(row[i])) {
+        line.push_back(
+            calendar->format(cal::WorkInstant(std::get<std::int64_t>(row[i]))));
+      } else {
+        line.push_back(value_str(row[i]));
+      }
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::vector<std::size_t> widths;
+  widths.reserve(columns.size());
+  for (const auto& c : columns) widths.push_back(c.size());
+  for (const auto& line : cells)
+    for (std::size_t i = 0; i < line.size(); ++i)
+      widths[i] = std::max(widths[i], line[i].size());
+
+  std::string out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += "  ";
+    out += util::pad_right(columns[i], widths[i]);
+  }
+  out += "\n";
+  out += util::repeat('-', std::accumulate(widths.begin(), widths.end(),
+                                           widths.empty() ? 0 : 2 * (widths.size() - 1)));
+  out += "\n";
+  for (const auto& line : cells) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (i) out += "  ";
+      out += util::pad_right(line[i], widths[i]);
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " row" + (rows.size() == 1 ? "" : "s") +
+         ")\n";
+  return out;
+}
+
+}  // namespace herc::query

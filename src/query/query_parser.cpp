@@ -1,0 +1,407 @@
+// Lexer + recursive-descent parser for the query language (see query.hpp).
+
+#include <cctype>
+
+#include "query/query.hpp"
+#include "util/strings.hpp"
+
+namespace herc::query {
+
+const char* target_name(Target t) {
+  switch (t) {
+    case Target::kRuns: return "runs";
+    case Target::kInstances: return "instances";
+    case Target::kSchedule: return "schedule";
+    case Target::kPlans: return "plans";
+    case Target::kLinks: return "links";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kContains: return "contains";
+  }
+  return "?";
+}
+
+struct Token {
+  enum class Kind { kWord, kString, kNumber, kOp, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  util::Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_'))
+          ++pos_;
+        out.push_back({Token::Kind::kWord, std::string(s_.substr(start, pos_ - start))});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < s_.size() &&
+                  std::isdigit(static_cast<unsigned char>(s_[pos_ + 1])))) {
+        std::size_t start = pos_;
+        if (c == '-') ++pos_;
+        while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+          ++pos_;
+        out.push_back({Token::Kind::kNumber, std::string(s_.substr(start, pos_ - start))});
+      } else if (c == '"') {
+        ++pos_;
+        std::string text;
+        while (pos_ < s_.size() && s_[pos_] != '"') text.push_back(s_[pos_++]);
+        if (pos_ >= s_.size()) return util::parse_error("query: unterminated string");
+        ++pos_;
+        out.push_back({Token::Kind::kString, std::move(text)});
+      } else if (c == '(' || c == ')' || c == '*') {
+        out.push_back({Token::Kind::kOp, std::string(1, c)});
+        ++pos_;
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < s_.size() && s_[pos_] == '=' && c != '=') {
+          op.push_back('=');
+          ++pos_;
+        }
+        if (op == "!") return util::parse_error("query: lone '!' (use !=)");
+        out.push_back({Token::Kind::kOp, std::move(op)});
+      } else {
+        return util::parse_error("query: unexpected character '" + std::string(1, c) +
+                                 "'");
+      }
+    }
+    out.push_back({Token::Kind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  util::Result<Query> run() {
+    if (!eat_word("select")) return err("expected 'select'");
+    Query q;
+
+    // New form: `select * from ...` / `select count from ...` /
+    // `select avg(field) from ...`.  Legacy sugar: `select <target> ...`.
+    if (eat_op("*")) {
+      if (!eat_word("from")) return err("expected 'from' after '*'");
+    } else if (peek_is_aggregate()) {
+      Aggregate agg;
+      const std::string fn = util::to_lower(toks_[pos_++].text);
+      if (fn == "count") agg.fn = AggregateFn::kCount;
+      else if (fn == "avg") agg.fn = AggregateFn::kAvg;
+      else if (fn == "sum") agg.fn = AggregateFn::kSum;
+      else if (fn == "min") agg.fn = AggregateFn::kMin;
+      else agg.fn = AggregateFn::kMax;
+      if (agg.fn != AggregateFn::kCount) {
+        if (!eat_op("(")) return err("expected '(' after aggregate function");
+        auto f = word("aggregate field");
+        if (!f.ok()) return f.error();
+        agg.field = f.value();
+        if (!eat_op(")")) return err("expected ')' after aggregate field");
+      }
+      q.aggregate = std::move(agg);
+      if (!eat_word("from")) return err("expected 'from' after aggregate");
+    }
+
+    auto target = word("target");
+    if (!target.ok()) return target.error();
+    const std::string& t = target.value();
+    if (t == "runs") q.target = Target::kRuns;
+    else if (t == "instances") q.target = Target::kInstances;
+    else if (t == "schedule" || t == "schedule_nodes") q.target = Target::kSchedule;
+    else if (t == "plans") q.target = Target::kPlans;
+    else if (t == "links") q.target = Target::kLinks;
+    else return err("unknown target '" + t + "'");
+
+    if (eat_word("where")) {
+      auto e = expr();
+      if (!e.ok()) return e.error();
+      q.where = std::move(e).take();
+    }
+    if (eat_word("group")) {
+      if (!eat_word("by")) return err("expected 'by' after 'group'");
+      if (!q.aggregate) return err("'group by' requires an aggregate select");
+      auto f = word("group-by field");
+      if (!f.ok()) return f.error();
+      q.group_by = f.value();
+    }
+    if (eat_word("order")) {
+      if (!eat_word("by")) return err("expected 'by' after 'order'");
+      if (q.aggregate) return err("'order by' is not supported with aggregates");
+      auto f = word("order-by field");
+      if (!f.ok()) return f.error();
+      q.order_by = f.value();
+      if (eat_word("desc")) q.descending = true;
+      else eat_word("asc");
+    }
+    if (eat_word("limit")) {
+      if (peek().kind != Token::Kind::kNumber) return err("expected limit count");
+      q.limit = std::stoll(toks_[pos_++].text);
+      if (*q.limit < 0) return err("negative limit");
+    }
+    if (peek().kind != Token::Kind::kEnd) return err("trailing tokens");
+    return q;
+  }
+
+ private:
+  util::Error err(const std::string& msg) const {
+    return util::parse_error("query: " + msg + " (got '" + peek().text + "')");
+  }
+
+  const Token& peek() const { return toks_[pos_]; }
+
+  bool eat_word(std::string_view w) {
+    if (peek().kind == Token::Kind::kWord && util::to_lower(peek().text) == w) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_op(std::string_view op) {
+    if (peek().kind == Token::Kind::kOp && peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// True if the current token is an aggregate keyword introducing the
+  /// `select <agg> from` form (disambiguated from a legacy target name by
+  /// what follows: 'from' for count, '(' for the field aggregates).
+  [[nodiscard]] bool peek_is_aggregate() const {
+    if (peek().kind != Token::Kind::kWord) return false;
+    std::string w = util::to_lower(peek().text);
+    const Token& next = toks_[pos_ + 1];
+    if (w == "count")
+      return next.kind == Token::Kind::kWord && util::to_lower(next.text) == "from";
+    if (w == "avg" || w == "sum" || w == "min" || w == "max")
+      return next.kind == Token::Kind::kOp && next.text == "(";
+    return false;
+  }
+
+  util::Result<std::string> word(const char* what) {
+    if (peek().kind != Token::Kind::kWord)
+      return err(std::string("expected ") + what);
+    return toks_[pos_++].text;
+  }
+
+  // expr := and_expr (or and_expr)*
+  util::Result<std::unique_ptr<Expr>> expr() {
+    auto first = and_expr();
+    if (!first.ok()) return first;
+    if (!at_word("or")) return first;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kOr;
+    node->children.push_back(std::move(first).take());
+    while (eat_word("or")) {
+      auto next = and_expr();
+      if (!next.ok()) return next;
+      node->children.push_back(std::move(next).take());
+    }
+    return node;
+  }
+
+  // and_expr := unary (and unary)*
+  util::Result<std::unique_ptr<Expr>> and_expr() {
+    auto first = unary();
+    if (!first.ok()) return first;
+    if (!at_word("and")) return first;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kAnd;
+    node->children.push_back(std::move(first).take());
+    while (eat_word("and")) {
+      auto next = unary();
+      if (!next.ok()) return next;
+      node->children.push_back(std::move(next).take());
+    }
+    return node;
+  }
+
+  // unary := not unary | ( expr ) | condition
+  util::Result<std::unique_ptr<Expr>> unary() {
+    if (++depth_ > 100) {
+      --depth_;
+      return err("filter expression nested deeper than 100 levels");
+    }
+    struct Guard {
+      int& d;
+      ~Guard() { --d; }
+    } guard{depth_};
+    if (eat_word("not")) {
+      auto inner = unary();
+      if (!inner.ok()) return inner;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->children.push_back(std::move(inner).take());
+      return node;
+    }
+    if (eat_op("(")) {
+      auto inner = expr();
+      if (!inner.ok()) return inner;
+      if (!eat_op(")")) return err("expected ')' in filter expression");
+      return inner;
+    }
+    auto c = condition();
+    if (!c.ok()) return c.error();
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCondition;
+    node->condition = std::move(c).take();
+    return node;
+  }
+
+  [[nodiscard]] bool at_word(std::string_view w) const {
+    return peek().kind == Token::Kind::kWord && util::to_lower(peek().text) == w;
+  }
+
+  util::Result<Condition> condition() {
+    Condition c;
+    auto f = word("field name");
+    if (!f.ok()) return f.error();
+    c.field = f.value();
+
+    if (peek().kind == Token::Kind::kOp) {
+      const std::string& op = toks_[pos_++].text;
+      if (op == "=") c.op = Op::kEq;
+      else if (op == "!=") c.op = Op::kNe;
+      else if (op == "<") c.op = Op::kLt;
+      else if (op == "<=") c.op = Op::kLe;
+      else if (op == ">") c.op = Op::kGt;
+      else if (op == ">=") c.op = Op::kGe;
+      else return err("unknown operator '" + op + "'");
+    } else if (eat_word("contains")) {
+      c.op = Op::kContains;
+    } else {
+      return err("expected comparison operator");
+    }
+
+    const Token& lit = peek();
+    switch (lit.kind) {
+      case Token::Kind::kString:
+        c.literal = lit.text;
+        ++pos_;
+        break;
+      case Token::Kind::kNumber:
+        c.literal = static_cast<std::int64_t>(std::stoll(lit.text));
+        ++pos_;
+        break;
+      case Token::Kind::kWord:
+        if (util::to_lower(lit.text) == "true") c.literal = true;
+        else if (util::to_lower(lit.text) == "false") c.literal = false;
+        else c.literal = lit.text;  // bare word = string
+        ++pos_;
+        break;
+      default:
+        return err("expected literal");
+    }
+    return c;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const char* aggregate_fn_name(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount: return "count";
+    case AggregateFn::kAvg: return "avg";
+    case AggregateFn::kSum: return "sum";
+    case AggregateFn::kMin: return "min";
+    case AggregateFn::kMax: return "max";
+  }
+  return "?";
+}
+
+void Expr::collect_conditions(std::vector<const Condition*>& out) const {
+  if (kind == Kind::kCondition) {
+    out.push_back(&condition);
+    return;
+  }
+  for (const auto& child : children) child->collect_conditions(out);
+}
+
+std::string Expr::str() const {
+  auto wrap = [](const Expr& e) {
+    // Leaves and not-expressions read unambiguously; and/or groups need
+    // parentheses when nested, which also makes emit->parse->emit a fixed
+    // point.
+    bool group = e.kind == Kind::kAnd || e.kind == Kind::kOr;
+    return group ? "(" + e.str() + ")" : e.str();
+  };
+  switch (kind) {
+    case Kind::kCondition: {
+      std::string out = condition.field + " " + op_name(condition.op) + " ";
+      if (std::holds_alternative<std::string>(condition.literal))
+        out += "\"" + std::get<std::string>(condition.literal) + "\"";
+      else
+        out += value_str(condition.literal);
+      return out;
+    }
+    case Kind::kNot:
+      return "not " + wrap(*children[0]);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out;
+      const char* sep = kind == Kind::kAnd ? " and " : " or ";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) out += sep;
+        out += wrap(*children[i]);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::string Query::str() const {
+  std::string out = "select ";
+  if (aggregate) {
+    out += aggregate_fn_name(aggregate->fn);
+    if (aggregate->fn != AggregateFn::kCount) out += "(" + aggregate->field + ")";
+    out += " from ";
+  }
+  out += std::string(target_name(target));
+  if (where) out += " where " + where->str();
+  if (group_by) out += " group by " + *group_by;
+  if (order_by) {
+    out += " order by " + *order_by;
+    if (descending) out += " desc";
+  }
+  if (limit) out += " limit " + std::to_string(*limit);
+  return out;
+}
+
+util::Result<Query> parse_query(std::string_view text) {
+  auto toks = Lexer(text).run();
+  if (!toks.ok()) return toks.error();
+  return QueryParser(std::move(toks).take()).run();
+}
+
+}  // namespace herc::query

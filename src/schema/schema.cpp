@@ -1,0 +1,217 @@
+#include "schema/schema.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/topo.hpp"
+
+namespace herc::schema {
+
+const char* entity_kind_name(EntityKind k) {
+  return k == EntityKind::kData ? "data" : "tool";
+}
+
+util::Result<EntityTypeId> TaskSchema::add_type(const std::string& name,
+                                                EntityKind kind) {
+  if (!util::is_identifier(name))
+    return util::invalid("type name must be an identifier: '" + name + "'");
+  if (type_by_name_.count(name))
+    return util::conflict("duplicate entity type '" + name + "'");
+  EntityTypeId id{types_.size() + 1};
+  types_.push_back(EntityType{id, name, kind});
+  type_by_name_[name] = id;
+  return id;
+}
+
+util::Result<RuleId> TaskSchema::add_rule(const std::string& activity,
+                                          const std::string& output_type,
+                                          const std::string& tool_type,
+                                          const std::vector<std::string>& input_types,
+                                          const std::string& default_estimate) {
+  if (!util::is_identifier(activity))
+    return util::invalid("activity name must be an identifier: '" + activity + "'");
+  if (rule_by_activity_.count(activity))
+    return util::conflict("duplicate activity '" + activity + "'");
+
+  auto resolve = [this](const std::string& n, EntityKind want,
+                        const char* role) -> util::Result<EntityTypeId> {
+    auto id = find_type(n);
+    if (!id) return util::not_found(std::string(role) + " type '" + n + "' not declared");
+    if (type(*id).kind != want)
+      return util::invalid(std::string(role) + " '" + n + "' is a " +
+                           entity_kind_name(type(*id).kind) + " type, expected " +
+                           entity_kind_name(want));
+    return *id;
+  };
+
+  auto out = resolve(output_type, EntityKind::kData, "output");
+  if (!out.ok()) return out.error();
+  auto tool = resolve(tool_type, EntityKind::kTool, "tool");
+  if (!tool.ok()) return tool.error();
+
+  ConstructionRule r;
+  r.activity = activity;
+  r.output = out.value();
+  r.tool = tool.value();
+  r.default_estimate = default_estimate;
+  for (const auto& in : input_types) {
+    auto i = resolve(in, EntityKind::kData, "input");
+    if (!i.ok()) return i.error();
+    r.inputs.push_back(i.value());
+  }
+
+  if (producer_.count(r.output))
+    return util::conflict("data type '" + output_type +
+                          "' already has a producing rule (activity '" +
+                          rule(producer_.at(r.output)).activity + "')");
+
+  r.id = RuleId{rules_.size() + 1};
+  producer_[r.output] = r.id;
+  rule_by_activity_[activity] = r.id;
+  rules_.push_back(std::move(r));
+  return rules_.back().id;
+}
+
+std::optional<EntityTypeId> TaskSchema::find_type(const std::string& name) const {
+  auto it = type_by_name_.find(name);
+  if (it == type_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const EntityType& TaskSchema::type(EntityTypeId id) const {
+  if (!id.valid() || id.value() > types_.size())
+    throw std::out_of_range("TaskSchema::type: unknown id " + id.str());
+  return types_[id.value() - 1];
+}
+
+std::optional<RuleId> TaskSchema::find_rule_by_activity(const std::string& a) const {
+  auto it = rule_by_activity_.find(a);
+  if (it == rule_by_activity_.end()) return std::nullopt;
+  return it->second;
+}
+
+const ConstructionRule& TaskSchema::rule(RuleId id) const {
+  if (!id.valid() || id.value() > rules_.size())
+    throw std::out_of_range("TaskSchema::rule: unknown id " + id.str());
+  return rules_[id.value() - 1];
+}
+
+std::optional<RuleId> TaskSchema::producer_of(EntityTypeId data_type) const {
+  auto it = producer_.find(data_type);
+  if (it == producer_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<EntityTypeId> TaskSchema::primary_inputs() const {
+  std::vector<EntityTypeId> out;
+  for (const auto& t : types_)
+    if (t.kind == EntityKind::kData && !producer_.count(t.id)) out.push_back(t.id);
+  return out;
+}
+
+std::vector<EntityTypeId> TaskSchema::primary_outputs() const {
+  std::vector<bool> consumed(types_.size() + 1, false);
+  for (const auto& r : rules_)
+    for (EntityTypeId in : r.inputs) consumed[in.value()] = true;
+  std::vector<EntityTypeId> out;
+  for (const auto& t : types_)
+    if (t.kind == EntityKind::kData && producer_.count(t.id) && !consumed[t.id.value()])
+      out.push_back(t.id);
+  return out;
+}
+
+util::Status TaskSchema::validate() const {
+  // Rule graph: edge from the producer of an input type to the consumer rule.
+  util::Digraph g(rules_.size());
+  for (const auto& r : rules_) {
+    for (EntityTypeId in : r.inputs) {
+      auto prod = producer_of(in);
+      if (prod) g.add_edge(prod->value() - 1, r.id.value() - 1);
+    }
+  }
+  if (!util::topo_sort(g)) {
+    auto cycle = util::find_cycle(g);
+    std::vector<std::string> names;
+    names.reserve(cycle.size());
+    for (std::size_t v : cycle) names.push_back(rules_[v].activity);
+    return util::invalid("construction rules form a cycle: " +
+                         util::join(names, " -> "));
+  }
+  return util::Status::ok_status();
+}
+
+std::string TaskSchema::to_dsl() const {
+  std::string out = "schema " + name_ + " {\n";
+  for (const auto& t : types_)
+    out += std::string("  ") + entity_kind_name(t.kind) + " " + t.name + ";\n";
+  for (const auto& r : rules_) {
+    out += "  rule " + r.activity + ": " + type(r.output).name + " <- " +
+           type(r.tool).name + "(";
+    for (std::size_t i = 0; i < r.inputs.size(); ++i) {
+      if (i) out += ", ";
+      out += type(r.inputs[i]).name;
+    }
+    out += ")";
+    if (!r.default_estimate.empty()) out += " [est " + r.default_estimate + "]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::string> TaskSchema::lint() const {
+  std::vector<std::string> warnings;
+
+  std::vector<bool> tool_used(types_.size() + 1, false);
+  std::vector<bool> data_touched(types_.size() + 1, false);
+  for (const auto& r : rules_) {
+    tool_used[r.tool.value()] = true;
+    data_touched[r.output.value()] = true;
+    for (EntityTypeId in : r.inputs) data_touched[in.value()] = true;
+  }
+  for (const auto& t : types_) {
+    if (t.kind == EntityKind::kTool && !tool_used[t.id.value()])
+      warnings.push_back("tool type '" + t.name + "' is used by no rule");
+    if (t.kind == EntityKind::kData && !data_touched[t.id.value()])
+      warnings.push_back("data type '" + t.name +
+                         "' is neither produced nor consumed");
+  }
+  auto outputs = primary_outputs();
+  if (outputs.size() > 1) {
+    std::string names;
+    for (EntityTypeId id : outputs) names += (names.empty() ? "" : ", ") + type(id).name;
+    warnings.push_back("schema has " + std::to_string(outputs.size()) +
+                       " primary outputs (" + names +
+                       "); flows usually converge on one");
+  }
+  return warnings;
+}
+
+std::string TaskSchema::describe() const {
+  std::string out = "Task schema '" + name_ + "'\n";
+  out += "  data types:";
+  for (const auto& t : types_)
+    if (t.kind == EntityKind::kData) out += " " + t.name;
+  out += "\n  tool types:";
+  for (const auto& t : types_)
+    if (t.kind == EntityKind::kTool) out += " " + t.name;
+  out += "\n  construction rules:\n";
+  for (const auto& r : rules_) {
+    out += "    [" + r.activity + "] " + type(r.output).name + " <- " +
+           type(r.tool).name + "(";
+    for (std::size_t i = 0; i < r.inputs.size(); ++i) {
+      if (i) out += ", ";
+      out += type(r.inputs[i]).name;
+    }
+    out += ")\n";
+  }
+  out += "  primary inputs:";
+  for (EntityTypeId id : primary_inputs()) out += " " + type(id).name;
+  out += "\n  primary outputs:";
+  for (EntityTypeId id : primary_outputs()) out += " " + type(id).name;
+  out += "\n";
+  return out;
+}
+
+}  // namespace herc::schema

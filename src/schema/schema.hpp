@@ -1,0 +1,131 @@
+#pragma once
+// Level 1 of the four-level architecture: the task schema.
+//
+// Following Hercules (Sutton/Brockman/Director, DAC'93), a task schema is a
+// set of entity types (data classes and tool classes) plus construction
+// rules of the form
+//
+//     d_i <- f(d_1, ..., d_n)
+//
+// stating that an instance of data type d_i is created by applying a tool of
+// type f to instances of data types d_1..d_n.  Each rule names an *activity*
+// ("Create", "Simulate", ...), which is the unit both flow execution and
+// schedule planning operate on.
+//
+// Restriction (documented): each data type has at most one producing rule,
+// which makes task-tree extraction deterministic.  Alternatives can still be
+// modelled as distinct data types.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/result.hpp"
+
+namespace herc::schema {
+
+using util::EntityTypeId;
+using util::RuleId;
+
+enum class EntityKind { kData, kTool };
+
+[[nodiscard]] const char* entity_kind_name(EntityKind k);
+
+/// A Level-1 entity type: a class of data objects or of tools.
+struct EntityType {
+  EntityTypeId id;
+  std::string name;
+  EntityKind kind = EntityKind::kData;
+};
+
+/// A construction rule `output <- tool(inputs...)`, named by its activity.
+struct ConstructionRule {
+  RuleId id;
+  std::string activity;               ///< e.g. "Simulate"
+  EntityTypeId output;                ///< data type produced
+  EntityTypeId tool;                  ///< tool type applied
+  std::vector<EntityTypeId> inputs;   ///< data types consumed (may be empty)
+  /// Optional designer default estimate from the DSL attribute
+  /// `[est <duration>]`, kept as written ("2d 4h"); empty if absent.  The
+  /// schema layer has no calendar, so the workflow manager parses it when it
+  /// seeds the duration estimator.
+  std::string default_estimate;
+};
+
+/// The task schema: types + rules, with name-based lookup and validation.
+class TaskSchema {
+ public:
+  explicit TaskSchema(std::string name = "schema") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Registers a type; fails on duplicate names (across both kinds).
+  util::Result<EntityTypeId> add_type(const std::string& name, EntityKind kind);
+
+  /// Registers a rule; validates kinds, duplicate activity names, and the
+  /// one-producer restriction.  `default_estimate` is the optional raw
+  /// duration text from the DSL (not interpreted here).
+  util::Result<RuleId> add_rule(const std::string& activity,
+                                const std::string& output_type,
+                                const std::string& tool_type,
+                                const std::vector<std::string>& input_types,
+                                const std::string& default_estimate = {});
+
+  // --- lookups -----------------------------------------------------------
+  [[nodiscard]] std::optional<EntityTypeId> find_type(const std::string& name) const;
+  [[nodiscard]] const EntityType& type(EntityTypeId id) const;
+  [[nodiscard]] std::optional<RuleId> find_rule_by_activity(const std::string& a) const;
+  [[nodiscard]] const ConstructionRule& rule(RuleId id) const;
+  /// Rule producing a data type, if any.
+  [[nodiscard]] std::optional<RuleId> producer_of(EntityTypeId data_type) const;
+
+  [[nodiscard]] const std::vector<EntityType>& types() const { return types_; }
+  [[nodiscard]] const std::vector<ConstructionRule>& rules() const { return rules_; }
+
+  /// Data types with no producing rule — the primary inputs of the process.
+  [[nodiscard]] std::vector<EntityTypeId> primary_inputs() const;
+
+  /// Data types no rule consumes — the primary outputs of the process.
+  [[nodiscard]] std::vector<EntityTypeId> primary_outputs() const;
+
+  /// Full semantic validation: every referenced type exists with the right
+  /// kind (enforced on insertion) and the rule graph is acyclic.  Returns the
+  /// activities on a cycle in the error message if not.
+  [[nodiscard]] util::Status validate() const;
+
+  /// Re-emits the schema in the DSL accepted by parse_schema(); parsing the
+  /// result reproduces an equivalent schema (round-trip tested).
+  [[nodiscard]] std::string to_dsl() const;
+
+  /// Multi-line human dump of the type/rule graph (Fig. 4 reproduction).
+  [[nodiscard]] std::string describe() const;
+
+  /// Non-fatal schema smells: tool types no rule uses, data types that are
+  /// neither produced nor consumed, and multiple primary outputs (often an
+  /// unfinished flow).  Valid schemas may still have warnings.
+  [[nodiscard]] std::vector<std::string> lint() const;
+
+ private:
+  std::string name_;
+  std::vector<EntityType> types_;             // index = id - 1
+  std::vector<ConstructionRule> rules_;       // index = id - 1
+  std::unordered_map<std::string, EntityTypeId> type_by_name_;
+  std::unordered_map<std::string, RuleId> rule_by_activity_;
+  std::unordered_map<EntityTypeId, RuleId> producer_;
+};
+
+/// Parses the schema DSL:
+///
+///   schema circuit {
+///     data netlist; data stimuli; data performance;
+///     tool netlist_editor; tool simulator;
+///     rule Create:   netlist     <- netlist_editor();
+///     rule Simulate: performance <- simulator(netlist, stimuli);
+///   }
+///
+/// '#' and '//' start line comments.  Validation runs after parsing.
+[[nodiscard]] util::Result<TaskSchema> parse_schema(std::string_view text);
+
+}  // namespace herc::schema

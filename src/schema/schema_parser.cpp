@@ -1,0 +1,208 @@
+// Parser for the task-schema DSL (see schema.hpp for the grammar sketch).
+//
+// Grammar:
+//   schema     := "schema" IDENT "{" decl* "}"
+//   decl       := ("data" | "tool") IDENT ("," IDENT)* ";"
+//              |  "rule" IDENT ":" IDENT "<-" IDENT "(" [IDENT ("," IDENT)*] ")" ";"
+// Comments: '#' or '//' to end of line.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "schema/schema.hpp"
+#include "util/strings.hpp"
+
+namespace herc::schema {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  util::Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+      } else if (c == '#' || (c == '/' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '/')) {
+        while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '_'))
+          ++pos_;
+        out.push_back({Token::Kind::kIdent, std::string(s_.substr(start, pos_ - start)),
+                       line_});
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        // Duration tokens inside [est ...], e.g. "2d", "90m".
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               std::isalnum(static_cast<unsigned char>(s_[pos_])))
+          ++pos_;
+        out.push_back({Token::Kind::kIdent, std::string(s_.substr(start, pos_ - start)),
+                       line_});
+      } else if (c == '<' && pos_ + 1 < s_.size() && s_[pos_ + 1] == '-') {
+        out.push_back({Token::Kind::kPunct, "<-", line_});
+        pos_ += 2;
+      } else if (c == '{' || c == '}' || c == '(' || c == ')' || c == ';' || c == ':' ||
+                 c == ',' || c == '[' || c == ']') {
+        out.push_back({Token::Kind::kPunct, std::string(1, c), line_});
+        ++pos_;
+      } else {
+        return util::parse_error("schema line " + std::to_string(line_) +
+                                 ": unexpected character '" + std::string(1, c) + "'");
+      }
+    }
+    out.push_back({Token::Kind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class SchemaParser {
+ public:
+  explicit SchemaParser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  util::Result<TaskSchema> run() {
+    if (!eat_ident("schema")) return err("expected 'schema'");
+    const Token& name = peek();
+    if (name.kind != Token::Kind::kIdent) return err("expected schema name");
+    ++pos_;
+    TaskSchema schema(name.text);
+    if (!eat_punct("{")) return err("expected '{'");
+    while (!at_punct("}")) {
+      if (peek().kind == Token::Kind::kEnd) return err("unterminated schema block");
+      auto st = decl(schema);
+      if (!st.ok()) return st.error();
+    }
+    eat_punct("}");
+    if (peek().kind != Token::Kind::kEnd) return err("trailing tokens after schema");
+    auto valid = schema.validate();
+    if (!valid.ok()) return valid.error();
+    return schema;
+  }
+
+ private:
+  util::Error err(const std::string& msg) const {
+    return util::parse_error("schema line " + std::to_string(peek().line) + ": " + msg +
+                             " (got '" + peek().text + "')");
+  }
+
+  const Token& peek() const { return toks_[pos_]; }
+
+  bool at_punct(std::string_view p) const {
+    return peek().kind == Token::Kind::kPunct && peek().text == p;
+  }
+
+  bool eat_punct(std::string_view p) {
+    if (at_punct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_ident(std::string_view word) {
+    if (peek().kind == Token::Kind::kIdent && peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  util::Result<std::string> ident(const char* what) {
+    if (peek().kind != Token::Kind::kIdent)
+      return err(std::string("expected ") + what);
+    return toks_[pos_++].text;
+  }
+
+  util::Status decl(TaskSchema& schema) {
+    if (eat_ident("data")) return type_decl(schema, EntityKind::kData);
+    if (eat_ident("tool")) return type_decl(schema, EntityKind::kTool);
+    if (eat_ident("rule")) return rule_decl(schema);
+    return err("expected 'data', 'tool' or 'rule'");
+  }
+
+  util::Status type_decl(TaskSchema& schema, EntityKind kind) {
+    while (true) {
+      auto name = ident("type name");
+      if (!name.ok()) return name.error();
+      auto added = schema.add_type(name.value(), kind);
+      if (!added.ok()) return added.error();
+      if (eat_punct(",")) continue;
+      if (eat_punct(";")) return util::Status::ok_status();
+      return err("expected ',' or ';' in type declaration");
+    }
+  }
+
+  util::Status rule_decl(TaskSchema& schema) {
+    auto activity = ident("activity name");
+    if (!activity.ok()) return activity.error();
+    if (!eat_punct(":")) return err("expected ':' after activity name");
+    auto output = ident("output type");
+    if (!output.ok()) return output.error();
+    if (!eat_punct("<-")) return err("expected '<-'");
+    auto tool = ident("tool type");
+    if (!tool.ok()) return tool.error();
+    if (!eat_punct("(")) return err("expected '('");
+    std::vector<std::string> inputs;
+    if (!at_punct(")")) {
+      while (true) {
+        auto in = ident("input type");
+        if (!in.ok()) return in.error();
+        inputs.push_back(in.value());
+        if (eat_punct(",")) continue;
+        break;
+      }
+    }
+    if (!eat_punct(")")) return err("expected ')'");
+    // Optional attribute block: [est <duration tokens>].
+    std::string estimate;
+    if (eat_punct("[")) {
+      if (!eat_ident("est")) return err("expected 'est' in rule attribute block");
+      while (!at_punct("]")) {
+        if (peek().kind != Token::Kind::kIdent)
+          return err("expected duration token in [est ...]");
+        if (!estimate.empty()) estimate += " ";
+        estimate += toks_[pos_++].text;
+      }
+      eat_punct("]");
+      if (estimate.empty()) return err("[est] needs a duration");
+    }
+    if (!eat_punct(";")) return err("expected ';' after rule");
+    auto added = schema.add_rule(activity.value(), output.value(), tool.value(), inputs,
+                                 estimate);
+    if (!added.ok()) return added.error();
+    return util::Status::ok_status();
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<TaskSchema> parse_schema(std::string_view text) {
+  auto toks = Lexer(text).run();
+  if (!toks.ok()) return toks.error();
+  return SchemaParser(std::move(toks).take()).run();
+}
+
+}  // namespace herc::schema

@@ -1,0 +1,173 @@
+#include "track/report.hpp"
+
+#include "gantt/svg.hpp"
+#include "track/status.hpp"
+#include "track/utilization.hpp"
+#include "util/strings.hpp"
+
+namespace herc::track {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void table_open(std::string& out, const std::vector<std::string>& headers) {
+  out += "<table><tr>";
+  for (const auto& h : headers) out += "<th>" + html_escape(h) + "</th>";
+  out += "</tr>\n";
+}
+
+void table_row(std::string& out, const std::vector<std::string>& cells) {
+  out += "<tr>";
+  for (const auto& c : cells) out += "<td>" + html_escape(c) + "</td>";
+  out += "</tr>\n";
+}
+
+}  // namespace
+
+util::Result<std::string> render_html_report(const sched::ScheduleSpace& space,
+                                             const meta::Database& db,
+                                             const cal::WorkCalendar& calendar,
+                                             sched::ScheduleRunId plan,
+                                             cal::WorkInstant as_of,
+                                             const ReportOptions& options) {
+  const auto& p = space.plan(plan);
+  if (p.nodes.empty()) return util::invalid("report: plan has no activities");
+  const std::int64_t mpd = calendar.minutes_per_day();
+
+  std::string out;
+  out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  out += "<title>" + html_escape(p.name) + " — schedule report</title>\n";
+  out += R"(<style>
+body { font-family: sans-serif; margin: 2em; color: #212529; max-width: 70em; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #dee2e6; padding: 4px 10px; text-align: left;
+         font-size: 0.92em; }
+th { background: #f1f3f5; }
+.ok { color: #2f9e44; } .bad { color: #d6336c; font-weight: bold; }
+.meta { color: #868e96; font-size: 0.9em; }
+</style></head><body>
+)";
+
+  auto project = project_status(space, db, plan, as_of);
+  out += "<h1>Schedule report — " + html_escape(p.name) + "</h1>\n";
+  out += "<p class=\"meta\">plan " + p.id.str() + ", as of " +
+         calendar.format(as_of) + "</p>\n";
+
+  // --- summary ---------------------------------------------------------------
+  out += "<h2>Summary</h2>\n";
+  table_open(out, {"", ""});
+  table_row(out, {"activities", std::to_string(project.completed) + " complete / " +
+                                    std::to_string(project.in_progress) +
+                                    " in progress / " +
+                                    std::to_string(project.not_started) +
+                                    " not started"});
+  table_row(out, {"baseline finish", calendar.format_date(project.baseline_finish)});
+  table_row(out, {"projected finish", calendar.format_date(project.projected_finish)});
+  table_row(out, {"schedule variance",
+                  project.schedule_variance.count_minutes() == 0
+                      ? "on plan"
+                      : project.schedule_variance.str(mpd)});
+  if (project.deadline) {
+    std::string margin =
+        project.deadline_margin->count_minutes() >= 0
+            ? "margin " + project.deadline_margin->str(mpd)
+            : "MISSING BY " + cal::WorkDuration::minutes(
+                                  -project.deadline_margin->count_minutes())
+                                  .str(mpd);
+    table_row(out, {"deadline",
+                    calendar.format_date(*project.deadline) + " (" + margin + ")"});
+  }
+  table_row(out, {"earned value",
+                  "BCWP " + util::format_double(project.bcwp / 60.0, 1) +
+                      "h of BCWS " + util::format_double(project.bcws / 60.0, 1) +
+                      "h (SPI " + util::format_double(project.spi, 2) + ")"});
+  out += "</table>\n";
+
+  // --- Gantt -----------------------------------------------------------------
+  out += "<h2>Gantt</h2>\n";
+  out += gantt::render_gantt_svg(space, calendar, plan, as_of);
+
+  // --- activities ---------------------------------------------------------------
+  out += "<h2>Activities</h2>\n";
+  table_open(out, {"activity", "state", "critical", "baseline finish",
+                   "projected finish", "variance", "runs"});
+  for (const auto& row : activity_status(space, db, plan, as_of)) {
+    cal::WorkInstant finish = row.actual_finish ? *row.actual_finish : row.planned_finish;
+    table_row(out,
+              {row.activity, activity_state_name(row.state),
+               row.critical ? "yes" : "", calendar.format_date(row.baseline_finish),
+               calendar.format_date(finish),
+               row.finish_variance.count_minutes() == 0 ? "-"
+                                                        : row.finish_variance.str(mpd),
+               std::to_string(row.runs)});
+  }
+  out += "</table>\n";
+
+  // --- utilization --------------------------------------------------------------
+  if (options.include_utilization && !db.resources().empty()) {
+    auto util_report = utilization(space, db, plan);
+    if (util_report.ok()) {
+      out += "<h2>Resource utilization</h2>\n";
+      table_open(out, {"resource", "capacity", "load", "busy", "utilization",
+                       "peak", "overbooked"});
+      for (const auto& r : util_report.value().resources) {
+        table_row(out, {r.name, std::to_string(r.capacity), r.load.str(mpd),
+                        r.busy.str(mpd),
+                        util::format_double(100 * r.utilization, 0) + "%",
+                        std::to_string(r.peak_concurrency),
+                        r.overallocations.empty() ? "" : "YES"});
+      }
+      out += "</table>\n";
+    }
+  }
+
+  // --- risk ----------------------------------------------------------------------
+  if (options.include_risk) {
+    auto risk = sched::analyze_risk(space, db, plan, options.risk);
+    if (risk.ok()) {
+      const auto& r = risk.value();
+      out += "<h2>Schedule risk (" + std::to_string(r.samples) + " samples)</h2>\n";
+      table_open(out, {"", ""});
+      table_row(out, {"P50 finish", calendar.format_date(r.p50_finish)});
+      table_row(out, {"P90 finish", calendar.format_date(r.p90_finish)});
+      table_row(out, {"chance of meeting the deterministic projection",
+                      util::format_double(100 * r.on_time_probability, 1) + "%"});
+      out += "</table>\n";
+      table_open(out, {"activity", "criticality", "mean duration"});
+      for (const auto& a : r.activities)
+        table_row(out, {a.activity, util::format_double(100 * a.criticality, 1) + "%",
+                        a.mean_duration.str(mpd)});
+      out += "</table>\n";
+    }
+  }
+
+  // --- lineage ---------------------------------------------------------------------
+  if (options.include_lineage) {
+    auto ancestry = space.lineage(plan);
+    if (ancestry.size() > 1) {
+      out += "<h2>Plan evolution</h2>\n<ol>\n";
+      for (auto it = ancestry.rbegin(); it != ancestry.rend(); ++it)
+        out += "<li>" + html_escape(space.plan(*it).str()) + " (created " +
+               calendar.format(space.plan(*it).created_at) + ")</li>\n";
+      out += "</ol>\n";
+    }
+  }
+
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace herc::track

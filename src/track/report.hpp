@@ -1,0 +1,33 @@
+#pragma once
+// Self-contained HTML project report.
+//
+// Composes everything the integrated system knows about one task's plan —
+// activity status, earned value, the deadline margin, the embedded SVG Gantt
+// chart, resource utilization, Monte Carlo risk, and the plan lineage — into
+// one document a project manager can mail around.  This is the batch-report
+// counterpart of the paper's interactive status examination (Sec. IV.B).
+
+#include <string>
+
+#include "core/risk.hpp"
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::track {
+
+struct ReportOptions {
+  bool include_risk = true;        ///< run the Monte Carlo section
+  sched::RiskOptions risk;         ///< sampling parameters when included
+  bool include_utilization = true;
+  bool include_lineage = true;
+};
+
+/// Renders the report for one plan as of `as_of`.  kInvalid on an empty
+/// plan.  The output is a complete standalone HTML document (inline styles,
+/// inline SVG, no external references).
+[[nodiscard]] util::Result<std::string> render_html_report(
+    const sched::ScheduleSpace& space, const meta::Database& db,
+    const cal::WorkCalendar& calendar, sched::ScheduleRunId plan,
+    cal::WorkInstant as_of, const ReportOptions& options = {});
+
+}  // namespace herc::track

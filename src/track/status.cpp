@@ -1,0 +1,162 @@
+#include "track/status.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::track {
+
+const char* activity_state_name(ActivityState s) {
+  switch (s) {
+    case ActivityState::kNotStarted: return "not-started";
+    case ActivityState::kInProgress: return "in-progress";
+    case ActivityState::kComplete: return "complete";
+  }
+  return "?";
+}
+
+std::vector<ActivityStatus> activity_status(const sched::ScheduleSpace& space,
+                                            const meta::Database& db,
+                                            sched::ScheduleRunId plan,
+                                            cal::WorkInstant as_of) {
+  std::vector<ActivityStatus> out;
+  for (sched::ScheduleNodeId nid : space.plan(plan).nodes) {
+    const sched::ScheduleNode& n = space.node(nid);
+    ActivityStatus s;
+    s.activity = n.activity;
+    s.node = nid;
+    s.critical = n.critical;
+    s.baseline_start = n.baseline_start;
+    s.baseline_finish = n.baseline_finish;
+    s.planned_start = n.planned_start;
+    s.planned_finish = n.planned_finish;
+    s.actual_start = n.actual_start;
+    s.actual_finish = n.actual_finish;
+    s.est_duration = n.est_duration;
+    s.total_slack = n.total_slack;
+    s.runs = static_cast<int>(db.runs_of_activity(n.activity).size());
+    if (n.completed) {
+      s.state = ActivityState::kComplete;
+      s.finish_variance = *n.actual_finish - n.baseline_finish;
+    } else if (n.actual_start && *n.actual_start <= as_of) {
+      s.state = ActivityState::kInProgress;
+      s.finish_variance = n.planned_finish - n.baseline_finish;
+    } else {
+      s.state = ActivityState::kNotStarted;
+      s.finish_variance = n.planned_finish - n.baseline_finish;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+ProjectStatus project_status(const sched::ScheduleSpace& space,
+                             const meta::Database& db, sched::ScheduleRunId plan,
+                             cal::WorkInstant as_of) {
+  ProjectStatus p;
+  p.plan_name = space.plan(plan).name;
+  auto rows = activity_status(space, db, plan, as_of);
+  p.total_activities = static_cast<int>(rows.size());
+
+  cal::WorkInstant baseline_finish;
+  cal::WorkInstant projected_finish;
+  for (const auto& r : rows) {
+    baseline_finish = std::max(baseline_finish, r.baseline_finish);
+    cal::WorkInstant finish = r.actual_finish ? *r.actual_finish : r.planned_finish;
+    projected_finish = std::max(projected_finish, finish);
+
+    const double budget = static_cast<double>(r.est_duration.count_minutes());
+    switch (r.state) {
+      case ActivityState::kComplete:
+        ++p.completed;
+        p.bcwp += budget;
+        break;
+      case ActivityState::kInProgress: {
+        ++p.in_progress;
+        // Earned value of in-progress work: linear fraction of planned
+        // duration elapsed since the actual start, capped at the budget.
+        double elapsed =
+            static_cast<double>((as_of - *r.actual_start).count_minutes());
+        p.bcwp += std::min(budget, std::max(0.0, elapsed));
+        break;
+      }
+      case ActivityState::kNotStarted:
+        ++p.not_started;
+        break;
+    }
+    // BCWS: portion of the budget that should be done by `as_of` per the
+    // baseline dates.
+    if (as_of >= r.baseline_finish) {
+      p.bcws += budget;
+    } else if (as_of > r.baseline_start) {
+      p.bcws += budget *
+                static_cast<double>((as_of - r.baseline_start).count_minutes()) /
+                std::max(1.0, static_cast<double>(
+                                  (r.baseline_finish - r.baseline_start).count_minutes()));
+    }
+  }
+  p.baseline_finish = baseline_finish;
+  p.projected_finish = projected_finish;
+  p.schedule_variance = projected_finish - baseline_finish;
+  p.spi = p.bcws > 0 ? p.bcwp / p.bcws : 1.0;
+  if (auto deadline = space.plan(plan).deadline) {
+    p.deadline = deadline;
+    p.deadline_margin = *deadline - projected_finish;
+  }
+  return p;
+}
+
+std::string render_status_report(const sched::ScheduleSpace& space,
+                                 const meta::Database& db,
+                                 const cal::WorkCalendar& calendar,
+                                 sched::ScheduleRunId plan, cal::WorkInstant as_of) {
+  using util::pad_right;
+  auto rows = activity_status(space, db, plan, as_of);
+  auto proj = project_status(space, db, plan, as_of);
+  const std::int64_t mpd = calendar.minutes_per_day();
+
+  std::string out;
+  out += "Status of " + space.plan(plan).str() + " as of " + calendar.format(as_of) +
+         "\n";
+  out += pad_right("activity", 14) + pad_right("state", 13) + pad_right("crit", 6) +
+         pad_right("baseline finish", 17) + pad_right("projected finish", 18) +
+         pad_right("variance", 10) + "runs\n";
+  out += util::repeat('-', 82) + "\n";
+  for (const auto& r : rows) {
+    cal::WorkInstant finish = r.actual_finish ? *r.actual_finish : r.planned_finish;
+    out += pad_right(r.activity, 14);
+    out += pad_right(activity_state_name(r.state), 13);
+    out += pad_right(r.critical ? "yes" : "", 6);
+    out += pad_right(calendar.format_date(r.baseline_finish), 17);
+    out += pad_right(calendar.format_date(finish), 18);
+    out += pad_right(r.finish_variance.count_minutes() == 0
+                         ? "-"
+                         : r.finish_variance.str(mpd),
+                     10);
+    out += std::to_string(r.runs) + "\n";
+  }
+  out += util::repeat('-', 82) + "\n";
+  out += "activities: " + std::to_string(proj.completed) + " complete, " +
+         std::to_string(proj.in_progress) + " in progress, " +
+         std::to_string(proj.not_started) + " not started\n";
+  out += "baseline finish: " + calendar.format_date(proj.baseline_finish) +
+         "   projected finish: " + calendar.format_date(proj.projected_finish);
+  if (proj.schedule_variance.count_minutes() != 0)
+    out += "   slip: " + proj.schedule_variance.str(mpd);
+  out += "\n";
+  if (proj.deadline) {
+    out += "deadline: " + calendar.format_date(*proj.deadline);
+    out += proj.deadline_margin->count_minutes() >= 0
+               ? "   margin: " + proj.deadline_margin->str(mpd)
+               : "   MISSING BY " +
+                     cal::WorkDuration::minutes(-proj.deadline_margin->count_minutes())
+                         .str(mpd);
+    out += "\n";
+  }
+  out += "earned value: BCWP " + util::format_double(proj.bcwp / 60.0, 1) +
+         "h of BCWS " + util::format_double(proj.bcws / 60.0, 1) +
+         "h scheduled (SPI " + util::format_double(proj.spi, 2) + ")\n";
+  return out;
+}
+
+}  // namespace herc::track

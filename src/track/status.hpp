@@ -1,0 +1,92 @@
+#pragma once
+// Design-status examination: comparing actual execution against the plan.
+//
+// "At any point in the design process, it is desirable to be able to compare
+//  the status of the execution of a task with the schedule plan." — Sec. IV.B
+//
+// This module computes the per-activity status rows that both the Gantt
+// renderer and the status queries consume, plus project-level summary
+// metrics.  Variances follow project-management convention: positive
+// variance = late/over.  Earned-value metrics (BCWS/BCWP, SPI) are the
+// natural quantitative extension of "tracking the performance of a design
+// flow against a schedule" and are computed in work-minutes of planned
+// effort.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::track {
+
+enum class ActivityState { kNotStarted, kInProgress, kComplete };
+
+[[nodiscard]] const char* activity_state_name(ActivityState s);
+
+/// One row of a status report: an activity of the tracked plan.
+struct ActivityStatus {
+  std::string activity;
+  sched::ScheduleNodeId node;
+  ActivityState state = ActivityState::kNotStarted;
+  bool critical = false;
+
+  cal::WorkInstant baseline_start;
+  cal::WorkInstant baseline_finish;
+  cal::WorkInstant planned_start;   ///< current projection
+  cal::WorkInstant planned_finish;
+  std::optional<cal::WorkInstant> actual_start;
+  std::optional<cal::WorkInstant> actual_finish;
+
+  cal::WorkDuration est_duration;
+  cal::WorkDuration total_slack;
+
+  /// (actual or projected finish) - baseline finish; positive = slipping.
+  cal::WorkDuration finish_variance;
+  /// Iterations so far (number of runs of the activity).
+  int runs = 0;
+};
+
+/// Project-level roll-up.
+struct ProjectStatus {
+  std::string plan_name;
+  int total_activities = 0;
+  int completed = 0;
+  int in_progress = 0;
+  int not_started = 0;
+
+  cal::WorkInstant baseline_finish;   ///< baseline project completion
+  cal::WorkInstant projected_finish;  ///< current projection
+  cal::WorkDuration schedule_variance;  ///< projected - baseline; + = late
+  /// Committed deadline and the margin against it (deadline - projected;
+  /// negative = projected to miss), when the plan carries one.
+  std::optional<cal::WorkInstant> deadline;
+  std::optional<cal::WorkDuration> deadline_margin;
+
+  // Earned value, in planned work-minutes:
+  double bcws = 0;  ///< budgeted cost of work scheduled (by `as_of`)
+  double bcwp = 0;  ///< budgeted cost of work performed (earned)
+  double spi = 1.0; ///< schedule performance index = BCWP / BCWS
+};
+
+/// Per-activity status of a plan as of `as_of`.
+[[nodiscard]] std::vector<ActivityStatus> activity_status(
+    const sched::ScheduleSpace& space, const meta::Database& db,
+    sched::ScheduleRunId plan, cal::WorkInstant as_of);
+
+/// Project roll-up as of `as_of`.
+[[nodiscard]] ProjectStatus project_status(const sched::ScheduleSpace& space,
+                                           const meta::Database& db,
+                                           sched::ScheduleRunId plan,
+                                           cal::WorkInstant as_of);
+
+/// Tabular text report (activity rows + roll-up) as the paper's status
+/// queries would display it.
+[[nodiscard]] std::string render_status_report(const sched::ScheduleSpace& space,
+                                               const meta::Database& db,
+                                               const cal::WorkCalendar& calendar,
+                                               sched::ScheduleRunId plan,
+                                               cal::WorkInstant as_of);
+
+}  // namespace herc::track

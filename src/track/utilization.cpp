@@ -1,0 +1,157 @@
+#include "track/utilization.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace herc::track {
+
+namespace {
+
+/// Length of the union of (possibly overlapping) intervals.
+cal::WorkDuration union_length(std::vector<std::pair<std::int64_t, std::int64_t>> spans) {
+  std::sort(spans.begin(), spans.end());
+  std::int64_t total = 0;
+  std::int64_t cur_start = 0, cur_end = -1;
+  bool open = false;
+  for (auto [s, e] : spans) {
+    if (!open || s > cur_end) {
+      if (open) total += cur_end - cur_start;
+      cur_start = s;
+      cur_end = e;
+      open = true;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  if (open) total += cur_end - cur_start;
+  return cal::WorkDuration::minutes(total);
+}
+
+}  // namespace
+
+util::Result<UtilizationReport> utilization(const sched::ScheduleSpace& space,
+                                            const meta::Database& db,
+                                            sched::ScheduleRunId plan_id) {
+  const auto& plan = space.plan(plan_id);
+
+  // Collect dated intervals per node.
+  struct Booked {
+    std::int64_t start, finish;
+    std::string activity;
+    std::vector<util::ResourceId> resources;
+  };
+  std::vector<Booked> booked;
+  std::int64_t h0 = 0, h1 = 0;
+  bool first = true;
+  for (sched::ScheduleNodeId nid : plan.nodes) {
+    const auto& n = space.node(nid);
+    if (n.deleted) continue;
+    Booked b;
+    b.start = (n.actual_start ? *n.actual_start : n.planned_start).minutes_since_epoch();
+    b.finish =
+        (n.actual_finish ? *n.actual_finish : n.planned_finish).minutes_since_epoch();
+    if (b.finish < b.start) b.finish = b.start;
+    b.activity = n.activity;
+    b.resources = n.resources;
+    if (first) {
+      h0 = b.start;
+      h1 = b.finish;
+      first = false;
+    } else {
+      h0 = std::min(h0, b.start);
+      h1 = std::max(h1, b.finish);
+    }
+    booked.push_back(std::move(b));
+  }
+  if (first) return util::invalid("utilization: plan has no activities");
+  if (h1 <= h0) h1 = h0 + 1;
+
+  UtilizationReport report;
+  report.horizon_start = cal::WorkInstant(h0);
+  report.horizon_finish = cal::WorkInstant(h1);
+
+  for (const auto& res : db.resources()) {
+    ResourceUtilization ru;
+    ru.resource = res.id;
+    ru.name = res.name;
+    ru.capacity = res.capacity;
+
+    std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+    for (const auto& b : booked) {
+      for (util::ResourceId r : b.resources) {
+        if (r != res.id) continue;
+        ru.intervals.push_back(BusyInterval{cal::WorkInstant(b.start),
+                                            cal::WorkInstant(b.finish), b.activity});
+        ru.load += cal::WorkDuration::minutes(b.finish - b.start);
+        spans.emplace_back(b.start, b.finish);
+      }
+    }
+    ru.busy = union_length(spans);
+    ru.utilization = static_cast<double>(ru.busy.count_minutes()) /
+                     static_cast<double>(h1 - h0);
+
+    // Sweep for concurrency and overallocation windows.
+    std::vector<std::pair<std::int64_t, int>> events;
+    for (auto [s, e] : spans) {
+      events.emplace_back(s, +1);
+      events.emplace_back(e, -1);
+    }
+    std::sort(events.begin(), events.end());
+    int depth = 0;
+    std::int64_t over_since = 0;
+    for (auto [t, d] : events) {
+      int before = depth;
+      depth += d;
+      ru.peak_concurrency = std::max(ru.peak_concurrency, depth);
+      if (before <= ru.capacity && depth > ru.capacity) over_since = t;
+      if (before > ru.capacity && depth <= ru.capacity) {
+        ru.overallocations.push_back(BusyInterval{cal::WorkInstant(over_since),
+                                                  cal::WorkInstant(t), "overbooked"});
+      }
+    }
+    report.resources.push_back(std::move(ru));
+  }
+  return report;
+}
+
+std::string UtilizationReport::render(const cal::WorkCalendar& calendar) const {
+  using util::pad_right;
+  std::string out = "Resource utilization  [" +
+                    calendar.format_date(horizon_start) + " .. " +
+                    calendar.format_date(horizon_finish) + "]\n";
+  out += pad_right("resource", 16) + pad_right("cap", 5) + pad_right("load", 10) +
+         pad_right("busy", 10) + pad_right("util", 7) + pad_right("peak", 6) +
+         "profile\n";
+  out += util::repeat('-', 84) + "\n";
+  const std::int64_t mpd = calendar.minutes_per_day();
+  for (const auto& r : resources) {
+    out += pad_right(r.name, 16);
+    out += pad_right(std::to_string(r.capacity), 5);
+    out += pad_right(r.load.str(mpd), 10);
+    out += pad_right(r.busy.str(mpd), 10);
+    out += pad_right(util::format_double(100 * r.utilization, 0) + "%", 7);
+    out += pad_right(std::to_string(r.peak_concurrency), 6);
+    // 30-column busy bar across the horizon.
+    std::string bar(30, '.');
+    std::int64_t h0 = horizon_start.minutes_since_epoch();
+    std::int64_t h1 = horizon_finish.minutes_since_epoch();
+    for (const auto& iv : r.intervals) {
+      auto col = [&](std::int64_t t) {
+        return std::clamp<std::int64_t>((t - h0) * 30 / (h1 - h0), 0, 29);
+      };
+      for (std::int64_t c = col(iv.start.minutes_since_epoch());
+           c <= col(iv.finish.minutes_since_epoch() - 1); ++c)
+        bar[static_cast<std::size_t>(c)] = bar[static_cast<std::size_t>(c)] == '#'
+                                               ? 'X'  // overlap
+                                               : '#';
+    }
+    out += "|" + bar + "|";
+    if (!r.overallocations.empty())
+      out += "  OVERBOOKED x" + std::to_string(r.overallocations.size());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace herc::track

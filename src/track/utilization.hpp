@@ -1,0 +1,61 @@
+#pragma once
+// Resource utilization analysis over a plan.
+//
+// The paper lists resource optimization among the benefits of integrated
+// schedule data ("optimize the resources associated with future projects").
+// This report answers the manager's resource questions for one plan: how
+// loaded is each person/machine across the plan horizon, when, and is
+// anything booked beyond its capacity (possible when a plan was computed
+// without leveling).
+
+#include <string>
+#include <vector>
+
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::track {
+
+/// A half-open busy interval of one resource.
+struct BusyInterval {
+  cal::WorkInstant start;
+  cal::WorkInstant finish;
+  std::string activity;
+};
+
+struct ResourceUtilization {
+  util::ResourceId resource;
+  std::string name;
+  int capacity = 1;
+  std::vector<BusyInterval> intervals;    ///< in plan order
+  cal::WorkDuration load;                 ///< sum of interval lengths
+  cal::WorkDuration busy;                 ///< length of the union of intervals
+  double utilization = 0;                 ///< busy / plan horizon
+  int peak_concurrency = 0;               ///< max simultaneous bookings
+  /// Intervals where concurrent bookings exceed capacity.
+  std::vector<BusyInterval> overallocations;
+};
+
+struct UtilizationReport {
+  cal::WorkInstant horizon_start;
+  cal::WorkInstant horizon_finish;
+  std::vector<ResourceUtilization> resources;  ///< registry order
+
+  [[nodiscard]] bool has_overallocation() const {
+    for (const auto& r : resources)
+      if (!r.overallocations.empty()) return true;
+    return false;
+  }
+
+  /// Text table plus a per-resource load bar.
+  [[nodiscard]] std::string render(const cal::WorkCalendar& calendar) const;
+};
+
+/// Computes utilization of every registered resource against one plan.
+/// Activities use their actual dates when known, otherwise their projection;
+/// deleted schedule nodes are ignored.  kInvalid if the plan is empty.
+[[nodiscard]] util::Result<UtilizationReport> utilization(
+    const sched::ScheduleSpace& space, const meta::Database& db,
+    sched::ScheduleRunId plan);
+
+}  // namespace herc::track

@@ -1,0 +1,94 @@
+#pragma once
+// Strong identifier types used across the herc libraries.
+//
+// Every object stored in the metadata database (entity instances, runs,
+// schedule instances, links, data objects) carries a small integer id wrapped
+// in a distinct type so that, e.g., a RunId cannot be passed where a
+// ScheduleNodeId is expected.  Ids are allocated densely per database by
+// IdAllocator and are stable for the lifetime of the database (including
+// across save/load).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace herc::util {
+
+/// CRTP-free strong integer id.  `Tag` only disambiguates the type.
+template <class Tag>
+class Id {
+ public:
+  using underlying_type = std::uint64_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Sentinel "no object" id; default construction yields it.
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  /// Renders e.g. "#42" or "#-" for the invalid id.
+  [[nodiscard]] std::string str() const {
+    return valid() ? "#" + std::to_string(value_) : "#-";
+  }
+
+ private:
+  underlying_type value_ = 0;  // 0 is reserved for "invalid"
+};
+
+/// Allocates densely increasing ids starting at 1.
+template <class Tag>
+class IdAllocator {
+ public:
+  [[nodiscard]] Id<Tag> next() { return Id<Tag>{++last_}; }
+
+  /// Ensures future ids do not collide with `id` (used when loading a
+  /// persisted database).
+  void reserve_at_least(Id<Tag> id) {
+    if (id.value() > last_) last_ = id.value();
+  }
+
+  [[nodiscard]] typename Id<Tag>::underlying_type last() const { return last_; }
+
+ private:
+  typename Id<Tag>::underlying_type last_ = 0;
+};
+
+// Tag types.  The ids themselves live here so that all layers agree on them.
+struct EntityTypeTag {};
+struct RuleTag {};
+struct TaskNodeTag {};
+struct EntityInstanceTag {};
+struct RunTag {};
+struct ScheduleRunTag {};
+struct ScheduleNodeTag {};
+struct LinkTag {};
+struct DataObjectTag {};
+struct ResourceTag {};
+
+using EntityTypeId = Id<EntityTypeTag>;
+using RuleId = Id<RuleTag>;
+using TaskNodeId = Id<TaskNodeTag>;
+using EntityInstanceId = Id<EntityInstanceTag>;
+using RunId = Id<RunTag>;
+using ScheduleRunId = Id<ScheduleRunTag>;
+using ScheduleNodeId = Id<ScheduleNodeTag>;
+using LinkId = Id<LinkTag>;
+using DataObjectId = Id<DataObjectTag>;
+using ResourceId = Id<ResourceTag>;
+
+}  // namespace herc::util
+
+// Hash support so ids can key unordered containers.
+template <class Tag>
+struct std::hash<herc::util::Id<Tag>> {
+  std::size_t operator()(herc::util::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};

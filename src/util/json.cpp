@@ -1,0 +1,323 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace herc::util {
+
+Json& JsonObject::set(const std::string& key, Json value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+  return entries_.back().second;
+}
+
+bool JsonObject::contains(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return true;
+  return false;
+}
+
+const Json& JsonObject::at(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return v;
+  throw std::out_of_range("JsonObject::at: missing key '" + key + "'");
+}
+
+Json& JsonObject::at(const std::string& key) {
+  for (auto& [k, v] : entries_)
+    if (k == key) return v;
+  throw std::out_of_range("JsonObject::at: missing key '" + key + "'");
+}
+
+namespace {
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(as_int());
+  } else if (is_double()) {
+    double d = std::get<double>(v_);
+    if (std::isfinite(d)) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no NaN/Inf
+    }
+  } else if (is_string()) {
+    out += json_quote(as_string());
+  } else if (is_array()) {
+    const auto& a = as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) out.push_back(',');
+      newline_indent(out, indent, depth + 1);
+      a[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const auto& o = as_object();
+    if (o.size() == 0) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : o) {
+      if (!first) out.push_back(',');
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      out += json_quote(k);
+      out += indent < 0 ? ":" : ": ";
+      v.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Nesting bound: recursive descent must not turn attacker-deep documents
+// into stack overflows.
+constexpr int kMaxDepth = 200;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Result<Json> run() {
+    skip_ws();
+    auto v = value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Result<Json> fail(const std::string& msg) {
+    return parse_error("JSON at offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  bool consume(char c) {
+    if (!eof() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (s_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> value() {
+    if (eof()) return fail("unexpected end of input");
+    if (depth_ > kMaxDepth) return fail("nesting deeper than 200 levels");
+    char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        auto s = string();
+        if (!s.ok()) return s.error();
+        return Json(std::move(s).take());
+      }
+      case 't':
+        if (consume_word("true")) return Json(true);
+        return fail("bad literal");
+      case 'f':
+        if (consume_word("false")) return Json(false);
+        return fail("bad literal");
+      case 'n':
+        if (consume_word("null")) return Json(nullptr);
+        return fail("bad literal");
+      default: return number();
+    }
+  }
+
+  Result<Json> number() {
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool is_floating = false;
+    if (consume('.')) {
+      is_floating = true;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_floating = true;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    std::string tok(s_.substr(start, pos_ - start));
+    if (tok.empty() || tok == "-") return fail("malformed number");
+    if (is_floating) {
+      char* end = nullptr;
+      double d = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size()) return fail("malformed number");
+      return Json(d);
+    }
+    char* end = nullptr;
+    long long i = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size()) return fail("malformed number");
+    return Json(static_cast<std::int64_t>(i));
+  }
+
+  Result<std::string> string() {
+    if (!consume('"')) return parse_error("expected string");
+    std::string out;
+    while (true) {
+      if (eof()) return parse_error("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return parse_error("unterminated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return parse_error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return parse_error("bad \\u escape");
+            }
+            // We only emit \u for control characters, so only decode BMP
+            // ASCII-range points; encode others as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return parse_error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Result<Json> array() {
+    consume('[');
+    ++depth_;
+    struct Guard {
+      int& d;
+      ~Guard() { --d; }
+    } guard{depth_};
+    JsonArray a;
+    skip_ws();
+    if (consume(']')) return Json(std::move(a));
+    while (true) {
+      skip_ws();
+      auto v = value();
+      if (!v.ok()) return v;
+      a.push_back(std::move(v).take());
+      skip_ws();
+      if (consume(']')) return Json(std::move(a));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> object() {
+    consume('{');
+    ++depth_;
+    struct Guard {
+      int& d;
+      ~Guard() { --d; }
+    } guard{depth_};
+    JsonObject o;
+    skip_ws();
+    if (consume('}')) return Json(std::move(o));
+    while (true) {
+      skip_ws();
+      auto k = string();
+      if (!k.ok()) return k.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      auto v = value();
+      if (!v.ok()) return v;
+      o.set(std::move(k).take(), std::move(v).take());
+      skip_ws();
+      if (consume('}')) return Json(std::move(o));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace herc::util

@@ -1,0 +1,94 @@
+#pragma once
+// Minimal JSON document model with a writer and a strict parser.
+//
+// Used only for persistence (saving/loading the Hercules database) and for
+// machine-readable experiment output, so it favours simplicity and
+// deterministic output (object keys keep insertion order) over speed.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace herc::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+
+/// Object preserving key insertion order (so that save→load→save is a
+/// byte-identical fixed point).
+class JsonObject {
+ public:
+  /// Inserts or overwrites; new keys go to the back.
+  Json& set(const std::string& key, Json value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Throws std::out_of_range if missing.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] Json& at(const std::string& key);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Json>> entries_;
+};
+
+/// A JSON value: null, bool, integer, double, string, array or object.
+/// Integers are kept distinct from doubles so ids survive round trips.
+class Json {
+ public:
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}            // NOLINT
+  Json(bool b) : v_(b) {}                          // NOLINT
+  Json(std::int64_t i) : v_(i) {}                  // NOLINT
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Json(std::uint64_t u) : v_(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Json(double d) : v_(d) {}                        // NOLINT
+  Json(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Json(const char* s) : v_(std::string(s)) {}      // NOLINT
+  Json(JsonArray a) : v_(std::move(a)) {}          // NOLINT
+  Json(JsonObject o) : v_(std::move(o)) {}         // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  // Accessors throw std::bad_variant_access on type mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] double as_double() const {
+    return is_int() ? static_cast<double>(as_int()) : std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const JsonArray& as_array() const { return std::get<JsonArray>(v_); }
+  [[nodiscard]] JsonArray& as_array() { return std::get<JsonArray>(v_); }
+  [[nodiscard]] const JsonObject& as_object() const { return std::get<JsonObject>(v_); }
+  [[nodiscard]] JsonObject& as_object() { return std::get<JsonObject>(v_); }
+
+  /// Serializes; indent < 0 yields compact one-line output.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Strict parser; rejects trailing garbage.
+  [[nodiscard]] static Result<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray,
+               JsonObject>
+      v_;
+};
+
+}  // namespace herc::util

@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic pseudo-random numbers for workload generators and the
+// predictor ablation benches.  splitmix64 core: tiny, fast, reproducible
+// across platforms (std::mt19937 would also be portable but is heavier than
+// these call sites need).
+
+#include <cstdint>
+
+namespace herc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 raw bits.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Approximately normal via sum of 12 uniforms (Irwin–Hall), good enough
+  /// for noisy-duration synthesis.
+  double normal(double mean, double stddev) {
+    double s = 0;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return mean + (s - 6.0) * stddev;
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace herc::util

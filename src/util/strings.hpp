@@ -1,0 +1,48 @@
+#pragma once
+// Small string helpers shared by the DSL/query/JSON parsers and the text
+// renderers.  Kept deliberately minimal; nothing here allocates more than the
+// obvious result strings.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace herc::util {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on any ASCII whitespace; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (locale independent).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True for a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+/// Left-pads / right-pads with spaces to at least `width` columns.
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// Repeats a single character.
+[[nodiscard]] std::string repeat(char c, std::size_t n);
+
+/// Escapes a string for inclusion in JSON output (adds quotes).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Formats a double with up to `digits` fractional digits, trimming zeros.
+[[nodiscard]] std::string format_double(double v, int digits = 3);
+
+}  // namespace herc::util

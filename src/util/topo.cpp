@@ -1,0 +1,82 @@
+#include "util/topo.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace herc::util {
+
+void Digraph::add_edge(std::size_t from, std::size_t to) {
+  succs_.at(from).push_back(to);
+  preds_.at(to).push_back(from);
+  ++edges_;
+}
+
+std::optional<std::vector<std::size_t>> topo_sort(const Digraph& g) {
+  std::vector<std::size_t> indeg(g.size(), 0);
+  for (std::size_t v = 0; v < g.size(); ++v)
+    for (std::size_t s : g.succs(v)) ++indeg[s];
+
+  // min-heap for determinism
+  std::priority_queue<std::size_t, std::vector<std::size_t>, std::greater<>> ready;
+  for (std::size_t v = 0; v < g.size(); ++v)
+    if (indeg[v] == 0) ready.push(v);
+
+  std::vector<std::size_t> order;
+  order.reserve(g.size());
+  while (!ready.empty()) {
+    std::size_t v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (std::size_t s : g.succs(v))
+      if (--indeg[s] == 0) ready.push(s);
+  }
+  if (order.size() != g.size()) return std::nullopt;
+  return order;
+}
+
+std::vector<std::size_t> find_cycle(const Digraph& g) {
+  enum class Mark { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(g.size(), Mark::kWhite);
+  std::vector<std::size_t> parent(g.size(), g.size());
+
+  // Iterative DFS; when we meet a grey vertex we walk parents back to it.
+  for (std::size_t root = 0; root < g.size(); ++root) {
+    if (mark[root] != Mark::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (vertex, next succ idx)
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < g.succs(v).size()) {
+        std::size_t s = g.succs(v)[i++];
+        if (mark[s] == Mark::kWhite) {
+          mark[s] = Mark::kGrey;
+          parent[s] = v;
+          stack.emplace_back(s, 0);
+        } else if (mark[s] == Mark::kGrey) {
+          // Found a back edge v -> s: collect s .. v.
+          std::vector<std::size_t> cycle{s};
+          for (std::size_t w = v; w != s; w = parent[w]) cycle.push_back(w);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+      } else {
+        mark[v] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<std::size_t> longest_path_to(const Digraph& g) {
+  auto order = topo_sort(g);
+  if (!order) throw std::logic_error("longest_path_to: graph has a cycle");
+  std::vector<std::size_t> dist(g.size(), 0);
+  for (std::size_t v : *order)
+    for (std::size_t s : g.succs(v)) dist[s] = std::max(dist[s], dist[v] + 1);
+  return dist;
+}
+
+}  // namespace herc::util

@@ -1,0 +1,52 @@
+#pragma once
+// Topological ordering over a dense graph of vertices 0..n-1.
+//
+// Used by: schema validation (construction-rule graph must be acyclic), the
+// CPM scheduler (forward/backward passes run in topological order), the
+// planner, and the Petri-net adapter's conversion check.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace herc::util {
+
+/// Adjacency-list digraph over vertices 0..size-1.
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n) : succs_(n), preds_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return succs_.size(); }
+
+  /// Adds the edge from -> to.  Parallel edges are allowed and harmless.
+  void add_edge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] const std::vector<std::size_t>& succs(std::size_t v) const {
+    return succs_[v];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& preds(std::size_t v) const {
+    return preds_[v];
+  }
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+ private:
+  std::vector<std::vector<std::size_t>> succs_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::size_t edges_ = 0;
+};
+
+/// Kahn's algorithm.  Returns a vertex ordering in which every edge goes
+/// forward, or std::nullopt if the graph has a cycle.  Deterministic: among
+/// ready vertices the smallest index is emitted first.
+[[nodiscard]] std::optional<std::vector<std::size_t>> topo_sort(const Digraph& g);
+
+/// Vertices of one cycle if the graph is cyclic (in cycle order), else empty.
+/// Useful for error messages pointing at the offending rules.
+[[nodiscard]] std::vector<std::size_t> find_cycle(const Digraph& g);
+
+/// Longest path length (in edges) ending at each vertex; the DAG's height.
+/// Precondition: g is acyclic (checked; throws std::logic_error on a cycle).
+[[nodiscard]] std::vector<std::size_t> longest_path_to(const Digraph& g);
+
+}  // namespace herc::util

@@ -1,0 +1,346 @@
+// Unit tests for the generality adapters: Petri (Hilda), trace (VOV),
+// roadmap (ELSIS/Philips), and the Table I report.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adapters/four_level.hpp"
+#include "adapters/history.hpp"
+#include "adapters/petri.hpp"
+#include "adapters/roadmap.hpp"
+#include "adapters/trace.hpp"
+#include "common.hpp"
+
+namespace herc::adapters {
+namespace {
+
+// --- PetriNet core semantics -----------------------------------------------
+
+TEST(PetriNet, EnableAndFire) {
+  PetriNet net;
+  auto p1 = net.add_place("in", 1);
+  auto p2 = net.add_place("out");
+  auto t = net.add_transition("go");
+  net.add_input_arc(p1, t);
+  net.add_output_arc(t, p2);
+  EXPECT_TRUE(net.enabled(t));
+  EXPECT_TRUE(net.fire(t).ok());
+  EXPECT_EQ(net.marking(p1), 0);
+  EXPECT_EQ(net.marking(p2), 1);
+  EXPECT_FALSE(net.enabled(t));
+  EXPECT_FALSE(net.fire(t).ok());  // kConflict
+}
+
+TEST(PetriNet, MultipleArcsNeedMultipleTokens) {
+  PetriNet net;
+  auto p = net.add_place("p", 1);
+  auto t = net.add_transition("t");
+  net.add_input_arc(p, t);
+  net.add_input_arc(p, t);  // needs 2 tokens
+  EXPECT_FALSE(net.enabled(t));
+}
+
+TEST(PetriNet, FireUnknownTransitionFails) {
+  PetriNet net;
+  EXPECT_FALSE(net.fire(3).ok());
+}
+
+TEST(PetriNet, RunToQuiescenceChainsFirings) {
+  PetriNet net;
+  auto a = net.add_place("a", 1);
+  auto b = net.add_place("b");
+  auto c = net.add_place("c");
+  auto t1 = net.add_transition("t1");
+  auto t2 = net.add_transition("t2");
+  net.add_input_arc(a, t1);
+  net.add_output_arc(t1, b);
+  net.add_input_arc(b, t2);
+  net.add_output_arc(t2, c);
+  auto seq = net.run_to_quiescence();
+  EXPECT_EQ(seq, (std::vector<PetriNet::TransitionId>{t1, t2}));
+  EXPECT_EQ(net.marking(c), 1);
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST(PetriNet, DescribeShowsMarking) {
+  PetriNet net;
+  net.add_place("p", 2);
+  std::string d = net.describe();
+  EXPECT_NE(d.find("p [**]"), std::string::npos);
+}
+
+// --- task tree -> Petri net conversion ----------------------------------------
+
+TEST(PetriConversion, FiringReachesTargetExactlyLikeNativeExecution) {
+  auto m = test::make_asic_manager();
+  const auto& tree = *m->task("chip").value();
+  auto conv = petri_from_task_tree(tree).take();
+
+  // Places: 6 tree data nodes (rtl, constraints x2, gates, placed, routed)
+  // + 3 tool places.  Transitions: 3 activities.
+  EXPECT_EQ(conv.net.transition_count(), 3u);
+
+  auto firing = conv.net.run_to_quiescence();
+  ASSERT_EQ(firing.size(), 3u);
+  EXPECT_EQ(conv.net.marking(conv.target_place), 1);
+
+  // The firing order is exactly the native execution (post) order.
+  std::vector<std::string> fired;
+  for (auto t : firing) fired.push_back(conv.activity_of_transition[t]);
+  std::vector<std::string> native;
+  for (auto id : tree.activities_post_order()) native.push_back(tree.activity_name(id));
+  EXPECT_EQ(fired, native);
+}
+
+TEST(PetriConversion, ToolsAreReusableResources) {
+  // Two activities sharing one tool type must both fire (the tool token is
+  // returned after each use).
+  auto m = hercules::WorkflowManager::create(R"(
+    schema shared {
+      data a, b;
+      tool t;
+      rule MakeA: a <- t();
+      rule MakeB: b <- t(a);
+    }
+  )").take();
+  m->extract_task("x", "b").expect("extract");
+  m->bind("x", "t", "tool1").expect("bind");
+  auto conv = petri_from_task_tree(*m->task("x").value()).take();
+  auto firing = conv.net.run_to_quiescence();
+  EXPECT_EQ(firing.size(), 2u);
+  EXPECT_EQ(conv.net.marking(conv.target_place), 1);
+}
+
+TEST(PetriConversion, UnboundInputsBlockFiring) {
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->extract_task("adder", "performance").expect("extract");
+  // stimuli unbound: no token -> Simulate can never fire; Create can.
+  auto conv = petri_from_task_tree(*m->task("adder").value()).take();
+  auto firing = conv.net.run_to_quiescence();
+  ASSERT_EQ(firing.size(), 1u);
+  EXPECT_EQ(conv.activity_of_transition[firing[0]], "Create");
+  EXPECT_EQ(conv.net.marking(conv.target_place), 0);
+}
+
+// --- trace (VOV) -----------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : m_(test::make_circuit_manager()) {
+    m_->execute_task("adder", "alice").value();
+    m_->run_activity("adder", "Simulate", "bob").value();
+  }
+  std::unique_ptr<hercules::WorkflowManager> m_;
+};
+
+TEST_F(TraceTest, CaptureCountsCompletedRuns) {
+  auto trace = TraceGraph::capture(m_->db());
+  EXPECT_EQ(trace.transaction_count(), 3u);  // Create + 2x Simulate
+  EXPECT_EQ(trace.object_count(), 4u);       // stimuli, netlist, perf v1, perf v2
+}
+
+TEST_F(TraceTest, AffectedByPropagatesDownstream) {
+  auto trace = TraceGraph::capture(m_->db());
+  // Changing the netlist re-runs both Simulate transactions.
+  auto netlist = m_->db().latest_in_container("netlist").value();
+  auto affected = trace.affected_by(netlist);
+  ASSERT_EQ(affected.size(), 2u);
+  for (auto rid : affected) EXPECT_EQ(m_->db().run(rid).activity, "Simulate");
+  // Changing a leaf output affects nothing.
+  auto perf = m_->db().latest_in_container("performance").value();
+  EXPECT_TRUE(trace.affected_by(perf).empty());
+}
+
+TEST_F(TraceTest, InvalidatedInstancesAreOutputsOfAffectedRuns) {
+  auto trace = TraceGraph::capture(m_->db());
+  auto stimuli = m_->db().latest_in_container("stimuli").value();
+  auto invalidated = trace.invalidated_by(stimuli);
+  EXPECT_EQ(invalidated.size(), 2u);  // both performance versions
+}
+
+TEST_F(TraceTest, DeriveFlowRecoversActivityStructure) {
+  auto trace = TraceGraph::capture(m_->db());
+  auto flow = trace.derive_flow();
+  ASSERT_EQ(flow.size(), 2u);
+  EXPECT_EQ(flow[0].activity, "Create");
+  EXPECT_TRUE(flow[0].predecessors.empty());
+  EXPECT_EQ(flow[0].observed_runs, 1);
+  EXPECT_EQ(flow[1].activity, "Simulate");
+  EXPECT_EQ(flow[1].predecessors, (std::vector<std::string>{"Create"}));
+  EXPECT_EQ(flow[1].observed_runs, 2);
+}
+
+TEST_F(TraceTest, DescribeListsTransactions) {
+  auto trace = TraceGraph::capture(m_->db());
+  std::string d = trace.describe();
+  EXPECT_NE(d.find("txn"), std::string::npos);
+  EXPECT_NE(d.find("Create"), std::string::npos);
+}
+
+TEST(Trace, FailedRunsExcluded) {
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->register_tool({.instance_name = "ed", .tool_type = "netlist_editor",
+                    .fail_rate = 1.0})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim", .tool_type = "simulator"}).expect("tool");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "s").expect("b");
+  m->bind("adder", "netlist_editor", "ed").expect("b");
+  m->bind("adder", "simulator", "sim").expect("b");
+  m->execute_task("adder", "alice").value();  // Create fails
+  auto trace = TraceGraph::capture(m->db());
+  EXPECT_EQ(trace.transaction_count(), 0u);
+}
+
+// --- roadmap (ELSIS / Philips) ---------------------------------------------------
+
+TEST(Roadmap, FlowTypesMirrorConstructionRules) {
+  auto m = test::make_asic_manager();
+  auto model = RoadmapModel::from_schema(m->schema());
+  ASSERT_EQ(model.flow_types().size(), 3u);
+  auto synth = model.flow_types()[*model.find_flow_type("Synthesize")];
+  ASSERT_EQ(synth.pins.size(), 3u);  // rtl, constraints, out
+  EXPECT_EQ(synth.pins[0].data_type, "rtl");
+  EXPECT_TRUE(synth.pins[0].is_input);
+  EXPECT_EQ(synth.output().data_type, "gates");
+  EXPECT_FALSE(synth.output().is_input);
+  EXPECT_EQ(synth.tool_type, "synthesizer");
+}
+
+TEST(Roadmap, InstantiationIsomorphicToTaskTree) {
+  auto m = test::make_asic_manager();
+  auto model = RoadmapModel::from_schema(m->schema());
+  const auto& tree = *m->task("chip").value();
+  ASSERT_TRUE(model.instantiate(tree).ok());
+  EXPECT_EQ(model.instances().size(), 3u);
+  EXPECT_EQ(model.channels().size(), 2u);  // Synthesize->Place, Place->Route
+  auto report = model.verify_against(tree);
+  ASSERT_TRUE(report.ok()) << report.error().str();
+  EXPECT_NE(report.value().find("isomorphic"), std::string::npos);
+}
+
+TEST(Roadmap, RejectsForeignSchema) {
+  auto m1 = test::make_asic_manager();
+  auto m2 = test::make_circuit_manager();
+  auto model = RoadmapModel::from_schema(m1->schema());
+  EXPECT_FALSE(model.instantiate(*m2->task("adder").value()).ok());
+}
+
+TEST(Roadmap, DescribeShowsNetwork) {
+  auto m = test::make_asic_manager();
+  auto model = RoadmapModel::from_schema(m->schema());
+  model.instantiate(*m->task("chip").value()).expect("instantiate");
+  std::string d = model.describe();
+  EXPECT_NE(d.find("flowtype Synthesize"), std::string::npos);
+  EXPECT_NE(d.find("==>"), std::string::npos);
+}
+
+// --- history model (Chiueh & Katz) --------------------------------------------
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  HistoryTest() : m_(test::make_circuit_manager()) {
+    m_->execute_task("adder", "alice").value();          // import + 2 derives + 2 runs
+    m_->clock().advance(cal::WorkDuration::hours(4));
+    m_->run_activity("adder", "Simulate", "bob").value();  // 1 derive + 1 run
+  }
+  std::unique_ptr<hercules::WorkflowManager> m_;
+};
+
+TEST_F(HistoryTest, CaptureOrdersEventsByTime) {
+  auto h = HistoryModel::capture(m_->db());
+  // 4 instances (stimuli import, netlist, perf v1, perf v2) + 3 runs.
+  ASSERT_EQ(h.events().size(), 7u);
+  for (std::size_t i = 1; i < h.events().size(); ++i)
+    EXPECT_LE(h.events()[i - 1].at, h.events()[i].at);
+  // The import of stimuli happens lazily when Simulate first needs it, so
+  // the first event is the netlist derivation; an import exists somewhere.
+  EXPECT_EQ(h.events().front().kind, HistoryEvent::Kind::kDerive);
+  int imports = 0;
+  for (const auto& e : h.events())
+    if (e.kind == HistoryEvent::Kind::kImport) ++imports;
+  EXPECT_EQ(imports, 1);
+}
+
+TEST_F(HistoryTest, StateAtReconstructsThePast) {
+  auto h = HistoryModel::capture(m_->db());
+  // Before anything ran.
+  auto t0 = h.state_at(cal::WorkInstant(-1));
+  EXPECT_EQ(t0.instances, 0u);
+  EXPECT_EQ(t0.runs, 0u);
+  // After Create finished (14h) but before the first Simulate (20h):
+  auto mid = h.state_at(cal::WorkInstant(15 * 60));
+  EXPECT_EQ(mid.runs, 1u);
+  EXPECT_EQ(mid.instances, 2u);  // stimuli import + netlist
+  // Container view as of mid: performance still empty.
+  for (const auto& [type, ids] : mid.containers) {
+    if (type == "performance") { EXPECT_TRUE(ids.empty()); }
+    if (type == "netlist") { EXPECT_EQ(ids.size(), 1u); }
+  }
+  // At the very end everything is present.
+  auto now = h.state_at(m_->clock().now());
+  EXPECT_EQ(now.instances, 4u);
+  EXPECT_EQ(now.runs, 3u);
+}
+
+TEST_F(HistoryTest, VersionChainTracksDerivations) {
+  auto h = HistoryModel::capture(m_->db());
+  auto chain = h.version_chain("performance", "performance");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_TRUE(chain[0].produced_by.valid());
+  EXPECT_LT(chain[0].at, chain[1].at);
+  EXPECT_TRUE(h.version_chain("performance", "nope").empty());
+  // Imports have no producing run.
+  auto stim = h.version_chain("stimuli", "adder.stimuli");
+  ASSERT_EQ(stim.size(), 1u);
+  EXPECT_FALSE(stim[0].produced_by.valid());
+}
+
+TEST_F(HistoryTest, DescribeRendersTimeline) {
+  auto h = HistoryModel::capture(m_->db());
+  std::string d = h.describe(m_->calendar());
+  EXPECT_NE(d.find("import"), std::string::npos);
+  EXPECT_NE(d.find("derive"), std::string::npos);
+  EXPECT_NE(d.find("run"), std::string::npos);
+}
+
+// --- Table I / four-level report ---------------------------------------------------
+
+TEST(Table1, HasAllSixSystemsPlusExtension) {
+  auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 7u);
+  std::vector<std::string> names;
+  for (const auto& r : rows) names.push_back(r.system);
+  for (const char* expected :
+       {"RoadMap Model", "ELSIS", "Hercules", "History Model", "Hilda", "VOV"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  // The schedule extension adds Level-3 objects and changes nothing else.
+  EXPECT_NE(rows.back().levels[2].find("ScheduleRun"), std::string::npos);
+  EXPECT_EQ(rows.back().levels[0], "(unchanged)");
+}
+
+TEST(Table1, RenderIsATable) {
+  std::string t = render_table1();
+  EXPECT_NE(t.find("TABLE I"), std::string::npos);
+  EXPECT_NE(t.find("Level 1"), std::string::npos);
+  EXPECT_NE(t.find("Hilda"), std::string::npos);
+}
+
+TEST(FourLevelReport, CountsLiveObjects) {
+  auto m = test::make_circuit_manager();
+  m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  m->link_completion("adder", "Create").expect("link");
+  std::string report = render_four_level_report(m->schema(), m->db(),
+                                                m->schedule_space(), m->store());
+  EXPECT_NE(report.find("3 data types"), std::string::npos);
+  EXPECT_NE(report.find("2 tool types"), std::string::npos);
+  EXPECT_NE(report.find("3 entity instances"), std::string::npos);
+  EXPECT_NE(report.find("1 plans"), std::string::npos);
+  EXPECT_NE(report.find("1 completion links"), std::string::npos);
+  EXPECT_NE(report.find("3 data objects"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::adapters

@@ -1,0 +1,214 @@
+// Unit tests for the architectural-decomposition schedule (hierarchy +
+// roll-up), the paper's Sec. V future-work extension.
+
+#include <gtest/gtest.h>
+
+#include "arch/rollup.hpp"
+#include "common.hpp"
+
+namespace herc::arch {
+namespace {
+
+// --- hierarchy --------------------------------------------------------------
+
+TEST(Hierarchy, BuildAndNavigate) {
+  DesignHierarchy h("soc");
+  auto cpu = h.add_component(h.root(), "cpu").value();
+  auto dsp = h.add_component(h.root(), "dsp").value();
+  auto alu = h.add_component(cpu, "alu").value();
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.name(h.root()), "soc");
+  EXPECT_EQ(h.children(h.root()).size(), 2u);
+  EXPECT_EQ(h.parent(alu).value(), cpu);
+  EXPECT_FALSE(h.parent(h.root()).has_value());
+  EXPECT_EQ(h.find("dsp").value(), dsp);
+  EXPECT_FALSE(h.find("gpu").has_value());
+}
+
+TEST(Hierarchy, PreorderIsRootFirstDepthFirst) {
+  DesignHierarchy h("soc");
+  auto cpu = h.add_component(h.root(), "cpu").value();
+  auto dsp = h.add_component(h.root(), "dsp").value();
+  auto alu = h.add_component(cpu, "alu").value();
+  EXPECT_EQ(h.preorder(), (std::vector<ComponentId>{h.root(), cpu, alu, dsp}));
+}
+
+TEST(Hierarchy, Validation) {
+  DesignHierarchy h("soc");
+  EXPECT_FALSE(h.add_component(99, "x").ok());
+  EXPECT_FALSE(h.add_component(h.root(), "").ok());
+  h.add_component(h.root(), "cpu").value();
+  EXPECT_FALSE(h.add_component(h.root(), "cpu").ok());  // duplicate name
+}
+
+TEST(Hierarchy, TaskBindingRules) {
+  DesignHierarchy h("soc");
+  auto cpu = h.add_component(h.root(), "cpu").value();
+  auto alu = h.add_component(cpu, "alu").value();
+  // Internal components cannot carry tasks.
+  EXPECT_FALSE(h.assign_task(cpu, "t").ok());
+  EXPECT_TRUE(h.assign_task(alu, "alu_task").ok());
+  EXPECT_EQ(h.task(alu), "alu_task");
+  // Re-binding and bad ids rejected.
+  EXPECT_FALSE(h.assign_task(alu, "other").ok());
+  EXPECT_FALSE(h.assign_task(99, "t").ok());
+  EXPECT_FALSE(h.assign_task(cpu, "").ok());
+  // A task-bound leaf cannot gain children.
+  EXPECT_FALSE(h.add_component(alu, "sub").ok());
+  EXPECT_EQ(h.bound_leaves(), (std::vector<ComponentId>{alu}));
+}
+
+TEST(Hierarchy, JsonRoundTripsToFixedPoint) {
+  DesignHierarchy h("soc");
+  auto digital = h.add_component(h.root(), "digital").value();
+  auto cpu = h.add_component(digital, "cpu").value();
+  h.add_component(h.root(), "analog").value();
+  h.assign_task(cpu, "cpu_task").expect("assign");
+
+  std::string once = h.to_json();
+  auto loaded = DesignHierarchy::from_json(once);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().str();
+  EXPECT_EQ(loaded.value().to_json(), once);
+  EXPECT_EQ(loaded.value().size(), 4u);
+  EXPECT_EQ(loaded.value().task(loaded.value().find("cpu").value()), "cpu_task");
+  EXPECT_EQ(loaded.value().preorder(), h.preorder());
+}
+
+TEST(Hierarchy, JsonRejectsMalformed) {
+  EXPECT_FALSE(DesignHierarchy::from_json("not json").ok());
+  EXPECT_FALSE(DesignHierarchy::from_json("[]").ok());
+  EXPECT_FALSE(DesignHierarchy::from_json("{}").ok());
+  // Duplicate component names are structural errors too.
+  EXPECT_FALSE(DesignHierarchy::from_json(
+                   R"({"name": "soc", "children": [{"name": "a"}, {"name": "a"}]})")
+                   .ok());
+  // Task on an internal node is rejected (children win the leaf check).
+  EXPECT_FALSE(DesignHierarchy::from_json(
+                   R"({"name": "soc", "task": "t", "children": [{"name": "a"}]})")
+                   .ok());
+}
+
+// --- roll-up ---------------------------------------------------------------
+
+/// Two leaf blocks, each with its own task over the ASIC schema.
+struct RollupFixture {
+  RollupFixture() : m(test::make_asic_manager()), h("soc") {
+    // second task over the same schema: front-end only (gates).
+    m->extract_task("front", "gates").expect("extract");
+    m->bind("front", "rtl", "f.rtl").expect("bind");
+    m->bind("front", "constraints", "f.sdc").expect("bind");
+    m->bind("front", "synthesizer", "dc").expect("bind");
+
+    digital = h.add_component(h.root(), "digital").value();
+    block_a = h.add_component(digital, "block_a").value();
+    block_b = h.add_component(digital, "block_b").value();
+    h.assign_task(block_a, "chip").expect("assign");
+    h.assign_task(block_b, "front").expect("assign");
+  }
+
+  std::unique_ptr<hercules::WorkflowManager> m;
+  DesignHierarchy h;
+  ComponentId digital = 0, block_a = 0, block_b = 0;
+};
+
+TEST(Rollup, RequiresPlans) {
+  RollupFixture f;
+  // No plans yet.
+  auto sched = ArchSchedule::compute(f.h, *f.m);
+  ASSERT_FALSE(sched.ok());
+  EXPECT_EQ(sched.error().code, util::Error::Code::kConflict);
+}
+
+TEST(Rollup, RequiresBoundLeaves) {
+  auto m = test::make_asic_manager();
+  DesignHierarchy empty("soc");
+  EXPECT_FALSE(ArchSchedule::compute(empty, *m).ok());
+}
+
+TEST(Rollup, AggregatesDatesAndCounts) {
+  RollupFixture f;
+  f.m->plan_task("chip", {.anchor = f.m->clock().now()}).value();
+  f.m->plan_task("front", {.anchor = f.m->clock().now()}).value();
+  auto sched = ArchSchedule::compute(f.h, *f.m).take();
+
+  const auto& chip_row = sched.row_of(f.block_a);   // 3 activities, 52h
+  const auto& front_row = sched.row_of(f.block_b);  // 1 activity, 12h
+  EXPECT_EQ(chip_row.total_activities, 3);
+  EXPECT_EQ(front_row.total_activities, 1);
+  EXPECT_EQ(chip_row.projected_finish.minutes_since_epoch(), 52 * 60);
+  EXPECT_EQ(front_row.projected_finish.minutes_since_epoch(), 12 * 60);
+
+  // digital and root aggregate: start = min, finish = max, counts sum.
+  const auto& digital_row = sched.row_of(f.digital);
+  EXPECT_EQ(digital_row.total_activities, 4);
+  EXPECT_EQ(digital_row.projected_start.minutes_since_epoch(), 0);
+  EXPECT_EQ(digital_row.projected_finish.minutes_since_epoch(), 52 * 60);
+  const auto& root_row = sched.row_of(f.h.root());
+  EXPECT_EQ(root_row.projected_finish, digital_row.projected_finish);
+}
+
+TEST(Rollup, CompletionFractionIsEarnedOverPlanned) {
+  RollupFixture f;
+  f.m->plan_task("chip", {.anchor = f.m->clock().now()}).value();
+  f.m->plan_task("front", {.anchor = f.m->clock().now()}).value();
+  // Complete the front task entirely (12h of 64h total planned minutes).
+  f.m->execute_task("front", "carol").value();
+  f.m->link_completion("front", "Synthesize").expect("link");
+  auto sched = ArchSchedule::compute(f.h, *f.m).take();
+  EXPECT_DOUBLE_EQ(sched.row_of(f.block_b).fraction_complete(), 1.0);
+  EXPECT_DOUBLE_EQ(sched.row_of(f.block_a).fraction_complete(), 0.0);
+  EXPECT_NEAR(sched.row_of(f.h.root()).fraction_complete(), 12.0 / 64.0, 1e-9);
+  EXPECT_EQ(sched.row_of(f.digital).completed_activities, 1);
+}
+
+TEST(Rollup, SlipPropagatesUpTheHierarchy) {
+  RollupFixture f;
+  f.m->plan_task("chip", {.anchor = f.m->clock().now()}).value();
+  f.m->plan_task("front", {.anchor = f.m->clock().now()}).value();
+  // The chip task slips: idle two days, then synthesize.
+  f.m->clock().advance(cal::WorkDuration::hours(16));
+  f.m->run_activity("chip", "Synthesize", "carol").value();
+  f.m->link_completion("chip", "Synthesize").expect("link");
+  auto sched = ArchSchedule::compute(f.h, *f.m).take();
+  EXPECT_GT(sched.row_of(f.block_a).slip.count_minutes(), 0);
+  // The parent and root inherit the slip (block_a drives them).
+  EXPECT_EQ(sched.row_of(f.digital).slip.count_minutes(),
+            sched.row_of(f.block_a).slip.count_minutes());
+  EXPECT_TRUE(sched.row_of(f.block_a).drives_parent);
+  EXPECT_FALSE(sched.row_of(f.block_b).drives_parent);
+}
+
+TEST(Rollup, CriticalChainWalksDrivingComponents) {
+  RollupFixture f;
+  f.m->plan_task("chip", {.anchor = f.m->clock().now()}).value();
+  f.m->plan_task("front", {.anchor = f.m->clock().now()}).value();
+  auto sched = ArchSchedule::compute(f.h, *f.m).take();
+  EXPECT_EQ(sched.critical_chain(),
+            (std::vector<ComponentId>{f.h.root(), f.digital, f.block_a}));
+}
+
+TEST(Rollup, UnboundSubtreeRenderedButExcluded) {
+  RollupFixture f;
+  f.h.add_component(f.h.root(), "analog").value();  // nothing bound below
+  f.m->plan_task("chip", {.anchor = f.m->clock().now()}).value();
+  f.m->plan_task("front", {.anchor = f.m->clock().now()}).value();
+  auto sched = ArchSchedule::compute(f.h, *f.m).take();
+  EXPECT_FALSE(sched.row_of(f.h.find("analog").value()).bound);
+  std::string render = sched.render(f.m->calendar());
+  EXPECT_NE(render.find("(no plan below)"), std::string::npos);
+  EXPECT_NE(render.find("critical chain: soc digital block_a"), std::string::npos);
+}
+
+TEST(Rollup, RenderIndentsByDepth) {
+  RollupFixture f;
+  f.m->plan_task("chip", {.anchor = f.m->clock().now()}).value();
+  f.m->plan_task("front", {.anchor = f.m->clock().now()}).value();
+  auto sched = ArchSchedule::compute(f.h, *f.m).take();
+  std::string render = sched.render(f.m->calendar());
+  EXPECT_NE(render.find("soc"), std::string::npos);
+  EXPECT_NE(render.find("  digital"), std::string::npos);
+  EXPECT_NE(render.find("    block_a [chip]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::arch

@@ -1,0 +1,242 @@
+// Unit + property tests for dates and work calendars.
+
+#include <gtest/gtest.h>
+
+#include "calendar/date.hpp"
+#include "calendar/work_calendar.hpp"
+#include "util/rng.hpp"
+
+namespace herc::cal {
+namespace {
+
+// --- Date --------------------------------------------------------------------
+
+TEST(Date, EpochIs1970) {
+  Date d;
+  EXPECT_EQ(d.days(), 0);
+  EXPECT_EQ(d.str(), "1970-01-01");
+  EXPECT_EQ(d.weekday(), Weekday::kThursday);
+}
+
+TEST(Date, ComponentsRoundTrip) {
+  Date d(1995, 6, 12);
+  EXPECT_EQ(d.year(), 1995);
+  EXPECT_EQ(d.month(), 6);
+  EXPECT_EQ(d.day(), 12);
+  EXPECT_EQ(d.weekday(), Weekday::kMonday);  // DAC'95 week
+}
+
+TEST(Date, LeapYearHandling) {
+  EXPECT_NO_THROW(Date(2024, 2, 29));
+  EXPECT_THROW(Date(2023, 2, 29), std::invalid_argument);
+  EXPECT_THROW(Date(2100, 2, 29), std::invalid_argument);  // century non-leap
+  EXPECT_NO_THROW(Date(2000, 2, 29));                      // 400-year leap
+}
+
+TEST(Date, InvalidComponentsThrow) {
+  EXPECT_THROW(Date(2020, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Date(2020, 13, 1), std::invalid_argument);
+  EXPECT_THROW(Date(2020, 4, 31), std::invalid_argument);
+}
+
+TEST(Date, PlusDaysAndDifference) {
+  Date a(1995, 6, 12);
+  Date b = a.plus_days(30);
+  EXPECT_EQ(b.str(), "1995-07-12");
+  EXPECT_EQ(b - a, 30);
+  EXPECT_EQ(a.plus_days(-1).str(), "1995-06-11");
+}
+
+TEST(Date, Comparisons) {
+  EXPECT_LT(Date(1995, 1, 1), Date(1995, 1, 2));
+  EXPECT_EQ(Date(1995, 1, 1), Date(1995, 1, 1));
+}
+
+TEST(Date, ParseValid) {
+  auto d = Date::parse("1995-06-12");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), Date(1995, 6, 12));
+}
+
+TEST(Date, ParseInvalid) {
+  EXPECT_FALSE(Date::parse("1995/06/12").ok());
+  EXPECT_FALSE(Date::parse("1995-13-01").ok());
+  EXPECT_FALSE(Date::parse("1995-02-30").ok());
+  EXPECT_FALSE(Date::parse("abcd-ef-gh").ok());
+  EXPECT_FALSE(Date::parse("").ok());
+}
+
+/// Property: day-number conversion round-trips across a wide range.
+class DateRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DateRoundTrip, SerialToCivilToSerial) {
+  std::int64_t days = GetParam();
+  Date d = Date::from_days(days);
+  Date rebuilt(d.year(), d.month(), d.day());
+  EXPECT_EQ(rebuilt.days(), days);
+  // str -> parse also round-trips
+  auto parsed = Date::parse(d.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().days(), days);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, DateRoundTrip,
+                         ::testing::Values(-100000, -1, 0, 1, 9280, 10000, 36525,
+                                           100000, 2932896));
+
+// --- WorkDuration ------------------------------------------------------------
+
+TEST(WorkDuration, Arithmetic) {
+  auto d = WorkDuration::hours(2) + WorkDuration::minutes(30);
+  EXPECT_EQ(d.count_minutes(), 150);
+  EXPECT_EQ((d - WorkDuration::hours(1)).count_minutes(), 90);
+  EXPECT_EQ((WorkDuration::hours(1) * 3).count_minutes(), 180);
+}
+
+TEST(WorkDuration, Format) {
+  EXPECT_EQ(WorkDuration::minutes(0).str(480), "0m");
+  EXPECT_EQ(WorkDuration::hours(2).str(480), "2h");
+  EXPECT_EQ(WorkDuration::minutes(150).str(480), "2h 30m");
+  EXPECT_EQ(WorkDuration::minutes(480 * 3 + 60).str(480), "3d 1h");
+  EXPECT_EQ(WorkDuration::minutes(-90).str(480), "-1h 30m");
+}
+
+// --- WorkCalendar --------------------------------------------------------------
+
+WorkCalendar monday_calendar() {
+  WorkCalendar::Config cfg;
+  cfg.epoch = Date(1995, 6, 12);  // a Monday
+  return WorkCalendar(cfg);
+}
+
+TEST(WorkCalendar, DefaultWorkweek) {
+  auto cal = monday_calendar();
+  EXPECT_TRUE(cal.is_workday(Date(1995, 6, 12)));   // Mon
+  EXPECT_TRUE(cal.is_workday(Date(1995, 6, 16)));   // Fri
+  EXPECT_FALSE(cal.is_workday(Date(1995, 6, 17)));  // Sat
+  EXPECT_FALSE(cal.is_workday(Date(1995, 6, 18)));  // Sun
+}
+
+TEST(WorkCalendar, HolidaysAreNotWorkdays) {
+  auto cal = monday_calendar();
+  cal.add_holiday(Date(1995, 6, 14));
+  EXPECT_FALSE(cal.is_workday(Date(1995, 6, 14)));
+  EXPECT_TRUE(cal.is_holiday(Date(1995, 6, 14)));
+}
+
+TEST(WorkCalendar, NthWorkdaySkipsWeekend) {
+  auto cal = monday_calendar();
+  EXPECT_EQ(cal.nth_workday(0), Date(1995, 6, 12));  // Mon
+  EXPECT_EQ(cal.nth_workday(4), Date(1995, 6, 16));  // Fri
+  EXPECT_EQ(cal.nth_workday(5), Date(1995, 6, 19));  // next Mon
+  EXPECT_EQ(cal.nth_workday(10), Date(1995, 6, 26));
+}
+
+TEST(WorkCalendar, NthWorkdaySkipsHoliday) {
+  auto cal = monday_calendar();
+  cal.add_holiday(Date(1995, 6, 13));  // Tue off
+  EXPECT_EQ(cal.nth_workday(1), Date(1995, 6, 14));
+}
+
+TEST(WorkCalendar, WorkdaysUntilInvertsNthWorkday) {
+  auto cal = monday_calendar();
+  cal.add_holiday(Date(1995, 6, 21));
+  for (std::int64_t n = 0; n < 30; ++n) {
+    EXPECT_EQ(cal.workdays_until(cal.nth_workday(n)), n) << "n=" << n;
+  }
+}
+
+TEST(WorkCalendar, ToCivilMapsMinutes) {
+  auto cal = monday_calendar();
+  CivilTime t = cal.to_civil(WorkInstant(0));
+  EXPECT_EQ(t.date, Date(1995, 6, 12));
+  EXPECT_EQ(t.minute_of_day, 0);
+  // 480 min/day: minute 480 is the start of the second workday.
+  t = cal.to_civil(WorkInstant(480));
+  EXPECT_EQ(t.date, Date(1995, 6, 13));
+  // Friday 480*4 + 60 => Friday, one hour in.
+  t = cal.to_civil(WorkInstant(480 * 4 + 60));
+  EXPECT_EQ(t.date, Date(1995, 6, 16));
+  EXPECT_EQ(t.minute_of_day, 60);
+}
+
+TEST(WorkCalendar, FormatUsesDayStart) {
+  auto cal = monday_calendar();
+  EXPECT_EQ(cal.format(WorkInstant(0)), "1995-06-12 09:00");
+  EXPECT_EQ(cal.format(WorkInstant(90)), "1995-06-12 10:30");
+  EXPECT_EQ(cal.format_date(WorkInstant(480 * 5)), "1995-06-19");
+}
+
+TEST(WorkCalendar, NegativeInstantClampsToEpoch) {
+  auto cal = monday_calendar();
+  EXPECT_EQ(cal.to_civil(WorkInstant(-100)).date, Date(1995, 6, 12));
+}
+
+TEST(WorkCalendar, AtStartOfSkipsToWorkday) {
+  auto cal = monday_calendar();
+  // Saturday maps to Monday's start.
+  EXPECT_EQ(cal.at_start_of(Date(1995, 6, 17)).minutes_since_epoch(), 480 * 5);
+  EXPECT_EQ(cal.at_start_of(Date(1995, 6, 12)).minutes_since_epoch(), 0);
+  // Before the epoch clamps to the epoch.
+  EXPECT_EQ(cal.at_start_of(Date(1995, 6, 1)).minutes_since_epoch(), 0);
+}
+
+TEST(WorkCalendar, ParseDuration) {
+  auto cal = monday_calendar();
+  EXPECT_EQ(cal.parse_duration("3d").value().count_minutes(), 3 * 480);
+  EXPECT_EQ(cal.parse_duration("4h").value().count_minutes(), 240);
+  EXPECT_EQ(cal.parse_duration("90m").value().count_minutes(), 90);
+  EXPECT_EQ(cal.parse_duration("1d 4h 5m").value().count_minutes(), 480 + 240 + 5);
+  EXPECT_FALSE(cal.parse_duration("").ok());
+  EXPECT_FALSE(cal.parse_duration("3x").ok());
+  EXPECT_FALSE(cal.parse_duration("d").ok());
+  EXPECT_FALSE(cal.parse_duration("1.5d").ok());
+}
+
+TEST(WorkCalendar, CustomWorkweek) {
+  WorkCalendar::Config cfg;
+  cfg.epoch = Date(1995, 6, 12);
+  cfg.workweek[5] = true;  // Saturdays on
+  WorkCalendar cal(cfg);
+  EXPECT_TRUE(cal.is_workday(Date(1995, 6, 17)));
+  EXPECT_EQ(cal.nth_workday(5), Date(1995, 6, 17));
+}
+
+TEST(WorkCalendar, RejectsDegenerateConfigs) {
+  WorkCalendar::Config no_days;
+  for (auto& w : no_days.workweek) w = false;
+  EXPECT_THROW(WorkCalendar{no_days}, std::invalid_argument);
+  WorkCalendar::Config zero_minutes;
+  zero_minutes.minutes_per_day = 0;
+  EXPECT_THROW(WorkCalendar{zero_minutes}, std::invalid_argument);
+}
+
+/// Property: to_civil is monotone and never lands on a non-workday.
+class CalendarProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalendarProperty, CivilMappingMonotoneAndOnWorkdays) {
+  util::Rng rng(GetParam());
+  auto cal = monday_calendar();
+  cal.add_holiday(Date(1995, 7, 4));
+  cal.add_holiday(Date(1995, 9, 4));
+  std::int64_t prev = -1;
+  Date prev_date = Date(1900, 1, 1);
+  int prev_minute = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t t = prev + rng.uniform_int(0, 600) + 1;
+    CivilTime c = cal.to_civil(WorkInstant(t));
+    EXPECT_TRUE(cal.is_workday(c.date));
+    EXPECT_GE(c.minute_of_day, 0);
+    EXPECT_LT(c.minute_of_day, 480);
+    if (c.date == prev_date) { EXPECT_GE(c.minute_of_day, prev_minute); }
+    else EXPECT_GT(c.date, prev_date);
+    prev = t;
+    prev_date = c.date;
+    prev_minute = c.minute_of_day;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalendarProperty, ::testing::Values(2, 3, 17, 23));
+
+}  // namespace
+}  // namespace herc::cal

@@ -1,0 +1,342 @@
+// Tests for the CLI session: the full paper procedure driven as command
+// lines, plus argument validation of every command.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/cli.hpp"
+#include "common.hpp"
+
+namespace herc::cli {
+namespace {
+
+/// Runs a line that must succeed and returns its output.
+std::string ok(CliSession& s, const std::string& line) {
+  auto r = s.execute_line(line);
+  EXPECT_TRUE(r.ok()) << line << " -> " << (r.ok() ? "" : r.error().str());
+  return r.ok() ? r.value() : std::string{};
+}
+
+/// Runs a line that must fail and returns the error message.
+std::string fail(CliSession& s, const std::string& line) {
+  auto r = s.execute_line(line);
+  EXPECT_FALSE(r.ok()) << line << " unexpectedly succeeded:\n"
+                       << (r.ok() ? r.value() : "");
+  return r.ok() ? std::string{} : r.error().str();
+}
+
+const std::string kInlineSchema =
+    "schema circuit { data netlist, stimuli, performance; "
+    "tool netlist_editor, simulator; "
+    "rule Create: netlist <- netlist_editor(); "
+    "rule Simulate: performance <- simulator(netlist, stimuli); }";
+
+CliSession circuit_session() {
+  CliSession s;
+  ok(s, "schema " + kInlineSchema);
+  ok(s, "tool ned netlist_editor 14h");
+  ok(s, "tool spice simulator 6h");
+  ok(s, "task adder performance");
+  ok(s, "bind adder stimuli adder.stim");
+  ok(s, "bind adder netlist_editor ned");
+  ok(s, "bind adder simulator spice");
+  ok(s, "estimate Create 2d");
+  ok(s, "estimate Simulate 1d");
+  return s;
+}
+
+TEST(Cli, BlankAndCommentLinesAreSilent) {
+  CliSession s;
+  EXPECT_EQ(ok(s, ""), "");
+  EXPECT_EQ(ok(s, "   "), "");
+  EXPECT_EQ(ok(s, "# a comment"), "");
+}
+
+TEST(Cli, HelpAndUnknown) {
+  CliSession s;
+  EXPECT_NE(ok(s, "help").find("commands:"), std::string::npos);
+  EXPECT_NE(fail(s, "frobnicate"), "");
+}
+
+TEST(Cli, CommandsNeedAProject) {
+  CliSession s;
+  for (const char* line : {"show db", "tool a b 4h", "task t out", "plan t",
+                           "status t", "query select runs", "browse", "now"})
+    EXPECT_NE(fail(s, line).find("no project"), std::string::npos) << line;
+}
+
+TEST(Cli, InlineSchemaCreatesProject) {
+  CliSession s;
+  auto out = ok(s, "schema " + kInlineSchema);
+  EXPECT_NE(out.find("circuit"), std::string::npos);
+  EXPECT_NE(ok(s, "show schema").find("Simulate"), std::string::npos);
+  EXPECT_TRUE(s.manager() != nullptr);
+}
+
+TEST(Cli, SchemaFromFileWithEpoch) {
+  const char* path = "/tmp/herc_cli_schema.hsc";
+  std::ofstream(path) << kInlineSchema;
+  CliSession s;
+  auto out = ok(s, std::string("new ") + path + " epoch 1995-06-12");
+  EXPECT_NE(out.find("circuit"), std::string::npos);
+  EXPECT_EQ(s.manager()->calendar().config().epoch, cal::Date(1995, 6, 12));
+  fail(s, "new /no/such/file.hsc");
+  fail(s, std::string("new ") + path + " epoch not-a-date");
+  std::remove(path);
+}
+
+TEST(Cli, FullPaperProcedure) {
+  CliSession s = circuit_session();
+  auto plan_out = ok(s, "plan adder");
+  EXPECT_NE(plan_out.find("Gantt"), std::string::npos);
+
+  auto exec_out = ok(s, "execute adder alice");
+  EXPECT_NE(exec_out.find("execution complete"), std::string::npos);
+  EXPECT_NE(exec_out.find("[Create]"), std::string::npos);
+
+  ok(s, "run adder Simulate bob");
+  ok(s, "link adder Create");
+  ok(s, "link adder Simulate");
+
+  auto status = ok(s, "status adder");
+  EXPECT_NE(status.find("2 complete"), std::string::npos);
+
+  auto query = ok(s, "query select runs where designer = \"bob\"");
+  EXPECT_NE(query.find("(1 row)"), std::string::npos);
+
+  auto dump = ok(s, "show db");
+  EXPECT_NE(dump.find("linked to"), std::string::npos);
+}
+
+TEST(Cli, TaskShowAndStops) {
+  CliSession s = circuit_session();
+  auto tree = ok(s, "show task adder");
+  EXPECT_NE(tree.find("[Simulate] -> performance"), std::string::npos);
+  ok(s, "task simonly performance stop netlist");
+  auto tree2 = ok(s, "show task simonly");
+  EXPECT_EQ(tree2.find("[Create]"), std::string::npos);
+  fail(s, "show task nope");
+  fail(s, "show bogus");
+}
+
+TEST(Cli, ToolOptionsAndValidation) {
+  CliSession s;
+  ok(s, "schema " + kInlineSchema);
+  ok(s, "tool flaky simulator 2h noise 0.2 fail 0.1");
+  fail(s, "tool missingargs simulator");
+  fail(s, "tool bad simulator 2h noise abc");
+  fail(s, "tool bad2 simulator notaduration");
+  fail(s, "tool flaky simulator 2h");  // duplicate
+}
+
+TEST(Cli, ResourceCommand) {
+  CliSession s;
+  ok(s, "schema " + kInlineSchema);
+  EXPECT_NE(ok(s, "resource alice").find("added"), std::string::npos);
+  ok(s, "resource farm machine 4");
+  fail(s, "resource farm machine notanumber");
+  fail(s, "resource");
+}
+
+TEST(Cli, VacationCommand) {
+  CliSession s = circuit_session();
+  ok(s, "resource alice");
+  auto out = ok(s, "vacation alice 1970-01-05 3");
+  EXPECT_NE(out.find("alice off"), std::string::npos);
+  fail(s, "vacation nobody 1970-01-05 3");
+  fail(s, "vacation alice notadate 3");
+  fail(s, "vacation alice 1970-01-05 zero");
+  fail(s, "vacation alice 1970-01-05 0");
+  fail(s, "vacation alice");
+}
+
+TEST(Cli, EstimateValidation) {
+  CliSession s;
+  ok(s, "schema " + kInlineSchema);
+  ok(s, "estimate fallback 4h");
+  ok(s, "estimate Create 1d 4h");
+  fail(s, "estimate NoSuchActivity 2h");
+  fail(s, "estimate Create xyz");
+  fail(s, "estimate Create");
+}
+
+TEST(Cli, PlanWithDeadline) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder deadline 2d");
+  auto status = ok(s, "status adder");
+  EXPECT_NE(status.find("deadline:"), std::string::npos);
+  // 2d deadline vs 3d projection: miss is flagged.
+  EXPECT_NE(status.find("MISSING BY"), std::string::npos);
+  fail(s, "plan adder deadline notaduration");
+}
+
+TEST(Cli, PlanOptionsAndReplan) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder strategy intuition");
+  ok(s, "replan adder strategy mean");
+  auto lineage = ok(s, "lineage adder");
+  EXPECT_NE(lineage.find("superseded"), std::string::npos);
+  fail(s, "plan adder strategy nope");
+  fail(s, "plan adder bogus");
+  fail(s, "replan neverplanned");
+}
+
+TEST(Cli, ClockCommands) {
+  CliSession s = circuit_session();
+  auto before = ok(s, "now");
+  ok(s, "advance 1d 2h");
+  auto after = ok(s, "now");
+  EXPECT_NE(before, after);
+  fail(s, "advance xyz");
+}
+
+TEST(Cli, WhatIfDelayAndCrash) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  auto delay = ok(s, "whatif delay adder Create 1d");
+  EXPECT_NE(delay.find("completion moves"), std::string::npos);
+  auto crash = ok(s, "whatif crash adder 2d");
+  EXPECT_NE(crash.find("shorten"), std::string::npos);
+  fail(s, "whatif delay adder NoSuch 1d");
+  fail(s, "whatif");
+  fail(s, "whatif delay neverplanned Create 1d");
+}
+
+TEST(Cli, BrowserWorkflow) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  auto listing = ok(s, "browse");
+  EXPECT_NE(listing.find("SC1"), std::string::npos);
+  fail(s, "display");  // nothing selected
+  ok(s, "select 1");
+  EXPECT_NE(ok(s, "display").find("Schedule instance"), std::string::npos);
+  ok(s, "delete");
+  fail(s, "select 1");  // deleted
+  fail(s, "select notanumber");
+}
+
+TEST(Cli, SvgCommand) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  auto svg = ok(s, "svg adder");
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  fail(s, "svg neverplanned");
+}
+
+TEST(Cli, ReportRiskAndUtilizationCommands) {
+  CliSession s = circuit_session();
+  ok(s, "resource alice");
+  ok(s, "plan adder");
+  auto report = ok(s, "report adder");
+  EXPECT_EQ(report.rfind("<!DOCTYPE html>", 0), 0u);
+  auto risk = ok(s, "risk adder");
+  EXPECT_NE(risk.find("P90"), std::string::npos);
+  auto util_out = ok(s, "utilization adder");
+  EXPECT_NE(util_out.find("alice"), std::string::npos);
+  fail(s, "report neverplanned");
+  fail(s, "risk neverplanned");
+  fail(s, "utilization neverplanned");
+}
+
+TEST(Cli, ShowSchemaIncludesLintWarnings) {
+  CliSession s;
+  ok(s, "schema schema smelly { data a, orphan; tool t; rule A: a <- t(); }");
+  auto out = ok(s, "show schema");
+  EXPECT_NE(out.find("warning:"), std::string::npos);
+  EXPECT_NE(out.find("orphan"), std::string::npos);
+}
+
+TEST(Cli, DiffCommand) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  fail(s, "diff adder");  // single generation: nothing to diff
+  ok(s, "estimate Simulate 2d");
+  ok(s, "replan adder");
+  auto out = ok(s, "diff adder");
+  EXPECT_NE(out.find("Simulate"), std::string::npos);
+  EXPECT_NE(out.find("+1d"), std::string::npos);  // 1d -> 2d estimate
+  fail(s, "diff neverplanned");
+}
+
+TEST(Cli, DispatchCommand) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  auto out = ok(s, "dispatch adder team");
+  EXPECT_NE(out.find("dispatch complete"), std::string::npos);
+  EXPECT_NE(out.find("[Create]"), std::string::npos);
+  EXPECT_NE(out.find("[Simulate]"), std::string::npos);
+  fail(s, "dispatch adder");       // missing designer
+  fail(s, "dispatch nosuch team");
+}
+
+TEST(Cli, PortfolioCommand) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  ok(s, "task simonly performance stop netlist");
+  ok(s, "plan simonly");
+  auto g = ok(s, "portfolio adder simonly");
+  EXPECT_NE(g.find("Portfolio Gantt"), std::string::npos);
+  EXPECT_NE(g.find("-- plan 'adder'"), std::string::npos);
+  EXPECT_NE(g.find("-- plan 'simonly'"), std::string::npos);
+  fail(s, "portfolio");
+  fail(s, "portfolio neverplanned");
+}
+
+TEST(Cli, RefreshStaleAndDragCommands) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  // First refresh builds everything.
+  auto first = ok(s, "refresh adder alice");
+  EXPECT_NE(first.find("[Create]"), std::string::npos);
+  EXPECT_NE(first.find("[Simulate]"), std::string::npos);
+  // Nothing stale now.
+  EXPECT_NE(ok(s, "stale").find("no stale design data"), std::string::npos);
+  EXPECT_NE(ok(s, "refresh adder alice").find("up to date"), std::string::npos);
+  // Re-create the netlist: Simulate's output becomes stale.
+  ok(s, "run adder Create alice");
+  EXPECT_NE(ok(s, "stale").find("performance"), std::string::npos);
+  auto second = ok(s, "refresh adder alice");
+  EXPECT_NE(second.find("[Simulate]"), std::string::npos);
+  EXPECT_EQ(second.find("[Create]"), std::string::npos);  // Create was fresh
+  // Drag table renders for the plan.
+  auto drag = ok(s, "drag adder");
+  EXPECT_NE(drag.find("Create"), std::string::npos);
+  fail(s, "drag neverplanned");
+  fail(s, "refresh adder");  // missing designer
+}
+
+TEST(Cli, SaveAndOpenRoundTrip) {
+  const char* path = "/tmp/herc_cli_db.json";
+  {
+    CliSession s = circuit_session();
+    ok(s, "plan adder");
+    ok(s, "execute adder alice");
+    ok(s, "link adder Create");
+    ok(s, std::string("save ") + path);
+  }
+  CliSession s2;
+  auto out = ok(s2, std::string("open ") + path);
+  EXPECT_NE(out.find("loaded"), std::string::npos);
+  // The reloaded project answers status queries.
+  EXPECT_NE(ok(s2, "status adder").find("Create"), std::string::npos);
+  fail(s2, "open /no/such/file.json");
+  std::remove(path);
+}
+
+TEST(Cli, QuitSetsFlag) {
+  CliSession s;
+  EXPECT_FALSE(s.quit_requested());
+  ok(s, "quit");
+  EXPECT_TRUE(s.quit_requested());
+}
+
+TEST(Cli, AdoptExistingManager) {
+  CliSession s;
+  s.adopt(test::make_circuit_manager());
+  EXPECT_NE(ok(s, "show schema").find("circuit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::cli

@@ -1,0 +1,89 @@
+#pragma once
+// Shared fixtures and helpers for the test suite.
+
+#include <memory>
+#include <string>
+
+#include "hercules/workflow_manager.hpp"
+
+namespace herc::test {
+
+/// The paper's Fig. 4 circuit schema.
+inline constexpr const char* kCircuitSchema = R"(
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+/// A deeper four-activity schema used where two levels are not enough:
+/// rtl -> (synthesize) gates -> (place) placed -> (route) routed, with a
+/// side input of constraints into synthesize and place.
+inline constexpr const char* kAsicSchema = R"(
+schema asic {
+  data rtl, constraints, gates, placed, routed;
+  tool synthesizer, placer, router;
+  rule Synthesize: gates  <- synthesizer(rtl, constraints);
+  rule Place:      placed <- placer(gates, constraints);
+  rule Route:      routed <- router(placed);
+}
+)";
+
+/// Manager over the circuit schema with tools registered and the "adder"
+/// task extracted and fully bound, ready to plan/execute.
+inline std::unique_ptr<hercules::WorkflowManager> make_circuit_manager() {
+  cal::WorkCalendar::Config cfg;
+  cfg.epoch = cal::Date(1995, 6, 12);
+  auto m = hercules::WorkflowManager::create(kCircuitSchema, cfg).take();
+  m->register_tool({.instance_name = "ned-2.1",
+                    .tool_type = "netlist_editor",
+                    .nominal = cal::WorkDuration::hours(14)})
+      .expect("tool");
+  m->register_tool({.instance_name = "spice@s1",
+                    .tool_type = "simulator",
+                    .nominal = cal::WorkDuration::hours(6)})
+      .expect("tool");
+  m->add_resource("alice");
+  m->add_resource("bob");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "adder.stimuli").expect("bind");
+  m->bind("adder", "netlist_editor", "ned-2.1").expect("bind");
+  m->bind("adder", "simulator", "spice@s1").expect("bind");
+  m->estimator().set_intuition("Create", cal::WorkDuration::hours(16));
+  m->estimator().set_intuition("Simulate", cal::WorkDuration::hours(8));
+  return m;
+}
+
+/// Manager over the ASIC schema, bound and with intuition estimates.
+inline std::unique_ptr<hercules::WorkflowManager> make_asic_manager() {
+  cal::WorkCalendar::Config cfg;
+  cfg.epoch = cal::Date(1995, 1, 2);
+  auto m = hercules::WorkflowManager::create(kAsicSchema, cfg).take();
+  m->register_tool({.instance_name = "dc",
+                    .tool_type = "synthesizer",
+                    .nominal = cal::WorkDuration::hours(10)})
+      .expect("tool");
+  m->register_tool({.instance_name = "pl",
+                    .tool_type = "placer",
+                    .nominal = cal::WorkDuration::hours(12)})
+      .expect("tool");
+  m->register_tool({.instance_name = "rt",
+                    .tool_type = "router",
+                    .nominal = cal::WorkDuration::hours(20)})
+      .expect("tool");
+  m->add_resource("carol");
+  m->extract_task("chip", "routed").expect("extract");
+  m->bind("chip", "rtl", "chip.rtl").expect("bind");
+  m->bind("chip", "constraints", "chip.sdc").expect("bind");
+  m->bind("chip", "synthesizer", "dc").expect("bind");
+  m->bind("chip", "placer", "pl").expect("bind");
+  m->bind("chip", "router", "rt").expect("bind");
+  m->estimator().set_intuition("Synthesize", cal::WorkDuration::hours(12));
+  m->estimator().set_intuition("Place", cal::WorkDuration::hours(16));
+  m->estimator().set_intuition("Route", cal::WorkDuration::hours(24));
+  return m;
+}
+
+}  // namespace herc::test

@@ -1,0 +1,80 @@
+// Unit tests for plan-generation comparison.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/compare.hpp"
+
+namespace herc::sched {
+namespace {
+
+TEST(ComparePlans, Validation) {
+  auto m = test::make_asic_manager();
+  auto p1 = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  EXPECT_FALSE(compare_plans(m->schedule_space(), p1, p1).ok());
+}
+
+TEST(ComparePlans, IdenticalReplansShowNoChange) {
+  auto m = test::make_asic_manager();
+  auto p1 = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto p2 = m->replan_task("chip", {.anchor = m->clock().now()}).value();
+  auto cmp = compare_plans(m->schedule_space(), p1, p2).take();
+  EXPECT_EQ(cmp.completion_delta.count_minutes(), 0);
+  for (const auto& d : cmp.activities) {
+    EXPECT_TRUE(d.in_a);
+    EXPECT_TRUE(d.in_b);
+    EXPECT_EQ(d.est_delta->count_minutes(), 0);
+    EXPECT_EQ(d.finish_delta->count_minutes(), 0);
+  }
+}
+
+TEST(ComparePlans, EstimateChangeShowsUpWithRipple) {
+  auto m = test::make_asic_manager();
+  auto p1 = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // The designer revises the Place estimate upward by 8h and re-plans.
+  m->estimator().set_intuition("Place", cal::WorkDuration::hours(24));  // was 16h
+  auto p2 = m->replan_task("chip", {.anchor = m->clock().now()}).value();
+  auto cmp = compare_plans(m->schedule_space(), p1, p2).take();
+  EXPECT_EQ(cmp.completion_delta.count_minutes(), 8 * 60);
+  for (const auto& d : cmp.activities) {
+    if (d.activity == "Place") {
+      EXPECT_EQ(d.est_delta->count_minutes(), 8 * 60);
+      EXPECT_EQ(d.start_delta->count_minutes(), 0);
+    }
+    if (d.activity == "Route") {
+      EXPECT_EQ(d.est_delta->count_minutes(), 0);
+      EXPECT_EQ(d.start_delta->count_minutes(), 8 * 60);  // rippled later
+    }
+  }
+}
+
+TEST(ComparePlans, ScopeChangesMarked) {
+  // Two plans over different task scopes of the same schema.
+  auto m = test::make_asic_manager();
+  m->extract_task("front", "gates").expect("extract");
+  auto full = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto front = m->plan_task("front", {.anchor = m->clock().now()}).value();
+  auto cmp = compare_plans(m->schedule_space(), full, front).take();
+  int dropped = 0, both = 0;
+  for (const auto& d : cmp.activities) {
+    if (d.in_a && !d.in_b) ++dropped;
+    if (d.in_a && d.in_b) ++both;
+  }
+  EXPECT_EQ(both, 1);     // Synthesize in both
+  EXPECT_EQ(dropped, 2);  // Place, Route only in full
+}
+
+TEST(ComparePlans, RenderShowsDeltasAndScope) {
+  auto m = test::make_asic_manager();
+  auto p1 = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->estimator().set_intuition("Route", cal::WorkDuration::hours(30));
+  auto p2 = m->replan_task("chip", {.anchor = m->clock().now()}).value();
+  auto text = compare_plans(m->schedule_space(), p1, p2).take().render(m->calendar());
+  EXPECT_NE(text.find("Route"), std::string::npos);
+  EXPECT_NE(text.find("+6h"), std::string::npos);
+  EXPECT_NE(text.find("projected completion: +6h"), std::string::npos);
+  EXPECT_NE(text.find("="), std::string::npos);  // unchanged cells
+}
+
+}  // namespace
+}  // namespace herc::sched

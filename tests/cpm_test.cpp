@@ -1,0 +1,211 @@
+// Unit + property tests for the CPM engine.
+
+#include <gtest/gtest.h>
+
+#include "core/cpm.hpp"
+#include "util/rng.hpp"
+
+namespace herc::sched {
+namespace {
+
+TEST(Cpm, EmptyNetwork) {
+  auto r = compute_cpm({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().makespan, 0);
+  EXPECT_TRUE(r.value().critical_path.empty());
+}
+
+TEST(Cpm, SingleActivity) {
+  auto r = compute_cpm({{.duration = 100, .preds = {}, .release = 0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().makespan, 100);
+  EXPECT_EQ(r.value().early_start[0], 0);
+  EXPECT_EQ(r.value().late_start[0], 0);
+  EXPECT_TRUE(r.value().critical[0]);
+  EXPECT_EQ(r.value().critical_path, (std::vector<std::size_t>{0}));
+}
+
+TEST(Cpm, Chain) {
+  std::vector<CpmActivity> acts{
+      {.duration = 10, .preds = {}},
+      {.duration = 20, .preds = {0}},
+      {.duration = 30, .preds = {1}},
+  };
+  auto r = compute_cpm(acts).take();
+  EXPECT_EQ(r.makespan, 60);
+  EXPECT_EQ(r.early_start, (std::vector<std::int64_t>{0, 10, 30}));
+  EXPECT_EQ(r.early_finish, (std::vector<std::int64_t>{10, 30, 60}));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(r.critical[i]);
+    EXPECT_EQ(r.total_slack[i], 0);
+  }
+  EXPECT_EQ(r.critical_path, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Cpm, DiamondSlackOnShortBranch) {
+  // 0 -> {1 (long), 2 (short)} -> 3
+  std::vector<CpmActivity> acts{
+      {.duration = 10, .preds = {}},
+      {.duration = 50, .preds = {0}},
+      {.duration = 20, .preds = {0}},
+      {.duration = 10, .preds = {1, 2}},
+  };
+  auto r = compute_cpm(acts).take();
+  EXPECT_EQ(r.makespan, 70);
+  EXPECT_TRUE(r.critical[0]);
+  EXPECT_TRUE(r.critical[1]);
+  EXPECT_FALSE(r.critical[2]);
+  EXPECT_TRUE(r.critical[3]);
+  EXPECT_EQ(r.total_slack[2], 30);
+  EXPECT_EQ(r.free_slack[2], 30);  // successor starts at 60, EF = 30
+  EXPECT_EQ(r.critical_path, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Cpm, ParallelIndependentChains) {
+  std::vector<CpmActivity> acts{
+      {.duration = 10, .preds = {}},
+      {.duration = 25, .preds = {}},
+  };
+  auto r = compute_cpm(acts).take();
+  EXPECT_EQ(r.makespan, 25);
+  EXPECT_FALSE(r.critical[0]);
+  EXPECT_TRUE(r.critical[1]);
+  // Sink slack measured against the makespan.
+  EXPECT_EQ(r.total_slack[0], 15);
+  EXPECT_EQ(r.free_slack[0], 15);
+}
+
+TEST(Cpm, ReleaseTimesShiftStarts) {
+  std::vector<CpmActivity> acts{
+      {.duration = 10, .preds = {}, .release = 100},
+      {.duration = 10, .preds = {0}},
+  };
+  auto r = compute_cpm(acts).take();
+  EXPECT_EQ(r.early_start[0], 100);
+  EXPECT_EQ(r.early_start[1], 110);
+  EXPECT_EQ(r.makespan, 120);
+}
+
+TEST(Cpm, ReleaseBeyondPredFinishWins) {
+  std::vector<CpmActivity> acts{
+      {.duration = 10, .preds = {}},
+      {.duration = 5, .preds = {0}, .release = 50},
+  };
+  auto r = compute_cpm(acts).take();
+  EXPECT_EQ(r.early_start[1], 50);
+}
+
+TEST(Cpm, ZeroDurationActivities) {
+  std::vector<CpmActivity> acts{
+      {.duration = 0, .preds = {}},
+      {.duration = 10, .preds = {0}},
+      {.duration = 0, .preds = {1}},
+  };
+  auto r = compute_cpm(acts).take();
+  EXPECT_EQ(r.makespan, 10);
+  EXPECT_EQ(r.critical_path.size(), 3u);
+}
+
+TEST(Cpm, ErrorOnCycle) {
+  std::vector<CpmActivity> acts{
+      {.duration = 1, .preds = {1}},
+      {.duration = 1, .preds = {0}},
+  };
+  auto r = compute_cpm(acts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::Error::Code::kInvalid);
+}
+
+TEST(Cpm, ErrorOnNegativeDurationOrBadPred) {
+  EXPECT_FALSE(compute_cpm({{.duration = -1, .preds = {}}}).ok());
+  EXPECT_FALSE(compute_cpm({{.duration = 1, .preds = {5}}}).ok());
+  EXPECT_FALSE(compute_cpm({{.duration = 1, .preds = {}, .release = -2}}).ok());
+}
+
+// --- properties over random DAGs --------------------------------------------
+
+std::vector<CpmActivity> random_dag(util::Rng& rng, std::size_t n, double edge_p) {
+  std::vector<CpmActivity> acts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    acts[i].duration = rng.uniform_int(0, 500);
+    for (std::size_t j = 0; j < i; ++j)
+      if (rng.chance(edge_p)) acts[i].preds.push_back(j);
+  }
+  return acts;
+}
+
+class CpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpmProperty, InvariantsHoldOnRandomDags) {
+  util::Rng rng(GetParam());
+  auto acts = random_dag(rng, 60, 0.08);
+  auto r = compute_cpm(acts).take();
+  const std::size_t n = acts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Definitional identities.
+    EXPECT_EQ(r.early_finish[i], r.early_start[i] + acts[i].duration);
+    EXPECT_EQ(r.late_finish[i], r.late_start[i] + acts[i].duration);
+    EXPECT_EQ(r.total_slack[i], r.late_start[i] - r.early_start[i]);
+    // ES <= LS, slack >= 0.
+    EXPECT_LE(r.early_start[i], r.late_start[i]);
+    EXPECT_GE(r.total_slack[i], 0);
+    EXPECT_GE(r.free_slack[i], 0);
+    EXPECT_LE(r.free_slack[i], r.total_slack[i]);
+    // Within the horizon.
+    EXPECT_LE(r.early_finish[i], r.makespan);
+    EXPECT_LE(r.late_finish[i], r.makespan);
+    // Precedence feasibility.
+    for (std::size_t p : acts[i].preds) EXPECT_GE(r.early_start[i], r.early_finish[p]);
+    // critical <=> zero slack.
+    EXPECT_EQ(r.critical[i], r.total_slack[i] == 0);
+  }
+}
+
+TEST_P(CpmProperty, CriticalPathIsARealLongestPath) {
+  util::Rng rng(GetParam() + 1000);
+  auto acts = random_dag(rng, 40, 0.1);
+  auto r = compute_cpm(acts).take();
+  ASSERT_FALSE(r.critical_path.empty());
+  std::int64_t length = 0;
+  for (std::size_t i = 0; i < r.critical_path.size(); ++i) {
+    std::size_t v = r.critical_path[i];
+    EXPECT_TRUE(r.critical[v]);
+    length += acts[v].duration;
+    if (i > 0) {
+      // Consecutive entries must be a real precedence edge.
+      std::size_t prev = r.critical_path[i - 1];
+      bool edge = false;
+      for (std::size_t p : acts[v].preds) edge |= (p == prev);
+      EXPECT_TRUE(edge) << prev << " -> " << v;
+    }
+  }
+  // With release = 0 everywhere, the critical path length is the makespan.
+  EXPECT_EQ(length, r.makespan);
+}
+
+TEST_P(CpmProperty, MakespanMonotoneInDurations) {
+  util::Rng rng(GetParam() + 2000);
+  auto acts = random_dag(rng, 30, 0.1);
+  auto base = compute_cpm(acts).take();
+  // Increasing any duration never shrinks the makespan.
+  auto longer = acts;
+  std::size_t victim = static_cast<std::size_t>(rng.uniform_int(0, 29));
+  longer[victim].duration += 100;
+  auto r2 = compute_cpm(longer).take();
+  EXPECT_GE(r2.makespan, base.makespan);
+  // Increasing a *critical* activity's duration strictly grows it.
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    if (base.critical[i]) {
+      auto crit = acts;
+      crit[i].duration += 100;
+      EXPECT_EQ(compute_cpm(crit).take().makespan, base.makespan + 100);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpmProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace herc::sched

@@ -1,0 +1,101 @@
+// Unit tests for the Level-4 data store.
+
+#include <gtest/gtest.h>
+
+#include "data/data_store.hpp"
+
+namespace herc::data {
+namespace {
+
+TEST(ContentHash, StableAndSensitive) {
+  EXPECT_EQ(content_hash("abc"), content_hash("abc"));
+  EXPECT_NE(content_hash("abc"), content_hash("abd"));
+  EXPECT_NE(content_hash(""), content_hash("a"));
+  // FNV-1a of the empty string: the offset basis.
+  EXPECT_EQ(content_hash(""), 0xcbf29ce484222325ull);
+}
+
+TEST(DataStore, CreateAssignsDenseIdsAndVersions) {
+  DataStore store;
+  auto a = store.create("adder.netlist", "netlist", "v1 content", cal::WorkInstant(0));
+  auto b = store.create("adder.netlist", "netlist", "v2 content", cal::WorkInstant(5));
+  auto c = store.create("mult.netlist", "netlist", "other", cal::WorkInstant(9));
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(store.get(a).version, 1);
+  EXPECT_EQ(store.get(b).version, 2);
+  EXPECT_EQ(store.get(c).version, 1);  // versions are per name
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(DataStore, ObjectsAreImmutableRecords) {
+  DataStore store;
+  auto id = store.create("x", "netlist", "payload", cal::WorkInstant(7));
+  const DataObject& obj = store.get(id);
+  EXPECT_EQ(obj.content, "payload");
+  EXPECT_EQ(obj.content_hash, content_hash("payload"));
+  EXPECT_EQ(obj.created_at.minutes_since_epoch(), 7);
+  EXPECT_EQ(obj.type_name, "netlist");
+}
+
+TEST(DataStore, LatestFollowsVersions) {
+  DataStore store;
+  EXPECT_FALSE(store.latest("x").has_value());
+  auto a = store.create("x", "t", "1", cal::WorkInstant(0));
+  EXPECT_EQ(store.latest("x").value(), a);
+  auto b = store.create("x", "t", "2", cal::WorkInstant(0));
+  EXPECT_EQ(store.latest("x").value(), b);
+}
+
+TEST(DataStore, OfTypeFilters) {
+  DataStore store;
+  store.create("a", "netlist", "", cal::WorkInstant(0));
+  store.create("b", "stimuli", "", cal::WorkInstant(0));
+  store.create("c", "netlist", "", cal::WorkInstant(0));
+  auto netlists = store.of_type("netlist");
+  EXPECT_EQ(netlists.size(), 2u);
+  EXPECT_TRUE(store.of_type("nothing").empty());
+}
+
+TEST(DataStore, GetUnknownThrows) {
+  DataStore store;
+  EXPECT_THROW(store.get(DataObjectId{1}), std::out_of_range);
+  EXPECT_THROW(store.get(DataObjectId{}), std::out_of_range);
+  EXPECT_FALSE(store.contains(DataObjectId{1}));
+}
+
+TEST(DataStore, RestoreRebuildsInIdOrder) {
+  DataStore original;
+  original.create("x", "t", "one", cal::WorkInstant(1));
+  original.create("x", "t", "two", cal::WorkInstant(2));
+
+  DataStore restored;
+  for (const auto& obj : original.all()) {
+    ASSERT_TRUE(restored.restore(obj).ok());
+  }
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.latest("x").value().value(), 2u);
+  EXPECT_EQ(restored.get(DataObjectId{2}).content, "two");
+}
+
+TEST(DataStore, RestoreRejectsOutOfOrder) {
+  DataStore store;
+  DataObject obj;
+  obj.id = DataObjectId{5};
+  obj.name = "x";
+  EXPECT_FALSE(store.restore(obj).ok());
+  DataObject bad;
+  EXPECT_FALSE(store.restore(bad).ok());  // invalid id
+}
+
+TEST(DataStore, StrRendersNameVersionId) {
+  DataStore store;
+  auto id = store.create("adder.netlist", "netlist", "zz", cal::WorkInstant(0));
+  std::string s = store.get(id).str();
+  EXPECT_NE(s.find("adder.netlist"), std::string::npos);
+  EXPECT_NE(s.find("v1"), std::string::npos);
+  EXPECT_NE(s.find("#1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::data

@@ -1,0 +1,226 @@
+// Unit tests for the simulated tool registry and the flow executor.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "exec/executor.hpp"
+
+namespace herc::exec {
+namespace {
+
+// --- ToolRegistry ---------------------------------------------------------
+
+TEST(ToolRegistry, AddAndLookup) {
+  ToolRegistry reg;
+  EXPECT_TRUE(reg.add({.instance_name = "spice@s1", .tool_type = "simulator"}).ok());
+  EXPECT_TRUE(reg.contains("spice@s1"));
+  EXPECT_FALSE(reg.contains("other"));
+  EXPECT_EQ(reg.spec("spice@s1").tool_type, "simulator");
+}
+
+TEST(ToolRegistry, RejectsBadSpecs) {
+  ToolRegistry reg;
+  EXPECT_FALSE(reg.add({.instance_name = "", .tool_type = "t"}).ok());
+  EXPECT_FALSE(reg.add({.instance_name = "x", .tool_type = ""}).ok());
+  EXPECT_FALSE(reg.add({.instance_name = "x",
+                        .tool_type = "t",
+                        .nominal = cal::WorkDuration::minutes(0)})
+                   .ok());
+  reg.add({.instance_name = "x", .tool_type = "t"}).expect("first");
+  EXPECT_FALSE(reg.add({.instance_name = "x", .tool_type = "t"}).ok());  // dup
+}
+
+TEST(ToolRegistry, InstancesOfFiltersByType) {
+  ToolRegistry reg;
+  reg.add({.instance_name = "a", .tool_type = "sim"}).expect("a");
+  reg.add({.instance_name = "b", .tool_type = "syn"}).expect("b");
+  reg.add({.instance_name = "c", .tool_type = "sim"}).expect("c");
+  EXPECT_EQ(reg.instances_of("sim"), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(ToolRegistry, InvokeChecksTypeAndExistence) {
+  ToolRegistry reg;
+  reg.add({.instance_name = "spice", .tool_type = "simulator"}).expect("add");
+  ToolInvocation inv{.activity = "Simulate", .output_type = "performance"};
+  EXPECT_FALSE(reg.invoke("nope", "simulator", inv).ok());
+  EXPECT_FALSE(reg.invoke("spice", "editor", inv).ok());
+  EXPECT_TRUE(reg.invoke("spice", "simulator", inv).ok());
+}
+
+TEST(ToolRegistry, DeterministicNoise) {
+  ToolRegistry a(7), b(7);
+  ToolSpec spec{.instance_name = "t",
+                .tool_type = "x",
+                .nominal = cal::WorkDuration::hours(4),
+                .noise_frac = 0.5};
+  a.add(spec).expect("a");
+  b.add(spec).expect("b");
+  ToolInvocation inv{.activity = "A", .output_type = "o"};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.invoke("t", "x", inv).value().duration.count_minutes(),
+              b.invoke("t", "x", inv).value().duration.count_minutes());
+  }
+}
+
+TEST(ToolRegistry, NoiseStaysWithinBounds) {
+  ToolRegistry reg(3);
+  reg.add({.instance_name = "t",
+           .tool_type = "x",
+           .nominal = cal::WorkDuration::minutes(100),
+           .noise_frac = 0.2})
+      .expect("add");
+  ToolInvocation inv{.activity = "A", .output_type = "o"};
+  for (int i = 0; i < 100; ++i) {
+    auto d = reg.invoke("t", "x", inv).value().duration.count_minutes();
+    EXPECT_GE(d, 80);
+    EXPECT_LE(d, 120);
+  }
+}
+
+TEST(ToolRegistry, FailRateProducesFailures) {
+  ToolRegistry reg(5);
+  reg.add({.instance_name = "flaky", .tool_type = "x", .fail_rate = 0.5}).expect("add");
+  ToolInvocation inv{.activity = "A", .output_type = "o"};
+  int failures = 0;
+  for (int i = 0; i < 100; ++i)
+    if (!reg.invoke("flaky", "x", inv).value().success) ++failures;
+  EXPECT_GT(failures, 20);
+  EXPECT_LT(failures, 80);
+}
+
+TEST(ToolRegistry, DefaultContentDependsOnInputs) {
+  ToolInvocation a{.activity = "A", .output_type = "o"};
+  a.input_names = {"x v1"};
+  a.input_contents = {"content-1"};
+  ToolInvocation b = a;
+  b.input_contents = {"content-2"};
+  EXPECT_NE(default_tool_content(a), default_tool_content(b));
+  EXPECT_EQ(default_tool_content(a), default_tool_content(a));
+}
+
+// --- SimClock ---------------------------------------------------------------
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().minutes_since_epoch(), 0);
+  clock.advance(cal::WorkDuration::hours(2));
+  EXPECT_EQ(clock.now().minutes_since_epoch(), 120);
+  clock.advance_to(cal::WorkInstant(100));  // backwards: ignored
+  EXPECT_EQ(clock.now().minutes_since_epoch(), 120);
+  clock.advance_to(cal::WorkInstant(300));
+  EXPECT_EQ(clock.now().minutes_since_epoch(), 300);
+  EXPECT_THROW(clock.advance(cal::WorkDuration::minutes(-1)), std::logic_error);
+}
+
+// --- Executor (through the facade fixtures) -----------------------------------
+
+TEST(Executor, FullExecutionCreatesRunsAndInstances) {
+  auto m = test::make_circuit_manager();
+  auto result = m->execute_task("adder", "alice");
+  ASSERT_TRUE(result.ok()) << result.error().str();
+  EXPECT_TRUE(result.value().success);
+  ASSERT_EQ(result.value().runs.size(), 2u);  // Create, Simulate
+  EXPECT_TRUE(result.value().final_output.valid());
+
+  // Instances: imported stimuli + netlist + performance.
+  EXPECT_EQ(m->db().instance_count(), 3u);
+  EXPECT_EQ(m->db().run_count(), 2u);
+  const auto& final_inst = m->db().instance(result.value().final_output);
+  EXPECT_EQ(final_inst.type_name, "performance");
+}
+
+TEST(Executor, ClockAdvancesByToolDurations) {
+  auto m = test::make_circuit_manager();
+  m->execute_task("adder", "alice").value();
+  // 14h editor + 6h simulator = 20h = 1200 minutes.
+  EXPECT_EQ(m->clock().now().minutes_since_epoch(), 1200);
+}
+
+TEST(Executor, RunsRecordDesignerToolAndTimes) {
+  auto m = test::make_circuit_manager();
+  m->execute_task("adder", "alice").value();
+  const auto& create = m->db().run(m->db().runs_of_activity("Create").front());
+  EXPECT_EQ(create.designer, "alice");
+  EXPECT_EQ(create.tool_binding, "ned-2.1");
+  EXPECT_EQ(create.started_at.minutes_since_epoch(), 0);
+  EXPECT_EQ(create.finished_at.minutes_since_epoch(), 14 * 60);
+}
+
+TEST(Executor, UnboundTreeRefusesToExecute) {
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->extract_task("adder", "performance").expect("extract");
+  auto result = m->execute_task("adder", "alice");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, util::Error::Code::kUnbound);
+}
+
+TEST(Executor, ImportedInputReusedAcrossExecutions) {
+  auto m = test::make_circuit_manager();
+  m->execute_task("adder", "alice").value();
+  m->execute_task("adder", "bob").value();
+  // stimuli imported exactly once.
+  EXPECT_EQ(m->db().container("stimuli").size(), 1u);
+  // but outputs versioned per execution.
+  EXPECT_EQ(m->db().container("performance").size(), 2u);
+  EXPECT_EQ(m->db().instance(m->db().container("performance")[1]).version, 2);
+}
+
+TEST(Executor, IterationUsesLatestInputs) {
+  auto m = test::make_circuit_manager();
+  m->execute_task("adder", "alice").value();
+  auto iter = m->run_activity("adder", "Simulate", "bob");
+  ASSERT_TRUE(iter.ok()) << iter.error().str();
+  const auto& run = m->db().run(iter.value().run);
+  // Inputs are the latest netlist + stimuli instances.
+  ASSERT_EQ(run.inputs.size(), 2u);
+  EXPECT_EQ(m->db().instance(run.inputs[0]).type_name, "netlist");
+  EXPECT_EQ(run.designer, "bob");
+}
+
+TEST(Executor, IterationWithoutUpstreamFails) {
+  auto m = test::make_circuit_manager();
+  // Simulate needs a netlist instance; none exists yet.
+  auto iter = m->run_activity("adder", "Simulate", "bob");
+  ASSERT_FALSE(iter.ok());
+  EXPECT_EQ(iter.error().code, util::Error::Code::kConflict);
+}
+
+TEST(Executor, FailingToolStopsExecutionAndRecordsFailedRun) {
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->register_tool({.instance_name = "ed", .tool_type = "netlist_editor"})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim",
+                    .tool_type = "simulator",
+                    .fail_rate = 1.0})
+      .expect("tool");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "s").expect("b");
+  m->bind("adder", "netlist_editor", "ed").expect("b");
+  m->bind("adder", "simulator", "sim").expect("b");
+  auto result = m->execute_task("adder", "alice");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().success);
+  ASSERT_EQ(result.value().runs.size(), 2u);
+  EXPECT_FALSE(result.value().runs[1].success);
+  const auto& failed = m->db().run(result.value().runs[1].run);
+  EXPECT_EQ(failed.status, meta::RunStatus::kFailed);
+  EXPECT_FALSE(failed.output.valid());
+  // No performance instance was created.
+  EXPECT_TRUE(m->db().container("performance").empty());
+}
+
+TEST(Executor, ContentChangesWhenUpstreamChanges) {
+  auto m = test::make_circuit_manager();
+  m->execute_task("adder", "alice").value();
+  auto perf1 = m->db().latest_in_container("performance").value();
+  // Re-run Create: new netlist version -> re-run Simulate: new content.
+  m->run_activity("adder", "Create", "alice").value();
+  m->run_activity("adder", "Simulate", "alice").value();
+  auto perf2 = m->db().latest_in_container("performance").value();
+  const auto& d1 = m->store().get(m->db().instance(perf1).data);
+  const auto& d2 = m->store().get(m->db().instance(perf2).data);
+  EXPECT_NE(d1.content_hash, d2.content_hash);
+}
+
+}  // namespace
+}  // namespace herc::exec

@@ -1,0 +1,183 @@
+// Unit tests for Level-2 task trees: extraction, binding, traversal.
+
+#include <gtest/gtest.h>
+
+#include "flow/task_tree.hpp"
+
+namespace herc::flow {
+namespace {
+
+schema::TaskSchema asic_schema() {
+  auto parsed = schema::parse_schema(R"(
+    schema asic {
+      data rtl, constraints, gates, placed, routed;
+      tool synthesizer, placer, router;
+      rule Synthesize: gates  <- synthesizer(rtl, constraints);
+      rule Place:      placed <- placer(gates, constraints);
+      rule Route:      routed <- router(placed);
+    }
+  )");
+  return std::move(parsed).take();
+}
+
+TEST(TaskTree, ExtractFullScope) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed");
+  ASSERT_TRUE(tree.ok()) << tree.error().str();
+  auto activities = tree.value().activities_post_order();
+  ASSERT_EQ(activities.size(), 3u);
+  // Post-order: inputs before outputs.
+  EXPECT_EQ(tree.value().activity_name(activities[0]), "Synthesize");
+  EXPECT_EQ(tree.value().activity_name(activities[1]), "Place");
+  EXPECT_EQ(tree.value().activity_name(activities[2]), "Route");
+}
+
+TEST(TaskTree, RootIsTargetActivity) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  const TaskNode& root = tree.node(tree.root());
+  EXPECT_EQ(root.kind, NodeKind::kActivity);
+  EXPECT_EQ(schema.type(root.type).name, "routed");
+  EXPECT_FALSE(root.parent.valid());
+}
+
+TEST(TaskTree, LeavesAreDataAndTools) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  // Leaves: rtl + constraints (ONE shared node although both Synthesize and
+  // Place consume it) + 3 tool leaves (one per activity).
+  auto leaves = tree.leaves();
+  std::size_t data = 0, tools = 0;
+  for (auto id : leaves) {
+    if (tree.node(id).kind == NodeKind::kDataLeaf) ++data;
+    if (tree.node(id).kind == NodeKind::kToolLeaf) ++tools;
+  }
+  EXPECT_EQ(data, 2u);
+  EXPECT_EQ(tools, 3u);
+}
+
+TEST(TaskTree, SharedInputIsOneNodeWithTwoConsumers) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  auto constraints = schema.find_type("constraints").value();
+  int consumers = 0;
+  TaskNodeId the_leaf;
+  for (const auto& n : tree.nodes()) {
+    if (n.kind != NodeKind::kActivity) continue;
+    for (auto c : n.children) {
+      if (tree.node(c).type == constraints) {
+        ++consumers;
+        if (the_leaf.valid()) { EXPECT_EQ(c, the_leaf); }  // same node both times
+        the_leaf = c;
+      }
+    }
+  }
+  EXPECT_EQ(consumers, 2);  // Synthesize and Place
+}
+
+TEST(TaskTree, StopAtLimitsScope) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed", {"placed"});
+  ASSERT_TRUE(tree.ok());
+  auto activities = tree.value().activities_post_order();
+  ASSERT_EQ(activities.size(), 1u);
+  EXPECT_EQ(tree.value().activity_name(activities[0]), "Route");
+  // 'placed' became a data leaf.
+  bool found = false;
+  for (auto id : tree.value().leaves()) {
+    const auto& n = tree.value().node(id);
+    if (n.kind == NodeKind::kDataLeaf && schema.type(n.type).name == "placed")
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TaskTree, ExtractErrors) {
+  auto schema = asic_schema();
+  EXPECT_FALSE(TaskTree::extract(schema, "nothing").ok());
+  EXPECT_FALSE(TaskTree::extract(schema, "router").ok());  // tool type
+  EXPECT_FALSE(TaskTree::extract(schema, "rtl").ok());     // primary input
+  EXPECT_FALSE(TaskTree::extract(schema, "routed", {"routed"}).ok());  // target stopped
+  EXPECT_FALSE(TaskTree::extract(schema, "routed", {"nope"}).ok());    // bad stop type
+}
+
+TEST(TaskTree, BindTypeBindsAllMatchingLeaves) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  EXPECT_TRUE(tree.bind_type("constraints", "chip.sdc").ok());
+  int bound = 0;
+  for (const auto& n : tree.nodes())
+    if (n.kind == NodeKind::kDataLeaf && n.binding == "chip.sdc") ++bound;
+  EXPECT_EQ(bound, 1);  // the shared constraints leaf
+}
+
+TEST(TaskTree, BindErrors) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  EXPECT_FALSE(tree.bind(tree.root(), "x").ok());          // activities unbindable
+  EXPECT_FALSE(tree.bind(util::TaskNodeId{999}, "x").ok());
+  EXPECT_FALSE(tree.bind_type("gates", "x").ok());  // no leaf of that type
+  EXPECT_FALSE(tree.bind_type("zzz", "x").ok());
+  auto leaf = tree.leaves().front();
+  EXPECT_FALSE(tree.bind(leaf, "").ok());  // empty instance name
+}
+
+TEST(TaskTree, FullyBoundReportsMissing) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  auto status = tree.fully_bound();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::Error::Code::kUnbound);
+  EXPECT_NE(status.error().message.find("rtl"), std::string::npos);
+
+  tree.bind_type("rtl", "chip.rtl").expect("bind");
+  tree.bind_type("constraints", "chip.sdc").expect("bind");
+  tree.bind_type("synthesizer", "dc").expect("bind");
+  tree.bind_type("placer", "pl").expect("bind");
+  tree.bind_type("router", "rt").expect("bind");
+  EXPECT_TRUE(tree.fully_bound().ok());
+}
+
+TEST(TaskTree, ChildrenKeepRuleOrderWithToolLast) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "gates").take();
+  const TaskNode& synth = tree.node(tree.root());
+  ASSERT_EQ(synth.children.size(), 3u);  // rtl, constraints, tool
+  EXPECT_EQ(schema.type(tree.node(synth.children[0]).type).name, "rtl");
+  EXPECT_EQ(schema.type(tree.node(synth.children[1]).type).name, "constraints");
+  EXPECT_EQ(tree.node(synth.children[2]).kind, NodeKind::kToolLeaf);
+}
+
+TEST(TaskTree, ParentPointersConsistent) {
+  // Shared nodes keep their FIRST consumer as parent; every node's recorded
+  // parent must list it among its children.
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  for (const auto& n : tree.nodes()) {
+    if (!n.parent.valid()) continue;
+    const auto& parent = tree.node(n.parent);
+    bool listed = false;
+    for (auto c : parent.children) listed |= (c == n.id);
+    EXPECT_TRUE(listed) << n.id.str();
+  }
+}
+
+TEST(TaskTree, RenderShowsStructureAndBindings) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  tree.bind_type("rtl", "chip.rtl").expect("bind");
+  std::string r = tree.render();
+  EXPECT_NE(r.find("[Route] -> routed"), std::string::npos);
+  EXPECT_NE(r.find("[Synthesize] -> gates"), std::string::npos);
+  EXPECT_NE(r.find("chip.rtl"), std::string::npos);
+  EXPECT_NE(r.find("UNBOUND"), std::string::npos);  // constraints still unbound
+}
+
+TEST(TaskTree, ActivityNameOnLeafThrows) {
+  auto schema = asic_schema();
+  auto tree = TaskTree::extract(schema, "routed").take();
+  EXPECT_THROW((void)tree.activity_name(tree.leaves().front()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace herc::flow

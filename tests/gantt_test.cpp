@@ -1,0 +1,220 @@
+// Unit tests for the Gantt renderer and the schedule-instance browser.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "gantt/browser.hpp"
+#include "gantt/gantt.hpp"
+
+namespace herc::gantt {
+namespace {
+
+TEST(Gantt, FreshPlanShowsProjectionOnly) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  GanttOptions no_legend;
+  no_legend.show_legend = false;
+  std::string g = render_gantt(m->schedule_space(), m->calendar(), plan,
+                               m->clock().now(), no_legend);
+  EXPECT_NE(g.find("Synthesize"), std::string::npos);
+  EXPECT_NE(g.find("Place"), std::string::npos);
+  EXPECT_NE(g.find("Route"), std::string::npos);
+  EXPECT_NE(g.find('='), std::string::npos);  // projection bars
+  // Nothing accomplished yet: no '#' in the bar rows (the header line shows
+  // the plan id as "#1", so skip it; legend already suppressed).
+  EXPECT_EQ(g.find('#', g.find('\n')), std::string::npos);
+  // With the legend on, the glyph key is present.
+  std::string with_legend =
+      render_gantt(m->schedule_space(), m->calendar(), plan, m->clock().now());
+  EXPECT_NE(with_legend.find("baseline"), std::string::npos);
+}
+
+TEST(Gantt, AccomplishedWorkDrawsActualBars) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  std::string g = render_gantt(m->schedule_space(), m->calendar(), plan,
+                               m->clock().now());
+  EXPECT_NE(g.find('#'), std::string::npos);
+  EXPECT_NE(g.find("(done)"), std::string::npos);
+}
+
+TEST(Gantt, DateAxisRendered) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  std::string g = render_gantt(m->schedule_space(), m->calendar(), plan,
+                               m->clock().now());
+  // The axis row carries MM-DD ticks from the project epoch (1995-01-02).
+  EXPECT_NE(g.find("01-02"), std::string::npos);
+}
+
+TEST(Gantt, CriticalActivitiesMarked) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  std::string g = render_gantt(m->schedule_space(), m->calendar(), plan,
+                               m->clock().now());
+  // The ASIC chain is fully critical: every activity row carries '*'.
+  EXPECT_NE(g.find("Synthesize *"), std::string::npos);
+}
+
+TEST(Gantt, EmptyPlanHandled) {
+  sched::ScheduleSpace space;
+  auto plan = space.create_plan("empty", cal::WorkInstant(0));
+  cal::WorkCalendar calendar;
+  std::string g = render_gantt(space, calendar, plan, cal::WorkInstant(0));
+  EXPECT_NE(g.find("no activities"), std::string::npos);
+}
+
+TEST(Gantt, OptionsControlWidthAndLegend) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  GanttOptions opt;
+  opt.chart_width = 30;
+  opt.show_legend = false;
+  std::string g =
+      render_gantt(m->schedule_space(), m->calendar(), plan, m->clock().now(), opt);
+  EXPECT_EQ(g.find("baseline"), std::string::npos);
+  // Bars area is 30 columns wide between the pipes.
+  auto line_start = g.find("Synthesize");
+  auto first_pipe = g.find('|', line_start);
+  auto second_pipe = g.find('|', first_pipe + 1);
+  // Today marker may add a pipe inside; just check the row is bounded sanely.
+  EXPECT_LE(second_pipe - first_pipe, 32u);
+}
+
+TEST(ScheduleCard, ShowsEstimatesActualsAndLink) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto node = m->schedule_space().node_in_plan(plan, "Synthesize").value();
+  std::string card =
+      render_schedule_card(m->schedule_space(), m->db(), m->calendar(), node);
+  for (const char* needle : {"Synthesize", "estimate", "baseline", "actual start",
+                             "actual finish", "linked to", "complete"})
+    EXPECT_NE(card.find(needle), std::string::npos) << needle;
+}
+
+// --- portfolio --------------------------------------------------------------
+
+TEST(PortfolioGantt, StacksPlansOnSharedAxis) {
+  auto m = test::make_asic_manager();
+  m->extract_task("front", "gates").expect("extract");
+  auto chip = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto front = m->plan_task("front", {.anchor = m->clock().now()}).value();
+  auto out = render_portfolio_gantt(m->schedule_space(), m->calendar(),
+                                    {chip, front}, m->clock().now());
+  ASSERT_TRUE(out.ok()) << out.error().str();
+  const std::string& g = out.value();
+  EXPECT_NE(g.find("Portfolio Gantt"), std::string::npos);
+  EXPECT_NE(g.find("-- plan 'chip'"), std::string::npos);
+  EXPECT_NE(g.find("-- plan 'front'"), std::string::npos);
+  // Sections in the order given; chip first.
+  EXPECT_LT(g.find("'chip'"), g.find("'front'"));
+  // Both plans' activities present (Synthesize appears in each section).
+  auto first = g.find("Synthesize");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(g.find("Synthesize", first + 1), std::string::npos);
+}
+
+TEST(PortfolioGantt, Validation) {
+  auto m = test::make_asic_manager();
+  auto chip = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  EXPECT_FALSE(render_portfolio_gantt(m->schedule_space(), m->calendar(), {},
+                                      m->clock().now())
+                   .ok());
+  EXPECT_FALSE(render_portfolio_gantt(m->schedule_space(), m->calendar(),
+                                      {chip, chip}, m->clock().now())
+                   .ok());
+}
+
+TEST(PortfolioGantt, SequencedPlansDoNotOverlap) {
+  auto m = test::make_asic_manager();
+  m->extract_task("chip2", "routed").expect("extract");
+  auto first = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  sched::PlanRequest after;
+  after.anchor = m->clock().now();
+  after.predecessors = {first};
+  auto second = m->plan_task("chip2", after).value();
+  const auto& space = m->schedule_space();
+  // chip2 starts exactly when chip is projected to finish (52h).
+  auto synth2 = space.node(space.node_in_plan(second, "Synthesize").value());
+  EXPECT_EQ(synth2.planned_start.minutes_since_epoch(), 52 * 60);
+  // Unknown predecessor rejected.
+  sched::PlanRequest bad;
+  bad.predecessors = {sched::ScheduleRunId{99}};
+  m->extract_task("chip3", "routed").expect("extract");
+  EXPECT_FALSE(m->plan_task("chip3", bad).ok());
+}
+
+// --- browser ---------------------------------------------------------------
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  BrowserTest() : m_(test::make_circuit_manager()) {
+    plan_ = m_->plan_task("adder", {.anchor = m_->clock().now()}).value();
+  }
+
+  std::unique_ptr<hercules::WorkflowManager> m_;
+  sched::ScheduleRunId plan_;
+};
+
+TEST_F(BrowserTest, ListGroupsByActivity) {
+  auto browser = m_->browser();
+  std::string listing = browser.list();
+  EXPECT_NE(listing.find("[Create]"), std::string::npos);
+  EXPECT_NE(listing.find("[Simulate]"), std::string::npos);
+  EXPECT_NE(listing.find("SC1"), std::string::npos);
+}
+
+TEST_F(BrowserTest, SelectDisplayDelete) {
+  auto browser = m_->browser();
+  auto node = m_->schedule_space().node_in_plan(plan_, "Create").value();
+  EXPECT_FALSE(browser.display().ok());  // nothing selected
+  EXPECT_TRUE(browser.select(node).ok());
+  EXPECT_EQ(browser.selected().value(), node);
+  auto card = browser.display();
+  ASSERT_TRUE(card.ok());
+  EXPECT_NE(card.value().find("Create"), std::string::npos);
+  // Selected marker in the listing.
+  EXPECT_NE(browser.list().find("> SC1 [Create]"), std::string::npos);
+
+  EXPECT_TRUE(browser.delete_selected().ok());
+  EXPECT_FALSE(browser.selected().has_value());
+  EXPECT_EQ(browser.list().find("SC1 [Create]"), std::string::npos);  // hidden
+  // Deleted instances cannot be selected again.
+  EXPECT_FALSE(browser.select(node).ok());
+}
+
+TEST_F(BrowserTest, LinkedInstancesCannotBeDeleted) {
+  m_->execute_task("adder", "alice").value();
+  m_->link_completion("adder", "Create").expect("link");
+  auto browser = m_->browser();
+  auto node = m_->schedule_space().node_in_plan(plan_, "Create").value();
+  browser.select(node).expect("select");
+  auto status = browser.delete_selected();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::Error::Code::kConflict);
+}
+
+TEST_F(BrowserTest, SelectErrors) {
+  auto browser = m_->browser();
+  EXPECT_FALSE(browser.select(sched::ScheduleNodeId{999}).ok());
+  EXPECT_FALSE(browser.select(sched::ScheduleNodeId{}).ok());
+  EXPECT_FALSE(browser.delete_selected().ok());  // nothing selected
+}
+
+TEST_F(BrowserTest, DeletedNodesLeaveGantt) {
+  auto browser = m_->browser();
+  auto node = m_->schedule_space().node_in_plan(plan_, "Create").value();
+  browser.select(node).expect("select");
+  browser.delete_selected().expect("delete");
+  std::string g = render_gantt(m_->schedule_space(), m_->calendar(), plan_,
+                               m_->clock().now());
+  EXPECT_EQ(g.find("Create"), std::string::npos);
+  EXPECT_NE(g.find("Simulate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::gantt

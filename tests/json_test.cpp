@@ -1,0 +1,163 @@
+// Unit + property tests for the JSON document model (util/json.hpp).
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace herc::util {
+namespace {
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntAndDoubleStayDistinct) {
+  EXPECT_TRUE(Json(1).is_int());
+  EXPECT_FALSE(Json(1).is_double());
+  EXPECT_TRUE(Json(1.5).is_double());
+  EXPECT_TRUE(Json(1).is_number());
+  EXPECT_TRUE(Json(1.5).is_number());
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonObject o;
+  o.set("zulu", 1);
+  o.set("alpha", 2);
+  Json j(std::move(o));
+  auto text = j.dump(-1);
+  EXPECT_LT(text.find("zulu"), text.find("alpha"));
+}
+
+TEST(Json, ObjectSetOverwritesInPlace) {
+  JsonObject o;
+  o.set("a", 1);
+  o.set("b", 2);
+  o.set("a", 3);
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_EQ(o.at("a").as_int(), 3);
+}
+
+TEST(Json, ObjectAtMissingThrows) {
+  JsonObject o;
+  EXPECT_THROW(o.at("missing"), std::out_of_range);
+}
+
+TEST(Json, CompactVsIndented) {
+  JsonObject o;
+  o.set("a", JsonArray{Json(1), Json(2)});
+  Json j(std::move(o));
+  EXPECT_EQ(j.dump(-1), "{\"a\":[1,2]}");
+  EXPECT_NE(j.dump(2).find('\n'), std::string::npos);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").value().is_null());
+  EXPECT_TRUE(Json::parse("true").value().as_bool());
+  EXPECT_EQ(Json::parse("-12").value().as_int(), -12);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").value().as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").value().as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"x\\ny\"").value().as_string(), "x\ny");
+}
+
+TEST(Json, ParseNested) {
+  auto j = Json::parse(R"({"a": [1, {"b": true}], "c": null})");
+  ASSERT_TRUE(j.ok());
+  const auto& o = j.value().as_object();
+  EXPECT_EQ(o.at("a").as_array().size(), 2u);
+  EXPECT_TRUE(o.at("a").as_array()[1].as_object().at("b").as_bool());
+  EXPECT_TRUE(o.at("c").is_null());
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  auto j = Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::parse("tru").ok());
+  EXPECT_FALSE(Json::parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::parse("-").ok());
+  EXPECT_FALSE(Json::parse("\"bad\\qescape\"").ok());
+}
+
+TEST(Json, DeepNestingRejectedNotCrashed) {
+  std::string deep(100000, '[');
+  auto r = Json::parse(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("nesting"), std::string::npos);
+  // At or under the limit parses fine.
+  std::string ok_doc = std::string(150, '[') + "1" + std::string(150, ']');
+  EXPECT_TRUE(Json::parse(ok_doc).ok());
+  std::string too_deep = std::string(250, '[') + "1" + std::string(250, ']');
+  EXPECT_FALSE(Json::parse(too_deep).ok());
+}
+
+TEST(Json, ControlCharactersRoundTrip) {
+  Json j(std::string("a\x01b"));
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "a\x01b");
+}
+
+/// Property: random documents survive dump -> parse -> dump byte-identically.
+class JsonRoundTrip : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Json random_value(Rng& rng, int depth) {
+    if (depth <= 0 || rng.chance(0.4)) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0: return Json(nullptr);
+        case 1: return Json(rng.chance(0.5));
+        case 2: return Json(rng.uniform_int(-1000000, 1000000));
+        default: {
+          std::string s;
+          for (int i = 0; i < rng.uniform_int(0, 12); ++i)
+            s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+          return Json(std::move(s));
+        }
+      }
+    }
+    if (rng.chance(0.5)) {
+      JsonArray a;
+      for (int i = 0; i < rng.uniform_int(0, 5); ++i)
+        a.push_back(random_value(rng, depth - 1));
+      return Json(std::move(a));
+    }
+    JsonObject o;
+    for (int i = 0; i < rng.uniform_int(0, 5); ++i)
+      o.set("k" + std::to_string(rng.uniform_int(0, 30)), random_value(rng, depth - 1));
+    return Json(std::move(o));
+  }
+};
+
+TEST_P(JsonRoundTrip, DumpParseDumpIsFixedPoint) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    Json doc = random_value(rng, 4);
+    std::string once = doc.dump(2);
+    auto parsed = Json::parse(once);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().str() << "\n" << once;
+    EXPECT_EQ(parsed.value().dump(2), once);
+    // Compact form round-trips too.
+    auto compact = Json::parse(doc.dump(-1));
+    ASSERT_TRUE(compact.ok());
+    EXPECT_EQ(compact.value().dump(-1), doc.dump(-1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip,
+                         ::testing::Values(1, 7, 42, 99, 1234, 777));
+
+}  // namespace
+}  // namespace herc::util

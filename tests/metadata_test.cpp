@@ -1,0 +1,206 @@
+// Unit tests for the Level-3 execution-space database.
+
+#include <gtest/gtest.h>
+
+#include "metadata/database.hpp"
+
+namespace herc::meta {
+namespace {
+
+schema::TaskSchema circuit_schema() {
+  return schema::parse_schema(R"(
+    schema circuit {
+      data netlist, stimuli, performance;
+      tool netlist_editor, simulator;
+      rule Create:   netlist     <- netlist_editor();
+      rule Simulate: performance <- simulator(netlist, stimuli);
+    }
+  )").take();
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : schema_(circuit_schema()), db_(schema_) {}
+
+  EntityInstanceId make_instance(const std::string& type, const std::string& name,
+                                 std::int64_t at = 0) {
+    return db_
+        .create_instance(type, name, RunId::invalid(), util::DataObjectId{},
+                         cal::WorkInstant(at))
+        .value();
+  }
+
+  RunId make_run(const std::string& activity, std::vector<EntityInstanceId> inputs,
+                 EntityInstanceId output, std::int64_t start = 0,
+                 std::int64_t finish = 10) {
+    meta::Run r;
+    r.activity = activity;
+    r.tool_binding = "tool@host";
+    r.designer = "alice";
+    r.inputs = std::move(inputs);
+    r.output = output;
+    r.started_at = cal::WorkInstant(start);
+    r.finished_at = cal::WorkInstant(finish);
+    return db_.record_run(std::move(r)).value();
+  }
+
+  schema::TaskSchema schema_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, ContainersInitializedEmptyFromSchema) {
+  EXPECT_TRUE(db_.container("netlist").empty());
+  EXPECT_TRUE(db_.container("stimuli").empty());
+  EXPECT_TRUE(db_.container("unknown_type").empty());
+  EXPECT_EQ(db_.instance_count(), 0u);
+}
+
+TEST_F(DatabaseTest, InstanceVersioningPerTypeAndName) {
+  auto a1 = make_instance("netlist", "adder");
+  auto a2 = make_instance("netlist", "adder");
+  auto m1 = make_instance("netlist", "mult");
+  EXPECT_EQ(db_.instance(a1).version, 1);
+  EXPECT_EQ(db_.instance(a2).version, 2);
+  EXPECT_EQ(db_.instance(m1).version, 1);
+  EXPECT_EQ(db_.container("netlist").size(), 3u);
+}
+
+TEST_F(DatabaseTest, CreateInstanceRejectsBadTypes) {
+  EXPECT_FALSE(db_.create_instance("zzz", "x", RunId::invalid(), util::DataObjectId{},
+                                   cal::WorkInstant(0))
+                   .ok());
+  // Tool types hold no entity instances.
+  EXPECT_FALSE(db_.create_instance("simulator", "x", RunId::invalid(),
+                                   util::DataObjectId{}, cal::WorkInstant(0))
+                   .ok());
+}
+
+TEST_F(DatabaseTest, LatestInContainerAndNamed) {
+  EXPECT_FALSE(db_.latest_in_container("netlist").has_value());
+  auto a = make_instance("netlist", "adder");
+  auto b = make_instance("netlist", "mult");
+  EXPECT_EQ(db_.latest_in_container("netlist").value(), b);
+  EXPECT_EQ(db_.latest_named("netlist", "adder").value(), a);
+  EXPECT_FALSE(db_.latest_named("netlist", "none").has_value());
+}
+
+TEST_F(DatabaseTest, RecordRunPatchesProducedBy) {
+  auto out = make_instance("netlist", "adder");
+  auto run = make_run("Create", {}, out);
+  EXPECT_EQ(db_.instance(out).produced_by, run);
+  EXPECT_EQ(db_.run(run).output, out);
+}
+
+TEST_F(DatabaseTest, RecordRunValidation) {
+  meta::Run bad;
+  bad.activity = "";
+  EXPECT_FALSE(db_.record_run(bad).ok());
+
+  meta::Run no_output;
+  no_output.activity = "Create";
+  no_output.status = RunStatus::kCompleted;
+  EXPECT_FALSE(db_.record_run(no_output).ok());
+
+  meta::Run unknown_output;
+  unknown_output.activity = "Create";
+  unknown_output.output = EntityInstanceId{42};
+  EXPECT_FALSE(db_.record_run(unknown_output).ok());
+
+  auto inst = make_instance("netlist", "x");
+  meta::Run bad_times;
+  bad_times.activity = "Create";
+  bad_times.output = inst;
+  bad_times.started_at = cal::WorkInstant(10);
+  bad_times.finished_at = cal::WorkInstant(5);
+  EXPECT_FALSE(db_.record_run(bad_times).ok());
+
+  meta::Run unknown_input;
+  unknown_input.activity = "Create";
+  unknown_input.output = inst;
+  unknown_input.inputs = {EntityInstanceId{99}};
+  EXPECT_FALSE(db_.record_run(unknown_input).ok());
+}
+
+TEST_F(DatabaseTest, FailedRunNeedsNoOutput) {
+  meta::Run r;
+  r.activity = "Simulate";
+  r.status = RunStatus::kFailed;
+  auto id = db_.record_run(std::move(r));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(db_.run(id.value()).output.valid());
+}
+
+TEST_F(DatabaseTest, RunsOfActivityAndLastCompleted) {
+  auto n = make_instance("netlist", "x");
+  auto p1 = make_instance("performance", "perf");
+  auto p2 = make_instance("performance", "perf");
+  make_run("Simulate", {n}, p1, 0, 5);
+  meta::Run failed;
+  failed.activity = "Simulate";
+  failed.status = RunStatus::kFailed;
+  failed.started_at = cal::WorkInstant(5);
+  failed.finished_at = cal::WorkInstant(6);
+  db_.record_run(std::move(failed)).value();
+  auto good = make_run("Simulate", {n}, p2, 6, 9);
+
+  EXPECT_EQ(db_.runs_of_activity("Simulate").size(), 3u);
+  EXPECT_EQ(db_.last_completed_run("Simulate").value(), good);
+  EXPECT_FALSE(db_.last_completed_run("Create").has_value());
+}
+
+TEST_F(DatabaseTest, DependenciesComeFromProducingRun) {
+  auto n = make_instance("netlist", "x");
+  auto s = make_instance("stimuli", "stim");
+  auto p = make_instance("performance", "perf");
+  make_run("Simulate", {n, s}, p);
+  auto deps = db_.dependencies_of(p);
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0], n);
+  EXPECT_EQ(deps[1], s);
+  EXPECT_TRUE(db_.dependencies_of(n).empty());  // import
+}
+
+TEST_F(DatabaseTest, ResourceRegistry) {
+  auto alice = db_.add_resource("alice");
+  auto farm = db_.add_resource("simfarm", "machine", 4);
+  EXPECT_EQ(db_.resource(alice).capacity, 1);
+  EXPECT_EQ(db_.resource(farm).kind, "machine");
+  EXPECT_EQ(db_.find_resource("alice").value(), alice);
+  EXPECT_FALSE(db_.find_resource("nobody").has_value());
+  EXPECT_THROW(db_.resource(ResourceId{9}), std::out_of_range);
+}
+
+struct CountingObserver : DatabaseObserver {
+  int instances = 0;
+  int runs = 0;
+  void on_instance_created(const EntityInstance&) override { ++instances; }
+  void on_run_recorded(const Run&) override { ++runs; }
+};
+
+TEST_F(DatabaseTest, ObserversSeeMutations) {
+  CountingObserver obs;
+  db_.add_observer(&obs);
+  auto n = make_instance("netlist", "x");
+  make_run("Create", {}, n);
+  EXPECT_EQ(obs.instances, 1);
+  EXPECT_EQ(obs.runs, 1);
+  db_.remove_observer(&obs);
+  make_instance("netlist", "y");
+  EXPECT_EQ(obs.instances, 1);  // no longer notified
+}
+
+TEST_F(DatabaseTest, DumpShowsContainersAndEmptyOnes) {
+  make_instance("netlist", "adder");
+  std::string d = db_.dump_containers();
+  EXPECT_NE(d.find("[netlist]"), std::string::npos);
+  EXPECT_NE(d.find("adder"), std::string::npos);
+  EXPECT_NE(d.find("[performance] (empty)"), std::string::npos);
+}
+
+TEST_F(DatabaseTest, UnknownIdsThrow) {
+  EXPECT_THROW(db_.instance(EntityInstanceId{5}), std::out_of_range);
+  EXPECT_THROW(db_.run(RunId{5}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace herc::meta

@@ -1,0 +1,131 @@
+// Tests for JSON persistence: save -> load -> save fixed point, state
+// equivalence after reload, and load-time validation.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "hercules/persist.hpp"
+#include "util/json.hpp"
+
+namespace herc::hercules {
+namespace {
+
+std::unique_ptr<WorkflowManager> full_scenario() {
+  auto m = test::make_circuit_manager();
+  m->calendar().add_holiday(cal::Date(1995, 7, 4));
+  m->db()
+      .add_time_off(m->db().find_resource("bob").value(), cal::WorkInstant(100),
+                    cal::WorkInstant(500))
+      .expect("time off");
+  sched::PlanRequest first;
+  first.anchor = m->clock().now();
+  first.deadline = cal::WorkInstant(40 * 60);  // exercise deadline persistence
+  m->plan_task("adder", first).value();
+  m->execute_task("adder", "alice").value();
+  m->run_activity("adder", "Simulate", "bob").value();
+  m->link_completion("adder", "Create").expect("link");
+  m->link_completion("adder", "Simulate").expect("link");
+  m->replan_task("adder", {.anchor = m->clock().now()}).value();
+  return m;
+}
+
+TEST(Persist, SaveLoadSaveIsFixedPoint) {
+  auto m = full_scenario();
+  std::string once = save_to_json(*m);
+  auto loaded = load_from_json(once);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().str();
+  std::string twice = save_to_json(*loaded.value());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Persist, ReloadedStateIsEquivalent) {
+  auto m = full_scenario();
+  auto loaded = load_from_json(save_to_json(*m)).take();
+
+  EXPECT_EQ(loaded->db().instance_count(), m->db().instance_count());
+  EXPECT_EQ(loaded->db().run_count(), m->db().run_count());
+  EXPECT_EQ(loaded->store().size(), m->store().size());
+  EXPECT_EQ(loaded->schedule_space().plans().size(),
+            m->schedule_space().plans().size());
+  EXPECT_EQ(loaded->schedule_space().node_count(), m->schedule_space().node_count());
+  EXPECT_EQ(loaded->schedule_space().links().size(),
+            m->schedule_space().links().size());
+  EXPECT_EQ(loaded->clock().now(), m->clock().now());
+  EXPECT_EQ(loaded->calendar().holidays().size(), 1u);
+  EXPECT_TRUE(loaded->calendar().is_holiday(cal::Date(1995, 7, 4)));
+  // Resource time off survives.
+  auto bob = loaded->db().find_resource("bob").value();
+  ASSERT_EQ(loaded->db().resource(bob).time_off.size(), 1u);
+  EXPECT_EQ(loaded->db().resource(bob).time_off[0].second.minutes_since_epoch(), 500);
+
+  // Database dumps (both spaces) agree textually.
+  EXPECT_EQ(loaded->dump_database(), m->dump_database());
+
+  // The task tree survived with bindings and plan association.
+  ASSERT_TRUE(loaded->has_task("adder"));
+  EXPECT_TRUE(loaded->task("adder").value()->fully_bound().ok());
+  EXPECT_EQ(loaded->plan_of("adder").value(), m->plan_of("adder").value());
+  EXPECT_EQ(loaded->tracker().watched_plan(), m->tracker().watched_plan());
+}
+
+TEST(Persist, ReloadedManagerKeepsWorking) {
+  auto m = full_scenario();
+  auto loaded = load_from_json(save_to_json(*m)).take();
+  // Tools are NOT persisted (documented); re-register and keep executing.
+  loaded->register_tool({.instance_name = "spice@s1",
+                         .tool_type = "simulator",
+                         .nominal = cal::WorkDuration::hours(6)})
+      .expect("tool");
+  auto iter = loaded->run_activity("adder", "Simulate", "carol");
+  ASSERT_TRUE(iter.ok()) << iter.error().str();
+  // Versions continue from the persisted state, not from 1.
+  EXPECT_EQ(loaded->db().instance(iter.value().output).version, 3);
+  // Queries and Gantt still work.
+  EXPECT_TRUE(loaded->query("select runs where designer = \"carol\"").ok());
+  EXPECT_TRUE(loaded->gantt("adder").ok());
+}
+
+TEST(Persist, StatusReportIdenticalAfterReload) {
+  auto m = full_scenario();
+  auto loaded = load_from_json(save_to_json(*m)).take();
+  EXPECT_EQ(loaded->status_report("adder").value(), m->status_report("adder").value());
+}
+
+TEST(Persist, RejectsMalformedInput) {
+  EXPECT_FALSE(load_from_json("not json").ok());
+  EXPECT_FALSE(load_from_json("{}").ok());  // missing fields
+  EXPECT_FALSE(load_from_json(R"({"format": "something-else"})").ok());
+}
+
+TEST(Persist, RejectsTamperedIds) {
+  auto m = full_scenario();
+  std::string text = save_to_json(*m);
+  // Corrupt an instance id: load must detect the id mismatch.
+  auto doc = util::Json::parse(text).take();
+  auto& instances = doc.as_object().at("instances").as_array();
+  ASSERT_FALSE(instances.empty());
+  instances[0].as_object().set("id", 999);
+  auto loaded = load_from_json(doc.dump(2));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(Persist, RejectsWrongFieldTypes) {
+  auto m = full_scenario();
+  auto doc = util::Json::parse(save_to_json(*m)).take();
+  doc.as_object().set("clock", "noon");
+  auto loaded = load_from_json(doc.dump(2));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, util::Error::Code::kParse);
+}
+
+TEST(Persist, EmptyManagerRoundTrips) {
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  std::string once = save_to_json(*m);
+  auto loaded = load_from_json(once);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().str();
+  EXPECT_EQ(save_to_json(*loaded.value()), once);
+  EXPECT_EQ(loaded.value()->db().instance_count(), 0u);
+}
+
+}  // namespace
+}  // namespace herc::hercules

@@ -1,0 +1,182 @@
+// Cross-layer property tests over RANDOM schemas: for generated acyclic
+// flows of varying shape, the structural promises hold — the planner mirrors
+// the executor, the Petri adapter fires in the native order, the roadmap is
+// isomorphic, CPM dates respect the plan's dependencies, and dispatch never
+// finishes later than serial execution... er, earlier than the critical
+// chain allows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "adapters/petri.hpp"
+#include "adapters/roadmap.hpp"
+#include "common.hpp"
+#include "util/rng.hpp"
+
+namespace herc {
+namespace {
+
+/// Generates a random acyclic schema: data types d0..dN where d0..dK are
+/// primary inputs and every other type is produced by a rule consuming 1-3
+/// earlier types.
+std::string random_schema(util::Rng& rng, std::size_t inputs, std::size_t rules) {
+  std::string dsl = "schema random {\n  data";
+  std::size_t total = inputs + rules;
+  for (std::size_t i = 0; i < total; ++i)
+    dsl += (i ? ", d" : " d") + std::to_string(i);
+  dsl += ";\n  tool t;\n";
+  for (std::size_t r = 0; r < rules; ++r) {
+    std::size_t out = inputs + r;
+    dsl += "  rule A" + std::to_string(r) + ": d" + std::to_string(out) + " <- t(";
+    std::set<std::size_t> chosen;
+    // At most `out` distinct earlier types exist; never demand more.
+    auto n_inputs =
+        std::min<std::size_t>(static_cast<std::size_t>(rng.uniform_int(1, 3)), out);
+    // Always consume the immediately previous type so the last rule's output
+    // transitively covers everything interesting; add random extras.
+    chosen.insert(out - 1);
+    while (chosen.size() < n_inputs)
+      chosen.insert(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(out) - 1)));
+    bool first = true;
+    for (std::size_t in : chosen) {
+      dsl += (first ? "d" : ", d") + std::to_string(in);
+      first = false;
+    }
+    dsl += ");\n";
+  }
+  dsl += "}\n";
+  return dsl;
+}
+
+class RandomFlow : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::unique_ptr<hercules::WorkflowManager> make(util::Rng& rng) {
+    auto inputs = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    auto rules = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    auto m = hercules::WorkflowManager::create(random_schema(rng, inputs, rules))
+                 .take();
+    m->register_tool({.instance_name = "t1", .tool_type = "t",
+                      .nominal = cal::WorkDuration::minutes(
+                          rng.uniform_int(30, 600))})
+        .expect("tool");
+    m->estimator().set_fallback(cal::WorkDuration::minutes(rng.uniform_int(60, 960)));
+    // Target: the last data type (covers the whole rule chain).
+    std::string target =
+        "d" + std::to_string(inputs + rules - 1);
+    m->extract_task("job", target).expect("extract");
+    // Bind exactly the leaves present in the extracted tree (a random rule
+    // set may leave some declared primary inputs unreachable from target).
+    const auto& tree = *m->task("job").value();
+    for (auto leaf : tree.leaves()) {
+      const auto& n = tree.node(leaf);
+      std::string instance =
+          n.kind == flow::NodeKind::kToolLeaf ? "t1"
+                                              : m->schema().type(n.type).name + ".in";
+      m->task("job").value()->bind(leaf, instance).expect("bind");
+    }
+    return m;
+  }
+};
+
+TEST_P(RandomFlow, PlannerMirrorsExecutor) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 5; ++iter) {
+    auto m = make(rng);
+    auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+    std::vector<std::string> planned;
+    for (auto nid : m->schedule_space().plan(plan).nodes)
+      planned.push_back(m->schedule_space().node(nid).activity);
+    m->execute_task("job", "pat").value();
+    std::vector<std::string> executed;
+    for (const auto& run : m->db().runs()) executed.push_back(run.activity);
+    EXPECT_EQ(planned, executed);
+  }
+}
+
+TEST_P(RandomFlow, PlannedDatesRespectDependencies) {
+  util::Rng rng(GetParam() + 100);
+  for (int iter = 0; iter < 5; ++iter) {
+    auto m = make(rng);
+    auto plan_id = m->plan_task("job", {.anchor = m->clock().now()}).value();
+    const auto& space = m->schedule_space();
+    const auto& plan = space.plan(plan_id);
+    for (const auto& dep : plan.deps) {
+      EXPECT_GE(space.node(dep.to).planned_start, space.node(dep.from).planned_finish);
+    }
+    // Makespan = max finish; at least one critical activity exists.
+    bool any_critical = false;
+    for (auto nid : plan.nodes) any_critical |= space.node(nid).critical;
+    EXPECT_TRUE(any_critical);
+  }
+}
+
+TEST_P(RandomFlow, PetriFiringMatchesNativeOrder) {
+  util::Rng rng(GetParam() + 200);
+  for (int iter = 0; iter < 5; ++iter) {
+    auto m = make(rng);
+    const auto& tree = *m->task("job").value();
+    auto conv = adapters::petri_from_task_tree(tree).take();
+    auto firing = conv.net.run_to_quiescence();
+    std::vector<std::string> fired;
+    for (auto t : firing) fired.push_back(conv.activity_of_transition[t]);
+    std::vector<std::string> native;
+    for (auto id : tree.activities_post_order())
+      native.push_back(tree.activity_name(id));
+    EXPECT_EQ(fired, native);
+    EXPECT_EQ(conv.net.marking(conv.target_place), 1);
+  }
+}
+
+TEST_P(RandomFlow, RoadmapIsomorphic) {
+  util::Rng rng(GetParam() + 300);
+  for (int iter = 0; iter < 5; ++iter) {
+    auto m = make(rng);
+    const auto& tree = *m->task("job").value();
+    auto model = adapters::RoadmapModel::from_schema(m->schema());
+    ASSERT_TRUE(model.instantiate(tree).ok());
+    auto verdict = model.verify_against(tree);
+    EXPECT_TRUE(verdict.ok()) << verdict.error().str();
+  }
+}
+
+TEST_P(RandomFlow, DispatchNeverBeatsCriticalChainNorLosesToSerial) {
+  util::Rng rng(GetParam() + 400);
+  for (int iter = 0; iter < 3; ++iter) {
+    // Two managers over the same seed-generated flow.
+    std::uint64_t flow_seed = rng.next_u64();
+    util::Rng rng_a(flow_seed), rng_b(flow_seed);
+    auto serial = make(rng_a);
+    auto par = make(rng_b);
+    serial->execute_task("job", "solo").value();
+    par->execute_task_concurrent("job", "team").value();
+    // Concurrent dispatch cannot be slower than serial (no resource
+    // constraints given) and cannot be faster than the longest tool chain.
+    EXPECT_LE(par->clock().now(), serial->clock().now());
+    EXPECT_GT(par->clock().now().minutes_since_epoch(), 0);
+  }
+}
+
+TEST_P(RandomFlow, RefreshConvergesToNoStaleness) {
+  util::Rng rng(GetParam() + 500);
+  for (int iter = 0; iter < 3; ++iter) {
+    auto m = make(rng);
+    m->execute_task("job", "pat").value();
+    // Poke a random upstream activity, then refresh until quiescent.
+    auto activities = m->task("job").value()->activities_post_order();
+    auto victim = activities[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(activities.size()) - 1))];
+    m->run_activity("job", m->task("job").value()->activity_name(victim), "pat")
+        .value();
+    m->refresh_task("job", "pat").value();
+    auto again = m->refresh_task("job", "pat").value();
+    EXPECT_TRUE(again.empty());  // one refresh wave reaches fixpoint
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlow, ::testing::Values(1, 7, 42, 1995));
+
+}  // namespace
+}  // namespace herc

@@ -1,0 +1,185 @@
+// Tests for selective re-execution: staleness detection (VOV adapter),
+// WorkflowManager::refresh_task, and critical-path drag.
+
+#include <gtest/gtest.h>
+
+#include "adapters/trace.hpp"
+#include "common.hpp"
+#include "core/cpm.hpp"
+#include "core/whatif.hpp"
+
+namespace herc {
+namespace {
+
+// --- staleness ---------------------------------------------------------------
+
+TEST(Stale, FreshDatabaseHasNoStaleInstances) {
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  auto trace = adapters::TraceGraph::capture(m->db());
+  EXPECT_TRUE(trace.stale_instances().empty());
+}
+
+TEST(Stale, RerunUpstreamMarksDownstreamStale) {
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  // New gates version: placed and routed are now stale.
+  m->run_activity("chip", "Synthesize", "carol").value();
+  auto trace = adapters::TraceGraph::capture(m->db());
+  auto stale = trace.stale_instances();
+  std::vector<std::string> types;
+  for (auto id : stale) types.push_back(m->db().instance(id).type_name);
+  EXPECT_EQ(types, (std::vector<std::string>{"placed"}));
+  // Note: routed consumed placed v1, which is STILL the latest placed, so
+  // routed only becomes stale after Place re-runs.  refresh_task handles
+  // the transitive wave (tested below).
+}
+
+TEST(Stale, SupersededVersionsAreHistoryNotStale) {
+  auto m = test::make_circuit_manager();
+  m->execute_task("adder", "alice").value();
+  m->run_activity("adder", "Simulate", "bob").value();  // perf v2 supersedes v1
+  auto trace = adapters::TraceGraph::capture(m->db());
+  EXPECT_TRUE(trace.stale_instances().empty());  // v1 is history, v2 is fresh
+}
+
+// --- refresh_task -----------------------------------------------------------------
+
+TEST(Refresh, FirstRefreshExecutesEverything) {
+  auto m = test::make_asic_manager();
+  auto runs = m->refresh_task("chip", "carol");
+  ASSERT_TRUE(runs.ok()) << runs.error().str();
+  EXPECT_EQ(runs.value().size(), 3u);  // Synthesize, Place, Route
+  EXPECT_EQ(m->db().run_count(), 3u);
+}
+
+TEST(Refresh, UpToDateTaskDoesNothing) {
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  auto runs = m->refresh_task("chip", "carol");
+  ASSERT_TRUE(runs.ok());
+  EXPECT_TRUE(runs.value().empty());
+  EXPECT_EQ(m->db().run_count(), 3u);  // nothing new
+}
+
+TEST(Refresh, UpstreamChangePropagatesMinimally) {
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  m->run_activity("chip", "Synthesize", "carol").value();  // gates v2
+  auto runs = m->refresh_task("chip", "carol");
+  ASSERT_TRUE(runs.ok());
+  // Only Place and Route re-ran (Synthesize was fresh).
+  ASSERT_EQ(runs.value().size(), 2u);
+  EXPECT_EQ(m->db().run(runs.value()[0].run).activity, "Place");
+  EXPECT_EQ(m->db().run(runs.value()[1].run).activity, "Route");
+  // And afterwards nothing is stale.
+  EXPECT_TRUE(adapters::TraceGraph::capture(m->db()).stale_instances().empty());
+  auto again = m->refresh_task("chip", "carol");
+  EXPECT_TRUE(again.value().empty());
+}
+
+TEST(Refresh, NewPrimaryInputVersionPropagates) {
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  // The RTL is edited by hand: import a new version directly.
+  auto data = m->store().create("chip.rtl", "rtl", "v2 content", m->clock().now());
+  m->db()
+      .create_instance("rtl", "chip.rtl", meta::RunId::invalid(), data,
+                       m->clock().now())
+      .value();
+  auto runs = m->refresh_task("chip", "carol");
+  ASSERT_TRUE(runs.ok());
+  EXPECT_EQ(runs.value().size(), 3u);  // full re-spin from Synthesize down
+}
+
+TEST(Refresh, StopsOnFailure) {
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  m->register_tool({.instance_name = "pl-broken", .tool_type = "placer",
+                    .fail_rate = 1.0})
+      .expect("tool");
+  m->task("chip").value()->bind_type("placer", "pl-broken").expect("rebind");
+  m->run_activity("chip", "Synthesize", "carol").value();  // make Place stale
+  auto runs = m->refresh_task("chip", "carol");
+  ASSERT_TRUE(runs.ok());
+  ASSERT_EQ(runs.value().size(), 1u);  // Place attempted, failed, Route skipped
+  EXPECT_FALSE(runs.value()[0].success);
+}
+
+TEST(Refresh, UnknownTaskRejected) {
+  auto m = test::make_asic_manager();
+  EXPECT_FALSE(m->refresh_task("nope", "x").ok());
+}
+
+TEST(Refresh, TracksThePlanOfItsTask) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->refresh_task("chip", "carol").value();
+  const auto& space = m->schedule_space();
+  EXPECT_TRUE(space.node(space.node_in_plan(plan, "Synthesize").value())
+                  .actual_start.has_value());
+}
+
+// --- drag ---------------------------------------------------------------------
+
+TEST(Drag, ChainDragEqualsDuration) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto drags = sched::plan_drag(m->schedule_space(), plan);
+  ASSERT_EQ(drags.size(), 3u);
+  // On a pure chain every activity's drag is its own duration; sorted desc.
+  EXPECT_EQ(drags[0].activity, "Route");
+  EXPECT_EQ(drags[0].drag.count_minutes(), 24 * 60);
+  EXPECT_EQ(drags[2].drag.count_minutes(), 12 * 60);  // Synthesize
+}
+
+TEST(Drag, BoundedByParallelPath) {
+  auto m = hercules::WorkflowManager::create(R"(
+    schema diamond {
+      data seed, l, r, out;
+      tool t;
+      rule Left:  l   <- t(seed) [est 20h];
+      rule Right: r   <- t(seed) [est 15h];
+      rule Join:  out <- t(l, r) [est 5h];
+    }
+  )").take();
+  m->extract_task("job", "out").expect("extract");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  auto drags = sched::plan_drag(m->schedule_space(), plan);
+  for (const auto& d : drags) {
+    if (d.activity == "Left") { EXPECT_EQ(d.drag.count_minutes(), 5 * 60); }  // r path
+    if (d.activity == "Right") { EXPECT_EQ(d.drag.count_minutes(), 0); }      // slack
+    if (d.activity == "Join") { EXPECT_EQ(d.drag.count_minutes(), 5 * 60); }
+  }
+}
+
+TEST(Drag, CompletedActivitiesExcluded) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto drags = sched::plan_drag(m->schedule_space(), plan);
+  EXPECT_EQ(drags.size(), 2u);
+  for (const auto& d : drags) EXPECT_NE(d.activity, "Synthesize");
+}
+
+// --- CPM drag core -----------------------------------------------------------------
+
+TEST(CpmDrag, MatchesHandComputation) {
+  // 0(10) -> 1(50) -> 3(10); 0 -> 2(20) -> 3: drag of 1 bounded by slack 30.
+  std::vector<sched::CpmActivity> acts{
+      {.duration = 10, .preds = {}},
+      {.duration = 50, .preds = {0}},
+      {.duration = 20, .preds = {0}},
+      {.duration = 10, .preds = {1, 2}},
+  };
+  auto drags = sched::compute_drag(acts).take();
+  EXPECT_EQ(drags, (std::vector<std::int64_t>{10, 30, 0, 10}));
+}
+
+TEST(CpmDrag, ErrorsPropagate) {
+  EXPECT_FALSE(sched::compute_drag({{.duration = -1, .preds = {}}}).ok());
+}
+
+}  // namespace
+}  // namespace herc

@@ -1,0 +1,101 @@
+// Unit tests for the HTML project report.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "track/report.hpp"
+
+namespace herc::track {
+namespace {
+
+std::unique_ptr<hercules::WorkflowManager> reported_manager() {
+  auto m = test::make_asic_manager();
+  auto carol = m->db().find_resource("carol").value();
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.deadline = cal::WorkInstant(60 * 60);
+  req.assignments["Synthesize"] = {carol};
+  m->plan_task("chip", req).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  sched::PlanRequest refine = req;  // keep the deadline across the re-plan
+  refine.anchor = m->clock().now();
+  m->replan_task("chip", refine).value();
+  return m;
+}
+
+TEST(Report, EmptyPlanRejected) {
+  sched::ScheduleSpace space;
+  auto m = test::make_asic_manager();
+  auto plan = space.create_plan("empty", cal::WorkInstant(0));
+  EXPECT_FALSE(render_html_report(space, m->db(), m->calendar(), plan,
+                                  cal::WorkInstant(0))
+                   .ok());
+}
+
+TEST(Report, CompleteDocumentWithAllSections) {
+  auto m = reported_manager();
+  auto plan = m->plan_of("chip").value();
+  auto html = render_html_report(m->schedule_space(), m->db(), m->calendar(), plan,
+                                 m->clock().now())
+                  .take();
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  for (const char* section :
+       {"Summary", "Gantt", "Activities", "Resource utilization", "Schedule risk",
+        "Plan evolution", "<svg", "Synthesize", "earned value", "deadline"})
+    EXPECT_NE(html.find(section), std::string::npos) << section;
+}
+
+TEST(Report, OptionsDisableSections) {
+  auto m = reported_manager();
+  auto plan = m->plan_of("chip").value();
+  ReportOptions opt;
+  opt.include_risk = false;
+  opt.include_utilization = false;
+  opt.include_lineage = false;
+  auto html = render_html_report(m->schedule_space(), m->db(), m->calendar(), plan,
+                                 m->clock().now(), opt)
+                  .take();
+  EXPECT_EQ(html.find("Schedule risk"), std::string::npos);
+  EXPECT_EQ(html.find("Resource utilization"), std::string::npos);
+  EXPECT_EQ(html.find("Plan evolution"), std::string::npos);
+  EXPECT_NE(html.find("Gantt"), std::string::npos);
+}
+
+TEST(Report, NoExternalReferences) {
+  auto m = reported_manager();
+  auto plan = m->plan_of("chip").value();
+  auto html = render_html_report(m->schedule_space(), m->db(), m->calendar(), plan,
+                                 m->clock().now())
+                  .take();
+  EXPECT_EQ(html.find("http://"), html.find("http://www.w3.org"));  // only the SVG ns
+  EXPECT_EQ(html.find("href="), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+}
+
+TEST(Report, EscapesNames) {
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->extract_task("a<b>", "performance").expect("extract");
+  m->estimator().set_fallback(cal::WorkDuration::hours(4));
+  auto plan = m->plan_task("a<b>", {.anchor = m->clock().now()}).value();
+  auto html = render_html_report(m->schedule_space(), m->db(), m->calendar(), plan,
+                                 m->clock().now())
+                  .take();
+  EXPECT_NE(html.find("a&lt;b&gt;"), std::string::npos);
+}
+
+TEST(Report, DeterministicForSeed) {
+  auto m = reported_manager();
+  auto plan = m->plan_of("chip").value();
+  auto a = render_html_report(m->schedule_space(), m->db(), m->calendar(), plan,
+                              m->clock().now())
+               .take();
+  auto b = render_html_report(m->schedule_space(), m->db(), m->calendar(), plan,
+                              m->clock().now())
+               .take();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace herc::track

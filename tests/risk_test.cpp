@@ -1,0 +1,144 @@
+// Unit tests for Monte Carlo schedule-risk analysis.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/risk.hpp"
+
+namespace herc::sched {
+namespace {
+
+constexpr const char* kDiamondSchema = R"(
+schema diamond {
+  data seed, left, right, merged;
+  tool t;
+  rule Left:  left   <- t(seed);
+  rule Right: right  <- t(seed);
+  rule Merge: merged <- t(left, right);
+}
+)";
+
+std::unique_ptr<hercules::WorkflowManager> diamond_manager(int left_h, int right_h) {
+  auto m = hercules::WorkflowManager::create(kDiamondSchema).take();
+  m->register_tool({.instance_name = "t1", .tool_type = "t",
+                    .nominal = cal::WorkDuration::hours(4)})
+      .expect("tool");
+  m->extract_task("job", "merged").expect("extract");
+  m->bind("job", "seed", "s").expect("bind");
+  m->bind("job", "t", "t1").expect("bind");
+  m->estimator().set_intuition("Left", cal::WorkDuration::hours(left_h));
+  m->estimator().set_intuition("Right", cal::WorkDuration::hours(right_h));
+  m->estimator().set_intuition("Merge", cal::WorkDuration::hours(8));
+  return m;
+}
+
+TEST(Risk, Validation) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  RiskOptions bad;
+  bad.samples = 0;
+  EXPECT_FALSE(analyze_risk(m->schedule_space(), m->db(), plan, bad).ok());
+}
+
+TEST(Risk, DeterministicForASeed) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  RiskOptions opt;
+  opt.samples = 200;
+  auto a = analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+  auto b = analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+  EXPECT_EQ(a.p50_finish, b.p50_finish);
+  EXPECT_EQ(a.p90_finish, b.p90_finish);
+  EXPECT_EQ(a.activities[0].criticality, b.activities[0].criticality);
+}
+
+TEST(Risk, PercentilesAreOrdered) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+  EXPECT_LE(report.p50_finish, report.p90_finish);
+  EXPECT_GT(report.p90_finish.minutes_since_epoch(), 0);
+  EXPECT_GE(report.on_time_probability, 0.0);
+  EXPECT_LE(report.on_time_probability, 1.0);
+}
+
+TEST(Risk, ChainIsAlwaysCritical) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+  for (const auto& a : report.activities)
+    EXPECT_DOUBLE_EQ(a.criticality, 1.0) << a.activity;
+}
+
+TEST(Risk, CriticalityIndexReflectsCompetition) {
+  // Left 20h vs Right 4h: with +-30% spread Right virtually never wins, so
+  // Left's criticality ~1 and Right's ~0.  With near-equal branches both
+  // sit near the middle.
+  {
+    auto m = diamond_manager(20, 4);
+    auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+    auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+    double left = 0, right = 0;
+    for (const auto& a : report.activities) {
+      if (a.activity == "Left") left = a.criticality;
+      if (a.activity == "Right") right = a.criticality;
+    }
+    EXPECT_GT(left, 0.95);
+    EXPECT_LT(right, 0.05);
+  }
+  {
+    auto m = diamond_manager(10, 10);
+    auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+    auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+    double left = 0, right = 0;
+    for (const auto& a : report.activities) {
+      if (a.activity == "Left") left = a.criticality;
+      if (a.activity == "Right") right = a.criticality;
+    }
+    EXPECT_NEAR(left, 0.5, 0.15);
+    EXPECT_NEAR(right, 0.5, 0.15);
+    // Merge is always critical.
+    EXPECT_DOUBLE_EQ(report.activities.back().criticality, 1.0);
+  }
+}
+
+TEST(Risk, BootstrapUsesMeasuredHistory) {
+  // Execute the chain several times so every activity has >= 2 runs; the
+  // bootstrap then samples exactly the observed durations (no noise), so
+  // with a constant tool time the distribution collapses to a point.
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();
+  m->execute_task("chip", "carol").value();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now(),
+                                    .strategy = EstimateStrategy::kLast})
+                  .value();
+  auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+  EXPECT_EQ(report.p50_finish, report.p90_finish);
+  EXPECT_EQ(report.p50_finish, report.deterministic_finish);
+  EXPECT_DOUBLE_EQ(report.on_time_probability, 1.0);
+}
+
+TEST(Risk, CompletedActivitiesAreFixed) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+  // The completed activity reports zero criticality (it carries no risk)
+  // and its mean duration equals its actual duration.
+  EXPECT_DOUBLE_EQ(report.activities[0].criticality, 0.0);
+  EXPECT_EQ(report.activities[0].mean_duration.count_minutes(), 10 * 60);
+}
+
+TEST(Risk, RenderContainsSummaryAndRows) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto report = analyze_risk(m->schedule_space(), m->db(), plan).take();
+  std::string text = report.render(m->calendar());
+  for (const char* needle :
+       {"Schedule risk", "P50", "P90", "criticality", "Synthesize", "%"})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+}  // namespace
+}  // namespace herc::sched

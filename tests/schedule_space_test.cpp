@@ -1,0 +1,143 @@
+// Unit tests for the Level-3 schedule space (plans, nodes, deps, links).
+
+#include <gtest/gtest.h>
+
+#include "core/schedule_space.hpp"
+#include "metadata/database.hpp"
+
+namespace herc::sched {
+namespace {
+
+schema::TaskSchema circuit_schema() {
+  return schema::parse_schema(R"(
+    schema circuit {
+      data netlist, stimuli, performance;
+      tool netlist_editor, simulator;
+      rule Create:   netlist     <- netlist_editor();
+      rule Simulate: performance <- simulator(netlist, stimuli);
+    }
+  )").take();
+}
+
+class ScheduleSpaceTest : public ::testing::Test {
+ protected:
+  ScheduleSpaceTest() : schema_(circuit_schema()), db_(schema_) {}
+
+  ScheduleRunId make_plan(const std::string& name = "p",
+                          ScheduleRunId from = ScheduleRunId::invalid()) {
+    return space_.create_plan(name, cal::WorkInstant(0), from);
+  }
+
+  schema::TaskSchema schema_;
+  meta::Database db_;
+  ScheduleSpace space_;
+};
+
+TEST_F(ScheduleSpaceTest, PlanCreationAndLookup) {
+  auto p = make_plan("adder");
+  EXPECT_EQ(space_.plan(p).name, "adder");
+  EXPECT_EQ(space_.plan(p).status, PlanStatus::kActive);
+  EXPECT_EQ(space_.active_plan().value(), p);
+  EXPECT_THROW(space_.plan(ScheduleRunId{99}), std::out_of_range);
+}
+
+TEST_F(ScheduleSpaceTest, DerivedPlanSupersedesPrevious) {
+  auto p1 = make_plan("v1");
+  auto p2 = make_plan("v2", p1);
+  EXPECT_EQ(space_.plan(p1).status, PlanStatus::kSuperseded);
+  EXPECT_EQ(space_.plan(p2).status, PlanStatus::kActive);
+  EXPECT_EQ(space_.plan(p2).derived_from, p1);
+  EXPECT_EQ(space_.active_plan().value(), p2);
+}
+
+TEST_F(ScheduleSpaceTest, LineageWalksAncestry) {
+  auto p1 = make_plan("v1");
+  auto p2 = make_plan("v2", p1);
+  auto p3 = make_plan("v3", p2);
+  auto lineage = space_.lineage(p3);
+  ASSERT_EQ(lineage.size(), 3u);
+  EXPECT_EQ(lineage[0], p3);
+  EXPECT_EQ(lineage[1], p2);
+  EXPECT_EQ(lineage[2], p1);
+  EXPECT_EQ(space_.lineage(p1).size(), 1u);
+}
+
+TEST_F(ScheduleSpaceTest, NodeVersionsCountPerActivityAcrossPlans) {
+  auto p1 = make_plan();
+  auto rule = schema_.find_rule_by_activity("Create").value();
+  auto n1 = space_.create_node(p1, "Create", rule);
+  auto p2 = make_plan("p2", p1);
+  auto n2 = space_.create_node(p2, "Create", rule);
+  EXPECT_EQ(space_.node(n1).version, 1);  // SC1
+  EXPECT_EQ(space_.node(n2).version, 2);  // SC2, as in paper Fig. 5
+  auto container = space_.container("Create");
+  ASSERT_EQ(container.size(), 2u);
+  EXPECT_EQ(container[0], n1);
+  EXPECT_EQ(container[1], n2);
+  EXPECT_TRUE(space_.container("Simulate").empty());
+}
+
+TEST_F(ScheduleSpaceTest, NodeInPlanFindsByActivity) {
+  auto p = make_plan();
+  auto rule = schema_.find_rule_by_activity("Create").value();
+  auto n = space_.create_node(p, "Create", rule);
+  EXPECT_EQ(space_.node_in_plan(p, "Create").value(), n);
+  EXPECT_FALSE(space_.node_in_plan(p, "Simulate").has_value());
+}
+
+TEST_F(ScheduleSpaceTest, DepsWithinOnePlanOnly) {
+  auto p1 = make_plan();
+  auto p2 = make_plan("other");
+  auto rule = schema_.find_rule_by_activity("Create").value();
+  auto a = space_.create_node(p1, "Create", rule);
+  auto b = space_.create_node(p2, "Create", rule);
+  EXPECT_THROW(space_.add_dep(p1, a, b), std::logic_error);
+  auto c = space_.create_node(p1, "Simulate",
+                              schema_.find_rule_by_activity("Simulate").value());
+  space_.add_dep(p1, a, c);
+  ASSERT_EQ(space_.plan(p1).deps.size(), 1u);
+  EXPECT_EQ(space_.plan(p1).deps[0].from, a);
+}
+
+TEST_F(ScheduleSpaceTest, LinksAreUniquePerNode) {
+  auto p = make_plan();
+  auto n = space_.create_node(p, "Create",
+                              schema_.find_rule_by_activity("Create").value());
+  auto inst = db_.create_instance("netlist", "x", meta::RunId::invalid(),
+                                  util::DataObjectId{}, cal::WorkInstant(0))
+                  .value();
+  auto l = space_.add_link(n, inst, cal::WorkInstant(10));
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(space_.link_of(n).value(), l.value());
+  // Double-link rejected.
+  EXPECT_FALSE(space_.add_link(n, inst, cal::WorkInstant(11)).ok());
+  // Bad arguments rejected.
+  EXPECT_FALSE(space_.add_link(ScheduleNodeId{77}, inst, cal::WorkInstant(0)).ok());
+  EXPECT_FALSE(space_.add_link(n, meta::EntityInstanceId{}, cal::WorkInstant(0)).ok());
+}
+
+TEST_F(ScheduleSpaceTest, DumpShowsInstancesAndLinks) {
+  auto p = make_plan("adder");
+  auto n = space_.create_node(p, "Create",
+                              schema_.find_rule_by_activity("Create").value());
+  auto inst = db_.create_instance("netlist", "x", meta::RunId::invalid(),
+                                  util::DataObjectId{}, cal::WorkInstant(0))
+                  .value();
+  space_.add_link(n, inst, cal::WorkInstant(5)).value();
+  std::string d = space_.dump_containers(db_);
+  EXPECT_NE(d.find("SC1 [Create]"), std::string::npos);
+  EXPECT_NE(d.find("linked to"), std::string::npos);
+  EXPECT_NE(d.find("[Simulate] (empty)"), std::string::npos);
+}
+
+TEST_F(ScheduleSpaceTest, NodeStrShowsVersionAndCompletion) {
+  auto p = make_plan();
+  auto n = space_.create_node(p, "Create",
+                              schema_.find_rule_by_activity("Create").value());
+  EXPECT_EQ(space_.node(n).str().substr(0, 3), "SC1");
+  space_.node_mut(n).completed = true;
+  EXPECT_NE(space_.node(n).str().find("(done)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::sched

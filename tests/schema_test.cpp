@@ -1,0 +1,249 @@
+// Unit tests for the Level-1 task schema and its DSL parser.
+
+#include <gtest/gtest.h>
+
+#include "schema/schema.hpp"
+
+namespace herc::schema {
+namespace {
+
+TaskSchema circuit_schema() {
+  TaskSchema s("circuit");
+  s.add_type("netlist", EntityKind::kData).value();
+  s.add_type("stimuli", EntityKind::kData).value();
+  s.add_type("performance", EntityKind::kData).value();
+  s.add_type("netlist_editor", EntityKind::kTool).value();
+  s.add_type("simulator", EntityKind::kTool).value();
+  s.add_rule("Create", "netlist", "netlist_editor", {}).value();
+  s.add_rule("Simulate", "performance", "simulator", {"netlist", "stimuli"}).value();
+  return s;
+}
+
+TEST(TaskSchema, TypeRegistration) {
+  TaskSchema s;
+  auto id = s.add_type("netlist", EntityKind::kData);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(s.type(id.value()).name, "netlist");
+  EXPECT_EQ(s.type(id.value()).kind, EntityKind::kData);
+  EXPECT_TRUE(s.find_type("netlist").has_value());
+  EXPECT_FALSE(s.find_type("zz").has_value());
+}
+
+TEST(TaskSchema, DuplicateTypeRejected) {
+  TaskSchema s;
+  s.add_type("x", EntityKind::kData).value();
+  auto dup = s.add_type("x", EntityKind::kTool);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, util::Error::Code::kConflict);
+}
+
+TEST(TaskSchema, BadTypeNameRejected) {
+  TaskSchema s;
+  EXPECT_FALSE(s.add_type("1abc", EntityKind::kData).ok());
+  EXPECT_FALSE(s.add_type("", EntityKind::kData).ok());
+  EXPECT_FALSE(s.add_type("a b", EntityKind::kData).ok());
+}
+
+TEST(TaskSchema, RuleKindChecking) {
+  TaskSchema s;
+  s.add_type("d", EntityKind::kData).value();
+  s.add_type("t", EntityKind::kTool).value();
+  // output must be data
+  EXPECT_FALSE(s.add_rule("A", "t", "t", {}).ok());
+  // tool must be tool
+  EXPECT_FALSE(s.add_rule("A", "d", "d", {}).ok());
+  // inputs must be data
+  s.add_type("d2", EntityKind::kData).value();
+  EXPECT_FALSE(s.add_rule("A", "d2", "t", {"t"}).ok());
+  // unknown names
+  EXPECT_FALSE(s.add_rule("A", "nope", "t", {}).ok());
+  EXPECT_FALSE(s.add_rule("A", "d", "nope", {}).ok());
+  EXPECT_FALSE(s.add_rule("A", "d", "t", {"nope"}).ok());
+}
+
+TEST(TaskSchema, OneProducerPerDataType) {
+  TaskSchema s;
+  s.add_type("d", EntityKind::kData).value();
+  s.add_type("t", EntityKind::kTool).value();
+  s.add_rule("A", "d", "t", {}).value();
+  auto second = s.add_rule("B", "d", "t", {});
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, util::Error::Code::kConflict);
+}
+
+TEST(TaskSchema, DuplicateActivityRejected) {
+  TaskSchema s;
+  s.add_type("d", EntityKind::kData).value();
+  s.add_type("e", EntityKind::kData).value();
+  s.add_type("t", EntityKind::kTool).value();
+  s.add_rule("A", "d", "t", {}).value();
+  EXPECT_FALSE(s.add_rule("A", "e", "t", {}).ok());
+}
+
+TEST(TaskSchema, PrimaryInputsAndOutputs) {
+  auto s = circuit_schema();
+  auto inputs = s.primary_inputs();
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(s.type(inputs[0]).name, "stimuli");
+  auto outputs = s.primary_outputs();
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(s.type(outputs[0]).name, "performance");
+}
+
+TEST(TaskSchema, ProducerLookup) {
+  auto s = circuit_schema();
+  auto netlist = s.find_type("netlist").value();
+  auto producer = s.producer_of(netlist);
+  ASSERT_TRUE(producer.has_value());
+  EXPECT_EQ(s.rule(*producer).activity, "Create");
+  EXPECT_FALSE(s.producer_of(s.find_type("stimuli").value()).has_value());
+}
+
+TEST(TaskSchema, ValidateAcceptsDag) {
+  EXPECT_TRUE(circuit_schema().validate().ok());
+}
+
+TEST(TaskSchema, ValidateRejectsCycle) {
+  TaskSchema s;
+  s.add_type("a", EntityKind::kData).value();
+  s.add_type("b", EntityKind::kData).value();
+  s.add_type("t", EntityKind::kTool).value();
+  s.add_rule("MakeA", "a", "t", {"b"}).value();
+  s.add_rule("MakeB", "b", "t", {"a"}).value();
+  auto status = s.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("MakeA"), std::string::npos);
+  EXPECT_NE(status.error().message.find("MakeB"), std::string::npos);
+}
+
+// --- DSL parser ----------------------------------------------------------
+
+constexpr const char* kDsl = R"(
+# the paper's example schema
+schema circuit {
+  data netlist, stimuli, performance;
+  tool netlist_editor;
+  tool simulator;
+  rule Create:   netlist     <- netlist_editor();   // no inputs
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+TEST(SchemaParser, ParsesTheCircuitSchema) {
+  auto s = parse_schema(kDsl);
+  ASSERT_TRUE(s.ok()) << s.error().str();
+  const auto& schema = s.value();
+  EXPECT_EQ(schema.name(), "circuit");
+  EXPECT_EQ(schema.types().size(), 5u);
+  EXPECT_EQ(schema.rules().size(), 2u);
+  auto rule = schema.rule(schema.find_rule_by_activity("Simulate").value());
+  EXPECT_EQ(rule.inputs.size(), 2u);
+  EXPECT_EQ(schema.type(rule.output).name, "performance");
+  EXPECT_EQ(schema.type(rule.tool).name, "simulator");
+}
+
+TEST(SchemaParser, RoundTripsThroughDsl) {
+  auto first = parse_schema(kDsl);
+  ASSERT_TRUE(first.ok());
+  std::string emitted = first.value().to_dsl();
+  auto second = parse_schema(emitted);
+  ASSERT_TRUE(second.ok()) << second.error().str() << "\n" << emitted;
+  EXPECT_EQ(second.value().to_dsl(), emitted);  // fixed point
+}
+
+struct BadDslCase {
+  const char* name;
+  const char* text;
+};
+
+class SchemaParserErrors : public ::testing::TestWithParam<BadDslCase> {};
+
+TEST_P(SchemaParserErrors, Rejected) {
+  auto result = parse_schema(GetParam().text);
+  EXPECT_FALSE(result.ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SchemaParserErrors,
+    ::testing::Values(
+        BadDslCase{"no_schema_keyword", "circuit { data x; }"},
+        BadDslCase{"missing_brace", "schema c { data x;"},
+        BadDslCase{"missing_semicolon", "schema c { data x }"},
+        BadDslCase{"bad_arrow", "schema c { data x; tool t; rule A: x -> t(); }"},
+        BadDslCase{"unknown_type_in_rule",
+                   "schema c { data x; tool t; rule A: y <- t(); }"},
+        BadDslCase{"cycle", "schema c { data a, b; tool t; rule A: a <- t(b); "
+                            "rule B: b <- t(a); }"},
+        BadDslCase{"trailing_garbage", "schema c { data x; } extra"},
+        BadDslCase{"stray_character", "schema c { data x; $ }"},
+        BadDslCase{"rule_without_paren",
+                   "schema c { data x; tool t; rule A: x <- t; }"}),
+    [](const ::testing::TestParamInfo<BadDslCase>& info) { return info.param.name; });
+
+TEST(SchemaParser, EstimateAttributes) {
+  auto s = parse_schema(R"(
+    schema est {
+      data a, b;
+      tool t;
+      rule MakeA: a <- t() [est 2d 4h];
+      rule MakeB: b <- t(a);
+    }
+  )");
+  ASSERT_TRUE(s.ok()) << s.error().str();
+  const auto& schema = s.value();
+  EXPECT_EQ(schema.rule(schema.find_rule_by_activity("MakeA").value()).default_estimate,
+            "2d 4h");
+  EXPECT_TRUE(
+      schema.rule(schema.find_rule_by_activity("MakeB").value()).default_estimate.empty());
+  // The attribute survives DSL round trips.
+  auto again = parse_schema(schema.to_dsl());
+  ASSERT_TRUE(again.ok()) << schema.to_dsl();
+  EXPECT_EQ(again.value().to_dsl(), schema.to_dsl());
+}
+
+TEST(SchemaParser, EstimateAttributeErrors) {
+  EXPECT_FALSE(parse_schema(
+      "schema x { data a; tool t; rule A: a <- t() [est]; }").ok());
+  EXPECT_FALSE(parse_schema(
+      "schema x { data a; tool t; rule A: a <- t() [foo 2d]; }").ok());
+  EXPECT_FALSE(parse_schema(
+      "schema x { data a; tool t; rule A: a <- t() [est 2d; }").ok());
+}
+
+TEST(SchemaLint, FlagsSmells) {
+  auto s = parse_schema(R"(
+    schema smelly {
+      data used_in, produced, orphan_data, second_output;
+      tool used_tool, orphan_tool;
+      rule Make:  produced      <- used_tool(used_in);
+      rule Other: second_output <- used_tool(used_in);
+    }
+  )").take();
+  auto warnings = s.lint();
+  ASSERT_EQ(warnings.size(), 3u);
+  bool orphan_tool = false, orphan_data = false, many_outputs = false;
+  for (const auto& w : warnings) {
+    orphan_tool |= w.find("orphan_tool") != std::string::npos;
+    orphan_data |= w.find("orphan_data") != std::string::npos;
+    many_outputs |= w.find("primary outputs") != std::string::npos;
+  }
+  EXPECT_TRUE(orphan_tool);
+  EXPECT_TRUE(orphan_data);
+  EXPECT_TRUE(many_outputs);
+}
+
+TEST(SchemaLint, CleanSchemaHasNoWarnings) {
+  auto s = parse_schema(kDsl).take();
+  EXPECT_TRUE(s.lint().empty());
+}
+
+TEST(SchemaParser, DescribeMentionsEverything) {
+  auto s = parse_schema(kDsl).take();
+  std::string d = s.describe();
+  for (const char* needle : {"netlist", "stimuli", "performance", "Create", "Simulate",
+                             "primary inputs", "primary outputs"})
+    EXPECT_NE(d.find(needle), std::string::npos) << needle;
+}
+
+}  // namespace
+}  // namespace herc::schema

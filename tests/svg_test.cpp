@@ -1,0 +1,108 @@
+// Unit tests for the SVG Gantt renderer.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "gantt/svg.hpp"
+
+namespace herc::gantt {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+class SvgTest : public ::testing::Test {
+ protected:
+  SvgTest() : m_(test::make_asic_manager()) {
+    plan_ = m_->plan_task("chip", {.anchor = m_->clock().now()}).value();
+  }
+  std::unique_ptr<hercules::WorkflowManager> m_;
+  sched::ScheduleRunId plan_;
+};
+
+TEST_F(SvgTest, WellFormedDocument) {
+  auto svg = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                              m_->clock().now());
+  EXPECT_EQ(svg.rfind("<svg xmlns=\"http://www.w3.org/2000/svg\"", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Every opened tag category is self-closing or closed.
+  EXPECT_EQ(count_occurrences(svg, "<svg"), count_occurrences(svg, "</svg>"));
+  EXPECT_EQ(count_occurrences(svg, "<text"), count_occurrences(svg, "</text>"));
+  std::size_t rects = count_occurrences(svg, "<rect");
+  EXPECT_EQ(count_occurrences(svg, "/>") + count_occurrences(svg, "</text>") +
+                count_occurrences(svg, "</svg>"),
+            rects + count_occurrences(svg, "<line") + count_occurrences(svg, "<text") +
+                1);
+}
+
+TEST_F(SvgTest, OneLabelPerActivity) {
+  auto svg = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                              m_->clock().now());
+  for (const char* a : {"Synthesize", "Place", "Route"})
+    EXPECT_EQ(count_occurrences(svg, ">" + std::string(a)), 1u) << a;
+}
+
+TEST_F(SvgTest, FreshPlanHasNoActualBars) {
+  auto svg = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                              m_->clock().now());
+  // Green actual fill appears only in the legend swatch.
+  EXPECT_EQ(count_occurrences(svg, "#2f9e44"), 1u);
+  // Blue projection bars: one per activity (+1 legend swatch).
+  EXPECT_EQ(count_occurrences(svg, "#5b8ff9"), 4u);
+}
+
+TEST_F(SvgTest, ActualBarsAppearAfterExecution) {
+  m_->run_activity("chip", "Synthesize", "carol").value();
+  m_->link_completion("chip", "Synthesize").expect("link");
+  auto svg = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                              m_->clock().now());
+  EXPECT_EQ(count_occurrences(svg, "#2f9e44"), 2u);  // one bar + legend
+}
+
+TEST_F(SvgTest, CriticalBarsGetOutline) {
+  auto svg = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                              m_->clock().now());
+  // The chain is fully critical: 3 outlined bars (legend draws its own line).
+  EXPECT_GE(count_occurrences(svg, "#d6336c"), 3u);
+}
+
+TEST_F(SvgTest, OptionsRespected) {
+  SvgOptions opt;
+  opt.show_legend = false;
+  opt.show_grid = false;
+  auto svg = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                              m_->clock().now(), opt);
+  EXPECT_EQ(svg.find("legend"), std::string::npos);
+  EXPECT_EQ(count_occurrences(svg, "#e9ecef"), 0u);  // no grid lines
+  EXPECT_EQ(count_occurrences(svg, "baseline"), 0u);
+}
+
+TEST_F(SvgTest, DeterministicOutput) {
+  auto a = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                            m_->clock().now());
+  auto b = render_gantt_svg(m_->schedule_space(), m_->calendar(), plan_,
+                            m_->clock().now());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SvgTest, EscapesActivityNames) {
+  // Schema identifiers cannot contain '<', but plan names can come from
+  // anywhere; the header text must be escaped.
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->extract_task("a<b", "performance").expect("extract");
+  m->estimator().set_fallback(cal::WorkDuration::hours(4));
+  auto plan = m->plan_task("a<b", {.anchor = m->clock().now()}).value();
+  auto svg = render_gantt_svg(m->schedule_space(), m->calendar(), plan,
+                              m->clock().now());
+  EXPECT_NE(svg.find("a&lt;b"), std::string::npos);
+  EXPECT_EQ(svg.find("Gantt: a<b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace herc::gantt

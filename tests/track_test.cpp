@@ -1,0 +1,153 @@
+// Unit tests for status reporting and earned-value metrics.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "track/status.hpp"
+
+namespace herc::track {
+namespace {
+
+TEST(Status, StatesFollowLifecycle) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+
+  auto states_now = [&]() {
+    std::vector<ActivityState> out;
+    for (const auto& row :
+         activity_status(m->schedule_space(), m->db(), plan, m->clock().now()))
+      out.push_back(row.state);
+    return out;
+  };
+
+  // Nothing ran yet.
+  auto s0 = states_now();
+  for (auto s : s0) EXPECT_EQ(s, ActivityState::kNotStarted);
+
+  // Synthesize runs but is not linked -> in progress.
+  m->run_activity("chip", "Synthesize", "carol").value();
+  auto s1 = states_now();
+  EXPECT_EQ(s1[0], ActivityState::kInProgress);
+  EXPECT_EQ(s1[1], ActivityState::kNotStarted);
+
+  // Linking completes it.
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto s2 = states_now();
+  EXPECT_EQ(s2[0], ActivityState::kComplete);
+}
+
+TEST(Status, FinishVarianceSigns) {
+  auto m = test::make_asic_manager();
+  // Synthesize estimated 12h, tool takes 10h -> negative (early) variance.
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto rows = activity_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  EXPECT_EQ(rows[0].finish_variance.count_minutes(), -2 * 60);
+  EXPECT_EQ(rows[0].runs, 1);
+}
+
+TEST(Status, ProjectRollupCountsAndSlip) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // Procrastinate a day to force a slip, then run Synthesize.
+  m->clock().advance(cal::WorkDuration::hours(8));
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+
+  auto p = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  EXPECT_EQ(p.total_activities, 3);
+  EXPECT_EQ(p.completed, 1);
+  EXPECT_EQ(p.not_started, 2);
+  EXPECT_GT(p.schedule_variance.count_minutes(), 0);  // slipped
+  EXPECT_GT(p.projected_finish, p.baseline_finish);
+}
+
+TEST(Status, EarnedValueBehindScheduleMeansSpiBelowOne) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // Let the whole baseline window pass without doing anything.
+  m->clock().advance(cal::WorkDuration::hours(60));
+  m->run_activity("chip", "Synthesize", "carol").value();  // triggers re-projection
+  auto p = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  EXPECT_GT(p.bcws, 0.0);
+  EXPECT_LT(p.spi, 1.0);
+}
+
+TEST(Status, EarnedValueOnPlanEqualsOne) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto p0 = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  // At t=0 nothing is scheduled and nothing done: SPI defined as 1.
+  EXPECT_DOUBLE_EQ(p0.spi, 1.0);
+  EXPECT_DOUBLE_EQ(p0.bcws, 0.0);
+}
+
+TEST(Status, InProgressEarnsLinearly) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();  // 10h elapsed
+  auto p = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  // Synthesize (est 12h = 720min) started at 0, now = 600 -> earned 600.
+  EXPECT_DOUBLE_EQ(p.bcwp, 600.0);
+}
+
+TEST(Status, ReportRendersAllSections) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  std::string report = render_status_report(m->schedule_space(), m->db(),
+                                            m->calendar(), plan, m->clock().now());
+  for (const char* needle :
+       {"Synthesize", "Place", "Route", "complete", "not-started", "baseline finish",
+        "projected finish", "earned value", "SPI"})
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+}
+
+TEST(Status, DeadlineMarginReported) {
+  auto m = test::make_asic_manager();
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.deadline = cal::WorkInstant(60 * 60);  // 60h deadline vs 52h projection
+  auto plan = m->plan_task("chip", req).value();
+  auto p = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  ASSERT_TRUE(p.deadline.has_value());
+  EXPECT_EQ(p.deadline_margin->count_minutes(), 8 * 60);
+  std::string report = render_status_report(m->schedule_space(), m->db(),
+                                            m->calendar(), plan, m->clock().now());
+  EXPECT_NE(report.find("deadline:"), std::string::npos);
+  EXPECT_NE(report.find("margin:"), std::string::npos);
+}
+
+TEST(Status, DeadlineMissReported) {
+  auto m = test::make_asic_manager();
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.deadline = cal::WorkInstant(40 * 60);  // 40h deadline vs 52h projection
+  auto plan = m->plan_task("chip", req).value();
+  auto p = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  EXPECT_EQ(p.deadline_margin->count_minutes(), -12 * 60);
+  std::string report = render_status_report(m->schedule_space(), m->db(),
+                                            m->calendar(), plan, m->clock().now());
+  EXPECT_NE(report.find("MISSING BY"), std::string::npos);
+}
+
+TEST(Status, NoDeadlineNoLine) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto p = project_status(m->schedule_space(), m->db(), plan, m->clock().now());
+  EXPECT_FALSE(p.deadline.has_value());
+  std::string report = render_status_report(m->schedule_space(), m->db(),
+                                            m->calendar(), plan, m->clock().now());
+  EXPECT_EQ(report.find("deadline:"), std::string::npos);
+}
+
+TEST(Status, StateNames) {
+  EXPECT_STREQ(activity_state_name(ActivityState::kNotStarted), "not-started");
+  EXPECT_STREQ(activity_state_name(ActivityState::kInProgress), "in-progress");
+  EXPECT_STREQ(activity_state_name(ActivityState::kComplete), "complete");
+}
+
+}  // namespace
+}  // namespace herc::track

@@ -1,0 +1,199 @@
+// Unit tests for the ScheduleTracker: automatic actuals, links, slips.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/tracker.hpp"
+
+namespace herc::sched {
+namespace {
+
+TEST(Tracker, FirstRunStampsActualStart) {
+  auto m = test::make_circuit_manager();
+  auto plan = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  const auto& space = m->schedule_space();
+  auto create = space.node(space.node_in_plan(plan, "Create").value());
+  ASSERT_TRUE(create.actual_start.has_value());
+  EXPECT_EQ(create.actual_start->minutes_since_epoch(), 0);
+  // Not yet linked -> not complete, no actual finish.
+  EXPECT_FALSE(create.completed);
+  EXPECT_FALSE(create.actual_finish.has_value());
+}
+
+TEST(Tracker, IterationDoesNotMoveActualStart) {
+  auto m = test::make_circuit_manager();
+  auto plan = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  auto first_start = m->schedule_space()
+                         .node(m->schedule_space().node_in_plan(plan, "Simulate").value())
+                         .actual_start;
+  m->run_activity("adder", "Simulate", "bob").value();
+  auto after = m->schedule_space()
+                   .node(m->schedule_space().node_in_plan(plan, "Simulate").value())
+                   .actual_start;
+  EXPECT_EQ(first_start, after);
+}
+
+TEST(Tracker, LinkCompletionStampsActualsFromRun) {
+  auto m = test::make_circuit_manager();
+  auto plan = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  m->link_completion("adder", "Create").expect("link");
+  const auto& space = m->schedule_space();
+  auto create = space.node(space.node_in_plan(plan, "Create").value());
+  EXPECT_TRUE(create.completed);
+  ASSERT_TRUE(create.actual_finish.has_value());
+  EXPECT_EQ(create.actual_finish->minutes_since_epoch(), 14 * 60);  // editor ran 14h
+  // The link row exists and points at the netlist instance.
+  auto link_id = space.link_of(create.id);
+  ASSERT_TRUE(link_id.has_value());
+  const auto& link = space.links()[link_id->value() - 1];
+  EXPECT_EQ(m->db().instance(link.entity_instance).type_name, "netlist");
+}
+
+TEST(Tracker, LinkErrors) {
+  auto m = test::make_circuit_manager();
+  // No plan yet.
+  EXPECT_FALSE(m->link_completion("adder", "Create").ok());
+  auto plan = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  (void)plan;
+  // No completed run yet.
+  EXPECT_FALSE(m->link_completion("adder", "Create").ok());
+  m->execute_task("adder", "alice").value();
+  // Unknown activity.
+  EXPECT_FALSE(m->link_completion("adder", "NoSuch").ok());
+  // Double link.
+  m->link_completion("adder", "Create").expect("link");
+  EXPECT_FALSE(m->link_completion("adder", "Create").ok());
+}
+
+TEST(Tracker, SlipPropagatesToSuccessors) {
+  // Estimates: Synthesize 12h, Place 16h, Route 24h.  Force Synthesize to
+  // take much longer by idling the clock before executing it.
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  const auto& space = m->schedule_space();
+
+  auto baseline_route_finish =
+      space.node(space.node_in_plan(plan, "Route").value()).baseline_finish;
+
+  // Designer procrastinates 3 days (1440 min), then synthesizes (10h tool).
+  m->clock().advance(cal::WorkDuration::hours(24));
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+
+  auto route = space.node(space.node_in_plan(plan, "Route").value());
+  // Route's projection slipped past its baseline.
+  EXPECT_GT(route.planned_finish, baseline_route_finish);
+  // But the baseline itself never moved.
+  EXPECT_EQ(route.baseline_finish, baseline_route_finish);
+  // Successor can't start before its predecessor's projection.
+  auto place = space.node(space.node_in_plan(plan, "Place").value());
+  auto synth = space.node(space.node_in_plan(plan, "Synthesize").value());
+  EXPECT_GE(place.planned_start, *synth.actual_finish);
+  EXPECT_GE(route.planned_start, place.planned_finish);
+}
+
+TEST(Tracker, ProjectionNeverSchedulesBeforeNow) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // Idle five days with no work at all, then poke the tracker via a run of
+  // Synthesize.
+  m->clock().advance(cal::WorkDuration::hours(40));
+  m->run_activity("chip", "Synthesize", "carol").value();
+  const auto& space = m->schedule_space();
+  auto now = m->clock().now();
+  for (auto nid : space.plan(plan).nodes) {
+    const auto& n = space.node(nid);
+    if (!n.completed && !n.actual_start) {
+      EXPECT_GE(n.planned_start, now) << n.activity;
+    }
+  }
+}
+
+TEST(Tracker, InProgressActivityStretchesToNow) {
+  auto m = test::make_circuit_manager();
+  auto plan = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  m->execute_task("adder", "alice").value();
+  // Simulate ran once (in progress, not linked).  Let time pass: its
+  // projection must cover `now`.
+  m->clock().advance(cal::WorkDuration::hours(30));
+  m->run_activity("adder", "Simulate", "bob").value();
+  const auto& space = m->schedule_space();
+  auto sim = space.node(space.node_in_plan(plan, "Simulate").value());
+  EXPECT_GE(sim.planned_finish, cal::WorkInstant(30 * 60));
+}
+
+TEST(Tracker, EarlyFinishPullsScheduleIn) {
+  // If an activity finishes faster than estimated, successors project
+  // earlier than baseline.
+  auto m = test::make_asic_manager();
+  // Estimate Synthesize at 40h but the tool takes 10h.
+  m->estimator().set_intuition("Synthesize", cal::WorkDuration::hours(40));
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  const auto& space = m->schedule_space();
+  auto baseline_place_start =
+      space.node(space.node_in_plan(plan, "Place").value()).baseline_start;
+
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+
+  auto place = space.node(space.node_in_plan(plan, "Place").value());
+  EXPECT_LT(place.planned_start, baseline_place_start);
+}
+
+TEST(Tracker, RunsOfOtherActivitiesIgnored) {
+  // A plan that covers only Route must not react to Synthesize runs.
+  auto m = test::make_asic_manager();
+  m->extract_task("routing", "routed", {"placed"}).expect("extract");
+  m->bind("routing", "placed", "placed").expect("bind");
+  m->bind("routing", "router", "rt").expect("bind");
+  auto plan = m->plan_task("routing", {.anchor = m->clock().now()}).value();
+  // Execute the full chip task (its Synthesize is not in 'routing' plan).
+  m->run_activity("chip", "Synthesize", "carol").value();
+  const auto& space = m->schedule_space();
+  auto route = space.node(space.node_in_plan(plan, "Route").value());
+  EXPECT_FALSE(route.actual_start.has_value());
+}
+
+TEST(Tracker, RunsAttributeToTheExecutedTasksPlan) {
+  // Two tasks instantiate the same schema, so their activities share names;
+  // a run of one task must stamp only that task's plan.
+  auto m = test::make_asic_manager();
+  m->extract_task("chip2", "routed").expect("extract");
+  m->bind("chip2", "rtl", "other.rtl").expect("bind");
+  m->bind("chip2", "constraints", "other.sdc").expect("bind");
+  m->bind("chip2", "synthesizer", "dc").expect("bind");
+  m->bind("chip2", "placer", "pl").expect("bind");
+  m->bind("chip2", "router", "rt").expect("bind");
+
+  auto plan1 = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto plan2 = m->plan_task("chip2", {.anchor = m->clock().now()}).value();
+
+  // Although plan2 was created last (and is therefore "watched"), running
+  // chip's Synthesize must stamp plan1, not plan2.
+  m->run_activity("chip", "Synthesize", "carol").value();
+  const auto& space = m->schedule_space();
+  EXPECT_TRUE(space.node(space.node_in_plan(plan1, "Synthesize").value())
+                  .actual_start.has_value());
+  EXPECT_FALSE(space.node(space.node_in_plan(plan2, "Synthesize").value())
+                   .actual_start.has_value());
+}
+
+TEST(Tracker, WatchedPlanSwitches) {
+  auto m = test::make_circuit_manager();
+  auto p1 = m->plan_task("adder", {.anchor = m->clock().now()}).value();
+  auto p2 = m->replan_task("adder", {.anchor = m->clock().now()}).value();
+  EXPECT_EQ(m->tracker().watched_plan().value(), p2);
+  m->execute_task("adder", "alice").value();
+  const auto& space = m->schedule_space();
+  // Actuals land on the new plan's nodes, not the superseded one's.
+  EXPECT_TRUE(space.node(space.node_in_plan(p2, "Create").value())
+                  .actual_start.has_value());
+  EXPECT_FALSE(space.node(space.node_in_plan(p1, "Create").value())
+                   .actual_start.has_value());
+}
+
+}  // namespace
+}  // namespace herc::sched

@@ -1,0 +1,128 @@
+// Unit tests for resource-utilization reporting.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "track/utilization.hpp"
+
+namespace herc::track {
+namespace {
+
+constexpr const char* kParSchema = R"(
+schema par {
+  data a, b, c;
+  tool t;
+  rule MakeA: a <- t();
+  rule MakeB: b <- t();
+  rule Join:  c <- t(a, b);
+}
+)";
+
+std::unique_ptr<hercules::WorkflowManager> par_manager() {
+  auto m = hercules::WorkflowManager::create(kParSchema).take();
+  m->register_tool({.instance_name = "t1", .tool_type = "t",
+                    .nominal = cal::WorkDuration::hours(4)})
+      .expect("tool");
+  m->extract_task("job", "c").expect("extract");
+  m->bind("job", "t", "t1").expect("bind");
+  m->estimator().set_fallback(cal::WorkDuration::hours(8));
+  return m;
+}
+
+TEST(Utilization, EmptyPlanRejected) {
+  sched::ScheduleSpace space;
+  auto m = par_manager();
+  auto plan = space.create_plan("empty", cal::WorkInstant(0));
+  EXPECT_FALSE(utilization(space, m->db(), plan).ok());
+}
+
+TEST(Utilization, UnassignedPlanShowsIdleResources) {
+  auto m = par_manager();
+  m->add_resource("alice");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  auto report = utilization(m->schedule_space(), m->db(), plan).take();
+  ASSERT_EQ(report.resources.size(), 1u);
+  EXPECT_EQ(report.resources[0].load.count_minutes(), 0);
+  EXPECT_DOUBLE_EQ(report.resources[0].utilization, 0.0);
+  EXPECT_FALSE(report.has_overallocation());
+}
+
+TEST(Utilization, UnleveledDoubleBookingDetected) {
+  auto m = par_manager();
+  auto alice = m->add_resource("alice");
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.assignments["MakeA"] = {alice};
+  req.assignments["MakeB"] = {alice};
+  auto plan = m->plan_task("job", req).value();  // NOT leveled: A and B overlap
+  auto report = utilization(m->schedule_space(), m->db(), plan).take();
+  const auto& a = report.resources[0];
+  EXPECT_EQ(a.intervals.size(), 2u);
+  EXPECT_EQ(a.load.count_minutes(), 16 * 60);  // two 8h bookings
+  EXPECT_EQ(a.busy.count_minutes(), 8 * 60);   // fully overlapping
+  EXPECT_EQ(a.peak_concurrency, 2);
+  EXPECT_TRUE(report.has_overallocation());
+  ASSERT_EQ(a.overallocations.size(), 1u);
+  EXPECT_EQ((a.overallocations[0].finish - a.overallocations[0].start).count_minutes(),
+            8 * 60);
+}
+
+TEST(Utilization, LeveledPlanHasNoOverallocation) {
+  auto m = par_manager();
+  auto alice = m->add_resource("alice");
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.assignments["MakeA"] = {alice};
+  req.assignments["MakeB"] = {alice};
+  req.level_resources = true;
+  auto plan = m->plan_task("job", req).value();
+  auto report = utilization(m->schedule_space(), m->db(), plan).take();
+  const auto& a = report.resources[0];
+  EXPECT_EQ(a.peak_concurrency, 1);
+  EXPECT_FALSE(report.has_overallocation());
+  EXPECT_EQ(a.busy.count_minutes(), 16 * 60);  // serialized
+}
+
+TEST(Utilization, CapacityTwoAbsorbsParallelWork) {
+  auto m = par_manager();
+  auto farm = m->add_resource("farm", "machine", 2);
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.assignments["MakeA"] = {farm};
+  req.assignments["MakeB"] = {farm};
+  auto plan = m->plan_task("job", req).value();
+  auto report = utilization(m->schedule_space(), m->db(), plan).take();
+  EXPECT_EQ(report.resources[0].peak_concurrency, 2);
+  EXPECT_FALSE(report.has_overallocation());
+}
+
+TEST(Utilization, ActualsOverrideProjections) {
+  auto m = test::make_asic_manager();
+  auto carol = m->db().find_resource("carol").value();
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.assignments["Synthesize"] = {carol};
+  auto plan = m->plan_task("chip", req).value();
+  m->run_activity("chip", "Synthesize", "carol").value();  // 10h actual vs 12h est
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto report = utilization(m->schedule_space(), m->db(), plan).take();
+  EXPECT_EQ(report.resources[0].load.count_minutes(), 10 * 60);
+}
+
+TEST(Utilization, RenderShowsBarsAndOverbooking) {
+  auto m = par_manager();
+  auto alice = m->add_resource("alice");
+  sched::PlanRequest req;
+  req.anchor = m->clock().now();
+  req.assignments["MakeA"] = {alice};
+  req.assignments["MakeB"] = {alice};
+  auto plan = m->plan_task("job", req).value();
+  auto report = utilization(m->schedule_space(), m->db(), plan).take();
+  std::string text = report.render(m->calendar());
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  EXPECT_NE(text.find("OVERBOOKED"), std::string::npos);
+  EXPECT_NE(text.find('X'), std::string::npos);  // overlap glyph in the bar
+}
+
+}  // namespace
+}  // namespace herc::track

@@ -1,0 +1,192 @@
+// Unit tests for what-if analysis: delay impact, deadline crash, deadline
+// slack.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+#include "core/whatif.hpp"
+
+namespace herc::sched {
+namespace {
+
+// The ASIC fixture is a pure chain (Synthesize 12h -> Place 16h -> Route
+// 24h); for slack-absorption cases we need parallelism, so build a diamond.
+constexpr const char* kDiamondSchema = R"(
+schema diamond {
+  data seed, left, right, merged;
+  tool t;
+  rule Left:  left   <- t(seed);
+  rule Right: right  <- t(seed);
+  rule Merge: merged <- t(left, right);
+}
+)";
+
+std::unique_ptr<hercules::WorkflowManager> diamond_manager() {
+  auto m = hercules::WorkflowManager::create(kDiamondSchema).take();
+  m->register_tool({.instance_name = "t1", .tool_type = "t",
+                    .nominal = cal::WorkDuration::hours(4)})
+      .expect("tool");
+  m->extract_task("job", "merged").expect("extract");
+  m->bind("job", "seed", "seed.in").expect("bind");
+  m->bind("job", "t", "t1").expect("bind");
+  m->estimator().set_intuition("Left", cal::WorkDuration::hours(20));
+  m->estimator().set_intuition("Right", cal::WorkDuration::hours(4));
+  m->estimator().set_intuition("Merge", cal::WorkDuration::hours(8));
+  return m;
+}
+
+TEST(SimulateDelay, CriticalDelayMovesProject) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  auto impact =
+      simulate_delay(m->schedule_space(), plan, "Place", cal::WorkDuration::hours(8));
+  ASSERT_TRUE(impact.ok()) << impact.error().str();
+  EXPECT_FALSE(impact.value().absorbed);
+  EXPECT_EQ(impact.value().project_slip.count_minutes(), 8 * 60);
+  // Route shifts; Synthesize does not.
+  EXPECT_EQ(impact.value().shifted_activities,
+            (std::vector<std::string>{"Route"}));
+}
+
+TEST(SimulateDelay, SlackAbsorbsNonCriticalDelay) {
+  auto m = diamond_manager();
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  // Right has 16h of slack (Left takes 20h, Right 4h).
+  auto small = simulate_delay(m->schedule_space(), plan, "Right",
+                              cal::WorkDuration::hours(10));
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(small.value().absorbed);
+  EXPECT_EQ(small.value().project_slip.count_minutes(), 0);
+
+  // Beyond the slack it bites.
+  auto big = simulate_delay(m->schedule_space(), plan, "Right",
+                            cal::WorkDuration::hours(20));
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(big.value().absorbed);
+  EXPECT_EQ(big.value().project_slip.count_minutes(), 4 * 60);  // 20 - 16 slack
+}
+
+TEST(SimulateDelay, NeverMutatesThePlan) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  const auto& space = m->schedule_space();
+  auto before = space.node(space.node_in_plan(plan, "Route").value()).planned_finish;
+  simulate_delay(space, plan, "Synthesize", cal::WorkDuration::hours(40)).value();
+  auto after = space.node(space.node_in_plan(plan, "Route").value()).planned_finish;
+  EXPECT_EQ(before, after);
+}
+
+TEST(SimulateDelay, Errors) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  EXPECT_FALSE(simulate_delay(m->schedule_space(), plan, "NoSuch",
+                              cal::WorkDuration::hours(1))
+                   .ok());
+  EXPECT_FALSE(simulate_delay(m->schedule_space(), plan, "Place",
+                              cal::WorkDuration::minutes(-5))
+                   .ok());
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto done = simulate_delay(m->schedule_space(), plan, "Synthesize",
+                             cal::WorkDuration::hours(1));
+  ASSERT_FALSE(done.ok());
+  EXPECT_EQ(done.error().code, util::Error::Code::kConflict);
+}
+
+TEST(SimulateDelay, CompletedPredecessorsStayFixed) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto impact =
+      simulate_delay(m->schedule_space(), plan, "Place", cal::WorkDuration::hours(4));
+  ASSERT_TRUE(impact.ok());
+  // Only Route shifts; the completed Synthesize cannot.
+  EXPECT_EQ(impact.value().shifted_activities, (std::vector<std::string>{"Route"}));
+}
+
+TEST(CrashToDeadline, AlreadyMetNeedsNoSteps) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // Chain is 52h; a 100h deadline is comfortable.
+  auto crash = crash_to_deadline(m->schedule_space(), plan,
+                                 cal::WorkInstant(100 * 60));
+  ASSERT_TRUE(crash.ok());
+  EXPECT_TRUE(crash.value().feasible);
+  EXPECT_TRUE(crash.value().steps.empty());
+  EXPECT_LE(crash.value().shortfall.count_minutes(), 0);
+}
+
+TEST(CrashToDeadline, CutsCriticalActivities) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // 52h chain, 40h deadline: needs 12h of cuts on critical work.
+  auto crash =
+      crash_to_deadline(m->schedule_space(), plan, cal::WorkInstant(40 * 60));
+  ASSERT_TRUE(crash.ok());
+  EXPECT_TRUE(crash.value().feasible);
+  EXPECT_EQ(crash.value().shortfall.count_minutes(), 12 * 60);
+  std::int64_t total_cut = 0;
+  for (const auto& step : crash.value().steps) total_cut += step.reduction.count_minutes();
+  EXPECT_EQ(total_cut, 12 * 60);
+  // Greedy starts with the longest critical activity: Route (24h).
+  EXPECT_EQ(crash.value().steps.front().activity, "Route");
+}
+
+TEST(CrashToDeadline, InfeasiblePastTheFloor) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  // 3 activities, floor 1h each: nothing below 3h is reachable.
+  auto crash = crash_to_deadline(m->schedule_space(), plan, cal::WorkInstant(2 * 60));
+  ASSERT_TRUE(crash.ok());
+  EXPECT_FALSE(crash.value().feasible);
+  EXPECT_FALSE(crash.value().steps.empty());
+}
+
+TEST(CrashToDeadline, FloorValidation) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  EXPECT_FALSE(crash_to_deadline(m->schedule_space(), plan, cal::WorkInstant(100),
+                                 cal::WorkDuration::minutes(0))
+                   .ok());
+}
+
+TEST(DeadlineSlack, MarginDistributes) {
+  auto m = diamond_manager();
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  // Project is 28h (Left 20 + Merge 8); deadline 30h -> margin 2h.
+  auto slack = deadline_slack(m->schedule_space(), plan, cal::WorkInstant(30 * 60));
+  ASSERT_EQ(slack.size(), 3u);
+  for (const auto& row : slack) {
+    if (row.activity == "Left" || row.activity == "Merge") {
+      EXPECT_EQ(row.slack.count_minutes(), 2 * 60) << row.activity;
+    }
+    if (row.activity == "Right") {
+      EXPECT_EQ(row.slack.count_minutes(), (16 + 2) * 60);
+    }
+  }
+}
+
+TEST(DeadlineSlack, NegativeWhenJeopardised) {
+  auto m = diamond_manager();
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  auto slack = deadline_slack(m->schedule_space(), plan, cal::WorkInstant(20 * 60));
+  for (const auto& row : slack) {
+    if (row.activity == "Left") {
+      EXPECT_EQ(row.slack.count_minutes(), -8 * 60);  // 28h vs 20h deadline
+    }
+  }
+}
+
+TEST(DeadlineSlack, CompletedActivitiesExcluded) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  m->run_activity("chip", "Synthesize", "carol").value();
+  m->link_completion("chip", "Synthesize").expect("link");
+  auto slack = deadline_slack(m->schedule_space(), plan, cal::WorkInstant(100 * 60));
+  EXPECT_EQ(slack.size(), 2u);
+  for (const auto& row : slack) EXPECT_NE(row.activity, "Synthesize");
+}
+
+}  // namespace
+}  // namespace herc::sched
