@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slip.dir/bench_ablation_slip.cpp.o"
+  "CMakeFiles/bench_ablation_slip.dir/bench_ablation_slip.cpp.o.d"
+  "bench_ablation_slip"
+  "bench_ablation_slip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_arch_whatif.dir/bench_ext_arch_whatif.cpp.o"
+  "CMakeFiles/bench_ext_arch_whatif.dir/bench_ext_arch_whatif.cpp.o.d"
+  "bench_ext_arch_whatif"
+  "bench_ext_arch_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_arch_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

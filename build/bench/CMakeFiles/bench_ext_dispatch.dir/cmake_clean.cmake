@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dispatch.dir/bench_ext_dispatch.cpp.o"
+  "CMakeFiles/bench_ext_dispatch.dir/bench_ext_dispatch.cpp.o.d"
+  "bench_ext_dispatch"
+  "bench_ext_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

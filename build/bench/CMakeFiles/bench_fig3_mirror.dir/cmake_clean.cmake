@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mirror.dir/bench_fig3_mirror.cpp.o"
+  "CMakeFiles/bench_fig3_mirror.dir/bench_fig3_mirror.cpp.o.d"
+  "bench_fig3_mirror"
+  "bench_fig3_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

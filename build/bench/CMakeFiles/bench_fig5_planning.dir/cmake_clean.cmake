@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_planning.dir/bench_fig5_planning.cpp.o"
+  "CMakeFiles/bench_fig5_planning.dir/bench_fig5_planning.cpp.o.d"
+  "bench_fig5_planning"
+  "bench_fig5_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_completion.dir/bench_fig7_completion.cpp.o"
+  "CMakeFiles/bench_fig7_completion.dir/bench_fig7_completion.cpp.o.d"
+  "bench_fig7_completion"
+  "bench_fig7_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

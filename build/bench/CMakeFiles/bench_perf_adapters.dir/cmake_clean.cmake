@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_adapters.dir/bench_perf_adapters.cpp.o"
+  "CMakeFiles/bench_perf_adapters.dir/bench_perf_adapters.cpp.o.d"
+  "bench_perf_adapters"
+  "bench_perf_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

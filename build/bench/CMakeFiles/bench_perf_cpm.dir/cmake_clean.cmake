@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_cpm.dir/bench_perf_cpm.cpp.o"
+  "CMakeFiles/bench_perf_cpm.dir/bench_perf_cpm.cpp.o.d"
+  "bench_perf_cpm"
+  "bench_perf_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_planner.dir/bench_perf_planner.cpp.o"
+  "CMakeFiles/bench_perf_planner.dir/bench_perf_planner.cpp.o.d"
+  "bench_perf_planner"
+  "bench_perf_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_query.dir/bench_perf_query.cpp.o"
+  "CMakeFiles/bench_perf_query.dir/bench_perf_query.cpp.o.d"
+  "bench_perf_query"
+  "bench_perf_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_shell.dir/herc_shell.cpp.o"
+  "CMakeFiles/herc_shell.dir/herc_shell.cpp.o.d"
+  "herc_shell"
+  "herc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

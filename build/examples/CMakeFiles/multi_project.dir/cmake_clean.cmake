@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_project.dir/multi_project.cpp.o"
+  "CMakeFiles/multi_project.dir/multi_project.cpp.o.d"
+  "multi_project"
+  "multi_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

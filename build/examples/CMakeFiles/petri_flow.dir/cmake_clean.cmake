@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_flow.dir/petri_flow.cpp.o"
+  "CMakeFiles/petri_flow.dir/petri_flow.cpp.o.d"
+  "petri_flow"
+  "petri_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

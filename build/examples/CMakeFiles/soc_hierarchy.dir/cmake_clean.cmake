@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_hierarchy.dir/soc_hierarchy.cpp.o"
+  "CMakeFiles/soc_hierarchy.dir/soc_hierarchy.cpp.o.d"
+  "soc_hierarchy"
+  "soc_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

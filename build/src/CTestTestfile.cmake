@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("calendar")
+subdirs("data")
+subdirs("schema")
+subdirs("flow")
+subdirs("metadata")
+subdirs("exec")
+subdirs("core")
+subdirs("track")
+subdirs("query")
+subdirs("gantt")
+subdirs("adapters")
+subdirs("hercules")
+subdirs("arch")
+subdirs("cli")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapters/four_level.cpp" "src/adapters/CMakeFiles/herc_adapters.dir/four_level.cpp.o" "gcc" "src/adapters/CMakeFiles/herc_adapters.dir/four_level.cpp.o.d"
+  "/root/repo/src/adapters/history.cpp" "src/adapters/CMakeFiles/herc_adapters.dir/history.cpp.o" "gcc" "src/adapters/CMakeFiles/herc_adapters.dir/history.cpp.o.d"
+  "/root/repo/src/adapters/petri.cpp" "src/adapters/CMakeFiles/herc_adapters.dir/petri.cpp.o" "gcc" "src/adapters/CMakeFiles/herc_adapters.dir/petri.cpp.o.d"
+  "/root/repo/src/adapters/roadmap.cpp" "src/adapters/CMakeFiles/herc_adapters.dir/roadmap.cpp.o" "gcc" "src/adapters/CMakeFiles/herc_adapters.dir/roadmap.cpp.o.d"
+  "/root/repo/src/adapters/trace.cpp" "src/adapters/CMakeFiles/herc_adapters.dir/trace.cpp.o" "gcc" "src/adapters/CMakeFiles/herc_adapters.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/herc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/herc_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/herc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/herc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/herc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/calendar/CMakeFiles/herc_calendar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_adapters.dir/four_level.cpp.o"
+  "CMakeFiles/herc_adapters.dir/four_level.cpp.o.d"
+  "CMakeFiles/herc_adapters.dir/history.cpp.o"
+  "CMakeFiles/herc_adapters.dir/history.cpp.o.d"
+  "CMakeFiles/herc_adapters.dir/petri.cpp.o"
+  "CMakeFiles/herc_adapters.dir/petri.cpp.o.d"
+  "CMakeFiles/herc_adapters.dir/roadmap.cpp.o"
+  "CMakeFiles/herc_adapters.dir/roadmap.cpp.o.d"
+  "CMakeFiles/herc_adapters.dir/trace.cpp.o"
+  "CMakeFiles/herc_adapters.dir/trace.cpp.o.d"
+  "libherc_adapters.a"
+  "libherc_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

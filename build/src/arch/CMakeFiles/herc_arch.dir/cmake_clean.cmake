@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_arch.dir/hierarchy.cpp.o"
+  "CMakeFiles/herc_arch.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/herc_arch.dir/rollup.cpp.o"
+  "CMakeFiles/herc_arch.dir/rollup.cpp.o.d"
+  "libherc_arch.a"
+  "libherc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

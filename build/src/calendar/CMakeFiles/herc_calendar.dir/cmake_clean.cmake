@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_calendar.dir/date.cpp.o"
+  "CMakeFiles/herc_calendar.dir/date.cpp.o.d"
+  "CMakeFiles/herc_calendar.dir/work_calendar.cpp.o"
+  "CMakeFiles/herc_calendar.dir/work_calendar.cpp.o.d"
+  "libherc_calendar.a"
+  "libherc_calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

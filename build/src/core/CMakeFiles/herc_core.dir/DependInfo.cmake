@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare.cpp" "src/core/CMakeFiles/herc_core.dir/compare.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/compare.cpp.o.d"
+  "/root/repo/src/core/cpm.cpp" "src/core/CMakeFiles/herc_core.dir/cpm.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/cpm.cpp.o.d"
+  "/root/repo/src/core/estimate.cpp" "src/core/CMakeFiles/herc_core.dir/estimate.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/estimate.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/herc_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/core/CMakeFiles/herc_core.dir/resources.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/resources.cpp.o.d"
+  "/root/repo/src/core/risk.cpp" "src/core/CMakeFiles/herc_core.dir/risk.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/risk.cpp.o.d"
+  "/root/repo/src/core/schedule_space.cpp" "src/core/CMakeFiles/herc_core.dir/schedule_space.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/schedule_space.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/herc_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/whatif.cpp" "src/core/CMakeFiles/herc_core.dir/whatif.cpp.o" "gcc" "src/core/CMakeFiles/herc_core.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metadata/CMakeFiles/herc_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/herc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/calendar/CMakeFiles/herc_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/herc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_core.dir/compare.cpp.o"
+  "CMakeFiles/herc_core.dir/compare.cpp.o.d"
+  "CMakeFiles/herc_core.dir/cpm.cpp.o"
+  "CMakeFiles/herc_core.dir/cpm.cpp.o.d"
+  "CMakeFiles/herc_core.dir/estimate.cpp.o"
+  "CMakeFiles/herc_core.dir/estimate.cpp.o.d"
+  "CMakeFiles/herc_core.dir/planner.cpp.o"
+  "CMakeFiles/herc_core.dir/planner.cpp.o.d"
+  "CMakeFiles/herc_core.dir/resources.cpp.o"
+  "CMakeFiles/herc_core.dir/resources.cpp.o.d"
+  "CMakeFiles/herc_core.dir/risk.cpp.o"
+  "CMakeFiles/herc_core.dir/risk.cpp.o.d"
+  "CMakeFiles/herc_core.dir/schedule_space.cpp.o"
+  "CMakeFiles/herc_core.dir/schedule_space.cpp.o.d"
+  "CMakeFiles/herc_core.dir/tracker.cpp.o"
+  "CMakeFiles/herc_core.dir/tracker.cpp.o.d"
+  "CMakeFiles/herc_core.dir/whatif.cpp.o"
+  "CMakeFiles/herc_core.dir/whatif.cpp.o.d"
+  "libherc_core.a"
+  "libherc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

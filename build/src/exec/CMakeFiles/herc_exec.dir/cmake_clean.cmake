@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_exec.dir/executor.cpp.o"
+  "CMakeFiles/herc_exec.dir/executor.cpp.o.d"
+  "CMakeFiles/herc_exec.dir/tools.cpp.o"
+  "CMakeFiles/herc_exec.dir/tools.cpp.o.d"
+  "libherc_exec.a"
+  "libherc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

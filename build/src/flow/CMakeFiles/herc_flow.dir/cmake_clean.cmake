@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_flow.dir/task_tree.cpp.o"
+  "CMakeFiles/herc_flow.dir/task_tree.cpp.o.d"
+  "libherc_flow.a"
+  "libherc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_gantt.dir/browser.cpp.o"
+  "CMakeFiles/herc_gantt.dir/browser.cpp.o.d"
+  "CMakeFiles/herc_gantt.dir/gantt.cpp.o"
+  "CMakeFiles/herc_gantt.dir/gantt.cpp.o.d"
+  "CMakeFiles/herc_gantt.dir/svg.cpp.o"
+  "CMakeFiles/herc_gantt.dir/svg.cpp.o.d"
+  "libherc_gantt.a"
+  "libherc_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

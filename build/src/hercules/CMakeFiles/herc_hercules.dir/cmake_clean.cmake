@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_hercules.dir/persist.cpp.o"
+  "CMakeFiles/herc_hercules.dir/persist.cpp.o.d"
+  "CMakeFiles/herc_hercules.dir/workflow_manager.cpp.o"
+  "CMakeFiles/herc_hercules.dir/workflow_manager.cpp.o.d"
+  "libherc_hercules.a"
+  "libherc_hercules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_hercules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

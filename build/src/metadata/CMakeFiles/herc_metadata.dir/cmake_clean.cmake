@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_metadata.dir/database.cpp.o"
+  "CMakeFiles/herc_metadata.dir/database.cpp.o.d"
+  "libherc_metadata.a"
+  "libherc_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

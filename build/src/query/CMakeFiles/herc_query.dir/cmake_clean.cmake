@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_query.dir/query_engine.cpp.o"
+  "CMakeFiles/herc_query.dir/query_engine.cpp.o.d"
+  "CMakeFiles/herc_query.dir/query_parser.cpp.o"
+  "CMakeFiles/herc_query.dir/query_parser.cpp.o.d"
+  "libherc_query.a"
+  "libherc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_schema.dir/schema.cpp.o"
+  "CMakeFiles/herc_schema.dir/schema.cpp.o.d"
+  "CMakeFiles/herc_schema.dir/schema_parser.cpp.o"
+  "CMakeFiles/herc_schema.dir/schema_parser.cpp.o.d"
+  "libherc_schema.a"
+  "libherc_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/report.cpp" "src/track/CMakeFiles/herc_track.dir/report.cpp.o" "gcc" "src/track/CMakeFiles/herc_track.dir/report.cpp.o.d"
+  "/root/repo/src/track/status.cpp" "src/track/CMakeFiles/herc_track.dir/status.cpp.o" "gcc" "src/track/CMakeFiles/herc_track.dir/status.cpp.o.d"
+  "/root/repo/src/track/utilization.cpp" "src/track/CMakeFiles/herc_track.dir/utilization.cpp.o" "gcc" "src/track/CMakeFiles/herc_track.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/herc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gantt/CMakeFiles/herc_gantt.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/herc_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/calendar/CMakeFiles/herc_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/herc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/herc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

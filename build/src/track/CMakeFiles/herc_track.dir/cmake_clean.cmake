@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_track.dir/report.cpp.o"
+  "CMakeFiles/herc_track.dir/report.cpp.o.d"
+  "CMakeFiles/herc_track.dir/status.cpp.o"
+  "CMakeFiles/herc_track.dir/status.cpp.o.d"
+  "CMakeFiles/herc_track.dir/utilization.cpp.o"
+  "CMakeFiles/herc_track.dir/utilization.cpp.o.d"
+  "libherc_track.a"
+  "libherc_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/herc_util.dir/json.cpp.o"
+  "CMakeFiles/herc_util.dir/json.cpp.o.d"
+  "CMakeFiles/herc_util.dir/strings.cpp.o"
+  "CMakeFiles/herc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/herc_util.dir/topo.cpp.o"
+  "CMakeFiles/herc_util.dir/topo.cpp.o.d"
+  "libherc_util.a"
+  "libherc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/herc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpm_test.dir/cpm_test.cpp.o"
+  "CMakeFiles/cpm_test.dir/cpm_test.cpp.o.d"
+  "cpm_test"
+  "cpm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hercules_test.dir/hercules_test.cpp.o"
+  "CMakeFiles/hercules_test.dir/hercules_test.cpp.o.d"
+  "hercules_test"
+  "hercules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hercules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

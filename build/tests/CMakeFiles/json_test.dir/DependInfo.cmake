@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/json_test.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/json_test.dir/json_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hercules/CMakeFiles/herc_hercules.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/herc_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/herc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/herc_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/herc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/herc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/herc_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/herc_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/gantt/CMakeFiles/herc_gantt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/herc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/herc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/herc_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/herc_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/calendar/CMakeFiles/herc_calendar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/herc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_space_test.dir/schedule_space_test.cpp.o"
+  "CMakeFiles/schedule_space_test.dir/schedule_space_test.cpp.o.d"
+  "schedule_space_test"
+  "schedule_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

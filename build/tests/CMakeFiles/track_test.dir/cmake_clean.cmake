@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_test.dir/track_test.cpp.o"
+  "CMakeFiles/track_test.dir/track_test.cpp.o.d"
+  "track_test"
+  "track_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilization_test.dir/utilization_test.cpp.o"
+  "CMakeFiles/utilization_test.dir/utilization_test.cpp.o.d"
+  "utilization_test"
+  "utilization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
