@@ -2,15 +2,103 @@
 // Shared main() for the benchmark binaries: each bench first prints the
 // paper artifact it reproduces (table or figure), then runs its
 // google-benchmark timings.
+//
+// Every binary additionally accepts `--json <file>` (or `--json=<file>`),
+// which writes one machine-readable record per timed benchmark:
+//
+//   [{"name": "...", "iters": N, "ns_per_op": X}, ...]
+//
+// Aggregate rows (mean/median/stddev from --benchmark_repetitions) and
+// errored runs are excluded, so the file always holds raw per-benchmark
+// timings regardless of the console flags used alongside it.
 
 #include <benchmark/benchmark.h>
 
-#define HERC_BENCH_MAIN(print_artifact)                            \
-  int main(int argc, char** argv) {                                \
-    print_artifact();                                              \
-    benchmark::Initialize(&argc, argv);                            \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    benchmark::RunSpecifiedBenchmarks();                           \
-    benchmark::Shutdown();                                         \
-    return 0;                                                      \
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace herc::benchio {
+
+/// Removes `--json <file>` / `--json=<file>` from argv before
+/// google-benchmark sees (and rejects) it.  Returns the path, or "".
+inline std::string extract_json_arg(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+/// Console output as usual, plus a record of every raw (non-aggregate,
+/// non-errored) run for the JSON dump.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    std::int64_t iters = 0;
+    double ns_per_op = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.iters = static_cast<std::int64_t>(run.iterations);
+      if (run.iterations > 0)
+        rec.ns_per_op = run.real_accumulated_time /
+                        static_cast<double>(run.iterations) * 1e9;
+      records_.push_back(std::move(rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Writes the collected records; returns false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const {
+    util::JsonArray out;
+    for (const Record& rec : records_) {
+      util::JsonObject row;
+      row.set("name", rec.name);
+      row.set("iters", rec.iters);
+      row.set("ns_per_op", rec.ns_per_op);
+      out.push_back(util::Json(std::move(row)));
+    }
+    std::ofstream file(path, std::ios::binary);
+    if (!file) return false;
+    file << util::Json(std::move(out)).dump() << "\n";
+    return static_cast<bool>(file);
+  }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace herc::benchio
+
+#define HERC_BENCH_MAIN(print_artifact)                                    \
+  int main(int argc, char** argv) {                                        \
+    print_artifact();                                                      \
+    std::string json_path = herc::benchio::extract_json_arg(argc, argv);   \
+    benchmark::Initialize(&argc, argv);                                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    herc::benchio::JsonCapturingReporter reporter;                         \
+    benchmark::RunSpecifiedBenchmarks(&reporter);                          \
+    benchmark::Shutdown();                                                 \
+    if (!json_path.empty() && !reporter.write_json(json_path)) {           \
+      fprintf(stderr, "cannot write '%s'\n", json_path.c_str());           \
+      return 1;                                                            \
+    }                                                                      \
+    return 0;                                                              \
   }

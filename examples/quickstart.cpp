@@ -10,9 +10,15 @@
 //   6. link final design data to schedule instances (Fig. 7)
 //   7. examine status: Gantt chart, queries, browser (Fig. 8 features)
 
+//   8. observe: the whole session is captured on the manager's event bus —
+//      a Chrome/Perfetto trace lands in trace.json (or argv[1]) and the
+//      counter/latency summary is printed at the end.
+
 #include <iostream>
 
 #include "hercules/workflow_manager.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 
 using namespace herc;
 
@@ -29,7 +35,7 @@ schema circuit {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // --- 1-2: schema + database -------------------------------------------------
   cal::WorkCalendar::Config cal_cfg;
   cal_cfg.epoch = cal::Date(1995, 6, 12);  // the week of DAC'95
@@ -39,6 +45,13 @@ int main() {
     return 1;
   }
   auto manager = std::move(created).take();
+
+  // --- 8 (running throughout): observability ----------------------------------
+  obs::ChromeTraceExporter trace;
+  obs::MetricsRegistry metrics;
+  trace.attach(manager->bus());
+  metrics.attach(manager->bus());
+  const std::string trace_path = argc > 1 ? argv[1] : "trace.json";
 
   std::cout << manager->schema().describe() << "\n";
 
@@ -106,5 +119,13 @@ int main() {
             << "\n";
 
   std::cout << "Browser:\n" << manager->browser().list() << "\n";
+
+  // --- 8: observability --------------------------------------------------------
+  trace.detach();
+  trace.write_file(trace_path).expect("write trace");
+  std::cout << "Wrote " << trace.event_count() << " events to " << trace_path
+            << " (open in chrome://tracing or ui.perfetto.dev)\n\n"
+            << "Session metrics:\n"
+            << metrics.text();
   return 0;
 }

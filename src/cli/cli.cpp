@@ -46,6 +46,8 @@ constexpr const char* kHelp = R"(commands:
   whatif delay <task> <activity> <duration>
   whatif crash <task> <deadline, duration from epoch>
   advance <duration> | now
+  trace on <file> | trace off   (Chrome/Perfetto trace of the project)
+  stats [json]                  (event-bus counters and latency histograms)
   save <file> | open <file>
   quit
 )";
@@ -83,9 +85,22 @@ std::string join_from(const std::vector<std::string>& args, std::size_t from) {
 
 }  // namespace
 
+CliSession::~CliSession() {
+  // Mirror `trace off`: an unclosed trace still reaches its file.
+  if (exporter_ && !trace_path_.empty()) (void)exporter_->write_file(trace_path_);
+}
+
 void CliSession::adopt(std::unique_ptr<hercules::WorkflowManager> manager) {
+  // Subscribers follow the session, not the project: detach from the old
+  // manager's bus before it dies, re-attach to the new one.
+  metrics_->detach();
+  if (exporter_) exporter_->detach();
   manager_ = std::move(manager);
   browser_.reset();
+  if (manager_) {
+    metrics_->attach(manager_->bus());
+    if (exporter_) exporter_->attach(manager_->bus());
+  }
 }
 
 util::Result<hercules::WorkflowManager*> CliSession::need_manager() {
@@ -131,6 +146,8 @@ util::Result<std::string> CliSession::dispatch(const Args& args) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "link") return cmd_link(args);
   if (cmd == "whatif") return cmd_whatif(args);
+  if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "stats") return cmd_stats(args);
   if (cmd == "browse" || cmd == "select" || cmd == "display" || cmd == "delete")
     return cmd_browse_ops(args);
   if (cmd == "save") return cmd_save(args);
@@ -535,6 +552,41 @@ util::Result<std::string> CliSession::cmd_whatif(const Args& args) {
   }
   return util::invalid("whatif delay <task> <activity> <duration> | "
                        "whatif crash <task> <deadline>");
+}
+
+util::Result<std::string> CliSession::cmd_trace(const Args& args) {
+  if (args.size() == 3 && args[1] == "on") {
+    auto m = need_manager();
+    if (!m.ok()) return m.error();
+    if (exporter_) return util::conflict("already tracing to '" + trace_path_ + "'");
+    exporter_ = std::make_unique<obs::ChromeTraceExporter>();
+    exporter_->attach(m.value()->bus());
+    trace_path_ = args[2];
+    return "tracing to '" + trace_path_ + "' (chrome://tracing / Perfetto)\n";
+  }
+  if (args.size() == 2 && args[1] == "off") {
+    if (!exporter_) return util::conflict("not tracing; use 'trace on <file>'");
+    exporter_->detach();
+    auto st = exporter_->write_file(trace_path_);
+    std::string out = "wrote " + std::to_string(exporter_->event_count()) +
+                      " events to '" + trace_path_ + "'\n";
+    // Tracing ends either way; a failed write must not leave the session
+    // stuck "already tracing" to an unwritable path.
+    exporter_.reset();
+    trace_path_.clear();
+    if (!st.ok())
+      return util::invalid(st.error().message + " (trace discarded)");
+    return out;
+  }
+  return util::invalid("trace on <file> | trace off");
+}
+
+util::Result<std::string> CliSession::cmd_stats(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() == 2 && args[1] == "json") return metrics_->json().dump() + "\n";
+  if (args.size() != 1) return util::invalid("stats [json]");
+  return metrics_->text();
 }
 
 util::Result<std::string> CliSession::cmd_browse_ops(const Args& args) {

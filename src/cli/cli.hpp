@@ -39,12 +39,21 @@
 
 #include "gantt/browser.hpp"
 #include "hercules/workflow_manager.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 
 namespace herc::cli {
 
 class CliSession {
  public:
   CliSession() = default;
+  /// Flushes an active trace to its file (best effort) before teardown.
+  ~CliSession();
+
+  // Movable (the bus points at the heap-allocated subscribers, which do not
+  // move with the session), not copyable.
+  CliSession(CliSession&&) = default;
+  CliSession& operator=(CliSession&&) = default;
 
   /// Executes one command line; returns the text to display.  Unknown
   /// commands, bad arguments and subsystem failures come back as errors.
@@ -78,6 +87,8 @@ class CliSession {
   util::Result<std::string> cmd_link(const Args& args);
   util::Result<std::string> cmd_whatif(const Args& args);
   util::Result<std::string> cmd_browse_ops(const Args& args);
+  util::Result<std::string> cmd_trace(const Args& args);
+  util::Result<std::string> cmd_stats(const Args& args);
   util::Result<std::string> cmd_save(const Args& args);
   util::Result<std::string> cmd_open(const Args& args);
 
@@ -86,6 +97,13 @@ class CliSession {
 
   std::unique_ptr<hercules::WorkflowManager> manager_;
   std::unique_ptr<gantt::ScheduleBrowser> browser_;
+  // Session-wide observability: metrics always follow the current project's
+  // bus; the exporter exists only between `trace on` and `trace off`.
+  // Declared after manager_ so they detach from the bus before it dies.
+  std::unique_ptr<obs::MetricsRegistry> metrics_ =
+      std::make_unique<obs::MetricsRegistry>();
+  std::unique_ptr<obs::ChromeTraceExporter> exporter_;
+  std::string trace_path_;
   bool quit_ = false;
 };
 

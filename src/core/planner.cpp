@@ -8,6 +8,7 @@ namespace herc::sched {
 
 util::Result<ScheduleRunId> Planner::plan(const flow::TaskTree& tree,
                                           const PlanRequest& request_in) {
+  obs::ScopedTimer timer(bus_, "plan", "plan");
   PlanRequest request = request_in;
   // Inter-plan sequencing: start no earlier than every predecessor's
   // projected finish.
@@ -75,7 +76,10 @@ util::Result<ScheduleRunId> Planner::plan(const flow::TaskTree& tree,
   for (const auto& dep : space_->plan(plan_id).deps)
     acts[index.at(dep.to.value())].preds.push_back(index.at(dep.from.value()));
 
-  auto cpm = compute_cpm(acts);
+  util::Result<CpmResult> cpm = [&] {
+    obs::ScopedTimer cpm_timer(bus_, "cpm", "plan");
+    return compute_cpm(acts);
+  }();
   if (!cpm.ok()) return cpm.error();
   const CpmResult& solved = cpm.value();
 
@@ -122,6 +126,33 @@ util::Result<ScheduleRunId> Planner::plan(const flow::TaskTree& tree,
     node.total_slack = cal::WorkDuration::minutes(solved.total_slack[i]);
     node.free_slack = cal::WorkDuration::minutes(solved.free_slack[i]);
     node.critical = solved.critical[i];
+  }
+
+  if (obs::on(bus_)) {
+    for (ScheduleNodeId sid : created) {
+      const ScheduleNode& node = space_->node(sid);
+      obs::Event e;
+      e.kind = obs::EventKind::kActivityPlanned;
+      e.name = node.activity;
+      e.category = "plan";
+      e.id = plan_id.value();
+      e.work_start = node.planned_start;
+      e.work_finish = node.planned_finish;
+      e.args = {{"plan", request.name},
+                {"node", std::to_string(sid.value())},
+                {"critical", node.critical ? "true" : "false"}};
+      bus_->publish(std::move(e));
+    }
+    obs::Event e;
+    e.kind = obs::EventKind::kSchedulePlanned;
+    e.name = request.name;
+    e.category = "plan";
+    e.id = plan_id.value();
+    e.work_start = request.anchor;
+    e.args = {{"nodes", std::to_string(created.size())}};
+    if (request.derived_from.valid())
+      e.args.emplace_back("derived_from", request.derived_from.str());
+    bus_->publish(std::move(e));
   }
 
   return plan_id;

@@ -20,6 +20,7 @@
 #include "core/estimate.hpp"
 #include "core/schedule_space.hpp"
 #include "flow/task_tree.hpp"
+#include "obs/event_bus.hpp"
 
 namespace herc::sched {
 
@@ -49,10 +50,11 @@ struct PlanRequest {
 class Planner {
  public:
   /// `space` receives the schedule instances; `db` supplies run history for
-  /// the estimator and resource definitions for leveling.
+  /// the estimator and resource definitions for leveling.  `bus` (optional)
+  /// receives schedule_planned / activity_planned events and timed scopes.
   Planner(ScheduleSpace& space, const meta::Database& db,
-          const DurationEstimator& estimator)
-      : space_(&space), db_(&db), estimator_(&estimator) {}
+          const DurationEstimator& estimator, obs::EventBus* bus = nullptr)
+      : space_(&space), db_(&db), estimator_(&estimator), bus_(bus) {}
 
   /// Simulates execution of `tree` and returns the new plan.  The tree does
   /// NOT need bound leaves — planning precedes binding in the paper's
@@ -71,6 +73,7 @@ class Planner {
   ScheduleSpace* space_;
   const meta::Database* db_;
   const DurationEstimator* estimator_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace herc::sched

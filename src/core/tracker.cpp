@@ -52,12 +52,23 @@ util::Status ScheduleTracker::link_completion(const std::string& activity,
     if (!node.actual_start) node.actual_start = e.created_at;
     node.actual_finish = e.created_at;
   }
+  if (obs::on(bus_)) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kActivityLinked;
+    ev.name = activity;
+    ev.category = "track";
+    ev.id = nid->value();
+    ev.work_start = linked_at;
+    ev.args = {{"instance", instance.str()}, {"plan", plan_->str()}};
+    bus_->publish(std::move(ev));
+  }
   project(linked_at);
   return util::Status::ok_status();
 }
 
 void ScheduleTracker::project(cal::WorkInstant now) {
   if (!plan_) return;
+  const std::int64_t t0 = obs::on(bus_) ? obs::EventBus::wall_now_ns() : 0;
   const ScheduleRun& plan = space_->plan(*plan_);
   const auto& node_ids = plan.nodes;
   if (node_ids.empty()) return;
@@ -100,14 +111,30 @@ void ScheduleTracker::project(cal::WorkInstant now) {
   if (!cpm.ok()) return;  // plan deps came from a tree: cycles are impossible
   const CpmResult& solved = cpm.value();
 
+  std::size_t moved = 0;
   for (std::size_t i = 0; i < node_ids.size(); ++i) {
     ScheduleNode& n = space_->node_mut(node_ids[i]);
     if (n.completed) continue;  // planned dates of history stay as planned
-    n.planned_start = plan.anchor + cal::WorkDuration::minutes(solved.early_start[i]);
+    cal::WorkInstant new_start =
+        plan.anchor + cal::WorkDuration::minutes(solved.early_start[i]);
+    if (new_start != n.planned_start) ++moved;
+    n.planned_start = new_start;
     n.planned_finish = plan.anchor + cal::WorkDuration::minutes(solved.early_finish[i]);
     n.total_slack = cal::WorkDuration::minutes(solved.total_slack[i]);
     n.free_slack = cal::WorkDuration::minutes(solved.free_slack[i]);
     n.critical = solved.critical[i];
+  }
+
+  if (obs::on(bus_)) {
+    obs::Event ev;
+    ev.kind = obs::EventKind::kSlipPropagated;
+    ev.name = plan.name;
+    ev.category = "track";
+    ev.id = plan_->value();
+    ev.work_start = now;
+    if (t0 != 0) ev.duration_ns = obs::EventBus::wall_now_ns() - t0;
+    ev.args = {{"nodes_moved", std::to_string(moved)}};
+    bus_->publish(std::move(ev));
   }
 }
 

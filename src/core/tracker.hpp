@@ -21,6 +21,7 @@
 
 #include "core/schedule_space.hpp"
 #include "metadata/database.hpp"
+#include "obs/event_bus.hpp"
 
 namespace herc::sched {
 
@@ -32,6 +33,10 @@ class ScheduleTracker : public meta::DatabaseObserver {
 
   ScheduleTracker(const ScheduleTracker&) = delete;
   ScheduleTracker& operator=(const ScheduleTracker&) = delete;
+
+  /// Observability: activity_linked and slip_propagated events go here.
+  /// Null (the default) disables publication.
+  void set_bus(obs::EventBus* bus) { bus_ = bus; }
 
   /// Selects the plan that execution is tracked against.  Runs of activities
   /// not in this plan are ignored.
@@ -61,6 +66,7 @@ class ScheduleTracker : public meta::DatabaseObserver {
   ScheduleSpace* space_;
   meta::Database* db_;
   std::optional<ScheduleRunId> plan_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace herc::sched

@@ -7,6 +7,7 @@ namespace herc::exec {
 
 util::Result<ExecutionResult> Executor::execute(const flow::TaskTree& tree,
                                                 const std::string& designer) {
+  obs::ScopedTimer timer(bus_, "execute", "exec");
   auto bound = tree.fully_bound();
   if (!bound.ok()) return bound.error();
 
@@ -33,6 +34,7 @@ util::Result<ActivityRunResult> Executor::execute_activity(const flow::TaskTree&
   const flow::TaskNode& n = tree.node(activity);
   if (n.kind != flow::NodeKind::kActivity)
     return util::invalid("execute_activity: node " + activity.str() + " is a leaf");
+  obs::ScopedTimer timer(bus_, "iterate", "exec");
   produced_.assign(tree.nodes().size() + 1, meta::EntityInstanceId::invalid());
   return run_one(tree, activity, designer, /*resolve_from_db=*/true);
 }
@@ -40,6 +42,7 @@ util::Result<ActivityRunResult> Executor::execute_activity(const flow::TaskTree&
 util::Result<ExecutionResult> Executor::execute_concurrent(
     const flow::TaskTree& tree, const std::string& designer,
     const DispatchOptions& options) {
+  obs::ScopedTimer timer(bus_, "dispatch", "exec");
   auto bound = tree.fully_bound();
   if (!bound.ok()) return bound.error();
   const auto& schema = tree.schema();
@@ -167,6 +170,7 @@ util::Result<ExecutionResult> Executor::execute_concurrent(
     auto run_id = db_->record_run(std::move(run));
     if (!run_id.ok()) return run_id.error();
     one.run = run_id.value();
+    publish_run(db_->run(one.run));
     result.runs.push_back(one);
 
     if (!one.success) {
@@ -256,6 +260,16 @@ util::Result<ActivityRunResult> Executor::run_one(const flow::TaskTree& tree,
     inv.input_contents.push_back(e.data.valid() ? store_->get(e.data).content : "");
   }
 
+  if (obs::on(bus_)) {
+    obs::Event e;
+    e.kind = obs::EventKind::kRunStarted;
+    e.name = rule.activity;
+    e.category = "exec";
+    e.work_start = clock_->now();
+    e.args = {{"designer", designer}, {"tool", tool_binding}};
+    bus_->publish(std::move(e));
+  }
+
   auto outcome = tools_->invoke(tool_binding, schema.type(rule.tool).name, inv);
   if (!outcome.ok()) return outcome.error();
   const ToolOutcome& oc = outcome.value();
@@ -291,7 +305,22 @@ util::Result<ActivityRunResult> Executor::run_one(const flow::TaskTree& tree,
   auto run_id = db_->record_run(std::move(run));
   if (!run_id.ok()) return run_id.error();
   result.run = run_id.value();
+  publish_run(db_->run(result.run));
   return result;
+}
+
+void Executor::publish_run(const meta::Run& run) {
+  if (!obs::on(bus_)) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kRunFinished;
+  e.name = run.activity;
+  e.category = "exec";
+  e.id = run.id.value();
+  e.work_start = run.started_at;
+  e.work_finish = run.finished_at;
+  e.failed = run.status == meta::RunStatus::kFailed;
+  e.args = {{"designer", run.designer}, {"tool", run.tool_binding}};
+  bus_->publish(std::move(e));
 }
 
 }  // namespace herc::exec

@@ -20,6 +20,7 @@
 #include "exec/tools.hpp"
 #include "flow/task_tree.hpp"
 #include "metadata/database.hpp"
+#include "obs/event_bus.hpp"
 
 namespace herc::exec {
 
@@ -58,10 +59,12 @@ struct ExecutionResult {
 
 class Executor {
  public:
-  /// All dependencies are borrowed; the WorkflowManager owns them.
+  /// All dependencies are borrowed; the WorkflowManager owns them.  `bus`
+  /// (optional) receives run_started / run_finished events and wall-clock
+  /// scopes; a null or subscriber-less bus costs one atomic load per event.
   Executor(meta::Database& db, data::DataStore& store, ToolRegistry& tools,
-           SimClock& clock)
-      : db_(&db), store_(&store), tools_(&tools), clock_(&clock) {}
+           SimClock& clock, obs::EventBus* bus = nullptr)
+      : db_(&db), store_(&store), tools_(&tools), clock_(&clock), bus_(bus) {}
 
   /// Executes the whole bound tree in post-order.  Stops at the first failed
   /// run (the paper's designers fix and re-run).  kUnbound if leaves are
@@ -106,10 +109,14 @@ class Executor {
                                           const std::string& designer,
                                           bool resolve_from_db);
 
+  /// Publishes a kRunFinished event for a freshly recorded run.
+  void publish_run(const meta::Run& run);
+
   meta::Database* db_;
   data::DataStore* store_;
   ToolRegistry* tools_;
   SimClock* clock_;
+  obs::EventBus* bus_ = nullptr;
   // Within one execute() call, maps activity nodes to the instances they
   // produced, so parents consume exactly their children's outputs.
   std::vector<meta::EntityInstanceId> produced_;

@@ -24,6 +24,19 @@ util::Result<std::unique_ptr<WorkflowManager>> WorkflowManager::create(
   return manager;
 }
 
+void WorkflowManager::DatabaseEventBridge::on_instance_created(
+    const meta::EntityInstance& instance) {
+  if (!obs::on(bus_)) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kInstanceCreated;
+  e.name = instance.type_name + "/" + instance.name;
+  e.category = "meta";
+  e.id = instance.id.value();
+  e.work_start = instance.created_at;
+  e.args = {{"version", std::to_string(instance.version)}};
+  bus_->publish(std::move(e));
+}
+
 WorkflowManager::WorkflowManager(schema::TaskSchema parsed,
                                  cal::WorkCalendar::Config calendar_config,
                                  std::uint64_t tool_seed)
@@ -33,7 +46,11 @@ WorkflowManager::WorkflowManager(schema::TaskSchema parsed,
       db_(std::make_unique<meta::Database>(*schema_)),
       tools_(std::make_unique<exec::ToolRegistry>(tool_seed)),
       space_(std::make_unique<sched::ScheduleSpace>()),
-      tracker_(std::make_unique<sched::ScheduleTracker>(*space_, *db_)) {}
+      tracker_(std::make_unique<sched::ScheduleTracker>(*space_, *db_)),
+      db_bridge_(std::make_unique<DatabaseEventBridge>(*db_, bus_)) {
+  bus_.set_project(schema_->name());
+  tracker_->set_bus(&bus_);
+}
 
 util::Status WorkflowManager::extract_task(const std::string& task_name,
                                            const std::string& target_type,
@@ -76,7 +93,7 @@ util::Result<sched::ScheduleRunId> WorkflowManager::plan_task(
   auto t = task(task_name);
   if (!t.ok()) return t.error();
   if (request.name == "plan") request.name = task_name;
-  sched::Planner planner(*space_, *db_, estimator_);
+  sched::Planner planner(*space_, *db_, estimator_, &bus_);
   auto plan = planner.plan(*t.value(), request);
   if (!plan.ok()) return plan;
   plan_by_task_[task_name] = plan.value();
@@ -107,7 +124,7 @@ util::Result<exec::ExecutionResult> WorkflowManager::execute_task(
   // Runs must stamp THIS task's plan (several tasks may share activity
   // names when they instantiate the same schema).
   if (auto plan = plan_of(task_name)) tracker_->watch_plan(*plan);
-  exec::Executor executor(*db_, *store_, *tools_, clock_);
+  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
   return executor.execute(*t.value(), designer);
 }
 
@@ -117,7 +134,7 @@ util::Result<exec::ExecutionResult> WorkflowManager::execute_task_concurrent(
   auto t = task(task_name);
   if (!t.ok()) return t.error();
   if (auto plan = plan_of(task_name)) tracker_->watch_plan(*plan);
-  exec::Executor executor(*db_, *store_, *tools_, clock_);
+  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
   return executor.execute_concurrent(*t.value(), designer, options);
 }
 
@@ -130,7 +147,7 @@ util::Result<exec::ActivityRunResult> WorkflowManager::run_activity(
   for (flow::TaskNodeId id : tree.activities_post_order()) {
     if (tree.activity_name(id) == activity) {
       if (auto plan = plan_of(task_name)) tracker_->watch_plan(*plan);
-      exec::Executor executor(*db_, *store_, *tools_, clock_);
+      exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
       return executor.execute_activity(tree, id, designer);
     }
   }
@@ -161,7 +178,7 @@ util::Result<std::vector<exec::ActivityRunResult>> WorkflowManager::refresh_task
   };
 
   std::vector<exec::ActivityRunResult> performed;
-  exec::Executor executor(*db_, *store_, *tools_, clock_);
+  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
   for (flow::TaskNodeId act : tree.activities_post_order()) {
     if (!needs_rerun(act)) continue;
     auto one = executor.execute_activity(tree, act, designer);
@@ -198,7 +215,7 @@ util::Result<std::string> WorkflowManager::status_report(
 }
 
 util::Result<std::string> WorkflowManager::query(std::string_view statement) const {
-  query::QueryEngine engine(*db_, *space_);
+  query::QueryEngine engine(*db_, *space_, const_cast<obs::EventBus*>(&bus_));
   auto result = engine.execute(statement);
   if (!result.ok()) return result.error();
   return result.value().render(&calendar_);

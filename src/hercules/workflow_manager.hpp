@@ -26,6 +26,7 @@
 #include "flow/task_tree.hpp"
 #include "gantt/browser.hpp"
 #include "metadata/database.hpp"
+#include "obs/event_bus.hpp"
 #include "query/query.hpp"
 #include "track/status.hpp"
 
@@ -56,6 +57,11 @@ class WorkflowManager {
   [[nodiscard]] const sched::ScheduleSpace& schedule_space() const { return *space_; }
   [[nodiscard]] sched::DurationEstimator& estimator() { return estimator_; }
   [[nodiscard]] sched::ScheduleTracker& tracker() { return *tracker_; }
+  /// The project's observability bus.  Every subsystem the manager drives
+  /// publishes through it; attach an obs::MetricsRegistry or
+  /// obs::ChromeTraceExporter to watch the project live.  With no
+  /// subscribers attached publication is skipped at near-zero cost.
+  [[nodiscard]] obs::EventBus& bus() { return bus_; }
 
   // --- setup ----------------------------------------------------------------
   util::Status register_tool(exec::ToolSpec spec) { return tools_->add(std::move(spec)); }
@@ -136,6 +142,25 @@ class WorkflowManager {
   WorkflowManager(schema::TaskSchema parsed, cal::WorkCalendar::Config calendar_config,
                   std::uint64_t tool_seed);
 
+  /// Forwards database mutations onto the event bus (instance_created).
+  /// Same RAII pattern as the ScheduleTracker's subscription.
+  class DatabaseEventBridge : public meta::DatabaseObserver {
+   public:
+    DatabaseEventBridge(meta::Database& db, obs::EventBus& bus) : db_(&db), bus_(&bus) {
+      db_->add_observer(this);
+    }
+    ~DatabaseEventBridge() override { db_->remove_observer(this); }
+    DatabaseEventBridge(const DatabaseEventBridge&) = delete;
+    DatabaseEventBridge& operator=(const DatabaseEventBridge&) = delete;
+
+    void on_instance_created(const meta::EntityInstance& instance) override;
+
+   private:
+    meta::Database* db_;
+    obs::EventBus* bus_;
+  };
+
+  obs::EventBus bus_;
   std::unique_ptr<schema::TaskSchema> schema_;
   cal::WorkCalendar calendar_;
   std::unique_ptr<data::DataStore> store_;
@@ -145,6 +170,7 @@ class WorkflowManager {
   std::unique_ptr<sched::ScheduleSpace> space_;
   sched::DurationEstimator estimator_;
   std::unique_ptr<sched::ScheduleTracker> tracker_;
+  std::unique_ptr<DatabaseEventBridge> db_bridge_;
   std::map<std::string, flow::TaskTree> tasks_;
   std::map<std::string, sched::ScheduleRunId> plan_by_task_;
 

@@ -1,0 +1,238 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+namespace herc::obs {
+
+namespace {
+
+/// Track ids: project p (0-based) owns pids 3p+1 (schedule), 3p+2
+/// (execution), 3p+3 (wall clock).
+struct ProjectTracks {
+  std::int64_t schedule_pid;
+  std::int64_t execution_pid;
+  std::int64_t wall_pid;
+};
+
+util::Json meta_event(const char* what, std::int64_t pid, std::int64_t tid,
+                      const std::string& name) {
+  util::JsonObject args;
+  args.set("name", name);
+  util::JsonObject e;
+  e.set("ph", "M");
+  e.set("name", what);
+  e.set("pid", pid);
+  e.set("tid", tid);
+  e.set("args", std::move(args));
+  return e;
+}
+
+util::JsonObject event_args(const Event& event) {
+  util::JsonObject args;
+  args.set("kind", event_kind_name(event.kind));
+  args.set("seq", static_cast<std::int64_t>(event.seq));
+  if (event.id != 0) args.set("id", static_cast<std::int64_t>(event.id));
+  if (event.failed) args.set("failed", true);
+  for (const auto& [key, value] : event.args) args.set(key, value);
+  return args;
+}
+
+/// One work minute maps to one trace microsecond.
+double work_ts(cal::WorkInstant t) {
+  return static_cast<double>(t.minutes_since_epoch());
+}
+
+}  // namespace
+
+void ChromeTraceExporter::attach(EventBus& bus) {
+  detach();
+  bus_ = &bus;
+  bus.subscribe(this);
+}
+
+void ChromeTraceExporter::detach() {
+  if (bus_ == nullptr) return;
+  bus_->unsubscribe(this);
+  bus_ = nullptr;
+}
+
+std::size_t ChromeTraceExporter::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void ChromeTraceExporter::on_event(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+util::Json ChromeTraceExporter::trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  util::JsonArray out;
+
+  // Wall-clock origin: the earliest scope *start* across the capture.
+  std::int64_t wall_base = 0;
+  bool have_wall = false;
+  for (const Event& e : events_) {
+    std::int64_t start = e.wall_ns - std::max<std::int64_t>(e.duration_ns, 0);
+    if (!have_wall || start < wall_base) {
+      wall_base = start;
+      have_wall = true;
+    }
+  }
+
+  std::map<std::string, ProjectTracks> projects;      // project -> pids
+  std::map<std::pair<std::int64_t, std::int64_t>, std::string>
+      thread_names;                                   // (pid, tid) -> label
+  std::map<std::string, std::int64_t> designer_tids;  // designer -> exec tid
+
+  auto tracks_for = [&](const std::string& project) -> ProjectTracks& {
+    auto it = projects.find(project);
+    if (it != projects.end()) return it->second;
+    const auto p = static_cast<std::int64_t>(projects.size());
+    ProjectTracks t{3 * p + 1, 3 * p + 2, 3 * p + 3};
+    const std::string label = project.empty() ? "herc" : project;
+    out.push_back(meta_event("process_name", t.schedule_pid, 0, label + " schedule"));
+    out.push_back(meta_event("process_name", t.execution_pid, 0, label + " execution"));
+    out.push_back(meta_event("process_name", t.wall_pid, 0, label + " wall clock"));
+    return projects.emplace(project, t).first->second;
+  };
+
+  auto name_thread = [&](std::int64_t pid, std::int64_t tid, const std::string& name) {
+    auto key = std::make_pair(pid, tid);
+    if (thread_names.count(key)) return;
+    thread_names[key] = name;
+    out.push_back(meta_event("thread_name", pid, tid, name));
+  };
+
+  auto designer_tid = [&](const Event& e) {
+    std::string designer = "designer";
+    for (const auto& [key, value] : e.args)
+      if (key == "designer") designer = value;
+    auto it = designer_tids.find(designer);
+    if (it == designer_tids.end())
+      it = designer_tids
+               .emplace(designer, static_cast<std::int64_t>(designer_tids.size()) + 1)
+               .first;
+    return std::make_pair(it->second, designer);
+  };
+
+  auto push_complete = [&](const Event& e, std::int64_t pid, std::int64_t tid,
+                           double ts, double dur) {
+    util::JsonObject x;
+    x.set("ph", "X");
+    x.set("name", e.name);
+    x.set("cat", e.category.empty() ? std::string(event_kind_name(e.kind)) : e.category);
+    x.set("ts", ts);
+    x.set("dur", dur);
+    x.set("pid", pid);
+    x.set("tid", tid);
+    if (e.failed) x.set("cname", "terrible");
+    x.set("args", event_args(e));
+    out.push_back(std::move(x));
+  };
+
+  auto push_instant = [&](const Event& e, std::int64_t pid, std::int64_t tid,
+                          double ts) {
+    util::JsonObject i;
+    i.set("ph", "i");
+    i.set("name", std::string(event_kind_name(e.kind)) +
+                      (e.name.empty() ? "" : " " + e.name));
+    i.set("cat", e.category.empty() ? std::string(event_kind_name(e.kind)) : e.category);
+    i.set("s", "t");
+    i.set("ts", ts);
+    i.set("pid", pid);
+    i.set("tid", tid);
+    i.set("args", event_args(e));
+    out.push_back(std::move(i));
+  };
+
+  for (const Event& e : events_) {
+    ProjectTracks& tracks = tracks_for(e.project);
+    switch (e.kind) {
+      case EventKind::kActivityPlanned: {
+        if (!e.work_start || !e.work_finish) break;
+        // One row per plan generation: successive re-plans stack under the
+        // schedule process, giving the plan-evolution view of Fig. 5.
+        const auto tid = static_cast<std::int64_t>(e.id);
+        std::string plan_name = "plan";
+        for (const auto& [key, value] : e.args)
+          if (key == "plan") plan_name = value;
+        name_thread(tracks.schedule_pid, tid,
+                    plan_name + " #" + std::to_string(e.id));
+        push_complete(e, tracks.schedule_pid, tid, work_ts(*e.work_start),
+                      work_ts(*e.work_finish) - work_ts(*e.work_start));
+        break;
+      }
+      case EventKind::kSchedulePlanned: {
+        if (!e.work_start) break;
+        const auto tid = static_cast<std::int64_t>(e.id);
+        push_instant(e, tracks.schedule_pid, tid, work_ts(*e.work_start));
+        break;
+      }
+      case EventKind::kActivityLinked:
+      case EventKind::kSlipPropagated: {
+        if (!e.work_start) break;
+        name_thread(tracks.schedule_pid, 0, "tracking");
+        push_instant(e, tracks.schedule_pid, 0, work_ts(*e.work_start));
+        break;
+      }
+      case EventKind::kRunStarted: {
+        if (!e.work_start) break;
+        auto [tid, designer] = designer_tid(e);
+        name_thread(tracks.execution_pid, tid, designer);
+        push_instant(e, tracks.execution_pid, tid, work_ts(*e.work_start));
+        break;
+      }
+      case EventKind::kRunFinished: {
+        if (!e.work_start || !e.work_finish) break;
+        auto [tid, designer] = designer_tid(e);
+        name_thread(tracks.execution_pid, tid, designer);
+        push_complete(e, tracks.execution_pid, tid, work_ts(*e.work_start),
+                      work_ts(*e.work_finish) - work_ts(*e.work_start));
+        break;
+      }
+      case EventKind::kInstanceCreated: {
+        if (!e.work_start) break;
+        name_thread(tracks.execution_pid, 0, "instances");
+        push_instant(e, tracks.execution_pid, 0, work_ts(*e.work_start));
+        break;
+      }
+      case EventKind::kQueryExecuted:
+      case EventKind::kScope: {
+        if (e.duration_ns < 0) break;
+        name_thread(tracks.wall_pid, 1, "scopes");
+        const double ts =
+            static_cast<double>(e.wall_ns - e.duration_ns - wall_base) / 1e3;
+        push_complete(e, tracks.wall_pid, 1, ts,
+                      static_cast<double>(e.duration_ns) / 1e3);
+        break;
+      }
+    }
+  }
+
+  util::JsonObject other;
+  other.set("tool", "hercsched");
+  other.set("work_time_unit", "1 trace us = 1 work minute");
+  other.set("captured_events", static_cast<std::int64_t>(events_.size()));
+
+  util::JsonObject root;
+  root.set("traceEvents", std::move(out));
+  root.set("displayTimeUnit", "ms");
+  root.set("otherData", std::move(other));
+  return root;
+}
+
+std::string ChromeTraceExporter::str() const { return trace_json().dump(-1); }
+
+util::Status ChromeTraceExporter::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return util::invalid("trace: cannot write file '" + path + "'");
+  f << str() << "\n";
+  return util::Status::ok_status();
+}
+
+}  // namespace herc::obs

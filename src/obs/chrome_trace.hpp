@@ -1,0 +1,67 @@
+#pragma once
+// ChromeTraceExporter: an EventBus subscriber that renders the event stream
+// as Chrome Trace Event Format JSON (chrome://tracing, ui.perfetto.dev).
+//
+// Per project (= per WorkflowManager / schema) the trace carries three
+// process tracks:
+//
+//   "<project> schedule"   — work-time timeline of the PLAN: one complete
+//                            ("ph":"X") slice per schedule node, one row
+//                            (tid) per plan generation, plus instants for
+//                            links and slip re-projections;
+//   "<project> execution"  — work-time timeline of the ACTUAL runs: one
+//                            complete slice per recorded Run, one row per
+//                            designer;
+//   "<project> wall clock" — real time spent inside instrumented scopes
+//                            (plan, execute, cpm, queries).
+//
+// Opening the trace in Perfetto therefore gives the paper's
+// planned-vs-actual Gantt comparison directly: the schedule and execution
+// tracks sit above each other on the same axis.  Work-time tracks use the
+// convention 1 work minute = 1 trace microsecond; wall-clock tracks use
+// real microseconds since the first captured event.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/event_bus.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace herc::obs {
+
+class ChromeTraceExporter : public Subscriber {
+ public:
+  ChromeTraceExporter() = default;
+  ~ChromeTraceExporter() override { detach(); }
+
+  ChromeTraceExporter(const ChromeTraceExporter&) = delete;
+  ChromeTraceExporter& operator=(const ChromeTraceExporter&) = delete;
+
+  /// Subscribes to `bus`; an exporter may observe several buses over its
+  /// lifetime (attach detaches from the previous one) and keeps everything
+  /// captured so far.
+  void attach(EventBus& bus);
+  void detach();
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// The whole trace as a JSON document ({"traceEvents": [...], ...}).
+  [[nodiscard]] util::Json trace_json() const;
+  /// Compact serialized form of trace_json().
+  [[nodiscard]] std::string str() const;
+  /// Writes str() to `path`.
+  util::Status write_file(const std::string& path) const;
+
+  // --- Subscriber ----------------------------------------------------------
+  void on_event(const Event& event) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  EventBus* bus_ = nullptr;
+};
+
+}  // namespace herc::obs

@@ -1,0 +1,62 @@
+#pragma once
+// The structured events the observability subsystem carries.
+//
+// Every interesting state transition in the Level-3 spaces (a run recorded,
+// a plan computed, a completion linked, a slip propagated) is describable as
+// one Event.  Events carry BOTH clocks the system lives in: the monotonic
+// wall clock (what the process actually spent, for profiling) and the
+// SimClock work-time span (where the work sits on the project timeline, for
+// planned-vs-actual comparison).  Producers publish through an EventBus
+// (event_bus.hpp); consumers — MetricsRegistry, ChromeTraceExporter — only
+// ever see this struct, never the producing subsystem.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "calendar/work_calendar.hpp"
+
+namespace herc::obs {
+
+enum class EventKind {
+  kRunStarted,        ///< executor is about to invoke a tool
+  kRunFinished,       ///< a Run was recorded (completed or failed)
+  kInstanceCreated,   ///< an entity instance appeared in the database
+  kSchedulePlanned,   ///< a plan (ScheduleRun) was computed
+  kActivityPlanned,   ///< one schedule node of a plan received dates
+  kActivityLinked,    ///< designer linked final data to a schedule node
+  kSlipPropagated,    ///< tracker re-projected the watched plan with CPM
+  kQueryExecuted,     ///< the query engine evaluated a statement
+  kScope,             ///< a generic wall-clock timed scope closed
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+struct Event {
+  EventKind kind = EventKind::kScope;
+  std::string name;      ///< activity / plan / query text / scope name
+  std::string category;  ///< producing layer: "exec", "plan", "track", "query"
+  std::string project;   ///< stamped by the bus from its project label if empty
+  std::uint64_t id = 0;  ///< run / plan / node id when one applies
+
+  /// Monotonic sequence number, stamped by the bus (1, 2, ...).
+  std::uint64_t seq = 0;
+  /// Wall-clock publish timestamp (steady-clock ns); stamped by the bus.
+  std::int64_t wall_ns = 0;
+  /// Wall-clock duration for scopes and queries; -1 when not a timed event.
+  std::int64_t duration_ns = -1;
+
+  /// Work-time span of the event's subject (a run's or schedule node's
+  /// start/finish, a link's instant).  Absent for pure wall-clock events.
+  std::optional<cal::WorkInstant> work_start;
+  std::optional<cal::WorkInstant> work_finish;
+
+  bool failed = false;  ///< e.g. a failed run or an erroring query
+
+  /// Free-form detail (designer, tool binding, row counts, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+}  // namespace herc::obs

@@ -1,0 +1,60 @@
+#include "obs/event_bus.hpp"
+
+#include <algorithm>
+
+namespace herc::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRunStarted: return "run_started";
+    case EventKind::kRunFinished: return "run_finished";
+    case EventKind::kInstanceCreated: return "instance_created";
+    case EventKind::kSchedulePlanned: return "schedule_planned";
+    case EventKind::kActivityPlanned: return "activity_planned";
+    case EventKind::kActivityLinked: return "activity_linked";
+    case EventKind::kSlipPropagated: return "slip_propagated";
+    case EventKind::kQueryExecuted: return "query_executed";
+    case EventKind::kScope: return "scope";
+  }
+  return "unknown";
+}
+
+void EventBus::set_project(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  project_ = std::move(name);
+}
+
+std::string EventBus::project() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return project_;
+}
+
+void EventBus::subscribe(Subscriber* sub) {
+  if (sub == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(subscribers_.begin(), subscribers_.end(), sub) != subscribers_.end())
+    return;
+  subscribers_.push_back(sub);
+  subscriber_count_.store(static_cast<int>(subscribers_.size()),
+                          std::memory_order_relaxed);
+}
+
+void EventBus::unsubscribe(Subscriber* sub) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(std::remove(subscribers_.begin(), subscribers_.end(), sub),
+                     subscribers_.end());
+  subscriber_count_.store(static_cast<int>(subscribers_.size()),
+                          std::memory_order_relaxed);
+}
+
+void EventBus::publish(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (subscribers_.empty()) return;
+  event.seq = next_seq_++;
+  if (event.wall_ns == 0) event.wall_ns = wall_now_ns();
+  if (event.project.empty()) event.project = project_;
+  published_.fetch_add(1, std::memory_order_relaxed);
+  for (Subscriber* sub : subscribers_) sub->on_event(event);
+}
+
+}  // namespace herc::obs

@@ -1,0 +1,113 @@
+#pragma once
+// EventBus: the thread-safe publish/subscribe hub of herc::obs.
+//
+// Producers (executor, planner, tracker, query engine) hold a nullable
+// EventBus* and guard every publication with obs::on(bus) — a null pointer
+// or a bus with zero subscribers costs one relaxed atomic load, so an
+// uninstrumented build path stays as fast as before the subsystem existed.
+// Subscribers (MetricsRegistry, ChromeTraceExporter, tests) receive every
+// event in publish order, under the bus lock, in the publisher's thread.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace herc::obs {
+
+/// Receives published events.  Must outlive its subscription (unsubscribe
+/// before destruction; the bundled subscribers do this via detach()).
+class Subscriber {
+ public:
+  virtual ~Subscriber() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+class EventBus {
+ public:
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Project label stamped onto events that do not carry one (one bus per
+  /// WorkflowManager; the label is the schema name).
+  void set_project(std::string name);
+  [[nodiscard]] std::string project() const;
+
+  void subscribe(Subscriber* sub);
+  /// Unknown subscribers are ignored (idempotent).
+  void unsubscribe(Subscriber* sub);
+
+  /// True when at least one subscriber is attached.  The fast path every
+  /// producer checks before building an Event.
+  [[nodiscard]] bool active() const {
+    return subscriber_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Stamps seq/wall_ns/project and delivers to every subscriber, in
+  /// subscription order.  No-op without subscribers.
+  void publish(Event event);
+
+  /// Events delivered so far (diagnostics).
+  [[nodiscard]] std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotonic wall-clock now in ns (the clock publish() stamps with).
+  [[nodiscard]] static std::int64_t wall_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Subscriber*> subscribers_;
+  std::string project_;
+  std::atomic<int> subscriber_count_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::uint64_t next_seq_ = 1;
+};
+
+/// The producers' fast-path guard.
+[[nodiscard]] inline bool on(const EventBus* bus) { return bus && bus->active(); }
+
+/// RAII wall-clock scope: publishes a kScope event with the measured
+/// duration when it closes.  Arms only if the bus is active at construction,
+/// so a disabled bus costs one atomic load and no clock reads.
+class ScopedTimer {
+ public:
+  ScopedTimer(EventBus* bus, std::string name, std::string category)
+      : bus_(on(bus) ? bus : nullptr) {
+    if (!bus_) return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    start_ns_ = EventBus::wall_now_ns();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (!bus_) return;
+    Event e;
+    e.kind = EventKind::kScope;
+    e.name = std::move(name_);
+    e.category = std::move(category_);
+    e.duration_ns = EventBus::wall_now_ns() - start_ns_;
+    bus_->publish(std::move(e));
+  }
+
+ private:
+  EventBus* bus_ = nullptr;
+  std::string name_;
+  std::string category_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace herc::obs

@@ -1,0 +1,84 @@
+#pragma once
+// MetricsRegistry: named counters and latency histograms.
+//
+// The registry is itself an EventBus subscriber — attach() it and the
+// standard counters (plans_computed, runs_executed, cpm_passes,
+// slips_propagated, queries_executed, ...) accumulate from the event
+// stream; query and scope durations feed log2-bucketed latency histograms.
+// Subsystems (or tests) may also bump custom counters directly.  Dumps are
+// available as aligned plain text and as a util::Json document.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/event_bus.hpp"
+#include "util/json.hpp"
+
+namespace herc::obs {
+
+/// Log2-bucketed nanosecond latency histogram.  Bucket i counts samples in
+/// [2^i, 2^(i+1)) ns; bucket 0 also takes zero.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 44;  ///< up to ~4.8 hours in ns
+
+  void record(std::int64_t ns);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum_ns() const { return sum_; }
+  [[nodiscard]] std::int64_t min_ns() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t max_ns() const { return max_; }
+  [[nodiscard]] double mean_ns() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  /// Upper bound of the smallest bucket prefix holding >= q of the samples
+  /// (q in [0,1]); a coarse quantile good to a factor of two.
+  [[nodiscard]] std::int64_t quantile_ns(double q) const;
+  [[nodiscard]] const std::uint64_t* buckets() const { return buckets_; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+class MetricsRegistry : public Subscriber {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry() override { detach(); }
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Subscribes to `bus` (detaching from any previous bus first).
+  void attach(EventBus& bus);
+  void detach();
+
+  void add(const std::string& counter, std::uint64_t delta = 1);
+  void record_latency(const std::string& histogram, std::int64_t ns);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  /// Resets every counter and histogram to zero (subscription unchanged).
+  void reset();
+
+  /// Aligned `name  value` lines, counters first, then histograms.
+  [[nodiscard]] std::string text() const;
+  /// {"counters": {...}, "histograms": {name: {count,mean_ns,...}}}
+  [[nodiscard]] util::Json json() const;
+
+  // --- Subscriber ----------------------------------------------------------
+  void on_event(const Event& event) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  EventBus* bus_ = nullptr;
+};
+
+}  // namespace herc::obs

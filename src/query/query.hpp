@@ -43,6 +43,7 @@
 #include "calendar/work_calendar.hpp"
 #include "core/schedule_space.hpp"
 #include "metadata/database.hpp"
+#include "obs/event_bus.hpp"
 #include "util/result.hpp"
 
 namespace herc::query {
@@ -118,8 +119,11 @@ struct QueryResult {
 /// Executes queries against one database + schedule space pair.
 class QueryEngine {
  public:
-  QueryEngine(const meta::Database& db, const sched::ScheduleSpace& space)
-      : db_(&db), space_(&space) {}
+  /// `bus` (optional) receives one query_executed event per execute() call,
+  /// carrying the canonical statement and the wall-clock latency.
+  QueryEngine(const meta::Database& db, const sched::ScheduleSpace& space,
+              obs::EventBus* bus = nullptr)
+      : db_(&db), space_(&space), bus_(bus) {}
 
   [[nodiscard]] util::Result<QueryResult> execute(const Query& q) const;
 
@@ -132,12 +136,15 @@ class QueryEngine {
   [[nodiscard]] QueryResult plan_lineage(sched::ScheduleRunId plan) const;
 
  private:
+  /// The evaluation itself, unobserved; execute() wraps it with timing.
+  [[nodiscard]] util::Result<QueryResult> run(const Query& q) const;
   [[nodiscard]] std::vector<std::vector<Value>> rows_for(
       Target t, const std::vector<std::string>& columns) const;
   [[nodiscard]] static std::vector<std::string> columns_for(Target t);
 
   const meta::Database* db_;
   const sched::ScheduleSpace* space_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace herc::query

@@ -220,6 +220,24 @@ std::vector<std::vector<Value>> QueryEngine::rows_for(
 }
 
 util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
+  if (!obs::on(bus_)) return run(q);
+  const std::int64_t t0 = obs::EventBus::wall_now_ns();
+  auto result = run(q);
+  obs::Event e;
+  e.kind = obs::EventKind::kQueryExecuted;
+  e.name = q.str();
+  e.category = "query";
+  e.duration_ns = obs::EventBus::wall_now_ns() - t0;
+  e.failed = !result.ok();
+  if (result.ok())
+    e.args = {{"rows", std::to_string(result.value().rows.size())}};
+  else
+    e.args = {{"error", result.error().message}};
+  bus_->publish(std::move(e));
+  return result;
+}
+
+util::Result<QueryResult> QueryEngine::run(const Query& q) const {
   QueryResult result;
   result.columns = columns_for(q.target);
 
@@ -353,7 +371,18 @@ util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
 
 util::Result<QueryResult> QueryEngine::execute(std::string_view text) const {
   auto q = parse_query(text);
-  if (!q.ok()) return q.error();
+  if (!q.ok()) {
+    if (obs::on(bus_)) {
+      obs::Event e;
+      e.kind = obs::EventKind::kQueryExecuted;
+      e.name = std::string(text);
+      e.category = "query";
+      e.failed = true;
+      e.args = {{"error", q.error().message}};
+      bus_->publish(std::move(e));
+    }
+    return q.error();
+  }
   return execute(q.value());
 }
 

@@ -5,9 +5,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "cli/cli.hpp"
 #include "common.hpp"
+#include "util/json.hpp"
 
 namespace herc::cli {
 namespace {
@@ -336,6 +338,77 @@ TEST(Cli, AdoptExistingManager) {
   CliSession s;
   s.adopt(test::make_circuit_manager());
   EXPECT_NE(ok(s, "show schema").find("circuit"), std::string::npos);
+}
+
+TEST(Cli, TraceCapturesSessionToAParseableFile) {
+  const char* path = "/tmp/herc_cli_trace.json";
+  CliSession s = circuit_session();
+  ok(s, std::string("trace on ") + path);
+  fail(s, std::string("trace on ") + path);  // already tracing
+  ok(s, "plan adder");
+  ok(s, "execute adder alice");
+  auto off = ok(s, "trace off");
+  EXPECT_NE(off.find(path), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = util::Json::parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+  const auto& events = parsed.value().as_object().at("traceEvents").as_array();
+  EXPECT_GT(events.size(), 0u);
+  std::remove(path);
+
+  fail(s, "trace off");      // no longer tracing
+  fail(s, "trace");          // usage
+  fail(s, "trace on");       // missing file
+}
+
+TEST(Cli, FailedTraceWriteDoesNotLeaveSessionStuck) {
+  CliSession s = circuit_session();
+  ok(s, "trace on /no/such/dir/herc.json");
+  auto err = fail(s, "trace off");
+  EXPECT_NE(err.find("discarded"), std::string::npos);
+  // The failed write ended the capture: a new trace can start.
+  ok(s, "trace on /tmp/herc_cli_trace2.json");
+  ok(s, "trace off");
+  std::remove("/tmp/herc_cli_trace2.json");
+}
+
+TEST(Cli, TraceOnNeedsAProject) {
+  CliSession s;
+  EXPECT_NE(fail(s, "trace on /tmp/x.json").find("no project"), std::string::npos);
+}
+
+TEST(Cli, StatsCountsPlansAndRuns) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  ok(s, "execute adder alice");
+
+  auto text = ok(s, "stats");
+  EXPECT_NE(text.find("plans_computed"), std::string::npos);
+  EXPECT_NE(text.find("runs_executed"), std::string::npos);
+
+  auto parsed = util::Json::parse(ok(s, "stats json"));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+  const auto& counters = parsed.value().as_object().at("counters").as_object();
+  EXPECT_GE(counters.at("plans_computed").as_int(), 1);
+  EXPECT_GE(counters.at("runs_executed").as_int(), 2);
+
+  fail(s, "stats verbose");  // usage
+}
+
+TEST(Cli, StatsFollowsTheProjectAcrossAdopt) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  // A new project resets nothing, but events keep flowing from the new bus.
+  s.adopt(test::make_circuit_manager());
+  ok(s, "plan adder");
+  auto parsed = util::Json::parse(ok(s, "stats json"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_GE(parsed.value().as_object().at("counters").as_object()
+                .at("plans_computed").as_int(), 2);
 }
 
 }  // namespace

@@ -1,0 +1,308 @@
+// Tests for herc::obs: event-bus ordering and isolation, metrics math,
+// and the Chrome-trace exporter (including the golden property that a full
+// plan->execute->link session yields slices on both the schedule and the
+// execution track).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/event_bus.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace herc::obs {
+namespace {
+
+/// Test subscriber keeping a copy of everything it sees.
+struct Recorder : Subscriber {
+  std::vector<Event> events;
+  void on_event(const Event& event) override { events.push_back(event); }
+};
+
+Event named_event(EventKind kind, std::string name) {
+  Event e;
+  e.kind = kind;
+  e.name = std::move(name);
+  return e;
+}
+
+// --- EventBus ---------------------------------------------------------------
+
+TEST(EventBus, InactiveWithoutSubscribersAndPublishIsANoOp) {
+  EventBus bus;
+  EXPECT_FALSE(bus.active());
+  EXPECT_FALSE(on(&bus));
+  EXPECT_FALSE(on(nullptr));
+  bus.publish(named_event(EventKind::kScope, "dropped"));
+  EXPECT_EQ(bus.published(), 0u);
+}
+
+TEST(EventBus, DeliversInOrderWithSequentialSeqAndProjectStamp) {
+  EventBus bus;
+  bus.set_project("circuit");
+  Recorder rec;
+  bus.subscribe(&rec);
+  EXPECT_TRUE(on(&bus));
+
+  bus.publish(named_event(EventKind::kRunStarted, "a"));
+  bus.publish(named_event(EventKind::kRunFinished, "b"));
+  bus.publish(named_event(EventKind::kScope, "c"));
+
+  ASSERT_EQ(rec.events.size(), 3u);
+  EXPECT_EQ(rec.events[0].name, "a");
+  EXPECT_EQ(rec.events[1].name, "b");
+  EXPECT_EQ(rec.events[2].name, "c");
+  EXPECT_LT(rec.events[0].seq, rec.events[1].seq);
+  EXPECT_LT(rec.events[1].seq, rec.events[2].seq);
+  for (const Event& e : rec.events) {
+    EXPECT_EQ(e.project, "circuit");
+    EXPECT_GT(e.wall_ns, 0);
+  }
+  EXPECT_EQ(bus.published(), 3u);
+  bus.unsubscribe(&rec);
+}
+
+TEST(EventBus, SubscribersAreIsolated) {
+  EventBus bus;
+  Recorder first, second;
+  bus.subscribe(&first);
+  bus.publish(named_event(EventKind::kScope, "only-first"));
+
+  bus.subscribe(&second);
+  bus.publish(named_event(EventKind::kScope, "both"));
+
+  bus.unsubscribe(&first);
+  bus.publish(named_event(EventKind::kScope, "only-second"));
+
+  ASSERT_EQ(first.events.size(), 2u);
+  EXPECT_EQ(first.events[1].name, "both");
+  ASSERT_EQ(second.events.size(), 2u);
+  EXPECT_EQ(second.events[0].name, "both");
+  EXPECT_EQ(second.events[1].name, "only-second");
+
+  // Unsubscribing an unknown subscriber is harmless.
+  bus.unsubscribe(&first);
+  bus.unsubscribe(&second);
+  EXPECT_FALSE(bus.active());
+}
+
+TEST(EventBus, ScopedTimerPublishesDurationOnlyWhenActive) {
+  EventBus bus;
+  { ScopedTimer silent(&bus, "off", "test"); }   // no subscribers: no event
+  { ScopedTimer nullbus(nullptr, "null", "test"); }
+  EXPECT_EQ(bus.published(), 0u);
+
+  Recorder rec;
+  bus.subscribe(&rec);
+  { ScopedTimer timer(&bus, "work", "test"); }
+  ASSERT_EQ(rec.events.size(), 1u);
+  EXPECT_EQ(rec.events[0].kind, EventKind::kScope);
+  EXPECT_EQ(rec.events[0].name, "work");
+  EXPECT_EQ(rec.events[0].category, "test");
+  EXPECT_GE(rec.events[0].duration_ns, 0);
+  bus.unsubscribe(&rec);
+}
+
+// --- Histogram / MetricsRegistry --------------------------------------------
+
+TEST(Histogram, StatisticsAndCoarseQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 600);
+  EXPECT_EQ(h.min_ns(), 100);
+  EXPECT_EQ(h.max_ns(), 300);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+  // Coarse quantiles: upper bound of the covering log2 bucket, so good to 2x.
+  EXPECT_GE(h.quantile_ns(0.0), 100);
+  EXPECT_GE(h.quantile_ns(1.0), 300);
+  EXPECT_LE(h.quantile_ns(1.0), 600);
+}
+
+TEST(Metrics, CountersAndLatencies) {
+  MetricsRegistry metrics;
+  metrics.add("widgets");
+  metrics.add("widgets", 4);
+  EXPECT_EQ(metrics.counter("widgets"), 5u);
+  EXPECT_EQ(metrics.counter("missing"), 0u);
+
+  metrics.record_latency("lat", 1000);
+  metrics.record_latency("lat", 3000);
+  EXPECT_NE(metrics.text().find("widgets"), std::string::npos);
+  EXPECT_NE(metrics.text().find("lat"), std::string::npos);
+
+  metrics.reset();
+  EXPECT_EQ(metrics.counter("widgets"), 0u);
+}
+
+TEST(Metrics, JsonDumpParsesAndMirrorsCounters) {
+  MetricsRegistry metrics;
+  metrics.add("plans_computed", 2);
+  metrics.record_latency("query_latency", 1500);
+
+  auto parsed = util::Json::parse(metrics.json().dump(-1));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+  const auto& root = parsed.value().as_object();
+  EXPECT_EQ(root.at("counters").as_object().at("plans_computed").as_int(), 2);
+  const auto& lat = root.at("histograms").as_object().at("query_latency").as_object();
+  EXPECT_EQ(lat.at("count").as_int(), 1);
+  EXPECT_EQ(lat.at("sum_ns").as_int(), 1500);
+}
+
+TEST(Metrics, AccumulatesFromAWorkflowSession) {
+  auto manager = test::make_circuit_manager();
+  MetricsRegistry metrics;
+  metrics.attach(manager->bus());
+
+  sched::PlanRequest request;
+  request.anchor = manager->clock().now();
+  ASSERT_TRUE(manager->plan_task("adder", request).ok());
+  ASSERT_TRUE(manager->execute_task("adder", "alice").ok());
+  ASSERT_TRUE(manager->link_completion("adder", "Create").ok());
+  ASSERT_TRUE(manager->query("select count from runs").ok());
+
+  EXPECT_EQ(metrics.counter("plans_computed"), 1u);
+  EXPECT_EQ(metrics.counter("runs_executed"), 2u);  // Create + Simulate
+  EXPECT_GT(metrics.counter("instances_created"), 0u);
+  EXPECT_GT(metrics.counter("activities_planned"), 0u);
+  EXPECT_EQ(metrics.counter("completions_linked"), 1u);
+  EXPECT_GT(metrics.counter("cpm_passes"), 0u);
+  EXPECT_EQ(metrics.counter("queries_executed"), 1u);
+  metrics.detach();
+
+  // Detached: further work leaves the registry untouched.
+  ASSERT_TRUE(manager->query("select count from instances").ok());
+  EXPECT_EQ(metrics.counter("queries_executed"), 1u);
+}
+
+// --- ChromeTraceExporter ----------------------------------------------------
+
+/// pid of the process-name metadata event whose name contains `needle`.
+std::int64_t find_track_pid(const util::JsonArray& events, const std::string& needle) {
+  for (const util::Json& ev : events) {
+    const auto& obj = ev.as_object();
+    if (obj.at("ph").as_string() != "M") continue;
+    if (obj.at("name").as_string() != "process_name") continue;
+    const std::string& label =
+        obj.at("args").as_object().at("name").as_string();
+    if (label.find(needle) != std::string::npos) return obj.at("pid").as_int();
+  }
+  return -1;
+}
+
+int count_complete_slices_on(const util::JsonArray& events, std::int64_t pid) {
+  int n = 0;
+  for (const util::Json& ev : events) {
+    const auto& obj = ev.as_object();
+    if (obj.at("ph").as_string() == "X" && obj.at("pid").as_int() == pid) ++n;
+  }
+  return n;
+}
+
+TEST(ChromeTrace, FullSessionYieldsScheduleAndExecutionTracks) {
+  auto manager = test::make_circuit_manager();
+  ChromeTraceExporter trace;
+  trace.attach(manager->bus());
+
+  sched::PlanRequest request;
+  request.anchor = manager->clock().now();
+  ASSERT_TRUE(manager->plan_task("adder", request).ok());
+  ASSERT_TRUE(manager->execute_task("adder", "alice").ok());
+  ASSERT_TRUE(manager->run_activity("adder", "Simulate", "bob").ok());
+  ASSERT_TRUE(manager->link_completion("adder", "Create").ok());
+  trace.detach();
+  EXPECT_GT(trace.event_count(), 0u);
+
+  auto parsed = util::Json::parse(trace.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+  const auto& root = parsed.value().as_object();
+  ASSERT_TRUE(root.contains("traceEvents"));
+  const auto& events = root.at("traceEvents").as_array();
+
+  std::int64_t schedule_pid = find_track_pid(events, "schedule");
+  std::int64_t execution_pid = find_track_pid(events, "execution");
+  ASSERT_GE(schedule_pid, 0) << "no schedule process track";
+  ASSERT_GE(execution_pid, 0) << "no execution process track";
+  // The golden acceptance property: complete slices on BOTH tracks.
+  EXPECT_GE(count_complete_slices_on(events, schedule_pid), 2);   // Create+Simulate nodes
+  EXPECT_GE(count_complete_slices_on(events, execution_pid), 3);  // 2 runs + 1 rerun
+
+  // Work-time slices carry microsecond timestamps == work minutes: the
+  // planned Create node starts at the anchor (minute 0) and spans 2 days.
+  bool found_planned_create = false;
+  for (const util::Json& ev : events) {
+    const auto& obj = ev.as_object();
+    if (obj.at("ph").as_string() != "X") continue;
+    if (obj.at("pid").as_int() != schedule_pid) continue;
+    if (obj.at("name").as_string() != "Create") continue;
+    found_planned_create = true;
+    EXPECT_DOUBLE_EQ(obj.at("ts").as_double(), 0.0);
+    EXPECT_GT(obj.at("dur").as_double(), 0.0);
+  }
+  EXPECT_TRUE(found_planned_create);
+}
+
+TEST(ChromeTrace, WriteFileRoundTrips) {
+  auto manager = test::make_circuit_manager();
+  ChromeTraceExporter trace;
+  trace.attach(manager->bus());
+  sched::PlanRequest request;
+  request.anchor = manager->clock().now();
+  ASSERT_TRUE(manager->plan_task("adder", request).ok());
+  trace.detach();
+
+  const char* path = "/tmp/herc_obs_trace.json";
+  ASSERT_TRUE(trace.write_file(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = util::Json::parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().str();
+  EXPECT_TRUE(parsed.value().as_object().contains("traceEvents"));
+  std::remove(path);
+}
+
+TEST(ChromeTrace, ReplanAddsAPlanGenerationRow) {
+  auto manager = test::make_circuit_manager();
+  ChromeTraceExporter trace;
+  trace.attach(manager->bus());
+
+  sched::PlanRequest request;
+  request.anchor = manager->clock().now();
+  ASSERT_TRUE(manager->plan_task("adder", request).ok());
+  sched::PlanRequest again;
+  again.anchor = manager->clock().now();
+  ASSERT_TRUE(manager->replan_task("adder", again).ok());
+  trace.detach();
+
+  auto parsed = util::Json::parse(trace.str());
+  ASSERT_TRUE(parsed.ok());
+  const auto& events = parsed.value().as_object().at("traceEvents").as_array();
+  std::int64_t schedule_pid = find_track_pid(events, "schedule");
+  ASSERT_GE(schedule_pid, 0);
+  // Two generations -> schedule slices on two distinct rows (tids).
+  std::vector<std::int64_t> tids;
+  for (const util::Json& ev : events) {
+    const auto& obj = ev.as_object();
+    if (obj.at("ph").as_string() != "X") continue;
+    if (obj.at("pid").as_int() != schedule_pid) continue;
+    std::int64_t tid = obj.at("tid").as_int();
+    if (std::find(tids.begin(), tids.end(), tid) == tids.end()) tids.push_back(tid);
+  }
+  EXPECT_GE(tids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace herc::obs
