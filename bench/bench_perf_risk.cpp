@@ -1,0 +1,100 @@
+// P7: Monte Carlo risk throughput — thread scaling at fixed sample count and
+// sample scaling at fixed width.  The artifact also proves the determinism
+// contract: the same seed yields a bit-identical report whichever way the
+// samples are sharded across threads.
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench_main.hpp"
+#include "core/risk.hpp"
+#include "util/strings.hpp"
+#include "workloads.hpp"
+
+using namespace herc;
+
+namespace {
+
+void print_artifact() {
+  auto m = bench::make_manager(bench::layered_schema(16, 4), "root");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+
+  std::cout << "P7 — Monte Carlo risk: thread scaling (10000 samples, 16-wide"
+               " x 4-layer flow, "
+            << std::thread::hardware_concurrency() << " hardware threads)\n\n";
+  std::cout << util::pad_right("threads", 9) << util::pad_right("wall", 12)
+            << util::pad_right("speedup", 9) << "report\n"
+            << util::repeat('-', 46) << "\n";
+  sched::RiskOptions opt;
+  opt.samples = 10000;
+  opt.seed = 42;
+  double base_ms = 0;
+  sched::RiskReport reference;
+  for (int threads : {1, 2, 4, 8}) {
+    opt.threads = threads;
+    auto t0 = std::chrono::steady_clock::now();
+    auto report = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+    double ms = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                1e3;
+    bool identical = true;
+    if (threads == 1) {
+      base_ms = ms;
+      reference = report;
+    } else {
+      identical = report.mean_finish == reference.mean_finish &&
+                  report.p50_finish == reference.p50_finish &&
+                  report.p90_finish == reference.p90_finish &&
+                  report.on_time_probability == reference.on_time_probability;
+      for (std::size_t i = 0; identical && i < report.activities.size(); ++i)
+        identical = report.activities[i].criticality ==
+                    reference.activities[i].criticality;
+    }
+    std::cout << util::pad_right(std::to_string(threads), 9)
+              << util::pad_right(util::format_double(ms, 1) + " ms", 12)
+              << util::pad_right(util::format_double(base_ms / ms, 2) + "x", 9)
+              << (identical ? "identical to threads=1" : "MISMATCH") << "\n";
+  }
+  std::cout << "\nExpected shape: near-linear speedup while threads <= hardware\n"
+               "threads (workers share nothing but the finish array, written at\n"
+               "disjoint indices); on a single-core host the wall times stay\n"
+               "flat.  Every row must read `identical` regardless — per-sample\n"
+               "RNG streams are derived from (seed, sample index), never from\n"
+               "the worker, so sharding cannot change the result.\n\n";
+}
+
+void BM_RiskThreads(benchmark::State& state) {
+  auto m = bench::make_manager(bench::layered_schema(16, 4), "root");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  sched::RiskOptions opt;
+  opt.samples = 10000;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt);
+    benchmark::DoNotOptimize(r.value().p90_finish);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.samples);
+}
+BENCHMARK(BM_RiskThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RiskSamples(benchmark::State& state) {
+  auto m = bench::make_manager(bench::layered_schema(8, 4), "root");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  sched::RiskOptions opt;
+  opt.samples = static_cast<int>(state.range(0));
+  opt.threads = 4;
+  for (auto _ : state) {
+    auto r = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt);
+    benchmark::DoNotOptimize(r.value().p90_finish);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.samples);
+}
+BENCHMARK(BM_RiskSamples)->Range(1000, 100000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

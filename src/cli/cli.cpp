@@ -40,7 +40,8 @@ constexpr const char* kHelp = R"(commands:
   link <task> <activity>
   gantt <task> | portfolio <task>... | svg <task> | status <task>
   lineage <task> | diff <task>   (plan evolution; what the re-plan changed)
-  report <task> (HTML) | risk <task> | utilization <task>
+  report <task> (HTML) | utilization <task>
+  risk <task> [samples] [seed] [threads]   (Monte Carlo completion risk)
   query <statement>
   browse | select <id> | display | delete
   whatif delay <task> <activity> <duration>
@@ -181,10 +182,21 @@ util::Result<std::string> CliSession::dispatch(const Args& args) {
                                      manager->clock().now());
   }
   if (cmd == "risk") {
-    if (args.size() != 2) return util::invalid("risk <task>");
+    if (args.size() < 2 || args.size() > 5)
+      return util::invalid("risk <task> [samples] [seed] [threads]");
     auto plan = manager->plan_of(args[1]);
     if (!plan) return util::conflict("task '" + args[1] + "' has no plan");
-    auto risk = sched::analyze_risk(manager->schedule_space(), manager->db(), *plan);
+    sched::RiskOptions opt;
+    opt.bus = &manager->bus();
+    try {
+      if (args.size() > 2) opt.samples = std::stoi(args[2]);
+      if (args.size() > 3) opt.seed = std::stoull(args[3]);
+      if (args.size() > 4) opt.threads = std::stoi(args[4]);
+    } catch (const std::exception&) {
+      return util::invalid("risk: [samples] [seed] [threads] must be numeric");
+    }
+    auto risk =
+        sched::analyze_risk(manager->schedule_space(), manager->db(), *plan, opt);
     if (!risk.ok()) return risk.error();
     return risk.value().render(manager->calendar());
   }

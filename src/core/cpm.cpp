@@ -1,135 +1,31 @@
 #include "core/cpm.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "util/topo.hpp"
+#include "core/cpm_solver.hpp"
 
 namespace herc::sched {
 
 util::Result<CpmResult> compute_cpm(const std::vector<CpmActivity>& activities) {
-  const std::size_t n = activities.size();
-
-  util::Digraph g(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const CpmActivity& a = activities[i];
-    if (a.duration < 0)
-      return util::invalid("CPM: activity " + std::to_string(i) +
-                           " has negative duration");
-    if (a.release < 0)
-      return util::invalid("CPM: activity " + std::to_string(i) +
-                           " has negative release time");
-    for (std::size_t p : a.preds) {
-      if (p >= n)
-        return util::invalid("CPM: activity " + std::to_string(i) +
-                             " references unknown predecessor " + std::to_string(p));
-      g.add_edge(p, i);
-    }
-  }
-
-  auto order = util::topo_sort(g);
-  if (!order) {
-    auto cycle = util::find_cycle(g);
-    std::string msg = "CPM: precedence cycle:";
-    for (std::size_t v : cycle) msg += " " + std::to_string(v);
-    return util::invalid(msg);
-  }
-
+  auto solver = CpmSolver::compile(activities);
+  if (!solver.ok()) return solver.error();
   CpmResult r;
-  r.early_start.assign(n, 0);
-  r.early_finish.assign(n, 0);
-
-  // Forward pass: ES = max(release, max pred EF).
-  for (std::size_t v : *order) {
-    std::int64_t es = activities[v].release;
-    for (std::size_t p : activities[v].preds)
-      es = std::max(es, r.early_finish[p]);
-    r.early_start[v] = es;
-    r.early_finish[v] = es + activities[v].duration;
-    r.makespan = std::max(r.makespan, r.early_finish[v]);
-  }
-
-  // Backward pass: LF = min succ LS; sinks anchor at the makespan.
-  r.late_finish.assign(n, r.makespan);
-  r.late_start.assign(n, 0);
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
-    std::size_t v = *it;
-    std::int64_t lf = r.makespan;
-    for (std::size_t s : g.succs(v)) lf = std::min(lf, r.late_start[s]);
-    r.late_finish[v] = lf;
-    r.late_start[v] = lf - activities[v].duration;
-  }
-
-  r.total_slack.assign(n, 0);
-  r.free_slack.assign(n, 0);
-  r.critical.assign(n, false);
-  for (std::size_t v = 0; v < n; ++v) {
-    r.total_slack[v] = r.late_start[v] - r.early_start[v];
-    std::int64_t min_succ_es = r.makespan;
-    for (std::size_t s : g.succs(v)) min_succ_es = std::min(min_succ_es, r.early_start[s]);
-    r.free_slack[v] = min_succ_es - r.early_finish[v];
-    r.critical[v] = r.total_slack[v] == 0;
-  }
-
-  // One critical path: walk forward from a critical source, always stepping
-  // to a critical successor whose ES equals our EF (ties: smallest index,
-  // matching topo_sort's determinism).
-  if (n > 0) {
-    std::size_t cur = n;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (r.critical[v] && activities[v].preds.empty()) {
-        cur = v;
-        break;
-      }
-    }
-    // A release time can make every source non-critical only if it pushes
-    // some other chain later; there is always a critical source unless all
-    // criticality starts at a released activity.
-    if (cur == n) {
-      for (std::size_t v = 0; v < n; ++v) {
-        if (r.critical[v]) {
-          bool has_critical_pred = false;
-          for (std::size_t p : activities[v].preds)
-            if (r.critical[p] && r.early_finish[p] == r.early_start[v])
-              has_critical_pred = true;
-          if (!has_critical_pred) {
-            cur = v;
-            break;
-          }
-        }
-      }
-    }
-    while (cur != n) {
-      r.critical_path.push_back(cur);
-      std::size_t next = n;
-      std::vector<std::size_t> succs = g.succs(cur);
-      std::sort(succs.begin(), succs.end());
-      for (std::size_t s : succs) {
-        if (r.critical[s] && r.early_start[s] == r.early_finish[cur]) {
-          next = s;
-          break;
-        }
-      }
-      cur = next;
-    }
-  }
-
+  solver.value().solve(r);
   return r;
 }
 
 util::Result<std::vector<std::int64_t>> compute_drag(
     const std::vector<CpmActivity>& activities) {
-  auto base = compute_cpm(activities);
-  if (!base.ok()) return base.error();
+  auto solver = CpmSolver::compile(activities);
+  if (!solver.ok()) return solver.error();
+  CpmResult base;
+  solver.value().solve(base);
   std::vector<std::int64_t> drag(activities.size(), 0);
-  std::vector<CpmActivity> probe = activities;
+  // One compiled network, N duration-swap re-solves: zeroing a duration
+  // cannot introduce a cycle, and only the makespan is needed per probe.
   for (std::size_t i = 0; i < activities.size(); ++i) {
-    if (!base.value().critical[i] || activities[i].duration == 0) continue;
-    std::int64_t saved = probe[i].duration;
-    probe[i].duration = 0;
-    // Same graph, still acyclic: cannot fail.
-    drag[i] = base.value().makespan - compute_cpm(probe).value().makespan;
-    probe[i].duration = saved;
+    if (!base.critical[i] || activities[i].duration == 0) continue;
+    solver.value().set_duration(i, 0);
+    drag[i] = base.makespan - solver.value().solve_makespan();
+    solver.value().set_duration(i, activities[i].duration);
   }
   return drag;
 }

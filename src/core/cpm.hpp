@@ -46,6 +46,10 @@ struct CpmResult {
 ///
 /// The backward pass anchors every sink at the makespan, so project-level
 /// slack is relative to the earliest possible completion.
+///
+/// This is a thin one-shot wrapper over CpmSolver (cpm_solver.hpp): callers
+/// that re-solve the same network with different durations should compile a
+/// solver once and use its incremental fast path instead.
 [[nodiscard]] util::Result<CpmResult> compute_cpm(
     const std::vector<CpmActivity>& activities);
 

@@ -1,0 +1,120 @@
+#pragma once
+// Reusable CPM scheduling kernel.
+//
+// compute_cpm (cpm.hpp) rebuilds a vector-of-vectors digraph, re-validates,
+// and re-toposorts on every call — fine for one-shot planning, wasteful for
+// the hot paths that re-solve the *same* network thousands of times with
+// different durations (Monte Carlo risk, crash-to-deadline, drag, slip
+// propagation on every database event).  CpmSolver splits the work:
+//
+//   compile()  — once per network: validate, build flat CSR successor /
+//                predecessor arrays (successor lists pre-sorted by activity
+//                index), cache a topological order, run the cycle check.
+//   solve()    — per scenario: forward/backward passes plus critical-path
+//                extraction into a caller-owned CpmResult.  After the first
+//                solve every buffer is reused: zero allocation per solve.
+//   set_duration() / set_release() — the incremental fast path: structure is
+//                immutable after compile, so value mutations never
+//                re-validate, re-build, or re-toposort.
+//
+// A solver is copyable; per-thread copies share no state, which is how
+// analyze_risk shards samples across a thread pool.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cpm.hpp"
+#include "obs/event_bus.hpp"
+#include "util/result.hpp"
+
+namespace herc::sched {
+
+class CpmSolver {
+ public:
+  /// Counters since construction or the last take_stats().  A solve is
+  /// *incremental* when it reuses a previously solved structure (every solve
+  /// after the first on one compiled network).
+  struct Stats {
+    std::uint64_t compiles = 0;
+    std::uint64_t solves = 0;
+    std::uint64_t incremental_solves = 0;
+  };
+
+  CpmSolver() = default;
+
+  /// Compiles `activities` into CSR form.  Fails (kInvalid) on a negative
+  /// duration or release, an out-of-range predecessor, or a precedence
+  /// cycle — the same conditions as compute_cpm, checked exactly once.
+  [[nodiscard]] static util::Result<CpmSolver> compile(
+      const std::vector<CpmActivity>& activities);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::int64_t duration(std::size_t i) const { return durations_[i]; }
+  [[nodiscard]] std::int64_t release(std::size_t i) const { return releases_[i]; }
+
+  /// Value mutations: no validation beyond clamping to >= 0 (compile proved
+  /// the structure sound; negative inputs cannot corrupt it).
+  void set_duration(std::size_t i, std::int64_t d) {
+    durations_[i] = d < 0 ? 0 : d;
+  }
+  void set_release(std::size_t i, std::int64_t r) { releases_[i] = r < 0 ? 0 : r; }
+
+  /// Full CPM solution into `out`, reusing its buffers.  Infallible: the
+  /// compiled structure is acyclic and values are non-negative.
+  void solve(CpmResult& out);
+
+  /// Forward pass only (early dates internally, returns the makespan).
+  /// The cheapest probe for duration-swap loops like drag.
+  [[nodiscard]] std::int64_t solve_makespan();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Returns the counters accumulated since the last take and zeroes them —
+  /// the delta a caller publishes to observability.
+  Stats take_stats() {
+    Stats s = stats_;
+    stats_ = Stats{};
+    return s;
+  }
+
+ private:
+  void count_solve() {
+    ++stats_.solves;
+    if (solved_once_) ++stats_.incremental_solves;
+    solved_once_ = true;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> durations_;
+  std::vector<std::int64_t> releases_;
+  // CSR adjacency.  succ_[succ_off_[v] .. succ_off_[v+1]) are v's successors
+  // in ascending index order (counting sort by construction), so the
+  // critical-path walk is a plain scan — no per-step copy + sort.
+  std::vector<std::uint32_t> succ_off_, succ_;
+  std::vector<std::uint32_t> pred_off_, pred_;
+  std::vector<std::uint32_t> order_;  ///< cached topological order
+  std::vector<std::int64_t> scratch_ef_;  ///< solve_makespan early finishes
+  Stats stats_;
+  bool solved_once_ = false;
+};
+
+/// Publishes a solver's taken Stats as one `cpm.solver` scope event (the
+/// MetricsRegistry turns it into solver_compiles / solver_solves /
+/// solver_incremental_solves counters).  No-op when the bus is off or the
+/// stats are empty, so hot paths pay one atomic load.
+inline void publish_solver_stats(obs::EventBus* bus, std::string category,
+                                 const CpmSolver::Stats& stats) {
+  if (!obs::on(bus)) return;
+  if (stats.compiles == 0 && stats.solves == 0) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kScope;
+  e.name = "cpm.solver";
+  e.category = std::move(category);
+  e.args = {{"compiles", std::to_string(stats.compiles)},
+            {"solves", std::to_string(stats.solves)},
+            {"resolves", std::to_string(stats.incremental_solves)}};
+  bus->publish(std::move(e));
+}
+
+}  // namespace herc::sched

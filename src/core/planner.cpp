@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "core/cpm_solver.hpp"
 #include "core/resources.hpp"
 
 namespace herc::sched {
@@ -64,24 +65,27 @@ util::Result<ScheduleRunId> Planner::plan(const flow::TaskTree& tree,
     }
   }
 
-  // Solve the network.  Index schedule nodes densely in `created` order.
-  std::unordered_map<std::uint64_t, std::size_t> index;
-  for (std::size_t i = 0; i < created.size(); ++i) index[created[i].value()] = i;
-
+  // Solve the network.  The creation loop above allocated this plan's node
+  // ids consecutively, so `created` order IS the dense index: a node maps to
+  // (id - first id) with no per-plan hash map.
+  const std::uint64_t first_id = created.empty() ? 0 : created.front().value();
   std::vector<CpmActivity> acts(created.size());
   for (std::size_t i = 0; i < created.size(); ++i) {
     acts[i].duration = space_->node(created[i]).est_duration.count_minutes();
     acts[i].release = 0;  // anchor handled by offsetting at the end
   }
   for (const auto& dep : space_->plan(plan_id).deps)
-    acts[index.at(dep.to.value())].preds.push_back(index.at(dep.from.value()));
+    acts[dep.to.value() - first_id].preds.push_back(
+        static_cast<std::size_t>(dep.from.value() - first_id));
 
-  util::Result<CpmResult> cpm = [&] {
+  CpmResult solved;
+  {
     obs::ScopedTimer cpm_timer(bus_, "cpm", "plan");
-    return compute_cpm(acts);
-  }();
-  if (!cpm.ok()) return cpm.error();
-  const CpmResult& solved = cpm.value();
+    auto solver = CpmSolver::compile(acts);
+    if (!solver.ok()) return solver.error();
+    solver.value().solve(solved);
+    publish_solver_stats(bus_, "plan", solver.value().take_stats());
+  }
 
   std::vector<std::int64_t> start(created.size()), finish(created.size());
   for (std::size_t i = 0; i < created.size(); ++i) {

@@ -1,14 +1,42 @@
 #include "core/risk.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 
-#include "core/cpm.hpp"
+#include "core/cpm_solver.hpp"
 #include "core/estimate.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace herc::sched {
+
+namespace {
+
+/// Independent per-sample RNG stream: a splitmix64-style finalizer over
+/// (seed, sample) keeps streams decorrelated — consecutive seeds would
+/// otherwise be shifted copies of one another — and makes sample s draw the
+/// same values no matter which thread runs it.
+std::uint64_t sample_stream_seed(std::uint64_t seed, int sample) {
+  std::uint64_t z =
+      seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(sample) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Per-worker accumulators.  Everything is integral, so combining worker
+/// results is order-independent and the report stays bit-identical across
+/// thread counts.
+struct WorkerAccum {
+  std::int64_t finish_sum = 0;
+  int on_time = 0;
+  std::vector<int> critical_count;
+  std::vector<std::int64_t> duration_sum;
+  CpmSolver::Stats stats;
+};
+
+}  // namespace
 
 util::Result<RiskReport> analyze_risk(const ScheduleSpace& space,
                                       const meta::Database& db, ScheduleRunId plan_id,
@@ -23,92 +51,138 @@ util::Result<RiskReport> analyze_risk(const ScheduleSpace& space,
   };
 
   // Static structure shared by all samples.
+  const std::size_t n = plan.nodes.size();
   std::unordered_map<std::uint64_t, std::size_t> index;
-  std::vector<CpmActivity> base(plan.nodes.size());
-  std::vector<std::vector<cal::WorkDuration>> histories(plan.nodes.size());
-  std::vector<bool> fixed(plan.nodes.size(), false);
-  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
-    const ScheduleNode& n = space.node(plan.nodes[i]);
+  std::vector<CpmActivity> base(n);
+  std::vector<std::vector<cal::WorkDuration>> histories(n);
+  std::vector<bool> fixed(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScheduleNode& node = space.node(plan.nodes[i]);
     index[plan.nodes[i].value()] = i;
-    if (n.completed && n.actual_finish) {
-      std::int64_t start = n.actual_start ? rel(*n.actual_start) : rel(*n.actual_finish);
+    if (node.completed && node.actual_finish) {
+      std::int64_t start =
+          node.actual_start ? rel(*node.actual_start) : rel(*node.actual_finish);
       base[i].release = start;
-      base[i].duration = rel(*n.actual_finish) - start;
+      base[i].duration = rel(*node.actual_finish) - start;
       fixed[i] = true;
     } else {
-      base[i].release = n.actual_start ? rel(*n.actual_start) : 0;
-      base[i].duration = (n.planned_finish - n.planned_start).count_minutes();
-      histories[i] = DurationEstimator::history(db, n.activity);
+      base[i].release = node.actual_start ? rel(*node.actual_start) : 0;
+      base[i].duration = (node.planned_finish - node.planned_start).count_minutes();
+      histories[i] = DurationEstimator::history(db, node.activity);
     }
   }
   for (const auto& dep : plan.deps)
     base[index.at(dep.to.value())].preds.push_back(index.at(dep.from.value()));
 
-  auto deterministic = compute_cpm(base);
-  if (!deterministic.ok()) return deterministic.error();
+  // Compile once; fixed durations and releases are baked in, only the
+  // uncertain durations change per sample.
+  auto compiled = CpmSolver::compile(base);
+  if (!compiled.ok()) return compiled.error();
+  CpmSolver& base_solver = compiled.value();
+  CpmResult deterministic;
+  base_solver.solve(deterministic);
+  const std::int64_t det_makespan = deterministic.makespan;
+  CpmSolver::Stats base_stats = base_solver.take_stats();
 
   RiskReport report;
   report.samples = options.samples;
-  report.deterministic_finish =
-      cal::WorkInstant(anchor + deterministic.value().makespan);
+  report.deterministic_finish = cal::WorkInstant(anchor + det_makespan);
 
-  util::Rng rng(options.seed);
-  std::vector<std::int64_t> finishes;
-  finishes.reserve(static_cast<std::size_t>(options.samples));
-  std::vector<int> critical_count(base.size(), 0);
-  std::vector<double> duration_sum(base.size(), 0);
-  double finish_sum = 0;
-  int on_time = 0;
-
-  std::vector<CpmActivity> sample = base;
-  for (int s = 0; s < options.samples; ++s) {
-    for (std::size_t i = 0; i < base.size(); ++i) {
-      if (fixed[i]) {
-        sample[i].duration = base[i].duration;
-      } else if (histories[i].size() >= 2) {
-        // Bootstrap from measured runs.
-        const auto& h = histories[i];
-        sample[i].duration =
-            h[static_cast<std::size_t>(
-                  rng.uniform_int(0, static_cast<std::int64_t>(h.size()) - 1))]
-                .count_minutes();
-      } else {
-        double f = rng.uniform(1.0 - options.default_spread,
-                               1.0 + options.default_spread);
-        sample[i].duration = std::max<std::int64_t>(
-            1, static_cast<std::int64_t>(static_cast<double>(base[i].duration) * f));
+  // Each worker simulates a contiguous block of samples on its own solver
+  // copy; finishes land at their sample index, accumulators merge after
+  // join.  Sample s is identical whichever worker runs it.
+  std::vector<std::int64_t> finishes(static_cast<std::size_t>(options.samples));
+  auto run_block = [&](int lo, int hi, CpmSolver solver, WorkerAccum& acc) {
+    acc.critical_count.assign(n, 0);
+    acc.duration_sum.assign(n, 0);
+    CpmResult solved;
+    for (int s = lo; s < hi; ++s) {
+      util::Rng rng(sample_stream_seed(options.seed, s));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (fixed[i]) continue;  // actuals stay baked into the solver
+        std::int64_t d;
+        if (histories[i].size() >= 2) {
+          // Bootstrap from measured runs.
+          const auto& h = histories[i];
+          d = h[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(h.size()) - 1))]
+                  .count_minutes();
+        } else {
+          double f = rng.uniform(1.0 - options.default_spread,
+                                 1.0 + options.default_spread);
+          d = std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(static_cast<double>(base[i].duration) * f));
+        }
+        solver.set_duration(i, d);
+        acc.duration_sum[i] += d;
       }
-      duration_sum[i] += static_cast<double>(sample[i].duration);
+      solver.solve(solved);
+      finishes[static_cast<std::size_t>(s)] = solved.makespan;
+      acc.finish_sum += solved.makespan;
+      if (solved.makespan <= det_makespan) ++acc.on_time;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!fixed[i] && solved.critical[i]) ++acc.critical_count[i];
     }
-    auto solved = compute_cpm(sample).take();
-    finishes.push_back(solved.makespan);
-    finish_sum += static_cast<double>(solved.makespan);
-    if (solved.makespan <= deterministic.value().makespan) ++on_time;
-    for (std::size_t i = 0; i < base.size(); ++i)
-      if (!fixed[i] && solved.critical[i]) ++critical_count[i];
+    acc.stats = solver.take_stats();
+  };
+
+  const int threads = std::clamp(options.threads, 1, options.samples);
+  std::vector<WorkerAccum> accums(static_cast<std::size_t>(threads));
+  if (threads == 1) {
+    run_block(0, options.samples, std::move(base_solver), accums[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    const int per = options.samples / threads;
+    const int extra = options.samples % threads;
+    int lo = 0;
+    for (int t = 0; t < threads; ++t) {
+      int hi = lo + per + (t < extra ? 1 : 0);
+      pool.emplace_back(run_block, lo, hi, base_solver, std::ref(accums[t]));
+      lo = hi;
+    }
+    for (auto& th : pool) th.join();
   }
+
+  std::int64_t finish_sum = 0;
+  std::vector<int> critical_count(n, 0);
+  std::vector<std::int64_t> duration_sum(n, 0);
+  int on_time = 0;
+  CpmSolver::Stats stats = base_stats;
+  for (const WorkerAccum& acc : accums) {
+    finish_sum += acc.finish_sum;
+    on_time += acc.on_time;
+    for (std::size_t i = 0; i < n; ++i) {
+      critical_count[i] += acc.critical_count[i];
+      duration_sum[i] += acc.duration_sum[i];
+    }
+    stats.compiles += acc.stats.compiles;
+    stats.solves += acc.stats.solves;
+    stats.incremental_solves += acc.stats.incremental_solves;
+  }
+  publish_solver_stats(options.bus, "risk", stats);
 
   std::sort(finishes.begin(), finishes.end());
   auto pct = [&](double p) {
     auto idx = static_cast<std::size_t>(p * static_cast<double>(finishes.size() - 1));
     return finishes[idx];
   };
-  report.mean_finish = cal::WorkInstant(
-      anchor + static_cast<std::int64_t>(finish_sum / options.samples));
+  report.mean_finish = cal::WorkInstant(anchor + finish_sum / options.samples);
   report.p50_finish = cal::WorkInstant(anchor + pct(0.5));
   report.p90_finish = cal::WorkInstant(anchor + pct(0.9));
   report.on_time_probability =
       static_cast<double>(on_time) / static_cast<double>(options.samples);
 
-  for (std::size_t i = 0; i < base.size(); ++i) {
-    const ScheduleNode& n = space.node(plan.nodes[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ScheduleNode& node = space.node(plan.nodes[i]);
     ActivityRisk ar;
-    ar.activity = n.activity;
+    ar.activity = node.activity;
     ar.criticality = fixed[i] ? 0.0
                               : static_cast<double>(critical_count[i]) /
                                     static_cast<double>(options.samples);
+    // Fixed activities never sample: their mean is exactly the actual.
     ar.mean_duration = cal::WorkDuration::minutes(
-        static_cast<std::int64_t>(duration_sum[i] / options.samples));
+        fixed[i] ? base[i].duration : duration_sum[i] / options.samples);
     report.activities.push_back(std::move(ar));
   }
   return report;

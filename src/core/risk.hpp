@@ -10,7 +10,9 @@
 // (the fraction of scenarios in which it is critical) — the standard PERT
 // generalisation of the critical path.
 //
-// Deterministic: all sampling comes from one seeded Rng.
+// Deterministic: every sample draws from its own RNG stream derived from
+// (seed, sample index), and all accumulation is integral, so the report is
+// bit-identical for a given seed regardless of RiskOptions::threads.
 
 #include <cstdint>
 #include <string>
@@ -18,6 +20,7 @@
 
 #include "core/schedule_space.hpp"
 #include "metadata/database.hpp"
+#include "obs/event_bus.hpp"
 
 namespace herc::sched {
 
@@ -27,6 +30,13 @@ struct RiskOptions {
   /// Spread applied when an activity has fewer than 2 measured durations:
   /// duration ~ uniform[est*(1-spread), est*(1+spread)].
   double default_spread = 0.3;
+  /// Worker threads the samples are sharded across (clamped to [1, samples]).
+  /// Each worker owns a copy of the compiled solver and every sample draws
+  /// from its own seed-derived RNG stream, so the report is bit-identical
+  /// for any thread count.
+  int threads = 1;
+  /// Optional observability: receives one cpm.solver stats event per call.
+  obs::EventBus* bus = nullptr;
 };
 
 struct ActivityRisk {

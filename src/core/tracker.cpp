@@ -73,14 +73,11 @@ void ScheduleTracker::project(cal::WorkInstant now) {
   const auto& node_ids = plan.nodes;
   if (node_ids.empty()) return;
 
-  std::unordered_map<std::uint64_t, std::size_t> index;
-  for (std::size_t i = 0; i < node_ids.size(); ++i) index[node_ids[i].value()] = i;
-
   const std::int64_t anchor = plan.anchor.minutes_since_epoch();
   const std::int64_t now_rel = std::max<std::int64_t>(0, now.minutes_since_epoch() - anchor);
 
-  std::vector<CpmActivity> acts(node_ids.size());
-  for (std::size_t i = 0; i < node_ids.size(); ++i) {
+  // Release/duration of node i under the projection rules.
+  auto value_of = [&](std::size_t i) -> std::pair<std::int64_t, std::int64_t> {
     const ScheduleNode& n = space_->node(node_ids[i]);
     auto rel = [&](cal::WorkInstant t) {
       return std::max<std::int64_t>(0, t.minutes_since_epoch() - anchor);
@@ -88,28 +85,68 @@ void ScheduleTracker::project(cal::WorkInstant now) {
     if (n.completed && n.actual_finish) {
       // Fixed history: pin exactly at the actuals.
       std::int64_t start = n.actual_start ? rel(*n.actual_start) : rel(*n.actual_finish);
-      acts[i].release = start;
-      acts[i].duration = rel(*n.actual_finish) - start;
-    } else if (n.actual_start) {
+      return {start, rel(*n.actual_finish) - start};
+    }
+    if (n.actual_start) {
       // In progress: started when it started; cannot finish before `now`,
       // and still needs its estimated duration if that projects later.
       std::int64_t start = rel(*n.actual_start);
       std::int64_t projected_finish =
           std::max(start + n.est_duration.count_minutes(), now_rel);
-      acts[i].release = start;
-      acts[i].duration = projected_finish - start;
-    } else {
-      // Not started: full estimate, not before now.
-      acts[i].release = now_rel;
-      acts[i].duration = n.est_duration.count_minutes();
+      return {start, projected_finish - start};
+    }
+    // Not started: full estimate, not before now.
+    return {now_rel, n.est_duration.count_minutes()};
+  };
+
+  // The plan's node/dep lists are append-only, so count equality means the
+  // cached compiled network is still this network.
+  const bool reuse = cache_ && cache_->plan == *plan_ &&
+                     cache_->nodes == node_ids.size() &&
+                     cache_->deps == plan.deps.size();
+  if (!reuse) {
+    PlanSolverCache fresh;
+    fresh.plan = *plan_;
+    fresh.nodes = node_ids.size();
+    fresh.deps = plan.deps.size();
+    for (std::size_t i = 0; i < node_ids.size(); ++i)
+      fresh.index[node_ids[i].value()] = i;
+    std::vector<CpmActivity> acts(node_ids.size());
+    for (std::size_t i = 0; i < node_ids.size(); ++i)
+      std::tie(acts[i].release, acts[i].duration) = value_of(i);
+    for (const auto& dep : plan.deps)
+      acts[fresh.index.at(dep.to.value())].preds.push_back(
+          fresh.index.at(dep.from.value()));
+    auto compiled = CpmSolver::compile(acts);
+    if (!compiled.ok()) {
+      // Plan deps come from a tree, so this "cannot happen" — but a silent
+      // return would leave stale projections with no trace.  Surface it.
+      cache_.reset();
+      if (obs::on(bus_)) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kSlipPropagated;
+        ev.name = plan.name;
+        ev.category = "track";
+        ev.id = plan_->value();
+        ev.work_start = now;
+        ev.failed = true;
+        ev.args = {{"error", compiled.error().message}};
+        bus_->publish(std::move(ev));
+      }
+      return;
+    }
+    cache_.emplace(std::move(fresh));
+    cache_->solver = std::move(compiled.value());
+  } else {
+    // Structure unchanged: durations/releases-only incremental re-solve.
+    for (std::size_t i = 0; i < node_ids.size(); ++i) {
+      auto [release, duration] = value_of(i);
+      cache_->solver.set_release(i, release);
+      cache_->solver.set_duration(i, duration);
     }
   }
-  for (const auto& dep : plan.deps)
-    acts[index.at(dep.to.value())].preds.push_back(index.at(dep.from.value()));
-
-  auto cpm = compute_cpm(acts);
-  if (!cpm.ok()) return;  // plan deps came from a tree: cycles are impossible
-  const CpmResult& solved = cpm.value();
+  cache_->solver.solve(cache_->result);
+  const CpmResult& solved = cache_->result;
 
   std::size_t moved = 0;
   for (std::size_t i = 0; i < node_ids.size(); ++i) {
@@ -135,6 +172,7 @@ void ScheduleTracker::project(cal::WorkInstant now) {
     if (t0 != 0) ev.duration_ns = obs::EventBus::wall_now_ns() - t0;
     ev.args = {{"nodes_moved", std::to_string(moved)}};
     bus_->publish(std::move(ev));
+    publish_solver_stats(bus_, "track", cache_->solver.take_stats());
   }
 }
 

@@ -18,7 +18,9 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 
+#include "core/cpm_solver.hpp"
 #include "core/schedule_space.hpp"
 #include "metadata/database.hpp"
 #include "obs/event_bus.hpp"
@@ -63,10 +65,25 @@ class ScheduleTracker : public meta::DatabaseObserver {
   void on_run_recorded(const meta::Run& run) override;
 
  private:
+  /// Compiled network of the watched plan, kept across projections.  The
+  /// plan's node and dep lists are append-only, so the cache is valid while
+  /// the (plan id, node count, dep count) triple is unchanged; a recorded
+  /// run then costs a durations/releases-only re-solve — no graph rebuild,
+  /// no toposort, no per-call index map, no allocation.
+  struct PlanSolverCache {
+    ScheduleRunId plan;
+    std::size_t nodes = 0;
+    std::size_t deps = 0;
+    std::unordered_map<std::uint64_t, std::size_t> index;  ///< node id -> dense
+    CpmSolver solver;
+    CpmResult result;  ///< reused solve buffer
+  };
+
   ScheduleSpace* space_;
   meta::Database* db_;
   std::optional<ScheduleRunId> plan_;
   obs::EventBus* bus_ = nullptr;
+  std::optional<PlanSolverCache> cache_;
 };
 
 }  // namespace herc::sched

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/cpm.hpp"
+#include "core/cpm_solver.hpp"
 
 namespace herc::sched {
 
@@ -70,10 +71,6 @@ PlanNetwork build_network(const ScheduleSpace& space, ScheduleRunId plan_id,
   return net;
 }
 
-std::int64_t makespan_of(const PlanNetwork& net) {
-  return compute_cpm(net.acts).value().makespan;
-}
-
 }  // namespace
 
 util::Result<SlipImpact> simulate_delay(const ScheduleSpace& space, ScheduleRunId plan,
@@ -88,24 +85,27 @@ util::Result<SlipImpact> simulate_delay(const ScheduleSpace& space, ScheduleRunI
                           "' is complete; its dates are history");
 
   PlanNetwork net = build_network(space, plan, NetworkMode::kPinned);
-  auto base = compute_cpm(net.acts);
-  if (!base.ok()) return base.error();
+  auto solver = CpmSolver::compile(net.acts);
+  if (!solver.ok()) return solver.error();
+  CpmResult base;
+  solver.value().solve(base);
 
   std::size_t target = net.index.at(nid->value());
-  net.acts[target].duration += delay.count_minutes();
-  auto delayed = compute_cpm(net.acts);
-  if (!delayed.ok()) return delayed.error();
+  solver.value().set_duration(target,
+                              net.acts[target].duration + delay.count_minutes());
+  CpmResult delayed;
+  solver.value().solve(delayed);
 
   SlipImpact impact;
   impact.activity = activity;
   impact.delay = delay;
-  impact.old_finish = cal::WorkInstant(net.anchor + base.value().makespan);
-  impact.new_finish = cal::WorkInstant(net.anchor + delayed.value().makespan);
+  impact.old_finish = cal::WorkInstant(net.anchor + base.makespan);
+  impact.new_finish = cal::WorkInstant(net.anchor + delayed.makespan);
   impact.project_slip = impact.new_finish - impact.old_finish;
   impact.absorbed = impact.project_slip.count_minutes() == 0;
   for (std::size_t i = 0; i < net.nodes.size(); ++i) {
     if (i == target) continue;
-    if (delayed.value().early_start[i] != base.value().early_start[i])
+    if (delayed.early_start[i] != base.early_start[i])
       impact.shifted_activities.push_back(space.node(net.nodes[i]).activity);
   }
   return impact;
@@ -121,9 +121,15 @@ util::Result<CrashPlan> crash_to_deadline(const ScheduleSpace& space,
   const std::int64_t deadline_rel =
       deadline.minutes_since_epoch() - net.anchor;
 
+  // One compiled network for the whole greedy search: each round is a
+  // durations-only incremental re-solve (up to 10k of them).
+  auto solver = CpmSolver::compile(net.acts).take();  // plan deps are acyclic
+  CpmResult solved;
+
   CrashPlan result;
   result.deadline = deadline;
-  result.projected_finish = cal::WorkInstant(net.anchor + makespan_of(net));
+  solver.solve(solved);
+  result.projected_finish = cal::WorkInstant(net.anchor + solved.makespan);
   result.shortfall = result.projected_finish - deadline;
   if (result.shortfall.count_minutes() <= 0) return result;  // already met
 
@@ -134,7 +140,7 @@ util::Result<CrashPlan> crash_to_deadline(const ScheduleSpace& space,
 
   // Greedy: each round, shorten the longest critical incomplete activity.
   for (int rounds = 0; rounds < 10000; ++rounds) {
-    auto solved = compute_cpm(net.acts).take();
+    solver.solve(solved);
     std::int64_t over = solved.makespan - deadline_rel;
     if (over <= 0) break;
 
@@ -143,8 +149,8 @@ util::Result<CrashPlan> crash_to_deadline(const ScheduleSpace& space,
     for (std::size_t i = 0; i < net.acts.size(); ++i) {
       if (space.node(net.nodes[i]).completed) continue;
       if (!solved.critical[i]) continue;
-      if (net.acts[i].duration > best_len) {
-        best_len = net.acts[i].duration;
+      if (solver.duration(i) > best_len) {
+        best_len = solver.duration(i);
         best = i;
       }
     }
@@ -152,9 +158,9 @@ util::Result<CrashPlan> crash_to_deadline(const ScheduleSpace& space,
       result.feasible = false;  // everything critical is already at the floor
       break;
     }
-    std::int64_t reducible = net.acts[best].duration - floor.count_minutes();
+    std::int64_t reducible = solver.duration(best) - floor.count_minutes();
     std::int64_t take = std::min(reducible, over);
-    net.acts[best].duration -= take;
+    solver.set_duration(best, solver.duration(best) - take);
     cut[best] += take;
   }
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/strings.hpp"
 
@@ -102,6 +103,12 @@ void MetricsRegistry::on_event(const Event& event) {
       ++counters_["completions_linked"];
       break;
     case EventKind::kSlipPropagated:
+      // A failed projection left the plan's displayed dates stale — count it
+      // apart so it never hides inside the normal re-projection traffic.
+      if (event.failed) {
+        ++counters_["project_failures"];
+        break;
+      }
       // Every re-projection invalidates the previously displayed dates and
       // runs one CPM pass over the watched plan.
       ++counters_["replan_invalidations"];
@@ -117,6 +124,18 @@ void MetricsRegistry::on_event(const Event& event) {
       break;
     case EventKind::kScope:
       if (event.name == "cpm") ++counters_["cpm_passes"];
+      // Scheduling-kernel stats carrier (see sched::publish_solver_stats):
+      // args hold counter deltas instead of a wall-clock duration.
+      if (event.name == "cpm.solver") {
+        for (const auto& [key, value] : event.args) {
+          char* end = nullptr;
+          const std::uint64_t delta = std::strtoull(value.c_str(), &end, 10);
+          if (end == value.c_str()) continue;
+          if (key == "compiles") counters_["solver_compiles"] += delta;
+          else if (key == "solves") counters_["solver_solves"] += delta;
+          else if (key == "resolves") counters_["solver_incremental_solves"] += delta;
+        }
+      }
       if (event.duration_ns >= 0)
         histograms_["scope." + event.name].record(event.duration_ns);
       break;

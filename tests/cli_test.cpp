@@ -242,6 +242,20 @@ TEST(Cli, ReportRiskAndUtilizationCommands) {
   fail(s, "utilization neverplanned");
 }
 
+TEST(Cli, RiskCommandAcceptsSamplesSeedThreads) {
+  CliSession s = circuit_session();
+  ok(s, "plan adder");
+  auto out = ok(s, "risk adder 50 7 2");
+  EXPECT_NE(out.find("50 samples"), std::string::npos);
+  // Thread count must not change the report (determinism is user-visible).
+  EXPECT_EQ(ok(s, "risk adder 50 7 4"), out);
+  EXPECT_EQ(ok(s, "risk adder 50 7"), out);
+  fail(s, "risk adder fifty");
+  fail(s, "risk adder 50 7 2 9");  // too many arguments
+  EXPECT_NE(ok(s, "help").find("risk <task> [samples] [seed] [threads]"),
+            std::string::npos);
+}
+
 TEST(Cli, ShowSchemaIncludesLintWarnings) {
   CliSession s;
   ok(s, "schema schema smelly { data a, orphan; tool t; rule A: a <- t(); }");

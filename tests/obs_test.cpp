@@ -161,6 +161,38 @@ TEST(Metrics, JsonDumpParsesAndMirrorsCounters) {
   EXPECT_EQ(lat.at("sum_ns").as_int(), 1500);
 }
 
+TEST(Metrics, FailedProjectionCountsAsProjectFailure) {
+  EventBus bus;
+  MetricsRegistry metrics;
+  metrics.attach(bus);
+  Event ok_ev;
+  ok_ev.kind = EventKind::kSlipPropagated;
+  bus.publish(std::move(ok_ev));
+  Event failed_ev;
+  failed_ev.kind = EventKind::kSlipPropagated;
+  failed_ev.failed = true;
+  failed_ev.args = {{"error", "CPM: precedence cycle"}};
+  bus.publish(std::move(failed_ev));
+  EXPECT_EQ(metrics.counter("project_failures"), 1u);
+  // The failure is not double-counted as a successful re-projection.
+  EXPECT_EQ(metrics.counter("replan_invalidations"), 1u);
+  EXPECT_EQ(metrics.counter("cpm_passes"), 1u);
+}
+
+TEST(Metrics, SolverStatsEventFeedsSolverCounters) {
+  EventBus bus;
+  MetricsRegistry metrics;
+  metrics.attach(bus);
+  Event e;
+  e.kind = EventKind::kScope;
+  e.name = "cpm.solver";
+  e.args = {{"compiles", "1"}, {"solves", "12"}, {"resolves", "11"}};
+  bus.publish(std::move(e));
+  EXPECT_EQ(metrics.counter("solver_compiles"), 1u);
+  EXPECT_EQ(metrics.counter("solver_solves"), 12u);
+  EXPECT_EQ(metrics.counter("solver_incremental_solves"), 11u);
+}
+
 TEST(Metrics, AccumulatesFromAWorkflowSession) {
   auto manager = test::make_circuit_manager();
   MetricsRegistry metrics;

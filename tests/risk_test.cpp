@@ -4,6 +4,7 @@
 
 #include "common.hpp"
 #include "core/risk.hpp"
+#include "obs/metrics.hpp"
 
 namespace herc::sched {
 namespace {
@@ -128,6 +129,66 @@ TEST(Risk, CompletedActivitiesAreFixed) {
   // and its mean duration equals its actual duration.
   EXPECT_DOUBLE_EQ(report.activities[0].criticality, 0.0);
   EXPECT_EQ(report.activities[0].mean_duration.count_minutes(), 10 * 60);
+}
+
+TEST(Risk, ThreadCountInvariance) {
+  // Same seed => bit-identical report no matter how the samples are sharded.
+  auto m = test::make_asic_manager();
+  m->execute_task("chip", "carol").value();  // history for the bootstrap path
+  m->execute_task("chip", "carol").value();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  RiskOptions opt;
+  opt.samples = 500;
+  opt.seed = 9;
+  auto reference = analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+  for (int threads : {2, 3, 4, 8}) {
+    opt.threads = threads;
+    auto report = analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+    EXPECT_EQ(report.deterministic_finish, reference.deterministic_finish);
+    EXPECT_EQ(report.mean_finish, reference.mean_finish) << threads;
+    EXPECT_EQ(report.p50_finish, reference.p50_finish) << threads;
+    EXPECT_EQ(report.p90_finish, reference.p90_finish) << threads;
+    EXPECT_EQ(report.on_time_probability, reference.on_time_probability) << threads;
+    ASSERT_EQ(report.activities.size(), reference.activities.size());
+    for (std::size_t i = 0; i < report.activities.size(); ++i) {
+      EXPECT_EQ(report.activities[i].criticality,
+                reference.activities[i].criticality)
+          << threads << " " << report.activities[i].activity;
+      EXPECT_EQ(report.activities[i].mean_duration.count_minutes(),
+                reference.activities[i].mean_duration.count_minutes())
+          << threads << " " << report.activities[i].activity;
+    }
+  }
+}
+
+TEST(Risk, MoreThreadsThanSamplesIsClamped) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  RiskOptions opt;
+  opt.samples = 3;
+  opt.threads = 64;
+  auto report = analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+  EXPECT_EQ(report.samples, 3);
+  opt.threads = -5;  // nonsense degrades to single-threaded
+  EXPECT_TRUE(analyze_risk(m->schedule_space(), m->db(), plan, opt).ok());
+}
+
+TEST(Risk, PublishesSolverStatsToBus) {
+  auto m = test::make_asic_manager();
+  auto plan = m->plan_task("chip", {.anchor = m->clock().now()}).value();
+  obs::MetricsRegistry metrics;
+  metrics.attach(m->bus());
+  RiskOptions opt;
+  opt.samples = 50;
+  opt.threads = 2;
+  opt.bus = &m->bus();
+  (void)analyze_risk(m->schedule_space(), m->db(), plan, opt).take();
+  EXPECT_EQ(metrics.counter("solver_compiles"), 1u);
+  // Deterministic solve + one per sample.
+  EXPECT_EQ(metrics.counter("solver_solves"), 51u);
+  // Worker solvers are copies of the already-solved base solver, so every
+  // per-sample solve reuses warm structure.
+  EXPECT_EQ(metrics.counter("solver_incremental_solves"), 50u);
 }
 
 TEST(Risk, RenderContainsSummaryAndRows) {

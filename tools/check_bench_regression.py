@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare benchmark --json output against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [CURRENT...] [--max-ratio R]
+
+BASELINE and CURRENT are files produced by the bench binaries' `--json`
+reporter: a JSON array of {"name", "iters", "ns_per_op"} records.  Several
+CURRENT files may be given (one per bench binary); their records are merged.
+
+A benchmark regresses when current ns_per_op > R * baseline ns_per_op
+(default R = 2.0 — wide enough to absorb shared-runner noise, tight enough
+to catch an accidentally quadratic path or a dropped fast path).  Benchmarks
+present on only one side are reported but never fail the check, so adding
+or retiring benchmarks does not require touching the baseline in the same
+change.
+
+Exit status: 0 = no regressions, 1 = at least one regression, 2 = usage or
+input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read '{path}': {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(rows, list):
+        print(f"error: '{path}': expected a JSON array of records", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for row in rows:
+        name, ns = row.get("name"), row.get("ns_per_op")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
+            print(f"error: '{path}': malformed record {row!r}", file=sys.stderr)
+            sys.exit(2)
+        out[name] = float(ns)
+    return out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", nargs="+", help="freshly measured JSON file(s)")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this (default 2.0)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = {}
+    for path in args.current:
+        current.update(load_records(path))
+
+    regressions = []
+    width = max((len(n) for n in current), default=10) + 2
+    for name in sorted(current):
+        if name not in baseline:
+            print(f"{name:<{width}} {fmt_ns(current[name]):>10}  (new, not in baseline)")
+            continue
+        base, now = baseline[name], current[name]
+        ratio = now / base if base > 0 else float("inf")
+        flag = "REGRESSED" if ratio > args.max_ratio else "ok"
+        print(f"{name:<{width}} {fmt_ns(base):>10} -> {fmt_ns(now):>10}"
+              f"  {ratio:5.2f}x  {flag}")
+        if flag == "REGRESSED":
+            regressions.append(name)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}} (in baseline only; not measured this run)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.max_ratio}x:", file=sys.stderr)
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions (threshold {args.max_ratio}x, "
+          f"{len(current)} benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
