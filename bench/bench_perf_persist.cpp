@@ -1,0 +1,133 @@
+// P-persist: what crash safety costs.  The journal appends one flushed JSON
+// line per recorded run; the artifact table and the timed benchmarks compare
+// run execution with journaling off vs. on (the delta is the WAL overhead),
+// plus the cost of an atomic snapshot and of replaying a journal tail at
+// recovery time.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_main.hpp"
+#include "hercules/journal.hpp"
+#include "hercules/persist.hpp"
+#include "hercules/workflow_manager.hpp"
+#include "util/fsio.hpp"
+#include "util/strings.hpp"
+
+using namespace herc;
+
+namespace {
+
+constexpr const char* kSchema = R"(
+schema bench {
+  data netlist, stimuli, performance;
+  tool netlist_editor, simulator;
+  rule Create:   netlist     <- netlist_editor();
+  rule Simulate: performance <- simulator(netlist, stimuli);
+}
+)";
+
+std::unique_ptr<hercules::WorkflowManager> make_manager() {
+  auto m = hercules::WorkflowManager::create(kSchema).take();
+  m->register_tool({.instance_name = "ed",
+                    .tool_type = "netlist_editor",
+                    .nominal = cal::WorkDuration::hours(2)})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim",
+                    .tool_type = "simulator",
+                    .nominal = cal::WorkDuration::hours(1)})
+      .expect("tool");
+  m->extract_task("job", "performance").expect("extract");
+  m->bind("job", "stimuli", "stim").expect("bind");
+  m->bind("job", "netlist_editor", "ed").expect("bind");
+  m->bind("job", "simulator", "sim").expect("bind");
+  m->execute_task("job", "bench").value();  // seed instances for iterations
+  return m;
+}
+
+/// Snapshot + journal texts for a project with `runs` journaled iterations.
+std::pair<std::string, std::string> journaled_state(int runs) {
+  const std::string path = "/tmp/herc_bench_recover.wal";
+  auto m = make_manager();
+  std::string snapshot = hercules::save_to_json(*m);
+  m->enable_journal(path).expect("journal");
+  for (int i = 0; i < runs; ++i)
+    m->run_activity("job", "Simulate", "bench").value();
+  std::string journal = util::read_file(path).value();
+  m->disable_journal();
+  std::remove(path.c_str());
+  return {std::move(snapshot), std::move(journal)};
+}
+
+void print_artifact() {
+  std::cout << "P-persist — crash-safety overhead (per recorded run)\n\n";
+  std::cout << util::pad_right("journal", 10) << util::pad_right("us/run", 10)
+            << "\n" << util::repeat('-', 20) << "\n";
+  for (bool journaled : {false, true}) {
+    auto m = make_manager();
+    if (journaled) m->enable_journal("/tmp/herc_bench_artifact.wal").expect("j");
+    auto t0 = std::chrono::steady_clock::now();
+    int reps = 0;
+    do {
+      m->run_activity("job", "Simulate", "bench").value();
+      ++reps;
+    } while (std::chrono::steady_clock::now() - t0 < std::chrono::milliseconds(50));
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    std::cout << util::pad_right(journaled ? "on" : "off", 10)
+              << util::pad_right(std::to_string(us / reps), 10) << "\n";
+  }
+  std::remove("/tmp/herc_bench_artifact.wal");
+  std::cout << "\nExpected shape: the journal adds one compact-JSON serialize +\n"
+               "flushed append per run — small next to the run's own database\n"
+               "and simulation work, which is what makes always-on journaling\n"
+               "affordable.  Recovery replays lines linearly in tail length.\n\n";
+}
+
+// One executed iteration (tool run + database record), journal off: the
+// baseline the journaled variant is compared against.
+void BM_RunJournalOff(benchmark::State& state) {
+  auto m = make_manager();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->run_activity("job", "Simulate", "bench").value().run);
+}
+BENCHMARK(BM_RunJournalOff);
+
+// Same iteration with the WAL enabled: the delta to BM_RunJournalOff is the
+// per-run crash-safety cost (serialize + append + flush).
+void BM_RunJournalOn(benchmark::State& state) {
+  const std::string path = "/tmp/herc_bench_journal_on.wal";
+  auto m = make_manager();
+  m->enable_journal(path).expect("journal");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m->run_activity("job", "Simulate", "bench").value().run);
+  m->disable_journal();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_RunJournalOn);
+
+// Atomic snapshot of a small project: tmp-file write + rename.
+void BM_SnapshotAtomic(benchmark::State& state) {
+  const std::string path = "/tmp/herc_bench_snapshot.json";
+  auto m = make_manager();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hercules::save_project_file(*m, path).ok());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotAtomic);
+
+// Recovery cost vs. journal tail length: load snapshot + replay N lines.
+void BM_RecoverJournalTail(benchmark::State& state) {
+  auto [snapshot, journal] = journaled_state(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto m = hercules::recover_from_json(snapshot, journal);
+    benchmark::DoNotOptimize(m.value()->db().run_count());
+  }
+}
+BENCHMARK(BM_RecoverJournalTail)->Arg(1)->Arg(16)->Arg(128);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -1,18 +1,22 @@
 #include "cli/cli.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
 #include "adapters/trace.hpp"
+#include "exec/fault.hpp"
 #include "core/compare.hpp"
 #include "core/risk.hpp"
 #include "core/whatif.hpp"
 #include "gantt/gantt.hpp"
 #include "gantt/svg.hpp"
+#include "hercules/journal.hpp"
 #include "hercules/persist.hpp"
 #include "query/query.hpp"
 #include "track/report.hpp"
 #include "track/utilization.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace herc::cli {
@@ -46,27 +50,19 @@ constexpr const char* kHelp = R"(commands:
   browse | select <id> | display | delete
   whatif delay <task> <activity> <duration>
   whatif crash <task> <deadline, duration from epoch>
+  retry <max> [backoff <dur>] [timeout <dur>] [tool <instance>]
+  onfail abort|retry|continue   (what execution does when a run fails)
+  faults seed <n>               (deterministic fault injection)
+  faults tool <inst> [fail <p>] [latency <f>] [failon <k>...] [crashon <k>...]
+  faults crashafter <n> | faults show | faults off
+  journal on <file> | journal off  (crash-safe run journal; snapshot first)
+  recover <snapshot> <journal>     (rebuild a crashed project)
   advance <duration> | now
   trace on <file> | trace off   (Chrome/Perfetto trace of the project)
   stats [json]                  (event-bus counters and latency histograms)
-  save <file> | open <file>
+  save <file> | open <file>     (save replaces the file atomically)
   quit
 )";
-
-util::Result<std::string> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::not_found("cannot open file '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-util::Status write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return util::invalid("cannot write file '" + path + "'");
-  out << content;
-  return util::Status::ok_status();
-}
 
 util::Result<sched::EstimateStrategy> parse_strategy(const std::string& name) {
   if (name == "intuition") return sched::EstimateStrategy::kIntuition;
@@ -113,17 +109,24 @@ util::Result<hercules::WorkflowManager*> CliSession::need_manager() {
 util::Result<std::string> CliSession::execute_line(const std::string& line) {
   std::string_view trimmed = util::trim(line);
   if (trimmed.empty() || trimmed.front() == '#') return std::string{};
-  // `schema` and `query` take the rest of the line verbatim.
-  auto args = util::split_ws(trimmed);
-  if (args[0] == "schema" && args.size() > 1)
-    return cmd_schema(std::string(util::trim(trimmed.substr(6))));
-  if (args[0] == "query") {
-    auto m = need_manager();
-    if (!m.ok()) return m.error();
-    if (args.size() < 2) return util::invalid("query: missing statement");
-    return m.value()->query(util::trim(trimmed.substr(5)));
+  try {
+    // `schema` and `query` take the rest of the line verbatim.
+    auto args = util::split_ws(trimmed);
+    if (args[0] == "schema" && args.size() > 1)
+      return cmd_schema(std::string(util::trim(trimmed.substr(6))));
+    if (args[0] == "query") {
+      auto m = need_manager();
+      if (!m.ok()) return m.error();
+      if (args.size() < 2) return util::invalid("query: missing statement");
+      return m.value()->query(util::trim(trimmed.substr(5)));
+    }
+    return dispatch(args);
+  } catch (const exec::InjectedCrash& crash) {
+    // A fault-plan crash point fired mid-command: the simulated process
+    // death.  The in-memory project is now whatever the crash left behind —
+    // exactly the state `recover` rebuilds from snapshot + journal.
+    return util::unsupported(std::string("simulated crash: ") + crash.what());
   }
-  return dispatch(args);
 }
 
 util::Result<std::string> CliSession::dispatch(const Args& args) {
@@ -147,6 +150,11 @@ util::Result<std::string> CliSession::dispatch(const Args& args) {
   if (cmd == "run") return cmd_run(args);
   if (cmd == "link") return cmd_link(args);
   if (cmd == "whatif") return cmd_whatif(args);
+  if (cmd == "retry") return cmd_retry(args);
+  if (cmd == "onfail") return cmd_onfail(args);
+  if (cmd == "faults") return cmd_faults(args);
+  if (cmd == "journal") return cmd_journal(args);
+  if (cmd == "recover") return cmd_recover(args);
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "browse" || cmd == "select" || cmd == "display" || cmd == "delete")
@@ -237,10 +245,16 @@ util::Result<std::string> CliSession::dispatch(const Args& args) {
       out += manager->db().run(r.run).str() + "  [" +
              manager->calendar().format(manager->db().run(r.run).started_at) + " .. " +
              manager->calendar().format(manager->db().run(r.run).finished_at) + "]\n";
-    out += result.value().success ? "dispatch complete at " +
-                                        manager->calendar().format(manager->clock().now()) +
-                                        "\n"
-                                  : "dispatch STOPPED on failure\n";
+    if (result.value().success) {
+      out += "dispatch complete at " +
+             manager->calendar().format(manager->clock().now()) + "\n";
+    } else if (!result.value().skipped.empty()) {
+      out += "dispatch DEGRADED on failure; skipped:";
+      for (const auto& s : result.value().skipped) out += " " + s;
+      out += "\n";
+    } else {
+      out += "dispatch STOPPED on failure\n";
+    }
     return out;
   }
   if (cmd == "refresh") {
@@ -306,7 +320,7 @@ util::Result<std::string> CliSession::dispatch(const Args& args) {
 util::Result<std::string> CliSession::cmd_new(const Args& args) {
   if (args.size() != 2 && args.size() != 4)
     return util::invalid("new <schema-file> [epoch YYYY-MM-DD]");
-  auto dsl = read_file(args[1]);
+  auto dsl = util::read_file(args[1]);
   if (!dsl.ok()) return dsl.error();
   cal::WorkCalendar::Config cfg;
   if (args.size() == 4) {
@@ -494,7 +508,15 @@ util::Result<std::string> CliSession::cmd_execute(const Args& args) {
     const auto& run = m.value()->db().run(r.run);
     out += run.str() + "\n";
   }
-  out += result.value().success ? "execution complete\n" : "execution STOPPED on failure\n";
+  if (result.value().success) {
+    out += "execution complete\n";
+  } else if (!result.value().skipped.empty()) {
+    out += "execution DEGRADED on failure; skipped:";
+    for (const auto& s : result.value().skipped) out += " " + s;
+    out += "\n";
+  } else {
+    out += "execution STOPPED on failure\n";
+  }
   return out;
 }
 
@@ -566,6 +588,181 @@ util::Result<std::string> CliSession::cmd_whatif(const Args& args) {
                        "whatif crash <task> <deadline>");
 }
 
+util::Result<std::string> CliSession::cmd_retry(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() < 2)
+    return util::invalid("retry <max> [backoff <dur>] [timeout <dur>] [tool <inst>]");
+  exec::RetryPolicy policy;
+  try {
+    policy.max_attempts = std::stoi(args[1]);
+  } catch (const std::exception&) {
+    return util::invalid("retry: bad attempt count '" + args[1] + "'");
+  }
+  if (policy.max_attempts < 1) return util::invalid("retry: need at least 1 attempt");
+  std::string tool;
+  for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+    if (args[i] == "backoff" || args[i] == "timeout") {
+      auto d = m.value()->calendar().parse_duration(args[i + 1]);
+      if (!d.ok()) return d.error();
+      (args[i] == "backoff" ? policy.backoff : policy.timeout) = d.value();
+    } else if (args[i] == "tool") {
+      tool = args[i + 1];
+    } else {
+      return util::invalid("retry: unknown option '" + args[i] + "'");
+    }
+  }
+  auto options = m.value()->exec_options();
+  if (tool.empty())
+    options.retry = policy;
+  else
+    options.tool_retry[tool] = policy;
+  m.value()->set_exec_options(std::move(options));
+  std::string out = "retry policy" + (tool.empty() ? "" : " for '" + tool + "'") +
+                    ": " + std::to_string(policy.max_attempts) + " attempt(s)\n";
+  if (m.value()->exec_options().on_failure == exec::FailurePolicy::kAbort &&
+      policy.max_attempts > 1)
+    out += "note: onfail is 'abort'; retries apply after 'onfail retry' or "
+           "'onfail continue'\n";
+  return out;
+}
+
+util::Result<std::string> CliSession::cmd_onfail(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() != 2) return util::invalid("onfail abort|retry|continue");
+  auto options = m.value()->exec_options();
+  if (args[1] == "abort") options.on_failure = exec::FailurePolicy::kAbort;
+  else if (args[1] == "retry") options.on_failure = exec::FailurePolicy::kRetryThenAbort;
+  else if (args[1] == "continue")
+    options.on_failure = exec::FailurePolicy::kContinueIndependent;
+  else return util::invalid("onfail abort|retry|continue");
+  m.value()->set_exec_options(std::move(options));
+  return "on failure: " + args[1] + "\n";
+}
+
+util::Result<std::string> CliSession::cmd_faults(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  auto* manager = m.value();
+  if (args.size() < 2)
+    return util::invalid("faults seed|tool|crashafter|show|off ...");
+
+  // Start from the installed scenario so successive commands compose.
+  std::uint64_t seed = 1;
+  exec::FaultPlan plan;
+  if (const auto* injector = manager->fault_injector()) {
+    seed = injector->seed();
+    plan = injector->plan();
+  }
+
+  if (args[1] == "off") {
+    manager->clear_faults();
+    return std::string("fault injection off\n");
+  }
+  if (args[1] == "show") {
+    if (!manager->fault_injector()) return std::string("fault injection off\n");
+    std::string out = "fault seed " + std::to_string(seed) + "\n";
+    if (plan.crash_after_total > 0)
+      out += "  crash after " + std::to_string(plan.crash_after_total) +
+             " total invocations\n";
+    for (const auto& [name, f] : plan.tools) {
+      out += "  " + name + ": fail " + std::to_string(f.fail_prob) + ", latency x" +
+             std::to_string(f.latency_factor);
+      if (!f.fail_on.empty()) {
+        out += ", failon";
+        for (int k : f.fail_on) out += " " + std::to_string(k);
+      }
+      if (!f.crash_on.empty()) {
+        out += ", crashon";
+        for (int k : f.crash_on) out += " " + std::to_string(k);
+      }
+      out += "\n";
+    }
+    return out;
+  }
+  if (args[1] == "seed") {
+    if (args.size() != 3) return util::invalid("faults seed <n>");
+    try {
+      seed = std::stoull(args[2]);
+    } catch (const std::exception&) {
+      return util::invalid("faults: bad seed '" + args[2] + "'");
+    }
+    manager->set_faults(seed, std::move(plan));
+    return "fault seed " + std::to_string(seed) + "\n";
+  }
+  if (args[1] == "crashafter") {
+    if (args.size() != 3) return util::invalid("faults crashafter <n>");
+    try {
+      plan.crash_after_total = std::stoull(args[2]);
+    } catch (const std::exception&) {
+      return util::invalid("faults: bad invocation count '" + args[2] + "'");
+    }
+    manager->set_faults(seed, std::move(plan));
+    return "crash after " + args[2] + " total invocations\n";
+  }
+  if (args[1] == "tool") {
+    if (args.size() < 3)
+      return util::invalid(
+          "faults tool <inst> [fail <p>] [latency <f>] [failon <k>...] [crashon <k>...]");
+    exec::ToolFaults& f = plan.tools[args[2]];
+    std::size_t i = 3;
+    try {
+      while (i < args.size()) {
+        if (args[i] == "fail" && i + 1 < args.size()) {
+          f.fail_prob = std::stod(args[i + 1]);
+          i += 2;
+        } else if (args[i] == "latency" && i + 1 < args.size()) {
+          f.latency_factor = std::stod(args[i + 1]);
+          i += 2;
+        } else if (args[i] == "failon" || args[i] == "crashon") {
+          auto& list = args[i] == "failon" ? f.fail_on : f.crash_on;
+          std::size_t j = i + 1;
+          while (j < args.size() && (std::isdigit(args[j][0]) != 0))
+            list.push_back(std::stoi(args[j++]));
+          if (j == i + 1) return util::invalid("faults: " + args[i] + " needs indices");
+          i = j;
+        } else {
+          return util::invalid("faults: unknown option '" + args[i] + "'");
+        }
+      }
+    } catch (const std::exception&) {
+      return util::invalid("faults: bad number in tool options");
+    }
+    const std::string name = args[2];
+    manager->set_faults(seed, std::move(plan));
+    return "faults set for tool '" + name + "'\n";
+  }
+  return util::invalid("faults seed|tool|crashafter|show|off ...");
+}
+
+util::Result<std::string> CliSession::cmd_journal(const Args& args) {
+  auto m = need_manager();
+  if (!m.ok()) return m.error();
+  if (args.size() == 3 && args[1] == "on") {
+    auto st = m.value()->enable_journal(args[2]);
+    if (!st.ok()) return st.error();
+    return "journaling runs to '" + args[2] +
+           "' (snapshot with 'save' so recovery has a base)\n";
+  }
+  if (args.size() == 2 && args[1] == "off") {
+    if (!m.value()->journal()) return util::conflict("journaling is not on");
+    m.value()->disable_journal();
+    return std::string("journaling off\n");
+  }
+  return util::invalid("journal on <file> | journal off");
+}
+
+util::Result<std::string> CliSession::cmd_recover(const Args& args) {
+  if (args.size() != 3) return util::invalid("recover <snapshot> <journal>");
+  auto recovered = hercules::recover_project(args[1], args[2]);
+  if (!recovered.ok()) return recovered.error();
+  adopt(std::move(recovered).take());
+  return "project recovered from '" + args[1] + "' + journal '" + args[2] +
+         "' (" + std::to_string(manager_->db().run_count()) +
+         " runs; re-register tools before executing)\n";
+}
+
 util::Result<std::string> CliSession::cmd_trace(const Args& args) {
   if (args.size() == 3 && args[1] == "on") {
     auto m = need_manager();
@@ -632,14 +829,14 @@ util::Result<std::string> CliSession::cmd_save(const Args& args) {
   auto m = need_manager();
   if (!m.ok()) return m.error();
   if (args.size() != 2) return util::invalid("save <file>");
-  auto st = write_file(args[1], hercules::save_to_json(*m.value()));
+  auto st = hercules::save_project_file(*m.value(), args[1]);
   if (!st.ok()) return st.error();
   return "saved to '" + args[1] + "'\n";
 }
 
 util::Result<std::string> CliSession::cmd_open(const Args& args) {
   if (args.size() != 2) return util::invalid("open <file>");
-  auto text = read_file(args[1]);
+  auto text = util::read_file(args[1]);
   if (!text.ok()) return text.error();
   auto loaded = hercules::load_from_json(text.value());
   if (!loaded.ok()) return loaded.error();

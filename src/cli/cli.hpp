@@ -30,8 +30,13 @@
 //   browse | select <id> | display | delete
 //   whatif delay <task> <activity> <duration>
 //   whatif crash <task> <deadline-duration-from-epoch>
+//   retry <max> [backoff <dur>] [timeout <dur>] [tool <instance>]
+//   onfail abort|retry|continue
+//   faults seed|tool|crashafter|show|off ...   (deterministic fault injection)
+//   journal on <file> | journal off            (crash-safe run journal)
+//   recover <snapshot> <journal>
 //   advance <duration>      now
-//   save <file> | open <file>
+//   save <file> | open <file>                  (save is atomic: tmp + rename)
 //   quit
 
 #include <memory>
@@ -86,6 +91,11 @@ class CliSession {
   util::Result<std::string> cmd_run(const Args& args);
   util::Result<std::string> cmd_link(const Args& args);
   util::Result<std::string> cmd_whatif(const Args& args);
+  util::Result<std::string> cmd_retry(const Args& args);
+  util::Result<std::string> cmd_onfail(const Args& args);
+  util::Result<std::string> cmd_faults(const Args& args);
+  util::Result<std::string> cmd_journal(const Args& args);
+  util::Result<std::string> cmd_recover(const Args& args);
   util::Result<std::string> cmd_browse_ops(const Args& args);
   util::Result<std::string> cmd_trace(const Args& args);
   util::Result<std::string> cmd_stats(const Args& args);

@@ -43,18 +43,58 @@ class SimClock {
   cal::WorkInstant now_;
 };
 
-/// Result of executing one activity.
+/// Result of executing one activity (one recorded attempt).
 struct ActivityRunResult {
   meta::RunId run;
   meta::EntityInstanceId output;  ///< invalid if the run failed
   bool success = true;
+  int attempt = 1;          ///< 1-based attempt index within one retry loop
+  bool timed_out = false;   ///< failed because it exceeded the timeout budget
 };
 
 /// Result of executing a whole task tree.
 struct ExecutionResult {
-  std::vector<ActivityRunResult> runs;     ///< in execution (post) order
-  meta::EntityInstanceId final_output;     ///< instance of the root's type
-  bool success = true;                     ///< false if any run failed
+  std::vector<ActivityRunResult> runs;  ///< every attempt, in execution order
+  /// Instance of the root's type; explicitly the invalid sentinel whenever
+  /// execution did not reach a successful root run (a real instance id is
+  /// never 0, so `final_output.valid()` is the reliable check).
+  meta::EntityInstanceId final_output = meta::EntityInstanceId::invalid();
+  bool success = true;  ///< false if any run failed or was skipped
+  /// Activities never attempted because an input's producer failed
+  /// (FailurePolicy::kContinueIndependent only), in post order.
+  std::vector<std::string> skipped;
+};
+
+/// How often and how long one activity run may be retried.
+struct RetryPolicy {
+  int max_attempts = 1;       ///< total attempts per activity; >= 1
+  cal::WorkDuration backoff;  ///< work-time pause inserted before each retry
+  /// Per-attempt work-time budget; a run whose simulated duration exceeds it
+  /// is killed at the budget and recorded as a failed (timed-out) run.
+  /// Zero means unlimited.
+  cal::WorkDuration timeout;
+};
+
+/// What `execute` / `execute_concurrent` do when an activity run fails.
+enum class FailurePolicy {
+  kAbort,                ///< stop at the first failure, no retries (seed behavior)
+  kRetryThenAbort,       ///< apply the retry policy, then stop if still failing
+  kContinueIndependent,  ///< retry, then skip the failure's ancestors but keep
+                         ///< dispatching independent subtrees (degraded result)
+};
+
+/// Per-execution failure semantics.  Defaults reproduce the seed behavior
+/// exactly: one attempt, no timeout, abort on first failure.
+struct ExecutionOptions {
+  FailurePolicy on_failure = FailurePolicy::kAbort;
+  RetryPolicy retry;  ///< applies to every tool without an override
+  /// Per-tool-instance overrides, keyed by binding name.
+  std::unordered_map<std::string, RetryPolicy> tool_retry;
+
+  [[nodiscard]] const RetryPolicy& policy_for(const std::string& tool_binding) const {
+    auto it = tool_retry.find(tool_binding);
+    return it == tool_retry.end() ? retry : it->second;
+  }
 };
 
 class Executor {
@@ -63,12 +103,18 @@ class Executor {
   /// (optional) receives run_started / run_finished events and wall-clock
   /// scopes; a null or subscriber-less bus costs one atomic load per event.
   Executor(meta::Database& db, data::DataStore& store, ToolRegistry& tools,
-           SimClock& clock, obs::EventBus* bus = nullptr)
-      : db_(&db), store_(&store), tools_(&tools), clock_(&clock), bus_(bus) {}
+           SimClock& clock, obs::EventBus* bus = nullptr, ExecutionOptions options = {})
+      : db_(&db), store_(&store), tools_(&tools), clock_(&clock), bus_(bus),
+        options_(std::move(options)) {}
 
-  /// Executes the whole bound tree in post-order.  Stops at the first failed
-  /// run (the paper's designers fix and re-run).  kUnbound if leaves are
-  /// missing bindings.
+  [[nodiscard]] const ExecutionOptions& options() const { return options_; }
+  void set_options(ExecutionOptions options) { options_ = std::move(options); }
+
+  /// Executes the whole bound tree in post-order.  With the default options
+  /// it stops at the first failed run (the paper's designers fix and
+  /// re-run); see FailurePolicy for retrying and graceful degradation.
+  /// Every attempt is recorded as its own Level-3 run.  kUnbound if leaves
+  /// are missing bindings.
   [[nodiscard]] util::Result<ExecutionResult> execute(const flow::TaskTree& tree,
                                                       const std::string& designer);
 
@@ -92,11 +138,19 @@ class Executor {
   /// resource leveling; activities are non-preemptible).  Recorded run
   /// timestamps overlap accordingly and the clock advances to the dispatch
   /// makespan.  Activities with no assignment entry are only input-limited.
-  /// Tool failures abort the remaining dispatch (partial result returned
-  /// with success = false).
+  /// Under the default kAbort policy, tool failures abort the remaining
+  /// dispatch (partial result returned with success = false); under
+  /// kContinueIndependent the failed activity's ancestor chain is skipped
+  /// and independent subtrees keep dispatching.  A failed activity's
+  /// resources are released at its recorded finish.
   [[nodiscard]] util::Result<ExecutionResult> execute_concurrent(
       const flow::TaskTree& tree, const std::string& designer,
       const DispatchOptions& options = {});
+
+  /// Publishes the fault-counter deltas accumulated by the current execute
+  /// call as one "exec.faults" kScope event (no-op when all are zero).
+  /// Called automatically on exit from execute / execute_concurrent.
+  void publish_fault_stats();
 
  private:
   /// Ensures a primary-input binding has an entity instance, importing one
@@ -107,19 +161,33 @@ class Executor {
   util::Result<ActivityRunResult> run_one(const flow::TaskTree& tree,
                                           flow::TaskNodeId activity,
                                           const std::string& designer,
-                                          bool resolve_from_db);
+                                          bool resolve_from_db, int attempt);
+
+  /// run_one with the activity's retry policy applied: re-attempts failed
+  /// runs (each attempt is its own recorded run, appended to `all_attempts`)
+  /// with the policy's work-time backoff between attempts.
+  util::Result<ActivityRunResult> run_with_retry(
+      const flow::TaskTree& tree, flow::TaskNodeId activity,
+      const std::string& designer, bool resolve_from_db,
+      std::vector<ActivityRunResult>& all_attempts);
+
+  /// True when the policy allows more than one attempt (kAbort never does).
+  [[nodiscard]] int attempts_allowed(const std::string& tool_binding) const;
 
   /// Publishes a kRunFinished event for a freshly recorded run.
-  void publish_run(const meta::Run& run);
+  void publish_run(const meta::Run& run, int attempt, bool timed_out);
 
   meta::Database* db_;
   data::DataStore* store_;
   ToolRegistry* tools_;
   SimClock* clock_;
   obs::EventBus* bus_ = nullptr;
+  ExecutionOptions options_;
   // Within one execute() call, maps activity nodes to the instances they
   // produced, so parents consume exactly their children's outputs.
   std::vector<meta::EntityInstanceId> produced_;
+  // Per-call fault counters, published as one exec.faults event.
+  std::uint64_t retries_ = 0, timeouts_ = 0, degraded_ = 0;
 };
 
 }  // namespace herc::exec

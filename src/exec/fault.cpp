@@ -1,0 +1,57 @@
+#include "exec/fault.hpp"
+
+#include <algorithm>
+
+namespace herc::exec {
+
+namespace {
+
+/// splitmix64 finalizer; same mixing as util::Rng but stateless.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a over the instance name, so decisions are per-tool streams.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from (seed, instance, k) — the whole injector's
+/// randomness, with no stream position to get out of sync.
+double roll(std::uint64_t seed, const std::string& instance, std::uint64_t k) {
+  std::uint64_t h = mix(seed + 0x9E3779B97F4A7C15ull * (k + 1) + fnv1a(instance));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool contains_index(const std::vector<int>& v, std::uint64_t k) {
+  return std::find(v.begin(), v.end(), static_cast<int>(k)) != v.end();
+}
+
+}  // namespace
+
+FaultInjector::Decision FaultInjector::decide(const std::string& instance,
+                                              std::uint64_t k,
+                                              std::uint64_t total) const {
+  Decision d;
+  if (plan_.crash_after_total > 0 && total >= plan_.crash_after_total) d.crash = true;
+
+  auto it = plan_.tools.find(instance);
+  if (it == plan_.tools.end()) it = plan_.tools.find("*");
+  if (it != plan_.tools.end()) {
+    const ToolFaults& f = it->second;
+    d.latency_factor = f.latency_factor;
+    if (contains_index(f.crash_on, k)) d.crash = true;
+    if (contains_index(f.fail_on, k)) d.fail = true;
+    else if (f.fail_prob > 0 && roll(seed_, instance, k) < f.fail_prob) d.fail = true;
+  }
+  return d;
+}
+
+}  // namespace herc::exec

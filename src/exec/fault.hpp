@@ -1,0 +1,97 @@
+#pragma once
+// Deterministic fault injection for the simulated tool layer.
+//
+// Robustness work needs failures that are *reproducible*: the same seed and
+// FaultPlan must yield the same failure sequence on every run, on every
+// platform, and regardless of how many threads the rest of the system uses.
+// The injector therefore keeps no mutable stream state — the decision for
+// the k-th invocation of a tool instance is a pure hash of
+// (seed, instance name, k), so decisions never depend on the order in which
+// other tools were invoked.
+//
+// Three fault shapes are supported per tool instance (plus a "*" wildcard
+// entry that applies to every instance without its own entry):
+//   - fail_prob:        an extra, injected failure probability,
+//   - latency_factor:   multiplies the simulated run duration (slow tools
+//                       exercise timeout policies),
+//   - fail_on/crash_on: exact 1-based invocation indices that always fail /
+//                       crash the process.
+// A plan-wide crash_after_total kills the process when the total invocation
+// count across all tools reaches N — the crash harness sweeps this to probe
+// every point of an execution.
+//
+// "Crash" means InjectedCrash is thrown out of ToolRegistry::invoke.  Tests
+// catch it at top level and abandon the manager, simulating process death:
+// everything not yet journaled or snapshotted is lost (see
+// hercules/journal.hpp for the recovery side).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace herc::exec {
+
+/// Faults for one tool instance (or the "*" wildcard).
+struct ToolFaults {
+  double fail_prob = 0.0;       ///< injected failure probability per invocation
+  double latency_factor = 1.0;  ///< multiplies the simulated duration
+  std::vector<int> fail_on;     ///< 1-based invocation indices that always fail
+  std::vector<int> crash_on;    ///< 1-based invocation indices that crash
+};
+
+/// A complete, reproducible fault scenario.
+struct FaultPlan {
+  /// Keyed by tool instance name; "*" applies to instances without an entry.
+  std::unordered_map<std::string, ToolFaults> tools;
+  /// Crash when the total invocation count (all tools) reaches N; 0 = off.
+  std::uint64_t crash_after_total = 0;
+
+  [[nodiscard]] bool empty() const { return tools.empty() && crash_after_total == 0; }
+};
+
+/// Thrown by ToolRegistry::invoke at an injected crash point.  Deliberately
+/// NOT a util::Error: a crash must not be absorbed by normal Result-style
+/// error handling — it unwinds to whoever simulates the process boundary.
+class InjectedCrash : public std::runtime_error {
+ public:
+  InjectedCrash(std::string tool, std::uint64_t invocation)
+      : std::runtime_error("injected crash at invocation " +
+                           std::to_string(invocation) + " of tool '" + tool + "'"),
+        tool_(std::move(tool)),
+        invocation_(invocation) {}
+
+  [[nodiscard]] const std::string& tool() const { return tool_; }
+  [[nodiscard]] std::uint64_t invocation() const { return invocation_; }
+
+ private:
+  std::string tool_;
+  std::uint64_t invocation_;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultPlan plan)
+      : seed_(seed), plan_(std::move(plan)) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// What happens to the k-th (1-based) invocation of `instance`, when the
+  /// process-wide invocation count (including this one) is `total`.  Pure:
+  /// calling it twice with the same arguments gives the same answer.
+  struct Decision {
+    bool fail = false;
+    bool crash = false;
+    double latency_factor = 1.0;
+  };
+  [[nodiscard]] Decision decide(const std::string& instance, std::uint64_t k,
+                                std::uint64_t total) const;
+
+ private:
+  std::uint64_t seed_;
+  FaultPlan plan_;
+};
+
+}  // namespace herc::exec

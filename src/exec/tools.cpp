@@ -34,6 +34,11 @@ std::vector<std::string> ToolRegistry::instances_of(const std::string& tool_type
   return out;
 }
 
+std::uint64_t ToolRegistry::invocations(const std::string& instance_name) const {
+  auto it = invocation_counts_.find(instance_name);
+  return it == invocation_counts_.end() ? 0 : it->second;
+}
+
 util::Result<ToolOutcome> ToolRegistry::invoke(const std::string& instance_name,
                                                const std::string& expected_tool_type,
                                                const ToolInvocation& inv) {
@@ -46,15 +51,31 @@ util::Result<ToolOutcome> ToolRegistry::invoke(const std::string& instance_name,
                          ", activity '" + inv.activity + "' needs a " +
                          expected_tool_type);
 
+  // Only validated invocations count: the fault plan's 1-based indices refer
+  // to runs that actually reached the tool.
+  const std::uint64_t k = ++invocation_counts_[instance_name];
+  const std::uint64_t total = ++total_invocations_;
+  FaultInjector::Decision fault;
+  if (faults_) fault = faults_->decide(instance_name, k, total);
+  if (fault.crash) throw InjectedCrash(instance_name, k);
+
   ToolOutcome out;
   double factor = 1.0;
   if (spec.noise_frac > 0)
     factor += rng_.uniform(-spec.noise_frac, spec.noise_frac);
+  factor *= fault.latency_factor;
   auto minutes =
       static_cast<std::int64_t>(static_cast<double>(spec.nominal.count_minutes()) * factor);
   if (minutes < 1) minutes = 1;
   out.duration = cal::WorkDuration::minutes(minutes);
 
+  if (fault.fail) {
+    out.success = false;
+    out.fault_injected = true;
+    out.log = instance_name + ": FAULT INJECTED during " + inv.activity +
+              " (invocation " + std::to_string(k) + ")";
+    return out;
+  }
   if (spec.fail_rate > 0 && rng_.chance(spec.fail_rate)) {
     out.success = false;
     out.log = instance_name + ": FAILED during " + inv.activity;

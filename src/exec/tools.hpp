@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "calendar/work_calendar.hpp"
+#include "exec/fault.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 
@@ -36,6 +37,7 @@ struct ToolOutcome {
   std::string content;       ///< synthetic design data (empty on failure)
   cal::WorkDuration duration;///< how long the run took, in work time
   std::string log;           ///< one-line tool log for the run record
+  bool fault_injected = false;  ///< failure came from the FaultInjector
 };
 
 using ToolBehavior = std::function<std::string(const ToolInvocation&)>;
@@ -65,15 +67,29 @@ class ToolRegistry {
   [[nodiscard]] std::vector<std::string> instances_of(const std::string& tool_type) const;
 
   /// Runs the simulated tool.  kNotFound if the binding is unknown;
-  /// kInvalid if its type differs from `expected_tool_type`.
+  /// kInvalid if its type differs from `expected_tool_type`.  Throws
+  /// InjectedCrash when the installed fault injector hits a crash point.
   [[nodiscard]] util::Result<ToolOutcome> invoke(const std::string& instance_name,
                                                  const std::string& expected_tool_type,
                                                  const ToolInvocation& inv);
+
+  /// Installs (or clears, with nullptr) a fault injector consulted on every
+  /// invoke.  Borrowed; the caller keeps it alive while installed.
+  void set_fault_injector(const FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] const FaultInjector* fault_injector() const { return faults_; }
+
+  /// 1-based count of invoke() calls that reached `instance_name` so far
+  /// (the index the fault plan's fail_on/crash_on lists refer to).
+  [[nodiscard]] std::uint64_t invocations(const std::string& instance_name) const;
+  [[nodiscard]] std::uint64_t total_invocations() const { return total_invocations_; }
 
  private:
   std::unordered_map<std::string, ToolSpec> tools_;
   std::vector<std::string> order_;  // registration order for instances_of
   util::Rng rng_;
+  const FaultInjector* faults_ = nullptr;
+  std::unordered_map<std::string, std::uint64_t> invocation_counts_;
+  std::uint64_t total_invocations_ = 0;
 };
 
 /// Default content synthesizer: a small readable artifact that mixes the

@@ -1,0 +1,178 @@
+#include "hercules/journal.hpp"
+
+#include <algorithm>
+
+#include "hercules/persist.hpp"
+#include "hercules/persist_detail.hpp"
+#include "hercules/workflow_manager.hpp"
+#include "util/fsio.hpp"
+#include "util/json.hpp"
+
+namespace herc::hercules {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonObject;
+
+RunJournal::RunJournal(meta::Database& db, data::DataStore& store,
+                       exec::SimClock& clock, std::string path)
+    : db_(&db), store_(&store), clock_(&clock), path_(std::move(path)) {
+  db_->add_observer(this);
+}
+
+RunJournal::~RunJournal() { db_->remove_observer(this); }
+
+util::Result<std::unique_ptr<RunJournal>> RunJournal::open(meta::Database& db,
+                                                           data::DataStore& store,
+                                                           exec::SimClock& clock,
+                                                           const std::string& path) {
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<RunJournal> j(new RunJournal(db, store, clock, path));
+  auto st = j->restart();
+  if (!st.ok()) return st.error();
+  return j;
+}
+
+util::Status RunJournal::restart() {
+  if (out_.is_open()) out_.close();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    status_ = util::unsupported("journal: cannot open '" + path_ + "' for writing");
+    return status_;
+  }
+  seen_data_ = store_->size();
+  seen_instances_ = db_->instance_count();
+  seen_runs_ = db_->run_count();
+  lines_ = 0;
+  status_ = util::Status::ok_status();
+  return status_;
+}
+
+void RunJournal::on_run_recorded(const meta::Run& run) {
+  if (!status_.ok()) return;
+
+  JsonObject line;
+  // The clock has not always caught up with the run when it is recorded
+  // (concurrent dispatch advances to the makespan only at the end), so the
+  // journaled clock is the run's finish or the current clock, whichever is
+  // later — exactly where an uninterrupted execution would leave it.
+  line.set("clock", std::max(clock_->now().minutes_since_epoch(),
+                             run.finished_at.minutes_since_epoch()));
+
+  JsonArray data;
+  const auto& objects = store_->all();
+  for (std::size_t i = seen_data_; i < objects.size(); ++i)
+    data.push_back(detail::data_object_json(objects[i]));
+  seen_data_ = objects.size();
+  line.set("data_objects", std::move(data));
+
+  JsonArray instances;
+  const auto& insts = db_->instances();
+  for (std::size_t i = seen_instances_; i < insts.size(); ++i)
+    instances.push_back(detail::instance_json(insts[i]));
+  seen_instances_ = insts.size();
+  line.set("instances", std::move(instances));
+
+  JsonArray runs;
+  const auto& all_runs = db_->runs();
+  for (std::size_t i = seen_runs_; i < all_runs.size(); ++i)
+    runs.push_back(detail::run_json(all_runs[i]));
+  seen_runs_ = all_runs.size();
+  line.set("runs", std::move(runs));
+
+  out_ << Json(std::move(line)).dump(-1) << '\n';
+  out_.flush();
+  if (!out_)
+    status_ = util::unsupported("journal: write to '" + path_ + "' failed");
+  else
+    ++lines_;
+}
+
+namespace {
+
+/// Applies one parsed journal line to the manager.  Records already present
+/// (id at or below the current high-water mark) are skipped, which makes
+/// replay idempotent.  Field errors propagate as exceptions, translated by
+/// the caller.
+util::Status apply_line(WorkflowManager& m, const JsonObject& line) {
+  for (const auto& d : line.at("data_objects").as_array()) {
+    const auto& o = d.as_object();
+    if (static_cast<std::uint64_t>(o.at("id").as_int()) <= m.store().size()) continue;
+    auto st = detail::restore_data_object(m.store(), o);
+    if (!st.ok()) return st;
+  }
+  for (const auto& e : line.at("instances").as_array()) {
+    const auto& o = e.as_object();
+    if (static_cast<std::uint64_t>(o.at("id").as_int()) <= m.db().instance_count())
+      continue;
+    auto st = detail::restore_instance(m.db(), o);
+    if (!st.ok()) return st;
+  }
+  for (const auto& r : line.at("runs").as_array()) {
+    const auto& o = r.as_object();
+    if (static_cast<std::uint64_t>(o.at("id").as_int()) <= m.db().run_count()) continue;
+    auto st = detail::restore_run(m.db(), m.schema(), o);
+    if (!st.ok()) return st;
+  }
+  m.clock().advance_to(cal::WorkInstant(line.at("clock").as_int()));
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<WorkflowManager>> recover_from_json(
+    std::string_view snapshot_text, std::string_view journal_text) {
+  auto loaded = load_from_json(snapshot_text);
+  if (!loaded.ok()) return loaded;
+  std::unique_ptr<WorkflowManager> m = std::move(loaded).take();
+
+  // Split into non-empty lines, preserving order.
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < journal_text.size()) {
+    std::size_t nl = journal_text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = journal_text.size();
+    if (nl > pos) lines.push_back(journal_text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const bool last = i + 1 == lines.size();
+    auto parsed = Json::parse(lines[i]);
+    if (!parsed.ok()) {
+      // A crash mid-append can tear only the FINAL line; drop it.  Anything
+      // earlier is genuine corruption.
+      if (last) break;
+      return util::parse_error("journal line " + std::to_string(i + 1) + ": " +
+                               parsed.error().message);
+    }
+    if (!parsed.value().is_object()) {
+      if (last) break;
+      return util::parse_error("journal line " + std::to_string(i + 1) +
+                               ": not an object");
+    }
+    try {
+      auto st = apply_line(*m, parsed.value().as_object());
+      if (!st.ok()) return st.error();
+    } catch (const std::out_of_range& e) {
+      return util::parse_error("journal line " + std::to_string(i + 1) +
+                               ": missing field: " + e.what());
+    } catch (const std::bad_variant_access&) {
+      return util::parse_error("journal line " + std::to_string(i + 1) +
+                               ": field has wrong JSON type");
+    }
+  }
+  return m;
+}
+
+util::Result<std::unique_ptr<WorkflowManager>> recover_project(
+    const std::string& snapshot_path, const std::string& journal_path) {
+  auto snapshot = util::read_file(snapshot_path);
+  if (!snapshot.ok()) return snapshot.error();
+  auto journal = util::read_file(journal_path);
+  // Crash before the first post-snapshot run: no journal is a valid state.
+  return recover_from_json(snapshot.value(),
+                           journal.ok() ? std::string_view(journal.value()) : "");
+}
+
+}  // namespace herc::hercules

@@ -1,0 +1,95 @@
+#pragma once
+// Crash-safe run journal (write-ahead log) for the Hercules database.
+//
+// A full snapshot (persist.hpp) is too expensive to rewrite after every run,
+// so between snapshots the journal appends ONE line per recorded run — a
+// compact JSON object holding the delta the run added to the execution
+// space: the virtual-clock position plus every Level-4 data object, entity
+// instance and run created since the previous line (which covers imported
+// primary inputs as well as the run's own output).  Each line is flushed
+// before the append returns, so after a crash the journal is intact up to —
+// at worst — one torn final line.
+//
+// Recovery = load the last snapshot, replay the journal tail over it
+// (recover_from_json / recover_project).  A torn final line is ignored; any
+// earlier malformed line is a real error.  The journal does NOT capture
+// schedule-space mutations (plans, links) or manual clock advances between
+// runs; snapshot after those if they must survive a crash.
+//
+// Lifecycle: WorkflowManager::enable_journal installs one as a database
+// observer; save_project_file restarts (truncates) it after each snapshot.
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "data/data_store.hpp"
+#include "exec/executor.hpp"
+#include "metadata/database.hpp"
+#include "util/result.hpp"
+
+namespace herc::hercules {
+
+class WorkflowManager;
+
+/// Append-only journal of recorded runs.  Registers itself as an observer of
+/// the database on open() and detaches in the destructor.
+class RunJournal : public meta::DatabaseObserver {
+ public:
+  /// Opens (and truncates) `path` and starts journaling runs recorded in
+  /// `db`.  High-water marks start at the CURRENT store/db sizes, so the
+  /// journal only captures what happens after — take a snapshot first.
+  /// kUnsupported if the file cannot be created.
+  [[nodiscard]] static util::Result<std::unique_ptr<RunJournal>> open(
+      meta::Database& db, data::DataStore& store, exec::SimClock& clock,
+      const std::string& path);
+
+  ~RunJournal() override;
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Sticky: the first append/flush failure; appends stop once set.
+  [[nodiscard]] util::Status status() const { return status_; }
+
+  /// Lines appended since open/restart (diagnostics and tests).
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+  /// DatabaseObserver: appends one delta line per recorded run.
+  void on_run_recorded(const meta::Run& run) override;
+
+  /// Truncates the file and re-bases the high-water marks on the current
+  /// database state; called after a snapshot subsumes the journal.  Also
+  /// clears a sticky error if the file becomes writable again.
+  [[nodiscard]] util::Status restart();
+
+ private:
+  RunJournal(meta::Database& db, data::DataStore& store, exec::SimClock& clock,
+             std::string path);
+
+  meta::Database* db_;
+  data::DataStore* store_;
+  exec::SimClock* clock_;
+  std::string path_;
+  std::ofstream out_;
+  // High-water marks: how many records each space had when the previous
+  // line was written (everything beyond is "new" for the next line).
+  std::size_t seen_data_ = 0, seen_instances_ = 0, seen_runs_ = 0;
+  std::uint64_t lines_ = 0;
+  util::Status status_ = util::Status::ok_status();
+};
+
+/// Reconstructs a manager from a snapshot plus the journal written after it.
+/// The journal text may end in a torn line (crash mid-append); anything
+/// malformed before the final line is a kParse error.  An empty journal is
+/// valid (recovery degenerates to load_from_json).
+[[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> recover_from_json(
+    std::string_view snapshot_text, std::string_view journal_text);
+
+/// File-based recovery: reads both files and delegates to recover_from_json.
+/// A missing journal file is treated as empty (crash before the first run).
+[[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> recover_project(
+    const std::string& snapshot_path, const std::string& journal_path);
+
+}  // namespace herc::hercules

@@ -1,5 +1,8 @@
 #include "hercules/persist.hpp"
 
+#include "hercules/journal.hpp"
+#include "hercules/persist_detail.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 
 namespace herc::hercules {
@@ -76,54 +79,19 @@ class Persistence {
     // Level 4.
     {
       JsonArray arr;
-      for (const auto& d : m.store_->all()) {
-        JsonObject o;
-        o.set("id", d.id.value());
-        o.set("name", d.name);
-        o.set("type", d.type_name);
-        o.set("version", d.version);
-        o.set("content", d.content);
-        o.set("created", instant_json(d.created_at));
-        arr.emplace_back(std::move(o));
-      }
+      for (const auto& d : m.store_->all()) arr.push_back(detail::data_object_json(d));
       root.set("data_objects", std::move(arr));
     }
 
     // Level 3, execution space.
     {
       JsonArray arr;
-      for (const auto& e : m.db_->instances()) {
-        JsonObject o;
-        o.set("id", e.id.value());
-        o.set("type", e.type_name);
-        o.set("name", e.name);
-        o.set("version", e.version);
-        o.set("produced_by", e.produced_by.valid()
-                                 ? Json(e.produced_by.value())
-                                 : Json(nullptr));
-        o.set("data", e.data.valid() ? Json(e.data.value()) : Json(nullptr));
-        o.set("created", instant_json(e.created_at));
-        arr.emplace_back(std::move(o));
-      }
+      for (const auto& e : m.db_->instances()) arr.push_back(detail::instance_json(e));
       root.set("instances", std::move(arr));
     }
     {
       JsonArray arr;
-      for (const auto& r : m.db_->runs()) {
-        JsonObject o;
-        o.set("id", r.id.value());
-        o.set("activity", r.activity);
-        o.set("tool", r.tool_binding);
-        o.set("designer", r.designer);
-        JsonArray inputs;
-        for (auto in : r.inputs) inputs.emplace_back(in.value());
-        o.set("inputs", std::move(inputs));
-        o.set("output", r.output.valid() ? Json(r.output.value()) : Json(nullptr));
-        o.set("started", instant_json(r.started_at));
-        o.set("finished", instant_json(r.finished_at));
-        o.set("status", std::string(meta::run_status_name(r.status)));
-        arr.emplace_back(std::move(o));
-      }
+      for (const auto& r : m.db_->runs()) arr.push_back(detail::run_json(r));
       root.set("runs", std::move(arr));
     }
 
@@ -280,6 +248,8 @@ class Persistence {
                                         static_cast<int>(o.at("capacity").as_int()));
         for (const auto& w : o.at("time_off").as_array()) {
           const auto& window = w.as_array();
+          if (window.size() != 2)
+            return util::parse_error("resource time_off window must have 2 entries");
           auto st = m->db_->add_time_off(rid, instant_of(window[0]),
                                          instant_of(window[1]));
           if (!st.ok()) return st.error();
@@ -287,62 +257,18 @@ class Persistence {
       }
 
       for (const auto& d : root.at("data_objects").as_array()) {
-        const auto& o = d.as_object();
-        data::DataObject obj;
-        obj.id = util::DataObjectId{static_cast<std::uint64_t>(o.at("id").as_int())};
-        obj.name = o.at("name").as_string();
-        obj.type_name = o.at("type").as_string();
-        obj.version = static_cast<int>(o.at("version").as_int());
-        obj.content = o.at("content").as_string();
-        obj.content_hash = data::content_hash(obj.content);
-        obj.created_at = instant_of(o.at("created"));
-        auto st = m->store_->restore(std::move(obj));
+        auto st = detail::restore_data_object(*m->store_, d.as_object());
         if (!st.ok()) return st.error();
       }
 
       for (const auto& e : root.at("instances").as_array()) {
-        const auto& o = e.as_object();
-        meta::RunId produced_by;
-        if (!o.at("produced_by").is_null())
-          produced_by =
-              meta::RunId{static_cast<std::uint64_t>(o.at("produced_by").as_int())};
-        util::DataObjectId data;
-        if (!o.at("data").is_null())
-          data = util::DataObjectId{static_cast<std::uint64_t>(o.at("data").as_int())};
-        auto inst = m->db_->create_instance(o.at("type").as_string(),
-                                            o.at("name").as_string(), produced_by, data,
-                                            instant_of(o.at("created")));
-        if (!inst.ok()) return inst.error();
-        const auto& stored = m->db_->instance(inst.value());
-        if (stored.id.value() != static_cast<std::uint64_t>(o.at("id").as_int()) ||
-            stored.version != static_cast<int>(o.at("version").as_int()))
-          return util::conflict("instance " + std::to_string(o.at("id").as_int()) +
-                                " did not restore to the same id/version");
+        auto st = detail::restore_instance(*m->db_, e.as_object());
+        if (!st.ok()) return st.error();
       }
 
       for (const auto& r : root.at("runs").as_array()) {
-        const auto& o = r.as_object();
-        meta::Run run;
-        run.activity = o.at("activity").as_string();
-        if (auto rule = m->schema_->find_rule_by_activity(run.activity))
-          run.rule = *rule;
-        run.tool_binding = o.at("tool").as_string();
-        run.designer = o.at("designer").as_string();
-        for (const auto& in : o.at("inputs").as_array())
-          run.inputs.push_back(
-              meta::EntityInstanceId{static_cast<std::uint64_t>(in.as_int())});
-        if (!o.at("output").is_null())
-          run.output =
-              meta::EntityInstanceId{static_cast<std::uint64_t>(o.at("output").as_int())};
-        run.started_at = instant_of(o.at("started"));
-        run.finished_at = instant_of(o.at("finished"));
-        run.status = o.at("status").as_string() == "completed"
-                         ? meta::RunStatus::kCompleted
-                         : meta::RunStatus::kFailed;
-        auto rid = m->db_->record_run(std::move(run));
-        if (!rid.ok()) return rid.error();
-        if (rid.value().value() != static_cast<std::uint64_t>(o.at("id").as_int()))
-          return util::conflict("run did not restore to the same id");
+        auto st = detail::restore_run(*m->db_, *m->schema_, r.as_object());
+        if (!st.ok()) return st.error();
       }
 
       for (const auto& p : root.at("plans").as_array()) {
@@ -399,6 +325,8 @@ class Persistence {
         auto pid = sched::ScheduleRunId{static_cast<std::uint64_t>(o.at("id").as_int())};
         for (const auto& d : o.at("deps").as_array()) {
           const auto& pair = d.as_array();
+          if (pair.size() != 2)
+            return util::parse_error("plan dep must have 2 entries");
           m->space_->add_dep(
               pid, sched::ScheduleNodeId{static_cast<std::uint64_t>(pair[0].as_int())},
               sched::ScheduleNodeId{static_cast<std::uint64_t>(pair[1].as_int())});
@@ -451,6 +379,15 @@ class Persistence {
 
 std::string save_to_json(const WorkflowManager& manager) {
   return Persistence::save(manager);
+}
+
+util::Status save_project_file(WorkflowManager& manager, const std::string& path) {
+  auto st = util::write_file_atomic(path, save_to_json(manager));
+  if (!st.ok()) return st;
+  // The snapshot now covers everything the journal held; restart it so
+  // recovery replays only runs recorded after this save.
+  if (manager.journal()) return manager.journal()->restart();
+  return util::Status::ok_status();
 }
 
 util::Result<std::unique_ptr<WorkflowManager>> load_from_json(std::string_view text) {

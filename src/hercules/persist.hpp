@@ -27,4 +27,12 @@ namespace herc::hercules {
 [[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> load_from_json(
     std::string_view text);
 
+/// Crash-safe snapshot: serializes the manager and atomically replaces
+/// `path` (write to `path + ".tmp"`, then rename), so a crash mid-save never
+/// leaves a truncated database file.  If the manager has an active run
+/// journal it is restarted (truncated) afterwards — the snapshot subsumes
+/// its contents.
+[[nodiscard]] util::Status save_project_file(WorkflowManager& manager,
+                                             const std::string& path);
+
 }  // namespace herc::hercules

@@ -1,0 +1,33 @@
+#pragma once
+// Record-level (de)serialization shared by the full snapshot writer
+// (persist.cpp) and the append-only run journal (journal.cpp).  Both must
+// produce byte-identical shapes for the same record, or recovery (snapshot +
+// journal replay) could not reconstruct the same file a clean save writes.
+//
+// Internal header; not part of the hercules public API.
+
+#include "data/data_store.hpp"
+#include "metadata/database.hpp"
+#include "schema/schema.hpp"
+#include "util/json.hpp"
+
+namespace herc::hercules::detail {
+
+[[nodiscard]] util::Json data_object_json(const data::DataObject& d);
+[[nodiscard]] util::Json instance_json(const meta::EntityInstance& e);
+[[nodiscard]] util::Json run_json(const meta::Run& r);
+
+// Restore counterparts.  Each re-creates the record through the subsystem's
+// public API and verifies it landed on the persisted id (kConflict if not).
+// Missing or mistyped fields throw std::out_of_range /
+// std::bad_variant_access, which callers translate into kParse — the same
+// contract as the snapshot loader.
+[[nodiscard]] util::Status restore_data_object(data::DataStore& store,
+                                               const util::JsonObject& o);
+[[nodiscard]] util::Status restore_instance(meta::Database& db,
+                                            const util::JsonObject& o);
+[[nodiscard]] util::Status restore_run(meta::Database& db,
+                                       const schema::TaskSchema& schema,
+                                       const util::JsonObject& o);
+
+}  // namespace herc::hercules::detail

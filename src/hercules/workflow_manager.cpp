@@ -1,8 +1,32 @@
 #include "hercules/workflow_manager.hpp"
 
 #include "gantt/gantt.hpp"
+#include "hercules/journal.hpp"
 
 namespace herc::hercules {
+
+// Out of line: ~unique_ptr<RunJournal> needs the complete type.
+WorkflowManager::~WorkflowManager() = default;
+
+void WorkflowManager::set_faults(std::uint64_t seed, exec::FaultPlan plan) {
+  faults_ = std::make_unique<exec::FaultInjector>(seed, std::move(plan));
+  tools_->set_fault_injector(faults_.get());
+}
+
+void WorkflowManager::clear_faults() {
+  tools_->set_fault_injector(nullptr);
+  faults_.reset();
+}
+
+util::Status WorkflowManager::enable_journal(const std::string& path) {
+  journal_.reset();  // detach any previous journal before opening the new one
+  auto opened = RunJournal::open(*db_, *store_, clock_, path);
+  if (!opened.ok()) return opened.error();
+  journal_ = std::move(opened).take();
+  return util::Status::ok_status();
+}
+
+void WorkflowManager::disable_journal() { journal_.reset(); }
 
 util::Result<std::unique_ptr<WorkflowManager>> WorkflowManager::create(
     std::string_view schema_dsl, cal::WorkCalendar::Config calendar_config,
@@ -124,7 +148,7 @@ util::Result<exec::ExecutionResult> WorkflowManager::execute_task(
   // Runs must stamp THIS task's plan (several tasks may share activity
   // names when they instantiate the same schema).
   if (auto plan = plan_of(task_name)) tracker_->watch_plan(*plan);
-  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
+  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_, exec_options_);
   return executor.execute(*t.value(), designer);
 }
 
@@ -134,7 +158,7 @@ util::Result<exec::ExecutionResult> WorkflowManager::execute_task_concurrent(
   auto t = task(task_name);
   if (!t.ok()) return t.error();
   if (auto plan = plan_of(task_name)) tracker_->watch_plan(*plan);
-  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
+  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_, exec_options_);
   return executor.execute_concurrent(*t.value(), designer, options);
 }
 
@@ -147,7 +171,7 @@ util::Result<exec::ActivityRunResult> WorkflowManager::run_activity(
   for (flow::TaskNodeId id : tree.activities_post_order()) {
     if (tree.activity_name(id) == activity) {
       if (auto plan = plan_of(task_name)) tracker_->watch_plan(*plan);
-      exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
+      exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_, exec_options_);
       return executor.execute_activity(tree, id, designer);
     }
   }
@@ -178,7 +202,7 @@ util::Result<std::vector<exec::ActivityRunResult>> WorkflowManager::refresh_task
   };
 
   std::vector<exec::ActivityRunResult> performed;
-  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_);
+  exec::Executor executor(*db_, *store_, *tools_, clock_, &bus_, exec_options_);
   for (flow::TaskNodeId act : tree.activities_post_order()) {
     if (!needs_rerun(act)) continue;
     auto one = executor.execute_activity(tree, act, designer);

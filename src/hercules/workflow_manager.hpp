@@ -32,6 +32,8 @@
 
 namespace herc::hercules {
 
+class RunJournal;
+
 class WorkflowManager {
  public:
   /// Builds a manager from schema DSL text.  The schema is parsed and
@@ -42,6 +44,7 @@ class WorkflowManager {
 
   WorkflowManager(const WorkflowManager&) = delete;
   WorkflowManager& operator=(const WorkflowManager&) = delete;
+  ~WorkflowManager();
 
   // --- subsystem access ----------------------------------------------------
   [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
@@ -69,6 +72,33 @@ class WorkflowManager {
                                 const std::string& kind = "person", int capacity = 1) {
     return db_->add_resource(name, kind, capacity);
   }
+
+  // --- fault tolerance -------------------------------------------------------
+  /// Failure semantics (retry/timeout/abort-vs-degrade) applied to every
+  /// execution the manager drives.  Defaults reproduce the seed behavior.
+  [[nodiscard]] const exec::ExecutionOptions& exec_options() const {
+    return exec_options_;
+  }
+  void set_exec_options(exec::ExecutionOptions options) {
+    exec_options_ = std::move(options);
+  }
+
+  /// Installs a deterministic fault injector over the tool registry (replaces
+  /// any previous one).  The same seed + plan reproduces the same failure
+  /// sequence bit-identically.
+  void set_faults(std::uint64_t seed, exec::FaultPlan plan);
+  void clear_faults();
+  [[nodiscard]] const exec::FaultInjector* fault_injector() const {
+    return faults_.get();
+  }
+
+  /// Starts crash-safe journaling: every recorded run appends one delta line
+  /// to `path` (see journal.hpp).  Take a snapshot (save_project_file) first
+  /// — recovery replays the journal over it.  Replaces any active journal.
+  util::Status enable_journal(const std::string& path);
+  void disable_journal();
+  /// nullptr when journaling is off.
+  [[nodiscard]] RunJournal* journal() { return journal_.get(); }
 
   // --- task trees ------------------------------------------------------------
   /// Extracts a task tree named `task_name` producing `target_type`.
@@ -171,6 +201,9 @@ class WorkflowManager {
   sched::DurationEstimator estimator_;
   std::unique_ptr<sched::ScheduleTracker> tracker_;
   std::unique_ptr<DatabaseEventBridge> db_bridge_;
+  std::unique_ptr<exec::FaultInjector> faults_;
+  std::unique_ptr<RunJournal> journal_;  // destroyed before db_ (detaches itself)
+  exec::ExecutionOptions exec_options_;
   std::map<std::string, flow::TaskTree> tasks_;
   std::map<std::string, sched::ScheduleRunId> plan_by_task_;
 

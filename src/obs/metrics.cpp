@@ -136,6 +136,18 @@ void MetricsRegistry::on_event(const Event& event) {
           else if (key == "resolves") counters_["solver_incremental_solves"] += delta;
         }
       }
+      // Executor fault-tolerance stats carrier (see
+      // exec::Executor::publish_fault_stats): same args-as-deltas idiom.
+      if (event.name == "exec.faults") {
+        for (const auto& [key, value] : event.args) {
+          char* end = nullptr;
+          const std::uint64_t delta = std::strtoull(value.c_str(), &end, 10);
+          if (end == value.c_str()) continue;
+          if (key == "retries") counters_["run_retries"] += delta;
+          else if (key == "timeouts") counters_["run_timeouts"] += delta;
+          else if (key == "degraded") counters_["runs_degraded"] += delta;
+        }
+      }
       if (event.duration_ns >= 0)
         histograms_["scope." + event.name].record(event.duration_ns);
       break;

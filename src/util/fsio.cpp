@@ -1,0 +1,45 @@
+#include "util/fsio.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace herc::util {
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found("cannot open file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Status write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return invalid("cannot write file '" + path + "'");
+  out << content;
+  out.flush();
+  if (!out) return invalid("short write to file '" + path + "'");
+  return Status::ok_status();
+}
+
+Status write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return invalid("cannot write temp file '" + tmp + "'");
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return invalid("short write to temp file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return invalid("cannot replace '" + path + "' (rename failed)");
+  }
+  return Status::ok_status();
+}
+
+}  // namespace herc::util

@@ -1,0 +1,29 @@
+#pragma once
+// Small file I/O helpers shared by the CLI and the persistence layer.
+//
+// write_file_atomic is the load-bearing one: project snapshots must never be
+// half-written.  It writes to a sibling temp file and renames it over the
+// target, so a crash (or a full disk) mid-save leaves any existing file
+// untouched — either the old snapshot survives intact or the new one is
+// complete.
+
+#include <string>
+
+#include "util/result.hpp"
+
+namespace herc::util {
+
+/// Reads a whole file; kNotFound if it cannot be opened.
+[[nodiscard]] Result<std::string> read_file(const std::string& path);
+
+/// Plain truncating write (journals append elsewhere; this is for scratch
+/// output where atomicity does not matter).
+[[nodiscard]] Status write_file(const std::string& path, std::string_view content);
+
+/// Crash-safe replace: writes `content` to `path + ".tmp"`, flushes, then
+/// renames over `path`.  On any failure the original file is left exactly as
+/// it was and the temp file is removed (best effort).
+[[nodiscard]] Status write_file_atomic(const std::string& path,
+                                       std::string_view content);
+
+}  // namespace herc::util

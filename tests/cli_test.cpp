@@ -341,6 +341,109 @@ TEST(Cli, SaveAndOpenRoundTrip) {
   std::remove(path);
 }
 
+TEST(Cli, RetryAndOnfailConfigureExecution) {
+  CliSession s = circuit_session();
+  // A retry policy under the default abort policy earns a hint.
+  auto out = ok(s, "retry 3 backoff 30m");
+  EXPECT_NE(out.find("3 attempt(s)"), std::string::npos);
+  EXPECT_NE(out.find("onfail"), std::string::npos);
+  ok(s, "onfail retry");
+  EXPECT_EQ(s.manager()->exec_options().on_failure,
+            exec::FailurePolicy::kRetryThenAbort);
+  EXPECT_EQ(s.manager()->exec_options().retry.max_attempts, 3);
+  EXPECT_EQ(s.manager()->exec_options().retry.backoff.count_minutes(), 30);
+  ok(s, "retry 2 timeout 4h tool spice");
+  EXPECT_EQ(s.manager()->exec_options().tool_retry.at("spice").timeout.count_minutes(),
+            4 * 60);
+  ok(s, "onfail continue");
+  ok(s, "onfail abort");
+  fail(s, "retry");
+  fail(s, "retry zero");
+  fail(s, "retry 0");
+  fail(s, "retry 2 backoff notaduration");
+  fail(s, "retry 2 bogus 1h");
+  fail(s, "onfail sometimes");
+  fail(s, "onfail");
+}
+
+TEST(Cli, FaultsCommandComposesAndShows) {
+  CliSession s = circuit_session();
+  ok(s, "faults seed 42");
+  ok(s, "faults tool spice fail 0.5 latency 2.0 failon 1 3 crashon 9");
+  ok(s, "faults crashafter 12");
+  auto shown = ok(s, "faults show");
+  EXPECT_NE(shown.find("seed 42"), std::string::npos);
+  EXPECT_NE(shown.find("spice"), std::string::npos);
+  EXPECT_NE(shown.find("failon 1 3"), std::string::npos);
+  EXPECT_NE(shown.find("crash after 12"), std::string::npos);
+  ASSERT_NE(s.manager()->fault_injector(), nullptr);
+  EXPECT_EQ(s.manager()->fault_injector()->seed(), 42u);
+  EXPECT_EQ(s.manager()->fault_injector()->plan().tools.at("spice").fail_prob, 0.5);
+  ok(s, "faults off");
+  EXPECT_EQ(s.manager()->fault_injector(), nullptr);
+  EXPECT_NE(ok(s, "faults show").find("off"), std::string::npos);
+  fail(s, "faults");
+  fail(s, "faults seed notanumber");
+  fail(s, "faults tool spice failon");
+  fail(s, "faults tool spice bogus 1");
+  fail(s, "faults bogus");
+}
+
+TEST(Cli, InjectedFailuresDriveRetriesEndToEnd) {
+  CliSession s = circuit_session();
+  ok(s, "faults tool spice failon 1");
+  ok(s, "onfail retry");
+  ok(s, "retry 2");
+  auto out = ok(s, "execute adder alice");
+  EXPECT_NE(out.find("execution complete"), std::string::npos);
+  EXPECT_EQ(s.manager()->db().run_count(), 3u);  // Create + failed + retried
+}
+
+TEST(Cli, DegradedExecutionReportsSkippedActivities) {
+  CliSession s = circuit_session();
+  ok(s, "faults tool ned failon 1");
+  ok(s, "onfail continue");
+  auto out = ok(s, "execute adder alice");
+  EXPECT_NE(out.find("DEGRADED"), std::string::npos);
+  EXPECT_NE(out.find("Simulate"), std::string::npos);
+}
+
+TEST(Cli, InjectedCrashSurfacesAsSimulatedCrashError) {
+  CliSession s = circuit_session();
+  ok(s, "faults crashafter 1");
+  auto err = fail(s, "execute adder alice");
+  EXPECT_NE(err.find("simulated crash"), std::string::npos);
+  EXPECT_NE(err.find("injected crash"), std::string::npos);
+}
+
+TEST(Cli, JournalAndRecoverRebuildAfterCrash) {
+  const char* snap = "/tmp/herc_cli_snap.json";
+  const char* wal = "/tmp/herc_cli_run.wal";
+  {
+    CliSession s = circuit_session();
+    ok(s, std::string("journal on ") + wal);
+    ok(s, std::string("save ") + snap);
+    ok(s, "faults crashafter 3");  // Create, Simulate OK; next run crashes
+    ok(s, "execute adder alice");
+    fail(s, "run adder Simulate bob");  // the simulated process death
+  }
+  CliSession s2;
+  auto out = ok(s2, std::string("recover ") + snap + " " + wal);
+  EXPECT_NE(out.find("2 runs"), std::string::npos);
+  EXPECT_NE(ok(s2, "show db"), "");
+  // Journal misuse errors.
+  CliSession s3 = circuit_session();
+  fail(s3, "journal off");  // not on
+  fail(s3, "journal");
+  fail(s3, "journal on");
+  ok(s3, std::string("journal on ") + wal);
+  ok(s3, "journal off");
+  fail(s3, "recover /no/such/snap.json /no/such/run.wal");
+  fail(s3, "recover " + std::string(snap));
+  std::remove(snap);
+  std::remove(wal);
+}
+
 TEST(Cli, QuitSetsFlag) {
   CliSession s;
   EXPECT_FALSE(s.quit_requested());

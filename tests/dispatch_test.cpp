@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "common.hpp"
+#include "exec/fault.hpp"
+#include "hercules/persist.hpp"
 
 namespace herc::exec {
 namespace {
@@ -128,6 +130,94 @@ TEST(Dispatch, FailureAbortsRemainingWork) {
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result.value().success);
   EXPECT_EQ(result.value().runs.size(), 1u);  // first activity failed, rest skipped
+}
+
+TEST(Dispatch, ContinueIndependentKeepsIndependentBranchRunning) {
+  auto m = par_manager();
+  FaultPlan plan;
+  plan.tools["t1"] = {.fail_on = {1}};  // first invocation = MakeA
+  m->set_faults(1, std::move(plan));
+  ExecutionOptions options;
+  options.on_failure = FailurePolicy::kContinueIndependent;
+  m->set_exec_options(options);
+
+  auto result = m->execute_task_concurrent("job", "team");
+  ASSERT_TRUE(result.ok()) << result.error().str();
+  EXPECT_FALSE(result.value().success);
+  // MakeA failed, MakeB still dispatched, Join (needs both) skipped.
+  ASSERT_EQ(result.value().runs.size(), 2u);
+  EXPECT_EQ(result.value().skipped, (std::vector<std::string>{"Join"}));
+  int ok_runs = 0;
+  for (const auto& r : result.value().runs) ok_runs += r.success ? 1 : 0;
+  EXPECT_EQ(ok_runs, 1);
+  ASSERT_EQ(m->db().runs_of_activity("MakeB").size(), 1u);
+  // The surviving branch still overlapped the failed one: makespan 4h.
+  EXPECT_EQ(m->clock().now().minutes_since_epoch(), 4 * 60);
+}
+
+TEST(Dispatch, RetryReschedulesAfterBackoff) {
+  auto m = par_manager();
+  FaultPlan plan;
+  plan.tools["t1"] = {.fail_on = {1}};
+  m->set_faults(1, std::move(plan));
+  ExecutionOptions options;
+  options.on_failure = FailurePolicy::kRetryThenAbort;
+  options.retry.max_attempts = 2;
+  options.retry.backoff = cal::WorkDuration::minutes(30);
+  m->set_exec_options(options);
+
+  auto result = m->execute_task_concurrent("job", "team");
+  ASSERT_TRUE(result.ok()) << result.error().str();
+  EXPECT_TRUE(result.value().success);
+  // MakeA: failed attempt + retry; MakeB: one run; Join: one run.
+  EXPECT_EQ(result.value().runs.size(), 4u);
+  auto make_a = m->db().runs_of_activity("MakeA");
+  ASSERT_EQ(make_a.size(), 2u);
+  const auto& failed = m->db().run(make_a[0]);
+  const auto& retried = m->db().run(make_a[1]);
+  EXPECT_EQ(failed.status, meta::RunStatus::kFailed);
+  EXPECT_EQ(retried.status, meta::RunStatus::kCompleted);
+  // The retry waits out the backoff in work time.
+  EXPECT_EQ(retried.started_at.minutes_since_epoch(),
+            failed.finished_at.minutes_since_epoch() + 30);
+  // Join starts once the retried MakeA delivers (MakeB finished long ago).
+  const auto& join = m->db().run(m->db().runs_of_activity("Join").front());
+  EXPECT_EQ(join.started_at, retried.finished_at);
+  EXPECT_EQ(m->clock().now(), join.finished_at);
+}
+
+TEST(Dispatch, TimeoutBudgetCapsDispatchedRun) {
+  auto m = par_manager();  // nominal 4h
+  ExecutionOptions options;
+  options.on_failure = FailurePolicy::kRetryThenAbort;
+  options.tool_retry["t1"] = {.max_attempts = 1,
+                              .timeout = cal::WorkDuration::hours(2)};
+  m->set_exec_options(options);
+  auto result = m->execute_task_concurrent("job", "team");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().success);
+  ASSERT_GE(result.value().runs.size(), 1u);
+  EXPECT_TRUE(result.value().runs[0].timed_out);
+  const auto& run = m->db().run(result.value().runs[0].run);
+  EXPECT_EQ(run.finished_at.minutes_since_epoch() -
+                run.started_at.minutes_since_epoch(),
+            2 * 60);
+}
+
+TEST(Dispatch, SameFaultSeedReproducesDispatchBitIdentically) {
+  auto run_once = [] {
+    auto m = par_manager();
+    FaultPlan plan;
+    plan.tools["*"] = {.fail_prob = 0.5};
+    m->set_faults(11, std::move(plan));
+    ExecutionOptions options;
+    options.on_failure = FailurePolicy::kContinueIndependent;
+    options.retry.max_attempts = 2;
+    m->set_exec_options(options);
+    (void)m->execute_task_concurrent("job", "team").value();
+    return hercules::save_to_json(*m);
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(Dispatch, TrackerSeesOverlappingActuals) {

@@ -205,8 +205,38 @@ TEST(Executor, FailingToolStopsExecutionAndRecordsFailedRun) {
   const auto& failed = m->db().run(result.value().runs[1].run);
   EXPECT_EQ(failed.status, meta::RunStatus::kFailed);
   EXPECT_FALSE(failed.output.valid());
-  // No performance instance was created.
+  // No performance instance was created, and the result's final_output is
+  // explicitly the invalid sentinel (never a stale or zero-initialised id).
   EXPECT_TRUE(m->db().container("performance").empty());
+  EXPECT_FALSE(result.value().final_output.valid());
+}
+
+TEST(Executor, FinalOutputDefaultsToInvalidSentinel) {
+  // A default-constructed result must already carry the sentinel, so no
+  // failure path can leak an accidentally-valid id.
+  ExecutionResult result;
+  EXPECT_FALSE(result.final_output.valid());
+  EXPECT_EQ(result.final_output, meta::EntityInstanceId::invalid());
+}
+
+TEST(Executor, FailedExecutionKeepsSentinelEvenAfterEarlierSuccesses) {
+  // Create succeeds (produces a real instance id) but Simulate fails: the
+  // whole-tree result must NOT surface Create's output as final_output.
+  auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
+  m->register_tool({.instance_name = "ed", .tool_type = "netlist_editor"})
+      .expect("tool");
+  m->register_tool({.instance_name = "sim",
+                    .tool_type = "simulator",
+                    .fail_rate = 1.0})
+      .expect("tool");
+  m->extract_task("adder", "performance").expect("extract");
+  m->bind("adder", "stimuli", "s").expect("b");
+  m->bind("adder", "netlist_editor", "ed").expect("b");
+  m->bind("adder", "simulator", "sim").expect("b");
+  auto result = m->execute_task("adder", "alice").value();
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_TRUE(result.runs[0].output.valid());  // Create produced a netlist
+  EXPECT_FALSE(result.final_output.valid());   // but the tree has no output
 }
 
 TEST(Executor, ContentChangesWhenUpstreamChanges) {

@@ -118,6 +118,79 @@ TEST(Persist, RejectsWrongFieldTypes) {
   EXPECT_EQ(loaded.error().code, util::Error::Code::kParse);
 }
 
+TEST(Persist, TruncatedSnapshotsNeverCrash) {
+  // A crash mid-write (before atomic saves existed) leaves a prefix of the
+  // real document; every prefix must come back as a clean error.
+  auto m = full_scenario();
+  std::string text = save_to_json(*m);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '}'))
+    text.pop_back();  // strip the closing brace so every prefix is torn
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, text.size() / 4,
+                          text.size() / 2, text.size() - 2, text.size() - 1}) {
+    auto loaded = load_from_json(text.substr(0, len));
+    ASSERT_FALSE(loaded.ok()) << "prefix length " << len;
+    EXPECT_TRUE(loaded.error().code == util::Error::Code::kParse ||
+                loaded.error().code == util::Error::Code::kInvalid)
+        << "prefix length " << len << ": " << loaded.error().str();
+  }
+}
+
+TEST(Persist, MalformedDocumentCorpusRejectedCleanly) {
+  // Structurally valid JSON with broken content: every case must produce a
+  // kParse/kInvalid/kConflict error, never a crash or an UB read.
+  const char* corpus[] = {
+      R"({"format": "hercsched-db-v1"})",              // missing sections
+      R"({"format": "hercsched-db-v1", "schema": 7})", // wrong type
+      R"({"format": "hercsched-db-v1", "schema": "not a schema"})",
+      "[1, 2, 3]",                                     // not an object
+      "null",
+      "\"hercsched-db-v1\"",
+  };
+  for (const char* text : corpus) {
+    auto loaded = load_from_json(text);
+    ASSERT_FALSE(loaded.ok()) << text;
+  }
+}
+
+TEST(Persist, MalformedNestedRecordsRejectedCleanly) {
+  auto m = full_scenario();
+  std::string text = save_to_json(*m);
+  // Each mutation breaks one nested record the loader must validate.
+  auto mutate = [&](auto&& fn) {
+    auto doc = util::Json::parse(text).take();
+    fn(doc.as_object());
+    return load_from_json(doc.dump(2));
+  };
+  // A run whose inputs are not numbers.
+  auto bad_run_inputs = mutate([](util::JsonObject& doc) {
+    doc.at("runs").as_array()[0].as_object().set(
+        "inputs", util::Json::parse(R"(["x"])").take());
+  });
+  EXPECT_FALSE(bad_run_inputs.ok());
+  // A resource time-off window with the wrong arity.
+  auto bad_window = mutate([](util::JsonObject& doc) {
+    auto& resources = doc.at("resources").as_array();
+    for (auto& r : resources) {
+      if (r.as_object().at("name").as_string() == "bob")
+        r.as_object().set("time_off", util::Json::parse(R"([[100]])").take());
+    }
+  });
+  ASSERT_FALSE(bad_window.ok());
+  EXPECT_EQ(bad_window.error().code, util::Error::Code::kParse);
+  // A plan dependency pair with one endpoint missing.
+  auto bad_dep = mutate([](util::JsonObject& doc) {
+    auto& plans = doc.at("plans").as_array();
+    plans[0].as_object().set("deps", util::Json::parse(R"([[3]])").take());
+  });
+  ASSERT_FALSE(bad_dep.ok());
+  EXPECT_EQ(bad_dep.error().code, util::Error::Code::kParse);
+  // An instance of a type the schema does not define.
+  auto bad_type = mutate([](util::JsonObject& doc) {
+    doc.at("instances").as_array()[0].as_object().set("type", "nosuchtype");
+  });
+  EXPECT_FALSE(bad_type.ok());
+}
+
 TEST(Persist, EmptyManagerRoundTrips) {
   auto m = hercules::WorkflowManager::create(test::kCircuitSchema).take();
   std::string once = save_to_json(*m);

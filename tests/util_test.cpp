@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
+#include "util/fsio.hpp"
 #include "util/ids.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
@@ -309,6 +311,37 @@ TEST(Rng, ChanceExtremes) {
     EXPECT_FALSE(rng.chance(0.0));
     EXPECT_TRUE(rng.chance(1.0));
   }
+}
+
+// --- fsio ----------------------------------------------------------------
+
+TEST(Fsio, ReadWriteRoundTrip) {
+  const std::string path = "/tmp/herc_fsio_rw.txt";
+  ASSERT_TRUE(write_file(path, "hello\nworld\n").ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, ReadMissingFileIsNotFound) {
+  auto r = read_file("/tmp/herc_fsio_no_such_file");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kNotFound);
+}
+
+TEST(Fsio, AtomicWriteReplacesAndCleansUpTemp) {
+  const std::string path = "/tmp/herc_fsio_atomic.txt";
+  ASSERT_TRUE(write_file(path, "old").ok());
+  ASSERT_TRUE(write_file_atomic(path, "new contents").ok());
+  EXPECT_EQ(read_file(path).value(), "new contents");
+  EXPECT_FALSE(read_file(path + ".tmp").ok());  // no temp left behind
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, AtomicWriteToBadDirectoryFailsCleanly) {
+  EXPECT_FALSE(write_file_atomic("/no/such/dir/f.txt", "x").ok());
+  EXPECT_FALSE(write_file("/no/such/dir/f.txt", "x").ok());
 }
 
 }  // namespace
