@@ -1,116 +1,32 @@
 #pragma once
 // Synthetic workload generators shared by the benchmark binaries.
 //
-// Flows are generated at three shapes that bracket real design processes:
+// All generation lives in herc::gen (src/gen/gen.hpp) — the benches are thin
+// aliases so BENCH_BASELINE.json keeps measuring the exact same workloads:
+// gen's legacy shapes are byte-identical to the strings this header used to
+// build (locked by gen_test's golden checks).
+//
+// Flows come in three shapes that bracket real design processes:
 //   chain    — strictly serial refinement (synthesis -> place -> route ...)
 //   fanin    — wide independent front ends merging into one back end
 //   layered  — L layers of W activities each, every activity consuming one
 //              output from the previous layer (a realistic mixed DAG)
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "core/cpm.hpp"
-#include "hercules/workflow_manager.hpp"
-#include "util/rng.hpp"
+#include "gen/gen.hpp"
 
 namespace herc::bench {
 
-/// Schema with a serial chain of n activities: d0 -> A1 -> d1 -> ... -> dn.
-inline std::string chain_schema(std::size_t n) {
-  std::string dsl = "schema chain {\n  data d0";
-  for (std::size_t i = 1; i <= n; ++i) dsl += ", d" + std::to_string(i);
-  dsl += ";\n  tool t;\n";
-  for (std::size_t i = 1; i <= n; ++i) {
-    dsl += "  rule A" + std::to_string(i) + ": d" + std::to_string(i) + " <- t(d" +
-           std::to_string(i - 1) + ");\n";
-  }
-  dsl += "}\n";
-  return dsl;
-}
+using gen::chain_cpm_network;
+using gen::chain_schema;
+using gen::fanin_schema;
+using gen::layered_schema;
+using gen::random_cpm_network;
 
-/// Schema with `width` independent producers feeding one merge activity.
-inline std::string fanin_schema(std::size_t width) {
-  std::string dsl = "schema fanin {\n  data out";
-  for (std::size_t i = 0; i < width; ++i) dsl += ", s" + std::to_string(i);
-  dsl += ";\n  tool t;\n";
-  for (std::size_t i = 0; i < width; ++i)
-    dsl += "  rule Make" + std::to_string(i) + ": s" + std::to_string(i) + " <- t();\n";
-  dsl += "  rule Merge: out <- t(";
-  for (std::size_t i = 0; i < width; ++i)
-    dsl += (i ? ", s" : "s") + std::to_string(i);
-  dsl += ");\n}\n";
-  return dsl;
-}
-
-/// Schema with `layers` x `width` activities; activity (l, w) consumes the
-/// output of (l-1, w) and (l-1, (w+1) % width); a final Join merges layer L.
-inline std::string layered_schema(std::size_t layers, std::size_t width) {
-  std::string dsl = "schema layered {\n  data root";
-  for (std::size_t l = 0; l <= layers; ++l)
-    for (std::size_t w = 0; w < width; ++w)
-      dsl += ", d" + std::to_string(l) + "_" + std::to_string(w);
-  dsl += ";\n  tool t;\n";
-  for (std::size_t l = 1; l <= layers; ++l) {
-    for (std::size_t w = 0; w < width; ++w) {
-      dsl += "  rule A" + std::to_string(l) + "_" + std::to_string(w) + ": d" +
-             std::to_string(l) + "_" + std::to_string(w) + " <- t(d" +
-             std::to_string(l - 1) + "_" + std::to_string(w) + ", d" +
-             std::to_string(l - 1) + "_" + std::to_string((w + 1) % width) + ");\n";
-    }
-  }
-  dsl += "  rule Join: root <- t(";
-  for (std::size_t w = 0; w < width; ++w)
-    dsl += (w ? ", d" : "d") + std::to_string(layers) + "_" + std::to_string(w);
-  dsl += ");\n}\n";
-  return dsl;
-}
-
-/// Builds a ready-to-run manager over a generated schema: one tool instance
-/// for the single tool type "t", every primary input bound, fallback
-/// estimate set, and the task "job" extracted for `target`.
+/// Ready-to-run manager over a generated schema (see gen::make_bound_manager).
 inline std::unique_ptr<hercules::WorkflowManager> make_manager(
     const std::string& dsl, const std::string& target,
     cal::WorkDuration tool_time = cal::WorkDuration::hours(2)) {
-  auto m = hercules::WorkflowManager::create(dsl, {}, /*tool_seed=*/1).take();
-  m->register_tool({.instance_name = "t1", .tool_type = "t", .nominal = tool_time})
-      .expect("bench tool");
-  m->extract_task("job", target).expect("bench extract");
-  for (auto id : m->schema().primary_inputs())
-    m->bind("job", m->schema().type(id).name, m->schema().type(id).name + ".in")
-        .expect("bench bind");
-  m->bind("job", "t", "t1").expect("bench bind tool");
-  m->estimator().set_fallback(cal::WorkDuration::hours(4));
-  return m;
-}
-
-/// Random CPM activity network for the scheduling benches.
-inline std::vector<sched::CpmActivity> random_cpm_network(std::size_t n,
-                                                          double edge_p,
-                                                          std::uint64_t seed) {
-  util::Rng rng(seed);
-  std::vector<sched::CpmActivity> acts(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    acts[i].duration = rng.uniform_int(10, 480);
-    // Bound preds per activity so density stays realistic at large n.
-    for (std::size_t tries = 0; tries < 4 && i > 0; ++tries)
-      if (rng.chance(edge_p))
-        acts[i].preds.push_back(static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(i) - 1)));
-  }
-  return acts;
-}
-
-/// Chain-shaped CPM network.
-inline std::vector<sched::CpmActivity> chain_cpm_network(std::size_t n) {
-  std::vector<sched::CpmActivity> acts(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    acts[i].duration = 60;
-    if (i > 0) acts[i].preds.push_back(i - 1);
-  }
-  return acts;
+  return gen::make_bound_manager(dsl, target, tool_time);
 }
 
 }  // namespace herc::bench

@@ -155,26 +155,16 @@ util::Result<ExecutionResult> Executor::execute_concurrent(
     const auto& rule = schema.rule(node.rule);
     const std::string& output_type = schema.type(node.type).name;
 
-    // Inputs: imports materialize at `base`; activity children at their
-    // dispatch finish.
-    std::vector<meta::EntityInstanceId> inputs;
-    std::string tool_binding;
-    std::int64_t ready = base;
+    // Decide skip BEFORE importing (like the serial sweep): a skipped
+    // activity must leave no trace in the execution space — an import
+    // created here would belong to no run, so no journal line would ever
+    // cover it and snapshot+journal recovery could not reproduce the state.
     bool input_lost = false;
     for (flow::TaskNodeId child_id : node.children) {
       const flow::TaskNode& child = tree.node(child_id);
-      if (child.kind == flow::NodeKind::kToolLeaf) {
-        tool_binding = child.binding;
-      } else if (child.kind == flow::NodeKind::kDataLeaf) {
-        inputs.push_back(import_input(schema.type(child.type).name, child.binding));
-      } else {
-        if (state[child_id.value()] != NodeState::kOk) {
-          input_lost = true;
-          continue;
-        }
-        inputs.push_back(produced_[child_id.value()]);
-        ready = std::max(ready, node_finish[child_id.value()]);
-      }
+      if (child.kind == flow::NodeKind::kActivity &&
+          state[child_id.value()] != NodeState::kOk)
+        input_lost = true;
     }
     if (input_lost) {  // degrade mode only: failures stop the sweep otherwise
       state[act.value()] = NodeState::kSkipped;
@@ -182,6 +172,23 @@ util::Result<ExecutionResult> Executor::execute_concurrent(
       result.success = false;
       ++degraded_;
       continue;
+    }
+
+    // Inputs: imports materialize at `base`; activity children at their
+    // dispatch finish.
+    std::vector<meta::EntityInstanceId> inputs;
+    std::string tool_binding;
+    std::int64_t ready = base;
+    for (flow::TaskNodeId child_id : node.children) {
+      const flow::TaskNode& child = tree.node(child_id);
+      if (child.kind == flow::NodeKind::kToolLeaf) {
+        tool_binding = child.binding;
+      } else if (child.kind == flow::NodeKind::kDataLeaf) {
+        inputs.push_back(import_input(schema.type(child.type).name, child.binding));
+      } else {
+        inputs.push_back(produced_[child_id.value()]);
+        ready = std::max(ready, node_finish[child_id.value()]);
+      }
     }
 
     const RetryPolicy& policy = options_.policy_for(tool_binding);

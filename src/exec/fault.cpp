@@ -36,6 +36,62 @@ bool contains_index(const std::vector<int>& v, std::uint64_t k) {
 
 }  // namespace
 
+util::Json fault_plan_to_json(const FaultPlan& plan) {
+  util::JsonObject doc;
+  doc.set("crash_after_total", static_cast<std::int64_t>(plan.crash_after_total));
+  std::vector<std::string> names;
+  names.reserve(plan.tools.size());
+  for (const auto& [name, faults] : plan.tools) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  util::JsonObject tools;
+  for (const auto& name : names) {
+    const ToolFaults& f = plan.tools.at(name);
+    util::JsonObject entry;
+    entry.set("fail_prob", f.fail_prob);
+    entry.set("latency_factor", f.latency_factor);
+    util::JsonArray fail_on, crash_on;
+    for (int k : f.fail_on) fail_on.emplace_back(k);
+    for (int k : f.crash_on) crash_on.emplace_back(k);
+    entry.set("fail_on", std::move(fail_on));
+    entry.set("crash_on", std::move(crash_on));
+    tools.set(name, std::move(entry));
+  }
+  doc.set("tools", std::move(tools));
+  return doc;
+}
+
+util::Result<FaultPlan> fault_plan_from_json(const util::Json& json) {
+  if (!json.is_object()) return util::parse_error("fault plan: not an object");
+  const auto& doc = json.as_object();
+  FaultPlan plan;
+  if (doc.contains("crash_after_total")) {
+    auto n = doc.at("crash_after_total").as_int();
+    if (n < 0) return util::parse_error("fault plan: negative crash_after_total");
+    plan.crash_after_total = static_cast<std::uint64_t>(n);
+  }
+  if (doc.contains("tools")) {
+    if (!doc.at("tools").is_object())
+      return util::parse_error("fault plan: tools is not an object");
+    for (const auto& [name, value] : doc.at("tools").as_object()) {
+      if (!value.is_object())
+        return util::parse_error("fault plan: tool entry '" + name + "'");
+      const auto& entry = value.as_object();
+      ToolFaults f;
+      if (entry.contains("fail_prob")) f.fail_prob = entry.at("fail_prob").as_double();
+      if (entry.contains("latency_factor"))
+        f.latency_factor = entry.at("latency_factor").as_double();
+      if (entry.contains("fail_on"))
+        for (const auto& k : entry.at("fail_on").as_array())
+          f.fail_on.push_back(static_cast<int>(k.as_int()));
+      if (entry.contains("crash_on"))
+        for (const auto& k : entry.at("crash_on").as_array())
+          f.crash_on.push_back(static_cast<int>(k.as_int()));
+      plan.tools[name] = std::move(f);
+    }
+  }
+  return plan;
+}
+
 FaultInjector::Decision FaultInjector::decide(const std::string& instance,
                                               std::uint64_t k,
                                               std::uint64_t total) const {

@@ -31,6 +31,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/json.hpp"
+#include "util/result.hpp"
+
 namespace herc::exec {
 
 /// Faults for one tool instance (or the "*" wildcard).
@@ -50,6 +53,14 @@ struct FaultPlan {
 
   [[nodiscard]] bool empty() const { return tools.empty() && crash_after_total == 0; }
 };
+
+/// Serializes a plan so fuzz corpora and saved fault scenarios replay the
+/// exact same failure sequence.  Tool entries are emitted in sorted key
+/// order, so the output is deterministic for a given plan.
+[[nodiscard]] util::Json fault_plan_to_json(const FaultPlan& plan);
+
+/// Inverse of fault_plan_to_json.  kParse on a structural mismatch.
+[[nodiscard]] util::Result<FaultPlan> fault_plan_from_json(const util::Json& json);
 
 /// Thrown by ToolRegistry::invoke at an injected crash point.  Deliberately
 /// NOT a util::Error: a crash must not be absorbed by normal Result-style

@@ -120,22 +120,25 @@ util::Status apply_line(WorkflowManager& m, const JsonObject& line) {
 
 }  // namespace
 
+std::vector<std::string_view> journal_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
 util::Result<std::unique_ptr<WorkflowManager>> recover_from_json(
     std::string_view snapshot_text, std::string_view journal_text) {
   auto loaded = load_from_json(snapshot_text);
   if (!loaded.ok()) return loaded;
   std::unique_ptr<WorkflowManager> m = std::move(loaded).take();
 
-  // Split into non-empty lines, preserving order.
-  std::vector<std::string_view> lines;
-  std::size_t pos = 0;
-  while (pos < journal_text.size()) {
-    std::size_t nl = journal_text.find('\n', pos);
-    if (nl == std::string_view::npos) nl = journal_text.size();
-    if (nl > pos) lines.push_back(journal_text.substr(pos, nl - pos));
-    pos = nl + 1;
-  }
-
+  std::vector<std::string_view> lines = journal_lines(journal_text);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const bool last = i + 1 == lines.size();
     auto parsed = Json::parse(lines[i]);

@@ -22,6 +22,8 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "data/data_store.hpp"
 #include "exec/executor.hpp"
@@ -79,6 +81,12 @@ class RunJournal : public meta::DatabaseObserver {
   std::uint64_t lines_ = 0;
   util::Status status_ = util::Status::ok_status();
 };
+
+/// Splits journal text into its non-empty lines, in order.  The returned
+/// views point into `text`; the final element may be a torn partial line
+/// (recover_from_json tolerates that).  Exposed so the fuzz harness can
+/// replay every journal prefix and assert crash-point recovery composes.
+[[nodiscard]] std::vector<std::string_view> journal_lines(std::string_view text);
 
 /// Reconstructs a manager from a snapshot plus the journal written after it.
 /// The journal text may end in a torn line (crash mid-append); anything

@@ -1,0 +1,63 @@
+// Replays the committed regression corpus (tests/corpus/*.json) through the
+// full fuzz harness.  Every scenario that ever caught a bug — or that seeds
+// coverage of a workload shape or oracle stressor — must keep passing all
+// five oracle families forever.  Regenerate the seed entries with
+// `herc_fuzz --emit-seed-corpus tests/corpus`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "gen/fuzz.hpp"
+
+#ifndef HERC_CORPUS_DIR
+#error "build must define HERC_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace herc::gen {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(HERC_CORPUS_DIR, ec))
+    if (entry.path().extension() == ".json") files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, HasTheCommittedSeedScenarios) {
+  EXPECT_GE(corpus_files().size(), 8u) << "corpus dir: " << HERC_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryScenarioReplaysCleanThroughAllOracles) {
+  auto files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "corpus dir: " << HERC_CORPUS_DIR;
+  for (const auto& path : files) {
+    auto scenario = read_corpus_file(path);
+    ASSERT_TRUE(scenario.ok()) << path << ": " << scenario.error().message;
+    auto failures = run_scenario(scenario.value());
+    for (const auto& f : failures)
+      ADD_FAILURE() << path << ": [" << oracle_name(f.family) << "] " << f.check
+                    << ": " << f.detail;
+  }
+}
+
+TEST(Corpus, FilesAreCanonicalSerializations) {
+  // Corpus files must stay byte-stable under a read/write cycle, so diffs
+  // in review always reflect real scenario changes.
+  for (const auto& path : corpus_files()) {
+    auto scenario = read_corpus_file(path);
+    ASSERT_TRUE(scenario.ok()) << path;
+    auto j = scenario_to_json(scenario.value());
+    auto again = scenario_from_json(j);
+    ASSERT_TRUE(again.ok()) << path;
+    EXPECT_EQ(scenario_to_json(again.value()).dump(), j.dump()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace herc::gen

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cpm_solver.hpp"
+#include "gen/gen.hpp"
 #include "util/rng.hpp"
 
 namespace herc::sched {
@@ -127,23 +128,14 @@ TEST(CpmSolver, StatsCountCompileSolveAndIncrementals) {
 }
 
 // --- incremental equivalence on randomized DAGs ------------------------------
-
-std::vector<CpmActivity> random_dag(util::Rng& rng, std::size_t n, double edge_p) {
-  std::vector<CpmActivity> acts(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    acts[i].duration = rng.uniform_int(0, 500);
-    if (rng.chance(0.2)) acts[i].release = rng.uniform_int(0, 300);
-    for (std::size_t j = 0; j < i; ++j)
-      if (rng.chance(edge_p)) acts[i].preds.push_back(j);
-  }
-  return acts;
-}
+// DAG sampling lives in herc::gen so the fuzzer and these tests draw from the
+// same distribution (gen::random_cpm_dag preserves this file's original draws).
 
 class CpmSolverProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CpmSolverProperty, IncrementalSolveMatchesFreshComputeCpm) {
   util::Rng rng(GetParam());
-  auto acts = random_dag(rng, 50, 0.08);
+  auto acts = gen::random_cpm_dag(rng, 50, 0.08);
   auto solver = CpmSolver::compile(acts).take();
   CpmResult incremental;
   solver.solve(incremental);
@@ -170,7 +162,7 @@ TEST_P(CpmSolverProperty, IncrementalSolveMatchesFreshComputeCpm) {
 
 TEST_P(CpmSolverProperty, DragMatchesBruteForceResolve) {
   util::Rng rng(GetParam() + 500);
-  auto acts = random_dag(rng, 40, 0.1);
+  auto acts = gen::random_cpm_dag(rng, 40, 0.1);
   auto drags = compute_drag(acts).take();
   auto base = compute_cpm(acts).take();
   for (std::size_t i = 0; i < acts.size(); ++i) {

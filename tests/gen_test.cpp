@@ -1,0 +1,154 @@
+// herc::gen generator tests: determinism (same spec -> byte-identical DSL
+// and corpus JSON), golden equality with the legacy workload strings the
+// benches were baselined on, bound clamping, and the structural promise that
+// every generated scenario parses into a runnable, acyclic flow.
+
+#include <gtest/gtest.h>
+
+#include "gen/gen.hpp"
+#include "util/rng.hpp"
+
+namespace herc::gen {
+namespace {
+
+TEST(GenLegacy, ChainSchemaGolden) {
+  EXPECT_EQ(chain_schema(2),
+            "schema chain {\n"
+            "  data d0, d1, d2;\n"
+            "  tool t;\n"
+            "  rule A1: d1 <- t(d0);\n"
+            "  rule A2: d2 <- t(d1);\n"
+            "}\n");
+}
+
+TEST(GenLegacy, FaninSchemaGolden) {
+  EXPECT_EQ(fanin_schema(2),
+            "schema fanin {\n"
+            "  data out, s0, s1;\n"
+            "  tool t;\n"
+            "  rule Make0: s0 <- t();\n"
+            "  rule Make1: s1 <- t();\n"
+            "  rule Merge: out <- t(s0, s1);\n"
+            "}\n");
+}
+
+TEST(GenLegacy, LayeredSchemaGolden) {
+  EXPECT_EQ(layered_schema(1, 2),
+            "schema layered {\n"
+            "  data root, d0_0, d0_1, d1_0, d1_1;\n"
+            "  tool t;\n"
+            "  rule A1_0: d1_0 <- t(d0_0, d0_1);\n"
+            "  rule A1_1: d1_1 <- t(d0_1, d0_0);\n"
+            "  rule Join: root <- t(d1_0, d1_1);\n"
+            "}\n");
+}
+
+TEST(GenLegacy, RandomGraphAlwaysParsesAndTargetsLastType) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 1995u}) {
+    util::Rng rng(seed);
+    auto graph = random_graph(rng, 2, 8);
+    EXPECT_EQ(graph.target, "d9");
+    auto m = hercules::WorkflowManager::create(render_schema(graph));
+    ASSERT_TRUE(m.ok()) << m.error().message;
+  }
+}
+
+TEST(Gen, SameSpecIsByteIdentical) {
+  ScenarioSpec spec{.seed = 77,
+                    .shape = Shape::kRandom,
+                    .size = 10,
+                    .inputs = 3,
+                    .fault_seed = 5,
+                    .fail_prob = 0.2};
+  Scenario a = generate(spec), b = generate(spec);
+  EXPECT_EQ(a.dsl(), b.dsl());
+  EXPECT_EQ(scenario_to_json(a).dump(), scenario_to_json(b).dump());
+}
+
+TEST(Gen, DistinctSeedsVaryDurations) {
+  Scenario a = generate({.seed = 1, .shape = Shape::kRandom, .size = 12});
+  Scenario b = generate({.seed = 2, .shape = Shape::kRandom, .size = 12});
+  EXPECT_NE(scenario_to_json(a).dump(), scenario_to_json(b).dump());
+}
+
+TEST(Gen, EverySpecInGridParsesBindsAndIsAcyclic) {
+  for (Shape shape : {Shape::kChain, Shape::kFanin, Shape::kLayered, Shape::kRandom}) {
+    for (std::size_t size : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      for (std::uint64_t seed : {3u, 9u}) {
+        Scenario s = generate({.seed = seed, .shape = shape, .size = size});
+        auto m = make_manager(s);
+        ASSERT_TRUE(m.ok()) << shape_name(shape) << "/" << size << ": "
+                            << m.error().message;
+        // Acyclicity: the scenario's activity network must admit a CPM solve.
+        auto cpm = sched::compute_cpm(cpm_network(s));
+        ASSERT_TRUE(cpm.ok()) << shape_name(shape) << "/" << size;
+        EXPECT_GT(cpm.value().makespan, 0);
+      }
+    }
+  }
+}
+
+TEST(Gen, FactsMatchTheGraph) {
+  Scenario s = generate({.seed = 4, .shape = Shape::kLayered, .size = 2, .width = 3});
+  StructuralFacts f = facts(s);
+  EXPECT_EQ(f.n_rules, s.graph.rules.size());
+  EXPECT_EQ(f.n_data_types, s.graph.data_types.size());
+  EXPECT_EQ(f.n_primary_inputs, s.graph.primary_inputs().size());
+  EXPECT_EQ(f.target, s.graph.target);
+  // The target must actually be produced by some rule.
+  bool produced = false;
+  for (const auto& r : s.graph.rules) produced |= r.output == f.target;
+  EXPECT_TRUE(produced);
+}
+
+TEST(Gen, BoundsAreClamped) {
+  Scenario tiny = generate({.seed = 5, .shape = Shape::kChain, .size = 0});
+  EXPECT_GE(tiny.graph.rules.size(), 1u);
+  Scenario huge = generate({.seed = 5, .shape = Shape::kChain, .size = 1000});
+  EXPECT_LE(huge.graph.rules.size(), 64u);
+  Scenario wide = generate({.seed = 5, .shape = Shape::kRandom, .size = 8,
+                            .inputs = 100});
+  EXPECT_LE(wide.graph.primary_inputs().size(), 8u);
+  // Estimates land inside the (sane-clamped) configured range.
+  Scenario s = generate({.seed = 6, .shape = Shape::kRandom, .size = 10,
+                         .tool_minutes_lo = 50, .tool_minutes_hi = 60,
+                         .est_minutes_lo = 100, .est_minutes_hi = 110});
+  EXPECT_GE(s.tool_minutes, 50);
+  EXPECT_LE(s.tool_minutes, 60);
+  for (const auto& r : s.graph.rules) {
+    EXPECT_GE(r.est_minutes, 100);
+    EXPECT_LE(r.est_minutes, 110);
+  }
+}
+
+TEST(Gen, JsonRoundTripIsByteIdentical) {
+  for (Shape shape : {Shape::kChain, Shape::kRandom}) {
+    Scenario s = generate({.seed = 13,
+                           .shape = shape,
+                           .size = 6,
+                           .resources = 2,
+                           .fault_seed = 99,
+                           .fail_prob = 0.25,
+                           .latency_factor = 1.5,
+                           .mode = ExecMode::kConcurrent,
+                           .policy = exec::FailurePolicy::kRetryThenAbort,
+                           .max_attempts = 3,
+                           .timeout_minutes = 120});
+    auto j = scenario_to_json(s);
+    auto back = scenario_from_json(j);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(scenario_to_json(back.value()).dump(), j.dump());
+  }
+}
+
+TEST(Gen, FaultSeedMaterializesWildcardInjector) {
+  Scenario clean = generate({.seed = 8, .shape = Shape::kChain, .size = 4});
+  EXPECT_TRUE(clean.faults.tools.empty());
+  Scenario faulty = generate({.seed = 8, .shape = Shape::kChain, .size = 4,
+                              .fault_seed = 81, .fail_prob = 0.3});
+  ASSERT_EQ(faulty.faults.tools.count("*"), 1u);
+  EXPECT_DOUBLE_EQ(faulty.faults.tools.at("*").fail_prob, 0.3);
+}
+
+}  // namespace
+}  // namespace herc::gen

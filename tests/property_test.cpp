@@ -8,75 +8,28 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <set>
 
 #include "adapters/petri.hpp"
 #include "adapters/roadmap.hpp"
 #include "common.hpp"
+#include "gen/gen.hpp"
 #include "util/rng.hpp"
 
 namespace herc {
 namespace {
 
-/// Generates a random acyclic schema: data types d0..dN where d0..dK are
-/// primary inputs and every other type is produced by a rule consuming 1-3
-/// earlier types.
-std::string random_schema(util::Rng& rng, std::size_t inputs, std::size_t rules) {
-  std::string dsl = "schema random {\n  data";
-  std::size_t total = inputs + rules;
-  for (std::size_t i = 0; i < total; ++i)
-    dsl += (i ? ", d" : " d") + std::to_string(i);
-  dsl += ";\n  tool t;\n";
-  for (std::size_t r = 0; r < rules; ++r) {
-    std::size_t out = inputs + r;
-    dsl += "  rule A" + std::to_string(r) + ": d" + std::to_string(out) + " <- t(";
-    std::set<std::size_t> chosen;
-    // At most `out` distinct earlier types exist; never demand more.
-    auto n_inputs =
-        std::min<std::size_t>(static_cast<std::size_t>(rng.uniform_int(1, 3)), out);
-    // Always consume the immediately previous type so the last rule's output
-    // transitively covers everything interesting; add random extras.
-    chosen.insert(out - 1);
-    while (chosen.size() < n_inputs)
-      chosen.insert(static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(out) - 1)));
-    bool first = true;
-    for (std::size_t in : chosen) {
-      dsl += (first ? "d" : ", d") + std::to_string(in);
-      first = false;
-    }
-    dsl += ");\n";
-  }
-  dsl += "}\n";
-  return dsl;
-}
-
+// Random flows come from herc::gen (src/gen/gen.hpp); the draw sequence of
+// gen::random_graph is byte-compatible with the schema builder that used to
+// live here, so the seeds below exercise the same workloads as before.
 class RandomFlow : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   std::unique_ptr<hercules::WorkflowManager> make(util::Rng& rng) {
     auto inputs = static_cast<std::size_t>(rng.uniform_int(1, 3));
     auto rules = static_cast<std::size_t>(rng.uniform_int(2, 12));
-    auto m = hercules::WorkflowManager::create(random_schema(rng, inputs, rules))
-                 .take();
-    m->register_tool({.instance_name = "t1", .tool_type = "t",
-                      .nominal = cal::WorkDuration::minutes(
-                          rng.uniform_int(30, 600))})
-        .expect("tool");
+    gen::FlowGraph graph = gen::random_graph(rng, inputs, rules);
+    auto tool = cal::WorkDuration::minutes(rng.uniform_int(30, 600));
+    auto m = gen::make_bound_manager(gen::render_schema(graph), graph.target, tool);
     m->estimator().set_fallback(cal::WorkDuration::minutes(rng.uniform_int(60, 960)));
-    // Target: the last data type (covers the whole rule chain).
-    std::string target =
-        "d" + std::to_string(inputs + rules - 1);
-    m->extract_task("job", target).expect("extract");
-    // Bind exactly the leaves present in the extracted tree (a random rule
-    // set may leave some declared primary inputs unreachable from target).
-    const auto& tree = *m->task("job").value();
-    for (auto leaf : tree.leaves()) {
-      const auto& n = tree.node(leaf);
-      std::string instance =
-          n.kind == flow::NodeKind::kToolLeaf ? "t1"
-                                              : m->schema().type(n.type).name + ".in";
-      m->task("job").value()->bind(leaf, instance).expect("bind");
-    }
     return m;
   }
 };

@@ -1,0 +1,100 @@
+// Shrinker tests: a planted mirror-invariant bug on a 12-rule flow reduces
+// to a minimal reproducer within the candidate budget, every intermediate
+// candidate is a parseable scenario (the repair step's contract), irrelevant
+// dimensions (faults, durations, resources) shrink away, and the reproducer
+// survives a corpus round trip still failing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/fuzz.hpp"
+#include "schema/schema.hpp"
+
+namespace herc::gen {
+namespace {
+
+Scenario planted() {
+  return generate({.seed = 5,
+                   .shape = Shape::kRandom,
+                   .size = 12,
+                   .inputs = 3,
+                   .resources = 3,
+                   .mode = ExecMode::kConcurrent});
+}
+
+TEST(Shrink, MirrorBugReducesToMinimalReproducer) {
+  Scenario failing = planted();
+  ShrinkOptions options;
+  options.mutation = Mutation::kMirrorDropRun;
+  std::size_t seen = 0;
+  options.on_candidate = [&](const Scenario& c) {
+    ++seen;
+    // The repair step promises every candidate parses and keeps >= 1 rule.
+    EXPECT_TRUE(schema::parse_schema(c.dsl()).ok());
+    EXPECT_GE(c.graph.rules.size(), 1u);
+  };
+  ASSERT_FALSE(run_scenario(failing, {.mutation = options.mutation}).empty());
+
+  ShrinkResult result = shrink(failing, options);
+  EXPECT_LE(result.scenario.graph.rules.size(), 5u);  // acceptance bound
+  EXPECT_LE(result.candidates, options.max_candidates);
+  EXPECT_EQ(result.candidates, seen);
+  EXPECT_GT(result.improvements, 0u);
+  ASSERT_FALSE(result.failures.empty());  // the reproducer still reproduces
+
+  // Irrelevant dimensions were shrunk away: the mirror bug needs no
+  // concurrency, no spare resources, and no long durations.
+  EXPECT_EQ(result.scenario.mode, ExecMode::kSerial);
+  EXPECT_EQ(result.scenario.resources, 1);
+  EXPECT_EQ(result.scenario.tool_minutes, 1);
+  for (const auto& r : result.scenario.graph.rules) EXPECT_EQ(r.est_minutes, 1);
+}
+
+TEST(Shrink, FaultsClearedWhenOrthogonalToTheBug) {
+  // The CPM off-by-one fails with or without faults, so the fault plan (and
+  // the execution knobs it forced) must disappear from the reproducer.
+  Scenario failing = generate({.seed = 6,
+                               .shape = Shape::kRandom,
+                               .size = 8,
+                               .fault_seed = 61,
+                               .fail_prob = 0.2,
+                               .policy = exec::FailurePolicy::kRetryThenAbort,
+                               .max_attempts = 3});
+  ShrinkResult result = shrink(failing, {.mutation = Mutation::kCpmOffByOne});
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.scenario.fault_seed, 0u);
+  EXPECT_TRUE(result.scenario.faults.empty());
+  EXPECT_EQ(result.scenario.policy, exec::FailurePolicy::kAbort);
+  EXPECT_EQ(result.scenario.max_attempts, 1);
+  EXPECT_LE(result.scenario.graph.rules.size(), 2u);
+}
+
+TEST(Shrink, CandidateBudgetIsRespected) {
+  ShrinkOptions options;
+  options.mutation = Mutation::kMirrorDropRun;
+  options.max_candidates = 7;
+  ShrinkResult result = shrink(planted(), options);
+  EXPECT_LE(result.candidates, 7u);
+  ASSERT_FALSE(result.failures.empty());  // partial shrink still reproduces
+}
+
+TEST(Shrink, ReproducerSurvivesCorpusRoundTrip) {
+  ShrinkResult result = shrink(planted(), {.mutation = Mutation::kMirrorDropRun});
+  ASSERT_FALSE(result.failures.empty());
+
+  std::string path = ::testing::TempDir() + "shrink_roundtrip.json";
+  ASSERT_TRUE(write_corpus_file(result.scenario, path).ok());
+  auto back = read_corpus_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(scenario_to_json(back.value()).dump(),
+            scenario_to_json(result.scenario).dump());
+  // Replaying the file reproduces the failure; without the mutation it passes.
+  EXPECT_FALSE(run_scenario(back.value(), {.mutation = Mutation::kMirrorDropRun})
+                   .empty());
+  EXPECT_TRUE(run_scenario(back.value()).empty());
+}
+
+}  // namespace
+}  // namespace herc::gen

@@ -1,0 +1,290 @@
+// herc_fuzz — differential/metamorphic fuzzer CLI over herc::gen scenarios.
+//
+//   herc_fuzz --budget 30s                 # fuzz for 30 seconds
+//   herc_fuzz --scenarios 200              # fuzz a fixed scenario count
+//   herc_fuzz --seed 7 | --seed from-git-sha
+//   herc_fuzz --oracles cpm,mirror         # restrict oracle families
+//   herc_fuzz --mutate mirror-drop-run     # plant a bug; MUST fail
+//   herc_fuzz --repro tests/corpus/x.json  # replay one corpus scenario
+//   herc_fuzz --corpus tests/corpus        # replay a whole corpus directory
+//   herc_fuzz --emit-seed-corpus DIR       # write the curated seed corpus
+//   herc_fuzz --out DIR                    # where shrunk reproducers go
+//
+// Exit status: 0 clean, 1 oracle violation (reproducer written), 2 usage.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/fuzz.hpp"
+
+namespace {
+
+using namespace herc;
+
+struct Args {
+  std::int64_t budget_ms = 0;
+  std::size_t scenarios = 0;
+  std::uint64_t seed = 1;
+  unsigned oracles = gen::kOracleAll;
+  gen::Mutation mutation = gen::Mutation::kNone;
+  std::string repro, corpus, emit_corpus;
+  std::string out = ".";
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--budget <secs>[s]] [--scenarios N] [--seed N|from-git-sha]\n"
+               "          [--oracles cpm,mirror,recovery,risk,metamorphic|all]\n"
+               "          [--mutate <name>] [--repro FILE] [--corpus DIR]\n"
+               "          [--emit-seed-corpus DIR] [--out DIR] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+std::uint64_t seed_from_git_sha() {
+  const char* sha = std::getenv("GITHUB_SHA");
+  if (!sha || !*sha) sha = std::getenv("HERC_FUZZ_SHA");
+  if (!sha || !*sha) return 1;
+  char prefix[17] = {0};
+  std::strncpy(prefix, sha, 16);
+  std::uint64_t seed = std::strtoull(prefix, nullptr, 16);
+  return seed ? seed : 1;
+}
+
+void print_failures(const std::vector<gen::OracleFailure>& failures) {
+  for (const auto& f : failures)
+    std::fprintf(stderr, "  [%s] %s: %s\n", gen::oracle_name(f.family),
+                 f.check.c_str(), f.detail.c_str());
+}
+
+/// Writes the shrunk reproducer and prints the replay command.
+int report_violation(const gen::Scenario& shrunk,
+                     const std::vector<gen::OracleFailure>& failures,
+                     const Args& args) {
+  print_failures(failures);
+  std::error_code ec;
+  std::filesystem::create_directories(args.out, ec);
+  std::string path = args.out + "/repro-" + std::to_string(shrunk.spec.seed) + ".json";
+  auto st = gen::write_corpus_file(shrunk, path);
+  if (st.ok())
+    std::fprintf(stderr, "reproduce with: herc_fuzz --repro %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "could not write reproducer: %s\n",
+                 st.error().message.c_str());
+  return 1;
+}
+
+int replay_file(const std::string& path, const Args& args) {
+  auto scenario = gen::read_corpus_file(path);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), scenario.error().message.c_str());
+    return 2;
+  }
+  auto failures = gen::run_scenario(
+      scenario.value(), {.oracles = args.oracles, .mutation = args.mutation});
+  if (failures.empty()) {
+    if (!args.quiet) std::printf("%s: ok\n", path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s: %zu oracle violation(s)\n", path.c_str(), failures.size());
+  print_failures(failures);
+  return 1;
+}
+
+int replay_corpus(const Args& args) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(args.corpus, ec))
+    if (entry.path().extension() == ".json") files.push_back(entry.path().string());
+  if (ec) {
+    std::fprintf(stderr, "cannot read corpus dir %s\n", args.corpus.c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  int worst = 0;
+  for (const auto& f : files) worst = std::max(worst, replay_file(f, args));
+  if (!args.quiet)
+    std::printf("corpus: %zu scenario(s) replayed\n", files.size());
+  return worst;
+}
+
+/// The committed regression corpus: one scenario per workload shape plus one
+/// per oracle-family stressor (faults, retries, concurrency, timeouts, an
+/// injected crash, a slack-heavy network).  Every entry must pass.
+std::vector<std::pair<std::string, gen::Scenario>> seed_corpus() {
+  using gen::ExecMode;
+  using gen::Scenario;
+  using gen::ScenarioSpec;
+  std::vector<std::pair<std::string, Scenario>> corpus;
+  auto add = [&](std::string name, ScenarioSpec spec) {
+    corpus.emplace_back(std::move(name), gen::generate(spec));
+  };
+
+  add("chain-basic", {.seed = 11, .shape = gen::Shape::kChain, .size = 8});
+  add("fanin-wide", {.seed = 12, .shape = gen::Shape::kFanin, .size = 10});
+  add("layered-grid",
+      {.seed = 13, .shape = gen::Shape::kLayered, .size = 3, .width = 4});
+  add("random-dag", {.seed = 14, .shape = gen::Shape::kRandom, .size = 12, .inputs = 3});
+  add("mirror-concurrent", {.seed = 15,
+                            .shape = gen::Shape::kRandom,
+                            .size = 10,
+                            .inputs = 2,
+                            .resources = 3,
+                            .mode = ExecMode::kConcurrent});
+  add("faults-abort", {.seed = 16,
+                       .shape = gen::Shape::kChain,
+                       .size = 10,
+                       .fault_seed = 1601,
+                       .fail_prob = 0.35});
+  add("faults-retry", {.seed = 17,
+                       .shape = gen::Shape::kRandom,
+                       .size = 9,
+                       .fault_seed = 1701,
+                       .fail_prob = 0.3,
+                       .policy = herc::exec::FailurePolicy::kRetryThenAbort,
+                       .max_attempts = 3});
+  add("faults-degrade", {.seed = 18,
+                         .shape = gen::Shape::kFanin,
+                         .size = 8,
+                         .fault_seed = 1801,
+                         .fail_on = 2,
+                         .policy = herc::exec::FailurePolicy::kContinueIndependent,
+                         .max_attempts = 2});
+  add("timeout-slow", {.seed = 19,
+                       .shape = gen::Shape::kChain,
+                       .size = 6,
+                       .fault_seed = 1901,
+                       .latency_factor = 4.0,
+                       .policy = herc::exec::FailurePolicy::kContinueIndependent,
+                       .timeout_minutes = 240});
+  add("risk-slack", {.seed = 20, .shape = gen::Shape::kLayered, .size = 2, .width = 4});
+
+  // Recovery stressor with an injected crash baked into the plan itself.
+  gen::Scenario crash = gen::generate(
+      {.seed = 21, .shape = gen::Shape::kChain, .size = 7, .fault_seed = 2101});
+  crash.faults.tools["*"].crash_on.push_back(4);
+  corpus.emplace_back("recovery-crash", std::move(crash));
+  return corpus;
+}
+
+int emit_seed_corpus(const Args& args) {
+  std::error_code ec;
+  std::filesystem::create_directories(args.emit_corpus, ec);
+  int index = 0;
+  for (auto& [name, scenario] : seed_corpus()) {
+    auto failures = gen::run_scenario(scenario, {.oracles = args.oracles});
+    if (!failures.empty()) {
+      std::fprintf(stderr, "seed scenario '%s' fails its own oracles:\n", name.c_str());
+      print_failures(failures);
+      return 1;
+    }
+    char prefix[8];
+    std::snprintf(prefix, sizeof prefix, "%03d", ++index);
+    std::string path = args.emit_corpus + "/" + prefix + "-" + name + ".json";
+    auto st = gen::write_corpus_file(scenario, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.error().message.c_str());
+      return 2;
+    }
+    if (!args.quiet) std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--budget") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      std::string s(v);
+      if (!s.empty() && s.back() == 's') s.pop_back();
+      args.budget_ms = std::strtoll(s.c_str(), nullptr, 10) * 1000;
+    } else if (flag == "--scenarios") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      args.scenarios = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      args.seed = std::strcmp(v, "from-git-sha") == 0
+                      ? seed_from_git_sha()
+                      : std::strtoull(v, nullptr, 10);
+    } else if (flag == "--oracles") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      auto mask = gen::parse_oracles(v);
+      if (!mask.ok()) {
+        std::fprintf(stderr, "%s\n", mask.error().message.c_str());
+        return 2;
+      }
+      args.oracles = mask.value();
+    } else if (flag == "--mutate") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      auto m = gen::parse_mutation(v);
+      if (!m.ok()) {
+        std::fprintf(stderr, "%s\n", m.error().message.c_str());
+        return 2;
+      }
+      args.mutation = m.value();
+    } else if (flag == "--repro") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      args.repro = v;
+    } else if (flag == "--corpus") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      args.corpus = v;
+    } else if (flag == "--emit-seed-corpus") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      args.emit_corpus = v;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      args.out = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!args.repro.empty()) return replay_file(args.repro, args);
+  if (!args.corpus.empty()) return replay_corpus(args);
+  if (!args.emit_corpus.empty()) return emit_seed_corpus(args);
+
+  gen::FuzzOptions options;
+  options.seed = args.seed;
+  options.max_scenarios = args.scenarios;
+  options.budget_ms = args.budget_ms;
+  options.oracles = args.oracles;
+  options.mutation = args.mutation;
+  auto report = gen::fuzz(options);
+
+  if (!args.quiet)
+    std::printf("fuzz: %zu scenarios in %" PRId64 " ms (%.1f/s), seed %" PRIu64 "\n",
+                report.scenarios, report.elapsed_ms, report.scenarios_per_sec,
+                args.seed);
+  if (report.failures.empty()) return 0;
+
+  std::fprintf(stderr, "scenario (spec seed %" PRIu64 ") violated %zu oracle(s):\n",
+               report.failing->spec.seed, report.failures.size());
+  const gen::Scenario& repro = report.shrunk ? *report.shrunk : *report.failing;
+  auto failures =
+      report.shrunk ? gen::run_scenario(repro, {.oracles = args.oracles,
+                                                .mutation = args.mutation})
+                    : report.failures;
+  return report_violation(repro, failures, args);
+}
