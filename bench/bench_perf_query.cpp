@@ -56,6 +56,71 @@ void BM_QueryOrderLimit(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryOrderLimit)->Arg(10)->Arg(100)->Arg(1000);
 
+// --- fast path: indexed seek vs full scan vs cached repeat -------------------
+//
+// Mixed-designer population: alice/bob alternate per execution, with carol
+// taking every 64th execution, so `designer = "carol"` is a selective
+// equality an index seek can exploit (~1/64 of all runs).
+
+std::unique_ptr<hercules::WorkflowManager> populated_mixed(std::size_t runs) {
+  const std::size_t executions = runs / 8;  // chain_schema(8): 8 runs each
+  auto m = bench::make_manager(bench::chain_schema(8), "d8",
+                               cal::WorkDuration::minutes(7));
+  m->plan_task("job", {.anchor = m->clock().now()}).value();
+  for (std::size_t i = 0; i < executions; ++i) {
+    const char* designer = i % 64 == 0 ? "carol" : (i % 2 ? "alice" : "bob");
+    m->execute_task("job", designer).value();
+  }
+  return m;
+}
+
+constexpr const char* kSelective =
+    "select runs where designer = \"carol\" and duration >= 0";
+
+void BM_QueryIndexedEq(benchmark::State& state) {
+  auto m = populated_mixed(static_cast<std::size_t>(state.range(0)));
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  engine.set_options({.use_index = true, .use_cache = false});
+  auto q = query::parse_query(kSelective).take();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.execute(q).value().rows.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m->db().run_count()));
+}
+BENCHMARK(BM_QueryIndexedEq)->Arg(512)->Arg(4096)->Arg(16384);
+
+void BM_QueryScanResidual(benchmark::State& state) {
+  auto m = populated_mixed(static_cast<std::size_t>(state.range(0)));
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  engine.set_options({.use_index = false, .use_cache = false});
+  auto q = query::parse_query(kSelective).take();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.execute(q).value().rows.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m->db().run_count()));
+}
+BENCHMARK(BM_QueryScanResidual)->Arg(512)->Arg(4096)->Arg(16384);
+
+// First (uncached) execution of the cached-repeat statement: the aggregate
+// scans every run, so this is the cost the result cache amortises away.
+constexpr const char* kAggregate = "select avg(duration) from runs";
+
+void BM_QueryFirstExec(benchmark::State& state) {
+  auto m = populated_mixed(static_cast<std::size_t>(state.range(0)));
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  engine.set_options({.use_index = true, .use_cache = false});
+  auto q = query::parse_query(kAggregate).take();
+  for (auto _ : state) benchmark::DoNotOptimize(engine.execute(q).value().rows.size());
+}
+BENCHMARK(BM_QueryFirstExec)->Arg(512)->Arg(4096)->Arg(16384);
+
+void BM_QueryCachedRepeat(benchmark::State& state) {
+  auto m = populated_mixed(static_cast<std::size_t>(state.range(0)));
+  query::QueryEngine engine(m->db(), m->schedule_space());
+  auto q = query::parse_query(kAggregate).take();
+  benchmark::DoNotOptimize(engine.execute(q).value().rows.size());  // warm
+  for (auto _ : state) benchmark::DoNotOptimize(engine.execute(q).value().rows.size());
+}
+BENCHMARK(BM_QueryCachedRepeat)->Arg(512)->Arg(4096)->Arg(16384);
+
 void BM_QueryParse(benchmark::State& state) {
   const std::string text =
       "select schedule where critical = true and est_duration >= 240 "

@@ -47,6 +47,7 @@ constexpr const char* kHelp = R"(commands:
   report <task> (HTML) | utilization <task>
   risk <task> [samples] [seed] [threads]   (Monte Carlo completion risk)
   query <statement>
+  explain <statement>           (chosen access path: index vs scan, cache)
   browse | select <id> | display | delete
   whatif delay <task> <activity> <duration>
   whatif crash <task> <deadline, duration from epoch>
@@ -119,6 +120,12 @@ util::Result<std::string> CliSession::execute_line(const std::string& line) {
       if (!m.ok()) return m.error();
       if (args.size() < 2) return util::invalid("query: missing statement");
       return m.value()->query(util::trim(trimmed.substr(5)));
+    }
+    if (args[0] == "explain") {
+      auto m = need_manager();
+      if (!m.ok()) return m.error();
+      if (args.size() < 2) return util::invalid("explain: missing statement");
+      return m.value()->explain(util::trim(trimmed.substr(7)));
     }
     return dispatch(args);
   } catch (const exec::InjectedCrash& crash) {

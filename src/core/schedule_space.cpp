@@ -28,6 +28,7 @@ ScheduleRunId ScheduleSpace::create_plan(const std::string& name, cal::WorkInsta
   p.created_at = at;
   p.derived_from = derived_from;
   plans_.push_back(std::move(p));
+  ++version_;
   return plans_.back().id;
 }
 
@@ -38,6 +39,7 @@ const ScheduleRun& ScheduleSpace::plan(ScheduleRunId id) const {
 }
 
 ScheduleRun& ScheduleSpace::plan_mut(ScheduleRunId id) {
+  ++version_;  // conservative: handing out a mutable ref counts as a mutation
   return const_cast<ScheduleRun&>(plan(id));
 }
 
@@ -63,12 +65,14 @@ ScheduleNodeId ScheduleSpace::create_node(ScheduleRunId plan_id,
   n.id = ScheduleNodeId{nodes_.size() + 1};
   n.plan = plan_id;
   n.activity = activity;
+  n.activity_sym = symbols_.intern(activity);
   n.rule = rule;
-  auto& container = containers_[activity];
+  auto& container = containers_[n.activity_sym];
   n.version = static_cast<int>(container.size()) + 1;
   container.push_back(n.id);
   plan_mut(plan_id).nodes.push_back(n.id);
   nodes_.push_back(std::move(n));
+  ++version_;
   return nodes_.back().id;
 }
 
@@ -79,6 +83,7 @@ const ScheduleNode& ScheduleSpace::node(ScheduleNodeId id) const {
 }
 
 ScheduleNode& ScheduleSpace::node_mut(ScheduleNodeId id) {
+  ++version_;  // conservative, see plan_mut
   return const_cast<ScheduleNode&>(node(id));
 }
 
@@ -89,10 +94,13 @@ void ScheduleSpace::add_dep(ScheduleRunId plan_id, ScheduleNodeId from,
   plan_mut(plan_id).deps.push_back(ScheduleDep{from, to});
 }
 
-std::vector<ScheduleNodeId> ScheduleSpace::container(const std::string& activity) const {
-  auto it = containers_.find(activity);
-  if (it == containers_.end()) return {};
-  return it->second;
+const std::vector<ScheduleNodeId>& ScheduleSpace::container(
+    const std::string& activity) const {
+  static const std::vector<ScheduleNodeId> kEmpty;
+  util::SymbolId sym = symbols_.find(activity);
+  if (!sym.valid()) return kEmpty;
+  auto it = containers_.find(sym);
+  return it == containers_.end() ? kEmpty : it->second;
 }
 
 std::optional<ScheduleNodeId> ScheduleSpace::node_in_plan(
@@ -116,6 +124,7 @@ util::Result<LinkId> ScheduleSpace::add_link(ScheduleNodeId node_id,
   l.entity_instance = instance;
   l.linked_at = at;
   links_.push_back(l);
+  ++version_;
   return links_.back().id;
 }
 
@@ -131,13 +140,13 @@ std::string ScheduleSpace::dump_containers(const meta::Database& db) const {
                     std::to_string(links_.size()) + " links)\n";
   for (const auto& r : db.schema().rules()) {
     out += "  [" + r.activity + "]";
-    auto it = containers_.find(r.activity);
-    if (it == containers_.end() || it->second.empty()) {
+    const auto& ids = container(r.activity);
+    if (ids.empty()) {
       out += " (empty)\n";
       continue;
     }
     out += "\n";
-    for (ScheduleNodeId nid : it->second) {
+    for (ScheduleNodeId nid : ids) {
       const ScheduleNode& n = node(nid);
       out += "    o " + n.str() + " of " + plan(n.plan).str();
       if (auto lid = link_of(nid)) {

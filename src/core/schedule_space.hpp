@@ -14,6 +14,7 @@
 // derived_from pointer, giving the plan-evolution metadata the paper's
 // second query class inspects.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "calendar/work_calendar.hpp"
 #include "metadata/database.hpp"
 #include "util/ids.hpp"
+#include "util/interner.hpp"
 #include "util/result.hpp"
 
 namespace herc::sched {
@@ -35,6 +37,7 @@ struct ScheduleNode {
   ScheduleNodeId id;
   ScheduleRunId plan;            ///< owning ScheduleRun
   std::string activity;
+  util::SymbolId activity_sym;   ///< interned by ScheduleSpace::create_node
   schema::RuleId rule;
   int version = 1;               ///< version within this activity's container
 
@@ -100,6 +103,8 @@ class ScheduleSpace {
   ScheduleRunId create_plan(const std::string& name, cal::WorkInstant at,
                             ScheduleRunId derived_from = ScheduleRunId::invalid());
   [[nodiscard]] const ScheduleRun& plan(ScheduleRunId id) const;
+  /// Mutable plan access.  Conservatively bumps version() — callers
+  /// (planner, tracker, recovery) use it precisely to mutate.
   [[nodiscard]] ScheduleRun& plan_mut(ScheduleRunId id);
   [[nodiscard]] const std::vector<ScheduleRun>& plans() const { return plans_; }
 
@@ -113,14 +118,17 @@ class ScheduleSpace {
   ScheduleNodeId create_node(ScheduleRunId plan, const std::string& activity,
                              schema::RuleId rule);
   [[nodiscard]] const ScheduleNode& node(ScheduleNodeId id) const;
+  /// Mutable node access; bumps version() like plan_mut.
   [[nodiscard]] ScheduleNode& node_mut(ScheduleNodeId id);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
   void add_dep(ScheduleRunId plan, ScheduleNodeId from, ScheduleNodeId to);
 
   /// Schedule-instance container of one activity, across plans, in creation
-  /// order (SC1, SC2, ... in the paper's Fig. 5).
-  [[nodiscard]] std::vector<ScheduleNodeId> container(const std::string& activity) const;
+  /// order (SC1, SC2, ... in the paper's Fig. 5).  Reference is stable until
+  /// the next create_node of the same activity.
+  [[nodiscard]] const std::vector<ScheduleNodeId>& container(
+      const std::string& activity) const;
 
   /// Node for `activity` in a given plan, if the plan covers it.
   [[nodiscard]] std::optional<ScheduleNodeId> node_in_plan(
@@ -137,11 +145,22 @@ class ScheduleSpace {
   /// side).  Shows per-activity schedule instances and any links.
   [[nodiscard]] std::string dump_containers(const meta::Database& db) const;
 
+  // --- fast-path support ---------------------------------------------------
+  /// The schedule space's interning pool (activity names).
+  [[nodiscard]] const util::SymbolPool& symbols() const { return symbols_; }
+
+  /// Monotonic mutation counter.  Bumped by every mutating entry point,
+  /// including plan_mut/node_mut (the tracker and planner mutate through
+  /// those), so the query result cache can key on it.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
  private:
   std::vector<ScheduleRun> plans_;   // index = id - 1
   std::vector<ScheduleNode> nodes_;  // index = id - 1
   std::vector<Link> links_;          // index = id - 1
-  std::unordered_map<std::string, std::vector<ScheduleNodeId>> containers_;
+  std::unordered_map<util::SymbolId, std::vector<ScheduleNodeId>> containers_;
+  util::SymbolPool symbols_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace herc::sched

@@ -13,6 +13,7 @@
 #include "core/risk.hpp"
 #include "hercules/journal.hpp"
 #include "hercules/persist.hpp"
+#include "query/query.hpp"
 #include "schema/schema.hpp"
 #include "util/fsio.hpp"
 
@@ -534,6 +535,124 @@ void check_metamorphic(const Scenario& scenario, std::int64_t base_planned_finis
              "makespan grew by more than the added duration");
 }
 
+// --- query oracle ------------------------------------------------------------
+
+/// A result and its error render to the same bytes on every path, so the
+/// differential compares failures exactly like row sets.
+std::string query_bytes(util::Result<query::QueryResult> r) {
+  if (!r.ok()) return "error: " + r.error().message;
+  return r.value().render();
+}
+
+/// Differential check over the query fast path.  One manager is planned and
+/// executed, then every statement is run three ways — full scan (reference),
+/// index path, and cached re-execution — and the rendered bytes must agree.
+/// Interleaved mutations (an import, a failed run, a replan) must invalidate
+/// the cache; the planted kQueryStaleCache mutation disables cache
+/// validation on the fast engine, so the post-mutation re-execution serves
+/// the stale entry and the oracle must notice.
+void check_query(const Scenario& scenario, Mutation mutation, Failures& fail) {
+  auto made = make_manager(scenario);
+  if (!made.ok()) {
+    fail.add(kOracleQuery, "query.setup", made.error().message);
+    return;
+  }
+  std::unique_ptr<WorkflowManager> m = std::move(made).take();
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()});
+  if (!plan.ok()) {
+    fail.add(kOracleQuery, "query.plan", plan.error().message);
+    return;
+  }
+  try {
+    util::Result<exec::ExecutionResult> result =
+        scenario.mode == ExecMode::kConcurrent ? m->execute_task_concurrent("job", "fuzz")
+                                               : m->execute_task("job", "fuzz");
+    (void)result;  // failed executions still leave queryable state
+  } catch (const exec::InjectedCrash&) {
+    // State up to the crash is still queryable.
+  }
+
+  // Fast engine: indexes + cache (the system under test).  The planted
+  // mutation is the deliberate bug: serve cached entries without checking
+  // the spaces' version counters.
+  query::QueryEngine fast(m->db(), m->schedule_space());
+  query::EngineOptions fast_options;
+  fast_options.validate_cache = mutation != Mutation::kQueryStaleCache;
+  fast.set_options(fast_options);
+  // Slow engine: always full scan, never cached (the reference).
+  query::QueryEngine slow(m->db(), m->schedule_space());
+  slow.set_options({.use_index = false, .use_cache = false});
+
+  const std::string& act = scenario.graph.rules.front().name;
+  const std::vector<std::string> statements = {
+      "select runs",
+      "select runs where activity = \"" + act + "\"",
+      "select runs where designer = \"fuzz\" and duration >= 0",
+      "select runs where status = \"failed\" order by started desc",
+      "select count from runs group by activity",
+      "select instances",
+      "select instances where type = \"" + scenario.graph.target + "\" limit 5",
+      "select schedule where critical = true",
+      "select plans",
+      "select links",
+  };
+
+  auto compare_all = [&](const char* stage) {
+    for (const auto& s : statements) {
+      std::string scan = query_bytes(slow.execute(s));
+      std::string indexed = query_bytes(fast.execute(s));
+      std::string cached = query_bytes(fast.execute(s));
+      if (indexed != scan) {
+        fail.add(kOracleQuery, "query.path",
+                 std::string(stage) + ": index path differs from scan path for '" +
+                     s + "'");
+        return false;
+      }
+      if (cached != scan) {
+        fail.add(kOracleQuery, "query.cache",
+                 std::string(stage) + ": cached re-execution differs from scan for '" +
+                     s + "'");
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!compare_all("initial")) return;
+
+  // Invalid statements must fail identically on both paths.
+  if (query_bytes(fast.execute("select runs where nonsense = 1")) !=
+      query_bytes(slow.execute("select runs where nonsense = 1"))) {
+    fail.add(kOracleQuery, "query.error",
+             "index and scan paths disagree on an invalid statement");
+    return;
+  }
+
+  // Mutation 1: an imported primary input appears in the instance container.
+  (void)m->db().create_instance(scenario.graph.target, "planted.in", meta::RunId{},
+                                util::DataObjectId{}, m->clock().now());
+  if (!compare_all("after-import")) return;
+
+  // Mutation 2: a failed run lands in every run index.
+  meta::Run r;
+  r.activity = act;
+  r.tool_binding = "t1";
+  r.designer = "fuzz";
+  r.status = meta::RunStatus::kFailed;
+  r.started_at = m->clock().now();
+  r.finished_at = m->clock().now();
+  (void)m->db().record_run(std::move(r));
+  if (!compare_all("after-failed-run")) return;
+
+  // Mutation 3: a replan mutates schedule space (new plan + nodes + links).
+  (void)m->replan_task("job", {.anchor = m->clock().now()});
+  if (!compare_all("after-replan")) return;
+
+  // The repeats above must actually exercise the cache, not just match.
+  if (fast.stats().cache_hits == 0)
+    fail.add(kOracleQuery, "query.stats", "fast engine never served a cache hit");
+}
+
 }  // namespace
 
 // --- public: names and parsing -----------------------------------------------
@@ -546,6 +665,7 @@ const char* oracle_name(unsigned family) {
     case kOracleRisk: return "risk";
     case kOracleMetamorphic: return "metamorphic";
     case kOracleStructure: return "structure";
+    case kOracleQuery: return "query";
   }
   return "unknown";
 }
@@ -563,6 +683,7 @@ util::Result<unsigned> parse_oracles(const std::string& csv) {
     else if (name == "recovery") mask |= kOracleRecovery;
     else if (name == "risk") mask |= kOracleRisk;
     else if (name == "metamorphic") mask |= kOracleMetamorphic;
+    else if (name == "query") mask |= kOracleQuery;
     else if (name == "all") mask |= kOracleAll;
     else return util::parse_error("unknown oracle family '" + name + "'");
     pos = comma + 1;
@@ -578,6 +699,7 @@ const char* mutation_name(Mutation m) {
     case Mutation::kRecoveryDropLine: return "recovery-drop-line";
     case Mutation::kRiskSeedSkew: return "risk-seed-skew";
     case Mutation::kMetamorphicScale: return "metamorphic-scale";
+    case Mutation::kQueryStaleCache: return "query-stale-cache";
   }
   return "none";
 }
@@ -585,7 +707,7 @@ const char* mutation_name(Mutation m) {
 util::Result<Mutation> parse_mutation(const std::string& name) {
   for (Mutation m : {Mutation::kNone, Mutation::kMirrorDropRun, Mutation::kCpmOffByOne,
                      Mutation::kRecoveryDropLine, Mutation::kRiskSeedSkew,
-                     Mutation::kMetamorphicScale})
+                     Mutation::kMetamorphicScale, Mutation::kQueryStaleCache})
     if (name == mutation_name(m)) return m;
   return util::parse_error("unknown mutation '" + name + "'");
 }
@@ -770,6 +892,8 @@ std::vector<OracleFailure> run_scenario(const Scenario& scenario,
     check_mirror(scenario, *m1, plan_id, options.mutation, fail);
   if (options.oracles & kOracleRecovery)
     check_recovery(scenario, options.mutation, options.scratch_dir, fail);
+  if (options.oracles & kOracleQuery)
+    check_query(scenario, options.mutation, fail);
   return failures;
 }
 

@@ -3,7 +3,7 @@
 //
 // run_scenario drives one generated scenario through the full pipeline —
 // parse -> plan -> risk -> execute (with injected faults) -> link/track ->
-// persist + journal -> crash -> recover -> query — and checks five oracle
+// persist + journal -> crash -> recover -> query — and checks six oracle
 // families on the way:
 //
 //   cpm          full compute_cpm, an incrementally re-solved CpmSolver, and
@@ -19,7 +19,12 @@
 //                counts;
 //   metamorphic  relabeling + rule permutation leaves the planned makespan
 //                invariant; slack-covered duration growth never moves the
-//                critical path's completion.
+//                critical path's completion;
+//   query        differential check over the query fast path: every
+//                statement returns byte-identical rows via the index path,
+//                the full-scan path, and cached re-execution, before and
+//                after interleaved mutations (imports, failed runs,
+//                replans) that must invalidate the result cache.
 //
 // Planted mutations (Mutation) inject one known bug into the system under
 // test so the harness can prove each oracle actually catches its failure
@@ -48,9 +53,10 @@ inline constexpr unsigned kOracleMirror = 1u << 1;
 inline constexpr unsigned kOracleRecovery = 1u << 2;
 inline constexpr unsigned kOracleRisk = 1u << 3;
 inline constexpr unsigned kOracleMetamorphic = 1u << 4;
-inline constexpr unsigned kOracleAll = (1u << 5) - 1;
 /// Always-on structural checks (DSL parses, facts match); not maskable.
 inline constexpr unsigned kOracleStructure = 1u << 5;
+inline constexpr unsigned kOracleQuery = 1u << 6;
+inline constexpr unsigned kOracleAll = ((1u << 5) - 1) | kOracleQuery;
 
 [[nodiscard]] const char* oracle_name(unsigned family);
 /// "cpm,mirror,risk" -> mask; "all" -> kOracleAll.  kParse on unknown names.
@@ -67,6 +73,7 @@ enum class Mutation {
   kRecoveryDropLine,  ///< journal "loses" its final line before replay
   kRiskSeedSkew,      ///< second risk run silently uses a different seed
   kMetamorphicScale,  ///< relabeled flow gets all durations doubled
+  kQueryStaleCache,   ///< result cache serves entries without validation
 };
 [[nodiscard]] const char* mutation_name(Mutation m);
 [[nodiscard]] util::Result<Mutation> parse_mutation(const std::string& name);

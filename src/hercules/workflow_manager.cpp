@@ -71,7 +71,8 @@ WorkflowManager::WorkflowManager(schema::TaskSchema parsed,
       tools_(std::make_unique<exec::ToolRegistry>(tool_seed)),
       space_(std::make_unique<sched::ScheduleSpace>()),
       tracker_(std::make_unique<sched::ScheduleTracker>(*space_, *db_)),
-      db_bridge_(std::make_unique<DatabaseEventBridge>(*db_, bus_)) {
+      db_bridge_(std::make_unique<DatabaseEventBridge>(*db_, bus_)),
+      query_engine_(std::make_unique<query::QueryEngine>(*db_, *space_, &bus_)) {
   bus_.set_project(schema_->name());
   tracker_->set_bus(&bus_);
 }
@@ -239,10 +240,13 @@ util::Result<std::string> WorkflowManager::status_report(
 }
 
 util::Result<std::string> WorkflowManager::query(std::string_view statement) const {
-  query::QueryEngine engine(*db_, *space_, const_cast<obs::EventBus*>(&bus_));
-  auto result = engine.execute(statement);
+  auto result = query_engine_->execute(statement);
   if (!result.ok()) return result.error();
   return result.value().render(&calendar_);
+}
+
+util::Result<std::string> WorkflowManager::explain(std::string_view statement) const {
+  return query_engine_->explain(statement);
 }
 
 std::string WorkflowManager::dump_database() const {

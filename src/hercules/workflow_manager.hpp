@@ -161,6 +161,12 @@ class WorkflowManager {
   [[nodiscard]] util::Result<std::string> status_report(
       const std::string& task_name) const;
   [[nodiscard]] util::Result<std::string> query(std::string_view statement) const;
+  /// `explain` for the query fast path: chosen access path + cache state.
+  [[nodiscard]] util::Result<std::string> explain(std::string_view statement) const;
+  /// The manager's persistent query engine (result cache + fast-path
+  /// counters live here; invalidation rides the spaces' version counters).
+  [[nodiscard]] const query::QueryEngine& query_engine() const { return *query_engine_; }
+  [[nodiscard]] query::QueryEngine& query_engine() { return *query_engine_; }
   [[nodiscard]] gantt::ScheduleBrowser browser() {
     return gantt::ScheduleBrowser(*space_, *db_, calendar_);
   }
@@ -203,6 +209,7 @@ class WorkflowManager {
   std::unique_ptr<DatabaseEventBridge> db_bridge_;
   std::unique_ptr<exec::FaultInjector> faults_;
   std::unique_ptr<RunJournal> journal_;  // destroyed before db_ (detaches itself)
+  std::unique_ptr<query::QueryEngine> query_engine_;  // after db_/space_: views them
   exec::ExecutionOptions exec_options_;
   std::map<std::string, flow::TaskTree> tasks_;
   std::map<std::string, sched::ScheduleRunId> plan_by_task_;

@@ -31,6 +31,7 @@ void Database::remove_observer(DatabaseObserver* obs) {
 
 ResourceId Database::add_resource(const std::string& name, const std::string& kind,
                                   int capacity) {
+  ++version_;
   Resource r;
   r.id = ResourceId{resources_.size() + 1};
   r.name = name;
@@ -48,6 +49,7 @@ util::Status Database::add_time_off(ResourceId id, cal::WorkInstant from,
   auto& windows = resources_[id.value() - 1].time_off;
   windows.emplace_back(from, to);
   std::sort(windows.begin(), windows.end());
+  ++version_;
   return util::Status::ok_status();
 }
 
@@ -82,8 +84,13 @@ util::Result<EntityInstanceId> Database::create_instance(const std::string& type
   e.produced_by = produced_by;
   e.data = data;
   e.created_at = at;
+  e.type_sym = symbols_.intern(type_name);
+  e.name_sym = symbols_.intern(name);
   containers_[type_name].push_back(e.id);
+  instances_by_name_[e.name_sym].push_back(e.id);
+  if (produced_by.valid()) produced_by_run_[e.id] = produced_by;
   instances_.push_back(e);
+  ++version_;
   notify_instance(instances_.back());
   return instances_.back().id;
 }
@@ -94,9 +101,34 @@ const EntityInstance& Database::instance(EntityInstanceId id) const {
   return instances_[id.value() - 1];
 }
 
-std::vector<EntityInstanceId> Database::container(const std::string& type_name) const {
+namespace {
+const std::vector<EntityInstanceId>& empty_instances() {
+  static const std::vector<EntityInstanceId> kEmpty;
+  return kEmpty;
+}
+const std::vector<RunId>& empty_runs() {
+  static const std::vector<RunId> kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+const std::vector<EntityInstanceId>& Database::container(
+    const std::string& type_name) const {
   auto it = containers_.find(type_name);
-  if (it == containers_.end()) return {};
+  return it == containers_.end() ? empty_instances() : it->second;
+}
+
+const std::vector<EntityInstanceId>& Database::instances_named(
+    const std::string& name) const {
+  util::SymbolId sym = symbols_.find(name);
+  if (!sym.valid()) return empty_instances();
+  auto it = instances_by_name_.find(sym);
+  return it == instances_by_name_.end() ? empty_instances() : it->second;
+}
+
+std::optional<RunId> Database::producing_run(EntityInstanceId id) const {
+  auto it = produced_by_run_.find(id);
+  if (it == produced_by_run_.end()) return std::nullopt;
   return it->second;
 }
 
@@ -139,17 +171,25 @@ util::Result<RunId> Database::record_run(Run r) {
     return util::invalid("record_run: finish precedes start");
 
   r.id = RunId{runs_.size() + 1};
-  runs_by_activity_[r.activity].push_back(r.id);
+  r.activity_sym = symbols_.intern(r.activity);
+  r.tool_sym = symbols_.intern(r.tool_binding);
+  r.designer_sym = symbols_.intern(r.designer);
+  runs_by_activity_[r.activity_sym].push_back(r.id);
+  runs_by_designer_[r.designer_sym].push_back(r.id);
+  runs_by_tool_[r.tool_sym].push_back(r.id);
+  runs_by_status_[static_cast<std::size_t>(r.status)].push_back(r.id);
   runs_.push_back(std::move(r));
 
   // Back-link: the output instance's producer is this run.  create_instance
   // may have been called with an invalid RunId when the run id was not yet
-  // known; patch it now.
+  // known; patch it now (and mirror it into the producing-run index).
   Run& stored = runs_.back();
   if (stored.output.valid()) {
     EntityInstance& out = instances_[stored.output.value() - 1];
     if (!out.produced_by.valid()) out.produced_by = stored.id;
+    produced_by_run_.emplace(stored.output, out.produced_by);
   }
+  ++version_;
   notify_run(stored);
   return stored.id;
 }
@@ -160,16 +200,34 @@ const Run& Database::run(RunId id) const {
   return runs_[id.value() - 1];
 }
 
-std::vector<RunId> Database::runs_of_activity(const std::string& activity) const {
-  auto it = runs_by_activity_.find(activity);
-  if (it == runs_by_activity_.end()) return {};
-  return it->second;
+const std::vector<RunId>& Database::runs_of_activity(const std::string& activity) const {
+  util::SymbolId sym = symbols_.find(activity);
+  if (!sym.valid()) return empty_runs();
+  auto it = runs_by_activity_.find(sym);
+  return it == runs_by_activity_.end() ? empty_runs() : it->second;
+}
+
+const std::vector<RunId>& Database::runs_of_designer(const std::string& designer) const {
+  util::SymbolId sym = symbols_.find(designer);
+  if (!sym.valid()) return empty_runs();
+  auto it = runs_by_designer_.find(sym);
+  return it == runs_by_designer_.end() ? empty_runs() : it->second;
+}
+
+const std::vector<RunId>& Database::runs_of_tool(const std::string& tool) const {
+  util::SymbolId sym = symbols_.find(tool);
+  if (!sym.valid()) return empty_runs();
+  auto it = runs_by_tool_.find(sym);
+  return it == runs_by_tool_.end() ? empty_runs() : it->second;
+}
+
+const std::vector<RunId>& Database::runs_with_status(RunStatus status) const {
+  return runs_by_status_[static_cast<std::size_t>(status)];
 }
 
 std::optional<RunId> Database::last_completed_run(const std::string& activity) const {
-  auto it = runs_by_activity_.find(activity);
-  if (it == runs_by_activity_.end()) return std::nullopt;
-  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit)
+  const auto& ids = runs_of_activity(activity);
+  for (auto rit = ids.rbegin(); rit != ids.rend(); ++rit)
     if (run(*rit).status == RunStatus::kCompleted) return *rit;
   return std::nullopt;
 }

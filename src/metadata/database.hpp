@@ -16,6 +16,8 @@
 // subscribes to implement the paper's "schedule plan updates automatically
 // as the design flow is executed".
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -25,6 +27,7 @@
 #include "calendar/work_calendar.hpp"
 #include "schema/schema.hpp"
 #include "util/ids.hpp"
+#include "util/interner.hpp"
 #include "util/result.hpp"
 
 namespace herc::meta {
@@ -43,6 +46,11 @@ struct EntityInstance {
   RunId produced_by;       ///< invalid for imported primary inputs
   util::DataObjectId data; ///< Level-4 link; may be invalid for imports
   cal::WorkInstant created_at;
+
+  // Interned copies of type_name / name, filled by Database::create_instance
+  // (invalid on a hand-built instance that never went through the database).
+  util::SymbolId type_sym;
+  util::SymbolId name_sym;
 
   [[nodiscard]] std::string str() const;
 };
@@ -63,6 +71,12 @@ struct Run {
   cal::WorkInstant started_at;
   cal::WorkInstant finished_at;
   RunStatus status = RunStatus::kCompleted;
+
+  // Interned copies of activity / tool_binding / designer, filled by
+  // Database::record_run.
+  util::SymbolId activity_sym;
+  util::SymbolId tool_sym;
+  util::SymbolId designer_sym;
 
   [[nodiscard]] std::string str() const;
 };
@@ -127,9 +141,19 @@ class Database {
     return instances_;
   }
 
-  /// Contents of one entity container, in creation order.
-  [[nodiscard]] std::vector<EntityInstanceId> container(
+  /// Contents of one entity container, in creation order.  The reference is
+  /// stable until the next create_instance for the same type.
+  [[nodiscard]] const std::vector<EntityInstanceId>& container(
       const std::string& type_name) const;
+
+  /// Instances carrying a given design-data name, across types, in creation
+  /// order (secondary index; same reference-stability rule as container()).
+  [[nodiscard]] const std::vector<EntityInstanceId>& instances_named(
+      const std::string& name) const;
+
+  /// The run that produced `id`; nullopt for imports (secondary index over
+  /// the produced_by back-link).
+  [[nodiscard]] std::optional<RunId> producing_run(EntityInstanceId id) const;
 
   /// Latest instance in a container, if any.
   [[nodiscard]] std::optional<EntityInstanceId> latest_in_container(
@@ -153,8 +177,18 @@ class Database {
   [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
   [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
 
-  /// All runs of an activity in execution order.
-  [[nodiscard]] std::vector<RunId> runs_of_activity(const std::string& activity) const;
+  /// All runs of an activity in execution order.  Returns a reference into
+  /// the maintained index (empty static for unknown activities); stable until
+  /// the next record_run of the same activity.
+  [[nodiscard]] const std::vector<RunId>& runs_of_activity(
+      const std::string& activity) const;
+
+  /// All runs by one designer / one tool binding / one status, in execution
+  /// order (maintained secondary indexes, same stability rule).
+  [[nodiscard]] const std::vector<RunId>& runs_of_designer(
+      const std::string& designer) const;
+  [[nodiscard]] const std::vector<RunId>& runs_of_tool(const std::string& tool) const;
+  [[nodiscard]] const std::vector<RunId>& runs_with_status(RunStatus status) const;
 
   /// Last completed run of an activity, if any.
   [[nodiscard]] std::optional<RunId> last_completed_run(
@@ -163,6 +197,16 @@ class Database {
   /// Multi-line dump of all containers (Figs. 5-7 reproduction, execution
   /// space).  Empty containers are listed too — they are part of the figure.
   [[nodiscard]] std::string dump_containers() const;
+
+  // --- fast-path support ---------------------------------------------------
+  /// The execution space's interning pool (activity, type, designer, tool,
+  /// design-data names).  Query compilation probes it with find().
+  [[nodiscard]] const util::SymbolPool& symbols() const { return symbols_; }
+
+  /// Monotonic mutation counter: bumped by every create_instance /
+  /// record_run / add_resource / add_time_off.  The query result cache keys
+  /// on it to invalidate cached rows after any mutation.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
  private:
   void notify_instance(const EntityInstance& e);
@@ -173,9 +217,21 @@ class Database {
   std::vector<Run> runs_;                  // index = id - 1
   std::vector<Resource> resources_;        // index = id - 1
   std::unordered_map<std::string, std::vector<EntityInstanceId>> containers_;
-  std::unordered_map<std::string, std::vector<RunId>> runs_by_activity_;
   std::unordered_map<std::string, int> version_counters_;  // key: type|name
   std::vector<DatabaseObserver*> observers_;
+
+  // Interning pool + secondary indexes, maintained by create_instance /
+  // record_run (and therefore rebuilt for free when recovery replays
+  // mutations through those entry points).  Keyed by SymbolId so lookups
+  // hash one integer.
+  util::SymbolPool symbols_;
+  std::unordered_map<util::SymbolId, std::vector<RunId>> runs_by_activity_;
+  std::unordered_map<util::SymbolId, std::vector<RunId>> runs_by_designer_;
+  std::unordered_map<util::SymbolId, std::vector<RunId>> runs_by_tool_;
+  std::array<std::vector<RunId>, 2> runs_by_status_;  // index = RunStatus
+  std::unordered_map<util::SymbolId, std::vector<EntityInstanceId>> instances_by_name_;
+  std::unordered_map<EntityInstanceId, RunId> produced_by_run_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace herc::meta

@@ -121,6 +121,17 @@ void MetricsRegistry::on_event(const Event& event) {
       if (event.failed) ++counters_["queries_failed"];
       if (event.duration_ns >= 0)
         histograms_["query_latency"].record(event.duration_ns);
+      // Query fast-path counters ride along as args-as-deltas (same carrier
+      // idiom as the "cpm.solver" scope below).
+      for (const auto& [key, value] : event.args) {
+        char* end = nullptr;
+        const std::uint64_t delta = std::strtoull(value.c_str(), &end, 10);
+        if (end == value.c_str()) continue;
+        if (key == "rows_scanned") counters_["rows_scanned"] += delta;
+        else if (key == "index_seeks") counters_["index_seeks"] += delta;
+        else if (key == "cache_hits") counters_["query_cache_hits"] += delta;
+        else if (key == "cache_misses") counters_["query_cache_misses"] += delta;
+      }
       break;
     case EventKind::kScope:
       if (event.name == "cpm") ++counters_["cpm_passes"];

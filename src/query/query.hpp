@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <variant>
@@ -116,19 +117,58 @@ struct QueryResult {
   [[nodiscard]] std::string render(const cal::WorkCalendar* calendar = nullptr) const;
 };
 
+class QueryCache;  // query_plan.hpp
+
+/// Fast-path knobs.  Both paths (and cached re-execution) are byte-identical
+/// by construction; the toggles exist for benchmarking and for the
+/// query-differential fuzz oracle.
+struct EngineOptions {
+  bool use_index = true;  ///< false: always full-scan
+  bool use_cache = true;  ///< false: never cache results
+  /// Testing backdoor: serve cached entries without checking the spaces'
+  /// version counters (deliberately WRONG — the fuzz harness plants this
+  /// bug to prove the differential oracle catches stale caches).
+  bool validate_cache = true;
+};
+
+/// Cumulative fast-path counters (also published per query on the event bus).
+struct EngineStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t rows_scanned = 0;  ///< rows examined by filters
+  std::uint64_t index_seeks = 0;   ///< executions that used an index
+};
+
 /// Executes queries against one database + schedule space pair.
 class QueryEngine {
  public:
   /// `bus` (optional) receives one query_executed event per execute() call,
   /// carrying the canonical statement and the wall-clock latency.
   QueryEngine(const meta::Database& db, const sched::ScheduleSpace& space,
-              obs::EventBus* bus = nullptr)
-      : db_(&db), space_(&space), bus_(bus) {}
+              obs::EventBus* bus = nullptr);
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
 
   [[nodiscard]] util::Result<QueryResult> execute(const Query& q) const;
 
   /// Parses and executes in one step.
   [[nodiscard]] util::Result<QueryResult> execute(std::string_view text) const;
+
+  /// Describes how the query would execute: chosen access path (index seek
+  /// vs full scan), residual conditions, and whether the result cache would
+  /// serve it.  Validates exactly like execute() without touching any row.
+  [[nodiscard]] util::Result<std::string> explain(const Query& q) const;
+  [[nodiscard]] util::Result<std::string> explain(std::string_view text) const;
+
+  void set_options(const EngineOptions& options) { options_ = options; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// Cumulative counters since construction (thread-safe snapshot).
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Drops every cached result (tests).
+  void clear_cache() const;
 
   /// The plan-evolution query: ancestry of `plan`, newest first.  This is
   /// the paper's "which schedule plans were used to create the present
@@ -136,15 +176,19 @@ class QueryEngine {
   [[nodiscard]] QueryResult plan_lineage(sched::ScheduleRunId plan) const;
 
  private:
-  /// The evaluation itself, unobserved; execute() wraps it with timing.
-  [[nodiscard]] util::Result<QueryResult> run(const Query& q) const;
-  [[nodiscard]] std::vector<std::vector<Value>> rows_for(
-      Target t, const std::vector<std::string>& columns) const;
+  struct ExecInfo;
+  /// The evaluation itself, unobserved; execute() wraps it with timing,
+  /// caching and stats.
+  [[nodiscard]] util::Result<QueryResult> run(const Query& q, ExecInfo& info) const;
   [[nodiscard]] static std::vector<std::string> columns_for(Target t);
 
   const meta::Database* db_;
   const sched::ScheduleSpace* space_;
   obs::EventBus* bus_ = nullptr;
+  EngineOptions options_;
+  mutable std::mutex mu_;  ///< guards cache_ + stats_
+  std::unique_ptr<QueryCache> cache_;
+  mutable EngineStats stats_;
 };
 
 }  // namespace herc::query

@@ -1,10 +1,17 @@
 // Evaluation of parsed queries against the database + schedule space.
+//
+// Execution pipeline (see query_plan.hpp for the moving parts):
+//   canonical text -> result-cache probe -> compile predicate -> plan access
+//   path (index seek vs full scan) -> residual filter -> aggregate/order/
+//   limit -> cache fill.  Every path produces byte-identical results; the
+//   fast path only changes how few rows are touched.
 
 #include <algorithm>
 #include <map>
 #include <numeric>
 
 #include "query/query.hpp"
+#include "query/query_plan.hpp"
 #include "util/strings.hpp"
 
 namespace herc::query {
@@ -36,61 +43,6 @@ int compare_values(const Value& a, const Value& b) {
 
 namespace {
 
-Value instant_value(cal::WorkInstant t) { return t.minutes_since_epoch(); }
-
-Value optional_instant(const std::optional<cal::WorkInstant>& t) {
-  if (!t) return std::monostate{};
-  return t->minutes_since_epoch();
-}
-
-Value id_value(std::uint64_t v) { return static_cast<std::int64_t>(v); }
-
-bool matches(const Condition& c, const Value& v) {
-  if (c.op == Op::kContains) {
-    if (!std::holds_alternative<std::string>(v) ||
-        !std::holds_alternative<std::string>(c.literal))
-      return false;
-    return std::get<std::string>(v).find(std::get<std::string>(c.literal)) !=
-           std::string::npos;
-  }
-  int cmp = compare_values(v, c.literal);
-  switch (c.op) {
-    case Op::kEq: return cmp == 0;
-    case Op::kNe: return cmp != 0;
-    case Op::kLt: return cmp < 0;
-    case Op::kLe: return cmp <= 0;
-    case Op::kGt: return cmp > 0;
-    case Op::kGe: return cmp >= 0;
-    case Op::kContains: return false;  // handled above
-  }
-  return false;
-}
-
-bool eval_expr(const Expr& e, const std::vector<Value>& row,
-               const std::vector<std::size_t>& field_col,
-               std::size_t& next_condition) {
-  switch (e.kind) {
-    case Expr::Kind::kCondition:
-      return matches(e.condition, row[field_col[next_condition++]]);
-    case Expr::Kind::kNot:
-      return !eval_expr(*e.children[0], row, field_col, next_condition);
-    case Expr::Kind::kAnd: {
-      bool all = true;
-      // No short-circuit: every condition must consume its column slot.
-      for (const auto& c : e.children)
-        all = eval_expr(*c, row, field_col, next_condition) && all;
-      return all;
-    }
-    case Expr::Kind::kOr: {
-      bool any = false;
-      for (const auto& c : e.children)
-        any = eval_expr(*c, row, field_col, next_condition) || any;
-      return any;
-    }
-  }
-  return false;
-}
-
 /// True if the column holds a work instant (formatted as a date on render).
 bool is_time_column(const std::string& name) {
   return name == "started" || name == "finished" || name == "created" ||
@@ -120,146 +72,51 @@ std::vector<std::string> QueryEngine::columns_for(Target t) {
   return {};
 }
 
-std::vector<std::vector<Value>> QueryEngine::rows_for(
-    Target t, const std::vector<std::string>& columns) const {
-  std::vector<std::vector<Value>> rows;
-  auto row_of = [&](auto&& get_field) {
-    std::vector<Value> row;
-    row.reserve(columns.size());
-    for (const auto& c : columns) row.push_back(get_field(c));
-    rows.push_back(std::move(row));
-  };
+QueryEngine::QueryEngine(const meta::Database& db, const sched::ScheduleSpace& space,
+                         obs::EventBus* bus)
+    : db_(&db), space_(&space), bus_(bus), cache_(std::make_unique<QueryCache>()) {}
 
-  switch (t) {
-    case Target::kRuns:
-      for (const auto& r : db_->runs()) {
-        row_of([&](const std::string& c) -> Value {
-          if (c == "id") return id_value(r.id.value());
-          if (c == "activity") return r.activity;
-          if (c == "tool") return r.tool_binding;
-          if (c == "designer") return r.designer;
-          if (c == "status") return std::string(meta::run_status_name(r.status));
-          if (c == "started") return instant_value(r.started_at);
-          if (c == "finished") return instant_value(r.finished_at);
-          if (c == "duration") return (r.finished_at - r.started_at).count_minutes();
-          if (c == "output")
-            return r.output.valid() ? id_value(r.output.value()) : Value{std::monostate{}};
-          return std::monostate{};
-        });
-      }
-      break;
-    case Target::kInstances:
-      for (const auto& e : db_->instances()) {
-        row_of([&](const std::string& c) -> Value {
-          if (c == "id") return id_value(e.id.value());
-          if (c == "type") return e.type_name;
-          if (c == "name") return e.name;
-          if (c == "version") return static_cast<std::int64_t>(e.version);
-          if (c == "created") return instant_value(e.created_at);
-          if (c == "produced_by")
-            return e.produced_by.valid() ? id_value(e.produced_by.value())
-                                         : Value{std::monostate{}};
-          return std::monostate{};
-        });
-      }
-      break;
-    case Target::kSchedule:
-      for (std::size_t i = 1; i <= space_->node_count(); ++i) {
-        const auto& n = space_->node(sched::ScheduleNodeId{i});
-        row_of([&](const std::string& c) -> Value {
-          if (c == "id") return id_value(n.id.value());
-          if (c == "activity") return n.activity;
-          if (c == "plan") return id_value(n.plan.value());
-          if (c == "version") return static_cast<std::int64_t>(n.version);
-          if (c == "est_duration") return n.est_duration.count_minutes();
-          if (c == "planned_start") return instant_value(n.planned_start);
-          if (c == "planned_finish") return instant_value(n.planned_finish);
-          if (c == "baseline_start") return instant_value(n.baseline_start);
-          if (c == "baseline_finish") return instant_value(n.baseline_finish);
-          if (c == "slack") return n.total_slack.count_minutes();
-          if (c == "critical") return n.critical;
-          if (c == "completed") return n.completed;
-          if (c == "actual_start") return optional_instant(n.actual_start);
-          if (c == "actual_finish") return optional_instant(n.actual_finish);
-          if (c == "linked") return space_->link_of(n.id).has_value();
-          return std::monostate{};
-        });
-      }
-      break;
-    case Target::kPlans:
-      for (const auto& p : space_->plans()) {
-        row_of([&](const std::string& c) -> Value {
-          if (c == "id") return id_value(p.id.value());
-          if (c == "name") return p.name;
-          if (c == "created") return instant_value(p.created_at);
-          if (c == "derived_from")
-            return p.derived_from.valid() ? id_value(p.derived_from.value())
-                                          : Value{std::monostate{}};
-          if (c == "status")
-            return std::string(p.status == sched::PlanStatus::kActive ? "active"
-                                                                      : "superseded");
-          if (c == "activities") return static_cast<std::int64_t>(p.nodes.size());
-          return std::monostate{};
-        });
-      }
-      break;
-    case Target::kLinks:
-      for (const auto& l : space_->links()) {
-        row_of([&](const std::string& c) -> Value {
-          if (c == "id") return id_value(l.id.value());
-          if (c == "node") return id_value(l.schedule_node.value());
-          if (c == "activity") return space_->node(l.schedule_node).activity;
-          if (c == "instance") return id_value(l.entity_instance.value());
-          if (c == "linked_at") return instant_value(l.linked_at);
-          return std::monostate{};
-        });
-      }
-      break;
-  }
-  return rows;
+QueryEngine::~QueryEngine() = default;
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
-util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
-  if (!obs::on(bus_)) return run(q);
-  const std::int64_t t0 = obs::EventBus::wall_now_ns();
-  auto result = run(q);
-  obs::Event e;
-  e.kind = obs::EventKind::kQueryExecuted;
-  e.name = q.str();
-  e.category = "query";
-  e.duration_ns = obs::EventBus::wall_now_ns() - t0;
-  e.failed = !result.ok();
-  if (result.ok())
-    e.args = {{"rows", std::to_string(result.value().rows.size())}};
-  else
-    e.args = {{"error", result.error().message}};
-  bus_->publish(std::move(e));
-  return result;
+void QueryEngine::clear_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_->clear();
 }
 
-util::Result<QueryResult> QueryEngine::run(const Query& q) const {
+/// Per-execution bookkeeping run() reports back to execute()/explain().
+struct QueryEngine::ExecInfo {
+  std::uint64_t rows_scanned = 0;
+  bool index_seek = false;
+  std::string seek_column, seek_key;
+  std::size_t candidates = 0;
+  std::size_t total_rows = 0;
+  std::size_t leaf_count = 0;
+};
+
+util::Result<QueryResult> QueryEngine::run(const Query& q, ExecInfo& info) const {
   QueryResult result;
   result.columns = columns_for(q.target);
+  const std::size_t ncols = result.columns.size();
 
   auto col_index = [&](const std::string& name) -> std::optional<std::size_t> {
-    for (std::size_t i = 0; i < result.columns.size(); ++i)
+    for (std::size_t i = 0; i < ncols; ++i)
       if (result.columns[i] == name) return i;
     return std::nullopt;
   };
 
-  // Validate referenced fields before materializing; remember each leaf
-  // condition's column (conditions are visited in a fixed depth-first order
-  // by both this loop and eval_expr).
-  std::vector<const Condition*> leaves;
-  if (q.where) q.where->collect_conditions(leaves);
-  std::vector<std::size_t> field_col;
-  for (const Condition* c : leaves) {
-    auto idx = col_index(c->field);
-    if (!idx)
-      return util::not_found("query: target '" + std::string(target_name(q.target)) +
-                             "' has no field '" + c->field + "'");
-    field_col.push_back(*idx);
-  }
+  auto src = make_row_source(q.target, *db_, *space_);
+
+  // Validate + compile the filter once (unknown fields error exactly like
+  // the seed engine, first offender in depth-first order).
+  auto compiled = compile_predicate(q.where.get(), q.target, result.columns, *src);
+  if (!compiled.ok()) return compiled.error();
+  const CompiledPredicate& pred = compiled.value();
+
   std::optional<std::size_t> order_col;
   if (q.order_by) {
     order_col = col_index(*q.order_by);
@@ -282,17 +139,38 @@ util::Result<QueryResult> QueryEngine::run(const Query& q) const {
                              "' has no field '" + *q.group_by + "'");
   }
 
-  auto rows = rows_for(q.target, result.columns);
+  info.total_rows = src->count();
+  info.leaf_count = pred.leaf_count();
 
-  // Filter.
+  // Access path: index seek + residual filter when a conjunctive equality
+  // leaf hits a secondary index; full scan otherwise.  Candidate rows are
+  // ascending, so both paths emit rows in the same (id) order.
+  AccessPath path;
+  if (options_.use_index && q.where) path = plan_access(*q.where, q.target, *db_, *space_);
+
   std::vector<std::vector<Value>> kept;
-  for (auto& row : rows) {
-    bool ok = true;
-    if (q.where) {
-      std::size_t next_condition = 0;
-      ok = eval_expr(*q.where, row, field_col, next_condition);
+  std::vector<char> scratch;
+  auto emit = [&](std::size_t row) {
+    std::vector<Value> cells;
+    cells.reserve(ncols);
+    for (std::size_t c = 0; c < ncols; ++c) cells.push_back(src->cell(row, c));
+    kept.push_back(std::move(cells));
+  };
+  if (path.index) {
+    info.index_seek = true;
+    info.seek_column = path.column;
+    info.seek_key = path.key;
+    info.candidates = path.rows.size();
+    for (std::size_t row : path.rows) {
+      ++info.rows_scanned;
+      if (pred.eval(*src, row, scratch)) emit(row);
     }
-    if (ok) kept.push_back(std::move(row));
+  } else {
+    const std::size_t n = src->count();
+    for (std::size_t row = 0; row < n; ++row) {
+      ++info.rows_scanned;
+      if (pred.eval(*src, row, scratch)) emit(row);
+    }
   }
 
   // Aggregate: reduce to one row (or one per group).
@@ -369,6 +247,57 @@ util::Result<QueryResult> QueryEngine::run(const Query& q) const {
   return result;
 }
 
+util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
+  const bool observed = obs::on(bus_);
+  const std::int64_t t0 = observed ? obs::EventBus::wall_now_ns() : 0;
+  const std::string key = q.str();
+
+  bool cache_hit = false;
+  ExecInfo info;
+  util::Result<QueryResult> result = util::Result<QueryResult>(QueryResult{});
+  if (options_.use_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const QueryResult* hit = cache_->find(key, db_->version(), space_->version(),
+                                          options_.validate_cache);
+    if (hit) {
+      cache_hit = true;
+      ++stats_.cache_hits;
+      result = *hit;
+    } else {
+      ++stats_.cache_misses;
+    }
+  }
+  if (!cache_hit) {
+    result = run(q, info);
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.rows_scanned += info.rows_scanned;
+    if (info.index_seek) ++stats_.index_seeks;
+    if (result.ok() && options_.use_cache)
+      cache_->put(key, db_->version(), space_->version(), result.value());
+  }
+
+  if (observed) {
+    obs::Event e;
+    e.kind = obs::EventKind::kQueryExecuted;
+    e.name = key;
+    e.category = "query";
+    e.duration_ns = obs::EventBus::wall_now_ns() - t0;
+    e.failed = !result.ok();
+    if (result.ok())
+      e.args = {{"rows", std::to_string(result.value().rows.size())}};
+    else
+      e.args = {{"error", result.error().message}};
+    e.args.emplace_back("rows_scanned", std::to_string(info.rows_scanned));
+    e.args.emplace_back("index_seeks", info.index_seek ? "1" : "0");
+    if (options_.use_cache) {
+      e.args.emplace_back("cache_hits", cache_hit ? "1" : "0");
+      e.args.emplace_back("cache_misses", cache_hit ? "0" : "1");
+    }
+    bus_->publish(std::move(e));
+  }
+  return result;
+}
+
 util::Result<QueryResult> QueryEngine::execute(std::string_view text) const {
   auto q = parse_query(text);
   if (!q.ok()) {
@@ -384,6 +313,61 @@ util::Result<QueryResult> QueryEngine::execute(std::string_view text) const {
     return q.error();
   }
   return execute(q.value());
+}
+
+util::Result<std::string> QueryEngine::explain(const Query& q) const {
+  const std::vector<std::string> columns = columns_for(q.target);
+  auto src = make_row_source(q.target, *db_, *space_);
+  auto compiled = compile_predicate(q.where.get(), q.target, columns, *src);
+  if (!compiled.ok()) return compiled.error();
+
+  // Validate the non-filter fields exactly like run() would.
+  auto col_index = [&](const std::string& name) -> bool {
+    return std::find(columns.begin(), columns.end(), name) != columns.end();
+  };
+  for (const std::string* field :
+       {q.order_by ? &*q.order_by : nullptr,
+        q.aggregate && q.aggregate->fn != AggregateFn::kCount ? &q.aggregate->field
+                                                              : nullptr,
+        q.group_by ? &*q.group_by : nullptr}) {
+    if (field && !col_index(*field))
+      return util::not_found("query: target '" + std::string(target_name(q.target)) +
+                             "' has no field '" + *field + "'");
+  }
+
+  AccessPath path;
+  if (options_.use_index && q.where) path = plan_access(*q.where, q.target, *db_, *space_);
+
+  const std::string key = q.str();
+  const std::size_t total = src->count();
+  const std::size_t leaves = compiled.value().leaf_count();
+
+  std::string out = "query:  " + key + "\n";
+  if (path.index) {
+    out += "access: index seek " + std::string(target_name(q.target)) + "." +
+           path.column + " = \"" + path.key + "\" (" +
+           std::to_string(path.rows.size()) + " of " + std::to_string(total) +
+           " rows), residual filter on " + std::to_string(leaves - 1) +
+           " condition(s)\n";
+  } else {
+    out += "access: full scan (" + std::to_string(total) + " rows), filter on " +
+           std::to_string(leaves) + " condition(s)\n";
+  }
+  if (!options_.use_cache) {
+    out += "cache:  disabled\n";
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool hit = cache_->find(key, db_->version(), space_->version(),
+                                  options_.validate_cache) != nullptr;
+    out += hit ? "cache:  hit\n" : "cache:  cold\n";
+  }
+  return out;
+}
+
+util::Result<std::string> QueryEngine::explain(std::string_view text) const {
+  auto q = parse_query(text);
+  if (!q.ok()) return q.error();
+  return explain(q.value());
 }
 
 QueryResult QueryEngine::plan_lineage(sched::ScheduleRunId plan) const {

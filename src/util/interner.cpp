@@ -1,0 +1,27 @@
+#include "util/interner.hpp"
+
+#include <stdexcept>
+
+namespace herc::util {
+
+SymbolId SymbolPool::intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  strings_.emplace_back(s);
+  SymbolId id{strings_.size()};
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+SymbolId SymbolPool::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? SymbolId::invalid() : it->second;
+}
+
+const std::string& SymbolPool::str(SymbolId id) const {
+  if (!id.valid() || id.value() > strings_.size())
+    throw std::out_of_range("SymbolPool::str: unknown symbol " + id.str());
+  return strings_[id.value() - 1];
+}
+
+}  // namespace herc::util

@@ -1,0 +1,57 @@
+#pragma once
+// String interning for the metadata spaces.
+//
+// The Level-3 databases store the same short strings over and over: activity
+// names, type names, designers, tool bindings.  A SymbolPool maps each
+// distinct string to a dense SymbolId (1-based, 0 invalid, same convention as
+// every other util::Id) so hot paths — secondary-index keys, compiled query
+// predicates — compare and hash one integer instead of re-hashing the string
+// per row.  The pool is append-only: ids are stable for the lifetime of the
+// owning database, and interning the same string twice returns the same id.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace herc::util {
+
+struct SymbolTag {};
+using SymbolId = Id<SymbolTag>;
+
+class SymbolPool {
+ public:
+  /// Returns the id of `s`, interning it first if unseen.
+  SymbolId intern(std::string_view s);
+
+  /// Id of `s` if already interned; invalid() otherwise.  Never mutates, so
+  /// a query engine can probe literals against a const database.
+  [[nodiscard]] SymbolId find(std::string_view s) const;
+
+  /// The interned string.  Throws on an id this pool never issued.
+  [[nodiscard]] const std::string& str(SymbolId id) const;
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> strings_;  // index = id - 1
+  std::unordered_map<std::string, SymbolId, Hash, Eq> index_;
+};
+
+}  // namespace herc::util

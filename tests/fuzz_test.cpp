@@ -63,7 +63,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MutationCase{Mutation::kCpmOffByOne, kOracleCpm},
                       MutationCase{Mutation::kRecoveryDropLine, kOracleRecovery},
                       MutationCase{Mutation::kRiskSeedSkew, kOracleRisk},
-                      MutationCase{Mutation::kMetamorphicScale, kOracleMetamorphic}),
+                      MutationCase{Mutation::kMetamorphicScale, kOracleMetamorphic},
+                      MutationCase{Mutation::kQueryStaleCache, kOracleQuery}),
     [](const auto& info) {
       std::string name = mutation_name(info.param.mutation);
       for (char& c : name)

@@ -40,7 +40,7 @@ struct Args {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--budget <secs>[s]] [--scenarios N] [--seed N|from-git-sha]\n"
-               "          [--oracles cpm,mirror,recovery,risk,metamorphic|all]\n"
+               "          [--oracles cpm,mirror,recovery,risk,metamorphic,query|all]\n"
                "          [--mutate <name>] [--repro FILE] [--corpus DIR]\n"
                "          [--emit-seed-corpus DIR] [--out DIR] [--quiet]\n",
                argv0);
