@@ -1,0 +1,172 @@
+// P-srv: what the server front-end costs and what group commit buys.
+//
+// The artifact table drives the closed-loop load driver (herc::srv::run_load)
+// against an in-process server twice — group-committed journal vs. plain
+// per-run journal — and reports throughput, tail latency and the flush count.
+// The headline claim is visible directly: the same number of journal lines
+// reaches disk in far fewer flushes, at equal or better throughput.
+//
+// The timed benchmarks then isolate the layers: pure framing/parsing cost,
+// a ping round trip (wire + queue + worker, no project work), and a full
+// execute round trip (everything including the flow engine and the journal).
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_main.hpp"
+#include "srv/client.hpp"
+#include "srv/load.hpp"
+#include "srv/server.hpp"
+#include "srv/wire.hpp"
+
+using namespace herc;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// In-process server on a unix socket under a private temp dir.
+struct ServerFixture {
+  explicit ServerFixture(bool group_commit) {
+    dir = fs::temp_directory_path() /
+          ("herc_bench_srv." + std::to_string(::getpid()) + "." +
+           std::to_string(counter++));
+    fs::create_directories(dir);
+    srv::ServerConfig config;
+    config.unix_path = (dir / "srv.sock").string();
+    config.workers = 4;
+    config.shard.dir = dir.string();
+    config.shard.group_commit = group_commit;
+    server = srv::Server::start(config).take();
+  }
+  ~ServerFixture() {
+    server->stop();
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+
+  /// Opens one generated project and returns a connected client.
+  std::unique_ptr<srv::Client> client_with_project(const std::string& name) {
+    auto client = srv::Client::connect(server->unix_address()).take();
+    util::JsonObject args;
+    args.set("name", name);
+    args.set("scenario_seed", util::Json(std::int64_t{7}));
+    args.set("shape", "layered");
+    args.set("size", util::Json(std::int64_t{2}));
+    client->invoke("", "open", std::move(args)).value();
+    client->invoke(name, "plan").value();
+    return client;
+  }
+
+  static int counter;
+  fs::path dir;
+  std::unique_ptr<srv::Server> server;
+};
+
+int ServerFixture::counter = 0;
+
+srv::LoadReport drive(bool group_commit) {
+  ServerFixture fixture(group_commit);
+  srv::LoadOptions options;
+  options.address = fixture.server->unix_address();
+  options.projects = 2;
+  options.designers = 2;
+  options.duration = std::chrono::milliseconds(500);
+  options.read_every = 4;
+  return srv::run_load(options).take();
+}
+
+void print_artifact() {
+  std::cout << "P-srv: server front-end under closed-loop load "
+               "(2 projects x 2 designers, 500ms)\n\n";
+  std::cout << "  journal mode   runs/s     p50us  p99us  lines    flushes\n";
+  for (bool group_commit : {false, true}) {
+    auto report = drive(group_commit);
+    // Plain mode is one flush per line by construction (see ShardOptions);
+    // only the committer counts its flushes.
+    const auto flushes =
+        group_commit ? report.group_commits : report.journal_lines;
+    std::printf("  %-12s %8.0f  %6lld %6lld  %7lld  %7lld\n",
+                group_commit ? "group-commit" : "per-run",
+                report.runs_per_sec, static_cast<long long>(report.p50_us),
+                static_cast<long long>(report.p99_us),
+                static_cast<long long>(report.journal_lines),
+                static_cast<long long>(flushes));
+  }
+  std::cout << "\n  (same lines recovered either way; group commit batches "
+               "them into far fewer flushes)\n\n";
+}
+
+// Pure protocol cost: frame-encode a request and parse it back, no sockets.
+void BM_WireEncodeParse(benchmark::State& state) {
+  srv::wire::Request request;
+  request.id = 42;
+  request.project = "load0";
+  request.op = "execute";
+  request.args.set("designer", "designer1");
+  for (auto _ : state) {
+    std::string bytes = request.encode();
+    srv::wire::FrameReader reader;
+    reader.feed(bytes);
+    auto payload = reader.poll();
+    benchmark::DoNotOptimize(
+        srv::wire::Request::parse(*payload).value().id);
+  }
+}
+BENCHMARK(BM_WireEncodeParse);
+
+// Wire + queue + worker round trip with no project work behind it.
+void BM_PingRoundTrip(benchmark::State& state) {
+  ServerFixture fixture(/*group_commit=*/true);
+  auto client = srv::Client::connect(fixture.server->unix_address()).take();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(client->invoke("", "ping").value().is_object());
+}
+BENCHMARK(BM_PingRoundTrip);
+
+// Full stack: one flow execution per iteration, journal group-committed.
+// A lone client pays the commit window on every run (nothing to batch
+// with) — the classic group-commit latency trade, bought back many times
+// over under concurrent load (see the artifact table and herc_load).
+void BM_ExecuteRoundTrip(benchmark::State& state) {
+  ServerFixture fixture(/*group_commit=*/true);
+  auto client = fixture.client_with_project("bench");
+  for (auto _ : state) {
+    util::JsonObject args;
+    args.set("designer", "alice");
+    benchmark::DoNotOptimize(
+        client->invoke("bench", "execute", std::move(args)).value().is_object());
+  }
+}
+BENCHMARK(BM_ExecuteRoundTrip);
+
+// Same, but one flush per recorded run (what group commit replaces).
+void BM_ExecuteRoundTripPlainJournal(benchmark::State& state) {
+  ServerFixture fixture(/*group_commit=*/false);
+  auto client = fixture.client_with_project("bench");
+  for (auto _ : state) {
+    util::JsonObject args;
+    args.set("designer", "alice");
+    benchmark::DoNotOptimize(
+        client->invoke("bench", "execute", std::move(args)).value().is_object());
+  }
+}
+BENCHMARK(BM_ExecuteRoundTripPlainJournal);
+
+// A status read against a planned project: the read mix's cheap path.
+void BM_StatusRoundTrip(benchmark::State& state) {
+  ServerFixture fixture(/*group_commit=*/true);
+  auto client = fixture.client_with_project("bench");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        client->invoke("bench", "status").value().is_object());
+}
+BENCHMARK(BM_StatusRoundTrip);
+
+}  // namespace
+
+HERC_BENCH_MAIN(print_artifact)

@@ -14,6 +14,7 @@
 #include "hercules/journal.hpp"
 #include "hercules/persist.hpp"
 #include "query/query.hpp"
+#include "srv/client.hpp"
 #include "track/report.hpp"
 #include "track/utilization.hpp"
 #include "util/fsio.hpp"
@@ -62,6 +63,10 @@ constexpr const char* kHelp = R"(commands:
   trace on <file> | trace off   (Chrome/Perfetto trace of the project)
   stats [json]                  (event-bus counters and latency histograms)
   save <file> | open <file>     (save replaces the file atomically)
+  remote connect unix:/path|tcp:host:port   (talk to a herc_srv instance)
+  remote ping | projects | stats | disconnect
+  remote open <name> [seed=N] [shape=S] [size=K] | remote close <name>
+  remote <project> <op> [key=value ...]     (generic op passthrough)
   quit
 )";
 
@@ -168,6 +173,7 @@ util::Result<std::string> CliSession::dispatch(const Args& args) {
     return cmd_browse_ops(args);
   if (cmd == "save") return cmd_save(args);
   if (cmd == "open") return cmd_open(args);
+  if (cmd == "remote") return cmd_remote(args);
 
   auto m = need_manager();
   if (!m.ok()) return m.error();
@@ -850,6 +856,107 @@ util::Result<std::string> CliSession::cmd_open(const Args& args) {
   adopt(std::move(loaded).take());
   return "project loaded from '" + args[1] +
          "' (re-register tools before executing)\n";
+}
+
+util::Result<std::string> CliSession::cmd_remote(const Args& args) {
+  if (args.size() < 2)
+    return util::invalid(
+        "remote connect <addr> | disconnect | ping | projects | stats | "
+        "open <name> [seed N] [shape S] [size K] | close <name> | "
+        "<project> <op> [key=value ...]");
+  const std::string& sub = args[1];
+
+  if (sub == "connect") {
+    if (args.size() != 3)
+      return util::invalid("remote connect unix:/path|tcp:host:port");
+    auto client = srv::Client::connect(args[2]);
+    if (!client.ok()) return client.error();
+    remote_ = std::move(client).take();
+    return "connected to " + args[2] + "\n";
+  }
+  if (sub == "disconnect") {
+    if (!remote_) return util::conflict("not connected");
+    remote_.reset();
+    return std::string("disconnected\n");
+  }
+  if (!remote_)
+    return util::conflict("not connected; use 'remote connect <addr>'");
+
+  // k=v pairs -> args object; integers pass through as numbers so ops like
+  // advance {minutes} and open {scenario_seed} work from the command line.
+  auto parse_kv = [](const Args& list, std::size_t from,
+                     util::JsonObject& out) -> util::Status {
+    for (std::size_t i = from; i < list.size(); ++i) {
+      auto eq = list[i].find('=');
+      if (eq == std::string::npos || eq == 0)
+        return util::invalid("remote: expected key=value, got '" + list[i] + "'");
+      std::string key = list[i].substr(0, eq);
+      std::string value = list[i].substr(eq + 1);
+      if (value == "true" || value == "false") {
+        out.set(key, util::Json(value == "true"));
+        continue;
+      }
+      try {
+        std::size_t used = 0;
+        std::int64_t n = std::stoll(value, &used);
+        if (used == value.size()) {
+          out.set(key, util::Json(n));
+          continue;
+        }
+      } catch (const std::exception&) {
+      }
+      out.set(key, util::Json(std::move(value)));
+    }
+    return util::Status::ok_status();
+  };
+
+  std::string project;
+  std::string op;
+  util::JsonObject call_args;
+  if (sub == "ping" || sub == "projects" || sub == "stats" ||
+      sub == "shutdown") {
+    op = sub;
+  } else if (sub == "open" || sub == "close") {
+    if (args.size() < 3) return util::invalid("remote " + sub + " <name> ...");
+    op = sub;
+    call_args.set("name", util::Json(args[2]));
+    if (sub == "open") {
+      // Friendly aliases for the open op's scenario knobs.
+      util::JsonObject extra;
+      auto st = parse_kv(args, 3, extra);
+      if (!st.ok()) return st.error();
+      for (const auto& [key, value] : extra) {
+        if (key == "seed")
+          call_args.set("scenario_seed", value);
+        else
+          call_args.set(key, value);
+      }
+    }
+  } else {
+    // Generic passthrough: remote <project> <op> [key=value ...]
+    if (args.size() < 3)
+      return util::invalid("remote <project> <op> [key=value ...]");
+    project = sub;
+    op = args[2];
+    if (op == "query" || op == "explain") {
+      // Statements contain spaces; take the rest of the line verbatim.
+      if (args.size() < 4)
+        return util::invalid("remote <project> " + op + " <statement>");
+      call_args.set("statement", util::Json(join_from(args, 3)));
+    } else {
+      auto st = parse_kv(args, 3, call_args);
+      if (!st.ok()) return st.error();
+    }
+  }
+
+  auto result = remote_->invoke(project, op, std::move(call_args));
+  if (!result.ok()) {
+    // A transport error means the connection is gone; drop it so the next
+    // command fails with "not connected" instead of writing to a dead fd.
+    if (result.error().code == util::Error::Code::kUnbound) remote_.reset();
+    return result.error();
+  }
+  return result.value().dump(2) + "\n";
 }
 
 }  // namespace herc::cli

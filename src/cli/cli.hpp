@@ -37,6 +37,10 @@
 //   recover <snapshot> <journal>
 //   advance <duration>      now
 //   save <file> | open <file>                  (save is atomic: tmp + rename)
+//   remote connect unix:/path|tcp:host:port    talk to a herc_srv instance
+//   remote ping|projects|stats|disconnect
+//   remote open <name> [seed=N] [shape=S] [size=K]   remote close <name>
+//   remote <project> <op> [key=value ...]      generic server op passthrough
 //   quit
 
 #include <memory>
@@ -46,6 +50,7 @@
 #include "hercules/workflow_manager.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "srv/client.hpp"
 
 namespace herc::cli {
 
@@ -101,6 +106,7 @@ class CliSession {
   util::Result<std::string> cmd_stats(const Args& args);
   util::Result<std::string> cmd_save(const Args& args);
   util::Result<std::string> cmd_open(const Args& args);
+  util::Result<std::string> cmd_remote(const Args& args);
 
   /// Fails unless a project exists.
   util::Result<hercules::WorkflowManager*> need_manager();
@@ -114,6 +120,10 @@ class CliSession {
       std::make_unique<obs::MetricsRegistry>();
   std::unique_ptr<obs::ChromeTraceExporter> exporter_;
   std::string trace_path_;
+  // `remote connect` session against a herc_srv instance; local project
+  // commands keep working side by side (the CLI is then a thin wire client
+  // for the remote ops and a full workflow manager for the local ones).
+  std::unique_ptr<srv::Client> remote_;
   bool quit_ = false;
 };
 

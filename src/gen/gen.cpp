@@ -497,4 +497,48 @@ util::Result<Scenario> scenario_from_json(const util::Json& json) {
   return s;
 }
 
+// --- server request streams --------------------------------------------------
+
+std::vector<GenRequest> request_stream(const RequestStreamSpec& spec) {
+  util::Rng rng(spec.seed);
+  const int designers = spec.designers < 1 ? 1 : spec.designers;
+  double read_f = spec.read_fraction < 0 ? 0 : spec.read_fraction;
+  double advance_f = spec.advance_fraction < 0 ? 0 : spec.advance_fraction;
+  if (read_f + advance_f > 1.0) {
+    double scale = 1.0 / (read_f + advance_f);
+    read_f *= scale;
+    advance_f *= scale;
+  }
+
+  std::vector<GenRequest> out;
+  out.reserve(spec.count);
+  // Streams open with a plan: status reads against an unplanned task are
+  // errors, and real sessions plan before they track anyway.
+  if (spec.count > 0) {
+    GenRequest plan;
+    plan.op = "plan";
+    plan.args.set("name", "plan");
+    out.push_back(std::move(plan));
+  }
+  bool status_next = true;  // reads alternate status / stats
+  for (std::size_t i = 1; i < spec.count; ++i) {
+    GenRequest r;
+    const double roll = rng.uniform();
+    if (roll < advance_f) {
+      r.op = "advance";
+      r.args.set("minutes", util::Json(rng.uniform_int(spec.advance_minutes_lo,
+                                                       spec.advance_minutes_hi)));
+    } else if (roll < advance_f + read_f) {
+      r.op = status_next ? "status" : "stats";
+      status_next = !status_next;
+    } else {
+      r.op = "execute";
+      r.args.set("designer",
+                 "designer" + std::to_string(rng.uniform_int(0, designers - 1)));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 }  // namespace herc::gen

@@ -153,6 +153,35 @@ struct StructuralFacts {
 [[nodiscard]] util::Json scenario_to_json(const Scenario& scenario);
 [[nodiscard]] util::Result<Scenario> scenario_from_json(const util::Json& json);
 
+// --- server request streams --------------------------------------------------
+//
+// Seeded op sequences for driving one hosted project over the herc::srv wire
+// protocol.  Kept abstract (op name + args document) so gen does not depend
+// on the wire layer; srv tests and the load driver wrap them in frames.
+
+/// One abstract project request.
+struct GenRequest {
+  std::string op;         ///< "execute" | "status" | "stats" | "advance"
+  util::JsonObject args;  ///< op-specific payload (designer, minutes, ...)
+};
+
+/// Recipe for a request mix: mostly mutations (execute), a read share
+/// (status/stats alternating) and an occasional clock advance.  Fractions
+/// are clamped so they sum to at most 1; the remainder is executes.
+struct RequestStreamSpec {
+  std::uint64_t seed = 1;
+  std::size_t count = 100;
+  int designers = 4;             ///< designer0..designerN-1 round-robin pool
+  double read_fraction = 0.2;
+  double advance_fraction = 0.05;
+  std::int64_t advance_minutes_lo = 30;
+  std::int64_t advance_minutes_hi = 480;
+};
+
+/// Deterministically expands the spec: identical specs yield identical
+/// streams on every platform.
+[[nodiscard]] std::vector<GenRequest> request_stream(const RequestStreamSpec& spec);
+
 // --- legacy workload shapes --------------------------------------------------
 //
 // Exact replacements for the generators that used to live in

@@ -14,9 +14,43 @@ using util::Json;
 using util::JsonArray;
 using util::JsonObject;
 
+namespace {
+
+/// The default sink: a private append-only file, one write per line, with an
+/// optional fsync per append (JournalOptions::durable).
+class FileSink : public JournalSink {
+ public:
+  FileSink(std::string path, bool durable)
+      : path_(std::move(path)), durable_(durable) {}
+
+  [[nodiscard]] const std::string& path() const override { return path_; }
+
+  [[nodiscard]] util::Status append(std::string line) override {
+    line.push_back('\n');
+    auto st = out_.append(line);
+    if (!st.ok()) return st;
+    if (durable_) return out_.sync();
+    return util::Status::ok_status();
+  }
+
+  [[nodiscard]] util::Status restart() override {
+    auto st = out_.open_trunc(path_);
+    if (!st.ok())
+      return util::unsupported("journal: cannot open '" + path_ + "' for writing");
+    return util::Status::ok_status();
+  }
+
+ private:
+  std::string path_;
+  bool durable_;
+  util::AppendFile out_;
+};
+
+}  // namespace
+
 RunJournal::RunJournal(meta::Database& db, data::DataStore& store,
-                       exec::SimClock& clock, std::string path)
-    : db_(&db), store_(&store), clock_(&clock), path_(std::move(path)) {
+                       exec::SimClock& clock)
+    : db_(&db), store_(&store), clock_(&clock) {
   db_->add_observer(this);
 }
 
@@ -25,26 +59,34 @@ RunJournal::~RunJournal() { db_->remove_observer(this); }
 util::Result<std::unique_ptr<RunJournal>> RunJournal::open(meta::Database& db,
                                                            data::DataStore& store,
                                                            exec::SimClock& clock,
-                                                           const std::string& path) {
+                                                           const std::string& path,
+                                                           JournalOptions options) {
   // Not make_unique: the constructor is private.
-  std::unique_ptr<RunJournal> j(new RunJournal(db, store, clock, path));
+  std::unique_ptr<RunJournal> j(new RunJournal(db, store, clock));
+  j->owned_sink_ = std::make_unique<FileSink>(path, options.durable);
+  j->sink_ = j->owned_sink_.get();
+  auto st = j->restart();
+  if (!st.ok()) return st.error();
+  return j;
+}
+
+util::Result<std::unique_ptr<RunJournal>> RunJournal::open_with_sink(
+    meta::Database& db, data::DataStore& store, exec::SimClock& clock,
+    JournalSink& sink) {
+  std::unique_ptr<RunJournal> j(new RunJournal(db, store, clock));
+  j->sink_ = &sink;
   auto st = j->restart();
   if (!st.ok()) return st.error();
   return j;
 }
 
 util::Status RunJournal::restart() {
-  if (out_.is_open()) out_.close();
-  out_.open(path_, std::ios::binary | std::ios::trunc);
-  if (!out_) {
-    status_ = util::unsupported("journal: cannot open '" + path_ + "' for writing");
-    return status_;
-  }
+  status_ = sink_->restart();
+  if (!status_.ok()) return status_;
   seen_data_ = store_->size();
   seen_instances_ = db_->instance_count();
   seen_runs_ = db_->run_count();
   lines_ = 0;
-  status_ = util::Status::ok_status();
   return status_;
 }
 
@@ -80,12 +122,8 @@ void RunJournal::on_run_recorded(const meta::Run& run) {
   seen_runs_ = all_runs.size();
   line.set("runs", std::move(runs));
 
-  out_ << Json(std::move(line)).dump(-1) << '\n';
-  out_.flush();
-  if (!out_)
-    status_ = util::unsupported("journal: write to '" + path_ + "' failed");
-  else
-    ++lines_;
+  status_ = sink_->append(Json(std::move(line)).dump(-1));
+  if (status_.ok()) ++lines_;
 }
 
 namespace {

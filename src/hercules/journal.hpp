@@ -16,10 +16,17 @@
 // schedule-space mutations (plans, links) or manual clock advances between
 // runs; snapshot after those if they must survive a crash.
 //
+// Durability guarantee: by default each line is written to the OS before the
+// append returns — an APPLICATION crash never loses an acknowledged run, a
+// machine crash may lose the unsynced tail.  JournalOptions::durable adds an
+// fsync per append, upgrading the guarantee to power-loss safety at the cost
+// of one fsync per run.  The server amortizes that cost instead: its
+// GroupCommitter is installed here as a JournalSink and batches many appends
+// into one fsync (see srv/group_commit.hpp).
+//
 // Lifecycle: WorkflowManager::enable_journal installs one as a database
 // observer; save_project_file restarts (truncates) it after each snapshot.
 
-#include <fstream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -34,6 +41,27 @@ namespace herc::hercules {
 
 class WorkflowManager;
 
+/// Where journal lines land.  The default sink is a file owned by the
+/// journal; the server substitutes its GroupCommitter so appends from many
+/// runs share one fsync.  append() receives one complete line WITHOUT the
+/// trailing newline and must have written it (per the sink's durability
+/// contract) by the time the owning request is acknowledged; restart()
+/// truncates the backing file after a snapshot subsumes it.
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  [[nodiscard]] virtual const std::string& path() const = 0;
+  [[nodiscard]] virtual util::Status append(std::string line) = 0;
+  [[nodiscard]] virtual util::Status restart() = 0;
+};
+
+struct JournalOptions {
+  /// fsync after every append: an acknowledged run survives power loss, not
+  /// just process death.  Default off — one fsync per run is exactly the
+  /// cost the server's group commit exists to amortize.
+  bool durable = false;
+};
+
 /// Append-only journal of recorded runs.  Registers itself as an observer of
 /// the database on open() and detaches in the destructor.
 class RunJournal : public meta::DatabaseObserver {
@@ -44,13 +72,19 @@ class RunJournal : public meta::DatabaseObserver {
   /// kUnsupported if the file cannot be created.
   [[nodiscard]] static util::Result<std::unique_ptr<RunJournal>> open(
       meta::Database& db, data::DataStore& store, exec::SimClock& clock,
-      const std::string& path);
+      const std::string& path, JournalOptions options = {});
+
+  /// Journals through a caller-owned sink (the server's group committer)
+  /// instead of a private file.  The sink must outlive the journal.
+  [[nodiscard]] static util::Result<std::unique_ptr<RunJournal>> open_with_sink(
+      meta::Database& db, data::DataStore& store, exec::SimClock& clock,
+      JournalSink& sink);
 
   ~RunJournal() override;
   RunJournal(const RunJournal&) = delete;
   RunJournal& operator=(const RunJournal&) = delete;
 
-  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& path() const { return sink_->path(); }
 
   /// Sticky: the first append/flush failure; appends stop once set.
   [[nodiscard]] util::Status status() const { return status_; }
@@ -67,14 +101,13 @@ class RunJournal : public meta::DatabaseObserver {
   [[nodiscard]] util::Status restart();
 
  private:
-  RunJournal(meta::Database& db, data::DataStore& store, exec::SimClock& clock,
-             std::string path);
+  RunJournal(meta::Database& db, data::DataStore& store, exec::SimClock& clock);
 
   meta::Database* db_;
   data::DataStore* store_;
   exec::SimClock* clock_;
-  std::string path_;
-  std::ofstream out_;
+  std::unique_ptr<JournalSink> owned_sink_;  ///< null when the sink is external
+  JournalSink* sink_ = nullptr;
   // High-water marks: how many records each space had when the previous
   // line was written (everything beyond is "new" for the next line).
   std::size_t seen_data_ = 0, seen_instances_ = 0, seen_runs_ = 0;

@@ -381,8 +381,9 @@ std::string save_to_json(const WorkflowManager& manager) {
   return Persistence::save(manager);
 }
 
-util::Status save_project_file(WorkflowManager& manager, const std::string& path) {
-  auto st = util::write_file_atomic(path, save_to_json(manager));
+util::Status save_project_file(WorkflowManager& manager, const std::string& path,
+                               bool durable) {
+  auto st = util::write_file_atomic(path, save_to_json(manager), durable);
   if (!st.ok()) return st;
   // The snapshot now covers everything the journal held; restart it so
   // recovery replays only runs recorded after this save.

@@ -31,8 +31,11 @@ namespace herc::hercules {
 /// `path` (write to `path + ".tmp"`, then rename), so a crash mid-save never
 /// leaves a truncated database file.  If the manager has an active run
 /// journal it is restarted (truncated) afterwards — the snapshot subsumes
-/// its contents.
+/// its contents.  With `durable` the replacement is fsynced (file + parent
+/// directory) before the journal restarts, so a machine crash between
+/// snapshot and truncation cannot lose both.
 [[nodiscard]] util::Status save_project_file(WorkflowManager& manager,
-                                             const std::string& path);
+                                             const std::string& path,
+                                             bool durable = false);
 
 }  // namespace herc::hercules

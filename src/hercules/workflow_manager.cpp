@@ -18,9 +18,18 @@ void WorkflowManager::clear_faults() {
   faults_.reset();
 }
 
-util::Status WorkflowManager::enable_journal(const std::string& path) {
+util::Status WorkflowManager::enable_journal(const std::string& path,
+                                             JournalOptions options) {
   journal_.reset();  // detach any previous journal before opening the new one
-  auto opened = RunJournal::open(*db_, *store_, clock_, path);
+  auto opened = RunJournal::open(*db_, *store_, clock_, path, options);
+  if (!opened.ok()) return opened.error();
+  journal_ = std::move(opened).take();
+  return util::Status::ok_status();
+}
+
+util::Status WorkflowManager::enable_journal_sink(JournalSink& sink) {
+  journal_.reset();
+  auto opened = RunJournal::open_with_sink(*db_, *store_, clock_, sink);
   if (!opened.ok()) return opened.error();
   journal_ = std::move(opened).take();
   return util::Status::ok_status();

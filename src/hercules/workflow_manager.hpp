@@ -30,9 +30,9 @@
 #include "query/query.hpp"
 #include "track/status.hpp"
 
-namespace herc::hercules {
+#include "hercules/journal.hpp"
 
-class RunJournal;
+namespace herc::hercules {
 
 class WorkflowManager {
  public:
@@ -95,7 +95,12 @@ class WorkflowManager {
   /// Starts crash-safe journaling: every recorded run appends one delta line
   /// to `path` (see journal.hpp).  Take a snapshot (save_project_file) first
   /// — recovery replays the journal over it.  Replaces any active journal.
-  util::Status enable_journal(const std::string& path);
+  /// JournalOptions::durable upgrades each append to an fsync (power-loss
+  /// safe); the default remains flush-to-OS.
+  util::Status enable_journal(const std::string& path, JournalOptions options = {});
+  /// Journals through a caller-owned sink (the server's group committer);
+  /// the sink must outlive the journal (disable_journal before dropping it).
+  util::Status enable_journal_sink(JournalSink& sink);
   void disable_journal();
   /// nullptr when journaling is off.
   [[nodiscard]] RunJournal* journal() { return journal_.get(); }

@@ -1,0 +1,99 @@
+#include "srv/client.hpp"
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace herc::srv {
+
+using util::Error;
+using util::Json;
+using util::JsonObject;
+using util::Result;
+
+Result<std::unique_ptr<Client>> Client::connect(const std::string& address) {
+  auto parsed = net::parse_address(address);
+  if (!parsed.ok()) return parsed.error();
+  auto fd = net::connect_to(parsed.value());
+  if (!fd.ok()) return fd.error();
+  return std::unique_ptr<Client>(new Client(fd.value()));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::uint64_t> Client::send(const std::string& project,
+                                   const std::string& op, JsonObject args) {
+  wire::Request request;
+  request.id = next_id_++;
+  request.project = project;
+  request.op = op;
+  request.args = std::move(args);
+  auto status = net::send_all(fd_, request.encode());
+  if (!status.ok()) return status.error();
+  return request.id;
+}
+
+Result<wire::Response> Client::read_response() {
+  std::string chunk;
+  for (;;) {
+    if (auto payload = reader_.poll()) {
+      auto response = wire::Response::parse(*payload);
+      if (!response.ok()) return response.error();
+      return std::move(response).take();
+    }
+    if (reader_.broken()) {
+      return Error{Error::Code::kParse, "client: " + reader_.error()};
+    }
+    chunk.clear();
+    auto n = net::recv_some(fd_, chunk);
+    if (!n.ok()) return n.error();
+    if (n.value() == 0) {
+      return Error{Error::Code::kUnbound, "client: server closed connection"};
+    }
+    reader_.feed(chunk);
+  }
+}
+
+Result<wire::Response> Client::recv_any() {
+  if (!stashed_.empty()) {
+    auto it = stashed_.begin();
+    wire::Response response = std::move(it->second);
+    stashed_.erase(it);
+    return response;
+  }
+  return read_response();
+}
+
+Result<wire::Response> Client::recv(std::uint64_t id) {
+  auto it = stashed_.find(id);
+  if (it != stashed_.end()) {
+    wire::Response response = std::move(it->second);
+    stashed_.erase(it);
+    return response;
+  }
+  for (;;) {
+    auto response = read_response();
+    if (!response.ok()) return response;
+    if (response.value().id == id) return response;
+    stashed_.emplace(response.value().id, std::move(response).take());
+  }
+}
+
+Result<wire::Response> Client::call(const std::string& project,
+                                    const std::string& op, JsonObject args) {
+  auto id = send(project, op, std::move(args));
+  if (!id.ok()) return id.error();
+  return recv(id.value());
+}
+
+Result<Json> Client::invoke(const std::string& project, const std::string& op,
+                            JsonObject args) {
+  auto response = call(project, op, std::move(args));
+  if (!response.ok()) return response.error();
+  if (!response.value().ok) return response.value().error;
+  return std::move(response.value().result);
+}
+
+}  // namespace herc::srv

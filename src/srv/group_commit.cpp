@@ -1,0 +1,167 @@
+#include "srv/group_commit.hpp"
+
+namespace herc::srv {
+
+GroupCommitter::GroupCommitter(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+util::Result<std::unique_ptr<GroupCommitter>> GroupCommitter::open(
+    const std::string& path, Options options) {
+  std::unique_ptr<GroupCommitter> c(new GroupCommitter(path, options));
+  auto st = c->file_.open_trunc(path);
+  if (!st.ok())
+    return util::unsupported("group commit: cannot open '" + path + "'");
+  c->flusher_ = std::thread(&GroupCommitter::flusher_main, c.get());
+  return c;
+}
+
+GroupCommitter::~GroupCommitter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  // Leftover pending lines (possible only after simulate_crash or an I/O
+  // error) stay unwritten by design.
+}
+
+util::Status GroupCommitter::append(std::string line) {
+  line.push_back('\n');
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) return util::invalid("group commit: crashed");
+    if (!status_.ok()) return status_;
+    pending_.push_back(std::move(line));
+    ++enqueued_;
+    ++stats_.lines;
+  }
+  work_cv_.notify_one();
+  return util::Status::ok_status();
+}
+
+std::uint64_t GroupCommitter::last_enqueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueued_;
+}
+
+util::Status GroupCommitter::wait_durable(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return committed_ >= ticket || !status_.ok() || crashed_ || stop_;
+  });
+  if (committed_ >= ticket) return util::Status::ok_status();
+  if (!status_.ok()) return status_;
+  return util::invalid("group commit: stopped before ticket became durable");
+}
+
+util::Status GroupCommitter::sync_now() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (crashed_) return util::invalid("group commit: crashed");
+  const std::uint64_t target = enqueued_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] {
+    return (committed_ >= target && !flushing_) || !status_.ok() || crashed_ ||
+           stop_;
+  });
+  if (!status_.ok()) return status_;
+  if (crashed_ || (stop_ && committed_ < target))
+    return util::invalid("group commit: stopped before sync completed");
+  // Batches are only fsynced in durable mode; a snapshot/shutdown sync must
+  // pin the whole file to disk either way.
+  auto st = file_.sync();
+  if (!st.ok()) status_ = st;
+  return st;
+}
+
+util::Status GroupCommitter::restart() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (crashed_) return util::invalid("group commit: crashed");
+  // Never truncate under a flusher mid-write: its write() would land in the
+  // fresh file (or on a closed fd).
+  done_cv_.wait(lock, [&] { return !flushing_ || stop_; });
+  if (stop_) return util::invalid("group commit: stopped");
+  // Whatever is still queued describes state the caller just snapshotted;
+  // dropping it IS its commit.
+  committed_ = enqueued_;
+  pending_.clear();
+  auto st = file_.open_trunc(path_);
+  if (!st.ok()) {
+    status_ = util::unsupported("group commit: cannot reopen '" + path_ + "'");
+    done_cv_.notify_all();
+    return status_;
+  }
+  status_ = util::Status::ok_status();
+  done_cv_.notify_all();
+  return status_;
+}
+
+GroupCommitter::Stats GroupCommitter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GroupCommitter::simulate_crash() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+    stop_ = true;
+    pending_.clear();
+    file_.close();  // nothing further reaches the file, no final fsync
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void GroupCommitter::flusher_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return !pending_.empty() || stop_; });
+    if (stop_ && pending_.empty()) return;
+    if (stop_) {
+      // Drain what was enqueued before stop; new appends are rejected.
+    } else if (options_.window.count() > 0) {
+      // Bounded accumulation: let concurrent appenders join this batch.
+      lock.unlock();
+      std::this_thread::sleep_for(options_.window);
+      lock.lock();
+      if (crashed_) return;
+    }
+    std::vector<std::string> batch;
+    batch.swap(pending_);
+    flushing_ = true;
+    lock.unlock();
+
+    std::string buffer;
+    std::size_t bytes = 0;
+    for (const auto& line : batch) bytes += line.size();
+    buffer.reserve(bytes);
+    for (const auto& line : batch) buffer += line;
+    // One write per group commit keeps crash loss whole-batch granular.
+    auto st = file_.append(buffer);
+    bool synced = false;
+    if (st.ok() && options_.durable) {
+      st = file_.sync();
+      synced = st.ok();
+    }
+
+    lock.lock();
+    flushing_ = false;
+    if (crashed_) return;
+    if (st.ok()) {
+      committed_ += batch.size();
+      ++stats_.flushes;
+      if (synced) ++stats_.synced;
+      stats_.lines_flushed += batch.size();
+      if (batch.size() > stats_.batch_max) stats_.batch_max = batch.size();
+    } else if (status_.ok()) {
+      status_ = st;
+    }
+    done_cv_.notify_all();
+    if (stop_ && pending_.empty()) return;
+  }
+}
+
+}  // namespace herc::srv

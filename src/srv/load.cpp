@@ -1,0 +1,222 @@
+#include "srv/load.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "srv/client.hpp"
+#include "util/rng.hpp"
+
+namespace herc::srv {
+
+namespace {
+
+using util::Error;
+using util::Json;
+using util::JsonObject;
+using util::Result;
+using util::Status;
+
+using Clock = std::chrono::steady_clock;
+
+std::string project_name(int index) { return "load" + std::to_string(index); }
+
+/// What one designer thread accumulated.
+struct WorkerTally {
+  std::vector<std::int64_t> latencies_us;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t runs = 0;
+};
+
+void drive_one(const LoadOptions& options, int project, int designer,
+               Clock::time_point deadline, WorkerTally& tally,
+               std::atomic<bool>& abort) {
+  auto client = Client::connect(options.address);
+  if (!client.ok()) {
+    ++tally.errors;
+    return;
+  }
+  const std::string proj = project_name(project);
+  const std::string who = "designer" + std::to_string(designer);
+  util::Rng rng(options.seed * 1000003u + static_cast<std::uint64_t>(project) * 131u +
+                static_cast<std::uint64_t>(designer));
+
+  const bool open_mode = options.arrival == LoadOptions::Arrival::kOpen;
+  const auto interval = std::chrono::nanoseconds(
+      open_mode && options.rate_per_designer > 0
+          ? static_cast<std::int64_t>(1e9 / options.rate_per_designer)
+          : 0);
+  // Open mode: arrival schedule is fixed up front; latency is measured from
+  // the SCHEDULED time, so server backlog is charged to the requests that
+  // queued behind it (no coordinated omission).
+  auto next_arrival = Clock::now() +
+                      std::chrono::nanoseconds(static_cast<std::int64_t>(
+                          interval.count() * rng.uniform()));
+
+  int n = 0;
+  while (!abort.load(std::memory_order_relaxed)) {
+    Clock::time_point issued;
+    if (open_mode) {
+      if (next_arrival >= deadline) break;
+      std::this_thread::sleep_until(next_arrival);
+      issued = next_arrival;
+      next_arrival += interval;
+    } else {
+      issued = Clock::now();
+      if (issued >= deadline) break;
+    }
+
+    ++n;
+    Result<wire::Response> response =
+        Error{Error::Code::kInvalid, "unsent"};
+    if (options.read_every > 0 && n % options.read_every == 0) {
+      response = client.value()->call(proj, "status");
+    } else {
+      JsonObject args;
+      args.set("designer", who);
+      response = client.value()->call(proj, "execute", std::move(args));
+    }
+    auto done = Clock::now();
+
+    ++tally.requests;
+    if (!response.ok()) {
+      ++tally.errors;
+      return;  // transport gone; this designer is done
+    }
+    if (!response.value().ok) {
+      ++tally.errors;
+      continue;
+    }
+    if (response.value().result.is_object() &&
+        response.value().result.as_object().contains("runs")) {
+      tally.runs += static_cast<std::uint64_t>(
+          response.value().result.as_object().at("runs").as_int());
+    }
+    tally.latencies_us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(done - issued)
+            .count());
+  }
+}
+
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  auto index = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace
+
+Json LoadReport::to_json() const {
+  JsonObject o;
+  o.set("requests", Json(static_cast<std::int64_t>(requests)));
+  o.set("errors", Json(static_cast<std::int64_t>(errors)));
+  o.set("runs", Json(static_cast<std::int64_t>(runs)));
+  o.set("elapsed_sec", Json(elapsed_sec));
+  o.set("runs_per_sec", Json(runs_per_sec));
+  o.set("requests_per_sec", Json(requests_per_sec));
+  o.set("p50_us", Json(p50_us));
+  o.set("p99_us", Json(p99_us));
+  o.set("max_us", Json(max_us));
+  o.set("journal_lines", Json(journal_lines));
+  o.set("group_commits", Json(group_commits));
+  return Json(std::move(o));
+}
+
+std::string LoadReport::summary() const {
+  std::ostringstream out;
+  out << requests << " reqs (" << errors << " errors), " << runs << " runs in "
+      << elapsed_sec << "s = " << runs_per_sec << " runs/s; latency p50 "
+      << p50_us << "us p99 " << p99_us << "us; " << journal_lines
+      << " journal lines in " << group_commits << " flushes";
+  return out.str();
+}
+
+Result<LoadReport> run_load(const LoadOptions& options) {
+  auto control = Client::connect(options.address);
+  if (!control.ok()) return control.error();
+
+  if (options.open_projects) {
+    for (int p = 0; p < options.projects; ++p) {
+      JsonObject args;
+      args.set("name", project_name(p));
+      args.set("scenario_seed",
+               Json(static_cast<std::int64_t>(options.seed + p)));
+      args.set("shape", options.shape);
+      args.set("size", Json(static_cast<std::int64_t>(options.size)));
+      auto opened = control.value()->invoke("", "open", std::move(args));
+      if (!opened.ok()) return opened.error();
+    }
+  }
+  // Plan each project once so the read mix's status op has a plan to report
+  // against (mirrors a real session: plan, then track).
+  for (int p = 0; p < options.projects; ++p) {
+    auto planned = control.value()->invoke(project_name(p), "plan");
+    if (!planned.ok()) return planned.error();
+  }
+
+  auto stats_before = control.value()->invoke("", "stats");
+  if (!stats_before.ok()) return stats_before.error();
+
+  const int threads_n = options.projects * options.designers;
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(threads_n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(threads_n));
+  std::atomic<bool> abort{false};
+
+  auto start = Clock::now();
+  auto deadline = start + options.duration;
+  for (int p = 0; p < options.projects; ++p) {
+    for (int d = 0; d < options.designers; ++d) {
+      WorkerTally& tally = tallies[static_cast<std::size_t>(
+          p * options.designers + d)];
+      threads.emplace_back([&options, p, d, deadline, &tally, &abort] {
+        drive_one(options, p, d, deadline, tally, abort);
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+  auto elapsed = Clock::now() - start;
+
+  LoadReport report;
+  std::vector<std::int64_t> latencies;
+  for (auto& tally : tallies) {
+    report.requests += tally.requests;
+    report.errors += tally.errors;
+    report.runs += tally.runs;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(),
+                     tally.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = percentile(latencies, 0.50);
+  report.p99_us = percentile(latencies, 0.99);
+  report.max_us = latencies.empty() ? 0 : latencies.back();
+  report.elapsed_sec =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  if (report.elapsed_sec > 0) {
+    report.runs_per_sec = static_cast<double>(report.runs) / report.elapsed_sec;
+    report.requests_per_sec =
+        static_cast<double>(report.requests) / report.elapsed_sec;
+  }
+
+  // Durability accounting: flushes/lines attributable to the drive window.
+  auto stats_after = control.value()->invoke("", "stats");
+  if (stats_after.ok() && stats_after.value().is_object() &&
+      stats_before.value().is_object()) {
+    auto totals = [](const Json& stats, const char* key) -> std::int64_t {
+      const JsonObject& o = stats.as_object();
+      if (!o.contains("totals")) return 0;
+      const JsonObject& t = o.at("totals").as_object();
+      return t.contains(key) ? t.at(key).as_int() : 0;
+    };
+    report.journal_lines = totals(stats_after.value(), "journal_lines") -
+                           totals(stats_before.value(), "journal_lines");
+    report.group_commits = totals(stats_after.value(), "srv_group_commits") -
+                           totals(stats_before.value(), "srv_group_commits");
+  }
+  return report;
+}
+
+}  // namespace herc::srv

@@ -1,0 +1,75 @@
+#pragma once
+// Closed-loop load driver for the server: N projects x M simulated designers,
+// each designer a thread with its own connection, all hammering `execute`
+// (plus a sprinkling of reads) until a deadline.  This is the headline
+// benchmark for the server PR — it measures the throughput/latency effect of
+// group commit under real socket + worker-pool + shard contention, which the
+// in-process microbenches cannot.
+//
+// Arrival modes:
+//   closed  each designer issues its next request the moment the previous
+//           response lands (classic closed loop; offered load tracks
+//           capacity, latencies measure service time under full contention).
+//   open    each designer issues requests on a fixed schedule (rate/sec,
+//           deterministically jittered) regardless of completion; if the
+//           server falls behind, requests queue and latency shows it.
+//           Arrival timestamps are scheduled, so reported latency is
+//           queueing + service (coordinated-omission safe).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace herc::srv {
+
+struct LoadOptions {
+  std::string address;  ///< server to drive ("unix:..." / "tcp:...")
+  int projects = 8;
+  int designers = 4;  ///< per project
+  std::chrono::milliseconds duration{5000};
+
+  enum class Arrival { kClosed, kOpen };
+  Arrival arrival = Arrival::kClosed;
+  double rate_per_designer = 20.0;  ///< open mode: requests/sec per designer
+
+  /// Every Kth request is a read (`status` op) instead of an `execute`;
+  /// 0 = mutations only.
+  int read_every = 0;
+
+  std::uint64_t seed = 1;        ///< scenario seeds: seed, seed+1, ...
+  std::string shape = "layered";
+  std::size_t size = 3;          ///< kept small: latency, not flow width
+
+  /// Open the projects before driving (off when the caller pre-opened them).
+  bool open_projects = true;
+};
+
+struct LoadReport {
+  std::uint64_t requests = 0;  ///< responses received
+  std::uint64_t errors = 0;    ///< transport errors + ok=false responses
+  std::uint64_t runs = 0;      ///< tool runs the executes produced
+  double elapsed_sec = 0.0;
+  double runs_per_sec = 0.0;
+  double requests_per_sec = 0.0;
+  // Latency percentiles over per-request wall time, microseconds.
+  std::int64_t p50_us = 0;
+  std::int64_t p99_us = 0;
+  std::int64_t max_us = 0;
+  // Durability accounting from the server's `stats` op, for the group-commit
+  // comparison: how many physical flushes covered how many journal lines.
+  std::int64_t journal_lines = 0;
+  std::int64_t group_commits = 0;
+
+  [[nodiscard]] util::Json to_json() const;
+  [[nodiscard]] std::string summary() const;  ///< one human line
+};
+
+/// Runs the workload to completion.  Fails fast if the server is
+/// unreachable or a project cannot be opened.
+[[nodiscard]] util::Result<LoadReport> run_load(const LoadOptions& options);
+
+}  // namespace herc::srv

@@ -1,0 +1,345 @@
+#include "srv/shard.hpp"
+
+#include "hercules/persist.hpp"
+
+namespace herc::srv {
+
+using util::Json;
+using util::JsonObject;
+
+namespace {
+
+std::string arg_string(const JsonObject& args, const std::string& key,
+                       const std::string& fallback = "") {
+  if (!args.contains(key)) return fallback;
+  const Json& v = args.at(key);
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+std::int64_t arg_int(const JsonObject& args, const std::string& key,
+                     std::int64_t fallback = 0) {
+  if (!args.contains(key)) return fallback;
+  const Json& v = args.at(key);
+  return v.is_int() ? v.as_int() : fallback;
+}
+
+util::Result<sched::EstimateStrategy> parse_strategy(const std::string& name) {
+  using sched::EstimateStrategy;
+  for (auto s : {EstimateStrategy::kIntuition, EstimateStrategy::kLast,
+                 EstimateStrategy::kMean, EstimateStrategy::kEwma,
+                 EstimateStrategy::kPert})
+    if (name == sched::estimate_strategy_name(s)) return s;
+  return util::invalid("unknown estimate strategy '" + name + "'");
+}
+
+Json execution_json(const exec::ExecutionResult& result,
+                    const exec::SimClock& clock) {
+  JsonObject o;
+  o.set("runs", static_cast<std::int64_t>(result.runs.size()));
+  o.set("success", result.success);
+  o.set("skipped", static_cast<std::int64_t>(result.skipped.size()));
+  o.set("final_output", static_cast<std::int64_t>(result.final_output.value()));
+  o.set("clock_minutes", clock.now().minutes_since_epoch());
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+ProjectShard::ProjectShard(std::string name, ShardOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {}
+
+ProjectShard::~ProjectShard() {
+  // Journal first: it must detach from the database (and stop feeding the
+  // committer) before the committer and manager go away.
+  if (manager_) manager_->disable_journal();
+}
+
+std::string ProjectShard::snapshot_path() const {
+  return options_.dir + "/" + name_ + ".snapshot.json";
+}
+
+std::string ProjectShard::wal_path() const {
+  return options_.dir + "/" + name_ + ".wal";
+}
+
+void ProjectShard::register_default_tools(hercules::WorkflowManager& manager,
+                                          std::int64_t tool_minutes) {
+  for (const auto& type : manager.schema().types()) {
+    if (type.kind != schema::EntityKind::kTool) continue;
+    // Already-registered instances (gen::make_manager's "t1") are kept; add()
+    // failing on a duplicate name is harmless here.
+    (void)manager.register_tool(
+        {.instance_name = type.name + "1",
+         .tool_type = type.name,
+         .nominal = cal::WorkDuration::minutes(tool_minutes)});
+  }
+}
+
+util::Status ProjectShard::start_journal() {
+  // Snapshot first: journaling captures only what happens after it.
+  auto st = hercules::save_project_file(*manager_, snapshot_path(),
+                                        options_.durable);
+  if (!st.ok()) return st;
+  if (options_.group_commit) {
+    GroupCommitter::Options copts;
+    copts.durable = options_.durable;
+    copts.window = options_.commit_window;
+    auto opened = GroupCommitter::open(wal_path(), copts);
+    if (!opened.ok()) return opened.error();
+    committer_ = std::move(opened).take();
+    return manager_->enable_journal_sink(*committer_);
+  }
+  return manager_->enable_journal(wal_path(), {.durable = options_.durable});
+}
+
+util::Result<std::unique_ptr<ProjectShard>> ProjectShard::create(
+    const std::string& name, const gen::Scenario& scenario,
+    const ShardOptions& options) {
+  auto made = gen::make_manager(scenario);
+  if (!made.ok()) return made.error();
+  std::unique_ptr<ProjectShard> shard(new ProjectShard(name, options));
+  shard->manager_ = std::move(made).take();
+  shard->manager_->bus().set_project(name);
+  shard->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  shard->metrics_->attach(shard->manager_->bus());
+  auto st = shard->start_journal();
+  if (!st.ok()) return st.error();
+  return shard;
+}
+
+util::Result<std::unique_ptr<ProjectShard>> ProjectShard::create_from_dsl(
+    const std::string& name, const std::string& schema_dsl,
+    std::int64_t tool_minutes, const ShardOptions& options) {
+  auto made = hercules::WorkflowManager::create(schema_dsl);
+  if (!made.ok()) return made.error();
+  std::unique_ptr<ProjectShard> shard(new ProjectShard(name, options));
+  shard->manager_ = std::move(made).take();
+  register_default_tools(*shard->manager_, tool_minutes);
+  shard->manager_->bus().set_project(name);
+  shard->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  shard->metrics_->attach(shard->manager_->bus());
+  auto st = shard->start_journal();
+  if (!st.ok()) return st.error();
+  return shard;
+}
+
+util::Result<std::unique_ptr<ProjectShard>> ProjectShard::recover(
+    const std::string& name, std::int64_t tool_minutes,
+    const ShardOptions& options) {
+  std::unique_ptr<ProjectShard> shard(new ProjectShard(name, options));
+  auto recovered =
+      hercules::recover_project(shard->snapshot_path(), shard->wal_path());
+  if (!recovered.ok()) return recovered.error();
+  shard->manager_ = std::move(recovered).take();
+  // Tool closures are never persisted; rebuild the simulated registry.
+  register_default_tools(*shard->manager_, tool_minutes);
+  shard->manager_->bus().set_project(name);
+  shard->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  shard->metrics_->attach(shard->manager_->bus());
+  // start_journal re-snapshots, so the WAL that fed this recovery is folded
+  // in before it is truncated.
+  auto st = shard->start_journal();
+  if (!st.ok()) return st.error();
+  return shard;
+}
+
+wire::Response ProjectShard::apply(const wire::Request& request) {
+  std::uint64_t before = 0, after = 0;
+  wire::Response response;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_)
+      return wire::Response::failure(
+          request.id, util::unsupported("shard '" + name_ + "' crashed"));
+    metrics_->add("srv_requests");
+    if (committer_) before = committer_->last_enqueued();
+    response = dispatch(request);
+    if (committer_) after = committer_->last_enqueued();
+  }
+  // Acknowledge only once this request's journal lines are durable — but
+  // wait OUTSIDE the shard lock, so the next request's mutation overlaps
+  // this commit (that overlap is what builds multi-line batches).
+  if (response.ok && after > before) {
+    auto st = committer_->wait_durable(after);
+    if (!st.ok()) return wire::Response::failure(request.id, st.error());
+  }
+  if (!committer_ && response.ok && manager_->journal() &&
+      !manager_->journal()->status().ok())
+    return wire::Response::failure(request.id, manager_->journal()->status().error());
+  return response;
+}
+
+wire::Response ProjectShard::dispatch(const wire::Request& request) {
+  const JsonObject& args = request.args;
+  const std::string task = arg_string(args, "task", "job");
+  hercules::WorkflowManager& m = *manager_;
+
+  // The WAL records tool runs only; schedule and clock mutations (plan,
+  // replan, link, advance) are made durable by snapshotting through before
+  // the ack, so "acknowledged => recovered" holds for every mutating op.
+  if (request.op == "plan" || request.op == "replan") {
+    sched::PlanRequest plan;
+    plan.name = arg_string(args, "name", "plan");
+    const std::string strategy = arg_string(args, "strategy");
+    if (!strategy.empty()) {
+      auto parsed = parse_strategy(strategy);
+      if (!parsed.ok()) return wire::Response::failure(request.id, parsed.error());
+      plan.strategy = parsed.value();
+    }
+    auto planned = request.op == "plan" ? m.plan_task(task, std::move(plan))
+                                        : m.replan_task(task, std::move(plan));
+    if (!planned.ok()) return wire::Response::failure(request.id, planned.error());
+    auto persisted = snapshot_locked();
+    if (!persisted.ok()) return wire::Response::failure(request.id, persisted.error());
+    JsonObject o;
+    o.set("schedule_run", static_cast<std::int64_t>(planned.value().value()));
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+
+  if (request.op == "execute") {
+    const std::string designer = arg_string(args, "designer", "designer");
+    const std::string mode = arg_string(args, "mode", "serial");
+    if (mode != "serial" && mode != "concurrent")
+      return wire::Response::failure(
+          request.id, util::invalid("execute: mode must be serial|concurrent"));
+    auto executed = mode == "serial"
+                        ? m.execute_task(task, designer)
+                        : m.execute_task_concurrent(task, designer);
+    if (!executed.ok())
+      return wire::Response::failure(request.id, executed.error());
+    return wire::Response::success(request.id,
+                                   execution_json(executed.value(), m.clock()));
+  }
+
+  if (request.op == "run") {
+    const std::string activity = arg_string(args, "activity");
+    const std::string designer = arg_string(args, "designer", "designer");
+    if (activity.empty())
+      return wire::Response::failure(request.id,
+                                     util::invalid("run: missing 'activity'"));
+    auto ran = m.run_activity(task, activity, designer);
+    if (!ran.ok()) return wire::Response::failure(request.id, ran.error());
+    JsonObject o;
+    o.set("run", static_cast<std::int64_t>(ran.value().run.value()));
+    o.set("success", ran.value().success);
+    o.set("clock_minutes", m.clock().now().minutes_since_epoch());
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+
+  if (request.op == "link") {
+    const std::string activity = arg_string(args, "activity");
+    if (activity.empty())
+      return wire::Response::failure(request.id,
+                                     util::invalid("link: missing 'activity'"));
+    auto st = m.link_completion(task, activity);
+    if (!st.ok()) return wire::Response::failure(request.id, st.error());
+    auto persisted = snapshot_locked();
+    if (!persisted.ok()) return wire::Response::failure(request.id, persisted.error());
+    return wire::Response::success(request.id, Json(JsonObject{}));
+  }
+
+  if (request.op == "query" || request.op == "explain") {
+    const std::string statement = arg_string(args, "statement");
+    if (statement.empty())
+      return wire::Response::failure(
+          request.id, util::invalid(request.op + ": missing 'statement'"));
+    auto result = request.op == "query" ? m.query(statement) : m.explain(statement);
+    if (!result.ok()) return wire::Response::failure(request.id, result.error());
+    JsonObject o;
+    o.set("text", result.value());
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+
+  if (request.op == "status" || request.op == "gantt") {
+    auto result = request.op == "status" ? m.status_report(task) : m.gantt(task);
+    if (!result.ok()) return wire::Response::failure(request.id, result.error());
+    JsonObject o;
+    o.set("text", result.value());
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+
+  if (request.op == "advance") {
+    const std::int64_t minutes = arg_int(args, "minutes", -1);
+    if (minutes < 0)
+      return wire::Response::failure(
+          request.id, util::invalid("advance: missing non-negative 'minutes'"));
+    m.clock().advance(cal::WorkDuration::minutes(minutes));
+    auto persisted = snapshot_locked();
+    if (!persisted.ok()) return wire::Response::failure(request.id, persisted.error());
+    JsonObject o;
+    o.set("clock_minutes", m.clock().now().minutes_since_epoch());
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+
+  if (request.op == "save") {
+    auto st = snapshot_locked();
+    if (!st.ok()) return wire::Response::failure(request.id, st.error());
+    JsonObject o;
+    o.set("snapshot", snapshot_path());
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+
+  if (request.op == "stats")
+    return wire::Response::success(request.id, stats_json_locked());
+
+  return wire::Response::failure(
+      request.id, util::invalid("unknown op '" + request.op + "'"));
+}
+
+util::Status ProjectShard::snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_locked();
+}
+
+util::Status ProjectShard::snapshot_locked() {
+  if (crashed_) return util::unsupported("shard '" + name_ + "' crashed");
+  // save_project_file restarts the journal, which for a group committer
+  // first drains any in-flight batch (GroupCommitter::restart).
+  return hercules::save_project_file(*manager_, snapshot_path(),
+                                     options_.durable);
+}
+
+util::Status ProjectShard::shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return util::unsupported("shard '" + name_ + "' crashed");
+  if (committer_) {
+    auto st = committer_->sync_now();  // final group commit
+    if (!st.ok()) return st;
+  }
+  return snapshot_locked();
+}
+
+void ProjectShard::simulate_crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+  if (committer_) committer_->simulate_crash();
+}
+
+Json ProjectShard::stats_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_json_locked();
+}
+
+Json ProjectShard::stats_json_locked() const {
+  JsonObject o;
+  o.set("project", name_);
+  o.set("srv_requests", metrics_->counter("srv_requests"));
+  o.set("runs_executed", metrics_->counter("runs_executed"));
+  o.set("run_count", manager_->db().run_count());
+  o.set("clock_minutes", manager_->clock().now().minutes_since_epoch());
+  if (manager_->journal())
+    o.set("journal_lines", manager_->journal()->lines_written());
+  if (committer_) {
+    auto s = committer_->stats();
+    JsonObject g;
+    g.set("lines", s.lines);
+    g.set("srv_group_commits", s.flushes);
+    g.set("synced", s.synced);
+    g.set("srv_commit_batch_max", s.batch_max);
+    g.set("srv_commit_batch_mean", s.batch_mean());
+    o.set("group_commit", Json(std::move(g)));
+  }
+  return Json(std::move(o));
+}
+
+}  // namespace herc::srv

@@ -1,0 +1,122 @@
+#pragma once
+// ProjectShard: one hosted project inside the server.
+//
+// A shard owns everything a single-user session used to own — the
+// WorkflowManager facade over meta::Database + sched::ScheduleSpace, the
+// query engine, and the crash-safety machinery (journal + snapshot files in
+// the shard's directory).  Concurrency model: ONE mutex serializes every
+// operation against the shard (the metadata store is not yet MVCC; see
+// ROADMAP), so correctness never depends on which worker thread carries a
+// request.  Scaling comes from shard independence — requests for different
+// projects never contend — and from group commit: a mutation enqueues its
+// journal lines under the lock but waits for durability AFTER releasing it,
+// so the next request's mutation overlaps this one's fsync.
+//
+// Files: <dir>/<name>.snapshot.json (atomic replace) and <dir>/<name>.wal.
+// An acknowledged mutation is always recoverable from snapshot + WAL.
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gen/gen.hpp"
+#include "hercules/workflow_manager.hpp"
+#include "obs/metrics.hpp"
+#include "srv/group_commit.hpp"
+#include "srv/wire.hpp"
+
+namespace herc::srv {
+
+struct ShardOptions {
+  std::string dir = ".";  ///< where the snapshot and WAL live
+  bool durable = false;   ///< fsync group commits and snapshots
+  std::chrono::microseconds commit_window{200};
+  /// Off: plain per-run journal (one flush — durable: one fsync — per run).
+  /// The load driver uses this to measure what group commit buys.
+  bool group_commit = true;
+};
+
+class ProjectShard {
+ public:
+  /// New project from a generated scenario (the load driver's path): the
+  /// manager comes from gen::make_manager, the initial snapshot is written
+  /// and journaling starts.
+  [[nodiscard]] static util::Result<std::unique_ptr<ProjectShard>> create(
+      const std::string& name, const gen::Scenario& scenario,
+      const ShardOptions& options);
+
+  /// New project from schema DSL text.  Every tool type gets one simulated
+  /// instance named "<type>1" with the given nominal runtime, so the project
+  /// is executable over the wire without native tool closures.
+  [[nodiscard]] static util::Result<std::unique_ptr<ProjectShard>> create_from_dsl(
+      const std::string& name, const std::string& schema_dsl,
+      std::int64_t tool_minutes, const ShardOptions& options);
+
+  /// Reopens a project from its snapshot + WAL after a crash or restart,
+  /// re-registers simulated tools for every tool type, and restarts
+  /// journaling from a fresh post-recovery snapshot.
+  [[nodiscard]] static util::Result<std::unique_ptr<ProjectShard>> recover(
+      const std::string& name, std::int64_t tool_minutes,
+      const ShardOptions& options);
+
+  ~ProjectShard();
+  ProjectShard(const ProjectShard&) = delete;
+  ProjectShard& operator=(const ProjectShard&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string snapshot_path() const;
+  [[nodiscard]] std::string wal_path() const;
+
+  /// Executes one request against this shard.  Thread-safe; mutations are
+  /// serialized and acknowledged only once durable per the shard's options.
+  [[nodiscard]] wire::Response apply(const wire::Request& request);
+
+  /// Snapshot now (atomic replace; durable per options) and restart the WAL.
+  [[nodiscard]] util::Status snapshot();
+
+  /// Graceful shutdown: final group commit (fsync regardless of mode), then
+  /// a snapshot.  The shard stays usable afterwards; the server simply stops
+  /// routing to it.
+  [[nodiscard]] util::Status shutdown();
+
+  /// Per-shard counters: srv_requests, runs_executed (from the manager's
+  /// bus), group-commit stats, journal lines.
+  [[nodiscard]] util::Json stats_json() const;
+
+  /// The group committer (null when group_commit is off) — tests and the
+  /// load driver read its flush counters.
+  [[nodiscard]] GroupCommitter* committer() { return committer_.get(); }
+
+  /// Direct manager access for tests; callers must not race apply().
+  [[nodiscard]] hercules::WorkflowManager& manager_for_test() { return *manager_; }
+
+  /// TEST HOOK: models SIGKILL — queued journal lines vanish, no final
+  /// snapshot.  Only on-disk bytes survive for recover().
+  void simulate_crash();
+
+ private:
+  ProjectShard(std::string name, ShardOptions options);
+
+  /// Installs journaling (group committer or plain durable journal) over a
+  /// freshly built manager and writes the initial snapshot.
+  [[nodiscard]] util::Status start_journal();
+
+  /// Registers "<type>1" simulated tools for every tool type missing one.
+  static void register_default_tools(hercules::WorkflowManager& manager,
+                                     std::int64_t tool_minutes);
+
+  wire::Response dispatch(const wire::Request& request);
+  [[nodiscard]] util::Status snapshot_locked();
+  [[nodiscard]] util::Json stats_json_locked() const;
+
+  const std::string name_;
+  const ShardOptions options_;
+
+  mutable std::mutex mu_;  ///< serializes every manager access
+  std::unique_ptr<hercules::WorkflowManager> manager_;
+  std::unique_ptr<GroupCommitter> committer_;  ///< null when group_commit off
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  bool crashed_ = false;
+};
+
+}  // namespace herc::srv

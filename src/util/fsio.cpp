@@ -1,6 +1,11 @@
 #include "util/fsio.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -23,22 +28,86 @@ Status write_file(const std::string& path, std::string_view content) {
   return Status::ok_status();
 }
 
-Status write_file_atomic(const std::string& path, std::string_view content) {
+Status sync_parent_dir(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return invalid("cannot open directory '" + dir + "' for fsync");
+  // Some filesystems refuse fsync on directories (EINVAL); that is the best
+  // the platform offers, not an application error.
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && errno != EINVAL)
+    return invalid("fsync of directory '" + dir + "' failed: " +
+                   std::string(std::strerror(errno)));
+  return Status::ok_status();
+}
+
+Status write_file_atomic(const std::string& path, std::string_view content,
+                         bool durable) {
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return invalid("cannot write temp file '" + tmp + "'");
-    out << content;
-    out.flush();
-    if (!out) {
+    AppendFile out;
+    auto st = out.open_trunc(tmp);
+    if (!st.ok()) return st;
+    st = out.append(content);
+    if (!st.ok()) {
       std::remove(tmp.c_str());
-      return invalid("short write to temp file '" + tmp + "'");
+      return st;
+    }
+    if (durable) {
+      st = out.sync();
+      if (!st.ok()) {
+        std::remove(tmp.c_str());
+        return st;
+      }
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return invalid("cannot replace '" + path + "' (rename failed)");
   }
+  if (durable) return sync_parent_dir(path);
+  return Status::ok_status();
+}
+
+Status AppendFile::open_trunc(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) return invalid("cannot write file '" + path + "'");
+  path_ = path;
+  return Status::ok_status();
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status AppendFile::append(std::string_view data) {
+  if (fd_ < 0) return invalid("append to closed file '" + path_ + "'");
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return invalid("write to '" + path_ + "' failed: " +
+                     std::string(std::strerror(errno)));
+    }
+    if (n == 0) return invalid("short write to '" + path_ + "'");
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+Status AppendFile::sync() {
+  if (fd_ < 0) return invalid("sync of closed file '" + path_ + "'");
+  if (::fsync(fd_) != 0)
+    return invalid("fsync of '" + path_ + "' failed: " +
+                   std::string(std::strerror(errno)));
   return Status::ok_status();
 }
 

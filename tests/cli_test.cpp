@@ -7,8 +7,13 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "cli/cli.hpp"
 #include "common.hpp"
+#include "srv/server.hpp"
 #include "util/json.hpp"
 
 namespace herc::cli {
@@ -569,6 +574,57 @@ TEST(Cli, StatsFollowsTheProjectAcrossAdopt) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_GE(parsed.value().as_object().at("counters").as_object()
                 .at("plans_computed").as_int(), 2);
+}
+
+TEST(Cli, RemoteCommandsDriveAServer) {
+  namespace fs = std::filesystem;
+  const fs::path tmp =
+      fs::temp_directory_path() /
+      ("herc_cli_remote." + std::to_string(::getpid()));
+  fs::create_directories(tmp);
+  srv::ServerConfig config;
+  config.unix_path = (tmp / "srv.sock").string();
+  config.shard.dir = tmp.string();
+  config.workers = 2;
+  auto server = srv::Server::start(config);
+  ASSERT_TRUE(server.ok()) << server.error().str();
+
+  CliSession s;
+  EXPECT_NE(fail(s, "remote ping").find("not connected"), std::string::npos);
+  ok(s, "remote connect " + server.value()->unix_address());
+  EXPECT_NE(ok(s, "remote ping").find("pong"), std::string::npos);
+
+  // Open a generated project, drive it, and read it back — the CLI is a
+  // full wire client here; the project lives server-side.
+  ok(s, "remote open demo seed=7 shape=layered size=2");
+  EXPECT_NE(fail(s, "remote open demo seed=7").find("already open"),
+            std::string::npos);
+  ok(s, "remote demo plan");
+  auto executed = ok(s, "remote demo execute designer=alice");
+  EXPECT_NE(executed.find("runs"), std::string::npos);
+  EXPECT_NE(ok(s, "remote demo status").find("job"), std::string::npos);
+  EXPECT_NE(ok(s, "remote demo query select runs where designer = \"alice\"")
+                .find("alice"),
+            std::string::npos);
+  EXPECT_NE(ok(s, "remote projects").find("demo"), std::string::npos);
+
+  auto stats = util::Json::parse(ok(s, "remote stats"));
+  ASSERT_TRUE(stats.ok()) << stats.error().str();
+  EXPECT_GE(stats.value().as_object().at("totals").as_object()
+                .at("shards").as_int(), 1);
+
+  EXPECT_NE(fail(s, "remote demo bogus_op"), "");
+  EXPECT_NE(fail(s, "remote demo execute not-a-pair"), "");
+  ok(s, "remote close demo");
+  ok(s, "remote disconnect");
+  EXPECT_NE(fail(s, "remote ping").find("not connected"), std::string::npos);
+
+  // A local project coexists with (and survives) the remote session.
+  s.adopt(test::make_circuit_manager());
+  ok(s, "plan adder");
+
+  server.value()->stop();
+  fs::remove_all(tmp);
 }
 
 }  // namespace
