@@ -31,16 +31,18 @@ namespace fs = std::filesystem;
 
 /// In-process server on a unix socket under a private temp dir.
 struct ServerFixture {
-  explicit ServerFixture(bool group_commit) {
+  explicit ServerFixture(bool group_commit, bool snapshot_reads = true,
+                         int workers = 4) {
     dir = fs::temp_directory_path() /
           ("herc_bench_srv." + std::to_string(::getpid()) + "." +
            std::to_string(counter++));
     fs::create_directories(dir);
     srv::ServerConfig config;
     config.unix_path = (dir / "srv.sock").string();
-    config.workers = 4;
+    config.workers = workers;
     config.shard.dir = dir.string();
     config.shard.group_commit = group_commit;
+    config.shard.snapshot_reads = snapshot_reads;
     server = srv::Server::start(config).take();
   }
   ~ServerFixture() {
@@ -80,6 +82,45 @@ srv::LoadReport drive(bool group_commit) {
   return srv::run_load(options).take();
 }
 
+/// Read-heavy drive for the MVCC sweep: ONE hot project, `readers` manager
+/// threads polling it closed-loop plus one paced writer executing flows.
+/// `--read-mix 90` with readers+1 designers dedicates exactly `readers`
+/// threads to the read rotation for every sweep point used here.
+srv::LoadReport drive_read_mix(bool snapshot_reads, int readers) {
+  ServerFixture fixture(/*group_commit=*/true, snapshot_reads,
+                        /*workers=*/readers + 1);
+  srv::LoadOptions options;
+  options.address = fixture.server->unix_address();
+  options.projects = 1;
+  options.designers = readers + 1;
+  options.read_mix = 90;
+  options.rate_per_designer = 10.0;  // paced writer (see LoadOptions)
+  options.warmup_executes = 40;      // mid-flight project, both modes alike
+  options.duration = std::chrono::milliseconds(1000);
+  return srv::run_load(options).take();
+}
+
+void print_read_mix_artifact() {
+  std::cout << "P-srv-mvcc: snapshot reads vs single-mutex baseline "
+               "(1 hot project, N readers + 1 paced writer, 1s)\n\n";
+  std::cout << "  readers   snapshot reads/s   locked reads/s   speedup   "
+               "wr p99 snap/locked us\n";
+  for (int readers : {1, 2, 4, 8}) {
+    auto snap = drive_read_mix(/*snapshot_reads=*/true, readers);
+    auto locked = drive_read_mix(/*snapshot_reads=*/false, readers);
+    const double speedup = locked.reads_per_sec > 0
+                               ? snap.reads_per_sec / locked.reads_per_sec
+                               : 0.0;
+    std::printf("  %7d   %16.0f   %14.0f   %6.2fx   %8lld / %lld\n", readers,
+                snap.reads_per_sec, locked.reads_per_sec, speedup,
+                static_cast<long long>(snap.write_p99_us),
+                static_cast<long long>(locked.write_p99_us));
+  }
+  std::cout << "\n  (locked mode re-renders every response under the shard "
+               "mutex; snapshot mode\n   serves repeat reads from the pinned "
+               "epoch's memo and never takes the lock)\n\n";
+}
+
 void print_artifact() {
   std::cout << "P-srv: server front-end under closed-loop load "
                "(2 projects x 2 designers, 500ms)\n\n";
@@ -99,6 +140,7 @@ void print_artifact() {
   }
   std::cout << "\n  (same lines recovered either way; group commit batches "
                "them into far fewer flushes)\n\n";
+  print_read_mix_artifact();
 }
 
 // Pure protocol cost: frame-encode a request and parse it back, no sockets.
@@ -166,6 +208,35 @@ void BM_StatusRoundTrip(benchmark::State& state) {
         client->invoke("bench", "status").value().is_object());
 }
 BENCHMARK(BM_StatusRoundTrip);
+
+// A query round trip through the snapshot read lane: no shard mutex, the
+// second and later iterations are served from the pinned epoch's memo.
+void BM_QueryRoundTripSnapshot(benchmark::State& state) {
+  ServerFixture fixture(/*group_commit=*/true, /*snapshot_reads=*/true);
+  auto client = fixture.client_with_project("bench");
+  for (auto _ : state) {
+    util::JsonObject args;
+    args.set("statement", std::string("select schedule where critical = true"));
+    benchmark::DoNotOptimize(
+        client->invoke("bench", "query", std::move(args)).value().is_object());
+  }
+}
+BENCHMARK(BM_QueryRoundTripSnapshot);
+
+// The same query through the write lane (snapshot reads off): the pre-MVCC
+// model — shard mutex plus a fresh render per call.  The gap between these
+// two is the per-read cost the read lane removed.
+void BM_QueryRoundTripLocked(benchmark::State& state) {
+  ServerFixture fixture(/*group_commit=*/true, /*snapshot_reads=*/false);
+  auto client = fixture.client_with_project("bench");
+  for (auto _ : state) {
+    util::JsonObject args;
+    args.set("statement", std::string("select schedule where critical = true"));
+    benchmark::DoNotOptimize(
+        client->invoke("bench", "query", std::move(args)).value().is_object());
+  }
+}
+BENCHMARK(BM_QueryRoundTripLocked);
 
 }  // namespace
 

@@ -806,9 +806,28 @@ util::Result<std::string> CliSession::cmd_trace(const Args& args) {
 util::Result<std::string> CliSession::cmd_stats(const Args& args) {
   auto m = need_manager();
   if (!m.ok()) return m.error();
-  if (args.size() == 2 && args[1] == "json") return metrics_->json().dump() + "\n";
+  // Snapshot health rides along with the metrics: which epoch the project
+  // is at, how many views were ever published, and how many are still
+  // pinned (live > 1 means a retired epoch is held by some reader).
+  const std::int64_t live = m.value()->snapshots_live();
+  if (args.size() == 2 && args[1] == "json") {
+    auto j = metrics_->json();
+    util::JsonObject sn;
+    sn.set("epoch", static_cast<std::int64_t>(m.value()->snapshot_epoch()));
+    sn.set("published",
+           static_cast<std::int64_t>(m.value()->snapshots_published()));
+    sn.set("live", live);
+    sn.set("retired_unreclaimed", live > 1 ? live - 1 : 0);
+    j.as_object().set("snapshots", util::Json(std::move(sn)));
+    return j.dump() + "\n";
+  }
   if (args.size() != 1) return util::invalid("stats [json]");
-  return metrics_->text();
+  std::string out = metrics_->text();
+  out += "snapshots:\n  epoch " + std::to_string(m.value()->snapshot_epoch()) +
+         "  published " + std::to_string(m.value()->snapshots_published()) +
+         "  live " + std::to_string(live) + "  retired-unreclaimed " +
+         std::to_string(live > 1 ? live - 1 : 0) + "\n";
+  return out;
 }
 
 util::Result<std::string> CliSession::cmd_browse_ops(const Args& args) {

@@ -29,6 +29,7 @@ ScheduleRunId ScheduleSpace::create_plan(const std::string& name, cal::WorkInsta
   p.derived_from = derived_from;
   plans_.push_back(std::move(p));
   ++version_;
+  ++plans_version_;
   return plans_.back().id;
 }
 
@@ -39,8 +40,11 @@ const ScheduleRun& ScheduleSpace::plan(ScheduleRunId id) const {
 }
 
 ScheduleRun& ScheduleSpace::plan_mut(ScheduleRunId id) {
+  if (!id.valid() || id.value() > plans_.size())
+    throw std::out_of_range("ScheduleSpace::plan: unknown id " + id.str());
   ++version_;  // conservative: handing out a mutable ref counts as a mutation
-  return const_cast<ScheduleRun&>(plan(id));
+  ++plans_version_;
+  return plans_.mutate(id.value() - 1);
 }
 
 std::optional<ScheduleRunId> ScheduleSpace::active_plan() const {
@@ -73,6 +77,7 @@ ScheduleNodeId ScheduleSpace::create_node(ScheduleRunId plan_id,
   plan_mut(plan_id).nodes.push_back(n.id);
   nodes_.push_back(std::move(n));
   ++version_;
+  ++nodes_version_;
   return nodes_.back().id;
 }
 
@@ -83,8 +88,11 @@ const ScheduleNode& ScheduleSpace::node(ScheduleNodeId id) const {
 }
 
 ScheduleNode& ScheduleSpace::node_mut(ScheduleNodeId id) {
+  if (!id.valid() || id.value() > nodes_.size())
+    throw std::out_of_range("ScheduleSpace::node: unknown id " + id.str());
   ++version_;  // conservative, see plan_mut
-  return const_cast<ScheduleNode&>(node(id));
+  ++nodes_version_;
+  return nodes_.mutate(id.value() - 1);
 }
 
 void ScheduleSpace::add_dep(ScheduleRunId plan_id, ScheduleNodeId from,
@@ -94,9 +102,9 @@ void ScheduleSpace::add_dep(ScheduleRunId plan_id, ScheduleNodeId from,
   plan_mut(plan_id).deps.push_back(ScheduleDep{from, to});
 }
 
-const std::vector<ScheduleNodeId>& ScheduleSpace::container(
+const util::CowVec<ScheduleNodeId>& ScheduleSpace::container(
     const std::string& activity) const {
-  static const std::vector<ScheduleNodeId> kEmpty;
+  static const util::CowVec<ScheduleNodeId> kEmpty;
   util::SymbolId sym = symbols_.find(activity);
   if (!sym.valid()) return kEmpty;
   auto it = containers_.find(sym);
@@ -125,6 +133,7 @@ util::Result<LinkId> ScheduleSpace::add_link(ScheduleNodeId node_id,
   l.linked_at = at;
   links_.push_back(l);
   ++version_;
+  ++links_version_;
   return links_.back().id;
 }
 

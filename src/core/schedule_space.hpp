@@ -13,6 +13,11 @@
 // designer declares to be the activity's final result.  Plans carry a
 // derived_from pointer, giving the plan-evolution metadata the paper's
 // second query class inspects.
+//
+// Snapshot semantics match meta::Database: the (default) copy constructor
+// takes an O(tables + containers) epoch snapshot — every table is a
+// util::CowVec sharing its buffer with the source.  The tracker's in-place
+// node/plan rewrites go through plan_mut/node_mut, which unshare lazily.
 
 #include <cstdint>
 #include <optional>
@@ -22,6 +27,7 @@
 
 #include "calendar/work_calendar.hpp"
 #include "metadata/database.hpp"
+#include "util/cow.hpp"
 #include "util/ids.hpp"
 #include "util/interner.hpp"
 #include "util/result.hpp"
@@ -103,10 +109,10 @@ class ScheduleSpace {
   ScheduleRunId create_plan(const std::string& name, cal::WorkInstant at,
                             ScheduleRunId derived_from = ScheduleRunId::invalid());
   [[nodiscard]] const ScheduleRun& plan(ScheduleRunId id) const;
-  /// Mutable plan access.  Conservatively bumps version() — callers
-  /// (planner, tracker, recovery) use it precisely to mutate.
+  /// Mutable plan access.  Conservatively bumps version() / plans_version()
+  /// — callers (planner, tracker, recovery) use it precisely to mutate.
   [[nodiscard]] ScheduleRun& plan_mut(ScheduleRunId id);
-  [[nodiscard]] const std::vector<ScheduleRun>& plans() const { return plans_; }
+  [[nodiscard]] const util::CowVec<ScheduleRun>& plans() const { return plans_; }
 
   /// Most recently created plan, if any.
   [[nodiscard]] std::optional<ScheduleRunId> active_plan() const;
@@ -118,7 +124,7 @@ class ScheduleSpace {
   ScheduleNodeId create_node(ScheduleRunId plan, const std::string& activity,
                              schema::RuleId rule);
   [[nodiscard]] const ScheduleNode& node(ScheduleNodeId id) const;
-  /// Mutable node access; bumps version() like plan_mut.
+  /// Mutable node access; bumps version() / nodes_version() like plan_mut.
   [[nodiscard]] ScheduleNode& node_mut(ScheduleNodeId id);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
@@ -127,7 +133,7 @@ class ScheduleSpace {
   /// Schedule-instance container of one activity, across plans, in creation
   /// order (SC1, SC2, ... in the paper's Fig. 5).  Reference is stable until
   /// the next create_node of the same activity.
-  [[nodiscard]] const std::vector<ScheduleNodeId>& container(
+  [[nodiscard]] const util::CowVec<ScheduleNodeId>& container(
       const std::string& activity) const;
 
   /// Node for `activity` in a given plan, if the plan covers it.
@@ -138,7 +144,7 @@ class ScheduleSpace {
   /// Records a completion link.  kConflict if the node is already linked.
   util::Result<LinkId> add_link(ScheduleNodeId node, meta::EntityInstanceId instance,
                                 cal::WorkInstant at);
-  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const util::CowVec<Link>& links() const { return links_; }
   [[nodiscard]] std::optional<LinkId> link_of(ScheduleNodeId node) const;
 
   /// Multi-line dump of the schedule-space containers (Figs. 5-7, schedule
@@ -151,16 +157,28 @@ class ScheduleSpace {
 
   /// Monotonic mutation counter.  Bumped by every mutating entry point,
   /// including plan_mut/node_mut (the tracker and planner mutate through
-  /// those), so the query result cache can key on it.
+  /// those).  Coarse dirtiness check; the query cache validates on the
+  /// per-table versions below.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
+  /// Per-table mutation counters (see meta::Database for the contract):
+  /// plans_version covers plan fields + node/dep membership lists,
+  /// nodes_version covers node fields and the per-activity containers,
+  /// links_version covers completion links.
+  [[nodiscard]] std::uint64_t plans_version() const { return plans_version_; }
+  [[nodiscard]] std::uint64_t nodes_version() const { return nodes_version_; }
+  [[nodiscard]] std::uint64_t links_version() const { return links_version_; }
+
  private:
-  std::vector<ScheduleRun> plans_;   // index = id - 1
-  std::vector<ScheduleNode> nodes_;  // index = id - 1
-  std::vector<Link> links_;          // index = id - 1
-  std::unordered_map<util::SymbolId, std::vector<ScheduleNodeId>> containers_;
+  util::CowVec<ScheduleRun> plans_;   // index = id - 1
+  util::CowVec<ScheduleNode> nodes_;  // index = id - 1
+  util::CowVec<Link> links_;          // index = id - 1
+  std::unordered_map<util::SymbolId, util::CowVec<ScheduleNodeId>> containers_;
   util::SymbolPool symbols_;
   std::uint64_t version_ = 0;
+  std::uint64_t plans_version_ = 0;
+  std::uint64_t nodes_version_ = 0;
+  std::uint64_t links_version_ = 0;
 };
 
 }  // namespace herc::sched

@@ -6,6 +6,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -651,6 +653,108 @@ void check_query(const Scenario& scenario, Mutation mutation, Failures& fail) {
   // The repeats above must actually exercise the cache, not just match.
   if (fast.stats().cache_hits == 0)
     fail.add(kOracleQuery, "query.stats", "fast engine never served a cache hit");
+
+  // --- threaded phase: a real mutator racing real readers -------------------
+  //
+  // The single-threaded checks above prove the paths agree on quiescent
+  // state.  This phase proves the MVCC contract: while one thread mutates
+  // the manager and publishes epoch snapshots (the shard's write lane),
+  // reader threads pin whatever view is current and re-run the differential
+  // per epoch — scan, index, and cached/memoized paths must render
+  // byte-identical results AGAINST THE PINNED EPOCH no matter what the
+  // mutator is doing meanwhile.  Epochs observed by one reader must be
+  // monotonic.  Run under TSan this also proves the lanes share no
+  // unsynchronized state (COW snapshots, internally locked engine cache).
+  hercules::ViewSlot published;
+  published.store(m->read_view());
+  std::atomic<bool> mutating{true};
+  const std::vector<std::string> hot = {
+      "select runs where status = \"failed\" order by started desc",
+      "select instances where type = \"" + scenario.graph.target + "\" limit 5",
+      "select schedule where critical = true",
+      "select plans",
+  };
+
+  auto reader = [&](std::vector<std::string>& errors) {
+    query::QueryEngine scan_engine(m->db(), m->schedule_space());
+    scan_engine.set_options({.use_index = false, .use_cache = false});
+    query::QueryEngine index_engine(m->db(), m->schedule_space());
+    index_engine.set_options({.use_cache = false});
+    std::uint64_t last_epoch = 0;
+    do {
+      std::shared_ptr<const hercules::ReadView> view = published.load();
+      if (!view) continue;
+      if (view->epoch() < last_epoch) {
+        errors.push_back("epoch went backwards: " +
+                         std::to_string(view->epoch()) + " after " +
+                         std::to_string(last_epoch));
+        return;
+      }
+      last_epoch = view->epoch();
+      for (const auto& s : hot) {
+        auto scan = scan_engine.execute(s, view->db(), view->space());
+        auto indexed = index_engine.execute(s, view->db(), view->space());
+        auto memo1 = view->query(s);
+        auto memo2 = view->query(s);  // memo hit must replay the same bytes
+        std::string want = query_bytes(scan);
+        std::string cached1 =
+            memo1.ok() ? memo1.value() : "error: " + memo1.error().message;
+        std::string cached2 =
+            memo2.ok() ? memo2.value() : "error: " + memo2.error().message;
+        std::string rendered = want;
+        if (scan.ok()) rendered = scan.value().render(&m->calendar());
+        if (query_bytes(indexed) != want) {
+          errors.push_back("epoch " + std::to_string(view->epoch()) +
+                           ": index differs from scan for '" + s + "'");
+          return;
+        }
+        if (cached1 != rendered || cached2 != rendered) {
+          errors.push_back("epoch " + std::to_string(view->epoch()) +
+                           ": view memo differs from scan for '" + s + "'");
+          return;
+        }
+      }
+    } while (mutating.load(std::memory_order_acquire));
+  };
+
+  std::vector<std::string> errors_a, errors_b;
+  std::thread reader_a([&] { reader(errors_a); });
+  std::thread reader_b([&] { reader(errors_b); });
+
+  // The mutator: the same mutation kinds the single-threaded phase used,
+  // applied in a burst, each followed by an epoch publish (write-lane shape).
+  for (int i = 0; i < 24; ++i) {
+    switch (i % 3) {
+      case 0: {
+        meta::Run burst;
+        burst.activity = act;
+        burst.tool_binding = "t1";
+        burst.designer = "fuzz";
+        burst.status = meta::RunStatus::kFailed;
+        burst.started_at = m->clock().now();
+        burst.finished_at = m->clock().now();
+        (void)m->db().record_run(std::move(burst));
+        break;
+      }
+      case 1:
+        (void)m->db().create_instance(scenario.graph.target,
+                                      "burst.in" + std::to_string(i),
+                                      meta::RunId{}, util::DataObjectId{},
+                                      m->clock().now());
+        break;
+      default:
+        (void)m->replan_task("job", {.anchor = m->clock().now()});
+        break;
+    }
+    published.store(m->read_view());
+  }
+  mutating.store(false, std::memory_order_release);
+  reader_a.join();
+  reader_b.join();
+  for (const auto& e : errors_a)
+    fail.add(kOracleQuery, "query.threaded", e);
+  for (const auto& e : errors_b)
+    fail.add(kOracleQuery, "query.threaded", e);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+#include "hercules/read_view.hpp"
+
+#include "gantt/gantt.hpp"
+#include "track/status.hpp"
+
+namespace herc::hercules {
+
+std::optional<sched::ScheduleRunId> ReadView::plan_of(
+    const std::string& task) const {
+  auto it = plan_by_task_.find(task);
+  if (it == plan_by_task_.end()) return std::nullopt;
+  return it->second;
+}
+
+util::Result<std::string> ReadView::memoized(
+    std::string key,
+    const std::function<util::Result<std::string>()>& compute) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  auto result = compute();
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+util::Result<std::string> ReadView::gantt(const std::string& task) const {
+  return memoized("gantt\n" + task, [&]() -> util::Result<std::string> {
+    auto plan = plan_of(task);
+    if (!plan) return util::conflict("gantt: task '" + task + "' has no plan");
+    return herc::gantt::render_gantt(space_, *calendar_, *plan, now_);
+  });
+}
+
+util::Result<std::string> ReadView::status_report(const std::string& task) const {
+  return memoized("status\n" + task, [&]() -> util::Result<std::string> {
+    auto plan = plan_of(task);
+    if (!plan) return util::conflict("status: task '" + task + "' has no plan");
+    return track::render_status_report(space_, db_, *calendar_, *plan, now_);
+  });
+}
+
+util::Result<std::string> ReadView::query(std::string_view statement) const {
+  return memoized("query\n" + std::string(statement),
+                  [&]() -> util::Result<std::string> {
+                    auto result = engine_->execute(statement, db_, space_);
+                    if (!result.ok()) return result.error();
+                    return result.value().render(calendar_);
+                  });
+}
+
+util::Result<std::string> ReadView::explain(std::string_view statement) const {
+  return memoized("explain\n" + std::string(statement),
+                  [&]() -> util::Result<std::string> {
+                    return engine_->explain(statement, db_, space_);
+                  });
+}
+
+}  // namespace herc::hercules

@@ -258,6 +258,32 @@ util::Result<std::string> WorkflowManager::explain(std::string_view statement) c
   return query_engine_->explain(statement);
 }
 
+std::shared_ptr<const ReadView> WorkflowManager::read_view() {
+  const std::uint64_t dbv = db_->version();
+  const std::uint64_t spv = space_->version();
+  const std::int64_t now_min = clock_.now().minutes_since_epoch();
+  if (view_cache_ && view_db_version_ == dbv && view_space_version_ == spv &&
+      view_clock_minutes_ == now_min) {
+    return view_cache_;
+  }
+  auto stats = snapshot_stats_;
+  auto* view = new ReadView(++view_epoch_, *db_, *space_, clock_.now(),
+                            plan_by_task_, &calendar_, query_engine_.get());
+  stats->published.fetch_add(1, std::memory_order_relaxed);
+  stats->live.fetch_add(1, std::memory_order_relaxed);
+  // The deleter may run on any reader thread — it touches only the shared
+  // atomic stats block, which it keeps alive by value capture.
+  view_cache_ = std::shared_ptr<const ReadView>(
+      view, [stats](const ReadView* v) {
+        stats->live.fetch_sub(1, std::memory_order_relaxed);
+        delete v;
+      });
+  view_db_version_ = dbv;
+  view_space_version_ = spv;
+  view_clock_minutes_ = now_min;
+  return view_cache_;
+}
+
 std::string WorkflowManager::dump_database() const {
   std::string out = "=== Hercules database (" + schema_->name() + ") at " +
                     calendar_.format(clock_.now()) + " ===\n";

@@ -31,6 +31,7 @@
 #include "track/status.hpp"
 
 #include "hercules/journal.hpp"
+#include "hercules/read_view.hpp"
 
 namespace herc::hercules {
 
@@ -179,6 +180,26 @@ class WorkflowManager {
   /// Both Level-3 spaces plus links — the paper's Figs. 5-7 database dumps.
   [[nodiscard]] std::string dump_database() const;
 
+  // --- snapshot reads --------------------------------------------------------
+  /// The current epoch snapshot.  Cheap when nothing changed since the last
+  /// call (returns the cached view); otherwise publishes a fresh epoch via
+  /// the spaces' copy-on-write tables.  Must be called serialized with
+  /// mutators (the server calls it from the write lane); the RETURNED view
+  /// is then safe to read from any thread for as long as it is held.
+  [[nodiscard]] std::shared_ptr<const ReadView> read_view();
+
+  /// Epoch of the most recently published view (0 = none published yet).
+  [[nodiscard]] std::uint64_t snapshot_epoch() const { return view_epoch_; }
+  /// Distinct epoch snapshots built so far.
+  [[nodiscard]] std::uint64_t snapshots_published() const {
+    return snapshot_stats_->published.load(std::memory_order_relaxed);
+  }
+  /// Snapshots not yet reclaimed (>= 1 once anything was published: the
+  /// manager itself keeps the newest alive as its cache).
+  [[nodiscard]] std::int64_t snapshots_live() const {
+    return snapshot_stats_->live.load(std::memory_order_relaxed);
+  }
+
  private:
   WorkflowManager(schema::TaskSchema parsed, cal::WorkCalendar::Config calendar_config,
                   std::uint64_t tool_seed);
@@ -218,6 +239,16 @@ class WorkflowManager {
   exec::ExecutionOptions exec_options_;
   std::map<std::string, flow::TaskTree> tasks_;
   std::map<std::string, sched::ScheduleRunId> plan_by_task_;
+
+  // Snapshot publication state (written only by read_view(), i.e. under the
+  // caller's mutator serialization; the stats block itself is atomic because
+  // view deleters run on reader threads).
+  std::shared_ptr<SnapshotStats> snapshot_stats_ = std::make_shared<SnapshotStats>();
+  std::shared_ptr<const ReadView> view_cache_;
+  std::uint64_t view_epoch_ = 0;
+  std::uint64_t view_db_version_ = 0;
+  std::uint64_t view_space_version_ = 0;
+  std::int64_t view_clock_minutes_ = -1;
 
   friend class Persistence;
 };

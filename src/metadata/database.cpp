@@ -24,6 +24,25 @@ Database::Database(const schema::TaskSchema& schema) : schema_(&schema) {
   for (const auto& t : schema.types()) containers_[t.name];
 }
 
+Database::Database(const Database& other)
+    : schema_(other.schema_),
+      instances_(other.instances_),
+      runs_(other.runs_),
+      resources_(other.resources_),
+      containers_(other.containers_),
+      version_counters_(other.version_counters_),
+      // observers_ deliberately empty: a snapshot never notifies anyone.
+      symbols_(other.symbols_),
+      runs_by_activity_(other.runs_by_activity_),
+      runs_by_designer_(other.runs_by_designer_),
+      runs_by_tool_(other.runs_by_tool_),
+      runs_by_status_(other.runs_by_status_),
+      instances_by_name_(other.instances_by_name_),
+      version_(other.version_),
+      instances_version_(other.instances_version_),
+      runs_version_(other.runs_version_),
+      resources_version_(other.resources_version_) {}
+
 void Database::remove_observer(DatabaseObserver* obs) {
   observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
                    observers_.end());
@@ -32,6 +51,7 @@ void Database::remove_observer(DatabaseObserver* obs) {
 ResourceId Database::add_resource(const std::string& name, const std::string& kind,
                                   int capacity) {
   ++version_;
+  ++resources_version_;
   Resource r;
   r.id = ResourceId{resources_.size() + 1};
   r.name = name;
@@ -46,10 +66,11 @@ util::Status Database::add_time_off(ResourceId id, cal::WorkInstant from,
   if (!id.valid() || id.value() > resources_.size())
     return util::not_found("add_time_off: unknown resource " + id.str());
   if (to <= from) return util::invalid("add_time_off: window is empty or reversed");
-  auto& windows = resources_[id.value() - 1].time_off;
+  auto& windows = resources_.mutate(id.value() - 1).time_off;
   windows.emplace_back(from, to);
   std::sort(windows.begin(), windows.end());
   ++version_;
+  ++resources_version_;
   return util::Status::ok_status();
 }
 
@@ -88,9 +109,9 @@ util::Result<EntityInstanceId> Database::create_instance(const std::string& type
   e.name_sym = symbols_.intern(name);
   containers_[type_name].push_back(e.id);
   instances_by_name_[e.name_sym].push_back(e.id);
-  if (produced_by.valid()) produced_by_run_[e.id] = produced_by;
   instances_.push_back(e);
   ++version_;
+  ++instances_version_;
   notify_instance(instances_.back());
   return instances_.back().id;
 }
@@ -102,23 +123,23 @@ const EntityInstance& Database::instance(EntityInstanceId id) const {
 }
 
 namespace {
-const std::vector<EntityInstanceId>& empty_instances() {
-  static const std::vector<EntityInstanceId> kEmpty;
+const util::CowVec<EntityInstanceId>& empty_instances() {
+  static const util::CowVec<EntityInstanceId> kEmpty;
   return kEmpty;
 }
-const std::vector<RunId>& empty_runs() {
-  static const std::vector<RunId> kEmpty;
+const util::CowVec<RunId>& empty_runs() {
+  static const util::CowVec<RunId> kEmpty;
   return kEmpty;
 }
 }  // namespace
 
-const std::vector<EntityInstanceId>& Database::container(
+const util::CowVec<EntityInstanceId>& Database::container(
     const std::string& type_name) const {
   auto it = containers_.find(type_name);
   return it == containers_.end() ? empty_instances() : it->second;
 }
 
-const std::vector<EntityInstanceId>& Database::instances_named(
+const util::CowVec<EntityInstanceId>& Database::instances_named(
     const std::string& name) const {
   util::SymbolId sym = symbols_.find(name);
   if (!sym.valid()) return empty_instances();
@@ -127,9 +148,10 @@ const std::vector<EntityInstanceId>& Database::instances_named(
 }
 
 std::optional<RunId> Database::producing_run(EntityInstanceId id) const {
-  auto it = produced_by_run_.find(id);
-  if (it == produced_by_run_.end()) return std::nullopt;
-  return it->second;
+  if (!id.valid() || id.value() > instances_.size()) return std::nullopt;
+  const EntityInstance& e = instances_[id.value() - 1];
+  if (!e.produced_by.valid()) return std::nullopt;
+  return e.produced_by;
 }
 
 std::optional<EntityInstanceId> Database::latest_in_container(
@@ -178,20 +200,22 @@ util::Result<RunId> Database::record_run(Run r) {
   runs_by_designer_[r.designer_sym].push_back(r.id);
   runs_by_tool_[r.tool_sym].push_back(r.id);
   runs_by_status_[static_cast<std::size_t>(r.status)].push_back(r.id);
-  runs_.push_back(std::move(r));
 
   // Back-link: the output instance's producer is this run.  create_instance
   // may have been called with an invalid RunId when the run id was not yet
-  // known; patch it now (and mirror it into the producing-run index).
-  Run& stored = runs_.back();
-  if (stored.output.valid()) {
-    EntityInstance& out = instances_[stored.output.value() - 1];
-    if (!out.produced_by.valid()) out.produced_by = stored.id;
-    produced_by_run_.emplace(stored.output, out.produced_by);
+  // known; patch it now.  This is the one in-place rewrite of the instance
+  // table, so it (alone among run mutations) bumps instances_version.
+  if (r.output.valid() &&
+      !instances_[r.output.value() - 1].produced_by.valid()) {
+    instances_.mutate(r.output.value() - 1).produced_by = r.id;
+    ++instances_version_;
   }
+
+  runs_.push_back(std::move(r));
   ++version_;
-  notify_run(stored);
-  return stored.id;
+  ++runs_version_;
+  notify_run(runs_.back());
+  return runs_.back().id;
 }
 
 const Run& Database::run(RunId id) const {
@@ -200,28 +224,28 @@ const Run& Database::run(RunId id) const {
   return runs_[id.value() - 1];
 }
 
-const std::vector<RunId>& Database::runs_of_activity(const std::string& activity) const {
+const util::CowVec<RunId>& Database::runs_of_activity(const std::string& activity) const {
   util::SymbolId sym = symbols_.find(activity);
   if (!sym.valid()) return empty_runs();
   auto it = runs_by_activity_.find(sym);
   return it == runs_by_activity_.end() ? empty_runs() : it->second;
 }
 
-const std::vector<RunId>& Database::runs_of_designer(const std::string& designer) const {
+const util::CowVec<RunId>& Database::runs_of_designer(const std::string& designer) const {
   util::SymbolId sym = symbols_.find(designer);
   if (!sym.valid()) return empty_runs();
   auto it = runs_by_designer_.find(sym);
   return it == runs_by_designer_.end() ? empty_runs() : it->second;
 }
 
-const std::vector<RunId>& Database::runs_of_tool(const std::string& tool) const {
+const util::CowVec<RunId>& Database::runs_of_tool(const std::string& tool) const {
   util::SymbolId sym = symbols_.find(tool);
   if (!sym.valid()) return empty_runs();
   auto it = runs_by_tool_.find(sym);
   return it == runs_by_tool_.end() ? empty_runs() : it->second;
 }
 
-const std::vector<RunId>& Database::runs_with_status(RunStatus status) const {
+const util::CowVec<RunId>& Database::runs_with_status(RunStatus status) const {
   return runs_by_status_[static_cast<std::size_t>(status)];
 }
 

@@ -15,6 +15,13 @@
 // The database publishes mutation events; the schedule tracker (herc::sched)
 // subscribes to implement the paper's "schedule plan updates automatically
 // as the design flow is executed".
+//
+// Snapshot semantics: the copy constructor takes an O(tables + index keys)
+// epoch snapshot — every table and index posting list is a util::CowVec
+// sharing its buffer with the source, and the symbol pool shares its lookup
+// map.  The copy is a fully functional read-only Database (observers are
+// not carried over); the writer unshares lazily on the rare in-place
+// rewrite.  Readers of a snapshot race with nothing.
 
 #include <array>
 #include <cstdint>
@@ -26,6 +33,7 @@
 
 #include "calendar/work_calendar.hpp"
 #include "schema/schema.hpp"
+#include "util/cow.hpp"
 #include "util/ids.hpp"
 #include "util/interner.hpp"
 #include "util/result.hpp"
@@ -109,6 +117,12 @@ class Database {
   /// schema into containers.
   explicit Database(const schema::TaskSchema& schema);
 
+  /// Epoch snapshot: O(1) per table/posting list (see file comment).  The
+  /// copy observes nothing (observers_ stays empty) and is intended to be
+  /// read-only; the schema must outlive it.
+  Database(const Database& other);
+  Database& operator=(const Database&) = delete;
+
   [[nodiscard]] const schema::TaskSchema& schema() const { return *schema_; }
 
   // --- observers ---------------------------------------------------------
@@ -124,7 +138,7 @@ class Database {
   util::Status add_time_off(ResourceId id, cal::WorkInstant from, cal::WorkInstant to);
   [[nodiscard]] std::optional<ResourceId> find_resource(const std::string& name) const;
   [[nodiscard]] const Resource& resource(ResourceId id) const;
-  [[nodiscard]] const std::vector<Resource>& resources() const { return resources_; }
+  [[nodiscard]] const util::CowVec<Resource>& resources() const { return resources_; }
 
   // --- instances ---------------------------------------------------------
   /// Creates an instance in the container of `type_name`.  `produced_by` may
@@ -137,22 +151,22 @@ class Database {
 
   [[nodiscard]] const EntityInstance& instance(EntityInstanceId id) const;
   [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
-  [[nodiscard]] const std::vector<EntityInstance>& instances() const {
+  [[nodiscard]] const util::CowVec<EntityInstance>& instances() const {
     return instances_;
   }
 
   /// Contents of one entity container, in creation order.  The reference is
   /// stable until the next create_instance for the same type.
-  [[nodiscard]] const std::vector<EntityInstanceId>& container(
+  [[nodiscard]] const util::CowVec<EntityInstanceId>& container(
       const std::string& type_name) const;
 
   /// Instances carrying a given design-data name, across types, in creation
   /// order (secondary index; same reference-stability rule as container()).
-  [[nodiscard]] const std::vector<EntityInstanceId>& instances_named(
+  [[nodiscard]] const util::CowVec<EntityInstanceId>& instances_named(
       const std::string& name) const;
 
-  /// The run that produced `id`; nullopt for imports (secondary index over
-  /// the produced_by back-link).
+  /// The run that produced `id`; nullopt for imports or unknown ids (reads
+  /// the produced_by back-link, patched by record_run).
   [[nodiscard]] std::optional<RunId> producing_run(EntityInstanceId id) const;
 
   /// Latest instance in a container, if any.
@@ -175,20 +189,20 @@ class Database {
 
   [[nodiscard]] const Run& run(RunId id) const;
   [[nodiscard]] std::size_t run_count() const { return runs_.size(); }
-  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+  [[nodiscard]] const util::CowVec<Run>& runs() const { return runs_; }
 
   /// All runs of an activity in execution order.  Returns a reference into
   /// the maintained index (empty static for unknown activities); stable until
   /// the next record_run of the same activity.
-  [[nodiscard]] const std::vector<RunId>& runs_of_activity(
+  [[nodiscard]] const util::CowVec<RunId>& runs_of_activity(
       const std::string& activity) const;
 
   /// All runs by one designer / one tool binding / one status, in execution
   /// order (maintained secondary indexes, same stability rule).
-  [[nodiscard]] const std::vector<RunId>& runs_of_designer(
+  [[nodiscard]] const util::CowVec<RunId>& runs_of_designer(
       const std::string& designer) const;
-  [[nodiscard]] const std::vector<RunId>& runs_of_tool(const std::string& tool) const;
-  [[nodiscard]] const std::vector<RunId>& runs_with_status(RunStatus status) const;
+  [[nodiscard]] const util::CowVec<RunId>& runs_of_tool(const std::string& tool) const;
+  [[nodiscard]] const util::CowVec<RunId>& runs_with_status(RunStatus status) const;
 
   /// Last completed run of an activity, if any.
   [[nodiscard]] std::optional<RunId> last_completed_run(
@@ -204,19 +218,29 @@ class Database {
   [[nodiscard]] const util::SymbolPool& symbols() const { return symbols_; }
 
   /// Monotonic mutation counter: bumped by every create_instance /
-  /// record_run / add_resource / add_time_off.  The query result cache keys
-  /// on it to invalidate cached rows after any mutation.
+  /// record_run / add_resource / add_time_off.  Coarse dirtiness check
+  /// (snapshot publication); the query cache validates on the fine-grained
+  /// per-table versions below.
   [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Per-table mutation counters: a counter moves only when its table (or
+  /// an index derived from it) can have changed, so a run append does not
+  /// invalidate cached instance-only query results.  instances_version also
+  /// covers the container/name indexes and the produced_by back-link patch
+  /// record_run applies to its output instance.
+  [[nodiscard]] std::uint64_t instances_version() const { return instances_version_; }
+  [[nodiscard]] std::uint64_t runs_version() const { return runs_version_; }
+  [[nodiscard]] std::uint64_t resources_version() const { return resources_version_; }
 
  private:
   void notify_instance(const EntityInstance& e);
   void notify_run(const Run& r);
 
   const schema::TaskSchema* schema_;
-  std::vector<EntityInstance> instances_;  // index = id - 1
-  std::vector<Run> runs_;                  // index = id - 1
-  std::vector<Resource> resources_;        // index = id - 1
-  std::unordered_map<std::string, std::vector<EntityInstanceId>> containers_;
+  util::CowVec<EntityInstance> instances_;  // index = id - 1
+  util::CowVec<Run> runs_;                  // index = id - 1
+  util::CowVec<Resource> resources_;        // index = id - 1
+  std::unordered_map<std::string, util::CowVec<EntityInstanceId>> containers_;
   std::unordered_map<std::string, int> version_counters_;  // key: type|name
   std::vector<DatabaseObserver*> observers_;
 
@@ -225,13 +249,15 @@ class Database {
   // mutations through those entry points).  Keyed by SymbolId so lookups
   // hash one integer.
   util::SymbolPool symbols_;
-  std::unordered_map<util::SymbolId, std::vector<RunId>> runs_by_activity_;
-  std::unordered_map<util::SymbolId, std::vector<RunId>> runs_by_designer_;
-  std::unordered_map<util::SymbolId, std::vector<RunId>> runs_by_tool_;
-  std::array<std::vector<RunId>, 2> runs_by_status_;  // index = RunStatus
-  std::unordered_map<util::SymbolId, std::vector<EntityInstanceId>> instances_by_name_;
-  std::unordered_map<EntityInstanceId, RunId> produced_by_run_;
+  std::unordered_map<util::SymbolId, util::CowVec<RunId>> runs_by_activity_;
+  std::unordered_map<util::SymbolId, util::CowVec<RunId>> runs_by_designer_;
+  std::unordered_map<util::SymbolId, util::CowVec<RunId>> runs_by_tool_;
+  std::array<util::CowVec<RunId>, 2> runs_by_status_;  // index = RunStatus
+  std::unordered_map<util::SymbolId, util::CowVec<EntityInstanceId>> instances_by_name_;
   std::uint64_t version_ = 0;
+  std::uint64_t instances_version_ = 0;
+  std::uint64_t runs_version_ = 0;
+  std::uint64_t resources_version_ = 0;
 };
 
 }  // namespace herc::meta

@@ -140,6 +140,13 @@ struct EngineStats {
 };
 
 /// Executes queries against one database + schedule space pair.
+///
+/// Thread-safety: execute()/explain() are safe to call concurrently (the
+/// result cache and counters sit behind an internal mutex) PROVIDED each
+/// call's data is not mutated underneath it — either pass an immutable
+/// epoch snapshot via the explicit (db, space) overloads, or serialize with
+/// mutators externally.  The cache is shared across snapshots; per-target
+/// version stamps keep entries from different epochs straight.
 class QueryEngine {
  public:
   /// `bus` (optional) receives one query_executed event per execute() call,
@@ -155,11 +162,27 @@ class QueryEngine {
   /// Parses and executes in one step.
   [[nodiscard]] util::Result<QueryResult> execute(std::string_view text) const;
 
+  /// Snapshot execution: same pipeline, but rows, indexes, and symbol
+  /// probes all come from the given (db, space) — typically a pinned
+  /// hercules::ReadView — instead of the pair the engine was built over.
+  [[nodiscard]] util::Result<QueryResult> execute(
+      const Query& q, const meta::Database& db,
+      const sched::ScheduleSpace& space) const;
+  [[nodiscard]] util::Result<QueryResult> execute(
+      std::string_view text, const meta::Database& db,
+      const sched::ScheduleSpace& space) const;
+
   /// Describes how the query would execute: chosen access path (index seek
   /// vs full scan), residual conditions, and whether the result cache would
   /// serve it.  Validates exactly like execute() without touching any row.
   [[nodiscard]] util::Result<std::string> explain(const Query& q) const;
   [[nodiscard]] util::Result<std::string> explain(std::string_view text) const;
+  [[nodiscard]] util::Result<std::string> explain(
+      const Query& q, const meta::Database& db,
+      const sched::ScheduleSpace& space) const;
+  [[nodiscard]] util::Result<std::string> explain(
+      std::string_view text, const meta::Database& db,
+      const sched::ScheduleSpace& space) const;
 
   void set_options(const EngineOptions& options) { options_ = options; }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
@@ -179,7 +202,9 @@ class QueryEngine {
   struct ExecInfo;
   /// The evaluation itself, unobserved; execute() wraps it with timing,
   /// caching and stats.
-  [[nodiscard]] util::Result<QueryResult> run(const Query& q, ExecInfo& info) const;
+  [[nodiscard]] util::Result<QueryResult> run(const Query& q, ExecInfo& info,
+                                              const meta::Database& db,
+                                              const sched::ScheduleSpace& space) const;
   [[nodiscard]] static std::vector<std::string> columns_for(Target t);
 
   const meta::Database* db_;

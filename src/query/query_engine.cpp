@@ -98,7 +98,9 @@ struct QueryEngine::ExecInfo {
   std::size_t leaf_count = 0;
 };
 
-util::Result<QueryResult> QueryEngine::run(const Query& q, ExecInfo& info) const {
+util::Result<QueryResult> QueryEngine::run(const Query& q, ExecInfo& info,
+                                           const meta::Database& db,
+                                           const sched::ScheduleSpace& space) const {
   QueryResult result;
   result.columns = columns_for(q.target);
   const std::size_t ncols = result.columns.size();
@@ -109,7 +111,7 @@ util::Result<QueryResult> QueryEngine::run(const Query& q, ExecInfo& info) const
     return std::nullopt;
   };
 
-  auto src = make_row_source(q.target, *db_, *space_);
+  auto src = make_row_source(q.target, db, space);
 
   // Validate + compile the filter once (unknown fields error exactly like
   // the seed engine, first offender in depth-first order).
@@ -146,7 +148,7 @@ util::Result<QueryResult> QueryEngine::run(const Query& q, ExecInfo& info) const
   // leaf hits a secondary index; full scan otherwise.  Candidate rows are
   // ascending, so both paths emit rows in the same (id) order.
   AccessPath path;
-  if (options_.use_index && q.where) path = plan_access(*q.where, q.target, *db_, *space_);
+  if (options_.use_index && q.where) path = plan_access(*q.where, q.target, db, space);
 
   std::vector<std::vector<Value>> kept;
   std::vector<char> scratch;
@@ -248,17 +250,23 @@ util::Result<QueryResult> QueryEngine::run(const Query& q, ExecInfo& info) const
 }
 
 util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
+  return execute(q, *db_, *space_);
+}
+
+util::Result<QueryResult> QueryEngine::execute(
+    const Query& q, const meta::Database& db,
+    const sched::ScheduleSpace& space) const {
   const bool observed = obs::on(bus_);
   const std::int64_t t0 = observed ? obs::EventBus::wall_now_ns() : 0;
   const std::string key = q.str();
+  const VersionStamp stamp = target_stamp(q.target, db, space);
 
   bool cache_hit = false;
   ExecInfo info;
   util::Result<QueryResult> result = util::Result<QueryResult>(QueryResult{});
   if (options_.use_cache) {
     std::lock_guard<std::mutex> lock(mu_);
-    const QueryResult* hit = cache_->find(key, db_->version(), space_->version(),
-                                          options_.validate_cache);
+    const QueryResult* hit = cache_->find(key, stamp, options_.validate_cache);
     if (hit) {
       cache_hit = true;
       ++stats_.cache_hits;
@@ -268,12 +276,12 @@ util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
     }
   }
   if (!cache_hit) {
-    result = run(q, info);
+    result = run(q, info, db, space);
     std::lock_guard<std::mutex> lock(mu_);
     stats_.rows_scanned += info.rows_scanned;
     if (info.index_seek) ++stats_.index_seeks;
     if (result.ok() && options_.use_cache)
-      cache_->put(key, db_->version(), space_->version(), result.value());
+      cache_->put(key, stamp, result.value());
   }
 
   if (observed) {
@@ -299,6 +307,12 @@ util::Result<QueryResult> QueryEngine::execute(const Query& q) const {
 }
 
 util::Result<QueryResult> QueryEngine::execute(std::string_view text) const {
+  return execute(text, *db_, *space_);
+}
+
+util::Result<QueryResult> QueryEngine::execute(
+    std::string_view text, const meta::Database& db,
+    const sched::ScheduleSpace& space) const {
   auto q = parse_query(text);
   if (!q.ok()) {
     if (obs::on(bus_)) {
@@ -312,12 +326,18 @@ util::Result<QueryResult> QueryEngine::execute(std::string_view text) const {
     }
     return q.error();
   }
-  return execute(q.value());
+  return execute(q.value(), db, space);
 }
 
 util::Result<std::string> QueryEngine::explain(const Query& q) const {
+  return explain(q, *db_, *space_);
+}
+
+util::Result<std::string> QueryEngine::explain(
+    const Query& q, const meta::Database& db,
+    const sched::ScheduleSpace& space) const {
   const std::vector<std::string> columns = columns_for(q.target);
-  auto src = make_row_source(q.target, *db_, *space_);
+  auto src = make_row_source(q.target, db, space);
   auto compiled = compile_predicate(q.where.get(), q.target, columns, *src);
   if (!compiled.ok()) return compiled.error();
 
@@ -336,7 +356,7 @@ util::Result<std::string> QueryEngine::explain(const Query& q) const {
   }
 
   AccessPath path;
-  if (options_.use_index && q.where) path = plan_access(*q.where, q.target, *db_, *space_);
+  if (options_.use_index && q.where) path = plan_access(*q.where, q.target, db, space);
 
   const std::string key = q.str();
   const std::size_t total = src->count();
@@ -356,18 +376,24 @@ util::Result<std::string> QueryEngine::explain(const Query& q) const {
   if (!options_.use_cache) {
     out += "cache:  disabled\n";
   } else {
+    const VersionStamp stamp = target_stamp(q.target, db, space);
     std::lock_guard<std::mutex> lock(mu_);
-    const bool hit = cache_->find(key, db_->version(), space_->version(),
-                                  options_.validate_cache) != nullptr;
+    const bool hit = cache_->find(key, stamp, options_.validate_cache) != nullptr;
     out += hit ? "cache:  hit\n" : "cache:  cold\n";
   }
   return out;
 }
 
 util::Result<std::string> QueryEngine::explain(std::string_view text) const {
+  return explain(text, *db_, *space_);
+}
+
+util::Result<std::string> QueryEngine::explain(
+    std::string_view text, const meta::Database& db,
+    const sched::ScheduleSpace& space) const {
   auto q = parse_query(text);
   if (!q.ok()) return q.error();
-  return explain(q.value());
+  return explain(q.value(), db, space);
 }
 
 QueryResult QueryEngine::plan_lineage(sched::ScheduleRunId plan) const {

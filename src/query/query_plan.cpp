@@ -194,11 +194,11 @@ void collect_conjunctive(const Expr& e, std::vector<const Condition*>& out) {
   }
 }
 
-template <class Id>
-std::vector<std::size_t> to_rows(const std::vector<Id>& ids) {
+template <class IdList>
+std::vector<std::size_t> to_rows(const IdList& ids) {
   std::vector<std::size_t> rows;
   rows.reserve(ids.size());
-  for (Id id : ids) rows.push_back(id.value() - 1);
+  for (auto id : ids) rows.push_back(id.value() - 1);
   return rows;
 }
 
@@ -383,28 +383,36 @@ AccessPath plan_access(const Expr& where, Target target, const meta::Database& d
   return best;
 }
 
-const QueryResult* QueryCache::find(const std::string& key, std::uint64_t dbv,
-                                    std::uint64_t spv, bool validate) const {
+VersionStamp target_stamp(Target target, const meta::Database& db,
+                          const sched::ScheduleSpace& space) {
+  switch (target) {
+    case Target::kRuns: return {db.runs_version(), 0};
+    case Target::kInstances: return {db.instances_version(), 0};
+    case Target::kSchedule: return {space.nodes_version(), space.links_version()};
+    case Target::kPlans: return {space.plans_version(), 0};
+    case Target::kLinks: return {space.links_version(), 0};
+  }
+  return {};
+}
+
+const QueryResult* QueryCache::find(const std::string& key,
+                                    const VersionStamp& stamp, bool validate) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
-  if (validate &&
-      (it->second.db_version != dbv || it->second.space_version != spv))
-    return nullptr;
+  if (validate && !(it->second.stamp == stamp)) return nullptr;
   return &it->second.result;
 }
 
-void QueryCache::put(const std::string& key, std::uint64_t dbv, std::uint64_t spv,
+void QueryCache::put(const std::string& key, const VersionStamp& stamp,
                      QueryResult result) {
   if (entries_.size() >= kMaxEntries && !entries_.count(key)) {
-    // Evict stale entries first; if everything is fresh, drop it all rather
-    // than grow without bound.
-    for (auto it = entries_.begin(); it != entries_.end();)
-      it = (it->second.db_version != dbv || it->second.space_version != spv)
-               ? entries_.erase(it)
-               : ++it;
-    if (entries_.size() >= kMaxEntries) entries_.clear();
+    // An entry whose key we are not about to overwrite has to make room.
+    // There is no cheap staleness test against a single stamp anymore (each
+    // entry validates against its own target's tables), so drop everything:
+    // the cache refills in one round of the working set.
+    entries_.clear();
   }
-  entries_[key] = Entry{dbv, spv, std::move(result)};
+  entries_[key] = Entry{stamp, std::move(result)};
 }
 
 }  // namespace herc::query

@@ -19,8 +19,10 @@
 //                       when a top-level conjunctive equality leaf hits one
 //                       of the database's secondary indexes.
 //   QueryCache          canonical-text -> result map validated against the
-//                       per-space monotonic version counters, so any
-//                       mutation anywhere invalidates every stale entry.
+//                       queried target's *per-table* version stamp, so a
+//                       mutation only evicts results whose underlying table
+//                       (or a derived index) actually moved — a run append
+//                       leaves cached plan/instance results servable.
 
 #include <cstdint>
 #include <memory>
@@ -120,26 +122,43 @@ struct AccessPath {
 
 // --- result cache ------------------------------------------------------------
 
-/// Canonical statement text -> finished QueryResult, validated against both
-/// spaces' version counters.  Entries go stale the moment either space
-/// mutates (including through plan_mut/node_mut); stale entries are evicted
-/// lazily on lookup/insert.
+/// Fine-grained validity fingerprint of one query target: the version
+/// counters of exactly the tables its rows read.  Two stamps being equal
+/// means every table the target touches is unchanged, so a cached result is
+/// still byte-correct — regardless of what else mutated.
+struct VersionStamp {
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
+  [[nodiscard]] bool operator==(const VersionStamp&) const = default;
+};
+
+/// The stamp covering `target` right now.  Dependency sets:
+///   runs      -> db.runs_version            (run fields + run indexes)
+///   instances -> db.instances_version       (covers the produced_by patch)
+///   schedule  -> space nodes + links        (the `linked` column reads links)
+///   plans     -> space plans_version        (plan fields + node membership)
+///   links     -> space links_version        (node activity is immutable)
+[[nodiscard]] VersionStamp target_stamp(Target target, const meta::Database& db,
+                                        const sched::ScheduleSpace& space);
+
+/// Canonical statement text -> finished QueryResult, validated against the
+/// target's VersionStamp.  Entries go stale only when a table the target
+/// reads mutates; stale entries are evicted lazily on lookup/insert.
 class QueryCache {
  public:
   /// The cached result, or nullptr.  With `validate` false (a testing
   /// backdoor the fuzz harness uses to plant a stale-cache bug) version
-  /// counters are ignored.
-  [[nodiscard]] const QueryResult* find(const std::string& key, std::uint64_t dbv,
-                                        std::uint64_t spv, bool validate) const;
-  void put(const std::string& key, std::uint64_t dbv, std::uint64_t spv,
-           QueryResult result);
+  /// stamps are ignored.
+  [[nodiscard]] const QueryResult* find(const std::string& key,
+                                        const VersionStamp& stamp,
+                                        bool validate) const;
+  void put(const std::string& key, const VersionStamp& stamp, QueryResult result);
   void clear() { entries_.clear(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
   struct Entry {
-    std::uint64_t db_version = 0;
-    std::uint64_t space_version = 0;
+    VersionStamp stamp;
     QueryResult result;
   };
   static constexpr std::size_t kMaxEntries = 128;

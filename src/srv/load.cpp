@@ -25,11 +25,39 @@ std::string project_name(int index) { return "load" + std::to_string(index); }
 
 /// What one designer thread accumulated.
 struct WorkerTally {
-  std::vector<std::int64_t> latencies_us;
+  std::vector<std::int64_t> read_latencies_us;
+  std::vector<std::int64_t> write_latencies_us;
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t runs = 0;
 };
+
+/// The read-mix rotation: one shard-read-lane op per slot.  The schedule
+/// queries (plans/links/schedule) stay cache-served across run appends
+/// under per-target stamps; the runs query and status report re-evaluate
+/// whenever an execute lands.
+Result<wire::Response> issue_read(Client& client, const std::string& proj,
+                                  const std::string& who, int slot) {
+  switch (slot % 5) {
+    case 0:
+      return client.call(proj, "status");
+    case 1:
+    case 2:
+    case 3: {
+      static const char* kStatements[] = {
+          "select plans", "select links",
+          "select schedule where critical = true"};
+      JsonObject args;
+      args.set("statement", std::string(kStatements[slot % 5 - 1]));
+      return client.call(proj, "query", std::move(args));
+    }
+    default: {
+      JsonObject args;
+      args.set("statement", "select runs where designer = \"" + who + "\"");
+      return client.call(proj, "query", std::move(args));
+    }
+  }
+}
 
 void drive_one(const LoadOptions& options, int project, int designer,
                Clock::time_point deadline, WorkerTally& tally,
@@ -44,7 +72,22 @@ void drive_one(const LoadOptions& options, int project, int designer,
   util::Rng rng(options.seed * 1000003u + static_cast<std::uint64_t>(project) * 131u +
                 static_cast<std::uint64_t>(designer));
 
-  const bool open_mode = options.arrival == LoadOptions::Arrival::kOpen;
+  // Role split under --read-mix: the first ceil(mix% * M) designers only
+  // read, the rest only write.  Their runs queries target a writer's name so
+  // the scan touches real rows.
+  const bool reader_role =
+      options.read_mix >= 0 &&
+      (designer + 1) * 100 <= options.read_mix * options.designers;
+  const std::string writer_name =
+      "designer" + std::to_string(options.designers - 1);
+
+  // Read-mix writers are paced (open arrival at --rate): real execution
+  // requests arrive when work is ready, they are not issued back-to-back.
+  // A closed-loop writer would saturate the write lane 100% of the wall
+  // clock, which models no real project and leaves nothing to contrast.
+  // Readers stay closed-loop: dashboards poll as fast as they are allowed.
+  const bool open_mode = options.arrival == LoadOptions::Arrival::kOpen ||
+                         (options.read_mix >= 0 && !reader_role);
   const auto interval = std::chrono::nanoseconds(
       open_mode && options.rate_per_designer > 0
           ? static_cast<std::int64_t>(1e9 / options.rate_per_designer)
@@ -70,10 +113,14 @@ void drive_one(const LoadOptions& options, int project, int designer,
     }
 
     ++n;
+    const bool is_read = options.read_mix >= 0
+                             ? reader_role
+                             : options.read_every > 0 && n % options.read_every == 0;
     Result<wire::Response> response =
         Error{Error::Code::kInvalid, "unsent"};
-    if (options.read_every > 0 && n % options.read_every == 0) {
-      response = client.value()->call(proj, "status");
+    if (is_read) {
+      response = issue_read(*client.value(), proj,
+                            options.read_mix >= 0 ? writer_name : who, n);
     } else {
       JsonObject args;
       args.set("designer", who);
@@ -95,7 +142,8 @@ void drive_one(const LoadOptions& options, int project, int designer,
       tally.runs += static_cast<std::uint64_t>(
           response.value().result.as_object().at("runs").as_int());
     }
-    tally.latencies_us.push_back(
+    auto& bucket = is_read ? tally.read_latencies_us : tally.write_latencies_us;
+    bucket.push_back(
         std::chrono::duration_cast<std::chrono::microseconds>(done - issued)
             .count());
   }
@@ -120,6 +168,13 @@ Json LoadReport::to_json() const {
   o.set("p50_us", Json(p50_us));
   o.set("p99_us", Json(p99_us));
   o.set("max_us", Json(max_us));
+  o.set("reads", Json(static_cast<std::int64_t>(reads)));
+  o.set("writes", Json(static_cast<std::int64_t>(writes)));
+  o.set("reads_per_sec", Json(reads_per_sec));
+  o.set("read_p50_us", Json(read_p50_us));
+  o.set("read_p99_us", Json(read_p99_us));
+  o.set("write_p50_us", Json(write_p50_us));
+  o.set("write_p99_us", Json(write_p99_us));
   o.set("journal_lines", Json(journal_lines));
   o.set("group_commits", Json(group_commits));
   return Json(std::move(o));
@@ -131,6 +186,11 @@ std::string LoadReport::summary() const {
       << elapsed_sec << "s = " << runs_per_sec << " runs/s; latency p50 "
       << p50_us << "us p99 " << p99_us << "us; " << journal_lines
       << " journal lines in " << group_commits << " flushes";
+  if (reads > 0 && writes > 0) {
+    out << "\n  reads: " << reads << " (" << reads_per_sec << "/s) p50 "
+        << read_p50_us << "us p99 " << read_p99_us << "us; writes: " << writes
+        << " p50 " << write_p50_us << "us p99 " << write_p99_us << "us";
+  }
   return out.str();
 }
 
@@ -157,6 +217,18 @@ Result<LoadReport> run_load(const LoadOptions& options) {
     if (!planned.ok()) return planned.error();
   }
 
+  // Warmup: grow each project to mid-flight size before the clock starts.
+  for (int p = 0; p < options.projects; ++p) {
+    for (int w = 0; w < options.warmup_executes; ++w) {
+      JsonObject args;
+      args.set("designer",
+               "designer" + std::to_string(options.designers - 1));
+      auto r = control.value()->invoke(project_name(p), "execute",
+                                       std::move(args));
+      if (!r.ok()) return r.error();
+    }
+  }
+
   auto stats_before = control.value()->invoke("", "stats");
   if (!stats_before.ok()) return stats_before.error();
 
@@ -181,24 +253,38 @@ Result<LoadReport> run_load(const LoadOptions& options) {
   auto elapsed = Clock::now() - start;
 
   LoadReport report;
-  std::vector<std::int64_t> latencies;
+  std::vector<std::int64_t> latencies, reads, writes;
   for (auto& tally : tallies) {
     report.requests += tally.requests;
     report.errors += tally.errors;
     report.runs += tally.runs;
-    latencies.insert(latencies.end(), tally.latencies_us.begin(),
-                     tally.latencies_us.end());
+    reads.insert(reads.end(), tally.read_latencies_us.begin(),
+                 tally.read_latencies_us.end());
+    writes.insert(writes.end(), tally.write_latencies_us.begin(),
+                  tally.write_latencies_us.end());
   }
+  latencies.reserve(reads.size() + writes.size());
+  latencies.insert(latencies.end(), reads.begin(), reads.end());
+  latencies.insert(latencies.end(), writes.begin(), writes.end());
   std::sort(latencies.begin(), latencies.end());
+  std::sort(reads.begin(), reads.end());
+  std::sort(writes.begin(), writes.end());
   report.p50_us = percentile(latencies, 0.50);
   report.p99_us = percentile(latencies, 0.99);
   report.max_us = latencies.empty() ? 0 : latencies.back();
+  report.reads = reads.size();
+  report.writes = writes.size();
+  report.read_p50_us = percentile(reads, 0.50);
+  report.read_p99_us = percentile(reads, 0.99);
+  report.write_p50_us = percentile(writes, 0.50);
+  report.write_p99_us = percentile(writes, 0.99);
   report.elapsed_sec =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
   if (report.elapsed_sec > 0) {
     report.runs_per_sec = static_cast<double>(report.runs) / report.elapsed_sec;
     report.requests_per_sec =
         static_cast<double>(report.requests) / report.elapsed_sec;
+    report.reads_per_sec = static_cast<double>(report.reads) / report.elapsed_sec;
   }
 
   // Durability accounting: flushes/lines attributable to the drive window.

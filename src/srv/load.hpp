@@ -40,12 +40,31 @@ struct LoadOptions {
   /// 0 = mutations only.
   int read_every = 0;
 
+  /// Percentage (0-100) of DESIGNERS dedicated to reads; -1 = off (use
+  /// read_every).  With `--read-mix 90 --designers 8 --projects 1`, 7
+  /// threads are managers polling the project (status + a query rotation:
+  /// `select plans`, `select links`, `select schedule where critical =
+  /// true`, `select runs where designer = ...`) while 1 thread executes
+  /// flows and advances the clock.  Roles are dedicated — not a per-request
+  /// coin flip — because that is the contended shape: in a closed loop a
+  /// mixed designer cannot read while its own write is in flight, which
+  /// pins read throughput to a fixed multiple of write throughput and hides
+  /// exactly the blocking this workload exists to measure.  This is the
+  /// MVCC headline (readers must not stall behind the writer's lock).
+  int read_mix = -1;
+
   std::uint64_t seed = 1;        ///< scenario seeds: seed, seed+1, ...
   std::string shape = "layered";
   std::size_t size = 3;          ///< kept small: latency, not flow width
 
   /// Open the projects before driving (off when the caller pre-opened them).
   bool open_projects = true;
+
+  /// Executes issued per project before the measured window starts, so the
+  /// drive hits a mid-flight project (thousands of recorded runs) rather
+  /// than a freshly planned one.  Identical state for every config under
+  /// comparison; 0 = drive the fresh project.
+  int warmup_executes = 0;
 };
 
 struct LoadReport {
@@ -59,6 +78,16 @@ struct LoadReport {
   std::int64_t p50_us = 0;
   std::int64_t p99_us = 0;
   std::int64_t max_us = 0;
+  // Read/write split (reads = query/status/..., writes = execute).  Reads
+  // and writes have wildly different service times, so the combined
+  // percentiles above say little under --read-mix; these are the headline.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double reads_per_sec = 0.0;
+  std::int64_t read_p50_us = 0;
+  std::int64_t read_p99_us = 0;
+  std::int64_t write_p50_us = 0;
+  std::int64_t write_p99_us = 0;
   // Durability accounting from the server's `stats` op, for the group-commit
   // comparison: how many physical flushes covered how many journal lines.
   std::int64_t journal_lines = 0;

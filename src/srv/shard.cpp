@@ -1,5 +1,7 @@
 #include "srv/shard.hpp"
 
+#include <thread>
+
 #include "hercules/persist.hpp"
 
 namespace herc::srv {
@@ -41,6 +43,10 @@ Json execution_json(const exec::ExecutionResult& result,
   o.set("final_output", static_cast<std::int64_t>(result.final_output.value()));
   o.set("clock_minutes", clock.now().minutes_since_epoch());
   return Json(std::move(o));
+}
+
+bool is_read_op(const std::string& op) {
+  return op == "query" || op == "explain" || op == "status" || op == "gantt";
 }
 
 }  // namespace
@@ -104,6 +110,8 @@ util::Result<std::unique_ptr<ProjectShard>> ProjectShard::create(
   shard->metrics_->attach(shard->manager_->bus());
   auto st = shard->start_journal();
   if (!st.ok()) return st.error();
+  // No readers exist yet, so "locked" is vacuously true here.
+  shard->publish_view_locked();
   return shard;
 }
 
@@ -120,6 +128,8 @@ util::Result<std::unique_ptr<ProjectShard>> ProjectShard::create_from_dsl(
   shard->metrics_->attach(shard->manager_->bus());
   auto st = shard->start_journal();
   if (!st.ok()) return st.error();
+  // No readers exist yet, so "locked" is vacuously true here.
+  shard->publish_view_locked();
   return shard;
 }
 
@@ -140,21 +150,57 @@ util::Result<std::unique_ptr<ProjectShard>> ProjectShard::recover(
   // in before it is truncated.
   auto st = shard->start_journal();
   if (!st.ok()) return st.error();
+  // No readers exist yet, so "locked" is vacuously true here.
+  shard->publish_view_locked();
   return shard;
 }
 
 wire::Response ProjectShard::apply(const wire::Request& request) {
+  // Read lane: no shard lock.  The snapshot is pinned by the shared_ptr for
+  // the duration of the call; the write lane keeps publishing newer epochs
+  // meanwhile.  (Before the first publish — snapshot_reads off, or a shard
+  // mid-construction — reads fall through to the write lane.)
+  if (options_.snapshot_reads && is_read_op(request.op)) {
+    // Writer-priority backoff (see ShardOptions): let an in-flight write
+    // dispatch have the cores; bounded so reads can never be starved.  The
+    // snapshot is loaded AFTER the backoff so a read that did wait tends to
+    // observe the write it waited for.
+    if (options_.reader_backoff.count() > 0) {
+      auto waited = std::chrono::microseconds(0);
+      while (write_dispatching_.load(std::memory_order_relaxed) &&
+             waited < options_.reader_backoff_cap) {
+        std::this_thread::sleep_for(options_.reader_backoff);
+        waited += options_.reader_backoff;
+      }
+    }
+    if (auto view = view_.load()) {
+      if (crashed_.load(std::memory_order_acquire))
+        return wire::Response::failure(
+            request.id, util::unsupported("shard '" + name_ + "' crashed"));
+      read_lane_requests_.fetch_add(1, std::memory_order_relaxed);
+      metrics_->add("srv_requests");  // MetricsRegistry is thread-safe
+      return dispatch_read(request, *view);
+    }
+  }
+
   std::uint64_t before = 0, after = 0;
   wire::Response response;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (crashed_)
+    if (crashed_.load(std::memory_order_relaxed))
       return wire::Response::failure(
           request.id, util::unsupported("shard '" + name_ + "' crashed"));
+    write_lane_requests_.fetch_add(1, std::memory_order_relaxed);
     metrics_->add("srv_requests");
     if (committer_) before = committer_->last_enqueued();
+    write_dispatching_.store(true, std::memory_order_relaxed);
     response = dispatch(request);
     if (committer_) after = committer_->last_enqueued();
+    // Publish the post-op epoch before the durability wait (and thus before
+    // the ack): once a client holds an ack, the published snapshot already
+    // contains its write.
+    publish_view_locked();
+    write_dispatching_.store(false, std::memory_order_relaxed);
   }
   // Acknowledge only once this request's journal lines are durable — but
   // wait OUTSIDE the shard lock, so the next request's mutation overlaps
@@ -286,6 +332,36 @@ wire::Response ProjectShard::dispatch(const wire::Request& request) {
       request.id, util::invalid("unknown op '" + request.op + "'"));
 }
 
+wire::Response ProjectShard::dispatch_read(const wire::Request& request,
+                                           const hercules::ReadView& view) {
+  const JsonObject& args = request.args;
+  if (request.op == "query" || request.op == "explain") {
+    const std::string statement = arg_string(args, "statement");
+    if (statement.empty())
+      return wire::Response::failure(
+          request.id, util::invalid(request.op + ": missing 'statement'"));
+    auto result =
+        request.op == "query" ? view.query(statement) : view.explain(statement);
+    if (!result.ok()) return wire::Response::failure(request.id, result.error());
+    JsonObject o;
+    o.set("text", result.value());
+    return wire::Response::success(request.id, Json(std::move(o)));
+  }
+  const std::string task = arg_string(args, "task", "job");
+  auto result =
+      request.op == "status" ? view.status_report(task) : view.gantt(task);
+  if (!result.ok()) return wire::Response::failure(request.id, result.error());
+  JsonObject o;
+  o.set("text", result.value());
+  return wire::Response::success(request.id, Json(std::move(o)));
+}
+
+void ProjectShard::publish_view_locked() {
+  if (!options_.snapshot_reads || crashed_.load(std::memory_order_relaxed))
+    return;
+  view_.store(manager_->read_view());
+}
+
 util::Status ProjectShard::snapshot() {
   std::lock_guard<std::mutex> lock(mu_);
   return snapshot_locked();
@@ -338,6 +414,26 @@ Json ProjectShard::stats_json_locked() const {
     g.set("srv_commit_batch_max", s.batch_max);
     g.set("srv_commit_batch_mean", s.batch_mean());
     o.set("group_commit", Json(std::move(g)));
+  }
+  {
+    // Snapshot health.  `live` counts views not yet reclaimed; the newest
+    // one is the manager's own cache, so anything beyond it is retired
+    // epochs still pinned by in-flight readers.
+    JsonObject sn;
+    sn.set("enabled", options_.snapshot_reads);
+    sn.set("epoch", static_cast<std::int64_t>(manager_->snapshot_epoch()));
+    sn.set("published",
+           static_cast<std::int64_t>(manager_->snapshots_published()));
+    const std::int64_t live = manager_->snapshots_live();
+    sn.set("live", live);
+    sn.set("retired_unreclaimed", live > 1 ? live - 1 : 0);
+    sn.set("read_lane_requests",
+           static_cast<std::int64_t>(
+               read_lane_requests_.load(std::memory_order_relaxed)));
+    sn.set("write_lane_requests",
+           static_cast<std::int64_t>(
+               write_lane_requests_.load(std::memory_order_relaxed)));
+    o.set("snapshots", Json(std::move(sn)));
   }
   return Json(std::move(o));
 }

@@ -4,10 +4,33 @@
 // A shard owns everything a single-user session used to own — the
 // WorkflowManager facade over meta::Database + sched::ScheduleSpace, the
 // query engine, and the crash-safety machinery (journal + snapshot files in
-// the shard's directory).  Concurrency model: ONE mutex serializes every
-// operation against the shard (the metadata store is not yet MVCC; see
-// ROADMAP), so correctness never depends on which worker thread carries a
-// request.  Scaling comes from shard independence — requests for different
+// the shard's directory).
+//
+// Concurrency model: TWO lanes.
+//
+//   write lane   One mutex serializes every mutating op (plan, replan,
+//                execute, run, link, advance, save) plus stats.  At the end
+//                of each op, while still holding the lock, the shard
+//                republishes the project's epoch snapshot
+//                (WorkflowManager::read_view) — BEFORE the durability wait,
+//                so a client that got its ack always sees its own write.
+//   read lane    query / explain / status / gantt copy the published
+//                snapshot out of a pointer-copy slot (hercules::ViewSlot)
+//                and run entirely without the shard mutex.  Readers pin
+//                their epoch for the duration of
+//                the call; the writer keeps publishing newer epochs
+//                meanwhile, and an epoch's buffers are reclaimed when its
+//                last reader drops it (copy-on-write tables, util/cow.hpp).
+//
+// One caveat is inherent to ack-after-publish ordering: a READER can observe
+// a mutation that is published but not yet fsync-durable (the mutator itself
+// is still blocked in its durability wait).  That read could be lost by a
+// crash — the same contract as PostgreSQL's asynchronous standby reads.
+// ShardOptions::snapshot_reads = false restores the old single-mutex
+// behavior (every op through the write lane); the load driver uses it as
+// the baseline for the read-throughput benchmark.
+//
+// Scaling still also comes from shard independence — requests for different
 // projects never contend — and from group commit: a mutation enqueues its
 // journal lines under the lock but waits for durability AFTER releasing it,
 // so the next request's mutation overlaps this one's fsync.
@@ -15,6 +38,7 @@
 // Files: <dir>/<name>.snapshot.json (atomic replace) and <dir>/<name>.wal.
 // An acknowledged mutation is always recoverable from snapshot + WAL.
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +58,18 @@ struct ShardOptions {
   /// Off: plain per-run journal (one flush — durable: one fsync — per run).
   /// The load driver uses this to measure what group commit buys.
   bool group_commit = true;
+  /// Off: read ops go through the write lane like any mutation (the pre-MVCC
+  /// single-mutex model).  The load driver's --no-snapshot-reads baseline.
+  bool snapshot_reads = true;
+  /// Writer-priority backoff for the read lane: while a write dispatch holds
+  /// the write lane, arriving readers briefly sleep-poll (bounded) instead
+  /// of competing with the mutator for cores.  This is what keeps write p99
+  /// flat under a read storm on small machines; on wide machines it costs a
+  /// little read overlap during the (short) dispatch window.  0 = off.
+  std::chrono::microseconds reader_backoff{150};
+  /// Upper bound on the total backoff one read will wait before proceeding
+  /// anyway (a slow writer must never starve the read lane).
+  std::chrono::microseconds reader_backoff_cap{8000};
 };
 
 class ProjectShard {
@@ -106,17 +142,33 @@ class ProjectShard {
                                      std::int64_t tool_minutes);
 
   wire::Response dispatch(const wire::Request& request);
+  /// The read lane: runs one query/explain/status/gantt op against a pinned
+  /// epoch snapshot.  No shard lock anywhere on this path.
+  wire::Response dispatch_read(const wire::Request& request,
+                               const hercules::ReadView& view);
+  /// Republishes the current epoch snapshot (no-op when snapshot_reads is
+  /// off).  Must hold mu_: read_view() walks the live spaces.
+  void publish_view_locked();
   [[nodiscard]] util::Status snapshot_locked();
   [[nodiscard]] util::Json stats_json_locked() const;
 
   const std::string name_;
   const ShardOptions options_;
 
-  mutable std::mutex mu_;  ///< serializes every manager access
+  mutable std::mutex mu_;  ///< serializes every WRITE-lane manager access
   std::unique_ptr<hercules::WorkflowManager> manager_;
   std::unique_ptr<GroupCommitter> committer_;  ///< null when group_commit off
   std::unique_ptr<obs::MetricsRegistry> metrics_;
-  bool crashed_ = false;
+  /// The epoch snapshot readers run against.  Written by the write lane
+  /// (under mu_), copied out by the read lane under the slot's own
+  /// pointer-copy mutex (see hercules::ViewSlot) — never under mu_.
+  hercules::ViewSlot view_;
+  std::atomic<std::uint64_t> read_lane_requests_{0};
+  std::atomic<std::uint64_t> write_lane_requests_{0};
+  /// True while a write dispatch holds mu_ (not during its durability wait);
+  /// the read lane's writer-priority backoff polls it.
+  std::atomic<bool> write_dispatching_{false};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace herc::srv

@@ -1,0 +1,180 @@
+#pragma once
+// Copy-on-write vector: the storage primitive behind epoch snapshots.
+//
+// The Level-3 tables (instances, runs, schedule nodes, secondary-index
+// postings) are append-mostly: mutators push new rows constantly, rewrite
+// old rows rarely (the tracker re-projecting node dates, record_run patching
+// a produced_by back-link).  CowVec exploits that shape to make a snapshot
+// of a whole table an O(1) pointer copy:
+//
+//   - The element buffer lives in a shared_ptr'd std::vector.  Copying a
+//     CowVec copies the pointer and freezes the source at its current size
+//     (the `frozen_` watermark) — from then on, elements below the watermark
+//     are potentially visible to snapshot readers and immutable in place.
+//   - push_back appends into spare capacity of the current buffer (elements
+//     at index >= every snapshot's size are invisible to readers, so writing
+//     them is race-free); when capacity runs out the writer clones into a
+//     larger buffer instead of letting std::vector reallocate, so a reader's
+//     cached data pointer can never dangle.  Old buffers die with the last
+//     snapshot that references them — that IS epoch reclamation.
+//   - mutate(i) below the watermark unshares first: if snapshots still hold
+//     the buffer it clones (one memcpy per table per published epoch, only
+//     when an old row is actually rewritten); if the writer is the only
+//     owner again it just resets the watermark.
+//
+// Thread-safety contract: all mutations and all copies happen on the writer
+// (one thread at a time — the shard's write lane).  Readers use only the
+// const interface of *their own copy*, which touches the immutable prefix
+// through a cached data pointer and never the shared std::vector object
+// itself.  `frozen_` is atomic only so that concurrently copying one
+// snapshot from two threads (which marks the source frozen) stays defined.
+//
+// With no copies ever taken, frozen_ stays 0 and CowVec behaves like a
+// plain vector with manual growth — zero overhead on the single-threaded
+// path.
+
+#include <atomic>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace herc::util {
+
+template <typename T>
+class CowVec {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+  using const_reverse_iterator = std::reverse_iterator<const T*>;
+
+  CowVec() = default;
+
+  /// Snapshot copy: O(1).  Shares the buffer and freezes the source — the
+  /// source's writer will unshare before rewriting any element this copy
+  /// can see.
+  CowVec(const CowVec& other)
+      : buf_(other.buf_),
+        data_(other.data_),
+        size_(other.size_),
+        frozen_(other.size_) {
+    if (buf_) other.frozen_.store(other.size_, std::memory_order_relaxed);
+  }
+
+  CowVec& operator=(const CowVec& other) {
+    if (this != &other) {
+      CowVec tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+
+  CowVec(CowVec&& other) noexcept
+      : buf_(std::move(other.buf_)),
+        data_(other.data_),
+        size_(other.size_),
+        frozen_(other.frozen_.load(std::memory_order_relaxed)) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.frozen_.store(0, std::memory_order_relaxed);
+  }
+
+  CowVec& operator=(CowVec&& other) noexcept {
+    if (this != &other) {
+      buf_ = std::move(other.buf_);
+      data_ = other.data_;
+      size_ = other.size_;
+      frozen_.store(other.frozen_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.frozen_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  // --- const interface (the only part snapshot readers may touch) ----------
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+  [[nodiscard]] const_iterator begin() const { return data_; }
+  [[nodiscard]] const_iterator end() const { return data_ + size_; }
+  [[nodiscard]] const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  [[nodiscard]] const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  // --- writer interface ----------------------------------------------------
+  void push_back(T value) {
+    reserve_for_append();
+    buf_->push_back(std::move(value));
+    data_ = buf_->data();
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    reserve_for_append();
+    buf_->emplace_back(std::forward<Args>(args)...);
+    data_ = buf_->data();
+    ++size_;
+    return buf_->back();
+  }
+
+  /// Mutable element access; unshares the buffer first when snapshots may
+  /// see index `i`.  The returned reference is invalidated by the next
+  /// copy/push_back/mutate, like a vector reference by reallocation.
+  [[nodiscard]] T& mutate(std::size_t i) {
+    if (i < frozen_.load(std::memory_order_relaxed)) unshare();
+    return buf_->data()[i];
+  }
+
+  [[nodiscard]] T& mutable_back() { return mutate(size_ - 1); }
+
+ private:
+  /// Guarantees one element of spare, private-to-the-writer capacity.
+  /// Cloning (never reallocating a shared buffer) keeps every snapshot's
+  /// data pointer valid for its lifetime.
+  void reserve_for_append() {
+    if (!buf_) {
+      buf_ = std::make_shared<std::vector<T>>();
+      buf_->reserve(8);
+      return;
+    }
+    if (buf_->size() < buf_->capacity()) return;
+    auto grown = std::make_shared<std::vector<T>>();
+    grown->reserve(buf_->capacity() * 2);
+    grown->assign(buf_->begin(), buf_->end());
+    buf_ = std::move(grown);
+    data_ = buf_->data();
+    frozen_.store(0, std::memory_order_relaxed);  // the new buffer is private
+  }
+
+  void unshare() {
+    // use_count()==1 means every snapshot that froze us has been reclaimed;
+    // readers only ever drop references, so a stale count errs toward an
+    // unnecessary clone, never toward mutating shared memory.
+    if (buf_.use_count() > 1) {
+      auto clone = std::make_shared<std::vector<T>>();
+      clone->reserve(buf_->capacity());
+      clone->assign(buf_->begin(), buf_->end());
+      buf_ = std::move(clone);
+      data_ = buf_->data();
+    }
+    frozen_.store(0, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<std::vector<T>> buf_;
+  T* data_ = nullptr;       ///< cached buf_->data(); readers use only this
+  std::size_t size_ = 0;    ///< logical size; <= buf_->size() never, == always
+  /// Elements below this index may be visible to a live snapshot.  Mutable +
+  /// atomic: copying marks the (const) source frozen.
+  mutable std::atomic<std::size_t> frozen_{0};
+};
+
+}  // namespace herc::util

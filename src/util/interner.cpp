@@ -5,17 +5,20 @@
 namespace herc::util {
 
 SymbolId SymbolPool::intern(std::string_view s) {
-  auto it = index_.find(s);
-  if (it != index_.end()) return it->second;
-  strings_.emplace_back(s);
+  auto it = index_->find(s);
+  if (it != index_->end()) return it->second;
+  // Unshare before inserting: snapshots probing the old map must never see
+  // a rehash in flight.  use_count()==1 (no live snapshot) inserts in place.
+  if (index_.use_count() > 1) index_ = std::make_shared<Map>(*index_);
+  strings_.push_back(std::string(s));
   SymbolId id{strings_.size()};
-  index_.emplace(strings_.back(), id);
+  index_->emplace(std::string(s), id);
   return id;
 }
 
 SymbolId SymbolPool::find(std::string_view s) const {
-  auto it = index_.find(s);
-  return it == index_.end() ? SymbolId::invalid() : it->second;
+  auto it = index_->find(s);
+  return it == index_->end() ? SymbolId::invalid() : it->second;
 }
 
 const std::string& SymbolPool::str(SymbolId id) const {

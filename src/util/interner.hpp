@@ -8,13 +8,21 @@
 // predicates — compare and hash one integer instead of re-hashing the string
 // per row.  The pool is append-only: ids are stable for the lifetime of the
 // owning database, and interning the same string twice returns the same id.
+//
+// Copying a pool is an O(1) snapshot (the epoch-snapshot machinery copies it
+// with the rest of the database): the string table is a CowVec and the
+// lookup map is shared; intern() clones the map before inserting whenever a
+// snapshot still shares it, so a reader's find() races with nothing.  The
+// distinct-string population plateaus quickly in practice, making the clone
+// a warmup cost.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
+#include "util/cow.hpp"
 #include "util/ids.hpp"
 
 namespace herc::util {
@@ -24,6 +32,8 @@ using SymbolId = Id<SymbolTag>;
 
 class SymbolPool {
  public:
+  SymbolPool() : index_(std::make_shared<Map>()) {}
+
   /// Returns the id of `s`, interning it first if unseen.
   SymbolId intern(std::string_view s);
 
@@ -49,9 +59,10 @@ class SymbolPool {
       return a == b;
     }
   };
+  using Map = std::unordered_map<std::string, SymbolId, Hash, Eq>;
 
-  std::vector<std::string> strings_;  // index = id - 1
-  std::unordered_map<std::string, SymbolId, Hash, Eq> index_;
+  CowVec<std::string> strings_;  // index = id - 1
+  std::shared_ptr<Map> index_;   // never null; cloned before insert if shared
 };
 
 }  // namespace herc::util

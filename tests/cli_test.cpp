@@ -511,12 +511,18 @@ TEST(Cli, StatsCountsPlansAndRuns) {
   auto text = ok(s, "stats");
   EXPECT_NE(text.find("plans_computed"), std::string::npos);
   EXPECT_NE(text.find("runs_executed"), std::string::npos);
+  EXPECT_NE(text.find("snapshots:"), std::string::npos);
 
   auto parsed = util::Json::parse(ok(s, "stats json"));
   ASSERT_TRUE(parsed.ok()) << parsed.error().str();
   const auto& counters = parsed.value().as_object().at("counters").as_object();
   EXPECT_GE(counters.at("plans_computed").as_int(), 1);
   EXPECT_GE(counters.at("runs_executed").as_int(), 2);
+  const auto& snapshots =
+      parsed.value().as_object().at("snapshots").as_object();
+  EXPECT_GE(snapshots.at("epoch").as_int(), 0);
+  EXPECT_GE(snapshots.at("live").as_int(), 0);
+  EXPECT_EQ(snapshots.at("retired_unreclaimed").as_int(), 0);
 
   fail(s, "stats verbose");  // usage
 }

@@ -191,48 +191,106 @@ void expect_invalidated(const QueryEngine& engine, const std::string& stmt,
   EXPECT_EQ(after.cache_misses, before.cache_misses + 1) << why;
 }
 
-TEST(QueryCache, EveryMutationKindInvalidates) {
+/// Asserts a previously-warmed `stmt` is STILL served from cache — the
+/// preceding mutation touched tables its target does not read.
+void expect_still_cached(const QueryEngine& engine, const std::string& stmt,
+                         const char* why) {
+  auto before = engine.stats();
+  ASSERT_TRUE(engine.execute(stmt).ok());
+  auto after = engine.stats();
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1) << why;
+  EXPECT_EQ(after.cache_misses, before.cache_misses) << why;
+}
+
+// Invalidation is per-target: a mutation evicts exactly the cached results
+// whose target reads a table that moved, and leaves every other entry
+// servable.  (The coarse predecessor evicted everything on any mutation.)
+TEST(QueryCache, InvalidationIsPerTarget) {
   auto m = executed_circuit();
   const QueryEngine& engine = m->query_engine();
-  const std::string stmt = "select runs where designer = \"alice\"";
+  const std::string runs_q = "select runs where designer = \"alice\"";
+  const std::string inst_q = "select instances where type = \"stimuli\"";
+  const std::string plans_q = "select plans";
+  const std::string sched_q = "select schedule where critical = true";
+  const std::string links_q = "select links";
 
-  expect_cached(engine, stmt);
-
-  // 1. Imported instance.
+  // 1. Imported instance: only the instance table moves.
+  expect_cached(engine, runs_q);
+  expect_cached(engine, inst_q);
   ASSERT_TRUE(m->db()
                   .create_instance("stimuli", "x.stimuli", meta::RunId{},
                                    util::DataObjectId{}, m->clock().now())
                   .ok());
-  expect_invalidated(engine, stmt, "create_instance");
+  expect_invalidated(engine, inst_q, "create_instance vs instances");
+  expect_still_cached(engine, runs_q, "create_instance vs runs");
 
-  // 2. Recorded (failed) run.
+  // 2. Recorded (failed, no output) run: only the run table moves — the
+  // produced_by back-link patch never fires, so instances stay put.
   record_failed_run(*m, "Simulate", "bob");
-  expect_invalidated(engine, stmt, "record_run");
+  expect_invalidated(engine, runs_q, "record_run vs runs");
+  expect_still_cached(engine, inst_q, "record_run (no output) vs instances");
 
-  // 3. Resource mutations.
+  // 3. Resource mutations touch no query target at all.
   auto rid = m->db().add_resource("carol");
-  expect_invalidated(engine, stmt, "add_resource");
   auto from = m->clock().now();
   ASSERT_TRUE(m->db().add_time_off(rid, from, from + cal::WorkDuration::hours(8)).ok());
-  expect_invalidated(engine, stmt, "add_time_off");
+  expect_still_cached(engine, runs_q, "add_resource/add_time_off vs runs");
+  expect_still_cached(engine, inst_q, "add_resource/add_time_off vs instances");
 
-  // 4. Schedule-space mutations: new plan (replan), node edit, link.
-  expect_cached(engine, stmt);  // re-arm the cache on the current version
+  // 4. Replanning creates a plan + nodes: schedule-space targets go stale,
+  // the metadata-space targets survive.
+  expect_cached(engine, plans_q);
+  expect_cached(engine, sched_q);
   ASSERT_TRUE(m->replan_task("adder", {.anchor = m->clock().now()}).ok());
-  expect_invalidated(engine, stmt, "replan (create_plan/create_node)");
+  expect_invalidated(engine, plans_q, "replan vs plans");
+  expect_invalidated(engine, sched_q, "replan vs schedule");
+  expect_still_cached(engine, runs_q, "replan vs runs");
+  expect_still_cached(engine, inst_q, "replan vs instances");
 
+  // 5. A node edit bumps nodes but not plans.
   auto& space = m->schedule_space();
   auto plan = space.active_plan();
   ASSERT_TRUE(plan.has_value());
   auto node = space.node_in_plan(*plan, "Create");
   ASSERT_TRUE(node.has_value());
-  expect_cached(engine, stmt);
+  expect_cached(engine, plans_q);
+  expect_cached(engine, sched_q);
   (void)space.node_mut(*node);  // conservative bump through the mutable accessor
-  expect_invalidated(engine, stmt, "node_mut");
+  expect_invalidated(engine, sched_q, "node_mut vs schedule");
+  expect_still_cached(engine, plans_q, "node_mut vs plans");
 
-  expect_cached(engine, stmt);
+  // 6. Linking a completion adds a link (and stamps the node): the schedule
+  // and link targets go stale, the metadata space still survives.
+  expect_cached(engine, links_q);
+  expect_cached(engine, sched_q);
   ASSERT_TRUE(m->link_completion("adder", "Create").ok());
-  expect_invalidated(engine, stmt, "link_completion (add_link)");
+  expect_invalidated(engine, links_q, "link_completion vs links");
+  expect_invalidated(engine, sched_q, "link_completion vs schedule");
+  expect_still_cached(engine, runs_q, "link_completion vs runs");
+  expect_still_cached(engine, inst_q, "link_completion vs instances");
+}
+
+// The whole point of per-target stamps: a run-append-heavy workload (the
+// server's hot loop) no longer evicts cached schedule-side queries.  Under
+// the coarse predecessor this workload had a 0% hit rate after the first
+// append; now every repeated plans/links read is a hit.
+TEST(QueryCache, ScheduleQueriesSurviveRunAppends) {
+  auto m = executed_circuit();
+  const QueryEngine& engine = m->query_engine();
+  const std::string plans_q = "select plans";
+  const std::string links_q = "select links";
+  ASSERT_TRUE(engine.execute(plans_q).ok());  // warm
+  ASSERT_TRUE(engine.execute(links_q).ok());
+
+  auto before = engine.stats();
+  for (int i = 0; i < 10; ++i) {
+    record_failed_run(*m, "Simulate", "bob");
+    ASSERT_TRUE(engine.execute(plans_q).ok());
+    ASSERT_TRUE(engine.execute(links_q).ok());
+  }
+  auto after = engine.stats();
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 20);
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
 }
 
 TEST(QueryCache, DisabledCacheNeverHits) {

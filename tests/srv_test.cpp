@@ -419,6 +419,47 @@ TEST(Server, LoadDriverClosedLoop) {
   server.value()->stop();
 }
 
+TEST(Server, ReadMixLaneCountersMatchDriver) {
+  TempServerDir tmp("readmix");
+  auto server = Server::start(base_config(tmp));
+  ASSERT_TRUE(server.ok());
+
+  LoadOptions options;
+  options.address = server.value()->unix_address();
+  options.projects = 1;
+  options.designers = 4;  // 3 dedicated readers + 1 paced writer
+  options.read_mix = 90;
+  options.rate_per_designer = 20.0;
+  options.duration = std::chrono::milliseconds(400);
+  auto report = run_load(options);
+  ASSERT_TRUE(report.ok()) << report.error().str();
+  EXPECT_EQ(report.value().errors, 0u);
+  EXPECT_GT(report.value().reads, 0u);
+  EXPECT_GT(report.value().writes, 0u);
+
+  // The shard's lane counters partition srv_requests exactly, and the read
+  // lane must have carried at least the driver's reads (the driver's setup
+  // requests — open/plan/warmup/stats — all ride the write lane).
+  auto stats = server.value()->stats_json();
+  const auto& shard =
+      stats.as_object().at("shards").as_array().at(0).as_object();
+  const util::JsonObject& sn = shard.at("snapshots").as_object();
+  EXPECT_TRUE(sn.at("enabled").as_bool());
+  const std::int64_t read_lane = sn.at("read_lane_requests").as_int();
+  const std::int64_t write_lane = sn.at("write_lane_requests").as_int();
+  EXPECT_EQ(read_lane + write_lane, shard.at("srv_requests").as_int());
+  EXPECT_GE(read_lane, static_cast<std::int64_t>(report.value().reads));
+  EXPECT_GE(write_lane, static_cast<std::int64_t>(report.value().writes));
+
+  // Snapshot health: epochs were published (one per mutation), and with no
+  // reader in flight anymore nothing stays pinned beyond the newest view.
+  EXPECT_GT(sn.at("epoch").as_int(), 1);
+  EXPECT_GE(sn.at("published").as_int(), sn.at("epoch").as_int());
+  EXPECT_EQ(sn.at("live").as_int(), 1);
+  EXPECT_EQ(sn.at("retired_unreclaimed").as_int(), 0);
+  server.value()->stop();
+}
+
 TEST(Server, OpenArrivalLoadDriver) {
   TempServerDir tmp("openload");
   auto server = Server::start(base_config(tmp));

@@ -31,8 +31,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--addr ADDR | --spawn) [--projects N] [--designers M]\n"
                "          [--duration SECS[s]] [--open-arrival] [--rate R]\n"
-               "          [--read-every K] [--seed N] [--shape NAME] [--size N]\n"
-               "          [--durable] [--no-group-commit] [--window-us N]\n"
+               "          [--read-every K] [--read-mix PCT] [--seed N]\n"
+               "          [--shape NAME] [--size N] [--durable]\n"
+               "          [--no-group-commit] [--no-snapshot-reads] [--window-us N]\n"
                "          [--dir DIR] [--workers N] [--bench-json FILE] [--quiet]\n",
                argv0);
   return 2;
@@ -70,6 +71,10 @@ int main(int argc, char** argv) {
       options.rate_per_designer = std::atof(v);
     } else if (arg == "--read-every" && (v = next())) {
       options.read_every = std::atoi(v);
+    } else if (arg == "--read-mix" && (v = next())) {
+      options.read_mix = std::atoi(v);
+    } else if (arg == "--warmup" && (v = next())) {
+      options.warmup_executes = std::atoi(v);
     } else if (arg == "--seed" && (v = next())) {
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--shape" && (v = next())) {
@@ -80,6 +85,8 @@ int main(int argc, char** argv) {
       config.shard.durable = true;
     } else if (arg == "--no-group-commit") {
       config.shard.group_commit = false;
+    } else if (arg == "--no-snapshot-reads") {
+      config.shard.snapshot_reads = false;
     } else if (arg == "--window-us" && (v = next())) {
       config.shard.commit_window = std::chrono::microseconds(std::atoll(v));
     } else if (arg == "--dir" && (v = next())) {
@@ -137,6 +144,18 @@ int main(int argc, char** argv) {
     if (rep.runs > 0) {
       add("srv/load_ns_per_run", static_cast<std::int64_t>(rep.runs),
           rep.elapsed_sec * 1e9 / static_cast<double>(rep.runs));
+    }
+    if (rep.reads > 0 && rep.writes > 0) {
+      // The read-mix (MVCC snapshot-read) records: read service time, read
+      // throughput, and the write tail under concurrent readers.
+      add("srv/readmix_read_p50_us", static_cast<std::int64_t>(rep.reads),
+          static_cast<double>(rep.read_p50_us) * 1000.0);
+      add("srv/readmix_read_p99_us", static_cast<std::int64_t>(rep.reads),
+          static_cast<double>(rep.read_p99_us) * 1000.0);
+      add("srv/readmix_write_p99_us", static_cast<std::int64_t>(rep.writes),
+          static_cast<double>(rep.write_p99_us) * 1000.0);
+      add("srv/readmix_ns_per_read", static_cast<std::int64_t>(rep.reads),
+          rep.elapsed_sec * 1e9 / static_cast<double>(rep.reads));
     }
     std::ofstream out(bench_json);
     out << util::Json(std::move(records)).dump(2) << "\n";
