@@ -118,6 +118,27 @@ void BM_SnapshotAtomic(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotAtomic);
 
+// The per-line integrity tax in isolation: CRC-32C + length framing of a
+// representative journal payload (BM_RunJournalOn already includes it; this
+// isolates the checksum from the serialize + write + flush it rides with).
+void BM_JournalChecksumFrame(benchmark::State& state) {
+  const std::string path = "/tmp/herc_bench_frame.wal";
+  auto m = make_manager();
+  m->enable_journal(path).expect("journal");
+  m->run_activity("job", "Simulate", "bench").value();
+  std::string line = util::read_file(path).value();
+  m->disable_journal();
+  std::remove(path.c_str());
+  auto unframed = hercules::unframe_journal_line(
+      std::string_view(line).substr(0, line.find('\n')), false);
+  const std::string payload(unframed.payload);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hercules::frame_journal_line(payload));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_JournalChecksumFrame);
+
 // Recovery cost vs. journal tail length: load snapshot + replay N lines.
 void BM_RecoverJournalTail(benchmark::State& state) {
   auto [snapshot, journal] = journaled_state(static_cast<int>(state.range(0)));

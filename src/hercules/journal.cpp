@@ -1,10 +1,12 @@
 #include "hercules/journal.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "hercules/persist.hpp"
 #include "hercules/persist_detail.hpp"
 #include "hercules/workflow_manager.hpp"
+#include "util/crc32c.hpp"
 #include "util/fsio.hpp"
 #include "util/json.hpp"
 
@@ -35,8 +37,12 @@ class FileSink : public JournalSink {
 
   [[nodiscard]] util::Status restart() override {
     auto st = out_.open_trunc(path_);
-    if (!st.ok())
+    if (!st.ok()) {
+      // A storage fault stays kIoError (retryable, triggers shard
+      // degradation); anything else keeps the legacy unsupported code.
+      if (st.error().code == util::Error::Code::kIoError) return st;
       return util::unsupported("journal: cannot open '" + path_ + "' for writing");
+    }
     return util::Status::ok_status();
   }
 
@@ -122,8 +128,60 @@ void RunJournal::on_run_recorded(const meta::Run& run) {
   seen_runs_ = all_runs.size();
   line.set("runs", std::move(runs));
 
-  status_ = sink_->append(Json(std::move(line)).dump(-1));
+  status_ = sink_->append(frame_journal_line(Json(std::move(line)).dump(-1)));
   if (status_.ok()) ++lines_;
+}
+
+std::string frame_journal_line(std::string_view payload) {
+  char crc_hex[8];
+  util::crc32c_to_hex(util::crc32c(payload), crc_hex);
+  std::string framed = "J1 ";
+  framed += std::to_string(payload.size());
+  framed.push_back(' ');
+  framed.append(crc_hex, 8);
+  framed.push_back(' ');
+  framed.append(payload);
+  return framed;
+}
+
+UnframedLine unframe_journal_line(std::string_view line, bool is_final) {
+  constexpr std::string_view kMagic = "J1 ";
+  if (line.substr(0, kMagic.size()) != kMagic) {
+    // No magic: either a pre-framing journal line (the caller JSON-parses it
+    // and applies the same torn-tail rule) or a frame whose header was torn
+    // so early the magic itself is incomplete.
+    if (is_final && kMagic.substr(0, line.size()) == line)
+      return {FrameStatus::kTorn, {}};
+    return {FrameStatus::kLegacy, line};
+  }
+  std::string_view rest = line.substr(kMagic.size());
+
+  std::uint64_t declared = 0;
+  const char* end = rest.data() + rest.size();
+  auto [next, ec] = std::from_chars(rest.data(), end, declared);
+  const std::string_view after_len(next, static_cast<std::size_t>(end - next));
+  if (ec != std::errc{} || after_len.substr(0, 1) != " " ||
+      after_len.size() < 10) {
+    // Header cut off mid-length / mid-checksum.  Only a tear produces a
+    // PREFIX of a valid header; anything else (or a short header that is not
+    // the tail) is corruption.
+    return {is_final ? FrameStatus::kTorn : FrameStatus::kCorrupt, {}};
+  }
+  bool crc_ok = false;
+  const std::uint32_t stored =
+      util::crc32c_from_hex(after_len.substr(1, 8), &crc_ok);
+  std::string_view payload = after_len.substr(10);
+  // The header is structurally complete from here on, so damage in it can
+  // only be in-place corruption, never a tear.
+  if (!crc_ok || after_len[9] != ' ') return {FrameStatus::kCorrupt, {}};
+  if (payload.size() != declared) {
+    // Fewer bytes than declared at the very end of the file is the crash
+    // signature; fewer (or more) anywhere else means the file was damaged.
+    if (payload.size() < declared && is_final) return {FrameStatus::kTorn, {}};
+    return {FrameStatus::kCorrupt, {}};
+  }
+  if (util::crc32c(payload) != stored) return {FrameStatus::kCorrupt, {}};
+  return {FrameStatus::kOk, payload};
 }
 
 namespace {
@@ -170,50 +228,106 @@ std::vector<std::string_view> journal_lines(std::string_view text) {
   return lines;
 }
 
+namespace {
+
+/// Shared corruption policy: strict mode fails hard; resilient mode (stats
+/// present) records the damage and tells the replay loop to stop at the last
+/// verified record.  Returns the error for strict callers, OK otherwise.
+util::Status note_corruption(RecoveryStats* stats, std::size_t line_no,
+                             std::size_t lines_total, std::string what) {
+  if (stats == nullptr)
+    return util::parse_error("journal line " + std::to_string(line_no) + ": " +
+                             what);
+  stats->corrupt_lines += 1;
+  stats->lines_discarded = lines_total - line_no;  // records never examined
+  stats->detail = "journal line " + std::to_string(line_no) + ": " + what;
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
 util::Result<std::unique_ptr<WorkflowManager>> recover_from_json(
-    std::string_view snapshot_text, std::string_view journal_text) {
-  auto loaded = load_from_json(snapshot_text);
+    std::string_view snapshot_text, std::string_view journal_text,
+    RecoveryStats* stats) {
+  auto loaded = load_from_json(snapshot_text, stats);
   if (!loaded.ok()) return loaded;
   std::unique_ptr<WorkflowManager> m = std::move(loaded).take();
 
   std::vector<std::string_view> lines = journal_lines(journal_text);
+  if (stats != nullptr) stats->lines_seen = lines.size();
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const bool last = i + 1 == lines.size();
-    auto parsed = Json::parse(lines[i]);
-    if (!parsed.ok()) {
-      // A crash mid-append can tear only the FINAL line; drop it.  Anything
-      // earlier is genuine corruption.
-      if (last) break;
-      return util::parse_error("journal line " + std::to_string(i + 1) + ": " +
-                               parsed.error().message);
+    auto frame = unframe_journal_line(lines[i], last);
+    if (frame.status == FrameStatus::kTorn) {
+      // Crash debris: the append that never finished.  Nothing was
+      // acknowledged for it, so dropping it IS the correct recovery.
+      if (stats != nullptr) stats->torn_tail += 1;
+      break;
     }
-    if (!parsed.value().is_object()) {
-      if (last) break;
-      return util::parse_error("journal line " + std::to_string(i + 1) +
-                               ": not an object");
+    if (frame.status == FrameStatus::kCorrupt) {
+      auto st = note_corruption(stats, i + 1, lines.size(),
+                                "checksum/length verification failed");
+      if (!st.ok()) return st.error();
+      break;
+    }
+    auto parsed = Json::parse(frame.payload);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      // A verified frame always holds the JSON object that was checksummed,
+      // so a parse failure here means a legacy (unframed) line was damaged
+      // — or torn, if it is the final one.
+      if (last && frame.status == FrameStatus::kLegacy) {
+        if (stats != nullptr) stats->torn_tail += 1;
+        break;
+      }
+      auto st = note_corruption(stats, i + 1, lines.size(),
+                                parsed.ok() ? std::string("not an object")
+                                            : parsed.error().message);
+      if (!st.ok()) return st.error();
+      break;
     }
     try {
       auto st = apply_line(*m, parsed.value().as_object());
       if (!st.ok()) return st.error();
     } catch (const std::out_of_range& e) {
-      return util::parse_error("journal line " + std::to_string(i + 1) +
-                               ": missing field: " + e.what());
+      auto st = note_corruption(stats, i + 1, lines.size(),
+                                std::string("missing field: ") + e.what());
+      if (!st.ok()) return st.error();
+      break;
     } catch (const std::bad_variant_access&) {
-      return util::parse_error("journal line " + std::to_string(i + 1) +
-                               ": field has wrong JSON type");
+      auto st = note_corruption(stats, i + 1, lines.size(),
+                                "field has wrong JSON type");
+      if (!st.ok()) return st.error();
+      break;
     }
+    if (stats != nullptr) stats->lines_applied += 1;
   }
   return m;
 }
 
 util::Result<std::unique_ptr<WorkflowManager>> recover_project(
-    const std::string& snapshot_path, const std::string& journal_path) {
+    const std::string& snapshot_path, const std::string& journal_path,
+    RecoveryStats* stats) {
   auto snapshot = util::read_file(snapshot_path);
   if (!snapshot.ok()) return snapshot.error();
   auto journal = util::read_file(journal_path);
   // Crash before the first post-snapshot run: no journal is a valid state.
-  return recover_from_json(snapshot.value(),
-                           journal.ok() ? std::string_view(journal.value()) : "");
+  std::string_view journal_text =
+      journal.ok() ? std::string_view(journal.value()) : std::string_view{};
+  auto recovered = recover_from_json(snapshot.value(), journal_text, stats);
+  if (stats != nullptr && (stats->corrupt_lines > 0 || stats->snapshot_corrupt)) {
+    // Preserve the damaged bytes in a sidecar: the next snapshot truncates
+    // the live journal (or replaces the snapshot), and diagnosing corruption
+    // needs the evidence.
+    const bool snapshot_damage = stats->snapshot_corrupt;
+    const std::string sidecar =
+        (snapshot_damage ? snapshot_path : journal_path) + ".corrupt";
+    if (util::write_file(sidecar,
+                         snapshot_damage ? std::string_view(snapshot.value())
+                                         : journal_text)
+            .ok())
+      stats->quarantine_path = sidecar;
+  }
+  return recovered;
 }
 
 }  // namespace herc::hercules

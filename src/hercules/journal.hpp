@@ -10,9 +10,16 @@
 // before the append returns, so after a crash the journal is intact up to —
 // at worst — one torn final line.
 //
+// On disk each line is framed `J1 <len> <crc32c> <payload>` (see
+// frame_journal_line): the length prefix makes a torn final record
+// self-evident and the CRC-32C catches in-place corruption.  Plain unframed
+// JSON lines from older journals still replay (legacy fallback).
+//
 // Recovery = load the last snapshot, replay the journal tail over it
 // (recover_from_json / recover_project).  A torn final line is ignored; any
-// earlier malformed line is a real error.  The journal does NOT capture
+// earlier malformed line is a real error (or, when the caller passes a
+// RecoveryStats, replay stops at the last verified record and the damage is
+// reported + quarantined instead).  The journal does NOT capture
 // schedule-space mutations (plans, links) or manual clock advances between
 // runs; snapshot after those if they must survive a crash.
 //
@@ -121,16 +128,72 @@ class RunJournal : public meta::DatabaseObserver {
 /// replay every journal prefix and assert crash-point recovery composes.
 [[nodiscard]] std::vector<std::string_view> journal_lines(std::string_view text);
 
+/// Wraps one journal payload in the on-disk record frame:
+///   `J1 <payload-bytes> <crc32c-hex8> <payload>`
+/// The length makes a torn tail self-evident (fewer payload bytes than
+/// declared) and the checksum catches in-place corruption the length cannot.
+/// RunJournal frames every line before it reaches the sink, so the framing
+/// cost is paid once per run, off the fsync path.
+[[nodiscard]] std::string frame_journal_line(std::string_view payload);
+
+/// Verdict on one stored journal line.
+enum class FrameStatus {
+  kOk,       ///< framed, length and checksum verified
+  kLegacy,   ///< pre-framing plain line; caller validates the payload itself
+  kTorn,     ///< incomplete final record (crash mid-append): truncate here
+  kCorrupt,  ///< complete but failing verification: stop, never replay past it
+};
+
+struct UnframedLine {
+  FrameStatus status = FrameStatus::kLegacy;
+  std::string_view payload;  ///< valid for kOk / kLegacy
+};
+
+/// Classifies one line as produced by journal_lines.  `is_final` selects the
+/// torn-tail interpretation: an under-length or header-torn FINAL record is
+/// the expected debris of a crash mid-append (kTorn); the same damage
+/// earlier — or a full-length record whose checksum fails anywhere — is
+/// corruption (kCorrupt).  Lines without the `J1 ` magic are kLegacy.
+[[nodiscard]] UnframedLine unframe_journal_line(std::string_view line,
+                                                bool is_final);
+
+/// What recovery found and did; filled by recover_from_json/recover_project
+/// when the caller passes one (which also switches mid-stream corruption
+/// handling from fail-hard to stop-at-last-verified — see below).
+struct RecoveryStats {
+  std::uint64_t lines_seen = 0;     ///< non-empty journal lines in the file
+  std::uint64_t lines_applied = 0;  ///< records verified and replayed
+  std::uint64_t torn_tail = 0;      ///< final records dropped as crash debris
+  std::uint64_t corrupt_lines = 0;  ///< first mid-stream damaged record (0/1)
+  std::uint64_t lines_discarded = 0;  ///< records after the corruption point
+  bool snapshot_footer = false;   ///< snapshot carried a checksum footer
+  bool snapshot_corrupt = false;  ///< ...which failed to verify (fatal)
+  std::string quarantine_path;  ///< `.corrupt` sidecar (recover_project only)
+  std::string detail;           ///< human-readable description of the damage
+};
+
 /// Reconstructs a manager from a snapshot plus the journal written after it.
-/// The journal text may end in a torn line (crash mid-append); anything
-/// malformed before the final line is a kParse error.  An empty journal is
-/// valid (recovery degenerates to load_from_json).
+/// The journal text may end in a torn line (crash mid-append); that line is
+/// dropped.  Mid-stream damage (a checksum failure, a malformed record
+/// before the tail) is handled two ways:
+///   - stats == nullptr (strict): fail with kParse — the default for callers
+///     that must not mask corruption (the CLI, the fuzz oracle).
+///   - stats != nullptr (resilient): stop at the last verified record,
+///     discard everything after the damage, and report what happened in
+///     `stats`.  Nothing past an unverified record is EVER replayed.
+/// An empty journal is valid (recovery degenerates to load_from_json).
 [[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> recover_from_json(
-    std::string_view snapshot_text, std::string_view journal_text);
+    std::string_view snapshot_text, std::string_view journal_text,
+    RecoveryStats* stats = nullptr);
 
 /// File-based recovery: reads both files and delegates to recover_from_json.
 /// A missing journal file is treated as empty (crash before the first run).
+/// With `stats`, mid-stream journal corruption additionally quarantines the
+/// damaged file: its bytes are copied to `<journal_path>.corrupt` (recorded
+/// in stats->quarantine_path) so the evidence survives the journal restart
+/// that follows the next snapshot.
 [[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> recover_project(
-    const std::string& snapshot_path, const std::string& journal_path);
+    const std::string& snapshot_path, const std::string& journal_path,
+    RecoveryStats* stats = nullptr);
 
 }  // namespace herc::hercules

@@ -1,7 +1,10 @@
 #include "hercules/persist.hpp"
 
+#include <charconv>
+
 #include "hercules/journal.hpp"
 #include "hercules/persist_detail.hpp"
+#include "util/crc32c.hpp"
 #include "util/fsio.hpp"
 #include "util/json.hpp"
 
@@ -381,9 +384,67 @@ std::string save_to_json(const WorkflowManager& manager) {
   return Persistence::save(manager);
 }
 
+namespace {
+constexpr std::string_view kFooterMagic = "#herc-snapshot-crc32c ";
+}  // namespace
+
+std::string append_snapshot_footer(std::string text) {
+  char crc_hex[8];
+  util::crc32c_to_hex(util::crc32c(text), crc_hex);
+  const std::string body_size = std::to_string(text.size());
+  text.append(kFooterMagic);
+  text.append(crc_hex, 8);
+  text.push_back(' ');
+  text.append(body_size);
+  text.push_back('\n');
+  return text;
+}
+
+util::Result<std::string_view> strip_snapshot_footer(std::string_view text,
+                                                     RecoveryStats* stats) {
+  // The footer is the final line; save_to_json bodies end in '\n', so search
+  // back from the character before the trailing newline (if any).
+  std::string_view trimmed = text;
+  if (!trimmed.empty() && trimmed.back() == '\n') trimmed.remove_suffix(1);
+  std::size_t nl = trimmed.find_last_of('\n');
+  std::string_view last_line =
+      nl == std::string_view::npos ? trimmed : trimmed.substr(nl + 1);
+  if (last_line.substr(0, kFooterMagic.size()) != kFooterMagic)
+    return text;  // pre-footer snapshot
+  if (stats != nullptr) stats->snapshot_footer = true;
+
+  auto corrupt = [&](const char* what) -> util::Error {
+    if (stats != nullptr) {
+      stats->snapshot_corrupt = true;
+      stats->detail = std::string("snapshot: ") + what;
+    }
+    return util::parse_error(std::string("snapshot footer: ") + what);
+  };
+
+  std::string_view fields = last_line.substr(kFooterMagic.size());
+  if (fields.size() < 10 || fields[8] != ' ')
+    return corrupt("malformed checksum footer");
+  bool crc_ok = false;
+  const std::uint32_t stored = util::crc32c_from_hex(fields.substr(0, 8), &crc_ok);
+  if (!crc_ok) return corrupt("malformed checksum footer");
+  std::uint64_t declared = 0;
+  const char* end = fields.data() + fields.size();
+  auto [next, ec] = std::from_chars(fields.data() + 9, end, declared);
+  if (ec != std::errc{} || next != end)
+    return corrupt("malformed checksum footer");
+
+  std::string_view body = text.substr(0, nl == std::string_view::npos ? 0 : nl + 1);
+  if (body.size() != declared)
+    return corrupt("body length does not match footer");
+  if (util::crc32c(body) != stored)
+    return corrupt("checksum mismatch (snapshot damaged on disk)");
+  return body;
+}
+
 util::Status save_project_file(WorkflowManager& manager, const std::string& path,
                                bool durable) {
-  auto st = util::write_file_atomic(path, save_to_json(manager), durable);
+  auto st = util::write_file_atomic(
+      path, append_snapshot_footer(save_to_json(manager)), durable);
   if (!st.ok()) return st;
   // The snapshot now covers everything the journal held; restart it so
   // recovery replays only runs recorded after this save.
@@ -391,8 +452,11 @@ util::Status save_project_file(WorkflowManager& manager, const std::string& path
   return util::Status::ok_status();
 }
 
-util::Result<std::unique_ptr<WorkflowManager>> load_from_json(std::string_view text) {
-  return Persistence::load(text);
+util::Result<std::unique_ptr<WorkflowManager>> load_from_json(std::string_view text,
+                                                              RecoveryStats* stats) {
+  auto body = strip_snapshot_footer(text, stats);
+  if (!body.ok()) return body.error();
+  return Persistence::load(body.value());
 }
 
 }  // namespace herc::hercules

@@ -18,14 +18,34 @@
 
 namespace herc::hercules {
 
+struct RecoveryStats;  // journal.hpp
+
 /// Serializes the full manager state.
 [[nodiscard]] std::string save_to_json(const WorkflowManager& manager);
 
-/// Reconstructs a manager from save_to_json output.  Fails with kParse on
-/// malformed JSON, kInvalid/kConflict on semantic mismatches (e.g. version
-/// counters that do not reproduce).
+/// Appends the integrity footer save_project_file writes after the
+/// serialized state:
+///   `#herc-snapshot-crc32c <crc32c-hex8> <body-bytes>\n`
+/// The checksum covers every byte before the footer line, so a snapshot
+/// damaged in place after the atomic rename is detected at load instead of
+/// being deserialized into a silently wrong project.
+[[nodiscard]] std::string append_snapshot_footer(std::string text);
+
+/// Verifies and strips the integrity footer, returning the body it covers.
+/// Text without a footer is returned unchanged (pre-footer snapshots stay
+/// loadable).  A footer that is malformed or does not match the body is a
+/// kParse error; with `stats`, RecoveryStats::snapshot_corrupt is also set
+/// so recover_project can quarantine the file.
+[[nodiscard]] util::Result<std::string_view> strip_snapshot_footer(
+    std::string_view text, RecoveryStats* stats = nullptr);
+
+/// Reconstructs a manager from save_to_json output, with or without the
+/// integrity footer.  Fails with kParse on malformed JSON or a checksum
+/// mismatch, kInvalid/kConflict on semantic mismatches (e.g. version
+/// counters that do not reproduce).  `stats` reports footer presence and
+/// corruption (see strip_snapshot_footer).
 [[nodiscard]] util::Result<std::unique_ptr<WorkflowManager>> load_from_json(
-    std::string_view text);
+    std::string_view text, RecoveryStats* stats = nullptr);
 
 /// Crash-safe snapshot: serializes the manager and atomically replaces
 /// `path` (write to `path + ".tmp"`, then rename), so a crash mid-save never

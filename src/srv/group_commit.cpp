@@ -88,7 +88,12 @@ util::Status GroupCommitter::restart() {
   pending_.clear();
   auto st = file_.open_trunc(path_);
   if (!st.ok()) {
-    status_ = util::unsupported("group commit: cannot reopen '" + path_ + "'");
+    // Keep a storage fault recognizable (kIoError => retryable / shard
+    // degradation); everything else stays the legacy unsupported.
+    status_ = st.error().code == util::Error::Code::kIoError
+                  ? st
+                  : util::unsupported("group commit: cannot reopen '" + path_ +
+                                      "'");
     done_cv_.notify_all();
     return status_;
   }

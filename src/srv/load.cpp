@@ -29,6 +29,7 @@ struct WorkerTally {
   std::vector<std::int64_t> write_latencies_us;
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
+  std::uint64_t shed = 0;  ///< retryable refusals (overloaded / io_error)
   std::uint64_t runs = 0;
 };
 
@@ -134,7 +135,13 @@ void drive_one(const LoadOptions& options, int project, int designer,
       return;  // transport gone; this designer is done
     }
     if (!response.value().ok) {
-      ++tally.errors;
+      // Retryable refusals (shed under overload, a degraded shard) are the
+      // server working as designed; a closed loop simply tries again.
+      if (response.value().error.retryable()) {
+        ++tally.shed;
+      } else {
+        ++tally.errors;
+      }
       continue;
     }
     if (response.value().result.is_object() &&
@@ -161,6 +168,7 @@ Json LoadReport::to_json() const {
   JsonObject o;
   o.set("requests", Json(static_cast<std::int64_t>(requests)));
   o.set("errors", Json(static_cast<std::int64_t>(errors)));
+  o.set("shed", Json(static_cast<std::int64_t>(shed)));
   o.set("runs", Json(static_cast<std::int64_t>(runs)));
   o.set("elapsed_sec", Json(elapsed_sec));
   o.set("runs_per_sec", Json(runs_per_sec));
@@ -182,7 +190,8 @@ Json LoadReport::to_json() const {
 
 std::string LoadReport::summary() const {
   std::ostringstream out;
-  out << requests << " reqs (" << errors << " errors), " << runs << " runs in "
+  out << requests << " reqs (" << errors << " errors, " << shed
+      << " shed), " << runs << " runs in "
       << elapsed_sec << "s = " << runs_per_sec << " runs/s; latency p50 "
       << p50_us << "us p99 " << p99_us << "us; " << journal_lines
       << " journal lines in " << group_commits << " flushes";
@@ -257,6 +266,7 @@ Result<LoadReport> run_load(const LoadOptions& options) {
   for (auto& tally : tallies) {
     report.requests += tally.requests;
     report.errors += tally.errors;
+    report.shed += tally.shed;
     report.runs += tally.runs;
     reads.insert(reads.end(), tally.read_latencies_us.begin(),
                  tally.read_latencies_us.end());

@@ -69,7 +69,12 @@ struct LoadOptions {
 
 struct LoadReport {
   std::uint64_t requests = 0;  ///< responses received
-  std::uint64_t errors = 0;    ///< transport errors + ok=false responses
+  std::uint64_t errors = 0;    ///< transport errors + HARD ok=false responses
+  /// Responses the server declined with a RETRYABLE error (`overloaded`
+  /// shedding, a read-only shard's `io_error`).  Counted apart from `errors`:
+  /// shed work is the server protecting itself, not the workload failing —
+  /// CI asserts errors == 0 while a shed count merely dents throughput.
+  std::uint64_t shed = 0;
   std::uint64_t runs = 0;      ///< tool runs the executes produced
   double elapsed_sec = 0.0;
   double runs_per_sec = 0.0;

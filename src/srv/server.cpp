@@ -150,10 +150,33 @@ void Server::reader_main(std::shared_ptr<Session> session) {
         send_response(*session, wire::Response::failure(0, request.error()));
         continue;
       }
+      bool shed = false;
+      std::uint64_t request_id = 0;
       {
         std::lock_guard<std::mutex> lock(queue_mu_);
-        queue_.push_back(Job{session, std::move(request).take()});
-        queue_depth_.store(static_cast<std::int64_t>(queue_.size()));
+        // Overload shedding: past the bound the request is answered (not
+        // queued) with a retryable error, from the reader thread — the
+        // worker pool never sees it, so a storm cannot grow the queue or
+        // its memory without limit.
+        if (config_.max_queue_depth != 0 &&
+            queue_.size() >= config_.max_queue_depth) {
+          shed = true;
+          request_id = request.value().id;
+        } else {
+          queue_.push_back(Job{session, std::move(request).take()});
+          queue_depth_.store(static_cast<std::int64_t>(queue_.size()));
+        }
+      }
+      if (shed) {
+        requests_shed_.fetch_add(1);
+        send_response(
+            *session,
+            wire::Response::failure(
+                request_id,
+                util::overloaded("server queue full (" +
+                                 std::to_string(config_.max_queue_depth) +
+                                 " requests pending); retry after backoff")));
+        continue;
       }
       queue_cv_.notify_one();
     }
@@ -350,15 +373,21 @@ Json Server::stats_json() {
              Json(static_cast<std::int64_t>(active_sessions_.load())));
   server.set("srv_protocol_errors",
              Json(static_cast<std::int64_t>(protocol_errors_.load())));
+  server.set("srv_requests_shed",
+             Json(static_cast<std::int64_t>(requests_shed_.load())));
   server.set("srv_queue_depth", Json(queue_depth_.load()));
+  server.set("srv_queue_limit",
+             Json(static_cast<std::int64_t>(config_.max_queue_depth)));
 
   util::JsonArray shard_stats;
   std::int64_t total_requests = 0;
   std::int64_t total_commits = 0;
   std::int64_t total_lines = 0;
+  std::int64_t shards_read_only = 0;
   {
     std::lock_guard<std::mutex> lock(shards_mu_);
     for (const auto& [name, shard] : shards_) {
+      if (shard->read_only()) ++shards_read_only;
       Json stats = shard->stats_json();
       const JsonObject& obj = stats.as_object();
       if (obj.contains("srv_requests")) {
@@ -378,6 +407,7 @@ Json Server::stats_json() {
   }
   JsonObject totals;
   totals.set("shards", Json(static_cast<std::int64_t>(shard_stats.size())));
+  totals.set("shards_read_only", Json(shards_read_only));
   totals.set("shard_requests", Json(total_requests));
   totals.set("srv_group_commits", Json(total_commits));
   totals.set("journal_lines", Json(total_lines));

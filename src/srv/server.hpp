@@ -45,6 +45,13 @@ struct ServerConfig {
   int tcp_port = -1;
   std::string tcp_host = "127.0.0.1";
   int workers = 4;
+  /// Overload shedding: maximum parsed-but-unexecuted requests queued for
+  /// the worker pool.  A request arriving past the bound is answered
+  /// immediately with a RETRYABLE `overloaded` error instead of being
+  /// queued — bounding memory and queueing latency under a request storm
+  /// (shed work is cheap for the client to retry; an unbounded queue would
+  /// instead time everyone out).  0 = unbounded (the pre-shedding behavior).
+  std::size_t max_queue_depth = 1024;
   /// Applied to every shard (journal mode, fsync policy, data directory).
   ShardOptions shard;
   /// Nominal runtime for auto-registered simulated tools (DSL projects and
@@ -165,6 +172,7 @@ class Server {
   std::atomic<std::uint64_t> sessions_total_{0};
   std::atomic<std::uint64_t> active_sessions_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
   std::atomic<std::int64_t> queue_depth_{0};
 };
 

@@ -137,9 +137,13 @@ util::Result<std::unique_ptr<ProjectShard>> ProjectShard::recover(
     const std::string& name, std::int64_t tool_minutes,
     const ShardOptions& options) {
   std::unique_ptr<ProjectShard> shard(new ProjectShard(name, options));
-  auto recovered =
-      hercules::recover_project(shard->snapshot_path(), shard->wal_path());
+  // Resilient mode: a damaged WAL replays to its last verified record and is
+  // quarantined (<wal>.corrupt) instead of failing the whole shard; the
+  // outcome is kept for stats_json()["health"]["recovery"].
+  auto recovered = hercules::recover_project(
+      shard->snapshot_path(), shard->wal_path(), &shard->recovery_stats_);
   if (!recovered.ok()) return recovered.error();
+  shard->recovered_ = true;
   shard->manager_ = std::move(recovered).take();
   // Tool closures are never persisted; rebuild the simulated registry.
   register_default_tools(*shard->manager_, tool_minutes);
@@ -190,6 +194,13 @@ wire::Response ProjectShard::apply(const wire::Request& request) {
     if (crashed_.load(std::memory_order_relaxed))
       return wire::Response::failure(
           request.id, util::unsupported("shard '" + name_ + "' crashed"));
+    // Fail-safe degradation: after an unrecoverable storage fault the shard
+    // keeps answering reads (above, and read ops falling through to this
+    // lane) and `stats`, but rejects anything that would need the disk with
+    // a retryable error.
+    if (read_only_.load(std::memory_order_relaxed) &&
+        !is_read_op(request.op) && request.op != "stats")
+      return wire::Response::failure(request.id, read_only_error_locked());
     write_lane_requests_.fetch_add(1, std::memory_order_relaxed);
     metrics_->add("srv_requests");
     if (committer_) before = committer_->last_enqueued();
@@ -207,12 +218,47 @@ wire::Response ProjectShard::apply(const wire::Request& request) {
   // this commit (that overlap is what builds multi-line batches).
   if (response.ok && after > before) {
     auto st = committer_->wait_durable(after);
-    if (!st.ok()) return wire::Response::failure(request.id, st.error());
+    if (!st.ok()) {
+      // The WAL can no longer durably record runs: never ack this mutation,
+      // and stop accepting new ones (the in-memory state stays serveable
+      // through the read lane).
+      enter_read_only(st.error());
+      return wire::Response::failure(
+          request.id, util::io_error("shard '" + name_ + "': " +
+                                     st.error().message + " (not acknowledged)"));
+    }
   }
-  if (!committer_ && response.ok && manager_->journal() &&
-      !manager_->journal()->status().ok())
-    return wire::Response::failure(request.id, manager_->journal()->status().error());
+  // Only mutations are held to the WAL guarantee: reads that fell through
+  // to the write lane and `stats` (both must keep answering on a degraded
+  // shard) never appended anything, so the sticky journal status cannot
+  // retract them.
+  if (!committer_ && response.ok && !is_read_op(request.op) &&
+      request.op != "stats" && manager_->journal() &&
+      !manager_->journal()->status().ok()) {
+    auto err = manager_->journal()->status().error();
+    enter_read_only(err);
+    return wire::Response::failure(
+        request.id, util::io_error("shard '" + name_ + "': " + err.message +
+                                   " (not acknowledged)"));
+  }
   return response;
+}
+
+void ProjectShard::enter_read_only(const util::Error& cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enter_read_only_locked(cause);
+}
+
+void ProjectShard::enter_read_only_locked(const util::Error& cause) {
+  if (read_only_.load(std::memory_order_relaxed)) return;
+  read_only_reason_ = cause.message;
+  read_only_.store(true, std::memory_order_release);
+}
+
+util::Error ProjectShard::read_only_error_locked() const {
+  return util::io_error("shard '" + name_ +
+                        "' is read-only after a storage fault (" +
+                        read_only_reason_ + "); retry against a repaired shard");
 }
 
 wire::Response ProjectShard::dispatch(const wire::Request& request) {
@@ -369,10 +415,17 @@ util::Status ProjectShard::snapshot() {
 
 util::Status ProjectShard::snapshot_locked() {
   if (crashed_) return util::unsupported("shard '" + name_ + "' crashed");
+  if (read_only_.load(std::memory_order_relaxed)) return read_only_error_locked();
   // save_project_file restarts the journal, which for a group committer
   // first drains any in-flight batch (GroupCommitter::restart).
-  return hercules::save_project_file(*manager_, snapshot_path(),
-                                     options_.durable);
+  auto st = hercules::save_project_file(*manager_, snapshot_path(),
+                                        options_.durable);
+  // A failed snapshot leaves the previous one intact (atomic replace), but
+  // in-memory state this op already produced is now ahead of what recovery
+  // can rebuild — stop taking mutations rather than widen that gap.
+  if (!st.ok() && st.error().code == util::Error::Code::kIoError)
+    enter_read_only_locked(st.error());
+  return st;
 }
 
 util::Status ProjectShard::shutdown() {
@@ -434,6 +487,31 @@ Json ProjectShard::stats_json_locked() const {
            static_cast<std::int64_t>(
                write_lane_requests_.load(std::memory_order_relaxed)));
     o.set("snapshots", Json(std::move(sn)));
+  }
+  {
+    // Per-shard health: routing layers use `state` to stop sending mutations
+    // to a degraded shard; `recovery` reports what the last crash recovery
+    // found (torn tails are normal crash debris, corrupt lines mean the
+    // damaged file was quarantined).
+    JsonObject h;
+    h.set("state", std::string(read_only_.load(std::memory_order_relaxed)
+                                   ? "read_only"
+                                   : "ok"));
+    if (!read_only_reason_.empty()) h.set("reason", read_only_reason_);
+    if (recovered_) {
+      const auto& rs = recovery_stats_;
+      JsonObject r;
+      r.set("wal_lines_seen", static_cast<std::int64_t>(rs.lines_seen));
+      r.set("wal_lines_applied", static_cast<std::int64_t>(rs.lines_applied));
+      r.set("torn_tail", static_cast<std::int64_t>(rs.torn_tail));
+      r.set("corrupt_lines", static_cast<std::int64_t>(rs.corrupt_lines));
+      r.set("lines_discarded", static_cast<std::int64_t>(rs.lines_discarded));
+      r.set("snapshot_footer", rs.snapshot_footer);
+      if (!rs.quarantine_path.empty()) r.set("quarantined", rs.quarantine_path);
+      if (!rs.detail.empty()) r.set("detail", rs.detail);
+      h.set("recovery", Json(std::move(r)));
+    }
+    o.set("health", Json(std::move(h)));
   }
   return Json(std::move(o));
 }

@@ -44,6 +44,7 @@
 #include <string>
 
 #include "gen/gen.hpp"
+#include "hercules/journal.hpp"
 #include "hercules/workflow_manager.hpp"
 #include "obs/metrics.hpp"
 #include "srv/group_commit.hpp"
@@ -90,7 +91,11 @@ class ProjectShard {
 
   /// Reopens a project from its snapshot + WAL after a crash or restart,
   /// re-registers simulated tools for every tool type, and restarts
-  /// journaling from a fresh post-recovery snapshot.
+  /// journaling from a fresh post-recovery snapshot.  Recovery is resilient:
+  /// a torn WAL tail is dropped, mid-stream corruption stops replay at the
+  /// last verified record and quarantines the damaged file (see
+  /// hercules::RecoveryStats); what happened is surfaced under
+  /// stats_json()["health"]["recovery"].
   [[nodiscard]] static util::Result<std::unique_ptr<ProjectShard>> recover(
       const std::string& name, std::int64_t tool_minutes,
       const ShardOptions& options);
@@ -129,6 +134,20 @@ class ProjectShard {
   /// TEST HOOK: models SIGKILL — queued journal lines vanish, no final
   /// snapshot.  Only on-disk bytes survive for recover().
   void simulate_crash();
+
+  /// Fail-safe degradation: true once an unrecoverable storage fault latched
+  /// the shard read-only.  The MVCC read lane keeps serving pinned epochs
+  /// (and `stats` still answers); every mutation is rejected with a
+  /// RETRYABLE kIoError so clients back off and retry against a repaired or
+  /// restarted shard instead of treating it as a hard failure.
+  [[nodiscard]] bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Recovery outcome captured by recover() (empty for fresh shards).
+  [[nodiscard]] const hercules::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
 
  private:
   ProjectShard(std::string name, ShardOptions options);
@@ -169,6 +188,17 @@ class ProjectShard {
   /// the read lane's writer-priority backoff polls it.
   std::atomic<bool> write_dispatching_{false};
   std::atomic<bool> crashed_{false};
+
+  /// Latches the shard read-only (idempotent).  Takes mu_ itself when called
+  /// from outside the lock (the post-release durability wait).
+  void enter_read_only(const util::Error& cause);
+  void enter_read_only_locked(const util::Error& cause);
+  [[nodiscard]] util::Error read_only_error_locked() const;
+
+  std::atomic<bool> read_only_{false};
+  std::string read_only_reason_;  ///< written once under mu_ at the latch
+  hercules::RecoveryStats recovery_stats_;
+  bool recovered_ = false;  ///< this shard came up through recover()
 };
 
 }  // namespace herc::srv

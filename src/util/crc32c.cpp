@@ -1,0 +1,76 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace herc::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+  while (n >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+void crc32c_to_hex(std::uint32_t crc, char out[8]) {
+  static const char* digits = "0123456789abcdef";
+  for (int i = 7; i >= 0; --i) {
+    out[i] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+}
+
+std::uint32_t crc32c_from_hex(std::string_view hex8, bool* ok) {
+  *ok = hex8.size() == 8;
+  std::uint32_t crc = 0;
+  if (!*ok) return 0;
+  for (char c : hex8) {
+    crc <<= 4;
+    if (c >= '0' && c <= '9') {
+      crc |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      crc |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      *ok = false;
+      return 0;
+    }
+  }
+  return crc;
+}
+
+}  // namespace herc::util

@@ -1,0 +1,23 @@
+#pragma once
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum the
+// storage layer stamps on journal records and snapshot footers.  Chosen over
+// plain CRC-32 for its better error-detection properties on short records
+// (it is what ext4, iSCSI and LevelDB use for the same job).  Software
+// slice-by-4 table implementation: no hardware dependency, ~1 GB/s, far
+// faster than the journal's own serialization cost.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace herc::util {
+
+/// CRC-32C of `data`, optionally chaining a previous crc (pass the previous
+/// return value to extend a running checksum across buffers).
+[[nodiscard]] std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0);
+
+/// Fixed-width lowercase hex (8 digits) of a CRC — the on-disk spelling.
+[[nodiscard]] std::uint32_t crc32c_from_hex(std::string_view hex8, bool* ok);
+void crc32c_to_hex(std::uint32_t crc, char out[8]);
+
+}  // namespace herc::util

@@ -1,0 +1,94 @@
+#include "util/faultfs.hpp"
+
+#include <algorithm>
+
+namespace herc::util {
+
+namespace {
+
+/// splitmix64 finalizer; the same stateless mixing exec::FaultInjector uses,
+/// so fault sweeps in both layers share one reproducibility story.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double roll(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t h = mix(seed + 0x9E3779B97F4A7C15ull * (k + 1));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool contains_index(const std::vector<std::uint64_t>& v, std::uint64_t k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+std::atomic<FaultFs*> g_installed{nullptr};
+
+}  // namespace
+
+const char* fs_op_name(FsOp op) {
+  switch (op) {
+    case FsOp::kOpen: return "open";
+    case FsOp::kWrite: return "write";
+    case FsOp::kFsync: return "fsync";
+    case FsOp::kRename: return "rename";
+    case FsOp::kDirFsync: return "dirfsync";
+  }
+  return "unknown";
+}
+
+FaultFs::FaultFs(std::uint64_t seed, FsFaultPlan plan)
+    : seed_(seed), plan_(std::move(plan)) {}
+
+FaultFs::Decision FaultFs::decide(FsOp op, const std::string& path,
+                                  std::size_t bytes) {
+  (void)op;
+  if (!plan_.path_filter.empty() &&
+      path.find(plan_.path_filter) == std::string::npos)
+    return {};
+  const std::uint64_t k = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Dead processes perform no IO: after the latched crash every matching
+  // operation fails (the caller translates this into an IO error; nothing
+  // reaches the kernel).
+  if (crashed_.load(std::memory_order_acquire)) return {Action::kEio, 0};
+
+  Decision d;
+  if (plan_.crash_at != 0 && k == plan_.crash_at) {
+    d.action = Action::kCrash;
+  } else if (contains_index(plan_.torn_write_on, k)) {
+    d.action = bytes > 0 ? Action::kTorn : Action::kCrash;
+  } else if (contains_index(plan_.short_write_on, k)) {
+    d.action = bytes > 0 ? Action::kShort : Action::kEnospc;
+  } else if (contains_index(plan_.enospc_on, k)) {
+    d.action = Action::kEnospc;
+  } else if (contains_index(plan_.eio_on, k)) {
+    d.action = Action::kEio;
+  } else if (plan_.fail_prob > 0.0 && roll(seed_, k) < plan_.fail_prob) {
+    d.action = Action::kEio;
+  }
+  if (d.action == Action::kNone) return d;
+
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  if (d.action == Action::kShort || d.action == Action::kTorn) {
+    // Land a hash-placed strict prefix (possibly zero bytes): the sweep then
+    // exercises tears at varying positions, including "nothing landed".
+    d.prefix_bytes = bytes > 1 ? static_cast<std::size_t>(
+                                     roll(seed_ ^ 0xD1B54A32D192ED03ull, k) *
+                                     static_cast<double>(bytes))
+                               : 0;
+    d.prefix_bytes = std::min(d.prefix_bytes, bytes - 1);
+  }
+  if (d.action == Action::kTorn || d.action == Action::kCrash)
+    crashed_.store(true, std::memory_order_release);
+  return d;
+}
+
+FaultFs* FaultFs::install(FaultFs* fs) { return g_installed.exchange(fs); }
+
+FaultFs* FaultFs::installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+}  // namespace herc::util

@@ -1,0 +1,136 @@
+#pragma once
+// Deterministic storage-fault injection for the fsio layer.
+//
+// The execution layer already has exec::FaultInjector for *tool* failures;
+// FaultFs is its sibling for the *disk*.  Every IO point in util/fsio
+// (open, write, fsync, rename, directory fsync) consults the installed
+// FaultFs before touching the kernel, so a test can make the Nth IO
+// operation of a workload return EIO, report ENOSPC, land only a prefix of
+// its bytes (short write), tear mid-write and "kill the process", or model
+// an outright crash at that IO point — and a sweep over N probes every
+// storage state a real crash could leave behind.
+//
+// Determinism follows the exec::FaultInjector recipe: probabilistic faults
+// are a pure hash of (seed, op index) — no RNG stream state — and exact
+// fault indices count matching IO operations in issue order.  A
+// single-threaded driver therefore gets bit-identical fault sequences for a
+// given seed; under concurrent load the op index still sweeps every IO
+// point even though which logical request owns an index may vary.
+//
+// Crash model: a torn write or crash point latches `crashed()`.  From then
+// on every matching IO operation fails without touching the kernel —
+// exactly a dead process: the bytes already on disk are all recovery gets.
+//
+// Installation is process-global (the production code paths must not pay an
+// argument-threading tax for a test-only shim): ScopedFaultFs installs on
+// construction and uninstalls on destruction.  decide() is thread-safe.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace herc::util {
+
+/// The IO points fsio exposes to injection.
+enum class FsOp { kOpen, kWrite, kFsync, kRename, kDirFsync };
+
+[[nodiscard]] const char* fs_op_name(FsOp op);
+
+/// A reproducible storage-fault scenario.  Indices are 1-based positions in
+/// the sequence of IO operations whose path contains `path_filter`.
+struct FsFaultPlan {
+  double fail_prob = 0.0;                    ///< per-op injected EIO probability
+  std::vector<std::uint64_t> eio_on;         ///< indices that fail with EIO
+  std::vector<std::uint64_t> enospc_on;      ///< indices that fail with ENOSPC
+  std::vector<std::uint64_t> short_write_on; ///< indices landing a byte prefix
+  std::vector<std::uint64_t> torn_write_on;  ///< prefix lands, then crash
+  std::uint64_t crash_at = 0;                ///< crash AT this IO point; 0 = off
+  /// Only operations whose path contains this substring are counted and
+  /// faulted; empty = every operation.  Tests scope injection to their own
+  /// temp directory so unrelated IO (other tests, the fuzzer's scratch
+  /// files) neither consumes indices nor fails.
+  std::string path_filter;
+
+  [[nodiscard]] bool empty() const {
+    return fail_prob == 0.0 && eio_on.empty() && enospc_on.empty() &&
+           short_write_on.empty() && torn_write_on.empty() && crash_at == 0;
+  }
+};
+
+class FaultFs {
+ public:
+  FaultFs(std::uint64_t seed, FsFaultPlan plan);
+
+  enum class Action {
+    kNone,    ///< perform the operation normally
+    kEio,     ///< fail with EIO, nothing reaches the kernel
+    kEnospc,  ///< fail with ENOSPC, nothing reaches the kernel
+    kShort,   ///< write only a prefix of the bytes, then report ENOSPC
+    kTorn,    ///< write only a prefix, then latch crashed (process death)
+    kCrash,   ///< latch crashed before the operation (nothing reaches disk)
+  };
+  struct Decision {
+    Action action = Action::kNone;
+    /// For kShort / kTorn: how many of the requested bytes to actually
+    /// write.  Derived from the op-index hash so sweeps vary the tear point.
+    std::size_t prefix_bytes = 0;
+  };
+
+  /// Consulted by fsio at each IO point.  Thread-safe; increments the op
+  /// counter only for paths matching the plan's filter.  `bytes` is the
+  /// write size (0 for non-write ops), used to place short/torn prefixes.
+  [[nodiscard]] Decision decide(FsOp op, const std::string& path,
+                                std::size_t bytes);
+
+  /// True once a torn write or crash point fired; all later matching IO
+  /// fails (the process is "dead").
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  /// Matching IO operations seen so far.  A clean pass over a workload
+  /// (empty plan) measures the sweep range for crash_at / *_on indices.
+  [[nodiscard]] std::uint64_t ops() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+  /// Faults injected so far (diagnostics; crash latching counts once).
+  [[nodiscard]] std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const FsFaultPlan& plan() const { return plan_; }
+
+  /// Process-global installation point read by fsio.  Pass nullptr to
+  /// uninstall.  Returns the previous value.
+  static FaultFs* install(FaultFs* fs);
+  [[nodiscard]] static FaultFs* installed();
+
+ private:
+  const std::uint64_t seed_;
+  const FsFaultPlan plan_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<bool> crashed_{false};
+};
+
+/// RAII installer: the shim is active for the scope's lifetime.
+class ScopedFaultFs {
+ public:
+  ScopedFaultFs(std::uint64_t seed, FsFaultPlan plan) : fs_(seed, std::move(plan)) {
+    previous_ = FaultFs::install(&fs_);
+  }
+  ~ScopedFaultFs() { FaultFs::install(previous_); }
+  ScopedFaultFs(const ScopedFaultFs&) = delete;
+  ScopedFaultFs& operator=(const ScopedFaultFs&) = delete;
+
+  [[nodiscard]] FaultFs& fs() { return fs_; }
+
+ private:
+  FaultFs fs_;
+  FaultFs* previous_ = nullptr;
+};
+
+}  // namespace herc::util

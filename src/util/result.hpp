@@ -20,6 +20,8 @@ struct Error {
     kUnbound,      ///< task tree leaf has no bound instance
     kConflict,     ///< operation conflicts with database state
     kUnsupported,  ///< feature not available in this configuration
+    kIoError,      ///< storage failure (EIO/ENOSPC/short write); retryable
+    kOverloaded,   ///< server shed the request under load; retryable
   };
 
   Code code = Code::kInvalid;
@@ -27,6 +29,13 @@ struct Error {
 
   [[nodiscard]] std::string str() const {
     return std::string(code_name(code)) + ": " + message;
+  }
+
+  /// Transient conditions a client should retry (after backoff) rather than
+  /// treat as a hard failure: the request itself was well-formed, the system
+  /// just could not serve it right now.
+  [[nodiscard]] bool retryable() const {
+    return code == Code::kIoError || code == Code::kOverloaded;
   }
 
   [[nodiscard]] static const char* code_name(Code c) {
@@ -37,6 +46,8 @@ struct Error {
       case Code::kUnbound: return "unbound";
       case Code::kConflict: return "conflict";
       case Code::kUnsupported: return "unsupported";
+      case Code::kIoError: return "io error";
+      case Code::kOverloaded: return "overloaded";
     }
     return "unknown";
   }
@@ -124,6 +135,12 @@ inline Error conflict(std::string msg) {
 }
 inline Error unsupported(std::string msg) {
   return Error{Error::Code::kUnsupported, std::move(msg)};
+}
+inline Error io_error(std::string msg) {
+  return Error{Error::Code::kIoError, std::move(msg)};
+}
+inline Error overloaded(std::string msg) {
+  return Error{Error::Code::kOverloaded, std::move(msg)};
 }
 
 }  // namespace herc::util

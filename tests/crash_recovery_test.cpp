@@ -47,7 +47,9 @@ TEST(Journal, AppendsOneLinePerRecordedRun) {
   std::string line;
   int count = 0;
   while (std::getline(lines, line)) {
-    EXPECT_TRUE(util::Json::parse(line).ok()) << line;
+    auto unframed = unframe_journal_line(line, /*is_final=*/false);
+    EXPECT_EQ(unframed.status, FrameStatus::kOk) << line;
+    EXPECT_TRUE(util::Json::parse(unframed.payload).ok()) << line;
     ++count;
   }
   EXPECT_EQ(count, 3);
@@ -209,7 +211,14 @@ TEST(AtomicSave, WritesFileAndLeavesNoTempBehind) {
   auto m = test::make_circuit_manager();
   m->execute_task("adder", "alice").value();
   ASSERT_TRUE(save_project_file(*m, file.path).ok());
-  EXPECT_EQ(slurp(file.path), save_to_json(*m));
+  // On disk the snapshot carries a checksum footer; stripping it must give
+  // back the exact serialized state, and the footer must verify.
+  RecoveryStats stats;
+  const std::string on_disk = slurp(file.path);
+  auto body = strip_snapshot_footer(on_disk, &stats);
+  ASSERT_TRUE(body.ok()) << body.error().str();
+  EXPECT_TRUE(stats.snapshot_footer);
+  EXPECT_EQ(body.value(), save_to_json(*m));
   std::ifstream tmp(file.path + ".tmp");
   EXPECT_FALSE(tmp.good());
 }
@@ -221,7 +230,7 @@ TEST(AtomicSave, FailedSaveReportsErrorAndReplaceWorksOverOldFile) {
   TempFile file("/tmp/herc_atomic_keep.json");
   ASSERT_TRUE(util::write_file(file.path, "previous contents").ok());
   ASSERT_TRUE(save_project_file(*m, file.path).ok());
-  EXPECT_EQ(slurp(file.path), save_to_json(*m));
+  EXPECT_EQ(slurp(file.path), append_snapshot_footer(save_to_json(*m)));
 }
 
 }  // namespace

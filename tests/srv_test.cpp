@@ -460,6 +460,58 @@ TEST(Server, ReadMixLaneCountersMatchDriver) {
   server.value()->stop();
 }
 
+TEST(Server, OverloadSheddingBoundsTheQueue) {
+  TempServerDir tmp("shed");
+  ServerConfig config = base_config(tmp);
+  config.workers = 1;
+  config.max_queue_depth = 1;  // in-flight + 1 queued; everything else sheds
+  auto server = Server::start(std::move(config));
+  ASSERT_TRUE(server.ok()) << server.error().str();
+
+  auto client = Client::connect(server.value()->unix_address());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->invoke("", "open", open_args("chip", 3)).ok());
+
+  // Pipeline a burst far past the queue bound: the reader answers the
+  // overflow with a retryable `overloaded` error, the worker pool never
+  // sees it, and every request still gets exactly one response.
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) {
+    JsonObject args;
+    args.set("designer", "pat");
+    ASSERT_TRUE(client.value()->send("chip", "execute", std::move(args)).ok());
+  }
+  int succeeded = 0;
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto response = client.value()->recv_any();
+    ASSERT_TRUE(response.ok()) << response.error().str();
+    if (response.value().ok) {
+      ++succeeded;
+    } else {
+      EXPECT_EQ(response.value().error.code, util::Error::Code::kOverloaded);
+      EXPECT_TRUE(response.value().error.retryable());
+      ++shed;
+    }
+  }
+  EXPECT_EQ(succeeded + shed, kBurst);
+  EXPECT_GT(succeeded, 0);
+  ASSERT_GT(shed, 0) << "burst never outran a depth-1 queue";
+
+  // A shed request retried after the storm goes through.
+  JsonObject args;
+  args.set("designer", "pat");
+  EXPECT_TRUE(client.value()->invoke("chip", "execute", std::move(args)).ok());
+
+  // The stats op reports the shed count and the configured bound.
+  auto stats = server.value()->stats_json();
+  const JsonObject& srv = stats.as_object().at("server").as_object();
+  EXPECT_EQ(srv.at("srv_requests_shed").as_int(), shed);
+  EXPECT_EQ(srv.at("srv_queue_limit").as_int(), 1);
+  EXPECT_EQ(stats.as_object().at("totals").as_object().at("shards_read_only").as_int(), 0);
+  server.value()->stop();
+}
+
 TEST(Server, OpenArrivalLoadDriver) {
   TempServerDir tmp("openload");
   auto server = Server::start(base_config(tmp));
