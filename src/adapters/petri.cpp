@@ -1,16 +1,19 @@
 #include "adapters/petri.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace herc::adapters {
 
 PetriNet::PlaceId PetriNet::add_place(const std::string& name, int tokens) {
-  places_.push_back(Place{name, tokens});
+  Place p{name, {}};
+  p.tokens.assign(static_cast<std::size_t>(tokens < 0 ? 0 : tokens), 0);
+  places_.push_back(std::move(p));
   return places_.size() - 1;
 }
 
 PetriNet::TransitionId PetriNet::add_transition(const std::string& name) {
-  transitions_.push_back(Transition{name, {}, {}});
+  transitions_.push_back(Transition{name, {}, {}, {}, 0});
   return transitions_.size() - 1;
 }
 
@@ -24,21 +27,40 @@ void PetriNet::add_output_arc(TransitionId from, PlaceId to) {
   (void)places_.at(to);
 }
 
+void PetriNet::add_read_arc(PlaceId from, TransitionId to) {
+  transitions_.at(to).reads.push_back(from);
+  (void)places_.at(from);
+}
+
+void PetriNet::set_duration(TransitionId t, std::int64_t minutes) {
+  transitions_.at(t).duration = minutes < 0 ? 0 : minutes;
+}
+
+std::int64_t PetriNet::duration(TransitionId t) const {
+  return transitions_.at(t).duration;
+}
+
 const std::string& PetriNet::place_name(PlaceId p) const { return places_.at(p).name; }
 
 const std::string& PetriNet::transition_name(TransitionId t) const {
   return transitions_.at(t).name;
 }
 
-int PetriNet::marking(PlaceId p) const { return places_.at(p).tokens; }
+int PetriNet::marking(PlaceId p) const {
+  return static_cast<int>(places_.at(p).tokens.size());
+}
 
 bool PetriNet::enabled(TransitionId t) const {
   // Multiple arcs from the same place need that many tokens.
-  std::unordered_map<PlaceId, int> need;
+  std::unordered_map<PlaceId, std::size_t> need;
   for (PlaceId p : transitions_.at(t).inputs) ++need[p];
   for (const auto& [p, n] : need)
-    if (places_[p].tokens < n) return false;
-  return !transitions_[t].inputs.empty() || !transitions_[t].outputs.empty();
+    if (places_[p].tokens.size() < n) return false;
+  // A read arc needs a token present but never consumes it.
+  for (PlaceId p : transitions_[t].reads)
+    if (places_[p].tokens.empty()) return false;
+  return !transitions_[t].inputs.empty() || !transitions_[t].reads.empty() ||
+         !transitions_[t].outputs.empty();
 }
 
 std::vector<PetriNet::TransitionId> PetriNet::enabled_transitions() const {
@@ -54,8 +76,13 @@ util::Status PetriNet::fire(TransitionId t) {
   if (!enabled(t))
     return util::conflict("petri: transition '" + transitions_[t].name +
                           "' is not enabled");
-  for (PlaceId p : transitions_[t].inputs) --places_[p].tokens;
-  for (PlaceId p : transitions_[t].outputs) ++places_[p].tokens;
+  // Untimed view: consume the earliest tokens, produce at time 0.
+  for (PlaceId p : transitions_[t].inputs)
+    places_[p].tokens.erase(places_[p].tokens.begin());
+  for (PlaceId p : transitions_[t].outputs) {
+    auto& tokens = places_[p].tokens;
+    tokens.insert(std::lower_bound(tokens.begin(), tokens.end(), 0), 0);
+  }
   return util::Status::ok_status();
 }
 
@@ -71,27 +98,77 @@ std::vector<PetriNet::TransitionId> PetriNet::run_to_quiescence(
   return sequence;
 }
 
+std::int64_t PetriNet::earliest_start(TransitionId t) const {
+  std::int64_t start = 0;
+  // The k-th arc from a place consumes the k-th earliest token there.
+  std::unordered_map<PlaceId, std::size_t> taken;
+  for (PlaceId p : transitions_[t].inputs) {
+    std::size_t k = taken[p]++;
+    start = std::max(start, places_[p].tokens[k]);
+  }
+  for (PlaceId p : transitions_[t].reads)
+    start = std::max(start, places_[p].tokens.front());
+  return start;
+}
+
+std::vector<PetriNet::TimedFiring> PetriNet::run_timed_to_quiescence(
+    std::size_t max_firings) {
+  std::vector<TimedFiring> log;
+  while (log.size() < max_firings) {
+    // Conflict resolution: earliest possible start wins, ties to lowest id.
+    std::optional<TransitionId> pick;
+    std::int64_t pick_start = 0;
+    for (TransitionId t = 0; t < transitions_.size(); ++t) {
+      if (!enabled(t)) continue;
+      std::int64_t s = earliest_start(t);
+      if (!pick || s < pick_start) {
+        pick = t;
+        pick_start = s;
+      }
+    }
+    if (!pick) break;
+    Transition& tr = transitions_[*pick];
+    std::unordered_map<PlaceId, std::size_t> consumed;
+    for (PlaceId p : tr.inputs) ++consumed[p];
+    for (const auto& [p, n] : consumed) {
+      auto& tokens = places_[p].tokens;
+      tokens.erase(tokens.begin(), tokens.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    std::int64_t finish = pick_start + tr.duration;
+    for (PlaceId p : tr.outputs) {
+      auto& tokens = places_[p].tokens;
+      tokens.insert(std::lower_bound(tokens.begin(), tokens.end(), finish), finish);
+    }
+    log.push_back(TimedFiring{*pick, pick_start, finish});
+  }
+  return log;
+}
+
 std::string PetriNet::describe() const {
   std::string out = "Petri net: " + std::to_string(places_.size()) + " places, " +
                     std::to_string(transitions_.size()) + " transitions\n";
   for (PlaceId p = 0; p < places_.size(); ++p) {
     out += "  place " + places_[p].name + " [";
-    for (int i = 0; i < places_[p].tokens; ++i) out += "*";
+    for (std::size_t i = 0; i < places_[p].tokens.size(); ++i) out += "*";
     out += "]\n";
   }
   for (const auto& t : transitions_) {
-    out += "  transition " + t.name + ": (";
-    for (std::size_t i = 0; i < t.inputs.size(); ++i)
-      out += (i ? ", " : "") + places_[t.inputs[i]].name;
+    out += "  transition " + t.name;
+    if (t.duration > 0) out += " (" + std::to_string(t.duration) + "m)";
+    out += ": (";
+    std::size_t i = 0;
+    for (PlaceId p : t.inputs) out += (i++ ? ", " : "") + places_[p].name;
+    for (PlaceId p : t.reads) out += (i++ ? ", ~" : "~") + places_[p].name;
     out += ") -> (";
-    for (std::size_t i = 0; i < t.outputs.size(); ++i)
-      out += (i ? ", " : "") + places_[t.outputs[i]].name;
+    for (std::size_t j = 0; j < t.outputs.size(); ++j)
+      out += (j ? ", " : "") + places_[t.outputs[j]].name;
     out += ")\n";
   }
   return out;
 }
 
-util::Result<PetriConversion> petri_from_task_tree(const flow::TaskTree& tree) {
+util::Result<PetriConversion> petri_from_task_tree(const flow::TaskTree& tree,
+                                                   const PetriBuildOptions& options) {
   PetriConversion conv;
   const auto& schema = tree.schema();
 
@@ -113,9 +190,12 @@ util::Result<PetriConversion> petri_from_task_tree(const flow::TaskTree& tree) {
             conv.net.add_place(type_name + "@" + node.id.str(), 0);
         break;
       case flow::NodeKind::kToolLeaf: {
+        if (!options.shared_tools) break;  // unshared: no resource constraint
         auto key = node.type.value();
         if (!place_of_tool_type.count(key)) {
-          place_of_tool_type[key] = conv.net.add_place("tool:" + type_name, 1);
+          auto place = conv.net.add_place("tool:" + type_name, 1);
+          place_of_tool_type[key] = place;
+          conv.tool_places.push_back(place);
         }
         break;
       }
@@ -126,23 +206,27 @@ util::Result<PetriConversion> petri_from_task_tree(const flow::TaskTree& tree) {
     const auto& node = tree.node(act);
     auto t = conv.net.add_transition(tree.activity_name(act));
     conv.activity_of_transition.push_back(tree.activity_name(act));
+    if (options.durations) {
+      auto it = options.durations->find(tree.activity_name(act));
+      if (it != options.durations->end()) conv.net.set_duration(t, it->second);
+    }
     // One-shot control token: each activity instance of the task fires once
-    // (without it a transition consuming only its returned tool place would
-    // re-fire forever).
+    // (without it a transition reading only available data would re-fire
+    // forever).
     auto ready = conv.net.add_place("ready:" + tree.activity_name(act), 1);
+    conv.ready_places.push_back(ready);
     conv.net.add_input_arc(ready, t);
     for (flow::TaskNodeId child_id : node.children) {
       const auto& child = tree.node(child_id);
       if (child.kind == flow::NodeKind::kToolLeaf) {
-        PetriNet::PlaceId tool = place_of_tool_type.at(child.type.value());
-        conv.net.add_input_arc(tool, t);
-        conv.net.add_output_arc(t, tool);  // the tool is returned after use
+        auto it = place_of_tool_type.find(child.type.value());
+        if (it == place_of_tool_type.end()) continue;  // unshared tools
+        conv.net.add_input_arc(it->second, t);
+        conv.net.add_output_arc(t, it->second);  // the tool is returned after use
       } else {
-        // Data is *read*, not consumed: the token returns so an output
-        // shared by several consumers enables all of them.
-        PetriNet::PlaceId data = place_of_node.at(child_id.value());
-        conv.net.add_input_arc(data, t);
-        conv.net.add_output_arc(t, data);
+        // Data is *read*, not consumed: a shared output enables every
+        // consumer, and (timed) readers never serialize against each other.
+        conv.net.add_read_arc(place_of_node.at(child_id.value()), t);
       }
     }
     conv.net.add_output_arc(t, place_of_node.at(node.id.value()));

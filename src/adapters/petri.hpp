@@ -12,7 +12,18 @@
 // transition, data type -> place), the net executes by token firing, and the
 // firing sequence respects exactly the partial order the native executor
 // respects — so the same schedule instances describe both.
+//
+// Timed semantics (after the timed-colored-net formulation of Pashazadeh &
+// Niyari): every token carries an availability timestamp, every transition a
+// duration.  A transition's earliest start is the latest availability among
+// the tokens it needs; firing consumes its input tokens, leaves read tokens
+// untouched, and produces output tokens stamped start + duration.  Conflict
+// resolution is deterministic: among enabled transitions the earliest start
+// fires first, ties broken by lowest transition id.  With unshared tools the
+// resulting makespan is exactly the CPM early-finish makespan — the
+// cross-model differential the conformance harness checks.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,19 +34,29 @@
 
 namespace herc::adapters {
 
-/// A plain place/transition Petri net with non-negative integer markings.
+/// A place/transition Petri net.  Tokens carry availability timestamps
+/// (work minutes); the untimed API views a marking as a plain token count.
 class PetriNet {
  public:
   using PlaceId = std::size_t;
   using TransitionId = std::size_t;
 
-  /// Adds a place with an initial marking.
+  /// Adds a place with an initial marking (tokens available at time 0).
   PlaceId add_place(const std::string& name, int tokens = 0);
   /// Adds a transition; arcs are added separately.
   TransitionId add_transition(const std::string& name);
 
   void add_input_arc(PlaceId from, TransitionId to);   ///< place -> transition
   void add_output_arc(TransitionId from, PlaceId to);  ///< transition -> place
+  /// Read arc: the transition needs a token present in `from` to fire but
+  /// does not consume it (Hilda's data-is-read-not-destroyed semantics;
+  /// several readers of one token are never serialized against each other).
+  void add_read_arc(PlaceId from, TransitionId to);
+
+  /// Work minutes the transition takes to fire (timed semantics only;
+  /// untimed firing ignores it).  Defaults to 0.
+  void set_duration(TransitionId t, std::int64_t minutes);
+  [[nodiscard]] std::int64_t duration(TransitionId t) const;
 
   [[nodiscard]] std::size_t place_count() const { return places_.size(); }
   [[nodiscard]] std::size_t transition_count() const { return transitions_.size(); }
@@ -43,12 +64,13 @@ class PetriNet {
   [[nodiscard]] const std::string& transition_name(TransitionId t) const;
   [[nodiscard]] int marking(PlaceId p) const;
 
-  /// A transition is enabled iff every input place holds a token.
+  /// A transition is enabled iff every input place holds a token per input
+  /// arc and every read place holds at least one token.
   [[nodiscard]] bool enabled(TransitionId t) const;
   [[nodiscard]] std::vector<TransitionId> enabled_transitions() const;
 
   /// Fires the transition: consumes one token per input arc, produces one
-  /// per output arc.  kConflict if not enabled.
+  /// per output arc (read places are untouched).  kConflict if not enabled.
   util::Status fire(TransitionId t);
 
   /// Fires enabled transitions (lowest id first) until none is enabled or
@@ -56,34 +78,59 @@ class PetriNet {
   [[nodiscard]] std::vector<TransitionId> run_to_quiescence(
       std::size_t max_firings = 100000);
 
+  /// One firing of the timed run: the transition, when it started (the
+  /// latest availability among the tokens it needed) and when it finished.
+  struct TimedFiring {
+    TransitionId transition = 0;
+    std::int64_t start = 0;
+    std::int64_t finish = 0;
+  };
+
+  /// Timed token game: repeatedly fires, among all enabled transitions, the
+  /// one with the earliest possible start (ties to the lowest id — the
+  /// deterministic conflict resolution).  Consumed tokens are the earliest
+  /// available in each input place; produced tokens are stamped
+  /// start + duration.  Read tokens keep their timestamps but gate the
+  /// start.  Returns the chronologically ordered firing log.
+  [[nodiscard]] std::vector<TimedFiring> run_timed_to_quiescence(
+      std::size_t max_firings = 100000);
+
   /// True if no transition is enabled.
   [[nodiscard]] bool quiescent() const { return enabled_transitions().empty(); }
 
-  /// Human dump: places with markings, transitions with arcs.
+  /// Human dump: places with markings, transitions with arcs (read arcs
+  /// prefixed with '~').
   [[nodiscard]] std::string describe() const;
 
  private:
   struct Place {
     std::string name;
-    int tokens = 0;
+    std::vector<std::int64_t> tokens;  ///< availability timestamps, sorted
   };
   struct Transition {
     std::string name;
     std::vector<PlaceId> inputs;
+    std::vector<PlaceId> reads;
     std::vector<PlaceId> outputs;
+    std::int64_t duration = 0;
   };
+
+  /// Earliest time the enabled transition could start (max over the tokens
+  /// it would consume or read).
+  [[nodiscard]] std::int64_t earliest_start(TransitionId t) const;
+
   std::vector<Place> places_;
   std::vector<Transition> transitions_;
 };
 
 /// Conversion of a task tree to a Petri net:
 ///   - every tree node's data type gets a place (one per shared node);
-///   - every activity gets a transition reading its input data places
-///     (token consumed and returned: data is read, not destroyed, so shared
-///     outputs enable every consumer), consuming its tool place (returned
-///     after use: tools are reusable resources) and a one-shot "ready"
-///     control place (not returned: each activity instance fires once),
-///     and producing its output place;
+///   - every activity gets a transition *reading* its input data places
+///     (data is read, not destroyed, so a shared output enables every
+///     consumer without serializing them), consuming its tool place
+///     (returned after use: tools are reusable resources) and a one-shot
+///     "ready" control place (not returned: each activity instance fires
+///     once), and producing its output place;
 ///   - bound data leaves, tools and control places start with one token.
 struct PetriConversion {
   PetriNet net;
@@ -91,9 +138,22 @@ struct PetriConversion {
   /// native execution order.
   std::vector<std::string> activity_of_transition;
   PetriNet::PlaceId target_place = 0;  ///< place of the root output
+  std::vector<PetriNet::PlaceId> ready_places;  ///< one-shot control places
+  std::vector<PetriNet::PlaceId> tool_places;   ///< shared tool resources
+};
+
+struct PetriBuildOptions {
+  /// true: each tool type is a capacity-1 resource place shared by its
+  /// users (Hilda's resource semantics).  false: tool places are omitted
+  /// entirely — unshared tools, the configuration whose timed makespan
+  /// must equal the CPM makespan.
+  bool shared_tools = true;
+  /// Optional per-activity durations (work minutes) stamped onto the
+  /// transitions for the timed token game.
+  const std::unordered_map<std::string, std::int64_t>* durations = nullptr;
 };
 
 [[nodiscard]] util::Result<PetriConversion> petri_from_task_tree(
-    const flow::TaskTree& tree);
+    const flow::TaskTree& tree, const PetriBuildOptions& options = {});
 
 }  // namespace herc::adapters

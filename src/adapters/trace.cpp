@@ -52,6 +52,31 @@ std::vector<meta::EntityInstanceId> TraceGraph::invalidated_by(
   return out;
 }
 
+std::vector<std::string> TraceGraph::retrace_activities(
+    const std::vector<meta::EntityInstanceId>& changed) const {
+  // Union of closures, collapsed to activities; run-id order = execution
+  // order, so the first run of each activity fixes its position.
+  std::vector<meta::RunId> all;
+  for (meta::EntityInstanceId inst : changed) {
+    auto runs = affected_by(inst);
+    all.insert(all.end(), runs.begin(), runs.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (meta::RunId rid : all)
+    if (seen.insert(db_->run(rid).activity).second)
+      out.push_back(db_->run(rid).activity);
+  return out;
+}
+
+std::vector<std::string> TraceGraph::replay_order() const {
+  std::vector<std::string> out;
+  out.reserve(transactions_.size());
+  for (meta::RunId rid : transactions_) out.push_back(db_->run(rid).activity);
+  return out;
+}
+
 std::vector<meta::EntityInstanceId> TraceGraph::stale_instances() const {
   std::vector<meta::EntityInstanceId> out;
   for (const auto& inst : db_->instances()) {

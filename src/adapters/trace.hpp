@@ -44,6 +44,21 @@ class TraceGraph {
   [[nodiscard]] std::vector<meta::EntityInstanceId> invalidated_by(
       meta::EntityInstanceId instance) const;
 
+  /// VOV's retrace: the distinct activities that must re-execute, in
+  /// original execution order, if every instance in `changed` gains a new
+  /// version.  This is the union of the affected_by closures collapsed to
+  /// activity granularity — the exact set a selective re-execution
+  /// (WorkflowManager::refresh_task) performs, which the conformance
+  /// harness checks differentially.
+  [[nodiscard]] std::vector<std::string> retrace_activities(
+      const std::vector<meta::EntityInstanceId>& changed) const;
+
+  /// Full-trace replay plan: every transaction's activity in execution
+  /// order.  Driving a fresh manager through this list (one run_activity
+  /// per entry) must reproduce the captured Level-3 metadata — VOV's
+  /// "the trace IS the flow" claim, checked byte-for-byte.
+  [[nodiscard]] std::vector<std::string> replay_order() const;
+
   /// VOV's up-to-date notion: a *latest* instance is stale when some input
   /// of its producing run has a newer version in the database.  Returns the
   /// stale latest instances in creation order (superseded versions are

@@ -1,0 +1,71 @@
+#pragma once
+// Cross-adapter conformance driver — the paper's Table-I generality claim
+// as an executable differential.
+//
+// A flow manager fitting the four-level architecture can host the schedule
+// model no matter how it represents flows: Hercules task trees, Hilda Petri
+// nets, VOV traces.  check_conformance makes that claim falsifiable per
+// scenario: the same generated flow is materialized through three execution
+// paths —
+//
+//   native   plan -> execute_task (the serial executor's post-order sweep),
+//   petri    plan -> timed Petri token game -> replay the firing sequence
+//            activity by activity (a genuinely different, duration-driven
+//            linearization of the same partial order),
+//   trace    plan -> replay the captured VOV trace transaction by
+//            transaction on a fresh manager,
+//
+// plus a concurrent-executor leg, and every path must land on equivalent
+// Level-3 metadata: byte-identical canonical snapshots (runs, instances,
+// plans — ids and wall timestamps normalized away), identical rendered
+// results for time-free queries, and the identical interned symbol set.
+// On top of the replays the driver checks the timed net's marking
+// invariants, that the unshared-tool timed makespan equals the CPM
+// makespan, that the derived flow recovers the generator's graph, and that
+// VOV's retrace prediction matches what refresh_task actually re-runs
+// after an input revision.
+//
+// run_adversarial drives the production-shaped half of the workload space:
+// a scenario's AdversarialPlan (mid-flight replans, conflicting
+// multi-designer edits, primary-input revisions) over the scenario's fault
+// plan, checking plan lineage, journal-recovery byte-identity, the query
+// fast path, and trace-edge soundness under the storm.
+
+#include <string>
+#include <vector>
+
+#include "gen/gen.hpp"
+#include "hercules/workflow_manager.hpp"
+
+namespace herc::gen {
+
+struct ConformanceFailure {
+  std::string check;   ///< dotted id, e.g. "adapter.petri_replay"
+  std::string detail;  ///< human-readable explanation
+};
+
+struct ConformanceOptions {
+  /// Planted bug for oracle self-validation: the Petri replay silently
+  /// drops its final firing, so one run is missing from that leg.
+  bool mutate_drop_firing = false;
+};
+
+/// Order/id/time-independent rendering of a manager's Level-3 state: the
+/// "job" plan (activities, planned minutes, deps, completion flags), every
+/// run (rule, tool, designer, status, inputs and output as type:name:version
+/// triples) and every entity instance (with its producing activity), all
+/// canonically sorted.  Two managers that executed the same flow by
+/// different linearizations render byte-identically.
+[[nodiscard]] std::string canonical_level3(const hercules::WorkflowManager& m);
+
+/// Runs the three-path differential on a fault-free serial projection of
+/// `scenario`.  Empty result = all paths conform.
+[[nodiscard]] std::vector<ConformanceFailure> check_conformance(
+    const Scenario& scenario, const ConformanceOptions& options = {});
+
+/// Applies the scenario's AdversarialPlan (with its fault plan active).
+/// `scratch_dir` hosts the recovery check's temporary journal.
+[[nodiscard]] std::vector<ConformanceFailure> run_adversarial(
+    const Scenario& scenario, const std::string& scratch_dir);
+
+}  // namespace herc::gen

@@ -13,6 +13,7 @@
 
 #include "core/cpm_solver.hpp"
 #include "core/risk.hpp"
+#include "gen/conformance.hpp"
 #include "hercules/journal.hpp"
 #include "hercules/persist.hpp"
 #include "query/query.hpp"
@@ -757,6 +758,22 @@ void check_query(const Scenario& scenario, Mutation mutation, Failures& fail) {
     fail.add(kOracleQuery, "query.threaded", e);
 }
 
+// --- adapter oracle ----------------------------------------------------------
+
+/// Cross-adapter conformance plus, when the scenario carries an adversarial
+/// plan, the production-shaped storm driver.  Both report through the
+/// conformance module's own check ids ("adapter.*" / "adversarial.*").
+void check_adapter(const Scenario& scenario, Mutation mutation,
+                   const std::string& scratch_dir, Failures& fail) {
+  ConformanceOptions options;
+  options.mutate_drop_firing = mutation == Mutation::kAdapterDropFiring;
+  for (auto& f : check_conformance(scenario, options))
+    fail.add(kOracleAdapter, std::move(f.check), std::move(f.detail));
+  if (!scenario.adversarial.empty())
+    for (auto& f : run_adversarial(scenario, scratch_dir))
+      fail.add(kOracleAdapter, std::move(f.check), std::move(f.detail));
+}
+
 }  // namespace
 
 // --- public: names and parsing -----------------------------------------------
@@ -770,6 +787,7 @@ const char* oracle_name(unsigned family) {
     case kOracleMetamorphic: return "metamorphic";
     case kOracleStructure: return "structure";
     case kOracleQuery: return "query";
+    case kOracleAdapter: return "adapter";
   }
   return "unknown";
 }
@@ -788,6 +806,7 @@ util::Result<unsigned> parse_oracles(const std::string& csv) {
     else if (name == "risk") mask |= kOracleRisk;
     else if (name == "metamorphic") mask |= kOracleMetamorphic;
     else if (name == "query") mask |= kOracleQuery;
+    else if (name == "adapter") mask |= kOracleAdapter;
     else if (name == "all") mask |= kOracleAll;
     else return util::parse_error("unknown oracle family '" + name + "'");
     pos = comma + 1;
@@ -804,6 +823,7 @@ const char* mutation_name(Mutation m) {
     case Mutation::kRiskSeedSkew: return "risk-seed-skew";
     case Mutation::kMetamorphicScale: return "metamorphic-scale";
     case Mutation::kQueryStaleCache: return "query-stale-cache";
+    case Mutation::kAdapterDropFiring: return "adapter-drop-firing";
   }
   return "none";
 }
@@ -811,7 +831,8 @@ const char* mutation_name(Mutation m) {
 util::Result<Mutation> parse_mutation(const std::string& name) {
   for (Mutation m : {Mutation::kNone, Mutation::kMirrorDropRun, Mutation::kCpmOffByOne,
                      Mutation::kRecoveryDropLine, Mutation::kRiskSeedSkew,
-                     Mutation::kMetamorphicScale, Mutation::kQueryStaleCache})
+                     Mutation::kMetamorphicScale, Mutation::kQueryStaleCache,
+                     Mutation::kAdapterDropFiring})
     if (name == mutation_name(m)) return m;
   return util::parse_error("unknown mutation '" + name + "'");
 }
@@ -930,7 +951,29 @@ Scenario sample_scenario(util::Rng& rng) {
     if (spec.policy != exec::FailurePolicy::kAbort)
       spec.max_attempts = static_cast<int>(rng.uniform_int(1, 3));
     if (rng.chance(0.2)) spec.timeout_minutes = rng.uniform_int(30, 600);
+    if (rng.chance(0.15)) {
+      // Fault storm: near-certain failures with heavy latency inflation, the
+      // worst production day the recovery and adversarial drivers must ride.
+      spec.fail_prob = rng.uniform(0.5, 0.95);
+      spec.latency_factor = rng.uniform(2.0, 8.0);
+      spec.policy = exec::FailurePolicy::kRetryThenAbort;
+      spec.max_attempts = static_cast<int>(rng.uniform_int(2, 4));
+    }
   }
+  // Heavy-tailed duration draws: a lognormal or Pareto minority models the
+  // few activities that dominate real makespans.
+  if (rng.chance(0.2)) {
+    if (rng.chance(0.5)) {
+      spec.duration_dist = DurationDist::kLognormal;
+      spec.dist_sigma = rng.uniform(0.5, 2.0);
+    } else {
+      spec.duration_dist = DurationDist::kPareto;
+      spec.dist_alpha = rng.uniform(0.8, 2.5);
+    }
+  }
+  // Adversarial plans: mid-flight replans, conflicting edits and input
+  // revisions ride along on a quarter of the scenarios.
+  if (rng.chance(0.25)) spec.adversity = rng.uniform(0.2, 1.0);
   return generate(spec);
 }
 
@@ -998,6 +1041,8 @@ std::vector<OracleFailure> run_scenario(const Scenario& scenario,
     check_recovery(scenario, options.mutation, options.scratch_dir, fail);
   if (options.oracles & kOracleQuery)
     check_query(scenario, options.mutation, fail);
+  if (options.oracles & kOracleAdapter)
+    check_adapter(scenario, options.mutation, options.scratch_dir, fail);
   return failures;
 }
 
@@ -1051,11 +1096,20 @@ ShrinkResult shrink(const Scenario& failing, const ShrinkOptions& options) {
   while (progress && result.candidates < options.max_candidates) {
     progress = false;
 
-    // 1. Faults gone entirely, then execution semantics to their simplest.
+    // 1. Faults and the adversarial plan gone entirely, then execution
+    // semantics to their simplest.
     if (result.scenario.fault_seed != 0 || !result.scenario.faults.empty()) {
       Scenario c = result.scenario;
       c.fault_seed = 0;
       c.faults = {};
+      if (still_fails(c)) {
+        accept(std::move(c));
+        progress = true;
+      }
+    }
+    if (!result.scenario.adversarial.empty()) {
+      Scenario c = result.scenario;
+      c.adversarial = {};
       if (still_fails(c)) {
         accept(std::move(c));
         progress = true;

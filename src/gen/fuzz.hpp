@@ -3,7 +3,7 @@
 //
 // run_scenario drives one generated scenario through the full pipeline —
 // parse -> plan -> risk -> execute (with injected faults) -> link/track ->
-// persist + journal -> crash -> recover -> query — and checks six oracle
+// persist + journal -> crash -> recover -> query — and checks seven oracle
 // families on the way:
 //
 //   cpm          full compute_cpm, an incrementally re-solved CpmSolver, and
@@ -24,7 +24,14 @@
 //                statement returns byte-identical rows via the index path,
 //                the full-scan path, and cached re-execution, before and
 //                after interleaved mutations (imports, failed runs,
-//                replans) that must invalidate the result cache.
+//                replans) that must invalidate the result cache;
+//   adapter      cross-adapter conformance: the same scenario materialized
+//                through the native executor, a timed Petri firing replay,
+//                a VOV trace replay and concurrent dispatch lands on
+//                equivalent Level-3 metadata (byte-identical canonical
+//                snapshots, identical query rows, identical symbol sets);
+//                scenarios carrying an AdversarialPlan additionally run the
+//                replan/edit/revision storm with recovery byte-identity.
 //
 // Planted mutations (Mutation) inject one known bug into the system under
 // test so the harness can prove each oracle actually catches its failure
@@ -56,7 +63,12 @@ inline constexpr unsigned kOracleMetamorphic = 1u << 4;
 /// Always-on structural checks (DSL parses, facts match); not maskable.
 inline constexpr unsigned kOracleStructure = 1u << 5;
 inline constexpr unsigned kOracleQuery = 1u << 6;
-inline constexpr unsigned kOracleAll = ((1u << 5) - 1) | kOracleQuery;
+/// Cross-adapter conformance (see gen/conformance.hpp): native vs Petri
+/// firing replay vs VOV trace replay vs concurrent dispatch must agree on
+/// Level-3 metadata; scenarios with an AdversarialPlan also run the
+/// replan/edit/fault storm driver.
+inline constexpr unsigned kOracleAdapter = 1u << 7;
+inline constexpr unsigned kOracleAll = ((1u << 5) - 1) | kOracleQuery | kOracleAdapter;
 
 [[nodiscard]] const char* oracle_name(unsigned family);
 /// "cpm,mirror,risk" -> mask; "all" -> kOracleAll.  kParse on unknown names.
@@ -74,6 +86,7 @@ enum class Mutation {
   kRiskSeedSkew,      ///< second risk run silently uses a different seed
   kMetamorphicScale,  ///< relabeled flow gets all durations doubled
   kQueryStaleCache,   ///< result cache serves entries without validation
+  kAdapterDropFiring, ///< Petri replay silently drops its final firing
 };
 [[nodiscard]] const char* mutation_name(Mutation m);
 [[nodiscard]] util::Result<Mutation> parse_mutation(const std::string& name);

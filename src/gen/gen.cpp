@@ -1,6 +1,7 @@
 #include "gen/gen.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -55,6 +56,22 @@ util::Result<Shape> parse_shape(const std::string& name) {
 
 const char* exec_mode_name(ExecMode m) {
   return m == ExecMode::kConcurrent ? "concurrent" : "serial";
+}
+
+const char* duration_dist_name(DurationDist d) {
+  switch (d) {
+    case DurationDist::kUniform: return "uniform";
+    case DurationDist::kLognormal: return "lognormal";
+    case DurationDist::kPareto: return "pareto";
+  }
+  return "uniform";
+}
+
+util::Result<DurationDist> parse_duration_dist(const std::string& name) {
+  if (name == "uniform") return DurationDist::kUniform;
+  if (name == "lognormal") return DurationDist::kLognormal;
+  if (name == "pareto") return DurationDist::kPareto;
+  return util::parse_error("unknown duration distribution '" + name + "'");
 }
 
 namespace {
@@ -237,6 +254,32 @@ T clamp(T v, T lo, T hi) {
   return v < lo ? lo : (v > hi ? hi : v);
 }
 
+/// One estimate draw.  kUniform reproduces the historical draw sequence
+/// exactly (one uniform_int per rule); the heavy-tailed families consume
+/// their own draws, so a spec with kUniform stays byte-stable forever.
+std::int64_t draw_est_minutes(util::Rng& rng, const ScenarioSpec& spec) {
+  const std::int64_t cap = spec.est_minutes_hi * 64;
+  switch (spec.duration_dist) {
+    case DurationDist::kUniform:
+      return rng.uniform_int(spec.est_minutes_lo, spec.est_minutes_hi);
+    case DurationDist::kLognormal: {
+      // Median at the geometric midpoint of [lo, hi]; sigma widens the tail.
+      double mid = std::sqrt(static_cast<double>(spec.est_minutes_lo) *
+                             static_cast<double>(spec.est_minutes_hi));
+      double v = std::exp(rng.normal(std::log(mid), spec.dist_sigma));
+      return clamp<std::int64_t>(static_cast<std::int64_t>(v), 1, cap);
+    }
+    case DurationDist::kPareto: {
+      double alpha = spec.dist_alpha < 0.05 ? 0.05 : spec.dist_alpha;
+      double u = 1.0 - rng.uniform();  // (0, 1]
+      double v = static_cast<double>(spec.est_minutes_lo) *
+                 std::pow(1.0 / u, 1.0 / alpha);
+      return clamp<std::int64_t>(static_cast<std::int64_t>(v), 1, cap);
+    }
+  }
+  return spec.est_minutes_lo;
+}
+
 }  // namespace
 
 Scenario generate(const ScenarioSpec& spec_in) {
@@ -253,6 +296,9 @@ Scenario generate(const ScenarioSpec& spec_in) {
   if (spec.minutes_per_day < 60) spec.minutes_per_day = 60;
   if (spec.max_attempts < 1) spec.max_attempts = 1;
   if (spec.timeout_minutes < 0) spec.timeout_minutes = 0;
+  spec.dist_sigma = clamp(spec.dist_sigma, 0.0, 4.0);
+  spec.dist_alpha = clamp(spec.dist_alpha, 0.05, 16.0);
+  spec.adversity = clamp(spec.adversity, 0.0, 1.0);
   // Layered shapes explode as layers * width; keep the grid small.
   if (spec.shape == Shape::kLayered) spec.size = clamp<std::size_t>(spec.size, 1, 8);
 
@@ -264,8 +310,7 @@ Scenario generate(const ScenarioSpec& spec_in) {
     case Shape::kLayered: s.graph = layered_graph(spec.size, spec.width); break;
     case Shape::kRandom: s.graph = random_graph(rng, spec.inputs, spec.size); break;
   }
-  for (auto& r : s.graph.rules)
-    r.est_minutes = rng.uniform_int(spec.est_minutes_lo, spec.est_minutes_hi);
+  for (auto& r : s.graph.rules) r.est_minutes = draw_est_minutes(rng, spec);
   s.tool_minutes = rng.uniform_int(spec.tool_minutes_lo, spec.tool_minutes_hi);
   s.fallback_minutes = rng.uniform_int(spec.est_minutes_lo, spec.est_minutes_hi);
 
@@ -283,6 +328,27 @@ Scenario generate(const ScenarioSpec& spec_in) {
   s.policy = spec.policy;
   s.max_attempts = spec.max_attempts;
   s.timeout_minutes = spec.timeout_minutes;
+
+  if (spec.adversity > 0 && !s.graph.rules.empty()) {
+    const auto n_rules = static_cast<std::int64_t>(s.graph.rules.size());
+    auto count = [&](double per_unit) {
+      auto hi = static_cast<std::int64_t>(spec.adversity * per_unit + 0.5);
+      return rng.uniform_int(1, hi < 1 ? 1 : hi);
+    };
+    for (std::int64_t i = 0, n = count(3.0); i < n; ++i)
+      s.adversarial.replans.push_back(
+          static_cast<int>(rng.uniform_int(1, n_rules)));
+    std::sort(s.adversarial.replans.begin(), s.adversarial.replans.end());
+    for (std::int64_t i = 0, n = count(4.0); i < n; ++i)
+      s.adversarial.edits.push_back(
+          {static_cast<std::size_t>(rng.uniform_int(0, n_rules - 1)),
+           "designer" + std::to_string(rng.uniform_int(0, 3))});
+    if (auto prim = s.graph.primary_inputs(); !prim.empty()) {
+      for (std::int64_t i = 0, n = count(2.0); i < n; ++i)
+        s.adversarial.input_revisions.push_back(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(prim.size()) - 1)));
+    }
+  }
   s.spec = spec;
   return s;
 }
@@ -388,6 +454,10 @@ util::Json scenario_to_json(const Scenario& s) {
   spec.set("policy", policy_name(s.spec.policy));
   spec.set("max_attempts", static_cast<std::int64_t>(s.spec.max_attempts));
   spec.set("timeout_minutes", s.spec.timeout_minutes);
+  spec.set("duration_dist", duration_dist_name(s.spec.duration_dist));
+  spec.set("dist_sigma", s.spec.dist_sigma);
+  spec.set("dist_alpha", s.spec.dist_alpha);
+  spec.set("adversity", s.spec.adversity);
 
   JsonObject graph;
   graph.set("schema_name", s.graph.schema_name);
@@ -421,6 +491,25 @@ util::Json scenario_to_json(const Scenario& s) {
   doc.set("policy", policy_name(s.policy));
   doc.set("max_attempts", static_cast<std::int64_t>(s.max_attempts));
   doc.set("timeout_minutes", s.timeout_minutes);
+
+  JsonObject adv;
+  JsonArray replans;
+  for (int k : s.adversarial.replans)
+    replans.emplace_back(static_cast<std::int64_t>(k));
+  adv.set("replans", std::move(replans));
+  JsonArray edits;
+  for (const auto& e : s.adversarial.edits) {
+    JsonObject edit;
+    edit.set("rule", static_cast<std::int64_t>(e.rule));
+    edit.set("designer", e.designer);
+    edits.push_back(Json(std::move(edit)));
+  }
+  adv.set("edits", std::move(edits));
+  JsonArray revisions;
+  for (std::size_t i : s.adversarial.input_revisions)
+    revisions.emplace_back(static_cast<std::int64_t>(i));
+  adv.set("input_revisions", std::move(revisions));
+  doc.set("adversarial", std::move(adv));
   return doc;
 }
 
@@ -455,6 +544,16 @@ util::Result<Scenario> scenario_from_json(const util::Json& json) {
     s.spec.policy = policy.value();
     s.spec.max_attempts = static_cast<int>(spec.at("max_attempts").as_int());
     s.spec.timeout_minutes = spec.at("timeout_minutes").as_int();
+    // Newer fields parse optionally: corpus files from before they existed
+    // must keep replaying (defaults match the historical behavior).
+    if (spec.contains("duration_dist")) {
+      auto dist = parse_duration_dist(spec.at("duration_dist").as_string());
+      if (!dist.ok()) return dist.error();
+      s.spec.duration_dist = dist.value();
+    }
+    if (spec.contains("dist_sigma")) s.spec.dist_sigma = spec.at("dist_sigma").as_double();
+    if (spec.contains("dist_alpha")) s.spec.dist_alpha = spec.at("dist_alpha").as_double();
+    if (spec.contains("adversity")) s.spec.adversity = spec.at("adversity").as_double();
 
     const auto& graph = doc.at("graph").as_object();
     s.graph.schema_name = graph.at("schema_name").as_string();
@@ -489,6 +588,20 @@ util::Result<Scenario> scenario_from_json(const util::Json& json) {
     s.policy = policy2.value();
     s.max_attempts = static_cast<int>(doc.at("max_attempts").as_int());
     s.timeout_minutes = doc.at("timeout_minutes").as_int();
+    if (doc.contains("adversarial")) {
+      const auto& adv = doc.at("adversarial").as_object();
+      for (const auto& k : adv.at("replans").as_array())
+        s.adversarial.replans.push_back(static_cast<int>(k.as_int()));
+      for (const auto& ej : adv.at("edits").as_array()) {
+        const auto& eo = ej.as_object();
+        s.adversarial.edits.push_back(
+            {static_cast<std::size_t>(eo.at("rule").as_int()),
+             eo.at("designer").as_string()});
+      }
+      for (const auto& i : adv.at("input_revisions").as_array())
+        s.adversarial.input_revisions.push_back(
+            static_cast<std::size_t>(i.as_int()));
+    }
   } catch (const std::out_of_range& e) {
     return util::parse_error(std::string("scenario: missing field: ") + e.what());
   } catch (const std::bad_variant_access&) {
@@ -521,7 +634,24 @@ std::vector<GenRequest> request_stream(const RequestStreamSpec& spec) {
     out.push_back(std::move(plan));
   }
   bool status_next = true;  // reads alternate status / stats
-  for (std::size_t i = 1; i < spec.count; ++i) {
+  for (std::size_t i = 1; i < spec.count && out.size() < spec.count; ++i) {
+    // Bursty arrivals: an execute storm round-robined over every designer
+    // lands back-to-back (guarded so burst_prob == 0 draws nothing and the
+    // historical streams stay byte-identical).
+    if (spec.burst_prob > 0 && rng.chance(spec.burst_prob)) {
+      std::int64_t lo = spec.burst_len_lo < 1 ? 1 : spec.burst_len_lo;
+      std::int64_t hi = spec.burst_len_hi < lo ? lo : spec.burst_len_hi;
+      std::int64_t len = rng.uniform_int(lo, hi);
+      for (std::int64_t b = 0; b < len && out.size() < spec.count; ++b) {
+        GenRequest burst;
+        burst.op = "execute";
+        burst.args.set("designer",
+                       "designer" + std::to_string(b % static_cast<std::int64_t>(
+                                                           designers)));
+        out.push_back(std::move(burst));
+      }
+      continue;
+    }
     GenRequest r;
     const double roll = rng.uniform();
     if (roll < advance_f) {

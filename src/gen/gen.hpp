@@ -71,6 +71,37 @@ enum class Shape { kChain, kFanin, kLayered, kRandom };
 enum class ExecMode { kSerial, kConcurrent };
 [[nodiscard]] const char* exec_mode_name(ExecMode m);
 
+/// Distribution family for the per-activity estimate draws.  kUniform is
+/// the historical inclusive-range draw (identical seeds keep producing
+/// identical scenarios); the heavy-tailed families model production
+/// workloads where a few activities dominate the makespan.
+enum class DurationDist { kUniform, kLognormal, kPareto };
+[[nodiscard]] const char* duration_dist_name(DurationDist d);
+[[nodiscard]] util::Result<DurationDist> parse_duration_dist(const std::string& name);
+
+/// Production-shaped events layered over a scenario's execution by the
+/// adversarial driver in the fuzz harness: mid-flight replans, conflicting
+/// multi-designer edits after the base execution, and primary-input
+/// revisions that force selective re-execution.  Indices are resolved
+/// modulo the current graph, so shrinking rules away never invalidates a
+/// plan.
+struct AdversarialPlan {
+  /// Replan the task after the k-th completed activity (1-based).
+  std::vector<int> replans;
+  struct Edit {
+    std::size_t rule = 0;  ///< rule index (mod rules.size())
+    std::string designer;  ///< conflicting designer re-running it
+  };
+  std::vector<Edit> edits;
+  /// Primary inputs (mod primary_inputs().size()) re-imported as new
+  /// versions before the edit wave — the stale-propagation trigger.
+  std::vector<std::size_t> input_revisions;
+
+  [[nodiscard]] bool empty() const {
+    return replans.empty() && edits.empty() && input_revisions.empty();
+  }
+};
+
 /// Seeded recipe for one scenario.  `size` is the shape's primary scale:
 /// chain length, fanin width, layered layer count, or random rule count.
 struct ScenarioSpec {
@@ -85,6 +116,17 @@ struct ScenarioSpec {
   std::int64_t tool_minutes_lo = 30, tool_minutes_hi = 600;
   std::int64_t est_minutes_lo = 60, est_minutes_hi = 960;
   std::int64_t minutes_per_day = 480;
+
+  // Heavy-tail shape for the estimate draws.  kLognormal draws
+  // exp(N(ln(geometric mid of lo..hi), sigma)); kPareto draws
+  // lo / U^(1/alpha).  Both clamp into [1, 64 * est_minutes_hi].
+  DurationDist duration_dist = DurationDist::kUniform;
+  double dist_sigma = 1.0;  ///< lognormal shape parameter
+  double dist_alpha = 1.3;  ///< pareto tail index (lower = heavier tail)
+
+  /// 0 = no adversarial plan; (0, 1] scales how many replans, conflicting
+  /// edits and input revisions generate() draws into Scenario::adversarial.
+  double adversity = 0.0;
 
   // Fault plan knobs (materialized into Scenario::faults).
   std::uint64_t fault_seed = 0;  ///< 0 = no injector installed
@@ -114,6 +156,7 @@ struct Scenario {
   exec::FailurePolicy policy = exec::FailurePolicy::kAbort;
   int max_attempts = 1;
   std::int64_t timeout_minutes = 0;
+  AdversarialPlan adversarial;
 
   [[nodiscard]] std::string dsl() const { return render_schema(graph); }
 };
@@ -176,6 +219,13 @@ struct RequestStreamSpec {
   double advance_fraction = 0.05;
   std::int64_t advance_minutes_lo = 30;
   std::int64_t advance_minutes_hi = 480;
+
+  // Bursty arrivals: with probability `burst_prob` per drawn op, a
+  // back-to-back run of executes lands instead, round-robined across the
+  // whole designer pool — the multi-designer contention shape production
+  // traffic shows.  0 keeps the historical smooth mix byte-identical.
+  double burst_prob = 0.0;
+  std::int64_t burst_len_lo = 4, burst_len_hi = 12;
 };
 
 /// Deterministically expands the spec: identical specs yield identical

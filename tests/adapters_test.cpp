@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 
 #include "adapters/four_level.hpp"
 #include "adapters/history.hpp"
@@ -70,6 +72,208 @@ TEST(PetriNet, DescribeShowsMarking) {
   EXPECT_NE(d.find("p [**]"), std::string::npos);
 }
 
+// --- timed Petri semantics ----------------------------------------------------
+
+TEST(TimedPetri, ReadArcGatesButDoesNotConsume) {
+  // Two readers of one data token both fire; the token survives.  Each
+  // reader gets a one-shot ready place (the conversion idiom) so a pure
+  // reader doesn't stay enabled forever.
+  PetriNet net;
+  auto data = net.add_place("data", 1);
+  auto go1 = net.add_place("go1", 1);
+  auto go2 = net.add_place("go2", 1);
+  auto o1 = net.add_place("o1");
+  auto o2 = net.add_place("o2");
+  auto r1 = net.add_transition("r1");
+  auto r2 = net.add_transition("r2");
+  net.add_read_arc(data, r1);
+  net.add_input_arc(go1, r1);
+  net.add_read_arc(data, r2);
+  net.add_input_arc(go2, r2);
+  net.add_output_arc(r1, o1);
+  net.add_output_arc(r2, o2);
+  auto log = net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(net.marking(data), 1);
+  EXPECT_EQ(net.marking(o1), 1);
+  EXPECT_EQ(net.marking(o2), 1);
+}
+
+TEST(TimedPetri, ReadersAreNeverSerialized) {
+  // Both readers start when the token is available — not one after another.
+  PetriNet net;
+  auto data = net.add_place("data", 1);
+  auto go1 = net.add_place("go1", 1);
+  auto go2 = net.add_place("go2", 1);
+  auto o1 = net.add_place("o1");
+  auto o2 = net.add_place("o2");
+  auto r1 = net.add_transition("r1");
+  auto r2 = net.add_transition("r2");
+  net.add_read_arc(data, r1);
+  net.add_input_arc(go1, r1);
+  net.add_read_arc(data, r2);
+  net.add_input_arc(go2, r2);
+  net.add_output_arc(r1, o1);
+  net.add_output_arc(r2, o2);
+  net.set_duration(r1, 10);
+  net.set_duration(r2, 10);
+  auto log = net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].start, 0);
+  EXPECT_EQ(log[1].start, 0);  // overlaps r1 instead of waiting for it
+  EXPECT_EQ(log[1].finish, 10);
+}
+
+TEST(TimedPetri, OutputTokensAreStampedStartPlusDuration) {
+  PetriNet net;
+  auto a = net.add_place("a", 1);
+  auto b = net.add_place("b");
+  auto c = net.add_place("c");
+  auto t1 = net.add_transition("t1");
+  auto t2 = net.add_transition("t2");
+  net.add_input_arc(a, t1);
+  net.add_output_arc(t1, b);
+  net.add_input_arc(b, t2);
+  net.add_output_arc(t2, c);
+  net.set_duration(t1, 30);
+  net.set_duration(t2, 12);
+  EXPECT_EQ(net.duration(t1), 30);
+  auto log = net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].start, 0);
+  EXPECT_EQ(log[0].finish, 30);
+  EXPECT_EQ(log[1].start, 30);  // waits for t1's output token
+  EXPECT_EQ(log[1].finish, 42);
+}
+
+TEST(TimedPetri, ConflictResolvesToEarliestStart) {
+  // Two transitions compete for one shared token; the one whose other input
+  // is available sooner wins, and the loser is left disabled.
+  PetriNet net;
+  auto shared = net.add_place("shared", 1);
+  auto late = net.add_place("late");
+  auto soon = net.add_place("soon");
+  auto oa = net.add_place("oa");
+  auto ob = net.add_place("ob");
+  auto ta = net.add_transition("ta");
+  auto tb = net.add_transition("tb");
+  net.add_input_arc(shared, ta);
+  net.add_input_arc(late, ta);
+  net.add_input_arc(shared, tb);
+  net.add_input_arc(soon, tb);
+  net.add_output_arc(ta, oa);
+  net.add_output_arc(tb, ob);
+  // Feed `late` a token at t=20 and `soon` one at t=5 via two producers.
+  auto src_late = net.add_place("src_late", 1);
+  auto src_soon = net.add_place("src_soon", 1);
+  auto mk_late = net.add_transition("mk_late");
+  auto mk_soon = net.add_transition("mk_soon");
+  net.add_input_arc(src_late, mk_late);
+  net.add_output_arc(mk_late, late);
+  net.set_duration(mk_late, 20);
+  net.add_input_arc(src_soon, mk_soon);
+  net.add_output_arc(mk_soon, soon);
+  net.set_duration(mk_soon, 5);
+  auto log = net.run_timed_to_quiescence();
+  std::vector<PetriNet::TransitionId> fired;
+  for (const auto& f : log) fired.push_back(f.transition);
+  // tb (earliest start 5) takes the shared token; ta never fires.
+  EXPECT_NE(std::find(fired.begin(), fired.end(), tb), fired.end());
+  EXPECT_EQ(std::find(fired.begin(), fired.end(), ta), fired.end());
+  EXPECT_EQ(net.marking(ob), 1);
+  EXPECT_EQ(net.marking(oa), 0);
+}
+
+TEST(TimedPetri, ConflictTieBreaksToLowestId) {
+  PetriNet net;
+  auto p = net.add_place("p", 1);
+  auto o1 = net.add_place("o1");
+  auto o2 = net.add_place("o2");
+  auto t1 = net.add_transition("t1");
+  auto t2 = net.add_transition("t2");
+  net.add_input_arc(p, t1);
+  net.add_output_arc(t1, o1);
+  net.add_input_arc(p, t2);
+  net.add_output_arc(t2, o2);
+  auto log = net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].transition, t1);
+}
+
+TEST(TimedPetri, ConsumesEarliestAvailableTokens) {
+  PetriNet net;
+  auto src = net.add_place("src", 1);
+  auto p = net.add_place("p", 1);  // one token at 0 ...
+  auto mk = net.add_transition("mk");
+  net.add_input_arc(src, mk);
+  net.add_output_arc(mk, p);  // ... and one at 40
+  net.set_duration(mk, 40);
+  auto sink = net.add_place("sink");
+  auto eat = net.add_transition("eat");
+  net.add_input_arc(p, eat);
+  net.add_output_arc(eat, sink);
+  auto log = net.run_timed_to_quiescence();
+  // eat fires twice: first on the t=0 token, then on the t=40 one.
+  ASSERT_EQ(log.size(), 3u);
+  std::vector<std::int64_t> eat_starts;
+  for (const auto& f : log)
+    if (f.transition == eat) eat_starts.push_back(f.start);
+  EXPECT_EQ(eat_starts, (std::vector<std::int64_t>{0, 40}));
+  EXPECT_EQ(net.marking(sink), 2);
+}
+
+TEST(TimedPetri, HandVerifiedDiamondMakespan) {
+  // A(5) feeds B(3) and C(7); D(2) needs both: makespan 5+7+2 = 14.
+  PetriNet net;
+  auto in = net.add_place("in", 1);
+  auto a_out = net.add_place("a_out");
+  auto b_out = net.add_place("b_out");
+  auto c_out = net.add_place("c_out");
+  auto d_out = net.add_place("d_out");
+  auto A = net.add_transition("A");
+  auto B = net.add_transition("B");
+  auto C = net.add_transition("C");
+  auto D = net.add_transition("D");
+  auto go_b = net.add_place("go_b", 1);  // one-shot ready places for readers
+  auto go_c = net.add_place("go_c", 1);
+  net.add_input_arc(in, A);
+  net.add_output_arc(A, a_out);
+  net.add_read_arc(a_out, B);  // B and C read A's output concurrently
+  net.add_input_arc(go_b, B);
+  net.add_output_arc(B, b_out);
+  net.add_read_arc(a_out, C);
+  net.add_input_arc(go_c, C);
+  net.add_output_arc(C, c_out);
+  net.add_input_arc(b_out, D);
+  net.add_input_arc(c_out, D);
+  net.add_output_arc(D, d_out);
+  net.set_duration(A, 5);
+  net.set_duration(B, 3);
+  net.set_duration(C, 7);
+  net.set_duration(D, 2);
+  auto log = net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 4u);
+  std::int64_t makespan = 0;
+  for (const auto& f : log) makespan = std::max(makespan, f.finish);
+  EXPECT_EQ(makespan, 14);
+  // B overlaps C: both start at 5.
+  EXPECT_EQ(log[1].start, 5);
+  EXPECT_EQ(log[2].start, 5);
+  EXPECT_EQ(log[3].start, 12);  // D waits for C (the slower branch)
+}
+
+TEST(TimedPetri, UntimedFireIgnoresDurations) {
+  PetriNet net;
+  auto a = net.add_place("a", 1);
+  auto b = net.add_place("b");
+  auto t = net.add_transition("t");
+  net.add_input_arc(a, t);
+  net.add_output_arc(t, b);
+  net.set_duration(t, 500);
+  EXPECT_TRUE(net.fire(t).ok());
+  EXPECT_EQ(net.marking(b), 1);
+}
+
 // --- task tree -> Petri net conversion ----------------------------------------
 
 TEST(PetriConversion, FiringReachesTargetExactlyLikeNativeExecution) {
@@ -123,6 +327,39 @@ TEST(PetriConversion, UnboundInputsBlockFiring) {
   EXPECT_EQ(conv.net.marking(conv.target_place), 0);
 }
 
+TEST(PetriConversion, TimedRunMatchesHandComputedChainMakespan) {
+  // asic flow is a chain (Synthesize -> Place -> Route) once each rule has an
+  // unshared tool; the timed makespan is just the sum of the durations.
+  auto m = test::make_asic_manager();
+  std::unordered_map<std::string, std::int64_t> durations{
+      {"Synthesize", 720}, {"Place", 960}, {"Route", 1440}};
+  auto conv = petri_from_task_tree(*m->task("chip").value(),
+                                   {.shared_tools = false, .durations = &durations})
+                  .take();
+  auto log = conv.net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 3u);
+  std::int64_t makespan = 0;
+  for (const auto& f : log) makespan = std::max(makespan, f.finish);
+  EXPECT_EQ(makespan, 720 + 960 + 1440);
+  EXPECT_EQ(conv.activity_of_transition[log[0].transition], "Synthesize");
+  EXPECT_EQ(conv.activity_of_transition[log[2].transition], "Route");
+  EXPECT_EQ(log[1].start, 720);  // Place waits for Synthesize's gates token
+}
+
+TEST(PetriConversion, TimedRunPreservesMarkingInvariants) {
+  auto m = test::make_asic_manager();
+  auto conv = petri_from_task_tree(*m->task("chip").value()).take();
+  auto log = conv.net.run_timed_to_quiescence();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_TRUE(conv.net.quiescent());
+  // Each activity fired exactly once: ready places drained ...
+  for (auto p : conv.ready_places) EXPECT_EQ(conv.net.marking(p), 0);
+  // ... tools returned after use (reusable resources) ...
+  for (auto p : conv.tool_places) EXPECT_EQ(conv.net.marking(p), 1);
+  // ... and the target was produced.
+  EXPECT_GE(conv.net.marking(conv.target_place), 1);
+}
+
 // --- trace (VOV) -----------------------------------------------------------------
 
 class TraceTest : public ::testing::Test {
@@ -169,6 +406,37 @@ TEST_F(TraceTest, DeriveFlowRecoversActivityStructure) {
   EXPECT_EQ(flow[1].activity, "Simulate");
   EXPECT_EQ(flow[1].predecessors, (std::vector<std::string>{"Create"}));
   EXPECT_EQ(flow[1].observed_runs, 2);
+}
+
+TEST_F(TraceTest, RetraceCollapsesAffectedRunsToActivities) {
+  auto trace = TraceGraph::capture(m_->db());
+  // A new netlist re-runs both Simulate transactions -> one retrace entry.
+  auto netlist = m_->db().latest_in_container("netlist").value();
+  EXPECT_EQ(trace.retrace_activities({netlist}),
+            (std::vector<std::string>{"Simulate"}));
+  // A new stimuli version retraces Simulate too (read by both runs).
+  auto stimuli = m_->db().latest_in_container("stimuli").value();
+  EXPECT_EQ(trace.retrace_activities({stimuli}),
+            (std::vector<std::string>{"Simulate"}));
+  // Nothing changed -> nothing to retrace.
+  EXPECT_TRUE(trace.retrace_activities({}).empty());
+}
+
+TEST_F(TraceTest, ReplayOrderListsEveryTransactionInExecutionOrder) {
+  auto trace = TraceGraph::capture(m_->db());
+  EXPECT_EQ(trace.replay_order(),
+            (std::vector<std::string>{"Create", "Simulate", "Simulate"}));
+}
+
+TEST_F(TraceTest, ReplayOrderReproducesTheTraceOnAFreshManager) {
+  auto trace = TraceGraph::capture(m_->db());
+  auto fresh = test::make_circuit_manager();
+  for (const auto& activity : trace.replay_order())
+    fresh->run_activity("adder", activity, "carol").value();
+  auto replayed = TraceGraph::capture(fresh->db());
+  EXPECT_EQ(replayed.transaction_count(), trace.transaction_count());
+  EXPECT_EQ(replayed.object_count(), trace.object_count());
+  EXPECT_EQ(replayed.replay_order(), trace.replay_order());
 }
 
 TEST_F(TraceTest, DescribeListsTransactions) {

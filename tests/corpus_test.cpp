@@ -1,7 +1,7 @@
 // Replays the committed regression corpus (tests/corpus/*.json) through the
 // full fuzz harness.  Every scenario that ever caught a bug — or that seeds
 // coverage of a workload shape or oracle stressor — must keep passing all
-// five oracle families forever.  Regenerate the seed entries with
+// seven oracle families forever.  Regenerate the seed entries with
 // `herc_fuzz --emit-seed-corpus tests/corpus`.
 
 #include <gtest/gtest.h>
@@ -30,7 +30,8 @@ std::vector<std::string> corpus_files() {
 }
 
 TEST(Corpus, HasTheCommittedSeedScenarios) {
-  EXPECT_GE(corpus_files().size(), 8u) << "corpus dir: " << HERC_CORPUS_DIR;
+  // 11 original entries plus the 6 adapter/adversarial stressors.
+  EXPECT_GE(corpus_files().size(), 17u) << "corpus dir: " << HERC_CORPUS_DIR;
 }
 
 TEST(Corpus, EveryScenarioReplaysCleanThroughAllOracles) {

@@ -1,4 +1,4 @@
-// Fuzz-harness tests: sampled scenarios pass all five oracle families, each
+// Fuzz-harness tests: sampled scenarios pass all seven oracle families, each
 // planted mutation is caught by exactly the family built to catch it (a
 // harness whose oracles cannot fail tests nothing), and the reference CPM
 // really is an independent check.
@@ -64,7 +64,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MutationCase{Mutation::kRecoveryDropLine, kOracleRecovery},
                       MutationCase{Mutation::kRiskSeedSkew, kOracleRisk},
                       MutationCase{Mutation::kMetamorphicScale, kOracleMetamorphic},
-                      MutationCase{Mutation::kQueryStaleCache, kOracleQuery}),
+                      MutationCase{Mutation::kQueryStaleCache, kOracleQuery},
+                      MutationCase{Mutation::kAdapterDropFiring, kOracleAdapter}),
     [](const auto& info) {
       std::string name = mutation_name(info.param.mutation);
       for (char& c : name)

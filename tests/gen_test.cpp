@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "gen/gen.hpp"
 #include "util/rng.hpp"
 
@@ -139,6 +143,138 @@ TEST(Gen, JsonRoundTripIsByteIdentical) {
     ASSERT_TRUE(back.ok()) << back.error().message;
     EXPECT_EQ(scenario_to_json(back.value()).dump(), j.dump());
   }
+}
+
+TEST(GenAdversarial, ZeroAdversityKeepsThePlanEmpty) {
+  Scenario s = generate({.seed = 14, .shape = Shape::kRandom, .size = 8});
+  EXPECT_TRUE(s.adversarial.empty());
+}
+
+TEST(GenAdversarial, PlanIsSeededDeterministicAndBounded) {
+  ScenarioSpec spec{.seed = 15, .shape = Shape::kRandom, .size = 10,
+                    .inputs = 3, .adversity = 1.0};
+  Scenario a = generate(spec), b = generate(spec);
+  EXPECT_FALSE(a.adversarial.empty());
+  EXPECT_EQ(scenario_to_json(a).dump(), scenario_to_json(b).dump());
+  // Every index stays resolvable against the generated graph.
+  const auto n_rules = static_cast<int>(a.graph.rules.size());
+  const auto n_primary = a.graph.primary_inputs().size();
+  EXPECT_TRUE(std::is_sorted(a.adversarial.replans.begin(),
+                             a.adversarial.replans.end()));
+  for (int k : a.adversarial.replans) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, n_rules);
+  }
+  for (const auto& e : a.adversarial.edits) {
+    EXPECT_LT(e.rule, a.graph.rules.size());
+    EXPECT_EQ(e.designer.rfind("designer", 0), 0u);
+  }
+  for (std::size_t i : a.adversarial.input_revisions) EXPECT_LT(i, n_primary);
+}
+
+TEST(GenAdversarial, PlanRoundTripsThroughJsonByteIdentically) {
+  Scenario s = generate({.seed = 16, .shape = Shape::kLayered, .size = 3,
+                         .width = 3, .adversity = 0.7});
+  ASSERT_FALSE(s.adversarial.empty());
+  auto j = scenario_to_json(s);
+  auto back = scenario_from_json(j);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(scenario_to_json(back.value()).dump(), j.dump());
+  EXPECT_EQ(back.value().adversarial.replans, s.adversarial.replans);
+  EXPECT_EQ(back.value().adversarial.input_revisions, s.adversarial.input_revisions);
+  ASSERT_EQ(back.value().adversarial.edits.size(), s.adversarial.edits.size());
+  for (std::size_t i = 0; i < s.adversarial.edits.size(); ++i) {
+    EXPECT_EQ(back.value().adversarial.edits[i].rule, s.adversarial.edits[i].rule);
+    EXPECT_EQ(back.value().adversarial.edits[i].designer,
+              s.adversarial.edits[i].designer);
+  }
+}
+
+TEST(GenHeavyTail, DrawsStayInsideTheClampAndEscapeTheUniformRange) {
+  // Heavy-tailed draws are clamped into [1, 64 * est_minutes_hi]; with a
+  // fat enough tail and enough activities, some draw must land beyond the
+  // uniform hi bound — that's the whole point of the family.
+  for (DurationDist dist : {DurationDist::kLognormal, DurationDist::kPareto}) {
+    Scenario s = generate({.seed = 17, .shape = Shape::kRandom, .size = 64,
+                           .inputs = 4, .duration_dist = dist,
+                           .dist_sigma = 2.0, .dist_alpha = 0.8});
+    std::int64_t above_hi = 0;
+    for (const auto& r : s.graph.rules) {
+      EXPECT_GE(r.est_minutes, 1);
+      EXPECT_LE(r.est_minutes, 64 * s.spec.est_minutes_hi);
+      if (r.est_minutes > s.spec.est_minutes_hi) ++above_hi;
+    }
+    EXPECT_GT(above_hi, 0) << duration_dist_name(dist);
+  }
+}
+
+TEST(GenHeavyTail, MedianStaysNearTheConfiguredRange) {
+  // The tail is heavy but the bulk is not: at least half the lognormal
+  // draws stay within the uniform window's order of magnitude.
+  Scenario s = generate({.seed = 18, .shape = Shape::kRandom, .size = 64,
+                         .inputs = 4,
+                         .duration_dist = DurationDist::kLognormal,
+                         .dist_sigma = 1.0});
+  std::vector<std::int64_t> mins;
+  for (const auto& r : s.graph.rules) mins.push_back(r.est_minutes);
+  std::sort(mins.begin(), mins.end());
+  std::int64_t median = mins[mins.size() / 2];
+  EXPECT_LE(median, 4 * s.spec.est_minutes_hi);
+  EXPECT_GE(median, s.spec.est_minutes_lo / 4);
+}
+
+TEST(GenHeavyTail, DistributionNamesRoundTrip) {
+  for (DurationDist d : {DurationDist::kUniform, DurationDist::kLognormal,
+                         DurationDist::kPareto}) {
+    auto parsed = parse_duration_dist(duration_dist_name(d));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), d);
+  }
+  EXPECT_FALSE(parse_duration_dist("cauchy").ok());
+}
+
+TEST(GenBursty, ZeroProbabilityKeepsTheHistoricalStreamShape) {
+  RequestStreamSpec smooth{.seed = 21, .count = 60};
+  RequestStreamSpec with_knobs = smooth;
+  with_knobs.burst_len_lo = 2;  // knobs are inert while burst_prob == 0
+  with_knobs.burst_len_hi = 3;
+  auto a = request_stream(smooth);
+  auto b = request_stream(with_knobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].op, b[i].op);
+}
+
+TEST(GenBursty, BurstsLandBackToBackAcrossTheDesignerPool) {
+  RequestStreamSpec spec{.seed = 22, .count = 120, .designers = 3};
+  spec.burst_prob = 0.5;
+  spec.burst_len_lo = 4;
+  spec.burst_len_hi = 6;
+  auto stream = request_stream(spec);
+  EXPECT_LE(stream.size(), spec.count);
+  // Deterministic under the same seed.
+  auto again = request_stream(spec);
+  ASSERT_EQ(stream.size(), again.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].op, again[i].op);
+    if (stream[i].args.contains("designer")) {
+      EXPECT_EQ(stream[i].args.at("designer").as_string(),
+                again[i].args.at("designer").as_string());
+    }
+  }
+  // Find a burst: >= burst_len_lo consecutive executes cycling designer0,
+  // designer1, designer2 in order.
+  bool found_burst = false;
+  std::size_t run = 0;
+  for (const auto& r : stream) {
+    if (r.op == "execute" &&
+        r.args.at("designer").as_string() ==
+            "designer" + std::to_string(run % 3)) {
+      if (++run >= 4) found_burst = true;
+    } else {
+      run = 0;
+    }
+  }
+  EXPECT_TRUE(found_burst) << "no round-robin execute storm in 120 requests";
 }
 
 TEST(Gen, FaultSeedMaterializesWildcardInjector) {

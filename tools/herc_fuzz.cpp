@@ -40,7 +40,7 @@ struct Args {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--budget <secs>[s]] [--scenarios N] [--seed N|from-git-sha]\n"
-               "          [--oracles cpm,mirror,recovery,risk,metamorphic,query|all]\n"
+               "          [--oracles cpm,mirror,recovery,risk,metamorphic,query,adapter|all]\n"
                "          [--mutate <name>] [--repro FILE] [--corpus DIR]\n"
                "          [--emit-seed-corpus DIR] [--out DIR] [--quiet]\n",
                argv0);
@@ -170,6 +170,47 @@ std::vector<std::pair<std::string, gen::Scenario>> seed_corpus() {
       {.seed = 21, .shape = gen::Shape::kChain, .size = 7, .fault_seed = 2101});
   crash.faults.tools["*"].crash_on.push_back(4);
   corpus.emplace_back("recovery-crash", std::move(crash));
+
+  // Adapter-conformance and adversarial-workload stressors (PR 9): shapes
+  // where the Petri/trace replays take genuinely different linearizations
+  // than the native sweep, heavy-tailed durations, a mid-flight replan
+  // storm, conflicting multi-designer edits, and a fault storm over an
+  // adversarial plan.
+  add("adapter-petri-order", {.seed = 22,
+                              .shape = gen::Shape::kLayered,
+                              .size = 3,
+                              .width = 3,
+                              .resources = 2});
+  add("heavytail-lognormal", {.seed = 23,
+                              .shape = gen::Shape::kRandom,
+                              .size = 10,
+                              .inputs = 2,
+                              .duration_dist = gen::DurationDist::kLognormal,
+                              .dist_sigma = 1.6});
+  add("heavytail-pareto", {.seed = 24,
+                           .shape = gen::Shape::kFanin,
+                           .size = 9,
+                           .duration_dist = gen::DurationDist::kPareto,
+                           .dist_alpha = 1.1});
+  add("replan-midflight", {.seed = 25,
+                           .shape = gen::Shape::kChain,
+                           .size = 9,
+                           .adversity = 0.8});
+  add("conflict-designers", {.seed = 26,
+                             .shape = gen::Shape::kRandom,
+                             .size = 11,
+                             .inputs = 3,
+                             .adversity = 1.0});
+  add("fault-storm", {.seed = 27,
+                      .shape = gen::Shape::kRandom,
+                      .size = 8,
+                      .inputs = 2,
+                      .adversity = 0.6,
+                      .fault_seed = 2701,
+                      .fail_prob = 0.6,
+                      .latency_factor = 3.0,
+                      .policy = herc::exec::FailurePolicy::kRetryThenAbort,
+                      .max_attempts = 3});
   return corpus;
 }
 
