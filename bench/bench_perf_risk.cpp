@@ -80,6 +80,22 @@ void BM_RiskThreads(benchmark::State& state) {
 BENCHMARK(BM_RiskThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_RiskBatched(benchmark::State& state) {
+  // Single-thread sample throughput on a wider flow: isolates the batched
+  // SoA makespan lanes (solve_batch) from thread scaling.
+  auto m = bench::make_manager(bench::layered_schema(32, 8), "root");
+  auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();
+  sched::RiskOptions opt;
+  opt.samples = 2000;
+  opt.threads = 1;
+  for (auto _ : state) {
+    auto r = sched::analyze_risk(m->schedule_space(), m->db(), plan, opt);
+    benchmark::DoNotOptimize(r.value().p90_finish);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.samples);
+}
+BENCHMARK(BM_RiskBatched)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_RiskSamples(benchmark::State& state) {
   auto m = bench::make_manager(bench::layered_schema(8, 4), "root");
   auto plan = m->plan_task("job", {.anchor = m->clock().now()}).value();

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/estimate.hpp"
+#include "core/resources.hpp"
 #include "core/schedule_space.hpp"
 #include "flow/task_tree.hpp"
 #include "obs/event_bus.hpp"
@@ -34,6 +35,11 @@ struct PlanRequest {
   /// Apply serial resource leveling after CPM (requires assignments to refer
   /// to resources registered in the database, whose capacities are used).
   bool level_resources = false;
+  /// When set (and level_resources is true), level through the
+  /// priority-rule RCPSP SGS (sgs_schedule) with this rule instead of the
+  /// legacy CPM-early-start level_serial — the scalable path for large
+  /// resource-constrained plans.
+  std::optional<PriorityRule> leveling_rule;
   /// Plan-evolution metadata: the plan this one refines (paper Fig. 5 shows
   /// several schedule-instance versions from successive plans).
   ScheduleRunId derived_from;

@@ -46,4 +46,40 @@ struct LevelingResult {
 /// start; result is deterministic (ties broken by activity index).
 [[nodiscard]] util::Result<LevelingResult> level_serial(const LevelingInput& input);
 
+/// Priority rule for the RCPSP serial schedule-generation scheme: which
+/// eligible activity is placed next.  All three are computed from one CPM
+/// solve of the unconstrained network — the classic heuristics from the
+/// RCPSP literature (mega-project scheduling is resource-constrained;
+/// priority-rule SGS is the standard scalable heuristic family for it).
+enum class PriorityRule {
+  kLst,       ///< smallest CPM late start first
+  kLft,       ///< smallest CPM late finish first (usually the strongest)
+  kMinSlack,  ///< smallest total slack first (most critical first)
+};
+[[nodiscard]] const char* priority_rule_name(PriorityRule rule);
+
+struct SgsOptions {
+  PriorityRule rule = PriorityRule::kLft;
+};
+
+/// Resource-constrained serial SGS over the same LevelingInput (resource
+/// pools, 1 unit per requirement, calendar time-off as blocked windows).
+/// Repeatedly places the highest-priority *eligible* activity (all
+/// predecessors placed) at the earliest time every required resource has
+/// spare capacity for its whole duration.
+///
+/// Differences from level_serial: the placement order follows the chosen
+/// priority rule instead of CPM early start, and the resource timelines are
+/// event-indexed usage profiles instead of O(bookings) scans — the
+/// placement loop is O(n log n + conflict events), which is what lets
+/// resource pools constrain six-figure activity networks.
+///
+/// Guarantees: precedence respected; per-resource concurrent usage never
+/// exceeds capacity at any instant; every start >= the activity's release;
+/// makespan >= the CPM (resource-unconstrained) lower bound; deterministic
+/// (priority ties broken by activity index).  Same error conditions as
+/// level_serial.
+[[nodiscard]] util::Result<LevelingResult> sgs_schedule(
+    const LevelingInput& input, const SgsOptions& options = {});
+
 }  // namespace herc::sched

@@ -1,11 +1,11 @@
 #include "core/risk.hpp"
 
 #include <algorithm>
-#include <thread>
 #include <unordered_map>
 
 #include "core/cpm_solver.hpp"
 #include "core/estimate.hpp"
+#include "core/worker_pool.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -88,60 +88,88 @@ util::Result<RiskReport> analyze_risk(const ScheduleSpace& space,
   report.samples = options.samples;
   report.deterministic_finish = cal::WorkInstant(anchor + det_makespan);
 
-  // Each worker simulates a contiguous block of samples on its own solver
-  // copy; finishes land at their sample index, accumulators merge after
-  // join.  Sample s is identical whichever worker runs it.
+  // Each worker block simulates a contiguous range of samples on its own
+  // solver copy, in lane batches of kLanes: the batch's duration matrix is
+  // filled sample-by-sample from the per-sample RNG streams (the draw
+  // sequence of each sample is exactly the PR 2 per-sample path, so every
+  // duration is bit-identical), then one solve_batch sweep produces all
+  // makespans and criticality flags.  Finishes land at their sample index,
+  // accumulators merge after the pool drains, and everything accumulated is
+  // integral — so the report is bit-identical for any thread count and any
+  // batch width.
+  constexpr std::size_t kLanes = 8;
   std::vector<std::int64_t> finishes(static_cast<std::size_t>(options.samples));
   auto run_block = [&](int lo, int hi, CpmSolver solver, WorkerAccum& acc) {
     acc.critical_count.assign(n, 0);
     acc.duration_sum.assign(n, 0);
-    CpmResult solved;
-    for (int s = lo; s < hi; ++s) {
-      util::Rng rng(sample_stream_seed(options.seed, s));
-      for (std::size_t i = 0; i < n; ++i) {
-        if (fixed[i]) continue;  // actuals stay baked into the solver
-        std::int64_t d;
-        if (histories[i].size() >= 2) {
-          // Bootstrap from measured runs.
-          const auto& h = histories[i];
-          d = h[static_cast<std::size_t>(
-                    rng.uniform_int(0, static_cast<std::int64_t>(h.size()) - 1))]
-                  .count_minutes();
-        } else {
-          double f = rng.uniform(1.0 - options.default_spread,
-                                 1.0 + options.default_spread);
-          d = std::max<std::int64_t>(
-              1, static_cast<std::int64_t>(static_cast<double>(base[i].duration) * f));
+    std::vector<std::int64_t> durations(n * kLanes);
+    std::vector<std::uint8_t> critical(n * kLanes);
+    std::int64_t makespans[kLanes];
+    for (int s0 = lo; s0 < hi; s0 += static_cast<int>(kLanes)) {
+      const std::size_t lanes =
+          std::min<std::size_t>(kLanes, static_cast<std::size_t>(hi - s0));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const int s = s0 + static_cast<int>(l);
+        util::Rng rng(sample_stream_seed(options.seed, s));
+        for (std::size_t i = 0; i < n; ++i) {
+          if (fixed[i]) {  // actuals are the same in every lane
+            durations[i * lanes + l] = base[i].duration;
+            continue;
+          }
+          std::int64_t d;
+          if (histories[i].size() >= 2) {
+            // Bootstrap from measured runs.
+            const auto& h = histories[i];
+            d = h[static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<std::int64_t>(h.size()) - 1))]
+                    .count_minutes();
+          } else {
+            double f = rng.uniform(1.0 - options.default_spread,
+                                   1.0 + options.default_spread);
+            d = std::max<std::int64_t>(
+                1,
+                static_cast<std::int64_t>(static_cast<double>(base[i].duration) * f));
+          }
+          durations[i * lanes + l] = d;
+          acc.duration_sum[i] += d;
         }
-        solver.set_duration(i, d);
-        acc.duration_sum[i] += d;
       }
-      solver.solve(solved);
-      finishes[static_cast<std::size_t>(s)] = solved.makespan;
-      acc.finish_sum += solved.makespan;
-      if (solved.makespan <= det_makespan) ++acc.on_time;
-      for (std::size_t i = 0; i < n; ++i)
-        if (!fixed[i] && solved.critical[i]) ++acc.critical_count[i];
+      solver.solve_batch(durations.data(), lanes, makespans, critical.data());
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const int s = s0 + static_cast<int>(l);
+        finishes[static_cast<std::size_t>(s)] = makespans[l];
+        acc.finish_sum += makespans[l];
+        if (makespans[l] <= det_makespan) ++acc.on_time;
+        for (std::size_t i = 0; i < n; ++i)
+          if (!fixed[i] && critical[i * lanes + l]) ++acc.critical_count[i];
+      }
     }
     acc.stats = solver.take_stats();
   };
 
+  // Blocks are sharded across the shared worker pool — no thread spawn per
+  // call.  The block partition depends only on options.threads, and block b
+  // computes the same values whichever pool lane runs it.
   const int threads = std::clamp(options.threads, 1, options.samples);
   std::vector<WorkerAccum> accums(static_cast<std::size_t>(threads));
   if (threads == 1) {
     run_block(0, options.samples, std::move(base_solver), accums[0]);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
     const int per = options.samples / threads;
     const int extra = options.samples % threads;
+    std::vector<std::pair<int, int>> blocks;
+    blocks.reserve(static_cast<std::size_t>(threads));
     int lo = 0;
     for (int t = 0; t < threads; ++t) {
       int hi = lo + per + (t < extra ? 1 : 0);
-      pool.emplace_back(run_block, lo, hi, base_solver, std::ref(accums[t]));
+      blocks.emplace_back(lo, hi);
       lo = hi;
     }
-    for (auto& th : pool) th.join();
+    WorkerPool::shared().run(threads, [&](int t) {
+      run_block(blocks[static_cast<std::size_t>(t)].first,
+                blocks[static_cast<std::size_t>(t)].second, base_solver,
+                accums[static_cast<std::size_t>(t)]);
+    });
   }
 
   std::int64_t finish_sum = 0;
@@ -159,6 +187,8 @@ util::Result<RiskReport> analyze_risk(const ScheduleSpace& space,
     stats.compiles += acc.stats.compiles;
     stats.solves += acc.stats.solves;
     stats.incremental_solves += acc.stats.incremental_solves;
+    stats.parallel_solves += acc.stats.parallel_solves;
+    stats.batched_lanes += acc.stats.batched_lanes;
   }
   publish_solver_stats(options.bus, "risk", stats);
 

@@ -30,10 +30,12 @@ struct RiskOptions {
   /// Spread applied when an activity has fewer than 2 measured durations:
   /// duration ~ uniform[est*(1-spread), est*(1+spread)].
   double default_spread = 0.3;
-  /// Worker threads the samples are sharded across (clamped to [1, samples]).
-  /// Each worker owns a copy of the compiled solver and every sample draws
+  /// Worker blocks the samples are sharded across (clamped to
+  /// [1, samples]), scheduled on the shared sched::WorkerPool — no thread
+  /// is ever spawned per call.  Each block owns a copy of the compiled
+  /// solver and simulates its samples in batched lanes; every sample draws
   /// from its own seed-derived RNG stream, so the report is bit-identical
-  /// for any thread count.
+  /// for any thread count and any lane width.
   int threads = 1;
   /// Optional observability: receives one cpm.solver stats event per call.
   obs::EventBus* bus = nullptr;

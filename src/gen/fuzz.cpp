@@ -13,6 +13,7 @@
 
 #include "core/cpm_solver.hpp"
 #include "core/risk.hpp"
+#include "core/worker_pool.hpp"
 #include "gen/conformance.hpp"
 #include "hercules/journal.hpp"
 #include "hercules/persist.hpp"
@@ -122,6 +123,42 @@ void check_cpm(const Scenario& scenario, Mutation mutation, Failures& fail) {
       incremental.critical_path != full.value().critical_path)
     fail.add(kOracleCpm, "cpm.incremental",
              "incrementally re-solved CpmSolver diverged from compute_cpm");
+
+  // Level-parallel leg: the blocked passes over a multi-thread pool must be
+  // byte-identical to the serial solve (threshold forced to 0 so even the
+  // fuzzer's small networks take the parallel path, with a tiny chunk so
+  // every level actually splits).
+  {
+    static sched::WorkerPool pool(4);
+    sched::CpmResult par;
+    solver.solve(par, {.pool = &pool, .serial_threshold = 0, .chunk = 3});
+    if (!same_cpm(par, full.value()) ||
+        par.critical_path != full.value().critical_path)
+      fail.add(kOracleCpm, "cpm.parallel",
+               "level-parallel solve diverged from the serial solver");
+  }
+
+  // Batched leg: identical durations in every lane must reproduce the
+  // serial makespan and criticality per lane.
+  if (const std::size_t n = buggy.size(); n > 0) {
+    constexpr std::size_t kLanes = 3;
+    std::vector<std::int64_t> durs(n * kLanes);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t l = 0; l < kLanes; ++l)
+        durs[i * kLanes + l] = buggy[i].duration;
+    std::vector<std::int64_t> makespans(kLanes);
+    std::vector<std::uint8_t> crit(n * kLanes);
+    solver.solve_batch(durs.data(), kLanes, makespans.data(), crit.data());
+    bool ok = true;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      ok = ok && makespans[l] == full.value().makespan;
+      for (std::size_t i = 0; i < n; ++i)
+        ok = ok && crit[i * kLanes + l] == full.value().critical[i];
+    }
+    if (!ok)
+      fail.add(kOracleCpm, "cpm.batch",
+               "batched lanes diverged from the serial solver");
+  }
 }
 
 // --- mirror oracle -----------------------------------------------------------

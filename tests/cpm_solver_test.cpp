@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cpm_solver.hpp"
+#include "core/worker_pool.hpp"
 #include "gen/gen.hpp"
 #include "util/rng.hpp"
 
@@ -178,6 +179,137 @@ TEST_P(CpmSolverProperty, DragMatchesBruteForceResolve) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CpmSolverProperty,
                          ::testing::Values(1, 2, 3, 7, 11, 23));
+
+// --- level-parallel equivalence ----------------------------------------------
+// The contract: the parallel passes are byte-identical to the serial solver
+// at any thread count and chunk size, on any shape.  serial_threshold = 0
+// forces the parallel path even on the small networks the tests can afford.
+
+TEST(CpmSolverParallel, ByteIdenticalToSerialAcrossShapesAndThreadCounts) {
+  std::vector<std::vector<CpmActivity>> networks;
+  networks.push_back(gen::chain_cpm_network(257));
+  networks.push_back(gen::random_cpm_network(1000, 0.4, 42));
+  {
+    util::Rng rng(7);
+    networks.push_back(gen::random_cpm_dag(rng, 300, 0.05));
+  }
+  networks.push_back(gen::mega_cpm_network(
+      {.seed = 9, .shape = gen::Shape::kLayered, .activities = 900, .width = 30}));
+  networks.push_back(gen::mega_cpm_network(
+      {.seed = 10, .shape = gen::Shape::kRandom, .activities = 800,
+       .release_p = 0.2}));
+
+  for (const auto& acts : networks) {
+    auto solver = CpmSolver::compile(acts).take();
+    CpmResult serial;
+    solver.solve(serial);
+    for (int threads : {1, 2, 4, 8}) {
+      WorkerPool pool(threads);
+      for (std::size_t chunk : {std::size_t{1}, std::size_t{64}, std::size_t{4096}}) {
+        SolveOptions opts{.pool = &pool, .serial_threshold = 0, .chunk = chunk};
+        CpmResult par;
+        solver.solve(par, opts);
+        expect_same_result(par, serial);
+        EXPECT_EQ(solver.solve_makespan(opts), serial.makespan);
+      }
+    }
+  }
+}
+
+TEST(CpmSolverParallel, ThresholdKeepsSmallNetworksSerial) {
+  auto solver = CpmSolver::compile(gen::chain_cpm_network(100)).take();
+  WorkerPool pool(4);
+  CpmResult r;
+  solver.solve(r, {.pool = &pool, .serial_threshold = 1000});
+  EXPECT_EQ(solver.stats().parallel_solves, 0u);
+  solver.solve(r, {.pool = &pool, .serial_threshold = 0});
+  EXPECT_EQ(solver.stats().parallel_solves, 1u);
+}
+
+TEST(CpmSolverParallel, MutationsResolveInParallelToo) {
+  auto acts = gen::random_cpm_network(2000, 0.5, 77);
+  auto solver = CpmSolver::compile(acts).take();
+  WorkerPool pool(4);
+  SolveOptions opts{.pool = &pool, .serial_threshold = 0, .chunk = 128};
+  CpmResult par;
+  util::Rng rng(3);
+  for (int round = 0; round < 5; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      auto i = static_cast<std::size_t>(rng.uniform_int(0, 1999));
+      acts[i].duration = rng.uniform_int(0, 500);
+      solver.set_duration(i, acts[i].duration);
+    }
+    solver.solve(par, opts);
+    expect_same_result(par, compute_cpm(acts).take());
+  }
+}
+
+// --- streaming compile -------------------------------------------------------
+
+TEST(CpmSolverStream, CompileStreamMatchesCompile) {
+  for (auto shape : {gen::Shape::kLayered, gen::Shape::kRandom}) {
+    gen::MegaGraphSpec spec{.seed = 21, .shape = shape, .activities = 1200,
+                            .width = 37, .release_p = 0.15};
+    auto acts = gen::mega_cpm_network(spec);
+    auto classic = CpmSolver::compile(acts).take();
+    auto streamed = CpmSolver::compile_stream(
+        spec.activities,
+        [&](const CpmSolver::ActivitySink& sink) { gen::stream_mega_cpm(spec, sink); })
+        .take();
+    EXPECT_EQ(streamed.size(), acts.size());
+    EXPECT_EQ(streamed.levels(), classic.levels());
+    CpmResult a, b;
+    classic.solve(a);
+    streamed.solve(b);
+    expect_same_result(b, a);
+  }
+}
+
+TEST(CpmSolverStream, ValidatesLikeCompile) {
+  auto bad_pred = CpmSolver::compile_stream(1, [](const CpmSolver::ActivitySink& sink) {
+    std::uint32_t preds[] = {7};
+    sink(1, 0, preds, 1);
+  });
+  EXPECT_FALSE(bad_pred.ok());
+  auto bad_dur = CpmSolver::compile_stream(1, [](const CpmSolver::ActivitySink& sink) {
+    sink(-1, 0, nullptr, 0);
+  });
+  EXPECT_FALSE(bad_dur.ok());
+  auto wrong_count = CpmSolver::compile_stream(2, [](const CpmSolver::ActivitySink& sink) {
+    sink(1, 0, nullptr, 0);
+  });
+  EXPECT_FALSE(wrong_count.ok());
+}
+
+// --- batched lanes -----------------------------------------------------------
+
+TEST(CpmSolverBatch, LanesMatchPerLaneSolves) {
+  util::Rng rng(5);
+  auto acts = gen::random_cpm_dag(rng, 120, 0.06);
+  auto solver = CpmSolver::compile(acts).take();
+  const std::size_t n = acts.size();
+  constexpr std::size_t kLanes = 8;
+  std::vector<std::int64_t> durations(n * kLanes);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t l = 0; l < kLanes; ++l)
+      durations[i * kLanes + l] = rng.uniform_int(0, 500);
+  std::vector<std::int64_t> makespans(kLanes);
+  std::vector<std::uint8_t> critical(n * kLanes);
+  solver.solve_batch(durations.data(), kLanes, makespans.data(), critical.data());
+
+  auto reference = CpmSolver::compile(acts).take();
+  CpmResult r;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t i = 0; i < n; ++i)
+      reference.set_duration(i, durations[i * kLanes + l]);
+    reference.solve(r);
+    EXPECT_EQ(makespans[l], r.makespan) << "lane " << l;
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(critical[i * kLanes + l], r.critical[i])
+          << "lane " << l << " activity " << i;
+  }
+  EXPECT_EQ(solver.stats().batched_lanes, kLanes);
+}
 
 }  // namespace
 }  // namespace herc::sched

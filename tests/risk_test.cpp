@@ -189,6 +189,8 @@ TEST(Risk, PublishesSolverStatsToBus) {
   // Worker solvers are copies of the already-solved base solver, so every
   // per-sample solve reuses warm structure.
   EXPECT_EQ(metrics.counter("solver_incremental_solves"), 50u);
+  // Every sample ran through a batched lane (see CpmSolver::solve_batch).
+  EXPECT_EQ(metrics.counter("solver_batched_lanes"), 50u);
 }
 
 TEST(Risk, RenderContainsSummaryAndRows) {

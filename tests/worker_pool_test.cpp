@@ -1,0 +1,65 @@
+// Unit tests for the shared worker pool: task coverage, reuse across jobs,
+// caller participation, and the single-thread inline path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+
+namespace herc::sched {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  // Distinct task indices write disjoint slots — the same contract the
+  // level-parallel passes rely on.
+  std::vector<int> hits(1000, 0);
+  pool.run(1000, [&](int t) { hits[static_cast<std::size_t>(t)]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs) {
+  WorkerPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 200; ++round)
+    pool.run(17, [&](int t) { sum += t; });
+  EXPECT_EQ(sum.load(), 200L * (16 * 17 / 2));
+}
+
+TEST(WorkerPool, SingleThreadRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  // Inline execution: tasks observe sequential order on the caller.
+  std::vector<int> order;
+  pool.run(5, [&](int t) { order.push_back(t); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(WorkerPool, MoreTasksThanThreadsAndViceVersa) {
+  WorkerPool pool(8);
+  std::atomic<int> count{0};
+  pool.run(3, [&](int) { count++; });  // fewer tasks than threads
+  EXPECT_EQ(count.load(), 3);
+  count = 0;
+  pool.run(100, [&](int) { count++; });  // more tasks than threads
+  EXPECT_EQ(count.load(), 100);
+  pool.run(0, [&](int) { count++; });  // empty job is a no-op
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkerPool, SharedPoolIsProcessWide) {
+  WorkerPool& a = WorkerPool::shared();
+  WorkerPool& b = WorkerPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.threads(), 1);
+  std::atomic<int> count{0};
+  a.run(10, [&](int) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace herc::sched
